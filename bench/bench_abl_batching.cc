@@ -1,0 +1,77 @@
+// Ablation — Propagation batching.
+//
+// Walter propagates committed transactions in periodic batches (Section 6);
+// a new batch departs to a destination when the previous one is acknowledged,
+// with a configurable floor between batches. This sweep varies the floor and
+// measures disaster-safe durability latency against the number of propagation
+// messages — the latency/overhead trade the batching design point sits on.
+#include <cstdio>
+#include <memory>
+
+#include "bench/harness.h"
+
+namespace walter {
+namespace {
+
+constexpr uint64_t kKeys = 5'000;
+
+struct Point {
+  double p50_ms;
+  double p90_ms;
+  uint64_t batches;
+  uint64_t messages;
+};
+
+Point RunInterval(SimDuration interval, uint64_t seed) {
+  ClusterOptions options;
+  options.num_sites = 2;  // VA-CA: RTT 82 ms
+  options.seed = seed;
+  options.server.perf = PerfModel::Ec2();
+  options.server.disk = DiskConfig::Ec2();
+  options.server.min_batch_interval = interval;
+  Cluster cluster(options);
+  Populate(cluster, cluster.AddClient(0), 0, kKeys, 100, 20);
+  uint64_t msgs_before = cluster.net().messages_sent();
+
+  auto rng = std::make_shared<Rng>(seed);
+  auto factory = [rng](WalterClient* client) {
+    return [client, rng](std::function<void(bool)> done) {
+      auto tx = std::make_shared<Tx>(client);
+      tx->Write(ObjectId{0, rng->Uniform(kKeys)}, std::string(100, 'b'));
+      Tx::CommitOptions opts;
+      opts.on_durable = [tx, done]() { done(true); };
+      tx->Commit([tx](Status) {}, opts);
+    };
+  };
+  OpenLoopLoad load(&cluster.sim(), 500, factory(cluster.AddClient(0)));
+  LoadResult result = load.Run(Seconds(1), Seconds(15));
+
+  Point p;
+  p.p50_ms = result.latency.Percentile(50) / 1000.0;
+  p.p90_ms = result.latency.Percentile(90) / 1000.0;
+  p.batches = cluster.server(0).stats().batches_sent;
+  p.messages = cluster.net().messages_sent() - msgs_before;
+  return p;
+}
+
+}  // namespace
+}  // namespace walter
+
+int main() {
+  using walter::TablePrinter;
+  std::printf("=== Ablation: propagation batch interval (2 sites, VA-CA, 500 writes/s) ===\n\n");
+  TablePrinter table({"batch floor (ms)", "ds-durable p50 (ms)", "p90 (ms)", "batches",
+                      "total messages"});
+  uint64_t seed = 9100;
+  for (double ms : {0.0, 2.0, 10.0, 50.0, 200.0, 500.0}) {
+    walter::Point p = walter::RunInterval(walter::Millis(ms), seed++);
+    table.AddRow({TablePrinter::Fmt(ms, 0), TablePrinter::Fmt(p.p50_ms),
+                  TablePrinter::Fmt(p.p90_ms), std::to_string(p.batches),
+                  std::to_string(p.messages)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Expected shape: small floors leave latency near [RTT, 2*RTT] (the ack-paced\n"
+              "cycle dominates); large floors stretch durability latency while cutting the\n"
+              "number of batches/messages.\n");
+  return 0;
+}

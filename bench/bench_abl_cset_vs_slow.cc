@@ -1,0 +1,101 @@
+// Ablation — csets vs slow commit for multi-site counters.
+//
+// The workload every site wants to update: a shared set/counter (think "likes"
+// or a friends list). Two implementations:
+//  (a) cset: each site fast-commits add() operations — never conflicts;
+//  (b) regular object with read-modify-write: remote sites must slow-commit
+//      through the preferred site, and concurrent updates abort and retry.
+// This quantifies why the paper introduces csets (Section 2).
+#include <cstdio>
+#include <memory>
+
+#include "bench/harness.h"
+
+namespace walter {
+namespace {
+
+constexpr int kClientsPerSite = 8;
+constexpr int kCounters = 16;  // shared csets/objects, preferred at site 0
+
+struct Point {
+  double kops;
+  double p50_ms;
+  uint64_t aborts;
+  uint64_t slow;
+};
+
+Point RunVariant(bool use_cset, uint64_t seed) {
+  ClusterOptions options;
+  options.num_sites = 4;
+  options.seed = seed;
+  options.server.perf = PerfModel::Ec2();
+  options.server.disk = DiskConfig::Ec2();
+  Cluster cluster(options);
+
+  auto rng = std::make_shared<Rng>(seed);
+  ClosedLoopLoad load(&cluster.sim());
+  for (SiteId s = 0; s < 4; ++s) {
+    for (int c = 0; c < kClientsPerSite; ++c) {
+      WalterClient* client = cluster.AddClient(s);
+      if (use_cset) {
+        load.AddClient([client, rng](std::function<void(bool)> done) {
+          auto tx = std::make_shared<Tx>(client);
+          ObjectId counter{0, 500'000 + rng->Uniform(kCounters)};
+          tx->SetAdd(counter, ObjectId{77, rng->Next() % 1'000'000});
+          tx->Commit([tx, done = std::move(done)](Status st) { done(st.ok()); });
+        });
+      } else {
+        // Read-modify-write on a regular object (preferred at site 0).
+        load.AddClient([client, rng](std::function<void(bool)> done) {
+          auto tx = std::make_shared<Tx>(client);
+          ObjectId counter{0, 600'000 + rng->Uniform(kCounters)};
+          tx->Read(counter, [tx, counter, done = std::move(done)](
+                                Status st, std::optional<std::string> v) mutable {
+            if (!st.ok()) {
+              done(false);
+              return;
+            }
+            int64_t value = v ? std::strtoll(v->c_str(), nullptr, 10) : 0;
+            tx->Write(counter, std::to_string(value + 1));
+            tx->Commit([tx, done = std::move(done)](Status st) { done(st.ok()); });
+          });
+        });
+      }
+    }
+  }
+  LoadResult result = load.Run(Millis(500), Seconds(3));
+
+  Point p;
+  p.kops = result.ThroughputKops();
+  p.p50_ms = result.latency.Percentile(50) / 1000.0;
+  p.aborts = 0;
+  p.slow = 0;
+  for (SiteId s = 0; s < 4; ++s) {
+    p.aborts += cluster.server(s).stats().aborts;
+    p.slow += cluster.server(s).stats().slow_commits;
+  }
+  return p;
+}
+
+}  // namespace
+}  // namespace walter
+
+int main() {
+  using walter::TablePrinter;
+  std::printf("=== Ablation: cset vs read-modify-write for multi-site counters ===\n");
+  std::printf("(4 sites, %d shared counters preferred at VA, %d clients/site)\n\n",
+              walter::kCounters, walter::kClientsPerSite);
+  walter::Point cset = walter::RunVariant(true, 9200);
+  walter::Point rmw = walter::RunVariant(false, 9201);
+
+  TablePrinter table({"variant", "Kops/s", "p50 latency (ms)", "aborts", "slow commits"});
+  table.AddRow({"cset add", TablePrinter::Fmt(cset.kops), TablePrinter::Fmt(cset.p50_ms),
+                std::to_string(cset.aborts), std::to_string(cset.slow)});
+  table.AddRow({"regular RMW", TablePrinter::Fmt(rmw.kops), TablePrinter::Fmt(rmw.p50_ms),
+                std::to_string(rmw.aborts), std::to_string(rmw.slow)});
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Expected shape: csets commit locally (ms latency, zero aborts) at every\n"
+              "site; the regular-object variant pays WAN 2PC from 3 of 4 sites and aborts\n"
+              "under contention — the gap is the case for csets.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 18 — Fast commit latency CDF on EC2 and on the private cluster with
+// write caching on/off.
+//
+// Setup per Section 8.3: write-only transactions of 5 objects, issued at a
+// rate achieving ~70% of maximal throughput; latency measured from issuing the
+// commit to the server acknowledging it.
+//
+// Paper's result: EC2 99p = 20 ms, 99.9p = 27 ms; write-caching off keeps the
+// 99.9p under 90 ms. The tail comes from server queueing plus group-commit
+// flush waits.
+#include <cstdio>
+#include <memory>
+
+#include "bench/harness.h"
+
+namespace walter {
+namespace {
+
+constexpr uint64_t kKeys = 20'000;
+constexpr int kProbeClients = 64;
+
+LatencyRecorder RunConfig(const char* name, PerfModel perf, DiskConfig disk,
+                          const char* paper_note) {
+  ClusterOptions options;
+  options.num_sites = 4;
+  options.server.perf = perf;
+  options.server.disk = disk;
+  Cluster cluster(options);
+  WalterClient* setup = cluster.AddClient(0);
+  Populate(cluster, setup, 0, kKeys, 100, 20);
+
+  auto rng = std::make_shared<Rng>(17);
+
+  // Phase 1: measure the maximum throughput with a closed loop.
+  double max_tput = 0;
+  {
+    ClosedLoopLoad probe(&cluster.sim());
+    for (int c = 0; c < kProbeClients; ++c) {
+      probe.AddClient(WriteTxFactory(cluster.AddClient(0), 0, kKeys, 5, 100, rng));
+    }
+    max_tput = probe.Run(Millis(300), Seconds(1)).Throughput();
+  }
+
+  // Phase 2: open loop at 70% of max; collect the latency distribution.
+  OpenLoopLoad load(&cluster.sim(), 0.7 * max_tput,
+                    WriteTxFactory(cluster.AddClient(0), 0, kKeys, 5, 100, rng));
+  LoadResult result = load.Run(Millis(300), Seconds(4));
+
+  std::printf("%-18s max=%.1f Ktps, at 70%%: p50=%.1fms p90=%.1fms p99=%.1fms p99.9=%.1fms"
+              "   (paper: %s)\n",
+              name, max_tput / 1000.0, result.latency.Percentile(50) / 1000.0,
+              result.latency.Percentile(90) / 1000.0, result.latency.Percentile(99) / 1000.0,
+              result.latency.Percentile(99.9) / 1000.0, paper_note);
+  return std::move(result.latency);
+}
+
+}  // namespace
+}  // namespace walter
+
+int main() {
+  using namespace walter;
+  std::printf("=== Figure 18: fast commit latency (write-only tx of 5 objects, 70%% load) ===\n\n");
+  LatencyRecorder ec2 =
+      RunConfig("EC2", PerfModel::Ec2(), DiskConfig::Ec2(), "99p=20ms, 99.9p=27ms");
+  LatencyRecorder on = RunConfig("Write-caching on", PerfModel::PrivateCluster(),
+                                 DiskConfig::WriteCacheOn(), "lowest curve");
+  LatencyRecorder off = RunConfig("Write-caching off", PerfModel::PrivateCluster(),
+                                  DiskConfig::WriteCacheOff(), "99.9p < 90ms");
+  std::printf("\n");
+  PrintCdf("EC2", ec2);
+  PrintCdf("write-caching-on", on);
+  PrintCdf("write-caching-off", off);
+  std::printf("Expected shape: no cross-site coordination anywhere; write-cache-off is the\n"
+              "slowest curve but still commits locally in tens of milliseconds.\n");
+  return 0;
+}

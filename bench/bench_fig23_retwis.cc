@@ -1,0 +1,183 @@
+// Figure 23 — ReTwis throughput on Redis vs Walter, 1 and 2 sites.
+//
+// Setup per Section 8.7: both stores commit writes to memory; front-end web
+// servers (a fixed pool of workers per site) run the application logic and
+// issue storage operations in series — that worker pool is the PHP/Apache
+// stand-in. Workloads: status (read timeline), post, follow, and the mixed
+// workload (85% status, 7.5% post, 7.5% follow).
+//
+// Paper's result: with one site ReTwis-on-Walter is within 25% of
+// ReTwis-on-Redis (post: 4713 vs 5740 ops/s); with two sites Walter doubles
+// its one-site throughput (post: 9527 ops/s) — Redis cannot use a second
+// write site at all.
+// Substitution: 20,000 users instead of 500,000 (user count scales data
+// volume, not per-op cost); each user has ~4 followers.
+#include <cstdio>
+#include <memory>
+
+#include "bench/harness.h"
+#include "src/apps/retwis/retwis.h"
+
+namespace walter {
+namespace {
+
+constexpr uint64_t kUsers = 20'000;
+constexpr int kWorkersPerSite = 40;  // front-end worker pool ("PHP processes")
+constexpr SimDuration kWarmup = Millis(300);
+constexpr SimDuration kMeasure = Seconds(1.5);
+
+enum class Op { kStatus, kPost, kFollow, kMixed };
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kStatus:
+      return "status";
+    case Op::kPost:
+      return "post";
+    case Op::kFollow:
+      return "follow";
+    case Op::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+// Seeds follow edges so posts fan out (~4 followers per posting user), plus
+// some posts so status reads fetch real timelines.
+void SeedFollows(Simulator& sim, RetwisBackend& app, Rng& rng, uint64_t edges,
+                 uint64_t posts, size_t num_sites) {
+  for (uint64_t i = 0; i < edges; ++i) {
+    bool done = false;
+    app.Follow(rng.Uniform(kUsers), rng.Uniform(kUsers), [&](Status) { done = true; });
+    while (!done && sim.Step()) {
+    }
+  }
+  for (uint64_t i = 0; i < posts; ++i) {
+    bool done = false;
+    // Post for users homed at the seeding app's site (site 0) only.
+    uint64_t user = rng.Uniform(kUsers / num_sites) * num_sites;
+    app.Post(user, "seed post", [&](Status) { done = true; });
+    while (!done && sim.Step()) {
+    }
+  }
+}
+
+// Workers at `site` act for users homed there (user % num_sites == site), as
+// in the paper's deployment where a user always logs into her home site.
+OpFactory MakeOp(RetwisBackend* app, Op op, std::shared_ptr<Rng> rng, SiteId site,
+                 size_t num_sites) {
+  auto pick_user = [rng, site, num_sites]() {
+    return rng->Uniform(kUsers / num_sites) * num_sites + site;
+  };
+  auto status = [app, pick_user](std::function<void(bool)> done) {
+    app->Status(pick_user(), [done = std::move(done)](Status s, std::vector<std::string>) {
+      done(s.ok());
+    });
+  };
+  auto post = [app, pick_user](std::function<void(bool)> done) {
+    app->Post(pick_user(), "tweet!", [done = std::move(done)](Status s) { done(s.ok()); });
+  };
+  auto follow = [app, pick_user](std::function<void(bool)> done) {
+    app->Follow(pick_user(), pick_user(), [done = std::move(done)](Status s) { done(s.ok()); });
+  };
+  switch (op) {
+    case Op::kStatus:
+      return status;
+    case Op::kPost:
+      return post;
+    case Op::kFollow:
+      return follow;
+    case Op::kMixed:
+      return [rng, status, post, follow](std::function<void(bool)> done) {
+        double dice = rng->NextDouble();
+        if (dice < 0.85) {
+          status(std::move(done));
+        } else if (dice < 0.925) {
+          post(std::move(done));
+        } else {
+          follow(std::move(done));
+        }
+      };
+  }
+  return {};
+}
+
+double RunRedis(Op op, uint64_t seed) {
+  Simulator sim(seed);
+  Network net(&sim, Topology::Ec2Subset(1));
+  RedisServer::Options options;
+  options.site = 0;
+  RedisServer server(&sim, &net, options);
+  std::vector<std::unique_ptr<RedisClient>> clients;
+  std::vector<std::unique_ptr<RetwisOnRedis>> apps;
+  auto add_app = [&]() {
+    clients.push_back(std::make_unique<RedisClient>(
+        &net, 0, kClientPortBase + static_cast<uint32_t>(clients.size()), 0));
+    apps.push_back(std::make_unique<RetwisOnRedis>(clients.back().get()));
+    return apps.back().get();
+  };
+
+  Rng seed_rng(seed);
+  SeedFollows(sim, *add_app(), seed_rng, kUsers / 5, 2000, 1);
+
+  auto rng = std::make_shared<Rng>(seed + 1);
+  ClosedLoopLoad load(&sim);
+  for (int w = 0; w < kWorkersPerSite; ++w) {
+    load.AddClient(MakeOp(add_app(), op, rng, 0, 1));
+  }
+  return load.Run(kWarmup, kMeasure).Throughput();
+}
+
+double RunWalter(Op op, size_t num_sites, uint64_t seed) {
+  ClusterOptions options;
+  options.num_sites = num_sites;
+  options.seed = seed;
+  options.server.perf = PerfModel::Ec2();
+  options.server.disk = DiskConfig::Memory();  // §8.7: commit writes to memory
+  Cluster cluster(options);
+
+  std::vector<std::unique_ptr<RetwisOnWalter>> apps;
+  auto add_app = [&](SiteId s) {
+    apps.push_back(std::make_unique<RetwisOnWalter>(cluster.AddClient(s)));
+    return apps.back().get();
+  };
+
+  Rng seed_rng(seed);
+  SeedFollows(cluster.sim(), *add_app(0), seed_rng, kUsers / 5, 2000, num_sites);
+  cluster.RunFor(Seconds(2));  // seeding propagates
+
+  auto rng = std::make_shared<Rng>(seed + 1);
+  ClosedLoopLoad load(&cluster.sim());
+  for (SiteId s = 0; s < num_sites; ++s) {
+    for (int w = 0; w < kWorkersPerSite; ++w) {
+      load.AddClient(MakeOp(add_app(s), op, rng, s, num_sites));
+    }
+  }
+  return load.Run(kWarmup, kMeasure).Throughput();
+}
+
+}  // namespace
+}  // namespace walter
+
+int main() {
+  using walter::Op;
+  using walter::TablePrinter;
+  std::printf("=== Figure 23: ReTwis throughput, Redis vs Walter (ops/s) ===\n");
+  std::printf("(memory commit; mixed = 85%% status / 7.5%% post / 7.5%% follow)\n\n");
+
+  TablePrinter table({"workload", "Redis 1-site", "Walter 1-site", "Walter 2-sites",
+                      "paper (post row)"});
+  uint64_t seed = 2300;
+  for (Op op : {Op::kStatus, Op::kPost, Op::kFollow, Op::kMixed}) {
+    double redis = walter::RunRedis(op, seed++);
+    double w1 = walter::RunWalter(op, 1, seed++);
+    double w2 = walter::RunWalter(op, 2, seed++);
+    table.AddRow({walter::OpName(op), TablePrinter::Fmt(redis, 0), TablePrinter::Fmt(w1, 0),
+                  TablePrinter::Fmt(w2, 0),
+                  op == Op::kPost ? "5740 / 4713 / 9527" : ""});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Expected shape: Walter 1-site within ~25%% of Redis; Walter 2-sites about\n"
+              "twice Walter 1-site (Redis cannot write at a second site).\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+namespace walter {
+
+namespace {
+
+struct Window {
+  SimTime start = 0;
+  SimTime end = 0;
+  bool Contains(SimTime t) const { return t >= start && t < end; }
+};
+
+}  // namespace
+
+LoadResult ClosedLoopLoad::Run(SimDuration warmup, SimDuration measure) {
+  auto result = std::make_shared<LoadResult>();
+  auto window = std::make_shared<Window>();
+  window->start = sim_->Now() + warmup;
+  window->end = window->start + measure;
+  auto stopped = std::make_shared<bool>(false);
+
+  for (auto& factory : factories_) {
+    auto loop = std::make_shared<std::function<void()>>();
+    *loop = [this, factory, result, window, stopped, loop]() {
+      if (*stopped) {
+        return;
+      }
+      SimTime begin = sim_->Now();
+      factory([this, begin, result, window, stopped, loop](bool ok) {
+        SimTime now = sim_->Now();
+        if (window->Contains(begin)) {
+          if (ok) {
+            ++result->completed;
+            result->latency.Add(static_cast<double>(now - begin));
+          } else {
+            ++result->failed;
+          }
+        }
+        if (!*stopped) {
+          (*loop)();
+        }
+      });
+    };
+    (*loop)();
+  }
+
+  sim_->RunUntil(window->end);
+  *stopped = true;
+  // Drain in-flight operations so their callbacks do not dangle.
+  sim_->RunUntil(window->end + Seconds(5));
+  result->seconds = ToSeconds(measure);
+  return std::move(*result);
+}
+
+LoadResult OpenLoopLoad::Run(SimDuration warmup, SimDuration measure) {
+  auto result = std::make_shared<LoadResult>();
+  auto window = std::make_shared<Window>();
+  window->start = sim_->Now() + warmup;
+  window->end = window->start + measure;
+  auto stopped = std::make_shared<bool>(false);
+  double mean_gap_us = 1e6 / rate_;
+
+  auto arrival = std::make_shared<std::function<void()>>();
+  *arrival = [this, result, window, stopped, arrival, mean_gap_us]() {
+    if (*stopped) {
+      return;
+    }
+    SimTime begin = sim_->Now();
+    factory_([this, begin, result, window](bool ok) {
+      if (window->Contains(begin)) {
+        if (ok) {
+          ++result->completed;
+          result->latency.Add(static_cast<double>(sim_->Now() - begin));
+        } else {
+          ++result->failed;
+        }
+      }
+    });
+    SimDuration gap = static_cast<SimDuration>(sim_->rng().Exponential(mean_gap_us));
+    sim_->After(std::max<SimDuration>(gap, 1), *arrival);
+  };
+  (*arrival)();
+
+  sim_->RunUntil(window->end);
+  *stopped = true;
+  sim_->RunUntil(window->end + Seconds(5));
+  result->seconds = ToSeconds(measure);
+  return std::move(*result);
+}
+
+void Populate(Cluster& cluster, WalterClient* client, ContainerId container, uint64_t count,
+              size_t value_size, size_t batch) {
+  std::string value(value_size, 'x');
+  uint64_t next = 0;
+  while (next < count) {
+    size_t in_flight = 0;
+    for (size_t b = 0; b < batch && next < count; ++b, ++next) {
+      auto tx = std::make_shared<Tx>(client);
+      tx->Write(ObjectId{container, next}, value);
+      ++in_flight;
+      tx->Commit([tx, &in_flight](Status) { --in_flight; });
+    }
+    while (in_flight > 0 && cluster.sim().Step()) {
+    }
+  }
+}
+
+OpFactory ReadTxFactory(WalterClient* client, ContainerId container, uint64_t keys,
+                        size_t tx_size, std::shared_ptr<Rng> rng) {
+  return [client, container, keys, tx_size, rng](std::function<void(bool)> done) {
+    auto tx = std::make_shared<Tx>(client);
+    auto remaining = std::make_shared<size_t>(tx_size);
+    auto finish = std::make_shared<std::function<void(bool)>>(std::move(done));
+    auto step = std::make_shared<std::function<void()>>();
+    *step = [tx, container, keys, rng, remaining, step, finish]() {
+      if (*remaining == 0) {
+        tx->Commit([tx, finish](Status s) { (*finish)(s.ok()); });
+        return;
+      }
+      --*remaining;
+      ObjectId oid{container, rng->Uniform(keys)};
+      tx->Read(oid, [step, finish](Status s, std::optional<std::string>) {
+        if (s.ok()) {
+          (*step)();
+        } else {
+          (*finish)(false);
+        }
+      });
+    };
+    (*step)();
+  };
+}
+
+OpFactory WriteTxFactory(WalterClient* client, ContainerId container, uint64_t keys,
+                         size_t tx_size, size_t value_size, std::shared_ptr<Rng> rng) {
+  return [client, container, keys, tx_size, value_size, rng](std::function<void(bool)> done) {
+    auto tx = std::make_shared<Tx>(client);
+    std::string value(value_size, 'w');
+    // Distinct keys so a transaction never conflicts with itself.
+    uint64_t base = rng->Uniform(keys);
+    for (size_t i = 0; i < tx_size; ++i) {
+      tx->Write(ObjectId{container, (base + i * 7919) % keys}, value);
+    }
+    tx->Commit([tx, done = std::move(done)](Status s) { done(s.ok()); });
+  };
+}
+
+void PrintCdf(const std::string& name, LatencyRecorder& recorder, size_t points) {
+  std::printf("  CDF %s (latency_ms cum_fraction):\n", name.c_str());
+  for (const auto& [latency_us, fraction] : recorder.Cdf(points)) {
+    std::printf("    %10.2f  %.3f\n", latency_us / 1000.0, fraction);
+  }
+}
+
+std::string Ktps(double ops_per_sec) { return TablePrinter::Fmt(ops_per_sec / 1000.0, 1); }
+
+}  // namespace walter

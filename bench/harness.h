@@ -1,0 +1,89 @@
+// Benchmark harness: closed-loop and open-loop load drivers over the simulated
+// cluster, latency/throughput collection, and the workload helpers shared by
+// the per-figure benchmark binaries.
+//
+// Conventions (matching Section 8): throughput experiments run closed loops
+// with many clients per site ("issue transactions as fast as possible");
+// latency experiments run an open loop at a configurable fraction of the
+// measured maximum throughput (Figure 18 uses 70%). All times are virtual.
+#ifndef BENCH_HARNESS_H_
+#define BENCH_HARNESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/core/cluster.h"
+
+namespace walter {
+
+// Starts one operation; must invoke done(ok) exactly once when it completes.
+using OpFactory = std::function<void(std::function<void(bool ok)> done)>;
+
+struct LoadResult {
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  double seconds = 0;
+  LatencyRecorder latency;  // per-op latency in microseconds (measure window)
+
+  double Throughput() const { return seconds > 0 ? completed / seconds : 0; }
+  double ThroughputKops() const { return Throughput() / 1000.0; }
+};
+
+// Drives registered client loops as fast as each completes, measuring during
+// [warmup, warmup+measure).
+class ClosedLoopLoad {
+ public:
+  explicit ClosedLoopLoad(Simulator* sim) : sim_(sim) {}
+
+  void AddClient(OpFactory factory) { factories_.push_back(std::move(factory)); }
+
+  LoadResult Run(SimDuration warmup, SimDuration measure);
+
+ private:
+  Simulator* sim_;
+  std::vector<OpFactory> factories_;
+};
+
+// Poisson arrivals at `rate` ops/sec; each arrival runs the factory once.
+class OpenLoopLoad {
+ public:
+  OpenLoopLoad(Simulator* sim, double rate_per_sec, OpFactory factory)
+      : sim_(sim), rate_(rate_per_sec), factory_(std::move(factory)) {}
+
+  LoadResult Run(SimDuration warmup, SimDuration measure);
+
+ private:
+  Simulator* sim_;
+  double rate_;
+  OpFactory factory_;
+};
+
+// --- Workload helpers ---------------------------------------------------------
+
+// Commits `count` objects of `value_size` bytes into `container`, local ids
+// [0, count), through real transactions at the container's preferred site.
+void Populate(Cluster& cluster, WalterClient* client, ContainerId container, uint64_t count,
+              size_t value_size, size_t batch = 10);
+
+// Factories for the microbenchmark transactions of Sections 8.2-8.5: read-only
+// or write-only transactions touching `tx_size` random 100-byte objects out of
+// `keys` in `container`.
+OpFactory ReadTxFactory(WalterClient* client, ContainerId container, uint64_t keys,
+                        size_t tx_size, std::shared_ptr<Rng> rng);
+OpFactory WriteTxFactory(WalterClient* client, ContainerId container, uint64_t keys,
+                         size_t tx_size, size_t value_size, std::shared_ptr<Rng> rng);
+
+// Prints "name: <cdf>" as tab-separated (latency_ms, fraction) rows, for
+// side-by-side comparison with the paper's CDF figures.
+void PrintCdf(const std::string& name, LatencyRecorder& recorder, size_t points = 20);
+
+// Formats a throughput in Ktps with one decimal.
+std::string Ktps(double ops_per_sec);
+
+}  // namespace walter
+
+#endif  // BENCH_HARNESS_H_

@@ -1,0 +1,172 @@
+#include "src/apps/retwis/retwis.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace walter {
+
+// --- Walter backend ----------------------------------------------------------
+
+void RetwisOnWalter::Post(UserId user, std::string text, DoneCallback done) {
+  // One transaction: read the follower cset, write the message under a fresh
+  // post id, and add the id to the author's and every follower's timeline.
+  auto tx = std::make_shared<Tx>(client_);
+  tx->SetRead(FollowersOid(user), [this, tx, user, text = std::move(text),
+                                   done = std::move(done)](walter::Status s,
+                                                           CountingSet followers) mutable {
+    if (!s.ok()) {
+      done(std::move(s));
+      return;
+    }
+    ObjectId post = client_->NewId(UserContainer(user));
+    tx->Write(post, std::move(text));
+    tx->SetAdd(TimelineOid(user), post);
+    for (const ObjectId& follower_profile : followers.PresentElements()) {
+      // Follower csets store the follower's user id in the `local` field.
+      tx->SetAdd(TimelineOid(follower_profile.local), post);
+    }
+    tx->Commit([tx, done = std::move(done)](walter::Status s) { done(std::move(s)); });
+  });
+}
+
+void RetwisOnWalter::Follow(UserId follower, UserId followee, DoneCallback done) {
+  auto tx = std::make_shared<Tx>(client_);
+  tx->SetAdd(FollowersOid(followee), ObjectId{0, follower});
+  tx->SetAdd(FollowingOid(follower), ObjectId{0, followee});
+  tx->Commit([tx, done = std::move(done)](walter::Status s) { done(std::move(s)); });
+}
+
+void RetwisOnWalter::Status(UserId user, TimelineCallback done) {
+  // Read the timeline cset, pick the 10 most recent post ids (ids are minted
+  // monotonically per client, so larger local id ~ more recent), and fetch
+  // their bodies in one multi-object RPC (Section 6's batched reads).
+  auto tx = std::make_shared<Tx>(client_);
+  tx->SetRead(TimelineOid(user), [tx, done = std::move(done)](walter::Status s,
+                                                              CountingSet timeline) mutable {
+    if (!s.ok()) {
+      done(std::move(s), {});
+      return;
+    }
+    std::vector<ObjectId> posts = timeline.PresentElements();
+    std::sort(posts.begin(), posts.end(),
+              [](const ObjectId& a, const ObjectId& b) { return a.local > b.local; });
+    if (posts.size() > 10) {
+      posts.resize(10);
+    }
+    if (posts.empty()) {
+      done(walter::Status::Ok(), {});
+      return;
+    }
+    tx->MultiRead(posts, [tx, done = std::move(done)](
+                             walter::Status s, std::vector<std::optional<std::string>> values) {
+      if (!s.ok()) {
+        done(std::move(s), {});
+        return;
+      }
+      std::vector<std::string> out;
+      for (auto& v : values) {
+        if (v) {
+          out.push_back(std::move(*v));
+        }
+      }
+      done(walter::Status::Ok(), std::move(out));
+    });
+  });
+}
+
+// --- Redis backend -----------------------------------------------------------
+
+namespace {
+std::string PostKey(int64_t id) { return "post:" + std::to_string(id); }
+std::string TimelineKey(RetwisBackend::UserId u) { return "timeline:" + std::to_string(u); }
+std::string FollowersKey(RetwisBackend::UserId u) { return "followers:" + std::to_string(u); }
+std::string FollowingKey(RetwisBackend::UserId u) { return "following:" + std::to_string(u); }
+}  // namespace
+
+void RetwisOnRedis::Post(UserId user, std::string text, DoneCallback done) {
+  // Original ReTwis flow: INCR the global post counter, SET the post body,
+  // then LPUSH the id onto the author's and each follower's timeline.
+  client_->Incr("next_post_id", [this, user, text = std::move(text),
+                                 done = std::move(done)](walter::Status s, int64_t id) mutable {
+    if (!s.ok()) {
+      done(std::move(s));
+      return;
+    }
+    client_->Set(PostKey(id), std::move(text), [this, user, id, done = std::move(done)](
+                                                   walter::Status s) mutable {
+      if (!s.ok()) {
+        done(std::move(s));
+        return;
+      }
+      client_->SMembers(
+          FollowersKey(user),
+          [this, user, id, done = std::move(done)](walter::Status s,
+                                                   std::vector<std::string> followers) mutable {
+            if (!s.ok()) {
+              done(std::move(s));
+              return;
+            }
+            auto remaining = std::make_shared<size_t>(followers.size() + 1);
+            auto finish = std::make_shared<DoneCallback>(std::move(done));
+            auto on_push = [remaining, finish](walter::Status s) {
+              if (--*remaining == 0) {
+                (*finish)(walter::Status::Ok());
+              }
+            };
+            client_->LPush(TimelineKey(user), std::to_string(id), on_push);
+            for (const auto& follower : followers) {
+              client_->LPush("timeline:" + follower, std::to_string(id), on_push);
+            }
+          });
+    });
+  });
+}
+
+void RetwisOnRedis::Follow(UserId follower, UserId followee, DoneCallback done) {
+  client_->SAdd(FollowersKey(followee), std::to_string(follower),
+                [this, follower, followee, done = std::move(done)](walter::Status s) mutable {
+                  if (!s.ok()) {
+                    done(std::move(s));
+                    return;
+                  }
+                  client_->SAdd(FollowingKey(follower), std::to_string(followee),
+                                [done = std::move(done)](walter::Status s) { done(std::move(s)); });
+                });
+}
+
+void RetwisOnRedis::Status(UserId user, TimelineCallback done) {
+  client_->LRange(TimelineKey(user), 10, [this, done = std::move(done)](
+                                             walter::Status s, std::vector<std::string> ids) mutable {
+    if (!s.ok()) {
+      done(std::move(s), {});
+      return;
+    }
+    if (ids.empty()) {
+      done(walter::Status::Ok(), {});
+      return;
+    }
+    // One MGET for all post bodies (the original ReTwis pipelines this too).
+    std::vector<std::string> keys;
+    keys.reserve(ids.size());
+    for (const auto& id : ids) {
+      keys.push_back("post:" + id);
+    }
+    client_->MGet(std::move(keys),
+                  [done = std::move(done)](walter::Status s,
+                                           std::vector<std::string> values) mutable {
+                    if (!s.ok()) {
+                      done(std::move(s), {});
+                      return;
+                    }
+                    std::vector<std::string> out;
+                    for (auto& v : values) {
+                      if (!v.empty()) {
+                        out.push_back(std::move(v));
+                      }
+                    }
+                    done(walter::Status::Ok(), std::move(out));
+                  });
+  });
+}
+
+}  // namespace walter

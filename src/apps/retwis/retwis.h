@@ -1,0 +1,78 @@
+// ReTwis: the Twitter clone of Section 7, ported from Redis to Walter.
+//
+// The original ReTwis stores each user's timeline in a Redis list, generates
+// post ids with an atomic INCR, and appends the post id to every follower's
+// timeline. The Walter port (Section 7) replaces the Redis list with a cset so
+// different sites can add posts to a timeline without conflicts, and uses a
+// transaction to write the message and fan it out atomically.
+//
+// RetwisBackend abstracts the storage layer so the same application code runs
+// on Walter or on the Redis-like baseline — exactly the comparison of
+// Section 8.7 / Figure 23.
+#ifndef SRC_APPS_RETWIS_RETWIS_H_
+#define SRC_APPS_RETWIS_RETWIS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baseline/redis_store.h"
+#include "src/core/client.h"
+
+namespace walter {
+
+class RetwisBackend {
+ public:
+  using UserId = uint64_t;
+  using DoneCallback = std::function<void(Status)>;
+  using TimelineCallback = std::function<void(Status, std::vector<std::string>)>;
+
+  virtual ~RetwisBackend() = default;
+
+  // Posts a message: stores it under a fresh post id and pushes the id onto
+  // the timeline of the author and every follower.
+  virtual void Post(UserId user, std::string text, DoneCallback done) = 0;
+
+  // follower starts following followee.
+  virtual void Follow(UserId follower, UserId followee, DoneCallback done) = 0;
+
+  // The 10 most recent messages of the user's timeline.
+  virtual void Status(UserId user, TimelineCallback done) = 0;
+};
+
+// Walter backend: timelines and follower lists are csets; posts are regular
+// objects in the author's container.
+class RetwisOnWalter : public RetwisBackend {
+ public:
+  explicit RetwisOnWalter(WalterClient* client) : client_(client) {}
+
+  static ContainerId UserContainer(UserId user) { return user; }
+  static ObjectId TimelineOid(UserId user) { return {UserContainer(user), 10}; }
+  static ObjectId FollowersOid(UserId user) { return {UserContainer(user), 11}; }
+  static ObjectId FollowingOid(UserId user) { return {UserContainer(user), 12}; }
+
+  void Post(UserId user, std::string text, DoneCallback done) override;
+  void Follow(UserId follower, UserId followee, DoneCallback done) override;
+  void Status(UserId user, TimelineCallback done) override;
+
+ private:
+  WalterClient* client_;
+};
+
+// Redis backend: the original ReTwis data layout (lists, sets, INCR counter).
+class RetwisOnRedis : public RetwisBackend {
+ public:
+  explicit RetwisOnRedis(RedisClient* client) : client_(client) {}
+
+  void Post(UserId user, std::string text, DoneCallback done) override;
+  void Follow(UserId follower, UserId followee, DoneCallback done) override;
+  void Status(UserId user, TimelineCallback done) override;
+
+ private:
+  RedisClient* client_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_APPS_RETWIS_RETWIS_H_

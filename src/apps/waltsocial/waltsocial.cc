@@ -1,0 +1,162 @@
+#include "src/apps/waltsocial/waltsocial.h"
+
+#include <memory>
+#include <utility>
+
+namespace walter {
+
+void WaltSocial::CreateUser(UserId user, std::string profile, DoneCallback done) {
+  auto tx = std::make_shared<Tx>(client_);
+  tx->Write(ProfileOid(user), std::move(profile));
+  tx->Commit([tx, done = std::move(done)](Status s) { done(std::move(s)); });
+}
+
+void WaltSocial::Befriend(UserId a, UserId b, DoneCallback done) {
+  // Figure 15: read both profiles, then add each profile oid to the other's
+  // friend list — atomically, so there is never a one-sided friendship.
+  auto tx = std::make_shared<Tx>(client_);
+  tx->Read(ProfileOid(a), [this, tx, a, b, done = std::move(done)](
+                              Status s, std::optional<std::string>) mutable {
+    if (!s.ok()) {
+      done(std::move(s));
+      return;
+    }
+    tx->Read(ProfileOid(b), [tx, a, b, done = std::move(done)](
+                                Status s, std::optional<std::string>) mutable {
+      if (!s.ok()) {
+        done(std::move(s));
+        return;
+      }
+      tx->SetAdd(FriendListOid(a), ProfileOid(b));
+      tx->SetAdd(FriendListOid(b), ProfileOid(a));
+      tx->Commit([tx, done = std::move(done)](Status s) { done(std::move(s)); });
+    });
+  });
+}
+
+void WaltSocial::Unfriend(UserId a, UserId b, DoneCallback done) {
+  auto tx = std::make_shared<Tx>(client_);
+  tx->SetDel(FriendListOid(a), ProfileOid(b));
+  tx->SetDel(FriendListOid(b), ProfileOid(a));
+  tx->Commit([tx, done = std::move(done)](Status s) { done(std::move(s)); });
+}
+
+void WaltSocial::StatusUpdate(UserId user, std::string text, DoneCallback done) {
+  // Reads 1 object, writes 2, updates 2 csets (Figure 21's footprint).
+  auto tx = std::make_shared<Tx>(client_);
+  tx->Read(ProfileOid(user), [this, tx, user, text = std::move(text),
+                              done = std::move(done)](Status s,
+                                                      std::optional<std::string> profile) mutable {
+    if (!s.ok()) {
+      done(std::move(s));
+      return;
+    }
+    ObjectId status_oid = client_->NewId(UserContainer(user));
+    tx->Write(status_oid, std::move(text));
+    tx->Write(ProfileOid(user), profile.value_or(""));  // refresh (e.g. last-status)
+    tx->SetAdd(MessageListOid(user), status_oid);       // appears on the user's wall
+    tx->SetAdd(EventListOid(user), status_oid);         // and in her activity history
+    tx->Commit([tx, done = std::move(done)](Status s) { done(std::move(s)); });
+  });
+}
+
+void WaltSocial::PostMessage(UserId from, UserId to, std::string text, DoneCallback done) {
+  // Reads both profiles, writes the message and a notification object, adds
+  // the message to the recipient's wall and the sender's activity history.
+  auto tx = std::make_shared<Tx>(client_);
+  tx->Read(ProfileOid(from), [this, tx, from, to, text = std::move(text),
+                              done = std::move(done)](Status s,
+                                                      std::optional<std::string>) mutable {
+    if (!s.ok()) {
+      done(std::move(s));
+      return;
+    }
+    tx->Read(ProfileOid(to), [this, tx, from, to, text = std::move(text),
+                              done = std::move(done)](Status s,
+                                                      std::optional<std::string>) mutable {
+      if (!s.ok()) {
+        done(std::move(s));
+        return;
+      }
+      // Both written objects live in the SENDER's container so the transaction
+      // fast-commits; only csets of the recipient are touched. This is how the
+      // paper's applications avoid slow commit entirely (Section 6).
+      ObjectId message_oid = client_->NewId(UserContainer(from));
+      ObjectId notify_oid = client_->NewId(UserContainer(from));
+      tx->Write(message_oid, std::move(text));
+      tx->Write(notify_oid, "sent");
+      tx->SetAdd(MessageListOid(to), message_oid);
+      tx->SetAdd(EventListOid(from), message_oid);
+      tx->Commit([tx, done = std::move(done)](Status s) { done(std::move(s)); });
+    });
+  });
+}
+
+void WaltSocial::ReadInfo(UserId user, InfoCallback done) {
+  // One snapshot across profile, friend list and wall (3 reads, Figure 21).
+  auto tx = std::make_shared<Tx>(client_);
+  auto info = std::make_shared<UserInfo>();
+  tx->Read(ProfileOid(user), [tx, info, user, done = std::move(done)](
+                                 Status s, std::optional<std::string> profile) mutable {
+    if (!s.ok()) {
+      done(std::move(s), UserInfo{});
+      return;
+    }
+    info->profile = std::move(profile);
+    tx->SetRead(FriendListOid(user), [tx, info, user, done = std::move(done)](
+                                         Status s, CountingSet friends) mutable {
+      if (!s.ok()) {
+        done(std::move(s), UserInfo{});
+        return;
+      }
+      info->friends = std::move(friends);
+      tx->SetRead(MessageListOid(user), [tx, info, done = std::move(done)](
+                                            Status s, CountingSet messages) mutable {
+        if (!s.ok()) {
+          done(std::move(s), UserInfo{});
+          return;
+        }
+        info->messages = std::move(messages);
+        done(Status::Ok(), std::move(*info));
+      });
+    });
+  });
+}
+
+void WaltSocial::AddAlbum(UserId user, std::string album_name, OidCallback done) {
+  // Creates the album object, links it from the album list, and posts the
+  // news to the user's wall — atomically, so nobody sees a wall post about an
+  // album that does not exist (the Section 2 motivating example).
+  auto tx = std::make_shared<Tx>(client_);
+  ObjectId album_meta = client_->NewId(UserContainer(user));
+  ObjectId album_cset = client_->NewId(UserContainer(user));
+  tx->Write(album_meta, std::move(album_name));
+  tx->SetAdd(AlbumListOid(user), album_cset);
+  tx->SetAdd(MessageListOid(user), album_meta);  // wall post about the album
+  tx->Commit([tx, album_cset, done = std::move(done)](Status s) {
+    done(std::move(s), album_cset);
+  });
+}
+
+void WaltSocial::AddPhoto(UserId user, ObjectId album, std::string photo_bytes,
+                          OidCallback done) {
+  auto tx = std::make_shared<Tx>(client_);
+  ObjectId photo = client_->NewId(UserContainer(user));
+  tx->Write(photo, std::move(photo_bytes));
+  tx->SetAdd(album, photo);
+  tx->SetAdd(EventListOid(user), photo);
+  tx->Commit([tx, photo, done = std::move(done)](Status s) { done(std::move(s), photo); });
+}
+
+void WaltSocial::ListAlbumPhotos(UserId user, ObjectId album, AlbumCallback done) {
+  auto tx = std::make_shared<Tx>(client_);
+  tx->SetRead(album, [tx, done = std::move(done)](Status s, CountingSet photos) {
+    if (!s.ok()) {
+      done(std::move(s), {});
+      return;
+    }
+    done(Status::Ok(), photos.PresentElements());
+  });
+}
+
+}  // namespace walter

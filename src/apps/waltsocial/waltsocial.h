@@ -1,0 +1,85 @@
+// WaltSocial: the Facebook-like social networking application of Section 7.
+//
+// Data model (one container per user; the user's home site is its preferred
+// site, so her actions fast-commit):
+//   profile       regular object with personal information
+//   friend-list   cset of friends' profile oids
+//   message-list  cset of received message oids (the user's wall)
+//   event-list    cset of oids in the user's activity history
+//   album-list    cset of album oids; each album is itself a cset of photo oids
+//
+// Operations follow Section 7 and the transaction footprints of Figure 21:
+//   read-info      reads 3 objects/csets, writes nothing
+//   befriend       reads 2 profiles, adds to 2 csets (Figure 15's transaction)
+//   status-update  reads 1, writes 2 objects, adds to 2 csets
+//   post-message   reads 2, writes 2 objects, adds to 2 csets
+//
+// All csets: concurrent befriends/posts from different sites never conflict.
+#ifndef SRC_APPS_WALTSOCIAL_WALTSOCIAL_H_
+#define SRC_APPS_WALTSOCIAL_WALTSOCIAL_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/client.h"
+
+namespace walter {
+
+using UserId = uint64_t;
+
+class WaltSocial {
+ public:
+  explicit WaltSocial(WalterClient* client) : client_(client) {}
+
+  // Object layout -------------------------------------------------------------
+  // A user's container id is her user id; with the default directory layout the
+  // preferred site is user % num_sites, i.e. users are homed round-robin.
+  static ContainerId UserContainer(UserId user) { return user; }
+  static ObjectId ProfileOid(UserId user) { return {UserContainer(user), 1}; }
+  static ObjectId FriendListOid(UserId user) { return {UserContainer(user), 2}; }
+  static ObjectId MessageListOid(UserId user) { return {UserContainer(user), 3}; }
+  static ObjectId EventListOid(UserId user) { return {UserContainer(user), 4}; }
+  static ObjectId AlbumListOid(UserId user) { return {UserContainer(user), 5}; }
+
+  using DoneCallback = std::function<void(Status)>;
+
+  // Creates the user's profile object.
+  void CreateUser(UserId user, std::string profile, DoneCallback done);
+
+  // Figure 15: symmetric friend-list update in one transaction.
+  void Befriend(UserId a, UserId b, DoneCallback done);
+  void Unfriend(UserId a, UserId b, DoneCallback done);
+
+  // Posts a status update: new status object + profile refresh + wall/event
+  // cset additions.
+  void StatusUpdate(UserId user, std::string text, DoneCallback done);
+
+  // Posts a message from one user to another's wall.
+  void PostMessage(UserId from, UserId to, std::string text, DoneCallback done);
+
+  struct UserInfo {
+    std::optional<std::string> profile;
+    CountingSet friends;
+    CountingSet messages;
+  };
+  using InfoCallback = std::function<void(Status, UserInfo)>;
+
+  // Reads a user's profile, friend list and wall in one snapshot.
+  void ReadInfo(UserId user, InfoCallback done);
+
+  // Album operations (Section 7's album-list of csets of photo oids).
+  using OidCallback = std::function<void(Status, ObjectId)>;
+  void AddAlbum(UserId user, std::string album_name, OidCallback done);
+  void AddPhoto(UserId user, ObjectId album, std::string photo_bytes, OidCallback done);
+  using AlbumCallback = std::function<void(Status, std::vector<ObjectId>)>;
+  void ListAlbumPhotos(UserId user, ObjectId album, AlbumCallback done);
+
+ private:
+  WalterClient* client_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_APPS_WALTSOCIAL_WALTSOCIAL_H_

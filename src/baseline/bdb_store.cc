@@ -1,0 +1,351 @@
+#include "src/baseline/bdb_store.h"
+
+#include <utility>
+
+#include "src/common/bytes.h"
+#include "src/common/logging.h"
+
+namespace walter {
+
+namespace {
+
+enum BdbOp : uint8_t {
+  kBdbGet = 1,     // single-op read transaction
+  kBdbPut = 2,     // single-op write transaction
+  kBdbBegin = 3,
+  kBdbRead = 4,
+  kBdbWrite = 5,
+  kBdbCommit = 6,
+};
+
+enum BdbMessage : uint32_t {
+  kBdbClientOp = 1,
+  kBdbShip = 2,
+};
+
+struct Request {
+  uint8_t op = 0;
+  uint64_t txn = 0;
+  std::string key;
+  std::string value;
+};
+
+std::string EncodeRequest(const Request& r) {
+  ByteWriter w;
+  w.PutU8(r.op);
+  w.PutU64(r.txn);
+  w.PutString(r.key);
+  w.PutString(r.value);
+  return w.Take();
+}
+
+Request DecodeRequest(std::string_view b) {
+  ByteReader r(b);
+  Request req;
+  req.op = r.GetU8();
+  req.txn = r.GetU64();
+  req.key = r.GetString();
+  req.value = r.GetString();
+  return req;
+}
+
+struct Response {
+  uint8_t status = 0;  // StatusCode
+  bool found = false;
+  std::string value;
+  uint64_t txn = 0;
+};
+
+std::string EncodeResponse(const Response& r) {
+  ByteWriter w;
+  w.PutU8(r.status);
+  w.PutU8(r.found ? 1 : 0);
+  w.PutString(r.value);
+  w.PutU64(r.txn);
+  return w.Take();
+}
+
+Response DecodeResponse(std::string_view b) {
+  ByteReader r(b);
+  Response resp;
+  resp.status = r.GetU8();
+  resp.found = r.GetU8() != 0;
+  resp.value = r.GetString();
+  resp.txn = r.GetU64();
+  return resp;
+}
+
+}  // namespace
+
+BdbServer::BdbServer(Simulator* sim, Network* net, Options options)
+    : sim_(sim),
+      options_(std::move(options)),
+      endpoint_(net, Address{options_.site, kBdbPort}),
+      cpu_(sim, 1, "bdb"),
+      disk_(sim, options_.disk) {
+  endpoint_.Handle(kBdbClientOp, [this](const Message& m, RpcEndpoint::ReplyFn r) {
+    HandleOp(m, std::move(r));
+  });
+  endpoint_.Handle(kBdbShip, [this](const Message& m, RpcEndpoint::ReplyFn) { HandleShip(m); });
+  if (options_.is_primary && !options_.mirrors.empty()) {
+    ShipLoop();
+  }
+}
+
+std::optional<std::string> BdbServer::ReadAt(const std::string& key, uint64_t snapshot) const {
+  auto it = tree_.find(key);
+  if (it == tree_.end()) {
+    return std::nullopt;
+  }
+  // Newest version at or below the snapshot.
+  for (auto v = it->second.rbegin(); v != it->second.rend(); ++v) {
+    if (v->version <= snapshot) {
+      return v->value;
+    }
+  }
+  return std::nullopt;
+}
+
+void BdbServer::HandleOp(const Message& msg, RpcEndpoint::ReplyFn reply) {
+  Request req = DecodeRequest(msg.payload);
+  SimDuration cost = req.op == kBdbGet || req.op == kBdbRead || req.op == kBdbBegin
+                         ? options_.perf.read_op
+                         : options_.perf.write_op;
+  if (options_.perf.jitter > 0) {
+    cost = static_cast<SimDuration>(static_cast<double>(cost) *
+                                    (1.0 + options_.perf.jitter * sim_->rng().NextDouble()));
+  }
+  cpu_.Execute(cost, [this, req = std::move(req), reply = std::move(reply)]() {
+    Response resp;
+    // By value: the disk-flush continuation may outlive this callback.
+    auto respond = [reply](Response r) {
+      Message m;
+      m.payload = EncodeResponse(r);
+      reply(std::move(m));
+    };
+    switch (req.op) {
+      case kBdbGet: {
+        auto v = ReadAt(req.key, commit_counter_);
+        resp.found = v.has_value();
+        if (v) {
+          resp.value = std::move(*v);
+        }
+        respond(std::move(resp));
+        return;
+      }
+      case kBdbPut: {
+        if (!options_.is_primary) {
+          resp.status = static_cast<uint8_t>(StatusCode::kFailedPrecondition);
+          respond(std::move(resp));
+          return;
+        }
+        uint64_t version = ++commit_counter_;
+        tree_[req.key].push_back(VersionedValue{version, req.value});
+        unshipped_.emplace_back(req.key, req.value);
+        disk_.Flush([this, respond = std::move(respond), resp = std::move(resp)]() mutable {
+          ++committed_;
+          respond(std::move(resp));
+        });
+        return;
+      }
+      case kBdbBegin: {
+        uint64_t id = next_txn_++;
+        active_[id] = ActiveTx{commit_counter_, {}};
+        resp.txn = id;
+        respond(std::move(resp));
+        return;
+      }
+      case kBdbRead: {
+        auto it = active_.find(req.txn);
+        if (it == active_.end()) {
+          resp.status = static_cast<uint8_t>(StatusCode::kNotFound);
+        } else {
+          for (auto w = it->second.writes.rbegin(); w != it->second.writes.rend(); ++w) {
+            if (w->first == req.key) {
+              resp.found = true;
+              resp.value = w->second;
+              respond(std::move(resp));
+              return;
+            }
+          }
+          auto v = ReadAt(req.key, it->second.snapshot);
+          resp.found = v.has_value();
+          if (v) {
+            resp.value = std::move(*v);
+          }
+        }
+        respond(std::move(resp));
+        return;
+      }
+      case kBdbWrite: {
+        auto it = active_.find(req.txn);
+        if (it == active_.end() || !options_.is_primary) {
+          resp.status = static_cast<uint8_t>(StatusCode::kFailedPrecondition);
+        } else {
+          it->second.writes.emplace_back(req.key, req.value);
+        }
+        respond(std::move(resp));
+        return;
+      }
+      case kBdbCommit: {
+        auto it = active_.find(req.txn);
+        if (it == active_.end()) {
+          resp.status = static_cast<uint8_t>(StatusCode::kNotFound);
+          respond(std::move(resp));
+          return;
+        }
+        ActiveTx txn = std::move(it->second);
+        active_.erase(it);
+        // Snapshot-isolation first-committer-wins: abort if any written key
+        // gained a version after our snapshot.
+        for (const auto& [key, value] : txn.writes) {
+          auto t = tree_.find(key);
+          if (t != tree_.end() && !t->second.empty() &&
+              t->second.back().version > txn.snapshot) {
+            ++aborted_;
+            resp.status = static_cast<uint8_t>(StatusCode::kAborted);
+            respond(std::move(resp));
+            return;
+          }
+        }
+        uint64_t version = ++commit_counter_;
+        for (auto& [key, value] : txn.writes) {
+          tree_[key].push_back(VersionedValue{version, value});
+          unshipped_.emplace_back(key, value);
+        }
+        disk_.Flush([this, respond = std::move(respond), resp = std::move(resp)]() mutable {
+          ++committed_;
+          respond(std::move(resp));
+        });
+        return;
+      }
+      default:
+        resp.status = static_cast<uint8_t>(StatusCode::kInvalidArgument);
+        respond(std::move(resp));
+    }
+  });
+}
+
+void BdbServer::ShipLoop() {
+  sim_->After(options_.ship_interval, [this]() {
+    if (!unshipped_.empty()) {
+      ByteWriter w;
+      w.PutU32(static_cast<uint32_t>(unshipped_.size()));
+      for (const auto& [key, value] : unshipped_) {
+        w.PutString(key);
+        w.PutString(value);
+      }
+      unshipped_.clear();
+      for (SiteId mirror : options_.mirrors) {
+        endpoint_.Send(Address{mirror, kBdbPort}, kBdbShip, w.data());
+      }
+    }
+    ShipLoop();
+  });
+}
+
+void BdbServer::HandleShip(const Message& msg) {
+  ByteReader r(msg.payload);
+  uint32_t n = r.GetU32();
+  for (uint32_t i = 0; i < n && !r.failed(); ++i) {
+    std::string key = r.GetString();
+    std::string value = r.GetString();
+    tree_[key].push_back(VersionedValue{++commit_counter_, std::move(value)});
+    ++applied_from_primary_;
+  }
+}
+
+BdbClient::BdbClient(Network* net, SiteId site, uint32_t port, SiteId primary_site)
+    : endpoint_(net, Address{site, port}), primary_site_(primary_site) {}
+
+void BdbClient::Call(std::string payload, std::function<void(Status, const Message&)> cb) {
+  endpoint_.Call(Address{primary_site_, kBdbPort}, kBdbClientOp, std::move(payload),
+                 std::move(cb));
+}
+
+void BdbClient::Get(const std::string& key, ReadCallback cb) {
+  Request req;
+  req.op = kBdbGet;
+  req.key = key;
+  Call(EncodeRequest(req), [cb = std::move(cb)](Status s, const Message& m) {
+    if (!s.ok()) {
+      cb(s, std::nullopt);
+      return;
+    }
+    Response resp = DecodeResponse(m.payload);
+    cb(Status::Ok(), resp.found ? std::optional<std::string>(resp.value) : std::nullopt);
+  });
+}
+
+void BdbClient::Put(const std::string& key, std::string value, CommitCallback cb) {
+  Request req;
+  req.op = kBdbPut;
+  req.key = key;
+  req.value = std::move(value);
+  Call(EncodeRequest(req), [cb = std::move(cb)](Status s, const Message& m) {
+    if (!s.ok()) {
+      cb(s);
+      return;
+    }
+    Response resp = DecodeResponse(m.payload);
+    cb(Status(static_cast<StatusCode>(resp.status), ""));
+  });
+}
+
+void BdbClient::Begin(std::function<void(Status, Txn)> cb) {
+  Request req;
+  req.op = kBdbBegin;
+  Call(EncodeRequest(req), [cb = std::move(cb)](Status s, const Message& m) {
+    if (!s.ok()) {
+      cb(s, Txn{});
+      return;
+    }
+    Response resp = DecodeResponse(m.payload);
+    cb(Status::Ok(), Txn{resp.txn});
+  });
+}
+
+void BdbClient::Read(Txn txn, const std::string& key, ReadCallback cb) {
+  Request req;
+  req.op = kBdbRead;
+  req.txn = txn.id;
+  req.key = key;
+  Call(EncodeRequest(req), [cb = std::move(cb)](Status s, const Message& m) {
+    if (!s.ok()) {
+      cb(s, std::nullopt);
+      return;
+    }
+    Response resp = DecodeResponse(m.payload);
+    cb(Status::Ok(), resp.found ? std::optional<std::string>(resp.value) : std::nullopt);
+  });
+}
+
+void BdbClient::Write(Txn txn, const std::string& key, std::string value, CommitCallback cb) {
+  Request req;
+  req.op = kBdbWrite;
+  req.txn = txn.id;
+  req.key = key;
+  req.value = std::move(value);
+  Call(EncodeRequest(req), [cb = std::move(cb)](Status s, const Message& m) {
+    if (!s.ok()) {
+      cb(s);
+      return;
+    }
+    cb(Status(static_cast<StatusCode>(DecodeResponse(m.payload).status), ""));
+  });
+}
+
+void BdbClient::Commit(Txn txn, CommitCallback cb) {
+  Request req;
+  req.op = kBdbCommit;
+  req.txn = txn.id;
+  Call(EncodeRequest(req), [cb = std::move(cb)](Status s, const Message& m) {
+    if (!s.ok()) {
+      cb(s);
+      return;
+    }
+    cb(Status(static_cast<StatusCode>(DecodeResponse(m.payload).status), ""));
+  });
+}
+
+}  // namespace walter

@@ -1,0 +1,155 @@
+#include "src/baseline/eventual_store.h"
+
+#include <utility>
+
+#include "src/common/bytes.h"
+
+namespace walter {
+
+namespace {
+
+enum EventualMessage : uint32_t {
+  kEvOp = 1,
+  kEvReplicate = 2,
+};
+
+enum EvOpKind : uint8_t {
+  kEvGet = 1,
+  kEvPut = 2,
+};
+
+}  // namespace
+
+EventualServer::EventualServer(Simulator* sim, Network* net, Options options)
+    : sim_(sim),
+      options_(options),
+      endpoint_(net, Address{options.site, kEventualPort}),
+      cpu_(sim, 1, "eventual") {
+  endpoint_.Handle(kEvOp, [this](const Message& m, RpcEndpoint::ReplyFn r) {
+    HandleOp(m, std::move(r));
+  });
+  endpoint_.Handle(kEvReplicate,
+                   [this](const Message& m, RpcEndpoint::ReplyFn) { HandleReplicate(m); });
+  if (options_.num_sites > 1) {
+    ReplicationLoop();
+  }
+}
+
+void EventualServer::Merge(const std::string& key, Entry incoming) {
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    clock_ = std::max(clock_, incoming.timestamp);
+    data_[key] = std::move(incoming);
+    return;
+  }
+  Entry& current = it->second;
+  clock_ = std::max(clock_, incoming.timestamp);
+  // Same logical timestamp from different writers = concurrent conflicting
+  // writes; LWW resolves by (timestamp, writer) — and we count it.
+  if (incoming.writer != current.writer &&
+      (incoming.timestamp == current.timestamp ||
+       // Neither causally saw the other (coarse detection: equal timestamps
+       // or a remote write older than what this replica already chose).
+       incoming.timestamp < current.timestamp)) {
+    ++conflicts_detected_;
+  }
+  if (std::tie(incoming.timestamp, incoming.writer) >
+      std::tie(current.timestamp, current.writer)) {
+    current = std::move(incoming);
+  }
+}
+
+void EventualServer::HandleOp(const Message& msg, RpcEndpoint::ReplyFn reply) {
+  cpu_.Execute(options_.op_cost, [this, payload = msg.payload, reply = std::move(reply)]() {
+    ByteReader r(payload);
+    uint8_t op = r.GetU8();
+    std::string key = r.GetString();
+    Message m;
+    ByteWriter w;
+    if (op == kEvPut) {
+      ++writes_;
+      Entry entry;
+      entry.value = r.GetString();
+      entry.timestamp = ++clock_;
+      entry.writer = options_.site;
+      unreplicated_.emplace_back(key, entry);
+      Merge(key, std::move(entry));
+      w.PutU8(0);
+    } else {
+      auto it = data_.find(key);
+      w.PutU8(0);
+      w.PutU8(it != data_.end() ? 1 : 0);
+      w.PutString(it != data_.end() ? it->second.value : "");
+    }
+    m.payload = w.Take();
+    reply(std::move(m));
+  });
+}
+
+void EventualServer::ReplicationLoop() {
+  sim_->After(options_.replication_interval, [this]() {
+    if (!unreplicated_.empty()) {
+      ByteWriter w;
+      w.PutU32(static_cast<uint32_t>(unreplicated_.size()));
+      for (const auto& [key, entry] : unreplicated_) {
+        w.PutString(key);
+        w.PutString(entry.value);
+        w.PutU64(entry.timestamp);
+        w.PutU32(entry.writer);
+      }
+      unreplicated_.clear();
+      for (SiteId s = 0; s < options_.num_sites; ++s) {
+        if (s != options_.site) {
+          endpoint_.Send(Address{s, kEventualPort}, kEvReplicate, w.data());
+        }
+      }
+    }
+    ReplicationLoop();
+  });
+}
+
+void EventualServer::HandleReplicate(const Message& msg) {
+  ByteReader r(msg.payload);
+  uint32_t n = r.GetU32();
+  for (uint32_t i = 0; i < n && !r.failed(); ++i) {
+    std::string key = r.GetString();
+    Entry entry;
+    entry.value = r.GetString();
+    entry.timestamp = r.GetU64();
+    entry.writer = r.GetU32();
+    Merge(key, std::move(entry));
+  }
+}
+
+EventualClient::EventualClient(Network* net, SiteId site, uint32_t port)
+    : endpoint_(net, Address{site, port}), site_(site) {}
+
+void EventualClient::Get(const std::string& key, ReadCallback cb) {
+  ByteWriter w;
+  w.PutU8(kEvGet);
+  w.PutString(key);
+  endpoint_.Call(Address{site_, kEventualPort}, kEvOp, w.Take(),
+                 [cb = std::move(cb)](Status s, const Message& m) {
+                   if (!s.ok()) {
+                     cb(s, std::nullopt);
+                     return;
+                   }
+                   ByteReader r(m.payload);
+                   r.GetU8();
+                   bool found = r.GetU8() != 0;
+                   std::string value = r.GetString();
+                   cb(Status::Ok(),
+                      found ? std::optional<std::string>(std::move(value)) : std::nullopt);
+                 });
+}
+
+void EventualClient::Put(const std::string& key, std::string value, DoneCallback cb) {
+  ByteWriter w;
+  w.PutU8(kEvPut);
+  w.PutString(key);
+  w.PutString(value);
+  endpoint_.Call(Address{site_, kEventualPort}, kEvOp, w.Take(),
+                 [cb = std::move(cb)](Status s, const Message&) { cb(s); });
+}
+
+}  // namespace walter

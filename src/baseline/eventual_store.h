@@ -1,0 +1,86 @@
+// Eventually consistent baseline (Section 9's "relaxed consistency" systems).
+//
+// An update-anywhere last-writer-wins key-value store: every site accepts
+// writes, replicates them asynchronously, and resolves concurrent writes with
+// a (timestamp, site) tiebreak. It exhibits every anomaly in Figure 8 —
+// including the conflicting fork that PSI precludes — and counts the conflicts
+// it silently resolves, which is what Walter's conflict-freedom is measured
+// against in the ablation benchmark.
+#ifndef SRC_BASELINE_EVENTUAL_STORE_H_
+#define SRC_BASELINE_EVENTUAL_STORE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/net/network.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace walter {
+
+inline constexpr uint32_t kEventualPort = 12;
+
+class EventualServer {
+ public:
+  struct Options {
+    SiteId site = 0;
+    size_t num_sites = 1;
+    SimDuration replication_interval = Millis(5);
+    SimDuration op_cost = Micros(10);
+  };
+
+  EventualServer(Simulator* sim, Network* net, Options options);
+
+  // Writes to the same key that were concurrent (neither saw the other) and
+  // were silently resolved by last-writer-wins.
+  uint64_t conflicts_detected() const { return conflicts_detected_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  struct Entry {
+    std::string value;
+    uint64_t timestamp = 0;  // Lamport-ish logical timestamp
+    SiteId writer = kNoSite;
+  };
+
+  void HandleOp(const Message& msg, RpcEndpoint::ReplyFn reply);
+  void HandleReplicate(const Message& msg);
+  void ReplicationLoop();
+  void Merge(const std::string& key, Entry incoming);
+
+  Simulator* sim_;
+  Options options_;
+  RpcEndpoint endpoint_;
+  Resource cpu_;
+
+  std::unordered_map<std::string, Entry> data_;
+  uint64_t clock_ = 0;
+  std::vector<std::pair<std::string, Entry>> unreplicated_;
+  uint64_t conflicts_detected_ = 0;
+  uint64_t writes_ = 0;
+};
+
+class EventualClient {
+ public:
+  EventualClient(Network* net, SiteId site, uint32_t port);
+
+  using ReadCallback = std::function<void(Status, std::optional<std::string>)>;
+  using DoneCallback = std::function<void(Status)>;
+
+  // Reads/writes go to the local site's server (update-anywhere).
+  void Get(const std::string& key, ReadCallback cb);
+  void Put(const std::string& key, std::string value, DoneCallback cb);
+
+ private:
+  RpcEndpoint endpoint_;
+  SiteId site_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_BASELINE_EVENTUAL_STORE_H_

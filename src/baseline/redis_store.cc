@@ -1,0 +1,338 @@
+#include "src/baseline/redis_store.h"
+
+#include <utility>
+
+#include "src/common/bytes.h"
+
+namespace walter {
+
+namespace {
+
+enum RedisOp : uint8_t {
+  kGet = 1,
+  kSet = 2,
+  kIncr = 3,
+  kLPush = 4,
+  kLRange = 5,
+  kSAdd = 6,
+  kSRem = 7,
+  kSMembers = 8,
+  kMGet = 9,
+};
+
+enum RedisMessage : uint32_t {
+  kRedisCommand = 1,
+  kRedisReplicate = 2,
+};
+
+struct Command {
+  uint8_t op = 0;
+  std::string key;
+  std::string value;
+  uint64_t count = 0;
+  std::vector<std::string> keys;  // kMGet
+};
+
+std::string EncodeCommand(const Command& c) {
+  ByteWriter w;
+  w.PutU8(c.op);
+  w.PutString(c.key);
+  w.PutString(c.value);
+  w.PutU64(c.count);
+  w.PutU32(static_cast<uint32_t>(c.keys.size()));
+  for (const auto& k : c.keys) {
+    w.PutString(k);
+  }
+  return w.Take();
+}
+
+Command DecodeCommand(std::string_view b) {
+  ByteReader r(b);
+  Command c;
+  c.op = r.GetU8();
+  c.key = r.GetString();
+  c.value = r.GetString();
+  c.count = r.GetU64();
+  uint32_t n = r.GetU32();
+  for (uint32_t i = 0; i < n && !r.failed(); ++i) {
+    c.keys.push_back(r.GetString());
+  }
+  return c;
+}
+
+bool IsWrite(uint8_t op) {
+  return op == kSet || op == kIncr || op == kLPush || op == kSAdd || op == kSRem;
+}
+
+}  // namespace
+
+RedisServer::RedisServer(Simulator* sim, Network* net, Options options)
+    : sim_(sim),
+      options_(std::move(options)),
+      endpoint_(net, Address{options_.site, kRedisPort}),
+      cpu_(sim, 1, "redis") {
+  endpoint_.Handle(kRedisCommand, [this](const Message& m, RpcEndpoint::ReplyFn r) {
+    HandleCommand(m, std::move(r));
+  });
+  endpoint_.Handle(kRedisReplicate,
+                   [this](const Message& m, RpcEndpoint::ReplyFn) { HandleReplicate(m); });
+  if (options_.is_master && !options_.slaves.empty()) {
+    ReplicationLoop();
+  }
+}
+
+std::string RedisServer::ApplyWrite(const std::string& command_bytes) {
+  Command c = DecodeCommand(command_bytes);
+  ByteWriter result;
+  switch (c.op) {
+    case kSet:
+      strings_[c.key] = c.value;
+      break;
+    case kIncr: {
+      int64_t v = 0;
+      auto it = strings_.find(c.key);
+      if (it != strings_.end()) {
+        v = std::strtoll(it->second.c_str(), nullptr, 10);
+      }
+      ++v;
+      strings_[c.key] = std::to_string(v);
+      result.PutI64(v);
+      break;
+    }
+    case kLPush:
+      lists_[c.key].push_front(c.value);
+      break;
+    case kSAdd:
+      sets_[c.key].insert(c.value);
+      break;
+    case kSRem:
+      sets_[c.key].erase(c.value);
+      break;
+    default:
+      break;
+  }
+  return result.Take();
+}
+
+void RedisServer::HandleCommand(const Message& msg, RpcEndpoint::ReplyFn reply) {
+  // Multi-key commands cost proportionally to the keys touched.
+  size_t key_count = 1;
+  {
+    ByteReader peek(msg.payload);
+    if (peek.GetU8() == kMGet) {
+      Command c = DecodeCommand(msg.payload);
+      key_count = std::max<size_t>(c.keys.size(), 1);
+    }
+  }
+  SimDuration cost = options_.perf.op * static_cast<SimDuration>(key_count);
+  if (options_.perf.jitter > 0) {
+    cost = static_cast<SimDuration>(static_cast<double>(cost) *
+                                    (1.0 + options_.perf.jitter * sim_->rng().NextDouble()));
+  }
+  cpu_.Execute(cost, [this, payload = msg.payload, reply = std::move(reply)]() {
+    ++commands_;
+    Command c = DecodeCommand(payload);
+    Message m;
+    ByteWriter w;
+    if (IsWrite(c.op)) {
+      if (!options_.is_master) {
+        w.PutU8(static_cast<uint8_t>(StatusCode::kFailedPrecondition));
+        m.payload = w.Take();
+        reply(std::move(m));
+        return;
+      }
+      std::string result = ApplyWrite(payload);
+      unreplicated_.push_back(payload);
+      w.PutU8(0);
+      w.PutString(result);
+      m.payload = w.Take();
+      reply(std::move(m));
+      return;
+    }
+    w.PutU8(0);
+    switch (c.op) {
+      case kGet: {
+        auto it = strings_.find(c.key);
+        w.PutU8(it != strings_.end() ? 1 : 0);
+        w.PutString(it != strings_.end() ? it->second : "");
+        break;
+      }
+      case kLRange: {
+        auto it = lists_.find(c.key);
+        size_t n = it == lists_.end() ? 0 : std::min<size_t>(c.count, it->second.size());
+        w.PutU32(static_cast<uint32_t>(n));
+        for (size_t i = 0; i < n; ++i) {
+          w.PutString(it->second[i]);
+        }
+        break;
+      }
+      case kMGet: {
+        w.PutU32(static_cast<uint32_t>(c.keys.size()));
+        for (const auto& key : c.keys) {
+          auto it = strings_.find(key);
+          w.PutString(it != strings_.end() ? it->second : "");
+        }
+        break;
+      }
+      case kSMembers: {
+        auto it = sets_.find(c.key);
+        size_t n = it == sets_.end() ? 0 : it->second.size();
+        w.PutU32(static_cast<uint32_t>(n));
+        if (it != sets_.end()) {
+          for (const auto& member : it->second) {
+            w.PutString(member);
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    m.payload = w.Take();
+    reply(std::move(m));
+  });
+}
+
+void RedisServer::ReplicationLoop() {
+  sim_->After(options_.replication_interval, [this]() {
+    if (!unreplicated_.empty()) {
+      ByteWriter w;
+      w.PutU32(static_cast<uint32_t>(unreplicated_.size()));
+      for (const auto& cmd : unreplicated_) {
+        w.PutString(cmd);
+      }
+      unreplicated_.clear();
+      for (SiteId slave : options_.slaves) {
+        endpoint_.Send(Address{slave, kRedisPort}, kRedisReplicate, w.data());
+      }
+    }
+    ReplicationLoop();
+  });
+}
+
+void RedisServer::HandleReplicate(const Message& msg) {
+  ByteReader r(msg.payload);
+  uint32_t n = r.GetU32();
+  for (uint32_t i = 0; i < n && !r.failed(); ++i) {
+    ApplyWrite(r.GetString());
+  }
+}
+
+RedisClient::RedisClient(Network* net, SiteId site, uint32_t port, SiteId master_site)
+    : endpoint_(net, Address{site, port}), master_site_(master_site), read_site_(master_site) {}
+
+void RedisClient::Call(SiteId dest, std::string payload,
+                       std::function<void(Status, const Message&)> cb) {
+  endpoint_.Call(Address{dest, kRedisPort}, kRedisCommand, std::move(payload), std::move(cb));
+}
+
+void RedisClient::Get(const std::string& key, StringCallback cb) {
+  Command c{kGet, key, "", 0, {}};
+  Call(read_site_, EncodeCommand(c), [cb = std::move(cb)](Status s, const Message& m) {
+    if (!s.ok()) {
+      cb(s, std::nullopt);
+      return;
+    }
+    ByteReader r(m.payload);
+    r.GetU8();
+    bool found = r.GetU8() != 0;
+    std::string value = r.GetString();
+    cb(Status::Ok(), found ? std::optional<std::string>(std::move(value)) : std::nullopt);
+  });
+}
+
+void RedisClient::MGet(std::vector<std::string> keys, ListCallback cb) {
+  Command c;
+  c.op = kMGet;
+  c.keys = std::move(keys);
+  Call(read_site_, EncodeCommand(c), [cb = std::move(cb)](Status s, const Message& m) {
+    if (!s.ok()) {
+      cb(s, {});
+      return;
+    }
+    ByteReader r(m.payload);
+    r.GetU8();
+    uint32_t n = r.GetU32();
+    std::vector<std::string> out;
+    for (uint32_t i = 0; i < n && !r.failed(); ++i) {
+      out.push_back(r.GetString());
+    }
+    cb(Status::Ok(), std::move(out));
+  });
+}
+
+void RedisClient::Set(const std::string& key, std::string value, DoneCallback cb) {
+  Command c{kSet, key, std::move(value), 0, {}};
+  Call(master_site_, EncodeCommand(c),
+       [cb = std::move(cb)](Status s, const Message&) { cb(s); });
+}
+
+void RedisClient::Incr(const std::string& key, IntCallback cb) {
+  Command c{kIncr, key, "", 0, {}};
+  Call(master_site_, EncodeCommand(c), [cb = std::move(cb)](Status s, const Message& m) {
+    if (!s.ok()) {
+      cb(s, 0);
+      return;
+    }
+    ByteReader r(m.payload);
+    r.GetU8();
+    ByteReader inner(r.GetString());
+    cb(Status::Ok(), inner.GetI64());
+  });
+}
+
+void RedisClient::LPush(const std::string& key, std::string value, DoneCallback cb) {
+  Command c{kLPush, key, std::move(value), 0, {}};
+  Call(master_site_, EncodeCommand(c),
+       [cb = std::move(cb)](Status s, const Message&) { cb(s); });
+}
+
+void RedisClient::LRange(const std::string& key, size_t count, ListCallback cb) {
+  Command c{kLRange, key, "", count, {}};
+  Call(read_site_, EncodeCommand(c), [cb = std::move(cb)](Status s, const Message& m) {
+    if (!s.ok()) {
+      cb(s, {});
+      return;
+    }
+    ByteReader r(m.payload);
+    r.GetU8();
+    uint32_t n = r.GetU32();
+    std::vector<std::string> out;
+    for (uint32_t i = 0; i < n && !r.failed(); ++i) {
+      out.push_back(r.GetString());
+    }
+    cb(Status::Ok(), std::move(out));
+  });
+}
+
+void RedisClient::SAdd(const std::string& key, std::string member, DoneCallback cb) {
+  Command c{kSAdd, key, std::move(member), 0, {}};
+  Call(master_site_, EncodeCommand(c),
+       [cb = std::move(cb)](Status s, const Message&) { cb(s); });
+}
+
+void RedisClient::SRem(const std::string& key, std::string member, DoneCallback cb) {
+  Command c{kSRem, key, std::move(member), 0, {}};
+  Call(master_site_, EncodeCommand(c),
+       [cb = std::move(cb)](Status s, const Message&) { cb(s); });
+}
+
+void RedisClient::SMembers(const std::string& key, ListCallback cb) {
+  Command c{kSMembers, key, "", 0, {}};
+  Call(read_site_, EncodeCommand(c), [cb = std::move(cb)](Status s, const Message& m) {
+    if (!s.ok()) {
+      cb(s, {});
+      return;
+    }
+    ByteReader r(m.payload);
+    r.GetU8();
+    uint32_t n = r.GetU32();
+    std::vector<std::string> out;
+    for (uint32_t i = 0; i < n && !r.failed(); ++i) {
+      out.push_back(r.GetString());
+    }
+    cb(Status::Ok(), std::move(out));
+  });
+}
+
+}  // namespace walter

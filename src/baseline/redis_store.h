@@ -1,0 +1,109 @@
+// Redis-like baseline for the ReTwis comparison (Section 8.7 / Figure 23).
+//
+// What the paper used: Redis, a semi-persistent in-memory key-value store with
+// native atomic operations (INCR, list push/range, set add/remove) and
+// master-slave replication; updates only at the master.
+//
+// What we built: an in-memory store with the same operation vocabulary,
+// single-master asynchronous replication, and calibrated per-op service time.
+// ReTwis (src/apps/retwis) runs unchanged on this or on Walter through its
+// storage-backend interface.
+#ifndef SRC_BASELINE_REDIS_STORE_H_
+#define SRC_BASELINE_REDIS_STORE_H_
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/net/network.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace walter {
+
+inline constexpr uint32_t kRedisPort = 11;
+
+struct RedisPerfModel {
+  SimDuration op = Micros(9);  // any command
+  double jitter = 0.3;
+
+  static RedisPerfModel Default() { return {}; }
+  static RedisPerfModel Instant() { return {0, 0}; }
+};
+
+class RedisServer {
+ public:
+  struct Options {
+    SiteId site = 0;
+    bool is_master = true;
+    std::vector<SiteId> slaves;
+    RedisPerfModel perf;
+    SimDuration replication_interval = Millis(5);
+  };
+
+  RedisServer(Simulator* sim, Network* net, Options options);
+
+  uint64_t commands() const { return commands_; }
+
+ private:
+  void HandleCommand(const Message& msg, RpcEndpoint::ReplyFn reply);
+  void HandleReplicate(const Message& msg);
+  void ReplicationLoop();
+  std::string ApplyWrite(const std::string& command_bytes);  // returns result
+
+  Simulator* sim_;
+  Options options_;
+  RpcEndpoint endpoint_;
+  Resource cpu_;
+
+  std::unordered_map<std::string, std::string> strings_;
+  std::unordered_map<std::string, std::deque<std::string>> lists_;
+  std::unordered_map<std::string, std::set<std::string>> sets_;
+  std::vector<std::string> unreplicated_;  // raw write commands, in order
+  uint64_t commands_ = 0;
+};
+
+// Client for RedisServer: the command subset ReTwis uses.
+class RedisClient {
+ public:
+  RedisClient(Network* net, SiteId site, uint32_t port, SiteId master_site);
+
+  using StringCallback = std::function<void(Status, std::optional<std::string>)>;
+  using IntCallback = std::function<void(Status, int64_t)>;
+  using ListCallback = std::function<void(Status, std::vector<std::string>)>;
+  using DoneCallback = std::function<void(Status)>;
+
+  void Get(const std::string& key, StringCallback cb);
+  // Multi-get in one RPC (MGET); missing keys come back as empty strings.
+  void MGet(std::vector<std::string> keys, ListCallback cb);
+  void Set(const std::string& key, std::string value, DoneCallback cb);
+  // Atomic increment; returns the new value.
+  void Incr(const std::string& key, IntCallback cb);
+  // Push to the head of a list.
+  void LPush(const std::string& key, std::string value, DoneCallback cb);
+  // First `count` elements from the head.
+  void LRange(const std::string& key, size_t count, ListCallback cb);
+  void SAdd(const std::string& key, std::string member, DoneCallback cb);
+  void SRem(const std::string& key, std::string member, DoneCallback cb);
+  void SMembers(const std::string& key, ListCallback cb);
+
+  // Reads may go to a local slave; writes always go to the master.
+  void set_read_site(SiteId site) { read_site_ = site; }
+
+ private:
+  void Call(SiteId dest, std::string payload, std::function<void(Status, const Message&)> cb);
+
+  RpcEndpoint endpoint_;
+  SiteId master_site_;
+  SiteId read_site_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_BASELINE_REDIS_STORE_H_

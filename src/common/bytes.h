@@ -1,0 +1,149 @@
+// Byte-level serialization used by the WAL, the RPC layer, and checkpoints.
+//
+// Encoding: little-endian fixed-width integers plus length-prefixed byte
+// strings. Readers are bounds-checked: on malformed input they latch an error
+// flag instead of reading out of bounds, which lets WAL recovery detect a torn
+// tail and stop cleanly.
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace walter {
+
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutFixed(&v, sizeof(v)); }
+
+  // Length-prefixed byte string.
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  void PutObjectId(const ObjectId& id) {
+    PutU64(id.container);
+    PutU64(id.local);
+  }
+
+  void PutVersion(const Version& v) {
+    PutU32(v.site);
+    PutU64(v.seqno);
+  }
+
+  void PutVts(const VectorTimestamp& vts) {
+    PutU32(static_cast<uint32_t>(vts.num_sites()));
+    for (uint64_t c : vts.counts()) {
+      PutU64(c);
+    }
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void PutFixed(const void* p, size_t n) {
+    buf_.append(reinterpret_cast<const char*>(p), n);
+  }
+
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  uint8_t GetU8() {
+    uint8_t v = 0;
+    GetFixed(&v, sizeof(v));
+    return v;
+  }
+  uint32_t GetU32() {
+    uint32_t v = 0;
+    GetFixed(&v, sizeof(v));
+    return v;
+  }
+  uint64_t GetU64() {
+    uint64_t v = 0;
+    GetFixed(&v, sizeof(v));
+    return v;
+  }
+  int64_t GetI64() {
+    int64_t v = 0;
+    GetFixed(&v, sizeof(v));
+    return v;
+  }
+
+  std::string GetString() {
+    uint32_t n = GetU32();
+    if (failed_ || n > remaining()) {
+      failed_ = true;
+      return {};
+    }
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  ObjectId GetObjectId() {
+    ObjectId id;
+    id.container = GetU64();
+    id.local = GetU64();
+    return id;
+  }
+
+  Version GetVersion() {
+    Version v;
+    v.site = GetU32();
+    v.seqno = GetU64();
+    return v;
+  }
+
+  VectorTimestamp GetVts() {
+    uint32_t n = GetU32();
+    if (failed_ || n > remaining() / sizeof(uint64_t)) {
+      failed_ = true;
+      return VectorTimestamp{};
+    }
+    std::vector<uint64_t> counts(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      counts[i] = GetU64();
+    }
+    return VectorTimestamp(std::move(counts));
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ >= data_.size(); }
+
+  // True if any read ran past the end of the buffer (malformed/truncated input).
+  bool failed() const { return failed_; }
+
+ private:
+  void GetFixed(void* p, size_t n) {
+    if (failed_ || remaining() < n) {
+      failed_ = true;
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace walter
+
+#endif  // SRC_COMMON_BYTES_H_

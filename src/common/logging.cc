@@ -1,0 +1,42 @@
+#include "src/common/logging.h"
+
+namespace walter {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace log_internal {
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  // Strip the directory prefix for readability.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg.c_str());
+}
+
+}  // namespace log_internal
+
+}  // namespace walter

@@ -1,0 +1,54 @@
+// Minimal leveled logging. Off by default so simulations stay fast;
+// tests/benches can raise the level for debugging.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace walter {
+
+enum class LogLevel : int {
+  kNone = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+// Global log threshold; messages above it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace log_internal {
+void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+}  // namespace log_internal
+
+}  // namespace walter
+
+#define WLOG(level, ...)                                                              \
+  do {                                                                                \
+    if (static_cast<int>(::walter::LogLevel::level) <=                                \
+        static_cast<int>(::walter::GetLogLevel())) {                                  \
+      std::ostringstream walter_log_os_;                                              \
+      walter_log_os_ << __VA_ARGS__;                                                  \
+      ::walter::log_internal::Emit(::walter::LogLevel::level, __FILE__, __LINE__,     \
+                                   walter_log_os_.str());                             \
+    }                                                                                 \
+  } while (0)
+
+// Invariant check that stays on in release builds: protocol bugs must not pass
+// silently in benchmarks.
+#define WCHECK(cond, ...)                                                             \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      std::ostringstream walter_chk_os_;                                              \
+      walter_chk_os_ << "CHECK failed: " #cond " " << __VA_ARGS__;                    \
+      ::walter::log_internal::Emit(::walter::LogLevel::kError, __FILE__, __LINE__,    \
+                                   walter_chk_os_.str());                             \
+      std::abort();                                                                   \
+    }                                                                                 \
+  } while (0)
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,111 @@
+// Deterministic pseudo-random number generation for simulations and workloads.
+//
+// Every experiment takes an explicit seed so results are exactly reproducible.
+// The generator is xoshiro256**; Zipf sampling uses the standard rejection
+// inversion method so social-network workloads get realistic skew.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace walter {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    // SplitMix64 to spread the seed across the state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Uniform integer in [lo, hi].
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponential with given mean (inter-arrival times for open-loop clients).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u >= 1.0) {
+      u = 0.999999999;
+    }
+    return -mean * std::log1p(-u);
+  }
+
+  // Zipf-distributed integer in [0, n) with skew theta (0 = uniform-ish).
+  // Uses the Gray et al. computation with cached zeta when n is stable.
+  uint64_t Zipf(uint64_t n, double theta) {
+    if (n <= 1) {
+      return 0;
+    }
+    if (n != zipf_n_ || theta != zipf_theta_) {
+      zipf_n_ = n;
+      zipf_theta_ = theta;
+      zeta_ = Zeta(n, theta);
+      double zeta2 = Zeta(2, theta);
+      alpha_ = 1.0 / (1.0 - theta);
+      eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+             (1.0 - zeta2 / zeta_);
+    }
+    double u = NextDouble();
+    double uz = u * zeta_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, zipf_theta_)) {
+      return 1;
+    }
+    auto v = static_cast<uint64_t>(
+        static_cast<double>(zipf_n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= zipf_n_ ? zipf_n_ - 1 : v;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t state_[4];
+
+  uint64_t zipf_n_ = 0;
+  double zipf_theta_ = 0;
+  double zeta_ = 0;
+  double alpha_ = 0;
+  double eta_ = 0;
+};
+
+}  // namespace walter
+
+#endif  // SRC_COMMON_RNG_H_

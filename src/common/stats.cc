@@ -1,0 +1,115 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <iomanip>
+
+namespace walter {
+
+void LatencyRecorder::Sort() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double LatencyRecorder::Min() {
+  Sort();
+  return samples_.empty() ? 0 : samples_.front();
+}
+
+double LatencyRecorder::Max() {
+  Sort();
+  return samples_.empty() ? 0 : samples_.back();
+}
+
+double LatencyRecorder::Mean() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::Percentile(double p) {
+  if (samples_.empty()) {
+    return 0;
+  }
+  Sort();
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  auto idx = static_cast<size_t>(rank);
+  if (idx + 1 >= samples_.size()) {
+    return samples_.back();
+  }
+  double frac = rank - static_cast<double>(idx);
+  return samples_[idx] * (1 - frac) + samples_[idx + 1] * frac;
+}
+
+std::vector<std::pair<double, double>> LatencyRecorder::Cdf(size_t points) {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty()) {
+    return out;
+  }
+  Sort();
+  size_t n = samples_.size();
+  size_t step = std::max<size_t>(1, n / points);
+  for (size_t i = 0; i < n; i += step) {
+    out.emplace_back(samples_[i], static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (out.back().second < 1.0) {
+    out.emplace_back(samples_.back(), 1.0);
+  }
+  return out;
+}
+
+std::string LatencyRecorder::Summary(const std::string& unit) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  os << "n=" << count() << " p50=" << Percentile(50) << unit << " p90=" << Percentile(90) << unit
+     << " p99=" << Percentile(99) << unit << " p99.9=" << Percentile(99.9) << unit
+     << " max=" << Max() << unit;
+  return os.str();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      os << "| " << std::left << std::setw(static_cast<int>(widths[i]))
+         << (i < cells.size() ? cells[i] : "") << " ";
+    }
+    os << "|\n";
+  };
+  emit_row(headers_);
+  for (size_t i = 0; i < widths.size(); ++i) {
+    os << "|" << std::string(widths[i] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace walter

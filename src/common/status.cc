@@ -1,0 +1,36 @@
+#include "src/common/status.h"
+
+namespace walter {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kAborted:
+      return "aborted";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kTimeout:
+      return "timeout";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  std::string s = StatusCodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace walter

@@ -1,0 +1,98 @@
+// Lightweight error-handling vocabulary (no exceptions on hot paths).
+//
+// Status carries a code plus a human-readable message; Result<T> is a Status
+// or a value. Codes mirror the outcomes a Walter client can observe: a commit
+// can succeed, abort due to a conflict, or fail due to unavailability.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace walter {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kAborted,        // transaction aborted (write-write conflict or lock conflict)
+  kNotFound,       // object/container does not exist
+  kUnavailable,    // site/server down, lease not held, or reconfiguration in progress
+  kInvalidArgument,
+  kFailedPrecondition,  // API misuse (e.g. write to cset object)
+  kTimeout,
+  kInternal,
+};
+
+// Returns a stable lower-case name for the code ("ok", "aborted", ...).
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Aborted(std::string m = "") { return {StatusCode::kAborted, std::move(m)}; }
+  static Status NotFound(std::string m = "") { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status Unavailable(std::string m = "") { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status InvalidArgument(std::string m = "") {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status FailedPrecondition(std::string m = "") {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status Timeout(std::string m = "") { return {StatusCode::kTimeout, std::move(m)}; }
+  static Status Internal(std::string m = "") { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A Status or a value of type T.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result from Status requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_COMMON_STATUS_H_

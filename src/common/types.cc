@@ -1,0 +1,70 @@
+#include "src/common/types.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace walter {
+
+std::string ObjectId::ToString() const {
+  std::ostringstream os;
+  os << "oid(" << container << ":" << local << ")";
+  return os.str();
+}
+
+std::string Version::ToString() const {
+  std::ostringstream os;
+  if (site == kNoSite) {
+    os << "v(-)";
+  } else {
+    os << "v(" << site << ":" << seqno << ")";
+  }
+  return os.str();
+}
+
+void VectorTimestamp::set(SiteId s, uint64_t v) {
+  if (s >= counts_.size()) {
+    counts_.resize(s + 1, 0);
+  }
+  counts_[s] = v;
+}
+
+uint64_t VectorTimestamp::Advance(SiteId s) {
+  if (s >= counts_.size()) {
+    counts_.resize(s + 1, 0);
+  }
+  return ++counts_[s];
+}
+
+void VectorTimestamp::MergeMax(const VectorTimestamp& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] = std::max(counts_[i], other.counts_[i]);
+  }
+}
+
+bool VectorTimestamp::Covers(const VectorTimestamp& other) const {
+  for (size_t i = 0; i < other.counts_.size(); ++i) {
+    uint64_t mine = i < counts_.size() ? counts_[i] : 0;
+    if (mine < other.counts_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string VectorTimestamp::ToString() const {
+  std::ostringstream os;
+  os << "<";
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << counts_[i];
+  }
+  os << ">";
+  return os.str();
+}
+
+}  // namespace walter

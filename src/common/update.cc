@@ -1,0 +1,63 @@
+#include "src/common/update.h"
+
+namespace walter {
+
+void SerializeObjectUpdate(const ObjectUpdate& u, ByteWriter* w) {
+  w->PutObjectId(u.oid);
+  w->PutU8(static_cast<uint8_t>(u.kind));
+  if (u.kind == UpdateKind::kData) {
+    w->PutString(u.data);
+  } else {
+    w->PutObjectId(u.elem);
+  }
+}
+
+ObjectUpdate DeserializeObjectUpdate(ByteReader* r) {
+  ObjectUpdate u;
+  u.oid = r->GetObjectId();
+  u.kind = static_cast<UpdateKind>(r->GetU8());
+  if (u.kind == UpdateKind::kData) {
+    u.data = r->GetString();
+  } else {
+    u.elem = r->GetObjectId();
+  }
+  return u;
+}
+
+void TxRecord::Serialize(ByteWriter* w) const {
+  w->PutU64(tid);
+  w->PutU32(origin);
+  w->PutVersion(version);
+  w->PutVts(start_vts);
+  w->PutU32(static_cast<uint32_t>(updates.size()));
+  for (const auto& u : updates) {
+    SerializeObjectUpdate(u, w);
+  }
+}
+
+TxRecord TxRecord::Deserialize(ByteReader* r) {
+  TxRecord rec;
+  rec.tid = r->GetU64();
+  rec.origin = r->GetU32();
+  rec.version = r->GetVersion();
+  rec.start_vts = r->GetVts();
+  uint32_t n = r->GetU32();
+  if (r->failed()) {
+    return rec;
+  }
+  rec.updates.reserve(n);
+  for (uint32_t i = 0; i < n && !r->failed(); ++i) {
+    rec.updates.push_back(DeserializeObjectUpdate(r));
+  }
+  return rec;
+}
+
+size_t TxRecord::ByteSize() const {
+  size_t n = 8 + 4 + 12 + 4 + 8 * start_vts.num_sites() + 4;
+  for (const auto& u : updates) {
+    n += 17 + (u.kind == UpdateKind::kData ? 4 + u.data.size() : 16);
+  }
+  return n;
+}
+
+}  // namespace walter

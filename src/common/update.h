@@ -1,0 +1,65 @@
+// Transaction update records: the unit written to object histories and the WAL,
+// and shipped between sites by the propagation protocol.
+//
+// A transaction's update buffer (x.updates in Figures 10-13) is a sequence of
+// ObjectUpdate entries: DATA(data) writes to regular objects, ADD(id)/DEL(id)
+// operations on cset objects. A committed transaction is summarized by a
+// TxRecord: its id, origin site, commit version, start vector timestamp and
+// updates.
+#ifndef SRC_COMMON_UPDATE_H_
+#define SRC_COMMON_UPDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/types.h"
+
+namespace walter {
+
+enum class UpdateKind : uint8_t {
+  kData = 0,  // write to a regular object (empty data == nil, i.e. destroyed)
+  kAdd = 1,   // cset add(elem)
+  kDel = 2,   // cset rem(elem)
+};
+
+struct ObjectUpdate {
+  ObjectId oid;
+  UpdateKind kind = UpdateKind::kData;
+  std::string data;  // kData payload
+  ObjectId elem;     // kAdd/kDel element
+
+  static ObjectUpdate Data(ObjectId oid, std::string data) {
+    return {oid, UpdateKind::kData, std::move(data), {}};
+  }
+  static ObjectUpdate Add(ObjectId setid, ObjectId elem) {
+    return {setid, UpdateKind::kAdd, {}, elem};
+  }
+  static ObjectUpdate Del(ObjectId setid, ObjectId elem) {
+    return {setid, UpdateKind::kDel, {}, elem};
+  }
+
+  friend bool operator==(const ObjectUpdate&, const ObjectUpdate&) = default;
+};
+
+// A committed transaction as recorded in the WAL and propagated across sites.
+struct TxRecord {
+  TxId tid = 0;
+  SiteId origin = kNoSite;          // site(x): where the transaction executed
+  Version version;                  // <origin, seqno> assigned at commit
+  VectorTimestamp start_vts;        // snapshot the transaction read from
+  std::vector<ObjectUpdate> updates;
+
+  void Serialize(ByteWriter* w) const;
+  static TxRecord Deserialize(ByteReader* r);
+
+  // Approximate wire/disk footprint, for the network/WAL size models.
+  size_t ByteSize() const;
+};
+
+void SerializeObjectUpdate(const ObjectUpdate& u, ByteWriter* w);
+ObjectUpdate DeserializeObjectUpdate(ByteReader* r);
+
+}  // namespace walter
+
+#endif  // SRC_COMMON_UPDATE_H_

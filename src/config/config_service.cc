@@ -1,0 +1,156 @@
+#include "src/config/config_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/bytes.h"
+#include "src/common/logging.h"
+
+namespace walter {
+
+std::string ConfigCommand::Serialize() const {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(kind));
+  w.PutU64(container.id);
+  w.PutU32(container.preferred_site);
+  w.PutU32(static_cast<uint32_t>(container.replicas.size()));
+  for (SiteId r : container.replicas) {
+    w.PutU32(r);
+  }
+  w.PutU32(site);
+  w.PutU64(survive_through);
+  w.PutU32(new_preferred);
+  return w.Take();
+}
+
+ConfigCommand ConfigCommand::Deserialize(std::string_view bytes) {
+  ByteReader r(bytes);
+  ConfigCommand cmd;
+  cmd.kind = static_cast<Kind>(r.GetU8());
+  cmd.container.id = r.GetU64();
+  cmd.container.preferred_site = r.GetU32();
+  uint32_t n = r.GetU32();
+  for (uint32_t i = 0; i < n && !r.failed(); ++i) {
+    cmd.container.replicas.push_back(r.GetU32());
+  }
+  cmd.site = r.GetU32();
+  cmd.survive_through = r.GetU64();
+  cmd.new_preferred = r.GetU32();
+  return cmd;
+}
+
+ConfigService::ConfigService(Simulator* sim, Network* net, SiteId site, size_t num_sites,
+                             ContainerDirectory* directory, WalterServer* server)
+    : site_(site),
+      num_sites_(num_sites),
+      directory_(directory),
+      server_(server),
+      paxos_(std::make_unique<PaxosNode>(sim, net, site, num_sites)),
+      active_(num_sites, true) {
+  paxos_->SetLearnCallback([this](uint64_t, const std::string& value) {
+    Apply(ConfigCommand::Deserialize(value));
+  });
+  if (server_) {
+    server_->SetLeaseChecker([this](ContainerId c) { return HoldsLease(c); });
+  }
+}
+
+void ConfigService::ProposeUpsertContainer(ContainerInfo info, std::function<void(Status)> cb) {
+  ConfigCommand cmd;
+  cmd.kind = ConfigCommand::Kind::kUpsertContainer;
+  cmd.container = std::move(info);
+  paxos_->Propose(cmd.Serialize(),
+                  [cb = std::move(cb)](Status s, uint64_t) { cb(std::move(s)); });
+}
+
+void ConfigService::ProposeRemoveSite(SiteId failed, uint64_t survive_through,
+                                      SiteId new_preferred, std::function<void(Status)> cb) {
+  ConfigCommand cmd;
+  cmd.kind = ConfigCommand::Kind::kRemoveSite;
+  cmd.site = failed;
+  cmd.survive_through = survive_through;
+  cmd.new_preferred = new_preferred;
+  paxos_->Propose(cmd.Serialize(),
+                  [cb = std::move(cb)](Status s, uint64_t) { cb(std::move(s)); });
+}
+
+void ConfigService::ProposeReintegrateSite(SiteId site, std::function<void(Status)> cb) {
+  ConfigCommand cmd;
+  cmd.kind = ConfigCommand::Kind::kReintegrateSite;
+  cmd.site = site;
+  paxos_->Propose(cmd.Serialize(),
+                  [cb = std::move(cb)](Status s, uint64_t) { cb(std::move(s)); });
+}
+
+bool ConfigService::HoldsLease(ContainerId container) const {
+  if (!active_[site_]) {
+    return false;
+  }
+  return directory_->Get(container).preferred_site == site_;
+}
+
+void ConfigService::Apply(const ConfigCommand& cmd) {
+  switch (cmd.kind) {
+    case ConfigCommand::Kind::kUpsertContainer:
+      directory_->Upsert(cmd.container);
+      ++epoch_;
+      break;
+    case ConfigCommand::Kind::kRemoveSite:
+      if (cmd.site < num_sites_) {
+        active_[cmd.site] = false;
+        directory_->RemapSite(cmd.site, cmd.new_preferred);
+        if (server_ && !server_->crashed()) {
+          server_->DiscardNonSurviving(cmd.site, cmd.survive_through);
+          server_->SetDurableKnown(cmd.site, cmd.survive_through);
+        }
+        ++epoch_;
+      }
+      break;
+    case ConfigCommand::Kind::kReintegrateSite:
+      if (cmd.site < num_sites_) {
+        active_[cmd.site] = true;
+        directory_->ClearRemap(cmd.site);
+        ++epoch_;
+      }
+      break;
+  }
+}
+
+void SiteRecoveryCoordinator::RemoveFailedSite(SiteId failed, SiteId new_preferred,
+                                               std::function<void(Status)> cb) {
+  // 1. Query survivors for the failed site's received prefix. Servers are
+  //    in-process here (the coordinator stands in for the administrator's
+  //    recovery script); a networked deployment would RPC this.
+  uint64_t survive_through = 0;
+  WalterServer* best = nullptr;
+  for (WalterServer* s : servers_) {
+    if (s == nullptr || s->site() == failed || s->crashed()) {
+      continue;
+    }
+    uint64_t got = s->got_vts().at(failed);
+    if (got >= survive_through) {
+      survive_through = got;
+      best = s;
+    }
+  }
+
+  // 2. Complete the propagation of surviving transactions among survivors.
+  if (best != nullptr) {
+    for (WalterServer* s : servers_) {
+      if (s == nullptr || s == best || s->site() == failed || s->crashed()) {
+        continue;
+      }
+      uint64_t got = s->got_vts().at(failed);
+      if (got < survive_through) {
+        s->InjectRemoteRecords(failed, best->CollectRecords(failed, got + 1, survive_through));
+      }
+    }
+  }
+
+  // 3. Propose the configuration change; each site discards non-surviving
+  //    transactions and re-homes the failed site's containers when it learns
+  //    the command.
+  config_->ProposeRemoveSite(failed, survive_through, new_preferred, std::move(cb));
+}
+
+}  // namespace walter

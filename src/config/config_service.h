@@ -1,0 +1,102 @@
+// Configuration service (Sections 5.1 and 5.7).
+//
+// Tracks the currently active sites and the preferred site / replica set of
+// each container, replicated across sites with Paxos. Walter servers hold
+// preferred-site leases derived from this state: a server may act as the
+// preferred site for a container only while the current configuration assigns
+// that container to it.
+//
+// Site-failure recovery (aggressive option of Section 5.7): a surviving site
+// queries the survivors for how much of the failed site's transaction sequence
+// they received, computes the surviving prefix, and proposes a RemoveSite
+// command. When learned, each site discards the failed site's non-surviving
+// transactions, treats the surviving prefix as durable, and redirects the
+// failed site's containers to the replacement. ReintegrateSite undoes the
+// redirection once the failed site is back and synchronized.
+#ifndef SRC_CONFIG_CONFIG_SERVICE_H_
+#define SRC_CONFIG_CONFIG_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/config/paxos.h"
+#include "src/core/container.h"
+#include "src/core/server.h"
+
+namespace walter {
+
+struct ConfigCommand {
+  enum class Kind : uint8_t {
+    kUpsertContainer = 0,
+    kRemoveSite = 1,
+    kReintegrateSite = 2,
+  };
+  Kind kind = Kind::kUpsertContainer;
+  ContainerInfo container;      // kUpsertContainer
+  SiteId site = kNoSite;        // kRemoveSite / kReintegrateSite
+  uint64_t survive_through = 0; // kRemoveSite: last surviving seqno of `site`
+  SiteId new_preferred = kNoSite;  // kRemoveSite: replacement preferred site
+
+  std::string Serialize() const;
+  static ConfigCommand Deserialize(std::string_view bytes);
+};
+
+class ConfigService {
+ public:
+  // One instance per site. `server` (optional) is the co-located Walter
+  // server; learned RemoveSite commands are applied to it, and its lease
+  // checks are wired to this service.
+  ConfigService(Simulator* sim, Network* net, SiteId site, size_t num_sites,
+                ContainerDirectory* directory, WalterServer* server);
+
+  // Proposals (replicated; callback fires when the command is chosen).
+  void ProposeUpsertContainer(ContainerInfo info, std::function<void(Status)> cb);
+  void ProposeRemoveSite(SiteId failed, uint64_t survive_through, SiteId new_preferred,
+                         std::function<void(Status)> cb);
+  void ProposeReintegrateSite(SiteId site, std::function<void(Status)> cb);
+
+  // Lease check: true if this site is currently the preferred site of the
+  // container under the learned configuration and this site is active.
+  bool HoldsLease(ContainerId container) const;
+
+  bool IsActive(SiteId s) const { return active_[s]; }
+  uint64_t epoch() const { return epoch_; }
+
+  PaxosNode& paxos() { return *paxos_; }
+
+ private:
+  void Apply(const ConfigCommand& cmd);
+
+  SiteId site_;
+  size_t num_sites_;
+  ContainerDirectory* directory_;
+  WalterServer* server_;
+  std::unique_ptr<PaxosNode> paxos_;
+  std::vector<bool> active_;
+  uint64_t epoch_ = 0;  // bumped by every membership change
+};
+
+// Coordinates the aggressive removal of a failed site (Section 5.7): queries
+// survivors for the failed site's received prefix, fills gaps between
+// survivors, then proposes RemoveSite through the given ConfigService.
+class SiteRecoveryCoordinator {
+ public:
+  SiteRecoveryCoordinator(Simulator* sim, std::vector<WalterServer*> servers,
+                          ConfigService* config)
+      : sim_(sim), servers_(std::move(servers)), config_(config) {}
+
+  // Removes `failed`, reassigning its containers to `new_preferred`.
+  void RemoveFailedSite(SiteId failed, SiteId new_preferred, std::function<void(Status)> cb);
+
+ private:
+  Simulator* sim_;
+  std::vector<WalterServer*> servers_;  // survivors (the failed one may be null)
+  ConfigService* config_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_CONFIG_CONFIG_SERVICE_H_

@@ -1,0 +1,300 @@
+#include "src/config/paxos.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/common/bytes.h"
+#include "src/common/logging.h"
+
+namespace walter {
+
+namespace {
+
+enum PaxosMessageType : uint32_t {
+  kPaxosPrepare = 100,
+  kPaxosAccept = 101,
+  kPaxosChosen = 102,
+};
+
+constexpr SimDuration kQuorumTimeout = Millis(600);
+constexpr SimDuration kBackoffBase = Millis(50);
+
+struct PrepareMsg {
+  uint64_t slot;
+  uint64_t ballot;
+};
+struct PromiseMsg {
+  bool ok;
+  uint64_t accepted_ballot;
+  std::string accepted_value;
+};
+struct AcceptMsg {
+  uint64_t slot;
+  uint64_t ballot;
+  std::string value;
+};
+struct ChosenMsg {
+  uint64_t slot;
+  std::string value;
+};
+
+std::string EncodePrepare(const PrepareMsg& m) {
+  ByteWriter w;
+  w.PutU64(m.slot);
+  w.PutU64(m.ballot);
+  return w.Take();
+}
+PrepareMsg DecodePrepare(std::string_view b) {
+  ByteReader r(b);
+  return PrepareMsg{r.GetU64(), r.GetU64()};
+}
+
+std::string EncodePromise(const PromiseMsg& m) {
+  ByteWriter w;
+  w.PutU8(m.ok ? 1 : 0);
+  w.PutU64(m.accepted_ballot);
+  w.PutString(m.accepted_value);
+  return w.Take();
+}
+PromiseMsg DecodePromise(std::string_view b) {
+  ByteReader r(b);
+  PromiseMsg m;
+  m.ok = r.GetU8() != 0;
+  m.accepted_ballot = r.GetU64();
+  m.accepted_value = r.GetString();
+  return m;
+}
+
+std::string EncodeAccept(const AcceptMsg& m) {
+  ByteWriter w;
+  w.PutU64(m.slot);
+  w.PutU64(m.ballot);
+  w.PutString(m.value);
+  return w.Take();
+}
+AcceptMsg DecodeAccept(std::string_view b) {
+  ByteReader r(b);
+  AcceptMsg m;
+  m.slot = r.GetU64();
+  m.ballot = r.GetU64();
+  m.value = r.GetString();
+  return m;
+}
+
+std::string EncodeChosen(const ChosenMsg& m) {
+  ByteWriter w;
+  w.PutU64(m.slot);
+  w.PutString(m.value);
+  return w.Take();
+}
+ChosenMsg DecodeChosen(std::string_view b) {
+  ByteReader r(b);
+  ChosenMsg m;
+  m.slot = r.GetU64();
+  m.value = r.GetString();
+  return m;
+}
+
+}  // namespace
+
+PaxosNode::PaxosNode(Simulator* sim, Network* net, SiteId site, size_t num_nodes, uint32_t port)
+    : sim_(sim), site_(site), num_nodes_(num_nodes), endpoint_(net, Address{site, port}) {
+  endpoint_.Handle(kPaxosPrepare, [this](const Message& m, RpcEndpoint::ReplyFn r) {
+    HandlePrepare(m, std::move(r));
+  });
+  endpoint_.Handle(kPaxosAccept, [this](const Message& m, RpcEndpoint::ReplyFn r) {
+    HandleAccept(m, std::move(r));
+  });
+  endpoint_.Handle(kPaxosChosen,
+                   [this](const Message& m, RpcEndpoint::ReplyFn) { HandleChosen(m); });
+}
+
+uint64_t PaxosNode::NextBallot() {
+  ++ballot_round_;
+  return ballot_round_ * num_nodes_ + site_ + 1;
+}
+
+void PaxosNode::Propose(std::string value, ProposeCallback cb) {
+  queue_.push_back(Proposal{std::move(value), std::move(cb)});
+  if (!proposing_) {
+    StartNextProposal();
+  }
+}
+
+void PaxosNode::StartNextProposal() {
+  if (queue_.empty()) {
+    proposing_ = false;
+    return;
+  }
+  proposing_ = true;
+  // Lowest slot not known chosen.
+  uint64_t slot = apply_index_ + 1;
+  while (chosen_.contains(slot)) {
+    ++slot;
+  }
+  RunPhase1(slot, NextBallot());
+}
+
+void PaxosNode::RunPhase1(uint64_t slot, uint64_t ballot) {
+  uint64_t epoch = ++attempt_epoch_;
+  auto promises = std::make_shared<std::vector<PromiseMsg>>();
+  auto failed = std::make_shared<bool>(false);
+  auto responded = std::make_shared<size_t>(0);
+
+  PrepareMsg prep{slot, ballot};
+  for (SiteId n = 0; n < num_nodes_; ++n) {
+    endpoint_.Call(
+        Address{n, endpoint_.address().port}, kPaxosPrepare, EncodePrepare(prep),
+        [this, epoch, slot, ballot, promises, failed, responded](Status status,
+                                                                 const Message& m) {
+          if (epoch != attempt_epoch_ || *failed) {
+            return;
+          }
+          ++*responded;
+          if (status.ok()) {
+            PromiseMsg promise = DecodePromise(m.payload);
+            if (promise.ok) {
+              promises->push_back(std::move(promise));
+            }
+          }
+          if (promises->size() >= Majority()) {
+            *failed = true;  // stop counting; move to phase 2
+            // Adopt the highest-ballot accepted value, if any.
+            std::string value;
+            uint64_t best = 0;
+            for (const auto& p : *promises) {
+              if (p.accepted_ballot > best) {
+                best = p.accepted_ballot;
+                value = p.accepted_value;
+              }
+            }
+            if (best == 0) {
+              value = queue_.front().value;
+            }
+            RunPhase2(slot, ballot, std::move(value));
+          } else if (*responded == num_nodes_) {
+            RetryAfterBackoff();
+          }
+        },
+        kQuorumTimeout);
+  }
+}
+
+void PaxosNode::RunPhase2(uint64_t slot, uint64_t ballot, std::string value) {
+  uint64_t epoch = ++attempt_epoch_;
+  auto accepts = std::make_shared<size_t>(0);
+  auto responded = std::make_shared<size_t>(0);
+  auto done = std::make_shared<bool>(false);
+
+  AcceptMsg accept{slot, ballot, value};
+  for (SiteId n = 0; n < num_nodes_; ++n) {
+    endpoint_.Call(
+        Address{n, endpoint_.address().port}, kPaxosAccept, EncodeAccept(accept),
+        [this, epoch, slot, value, accepts, responded, done](Status status, const Message& m) {
+          if (epoch != attempt_epoch_ || *done) {
+            return;
+          }
+          ++*responded;
+          if (status.ok()) {
+            ByteReader r(m.payload);
+            if (r.GetU8() != 0) {
+              ++*accepts;
+            }
+          }
+          if (*accepts >= Majority()) {
+            *done = true;
+            OnChosen(slot, value, /*broadcast=*/true);
+            // If the chosen value was an adopted (older) value, our own
+            // proposal is still pending: try again at the next slot.
+            if (!queue_.empty() && value == queue_.front().value) {
+              Proposal p = std::move(queue_.front());
+              queue_.pop_front();
+              if (p.cb) {
+                p.cb(Status::Ok(), slot);
+              }
+            }
+            StartNextProposal();
+          } else if (*responded == num_nodes_) {
+            RetryAfterBackoff();
+          }
+        },
+        kQuorumTimeout);
+  }
+}
+
+void PaxosNode::RetryAfterBackoff() {
+  ++attempt_epoch_;  // invalidate stragglers
+  SimDuration backoff = kBackoffBase + static_cast<SimDuration>(sim_->rng().Uniform(
+                                           static_cast<uint64_t>(kBackoffBase) * 4));
+  sim_->After(backoff, [this]() {
+    if (proposing_) {
+      StartNextProposal();
+    }
+  });
+}
+
+void PaxosNode::OnChosen(uint64_t slot, const std::string& value, bool broadcast) {
+  auto [it, inserted] = chosen_.emplace(slot, value);
+  if (inserted && broadcast) {
+    ChosenMsg msg{slot, value};
+    for (SiteId n = 0; n < num_nodes_; ++n) {
+      if (n != site_) {
+        endpoint_.Send(Address{n, endpoint_.address().port}, kPaxosChosen, EncodeChosen(msg));
+      }
+    }
+  }
+  WCHECK(it->second == value, "two values chosen for slot " << slot);
+  // Deliver contiguous chosen slots in order.
+  while (true) {
+    auto next = chosen_.find(apply_index_ + 1);
+    if (next == chosen_.end()) {
+      break;
+    }
+    ++apply_index_;
+    if (learn_cb_) {
+      learn_cb_(apply_index_, next->second);
+    }
+  }
+}
+
+void PaxosNode::HandlePrepare(const Message& msg, RpcEndpoint::ReplyFn reply) {
+  PrepareMsg prep = DecodePrepare(msg.payload);
+  AcceptorSlot& slot = acceptor_[prep.slot];
+  PromiseMsg promise;
+  if (prep.ballot > slot.promised) {
+    slot.promised = prep.ballot;
+    promise.ok = true;
+    promise.accepted_ballot = slot.accepted_ballot;
+    promise.accepted_value = slot.accepted_value;
+  } else {
+    promise.ok = false;
+  }
+  Message m;
+  m.payload = EncodePromise(promise);
+  reply(std::move(m));
+}
+
+void PaxosNode::HandleAccept(const Message& msg, RpcEndpoint::ReplyFn reply) {
+  AcceptMsg accept = DecodeAccept(msg.payload);
+  AcceptorSlot& slot = acceptor_[accept.slot];
+  ByteWriter w;
+  if (accept.ballot >= slot.promised) {
+    slot.promised = accept.ballot;
+    slot.accepted_ballot = accept.ballot;
+    slot.accepted_value = accept.value;
+    w.PutU8(1);
+  } else {
+    w.PutU8(0);
+  }
+  Message m;
+  m.payload = w.Take();
+  reply(std::move(m));
+}
+
+void PaxosNode::HandleChosen(const Message& msg) {
+  ChosenMsg chosen = DecodeChosen(msg.payload);
+  OnChosen(chosen.slot, chosen.value, /*broadcast=*/false);
+}
+
+}  // namespace walter

@@ -1,0 +1,102 @@
+// Multi-decree Paxos for the configuration service's replicated log.
+//
+// The paper's configuration service "tolerates failures by running as a
+// Paxos-based state machine replicated across multiple sites" (Section 5.1).
+// One PaxosNode runs at each site; proposals are appended to a totally ordered
+// log, and every node learns chosen values in slot order.
+//
+// This is textbook single-slot Paxos, one instance per log slot:
+//  - A proposer picks the lowest slot it does not know to be chosen, runs
+//    phase 1 (prepare/promise) with a node-unique ballot, adopts the
+//    highest-ballot accepted value from the promise quorum (or its own value),
+//    then runs phase 2 (accept/accepted).
+//  - A value accepted by a majority is chosen; chosen values are broadcast so
+//    all nodes learn them.
+//  - Dueling proposers retry with higher ballots after randomized backoff.
+//
+// Safety (only one value chosen per slot, despite message loss and competing
+// proposers) is exercised by property tests.
+#ifndef SRC_CONFIG_PAXOS_H_
+#define SRC_CONFIG_PAXOS_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace walter {
+
+class PaxosNode {
+ public:
+  // Called for each chosen value, in slot order, exactly once per slot.
+  using LearnCallback = std::function<void(uint64_t slot, const std::string& value)>;
+  // Proposal outcome: the slot where the value was chosen (it is always this
+  // proposer's value: the node re-proposes at later slots if it loses a slot).
+  using ProposeCallback = std::function<void(Status, uint64_t slot)>;
+
+  PaxosNode(Simulator* sim, Network* net, SiteId site, size_t num_nodes,
+            uint32_t port = kConfigPort);
+
+  // Appends `value` to the replicated log (retries across slots/ballots until
+  // it is chosen or the node is stopped).
+  void Propose(std::string value, ProposeCallback cb);
+
+  void SetLearnCallback(LearnCallback cb) { learn_cb_ = std::move(cb); }
+
+  // Number of contiguous chosen slots applied so far.
+  uint64_t applied_through() const { return apply_index_; }
+  bool IsChosen(uint64_t slot) const { return chosen_.contains(slot); }
+  const std::string& ChosenValue(uint64_t slot) const { return chosen_.at(slot); }
+
+  // Fault injection for tests.
+  void SetDown(bool down) { endpoint_.SetDown(down); }
+
+ private:
+  struct AcceptorSlot {
+    uint64_t promised = 0;
+    uint64_t accepted_ballot = 0;
+    std::string accepted_value;
+  };
+  struct Proposal {
+    std::string value;
+    ProposeCallback cb;
+  };
+
+  void StartNextProposal();
+  void RunPhase1(uint64_t slot, uint64_t ballot);
+  void RunPhase2(uint64_t slot, uint64_t ballot, std::string value);
+  void OnChosen(uint64_t slot, const std::string& value, bool broadcast);
+  void RetryAfterBackoff();
+  uint64_t NextBallot();
+  size_t Majority() const { return num_nodes_ / 2 + 1; }
+
+  void HandlePrepare(const Message& msg, RpcEndpoint::ReplyFn reply);
+  void HandleAccept(const Message& msg, RpcEndpoint::ReplyFn reply);
+  void HandleChosen(const Message& msg);
+
+  Simulator* sim_;
+  SiteId site_;
+  size_t num_nodes_;
+  RpcEndpoint endpoint_;
+
+  std::map<uint64_t, AcceptorSlot> acceptor_;        // per-slot acceptor state
+  std::map<uint64_t, std::string> chosen_;           // learned values
+  uint64_t apply_index_ = 0;                         // slots delivered to learn_cb_
+  LearnCallback learn_cb_;
+
+  std::deque<Proposal> queue_;   // pending proposals, served one at a time
+  bool proposing_ = false;
+  uint64_t ballot_round_ = 0;
+  uint64_t attempt_epoch_ = 0;   // invalidates stale quorum callbacks
+};
+
+}  // namespace walter
+
+#endif  // SRC_CONFIG_PAXOS_H_

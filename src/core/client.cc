@@ -1,0 +1,279 @@
+#include "src/core/client.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace walter {
+
+WalterClient::WalterClient(Network* net, SiteId site, uint32_t port)
+    : endpoint_(net, Address{site, port}),
+      site_(site),
+      uid_((static_cast<uint64_t>(site) << 20) | port) {
+  endpoint_.Handle(kDurableNotify, [this](const Message& m, RpcEndpoint::ReplyFn) {
+    TxNotify n = TxNotify::Deserialize(m.payload);
+    auto it = durable_watch_.find(n.tid);
+    if (it != durable_watch_.end()) {
+      auto cb = std::move(it->second);
+      durable_watch_.erase(it);
+      cb();
+    }
+  });
+  endpoint_.Handle(kVisibleNotify, [this](const Message& m, RpcEndpoint::ReplyFn) {
+    TxNotify n = TxNotify::Deserialize(m.payload);
+    auto it = visible_watch_.find(n.tid);
+    if (it != visible_watch_.end()) {
+      auto cb = std::move(it->second);
+      visible_watch_.erase(it);
+      cb();
+    }
+  });
+}
+
+TxId WalterClient::NextTid() { return (uid_ << 32) | next_tx_++; }
+
+ObjectId WalterClient::NewId(ContainerId container) {
+  return ObjectId{container, (uid_ << 32) | next_local_id_++};
+}
+
+void WalterClient::Op(ClientOpRequest req,
+                      std::function<void(Status, const ClientOpResponse&)> cb) {
+  endpoint_.Call(Address{site_, kWalterPort}, kClientOp, req.Serialize(),
+                 [cb = std::move(cb)](Status status, const Message& m) {
+                   if (!status.ok()) {
+                     cb(status, ClientOpResponse{});
+                     return;
+                   }
+                   ClientOpResponse resp = ClientOpResponse::Deserialize(m.payload);
+                   if (resp.status != StatusCode::kOk) {
+                     cb(Status(resp.status, ""), resp);
+                     return;
+                   }
+                   cb(Status::Ok(), resp);
+                 });
+}
+
+Tx::Tx(WalterClient* client) : client_(client), tid_(client->NextTid()) {}
+
+ClientOpRequest Tx::BaseRequest() {
+  ClientOpRequest req;
+  req.tid = tid_;
+  req.vts = vts_;
+  req.start_tx = vts_.num_sites() == 0;
+  return req;
+}
+
+void Tx::AbsorbResponse(const ClientOpResponse& resp) {
+  if (vts_.num_sites() == 0 && resp.assigned_vts.num_sites() > 0) {
+    vts_ = resp.assigned_vts;
+  }
+}
+
+void Tx::BufferUpdate(ClientOpKind kind, const ObjectId& oid, const ObjectId& elem,
+                      std::string data) {
+  WCHECK(!finished_, "update on finished transaction");
+  ClientOpRequest req = BaseRequest();
+  req.op = kind;
+  req.oid = oid;
+  req.elem = elem;
+  req.data = std::move(data);
+  if (buffered_) {
+    // Flush the previously buffered update; keep the new one pending.
+    ClientOpRequest to_send = std::move(*buffered_);
+    buffered_ = std::move(req);
+    to_send.vts = vts_;
+    ++update_rpcs_sent_;
+    ++rpcs_issued_;
+    client_->Op(std::move(to_send),
+                [this](Status, const ClientOpResponse& resp) { AbsorbResponse(resp); });
+  } else {
+    buffered_ = std::move(req);
+  }
+}
+
+void Tx::Write(const ObjectId& oid, std::string data) {
+  BufferUpdate(ClientOpKind::kWrite, oid, ObjectId{}, std::move(data));
+}
+
+void Tx::SetAdd(const ObjectId& setid, const ObjectId& id) {
+  BufferUpdate(ClientOpKind::kSetAdd, setid, id, "");
+}
+
+void Tx::SetDel(const ObjectId& setid, const ObjectId& id) {
+  BufferUpdate(ClientOpKind::kSetDel, setid, id, "");
+}
+
+void Tx::FlushBuffered(std::function<void(Status)> then) {
+  if (!buffered_) {
+    then(Status::Ok());
+    return;
+  }
+  ClientOpRequest to_send = std::move(*buffered_);
+  buffered_.reset();
+  to_send.vts = vts_;
+  ++update_rpcs_sent_;
+  ++rpcs_issued_;
+  client_->Op(std::move(to_send),
+              [this, then = std::move(then)](Status status, const ClientOpResponse& resp) {
+                AbsorbResponse(resp);
+                then(status);
+              });
+}
+
+void Tx::Read(const ObjectId& oid, ReadCallback cb) {
+  // Any buffered update must reach the server first so the read sees it.
+  FlushBuffered([this, oid, cb = std::move(cb)](Status status) {
+    if (!status.ok()) {
+      cb(status, std::nullopt);
+      return;
+    }
+    ClientOpRequest req = BaseRequest();
+    req.op = ClientOpKind::kRead;
+    req.oid = oid;
+    ++rpcs_issued_;
+    client_->Op(std::move(req),
+                [this, cb = std::move(cb)](Status status, const ClientOpResponse& resp) {
+                  AbsorbResponse(resp);
+                  if (!status.ok()) {
+                    cb(status, std::nullopt);
+                    return;
+                  }
+                  cb(Status::Ok(), resp.found ? std::optional<std::string>(resp.data)
+                                              : std::nullopt);
+                });
+  });
+}
+
+void Tx::SetRead(const ObjectId& setid, SetReadCallback cb) {
+  FlushBuffered([this, setid, cb = std::move(cb)](Status status) {
+    if (!status.ok()) {
+      cb(status, CountingSet{});
+      return;
+    }
+    ClientOpRequest req = BaseRequest();
+    req.op = ClientOpKind::kSetRead;
+    req.oid = setid;
+    ++rpcs_issued_;
+    client_->Op(std::move(req),
+                [this, cb = std::move(cb)](Status status, const ClientOpResponse& resp) {
+                  AbsorbResponse(resp);
+                  if (!status.ok()) {
+                    cb(status, CountingSet{});
+                    return;
+                  }
+                  ByteReader r(resp.cset_bytes);
+                  cb(Status::Ok(), CountingSet::Deserialize(&r));
+                });
+  });
+}
+
+void Tx::SetReadId(const ObjectId& setid, const ObjectId& id, CountCallback cb) {
+  FlushBuffered([this, setid, id, cb = std::move(cb)](Status status) {
+    if (!status.ok()) {
+      cb(status, 0);
+      return;
+    }
+    ClientOpRequest req = BaseRequest();
+    req.op = ClientOpKind::kSetReadId;
+    req.oid = setid;
+    req.elem = id;
+    ++rpcs_issued_;
+    client_->Op(std::move(req),
+                [this, cb = std::move(cb)](Status status, const ClientOpResponse& resp) {
+                  AbsorbResponse(resp);
+                  cb(status, resp.count);
+                });
+  });
+}
+
+void Tx::MultiRead(std::vector<ObjectId> oids, MultiReadCallback cb) {
+  FlushBuffered([this, oids = std::move(oids), cb = std::move(cb)](Status status) mutable {
+    if (!status.ok()) {
+      cb(status, {});
+      return;
+    }
+    ClientOpRequest req = BaseRequest();
+    req.op = ClientOpKind::kMultiRead;
+    req.oids = std::move(oids);
+    ++rpcs_issued_;
+    client_->Op(std::move(req),
+                [this, cb = std::move(cb)](Status status, const ClientOpResponse& resp) {
+                  AbsorbResponse(resp);
+                  cb(status, resp.values);
+                });
+  });
+}
+
+void Tx::Commit(CommitCallback cb, CommitOptions options) {
+  WCHECK(!finished_, "double commit");
+  finished_ = true;
+
+  bool want_durable = static_cast<bool>(options.on_durable);
+  bool want_visible = static_cast<bool>(options.on_visible);
+  if (want_durable) {
+    client_->WatchDurable(tid_, std::move(options.on_durable));
+  }
+  if (want_visible) {
+    client_->WatchVisible(tid_, std::move(options.on_visible));
+  }
+
+  auto send_commit = [this, want_durable, want_visible](ClientOpRequest req,
+                                                        CommitCallback cb) {
+    req.commit_after = true;
+    req.want_durable = want_durable;
+    req.want_visible = want_visible;
+    req.reply_port = client_->port();
+    ++rpcs_issued_;
+    client_->Op(std::move(req),
+                [this, cb = std::move(cb)](Status status, const ClientOpResponse& resp) {
+                  AbsorbResponse(resp);
+                  cb(status);
+                });
+  };
+
+  if (buffered_ && update_rpcs_sent_ == 0) {
+    // Single-update transaction: update + commit in one RPC (Section 8.2).
+    ClientOpRequest req = std::move(*buffered_);
+    buffered_.reset();
+    req.vts = vts_;
+    send_commit(std::move(req), std::move(cb));
+    return;
+  }
+  if (buffered_) {
+    FlushBuffered([this, cb = std::move(cb), send_commit](Status status) mutable {
+      if (!status.ok()) {
+        cb(status);
+        return;
+      }
+      send_commit(BaseRequest(), std::move(cb));
+    });
+    return;
+  }
+  if (update_rpcs_sent_ == 0) {
+    // Read-only transaction: commit is local (no RPC, Section 8.2).
+    cb(Status::Ok());
+    return;
+  }
+  send_commit(BaseRequest(), std::move(cb));
+}
+
+void Tx::Abort(std::function<void()> done) {
+  finished_ = true;
+  buffered_.reset();
+  if (update_rpcs_sent_ == 0) {
+    if (done) {
+      done();
+    }
+    return;
+  }
+  ClientOpRequest req = BaseRequest();
+  req.abort = true;
+  ++rpcs_issued_;
+  client_->Op(std::move(req), [done = std::move(done)](Status, const ClientOpResponse&) {
+    if (done) {
+      done();
+    }
+  });
+}
+
+}  // namespace walter

@@ -1,0 +1,125 @@
+// Walter client library: the application-facing API of Figure 14.
+//
+// A WalterClient represents one application server at a site; it talks to the
+// local Walter server over RPC. Tx is the transaction handle with the paper's
+// operations: read, write, setAdd, setDel, setRead, setReadId, commit, abort,
+// plus newid and the disaster-safe-durable / globally-visible commit callbacks
+// (Section 4.2).
+//
+// The harness is event-driven, so operations take completion callbacks where
+// the paper's API blocks. Operations of one transaction must be issued
+// serially (start the next after the previous completes), matching how the
+// paper's applications use the API ("each operation issues read/write requests
+// to Walter in series", Section 8.6).
+//
+// RPC piggybacking (Section 8.2): the snapshot is assigned on the first access
+// rather than by a separate start RPC, and a transaction whose only access is
+// a single update commits in exactly one RPC (the update and the commit travel
+// together).
+#ifndef SRC_CORE_CLIENT_H_
+#define SRC_CORE_CLIENT_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/core/messages.h"
+#include "src/crdt/cset.h"
+#include "src/net/network.h"
+
+namespace walter {
+
+class WalterClient {
+ public:
+  // port must be unique per client within the site (use kClientPortBase + n).
+  WalterClient(Network* net, SiteId site, uint32_t port);
+
+  SiteId site() const { return site_; }
+  uint32_t port() const { return endpoint_.address().port; }
+  Simulator* sim() { return endpoint_.sim(); }
+
+  // Fresh transaction id, unique across all clients.
+  TxId NextTid();
+
+  // Fresh object id in a container (Section 6's newid): ids are minted
+  // client-locally, so they are unique without coordination.
+  ObjectId NewId(ContainerId container);
+
+  // Low-level unified operation RPC (used by Tx).
+  void Op(ClientOpRequest req, std::function<void(Status, const ClientOpResponse&)> cb);
+
+  // Commit-event notification registry (Section 4.2 callbacks).
+  void WatchDurable(TxId tid, std::function<void()> cb) { durable_watch_[tid] = std::move(cb); }
+  void WatchVisible(TxId tid, std::function<void()> cb) { visible_watch_[tid] = std::move(cb); }
+
+ private:
+  RpcEndpoint endpoint_;
+  SiteId site_;
+  uint64_t uid_;
+  uint64_t next_tx_ = 1;
+  uint64_t next_local_id_ = 1;
+  std::unordered_map<TxId, std::function<void()>> durable_watch_;
+  std::unordered_map<TxId, std::function<void()>> visible_watch_;
+};
+
+// A transaction handle. Create, issue operations (serially), then Commit or
+// Abort. The handle must outlive its outstanding callbacks.
+class Tx {
+ public:
+  explicit Tx(WalterClient* client);
+
+  TxId tid() const { return tid_; }
+
+  using ReadCallback = std::function<void(Status, std::optional<std::string>)>;
+  using SetReadCallback = std::function<void(Status, CountingSet)>;
+  using CountCallback = std::function<void(Status, int64_t)>;
+  using MultiReadCallback =
+      std::function<void(Status, std::vector<std::optional<std::string>>)>;
+  using CommitCallback = std::function<void(Status)>;
+
+  void Read(const ObjectId& oid, ReadCallback cb);
+  void SetRead(const ObjectId& setid, SetReadCallback cb);
+  void SetReadId(const ObjectId& setid, const ObjectId& id, CountCallback cb);
+  void MultiRead(std::vector<ObjectId> oids, MultiReadCallback cb);
+
+  // Updates are buffered and flushed lazily (enables the 1-RPC fast path).
+  void Write(const ObjectId& oid, std::string data);
+  void SetAdd(const ObjectId& setid, const ObjectId& id);
+  void SetDel(const ObjectId& setid, const ObjectId& id);
+  // Destroying a regular object is writing nil to it (Section 6).
+  void Destroy(const ObjectId& oid) { Write(oid, ""); }
+
+  struct CommitOptions {
+    std::function<void()> on_durable;  // disaster-safe durable at f+1 sites
+    std::function<void()> on_visible;  // committed at all sites
+  };
+  void Commit(CommitCallback cb, CommitOptions options = {});
+  void Abort(std::function<void()> done = nullptr);
+
+  // Number of update RPCs + read RPCs + commit RPCs this transaction issued.
+  size_t rpcs_issued() const { return rpcs_issued_; }
+
+ private:
+  ClientOpRequest BaseRequest();
+  void BufferUpdate(ClientOpKind kind, const ObjectId& oid, const ObjectId& elem,
+                    std::string data);
+  // Sends the buffered update (if any), then runs `then`.
+  void FlushBuffered(std::function<void(Status)> then);
+  void AbsorbResponse(const ClientOpResponse& resp);
+
+  WalterClient* client_;
+  TxId tid_;
+  VectorTimestamp vts_;  // snapshot, once known
+  std::optional<ClientOpRequest> buffered_;
+  size_t update_rpcs_sent_ = 0;
+  size_t rpcs_issued_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace walter
+
+#endif  // SRC_CORE_CLIENT_H_

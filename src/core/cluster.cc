@@ -1,0 +1,50 @@
+#include "src/core/cluster.h"
+
+#include <utility>
+
+namespace walter {
+
+Cluster::Cluster(ClusterOptions options) : options_(std::move(options)), sim_(options_.seed) {
+  Topology topo = options_.topology ? *options_.topology
+                                    : (options_.num_sites <= 4
+                                           ? Topology::Ec2Subset(options_.num_sites)
+                                           : Topology::Uniform(options_.num_sites, Millis(100),
+                                                               Millis(0.5)));
+  net_ = std::make_unique<Network>(&sim_, std::move(topo));
+  for (SiteId s = 0; s < options_.num_sites; ++s) {
+    directories_.push_back(std::make_unique<ContainerDirectory>(options_.num_sites));
+    WalterServer::Options so = options_.server;
+    so.site = s;
+    so.num_sites = options_.num_sites;
+    servers_.push_back(
+        std::make_unique<WalterServer>(&sim_, net_.get(), so, directories_[s].get()));
+  }
+}
+
+void Cluster::UpsertContainerEverywhere(const ContainerInfo& info) {
+  for (auto& dir : directories_) {
+    dir->Upsert(info);
+  }
+}
+
+WalterClient* Cluster::AddClient(SiteId site) {
+  clients_.push_back(std::make_unique<WalterClient>(net_.get(), site, next_client_port_++));
+  return clients_.back().get();
+}
+
+WalterServer& Cluster::ReplaceServer(SiteId s) {
+  WalterServer::DurableImage image = servers_[s]->TakeDurableImage();
+  WalterServer::Options so = servers_[s]->options();
+  servers_[s].reset();  // frees the endpoint address
+  servers_[s] = std::make_unique<WalterServer>(&sim_, net_.get(), so, directories_[s].get());
+  servers_[s]->Restore(image);
+  return *servers_[s];
+}
+
+void Cluster::ObserveCommits(WalterServer::CommitObserver observer) {
+  for (auto& server : servers_) {
+    server->SetCommitObserver(observer);
+  }
+}
+
+}  // namespace walter

@@ -1,0 +1,71 @@
+// Cluster: assembles a complete simulated Walter deployment — simulator,
+// network with a topology, one WalterServer per site, a container directory,
+// and clients. This is the entry point examples, tests and benchmarks use.
+#ifndef SRC_CORE_CLUSTER_H_
+#define SRC_CORE_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/core/container.h"
+#include "src/core/server.h"
+#include "src/net/network.h"
+#include "src/net/topology.h"
+#include "src/sim/simulator.h"
+
+namespace walter {
+
+struct ClusterOptions {
+  size_t num_sites = 4;
+  uint64_t seed = 1;
+  // Per-server options; site/num_sites are filled in per server.
+  WalterServer::Options server;
+  // Network topology; by default the paper's EC2 sites (truncated to num_sites).
+  std::optional<Topology> topology;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options = {});
+
+  size_t num_sites() const { return servers_.size(); }
+  Simulator& sim() { return sim_; }
+  Network& net() { return *net_; }
+  // Each site caches container metadata independently (Section 5.1).
+  ContainerDirectory& directory(SiteId s) { return *directories_[s]; }
+  WalterServer& server(SiteId s) { return *servers_[s]; }
+
+  // Administrator convenience: installs container metadata at every site at
+  // once (tests that need divergence write per-site directories directly).
+  void UpsertContainerEverywhere(const ContainerInfo& info);
+
+  // Creates a client at a site (each gets a unique port).
+  WalterClient* AddClient(SiteId site);
+
+  // Replaces a crashed server with a fresh one restored from its durable image
+  // (the replacement-server path of Section 5.7). The old server object is
+  // destroyed; references to it become invalid.
+  WalterServer& ReplaceServer(SiteId s);
+
+  // Installs a commit observer on every server (e.g. a PsiChecker hook).
+  void ObserveCommits(WalterServer::CommitObserver observer);
+
+  // Runs virtual time forward by `d`.
+  void RunFor(SimDuration d) { sim_.RunUntil(sim_.Now() + d); }
+  // Runs until no events remain (all protocols quiesce; gossip must be off).
+  void RunUntilIdle() { sim_.Run(); }
+
+ private:
+  ClusterOptions options_;
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<ContainerDirectory>> directories_;
+  std::vector<std::unique_ptr<WalterServer>> servers_;
+  std::vector<std::unique_ptr<WalterClient>> clients_;
+  uint32_t next_client_port_ = kClientPortBase;
+};
+
+}  // namespace walter
+
+#endif  // SRC_CORE_CLUSTER_H_

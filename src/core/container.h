@@ -1,0 +1,87 @@
+// Containers (Section 4.1): logical groups of objects sharing a preferred site
+// and a replica set. The preferred site is where writes to the container's
+// objects fast-commit; the replica set says which sites store the data.
+//
+// ContainerDirectory is the per-server cache of container metadata (Section
+// 5.1); it is populated from the configuration service and consulted on every
+// access. An unknown container defaults to "replicated everywhere, preferred
+// site = its container id modulo the site count", which is the layout the
+// microbenchmarks use.
+#ifndef SRC_CORE_CONTAINER_H_
+#define SRC_CORE_CONTAINER_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace walter {
+
+struct ContainerInfo {
+  ContainerId id = 0;
+  SiteId preferred_site = 0;
+  // Sites replicating the container's objects. Empty = replicated at all sites.
+  std::vector<SiteId> replicas;
+
+  bool ReplicatedAt(SiteId s) const {
+    if (replicas.empty()) {
+      return true;
+    }
+    for (SiteId r : replicas) {
+      if (r == s) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+class ContainerDirectory {
+ public:
+  explicit ContainerDirectory(size_t num_sites) : num_sites_(num_sites) {}
+
+  void Upsert(ContainerInfo info) { containers_[info.id] = std::move(info); }
+  void Erase(ContainerId id) { containers_.erase(id); }
+
+  // Metadata for a container; falls back to the default layout when unknown.
+  // A site remap (failed-site recovery) rewrites the preferred site.
+  ContainerInfo Get(ContainerId id) const {
+    ContainerInfo info;
+    auto it = containers_.find(id);
+    if (it != containers_.end()) {
+      info = it->second;
+    } else {
+      info.id = id;
+      info.preferred_site = static_cast<SiteId>(id % num_sites_);
+    }
+    auto remap = remap_.find(info.preferred_site);
+    if (remap != remap_.end()) {
+      info.preferred_site = remap->second;
+    }
+    return info;
+  }
+
+  // Redirects every container preferred at `from` to `to` — the aggressive
+  // site-recovery reassignment of Section 5.7. Cleared on re-integration.
+  void RemapSite(SiteId from, SiteId to) { remap_[from] = to; }
+  void ClearRemap(SiteId from) { remap_.erase(from); }
+
+  // The preferred site of an object: site(oid) in Figures 11-12.
+  SiteId PreferredSite(const ObjectId& oid) const { return Get(oid.container).preferred_site; }
+
+  bool ReplicatedAt(const ObjectId& oid, SiteId s) const {
+    return Get(oid.container).ReplicatedAt(s);
+  }
+
+  size_t num_sites() const { return num_sites_; }
+
+ private:
+  size_t num_sites_;
+  std::unordered_map<ContainerId, ContainerInfo> containers_;
+  std::unordered_map<SiteId, SiteId> remap_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_CORE_CONTAINER_H_

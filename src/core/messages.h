@@ -1,0 +1,205 @@
+// Wire messages of the Walter protocols.
+//
+// Client <-> server: a single unified ClientOpRequest carries one operation of
+// the Figure 14 API plus piggyback flags — start_tx piggybacks the snapshot
+// assignment onto the first access, commit_after piggybacks commit onto the
+// last access, so single-access transactions need exactly one RPC (the
+// optimization of Section 8.2).
+//
+// Server <-> server: slow-commit two-phase-commit (PREPARE / ABORT-2PC,
+// Figure 12) and the asynchronous propagation protocol (PROPAGATE /
+// PROPAGATE-ACK / DS-DURABLE / VISIBLE, Figure 13), plus remote reads for
+// objects not replicated locally (Section 4.3).
+#ifndef SRC_CORE_MESSAGES_H_
+#define SRC_CORE_MESSAGES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/common/update.h"
+
+namespace walter {
+
+enum MessageType : uint32_t {
+  kClientOp = 1,
+  kDurableNotify = 2,   // server -> client: transaction is disaster-safe durable
+  kVisibleNotify = 3,   // server -> client: transaction is globally visible
+  kPrepare = 10,        // 2PC phase 1 (slow commit)
+  kAbort2pc = 11,       // 2PC abort / lock release
+  kPropagate = 12,      // batch of committed transactions (one-way)
+  kPropagateAck = 13,   // cumulative ack of received transactions (one-way)
+  kDsDurable = 14,      // origin announces a transaction is disaster-safe durable
+  kVisibleAck = 15,     // remote site has committed the transaction (one-way)
+  kRemoteRead = 16,     // read at the preferred site for non-replicated objects
+  kTxStatus = 17,       // lock-holder asks a 2PC coordinator for an outcome
+};
+
+// 2PC termination protocol: a site holding a prepare lock whose coordinator
+// went quiet asks for the transaction's outcome. `kTxAborted` covers both
+// "aborted" and "never heard of it" — an unknown tid at the coordinator means
+// it never committed there (or is already globally visible, in which case the
+// asking site released the lock when the transaction propagated to it).
+enum class TxStatusOutcome : uint8_t {
+  kTxAborted = 0,
+  kTxPending = 1,
+  kTxCommitted = 2,
+};
+
+struct TxStatusRequest {
+  TxId tid = 0;
+
+  std::string Serialize() const;
+  static TxStatusRequest Deserialize(std::string_view bytes);
+};
+
+struct TxStatusResponse {
+  TxStatusOutcome outcome = TxStatusOutcome::kTxAborted;
+
+  std::string Serialize() const;
+  static TxStatusResponse Deserialize(std::string_view bytes);
+};
+
+enum class ClientOpKind : uint8_t {
+  kNone = 0,  // pure start / commit / abort carrier
+  kRead,
+  kWrite,
+  kSetAdd,
+  kSetDel,
+  kSetRead,
+  kSetReadId,
+  kMultiRead,
+};
+
+struct ClientOpRequest {
+  TxId tid = 0;
+  bool start_tx = false;      // assign a snapshot if the transaction is new
+  // Snapshot held by the client (returned by an earlier op of this
+  // transaction); empty means "assign one now" when start_tx is set.
+  VectorTimestamp vts;
+  ClientOpKind op = ClientOpKind::kNone;
+  ObjectId oid;               // target object (read/write/cset ops)
+  ObjectId elem;              // cset element (setAdd/setDel/setReadId)
+  std::string data;           // write payload
+  std::vector<ObjectId> oids;  // multiRead targets
+  bool commit_after = false;  // commit once the op is applied
+  bool abort = false;         // abort the transaction
+  bool want_durable = false;  // notify client at disaster-safe durability
+  bool want_visible = false;  // notify client at global visibility
+  uint32_t reply_port = 0;    // client's endpoint port for notifications
+
+  std::string Serialize() const;
+  static ClientOpRequest Deserialize(std::string_view bytes);
+};
+
+struct ClientOpResponse {
+  StatusCode status = StatusCode::kOk;
+  // Snapshot assigned to the transaction (echoed so the client can pass it on
+  // subsequent operations; makes read-only transactions stateless server-side).
+  VectorTimestamp assigned_vts;
+  bool found = false;           // regular read: object has a value
+  std::string data;             // regular read result
+  std::string cset_bytes;       // serialized CountingSet (setRead)
+  int64_t count = 0;            // setReadId result
+  std::vector<std::optional<std::string>> values;  // multiRead results
+  Version commit_version;       // set when commit_after succeeded
+
+  std::string Serialize() const;
+  static ClientOpResponse Deserialize(std::string_view bytes);
+};
+
+struct PrepareRequest {
+  TxId tid = 0;
+  std::vector<ObjectId> oids;  // written objects whose preferred site is the callee
+  VectorTimestamp start_vts;
+
+  std::string Serialize() const;
+  static PrepareRequest Deserialize(std::string_view bytes);
+};
+
+struct PrepareResponse {
+  bool vote_yes = false;
+
+  std::string Serialize() const;
+  static PrepareResponse Deserialize(std::string_view bytes);
+};
+
+struct AbortMessage {
+  TxId tid = 0;
+
+  std::string Serialize() const;
+  static AbortMessage Deserialize(std::string_view bytes);
+};
+
+struct PropagateBatch {
+  SiteId origin = kNoSite;
+  std::vector<TxRecord> records;  // contiguous seqnos from origin
+
+  std::string Serialize() const;
+  static PropagateBatch Deserialize(std::string_view bytes);
+  size_t ByteSize() const;
+};
+
+struct PropagateAck {
+  SiteId from = kNoSite;       // the acking site
+  SiteId origin = kNoSite;     // whose transactions are acked
+  uint64_t received_through = 0;  // cumulative: GotVTS[origin] at the acker
+
+  std::string Serialize() const;
+  static PropagateAck Deserialize(std::string_view bytes);
+};
+
+struct DsDurableMessage {
+  SiteId origin = kNoSite;
+  uint64_t durable_through = 0;  // all origin seqnos <= this are disaster-safe
+
+  std::string Serialize() const;
+  static DsDurableMessage Deserialize(std::string_view bytes);
+};
+
+struct VisibleAck {
+  SiteId from = kNoSite;
+  SiteId origin = kNoSite;
+  uint64_t committed_through = 0;  // CommittedVTS[origin] at the acking site
+
+  std::string Serialize() const;
+  static VisibleAck Deserialize(std::string_view bytes);
+};
+
+struct RemoteReadRequest {
+  ObjectId oid;
+  VectorTimestamp vts;
+  bool is_cset = false;
+  // For merging with the caller's local history (Figure 10): the caller holds
+  // its own unreplicated updates from seqno >= local_min_seqno, so the callee
+  // excludes its copies of those to avoid double counting.
+  SiteId caller = kNoSite;
+  uint64_t local_min_seqno = 0;  // 0 = caller holds nothing local
+
+  std::string Serialize() const;
+  static RemoteReadRequest Deserialize(std::string_view bytes);
+};
+
+struct RemoteReadResponse {
+  bool found = false;
+  std::string data;
+  Version version;           // version of the returned regular value
+  std::string cset_bytes;    // folded cset (with exclusions applied)
+
+  std::string Serialize() const;
+  static RemoteReadResponse Deserialize(std::string_view bytes);
+};
+
+struct TxNotify {
+  TxId tid = 0;
+
+  std::string Serialize() const;
+  static TxNotify Deserialize(std::string_view bytes);
+};
+
+}  // namespace walter
+
+#endif  // SRC_CORE_MESSAGES_H_

@@ -1,0 +1,1215 @@
+#include "src/core/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace walter {
+
+namespace {
+
+// Deduplicated regular-object write set of an update buffer (the write-set of
+// Figure 11 excludes cset updates).
+std::vector<ObjectId> WriteSetOf(const std::vector<ObjectUpdate>& updates) {
+  std::vector<ObjectId> ws;
+  for (const auto& u : updates) {
+    if (u.kind == UpdateKind::kData) {
+      ws.push_back(u.oid);
+    }
+  }
+  std::sort(ws.begin(), ws.end());
+  ws.erase(std::unique(ws.begin(), ws.end()), ws.end());
+  return ws;
+}
+
+}  // namespace
+
+WalterServer::WalterServer(Simulator* sim, Network* net, Options options,
+                           ContainerDirectory* directory)
+    : sim_(sim),
+      net_(net),
+      options_(options),
+      directory_(directory),
+      endpoint_(net, Address{options.site, kWalterPort}),
+      cpu_(sim, options.perf.cpu_capacity, "cpu@" + std::to_string(options.site)),
+      disk_(sim, options.disk),
+      store_(options.cache_bytes),
+      committed_vts_(options.num_sites),
+      got_vts_(options.num_sites),
+      pending_in_(options.num_sites),
+      uncommitted_remote_(options.num_sites),
+      durable_known_(options.num_sites, 0),
+      dests_(options.num_sites) {
+  endpoint_.Handle(kClientOp,
+                   [this](const Message& m, RpcEndpoint::ReplyFn r) { HandleClientOp(m, std::move(r)); });
+  endpoint_.Handle(kPrepare,
+                   [this](const Message& m, RpcEndpoint::ReplyFn r) { HandlePrepare(m, std::move(r)); });
+  endpoint_.Handle(kAbort2pc, [this](const Message& m, RpcEndpoint::ReplyFn) { HandleAbort2pc(m); });
+  endpoint_.Handle(kPropagate, [this](const Message& m, RpcEndpoint::ReplyFn) { HandlePropagate(m); });
+  endpoint_.Handle(kPropagateAck,
+                   [this](const Message& m, RpcEndpoint::ReplyFn) { HandlePropagateAck(m); });
+  endpoint_.Handle(kDsDurable, [this](const Message& m, RpcEndpoint::ReplyFn) { HandleDsDurable(m); });
+  endpoint_.Handle(kVisibleAck, [this](const Message& m, RpcEndpoint::ReplyFn) { HandleVisibleAck(m); });
+  endpoint_.Handle(kRemoteRead,
+                   [this](const Message& m, RpcEndpoint::ReplyFn r) { HandleRemoteRead(m, std::move(r)); });
+  endpoint_.Handle(kTxStatus,
+                   [this](const Message& m, RpcEndpoint::ReplyFn r) { HandleTxStatus(m, std::move(r)); });
+  if (options_.num_sites > 1 && options_.gossip_interval > 0) {
+    StartGossip();
+  }
+}
+
+SimDuration WalterServer::Jittered(SimDuration base) {
+  if (base == 0 || options_.perf.jitter <= 0) {
+    return base;
+  }
+  return static_cast<SimDuration>(static_cast<double>(base) *
+                                  (1.0 + options_.perf.jitter * sim_->rng().NextDouble()));
+}
+
+SimDuration WalterServer::CostFor(const ClientOpRequest& req) const {
+  const PerfModel& p = options_.perf;
+  SimDuration cost = 0;
+  switch (req.op) {
+    case ClientOpKind::kRead:
+    case ClientOpKind::kSetRead:
+    case ClientOpKind::kSetReadId:
+      cost += p.read_op;
+      break;
+    case ClientOpKind::kMultiRead:
+      cost += p.read_op * static_cast<SimDuration>(std::max<size_t>(req.oids.size(), 1));
+      break;
+    case ClientOpKind::kWrite:
+    case ClientOpKind::kSetAdd:
+    case ClientOpKind::kSetDel:
+      cost += p.buffer_op;
+      break;
+    case ClientOpKind::kNone:
+      cost += p.start_op;
+      break;
+  }
+  if (req.commit_after) {
+    cost += p.commit_op;
+  }
+  return cost;
+}
+
+// ---------------------------------------------------------------------------
+// Client operations (Figure 10)
+// ---------------------------------------------------------------------------
+
+void WalterServer::HandleClientOp(const Message& msg, RpcEndpoint::ReplyFn reply) {
+  ClientOpRequest req = ClientOpRequest::Deserialize(msg.payload);
+  auto respond = [reply = std::move(reply)](ClientOpResponse resp) {
+    Message m;
+    m.payload = resp.Serialize();
+    reply(std::move(m));
+  };
+  cpu_.Execute(Jittered(CostFor(req)),
+               [this, req = std::move(req), respond = std::move(respond)]() mutable {
+                 ProcessClientOp(req, std::move(respond));
+               });
+}
+
+void WalterServer::ProcessClientOp(const ClientOpRequest& req,
+                                   std::function<void(ClientOpResponse)> respond) {
+  if (req.abort) {
+    active_.erase(req.tid);
+    ReleaseLocks(req.tid);
+    respond(ClientOpResponse{});
+    return;
+  }
+
+  // Resolve the snapshot: carried by the client, held server-side, or new.
+  auto it = active_.find(req.tid);
+  VectorTimestamp vts;
+  if (req.vts.num_sites() > 0) {
+    vts = req.vts;
+  } else if (it != active_.end()) {
+    vts = it->second.start_vts;
+  } else {
+    vts = SnapshotNow();
+  }
+
+  // Buffering operations create/extend the server-side transaction state.
+  ObjectUpdate update;
+  bool is_update = true;
+  switch (req.op) {
+    case ClientOpKind::kWrite:
+      update = ObjectUpdate::Data(req.oid, req.data);
+      break;
+    case ClientOpKind::kSetAdd:
+      update = ObjectUpdate::Add(req.oid, req.elem);
+      break;
+    case ClientOpKind::kSetDel:
+      update = ObjectUpdate::Del(req.oid, req.elem);
+      break;
+    default:
+      is_update = false;
+      break;
+  }
+  if (is_update) {
+    ActiveTx& tx = active_[req.tid];
+    if (tx.start_vts.num_sites() == 0) {
+      tx.start_vts = vts;
+    }
+    if (tx.committing) {
+      ClientOpResponse resp;
+      resp.status = StatusCode::kFailedPrecondition;
+      respond(std::move(resp));
+      return;
+    }
+    tx.updates.push_back(std::move(update));
+    it = active_.find(req.tid);
+  }
+
+  if (req.op == ClientOpKind::kRead || req.op == ClientOpKind::kSetRead ||
+      req.op == ClientOpKind::kSetReadId || req.op == ClientOpKind::kMultiRead) {
+    ++stats_.reads;
+    const ActiveTx* tx = it != active_.end() ? &it->second : nullptr;
+    DoRead(req, vts, tx, std::move(respond));
+    return;
+  }
+
+  if (req.commit_after) {
+    ActiveTx tx;
+    if (it != active_.end()) {
+      tx = std::move(it->second);
+      active_.erase(it);
+    } else {
+      tx.start_vts = vts;
+    }
+    DoCommit(req.tid, std::move(tx), req.want_durable, req.want_visible, req.reply_port,
+             std::move(respond));
+    return;
+  }
+
+  // Pure buffering op (or explicit start): acknowledge with the snapshot.
+  ClientOpResponse resp;
+  resp.assigned_vts = vts;
+  respond(std::move(resp));
+}
+
+void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts,
+                          const ActiveTx* tx, std::function<void(ClientOpResponse)> respond) {
+  ClientOpResponse resp;
+  resp.assigned_vts = vts;
+
+  auto own_regular = [&](const ObjectId& oid) -> std::optional<std::string> {
+    if (tx == nullptr) {
+      return std::nullopt;
+    }
+    for (auto u = tx->updates.rbegin(); u != tx->updates.rend(); ++u) {
+      if (u->oid == oid && u->kind == UpdateKind::kData) {
+        return u->data;
+      }
+    }
+    return std::nullopt;
+  };
+  auto overlay_cset_ops = [&](const ObjectId& oid, CountingSet* set) {
+    if (tx == nullptr) {
+      return;
+    }
+    for (const auto& u : tx->updates) {
+      if (u.oid == oid && u.kind != UpdateKind::kData) {
+        set->ApplyOp(u);
+      }
+    }
+  };
+
+  bool replicated = directory_->ReplicatedAt(req.oid, options_.site);
+
+  switch (req.op) {
+    case ClientOpKind::kRead: {
+      if (auto own = own_regular(req.oid)) {
+        resp.found = true;
+        resp.data = *own;
+        respond(std::move(resp));
+        return;
+      }
+      store_.TouchCache(req.oid, ObjectType::kRegular, 128);
+      if (replicated) {
+        if (auto v = store_.ReadRegular(req.oid, vts)) {
+          resp.found = true;
+          resp.data = std::move(*v);
+        }
+        respond(std::move(resp));
+        return;
+      }
+      // Not replicated locally: fetch from the preferred site and merge with
+      // any of our own recent (unreplicated) writes (Figure 10).
+      ++stats_.remote_reads;
+      auto local = store_.LatestLocalVisible(req.oid, vts, options_.site);
+      RemoteReadRequest rr;
+      rr.oid = req.oid;
+      rr.vts = vts;
+      rr.is_cset = false;
+      rr.caller = options_.site;
+      SiteId preferred = directory_->PreferredSite(req.oid);
+      endpoint_.Call(
+          Address{preferred, kWalterPort}, kRemoteRead, rr.Serialize(),
+          [this, resp = std::move(resp), local, respond = std::move(respond)](
+              Status status, const Message& m) mutable {
+            if (!status.ok()) {
+              resp.status = StatusCode::kUnavailable;
+              respond(std::move(resp));
+              return;
+            }
+            RemoteReadResponse remote = RemoteReadResponse::Deserialize(m.payload);
+            // Merge: a local write to a remote-preferred object slow-committed
+            // through the preferred site, so if we hold one it is the causally
+            // newest visible version unless the remote value is a later write
+            // of our own (compare seqnos when both originate here).
+            if (local && remote.found && remote.version.site == options_.site) {
+              if (remote.version.seqno > local->second.seqno) {
+                resp.found = true;
+                resp.data = std::move(remote.data);
+              } else {
+                resp.found = true;
+                resp.data = local->first;
+              }
+            } else if (local) {
+              resp.found = true;
+              resp.data = local->first;
+            } else if (remote.found) {
+              resp.found = true;
+              resp.data = std::move(remote.data);
+            }
+            respond(std::move(resp));
+          },
+          options_.resend_timeout);
+      return;
+    }
+    case ClientOpKind::kSetRead:
+    case ClientOpKind::kSetReadId: {
+      store_.TouchCache(req.oid, ObjectType::kCset, 256);
+      if (replicated) {
+        CountingSet set = store_.ReadCset(req.oid, vts);
+        overlay_cset_ops(req.oid, &set);
+        if (req.op == ClientOpKind::kSetReadId) {
+          resp.count = set.Count(req.elem);
+        } else {
+          ByteWriter w;
+          set.Serialize(&w);
+          resp.cset_bytes = w.Take();
+        }
+        respond(std::move(resp));
+        return;
+      }
+      ++stats_.remote_reads;
+      uint64_t min_seq = store_.MinLocalSeqno(req.oid, options_.site);
+      CountingSet local = store_.FoldLocalCsetOps(req.oid, vts, options_.site);
+      RemoteReadRequest rr;
+      rr.oid = req.oid;
+      rr.vts = vts;
+      rr.is_cset = true;
+      rr.caller = options_.site;
+      rr.local_min_seqno = min_seq;
+      SiteId preferred = directory_->PreferredSite(req.oid);
+      ObjectId elem = req.elem;
+      bool want_count = req.op == ClientOpKind::kSetReadId;
+      ObjectId oid = req.oid;
+      endpoint_.Call(
+          Address{preferred, kWalterPort}, kRemoteRead, rr.Serialize(),
+          [this, resp = std::move(resp), local, elem, want_count, oid, tx_tid = req.tid,
+           respond = std::move(respond)](Status status, const Message& m) mutable {
+            if (!status.ok()) {
+              resp.status = StatusCode::kUnavailable;
+              respond(std::move(resp));
+              return;
+            }
+            RemoteReadResponse remote = RemoteReadResponse::Deserialize(m.payload);
+            ByteReader r(remote.cset_bytes);
+            CountingSet set = CountingSet::Deserialize(&r);
+            set.MergeAdd(local);
+            // Re-apply the transaction's own buffered ops (it may still exist).
+            auto it = active_.find(tx_tid);
+            if (it != active_.end()) {
+              for (const auto& u : it->second.updates) {
+                if (u.oid == oid && u.kind != UpdateKind::kData) {
+                  set.ApplyOp(u);
+                }
+              }
+            }
+            if (want_count) {
+              resp.count = set.Count(elem);
+            } else {
+              ByteWriter w;
+              set.Serialize(&w);
+              resp.cset_bytes = w.Take();
+            }
+            respond(std::move(resp));
+          },
+          options_.resend_timeout);
+      return;
+    }
+    case ClientOpKind::kMultiRead: {
+      // Batched read of many regular objects in one RPC (Section 6). Objects
+      // not replicated locally read as their locally known state.
+      for (const auto& oid : req.oids) {
+        if (auto own = own_regular(oid)) {
+          resp.values.push_back(std::move(own));
+          continue;
+        }
+        store_.TouchCache(oid, ObjectType::kRegular, 128);
+        resp.values.push_back(store_.ReadRegular(oid, vts));
+      }
+      respond(std::move(resp));
+      return;
+    }
+    default:
+      resp.status = StatusCode::kInvalidArgument;
+      respond(std::move(resp));
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Commit (Figures 11 and 12)
+// ---------------------------------------------------------------------------
+
+void WalterServer::DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
+                            uint32_t reply_port, std::function<void(ClientOpResponse)> respond) {
+  std::vector<ObjectId> writeset = WriteSetOf(tx.updates);
+
+  if (tx.updates.empty()) {
+    // Read-only transaction: nothing to commit.
+    ClientOpResponse resp;
+    resp.assigned_vts = tx.start_vts;
+    respond(std::move(resp));
+    return;
+  }
+
+  std::vector<SiteId> sites;
+  for (const auto& oid : writeset) {
+    SiteId s = directory_->PreferredSite(oid);
+    if (std::find(sites.begin(), sites.end(), s) == sites.end()) {
+      sites.push_back(s);
+    }
+  }
+
+  bool all_local = sites.empty() || (sites.size() == 1 && sites[0] == options_.site);
+  if (all_local) {
+    FastCommit(tid, std::move(tx), want_durable, want_visible, reply_port, std::move(respond));
+  } else {
+    SlowCommit(tid, std::move(tx), std::move(sites), want_durable, want_visible, reply_port,
+               std::move(respond));
+  }
+}
+
+void WalterServer::FastCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
+                              uint32_t reply_port,
+                              std::function<void(ClientOpResponse)> respond) {
+  // Conflict checks of Figure 11: every written object unmodified since the
+  // snapshot and unlocked. This whole function is one event — atomic.
+  for (const auto& oid : WriteSetOf(tx.updates)) {
+    if (lease_checker_ && !lease_checker_(oid.container)) {
+      ++stats_.aborts;
+      ClientOpResponse resp;
+      resp.status = StatusCode::kUnavailable;
+      respond(std::move(resp));
+      return;
+    }
+    if (locks_.contains(oid) || !store_.Unmodified(oid, tx.start_vts)) {
+      ++stats_.aborts;
+      ClientOpResponse resp;
+      resp.status = StatusCode::kAborted;
+      respond(std::move(resp));
+      return;
+    }
+  }
+  ++stats_.fast_commits;
+  CommitLocally(tid, tx, want_durable, want_visible, reply_port, std::move(respond));
+}
+
+void WalterServer::CommitLocally(TxId tid, const ActiveTx& tx, bool want_durable,
+                                 bool want_visible, uint32_t reply_port,
+                                 std::function<void(ClientOpResponse)> respond) {
+  uint64_t seqno = ++curr_seqno_;
+  TxRecord rec;
+  rec.tid = tid;
+  rec.origin = options_.site;
+  rec.version = Version{options_.site, seqno};
+  rec.start_vts = tx.start_vts;
+  rec.updates = tx.updates;
+  store_.Apply(rec);
+
+  LocalCommit lc;
+  lc.record = std::move(rec);
+  lc.want_durable = want_durable;
+  lc.want_visible = want_visible;
+  lc.reply_port = reply_port;
+  lc.respond = std::move(respond);
+  local_commits_.emplace(seqno, std::move(lc));
+  committed_tids_[tid] = seqno;
+
+  size_t wal_frontier = store_.wal().base() + store_.wal().size();
+  disk_.Flush([this, seqno, wal_frontier]() {
+    durable_wal_bytes_ = std::max(durable_wal_bytes_, wal_frontier);
+    OnLocalFlushed(seqno);
+  });
+}
+
+void WalterServer::OnLocalFlushed(uint64_t seqno) {
+  auto it = local_commits_.find(seqno);
+  if (it == local_commits_.end()) {
+    return;
+  }
+  it->second.flushed = true;
+  AdvanceLocalCommits();
+}
+
+void WalterServer::AdvanceLocalCommits() {
+  bool advanced = false;
+  while (true) {
+    uint64_t next = committed_vts_.at(options_.site) + 1;
+    auto it = local_commits_.find(next);
+    if (it == local_commits_.end() || !it->second.flushed || it->second.committed) {
+      break;
+    }
+    LocalCommit& lc = it->second;
+    lc.committed = true;
+    committed_vts_.Advance(options_.site);
+    got_vts_.set(options_.site, committed_vts_.at(options_.site));
+    ReleaseLocks(lc.record.tid);
+    if (lc.respond) {
+      ClientOpResponse resp;
+      resp.assigned_vts = lc.record.start_vts;
+      resp.commit_version = lc.record.version;
+      lc.respond(std::move(resp));
+      lc.respond = nullptr;
+    }
+    if (observer_) {
+      observer_(options_.site, lc.record);
+    }
+    advanced = true;
+  }
+  if (advanced) {
+    TryCommitRemotes();  // our commits may unblock remote-commit causality guards
+    UpdateDsDurable();
+    MaybeSendAllBatches();
+  }
+}
+
+void WalterServer::SlowCommit(TxId tid, ActiveTx tx, std::vector<SiteId> sites,
+                              bool want_durable, bool want_visible, uint32_t reply_port,
+                              std::function<void(ClientOpResponse)> respond) {
+  ++stats_.slow_commits;
+  auto state = std::make_shared<SlowCommitState>();
+  state->tid = tid;
+  state->tx = std::move(tx);
+  state->sites = std::move(sites);
+  state->reply = std::move(respond);
+  state->want_durable = want_durable;
+  state->want_visible = want_visible;
+  state->reply_port = reply_port;
+  slow_commits_[tid] = state;
+
+  // Partition the write-set by preferred site.
+  std::map<SiteId, std::vector<ObjectId>> by_site;
+  for (const auto& oid : WriteSetOf(state->tx.updates)) {
+    by_site[directory_->PreferredSite(oid)].push_back(oid);
+  }
+
+  // Local vote first (synchronous).
+  auto local_it = by_site.find(options_.site);
+  if (local_it != by_site.end()) {
+    if (!PrepareLocal(tid, local_it->second, state->tx.start_vts, options_.site)) {
+      state->any_no = true;
+    }
+    by_site.erase(local_it);
+  }
+
+  state->votes_pending = by_site.size();
+  if (state->votes_pending == 0) {
+    FinishSlowCommit(state);
+    return;
+  }
+
+  for (auto& [s, oids] : by_site) {
+    PrepareRequest prep;
+    prep.tid = tid;
+    prep.oids = std::move(oids);
+    prep.start_vts = state->tx.start_vts;
+    endpoint_.Call(
+        Address{s, kWalterPort}, kPrepare, prep.Serialize(),
+        [this, state, s](Status status, const Message& m) {
+          if (state->finished) {
+            return;
+          }
+          bool yes = false;
+          if (status.ok()) {
+            yes = PrepareResponse::Deserialize(m.payload).vote_yes;
+          }
+          if (yes) {
+            state->yes_votes.push_back(s);
+          } else {
+            state->any_no = true;
+          }
+          if (--state->votes_pending == 0) {
+            FinishSlowCommit(state);
+          }
+        },
+        options_.resend_timeout);
+  }
+}
+
+void WalterServer::FinishSlowCommit(std::shared_ptr<SlowCommitState> state) {
+  state->finished = true;
+  slow_commits_.erase(state->tid);
+  if (state->any_no) {
+    // Release remote locks we acquired, and our own.
+    for (SiteId s : state->yes_votes) {
+      AbortMessage abort{state->tid};
+      endpoint_.Send(Address{s, kWalterPort}, kAbort2pc, abort.Serialize());
+    }
+    ReleaseLocks(state->tid);
+    ++stats_.aborts;
+    ClientOpResponse resp;
+    resp.status = StatusCode::kAborted;
+    state->reply(std::move(resp));
+    return;
+  }
+  // All preferred sites hold locks for us: commit exactly as in fast commit.
+  // Local locks (if any) are released when the commit is applied; remote locks
+  // when the transaction propagates there (Figure 13).
+  CommitLocally(state->tid, state->tx, state->want_durable, state->want_visible,
+                state->reply_port, std::move(state->reply));
+}
+
+bool WalterServer::PrepareLocal(TxId tid, const std::vector<ObjectId>& oids,
+                                const VectorTimestamp& vts, SiteId coordinator) {
+  for (const auto& oid : oids) {
+    if (lease_checker_ && !lease_checker_(oid.container)) {
+      return false;
+    }
+    if (locks_.contains(oid) || !store_.Unmodified(oid, vts)) {
+      return false;
+    }
+  }
+  LockAll(tid, oids, coordinator);
+  return true;
+}
+
+void WalterServer::HandlePrepare(const Message& msg, RpcEndpoint::ReplyFn reply) {
+  PrepareRequest req = PrepareRequest::Deserialize(msg.payload);
+  SiteId coordinator = msg.from.site;
+  cpu_.Execute(Jittered(options_.perf.prepare_op), [this, req = std::move(req), coordinator,
+                                                    reply = std::move(reply)]() {
+    ++stats_.prepares_handled;
+    PrepareResponse resp;
+    resp.vote_yes = PrepareLocal(req.tid, req.oids, req.start_vts, coordinator);
+    Message m;
+    m.payload = resp.Serialize();
+    reply(std::move(m));
+  });
+}
+
+void WalterServer::HandleAbort2pc(const Message& msg) {
+  AbortMessage abort = AbortMessage::Deserialize(msg.payload);
+  ReleaseLocks(abort.tid);
+}
+
+void WalterServer::LockAll(TxId tid, const std::vector<ObjectId>& oids, SiteId coordinator) {
+  LockOwner& owner = lock_owners_[tid];
+  owner.coordinator = coordinator;
+  owner.acquired = sim_->Now();
+  for (const auto& oid : oids) {
+    locks_[oid] = tid;
+    owner.oids.push_back(oid);
+  }
+}
+
+void WalterServer::ReleaseLocks(TxId tid) {
+  auto it = lock_owners_.find(tid);
+  if (it == lock_owners_.end()) {
+    return;
+  }
+  for (const auto& oid : it->second.oids) {
+    auto lock = locks_.find(oid);
+    if (lock != locks_.end() && lock->second == tid) {
+      locks_.erase(lock);
+    }
+  }
+  lock_owners_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous propagation (Figure 13)
+// ---------------------------------------------------------------------------
+
+void WalterServer::MaybeSendAllBatches() {
+  for (SiteId d = 0; d < options_.num_sites; ++d) {
+    if (d != options_.site) {
+      MaybeSendBatch(d);
+    }
+  }
+}
+
+void WalterServer::MaybeSendBatch(SiteId dest) {
+  if (crashed_ || dest == options_.site) {
+    return;
+  }
+  DestState& ds = dests_[dest];
+  if (ds.in_flight || ds.batch_timer != 0) {
+    return;
+  }
+  uint64_t from = ds.acked_through + 1;
+  uint64_t to = committed_vts_.at(options_.site);
+  if (from > to) {
+    return;
+  }
+  SimTime earliest = ds.last_batch_sent + options_.min_batch_interval;
+  if (sim_->Now() < earliest) {
+    ds.batch_timer = sim_->After(earliest - sim_->Now(), [this, dest]() {
+      dests_[dest].batch_timer = 0;
+      MaybeSendBatch(dest);
+    });
+    return;
+  }
+
+  to = std::min(to, from + options_.max_batch_records - 1);
+  PropagateBatch batch;
+  batch.origin = options_.site;
+  for (uint64_t s = from; s <= to; ++s) {
+    auto it = local_commits_.find(s);
+    WCHECK(it != local_commits_.end(), "missing retained commit record seqno=" << s);
+    batch.records.push_back(it->second.record);
+  }
+  ++stats_.batches_sent;
+  endpoint_.Send(Address{dest, kWalterPort}, kPropagate, batch.Serialize());
+  ds.in_flight = true;
+  ds.sent_through = to;
+  ds.last_batch_sent = sim_->Now();
+  ds.resend_timer = sim_->After(options_.resend_timeout, [this, dest]() {
+    dests_[dest].resend_timer = 0;
+    dests_[dest].in_flight = false;
+    MaybeSendBatch(dest);  // resend from the last cumulative ack
+  });
+}
+
+void WalterServer::HandlePropagate(const Message& msg) {
+  PropagateBatch batch = PropagateBatch::Deserialize(msg.payload);
+  SiteId origin = batch.origin;
+  if (origin >= options_.num_sites || origin == options_.site) {
+    return;
+  }
+  SimDuration cost = Jittered(options_.perf.remote_apply *
+                              static_cast<SimDuration>(batch.records.size()));
+  cpu_.Execute(cost, [this, batch = std::move(batch), origin]() {
+    for (auto& rec : batch.records) {
+      if (rec.version.seqno > got_vts_.at(origin)) {
+        pending_in_[origin].emplace(rec.version.seqno, std::move(rec));
+      }
+    }
+    DrainAllPending();
+    PropagateAck ack;
+    ack.from = options_.site;
+    ack.origin = origin;
+    ack.received_through = got_vts_.at(origin);
+    endpoint_.Send(Address{origin, kWalterPort}, kPropagateAck, ack.Serialize());
+  });
+}
+
+void WalterServer::ApplyRemoteReady(SiteId origin) {
+  auto& pending = pending_in_[origin];
+  while (!pending.empty()) {
+    auto it = pending.begin();
+    uint64_t next = got_vts_.at(origin) + 1;
+    if (it->first < next) {
+      pending.erase(it);  // duplicate
+      continue;
+    }
+    if (it->first != next || !got_vts_.Covers(it->second.start_vts)) {
+      break;  // gap or unmet causal dependency (Figure 13's receive guard)
+    }
+    TxRecord rec = std::move(it->second);
+    pending.erase(it);
+
+    // Store only the updates replicated at this site (Section 5.6's
+    // optimization is receiver-side filtering here).
+    TxRecord filtered = rec;
+    std::erase_if(filtered.updates, [this](const ObjectUpdate& u) {
+      return !directory_->ReplicatedAt(u.oid, options_.site);
+    });
+    store_.Apply(filtered);
+    size_t wal_frontier = store_.wal().base() + store_.wal().size();
+    disk_.Flush([this, wal_frontier]() {
+      durable_wal_bytes_ = std::max(durable_wal_bytes_, wal_frontier);
+    });
+    got_vts_.Advance(origin);
+    ++stats_.remote_txns_applied;
+    uncommitted_remote_[origin].emplace(rec.version.seqno, PendingRemote{std::move(rec)});
+  }
+}
+
+void WalterServer::DrainAllPending() {
+  // Applying one origin's transactions can satisfy another's causal guard.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (SiteId j = 0; j < options_.num_sites; ++j) {
+      if (j == options_.site) {
+        continue;
+      }
+      uint64_t before = got_vts_.at(j);
+      ApplyRemoteReady(j);
+      if (got_vts_.at(j) != before) {
+        progressed = true;
+      }
+    }
+  }
+  TryCommitRemotes();
+}
+
+void WalterServer::TryCommitRemotes() {
+  bool progressed = true;
+  std::vector<bool> advanced(options_.num_sites, false);
+  while (progressed) {
+    progressed = false;
+    for (SiteId j = 0; j < options_.num_sites; ++j) {
+      if (j == options_.site) {
+        continue;
+      }
+      auto& uncommitted = uncommitted_remote_[j];
+      while (!uncommitted.empty()) {
+        auto it = uncommitted.begin();
+        uint64_t next = committed_vts_.at(j) + 1;
+        if (it->first != next || next > durable_known_[j] ||
+            !committed_vts_.Covers(it->second.record.start_vts)) {
+          break;  // Figure 13's remote-commit guard
+        }
+        committed_vts_.Advance(j);
+        ReleaseLocks(it->second.record.tid);
+        if (observer_) {
+          observer_(options_.site, it->second.record);
+        }
+        uncommitted.erase(it);
+        advanced[j] = true;
+        progressed = true;
+      }
+    }
+  }
+  for (SiteId j = 0; j < options_.num_sites; ++j) {
+    if (j != options_.site && advanced[j]) {
+      VisibleAck ack;
+      ack.from = options_.site;
+      ack.origin = j;
+      ack.committed_through = committed_vts_.at(j);
+      endpoint_.Send(Address{j, kWalterPort}, kVisibleAck, ack.Serialize());
+    }
+  }
+}
+
+void WalterServer::HandlePropagateAck(const Message& msg) {
+  PropagateAck ack = PropagateAck::Deserialize(msg.payload);
+  if (ack.origin != options_.site || ack.from >= options_.num_sites) {
+    return;
+  }
+  DestState& ds = dests_[ack.from];
+  ds.acked_through = std::max(ds.acked_through, ack.received_through);
+  // Flow control is a one-batch window: only an ack covering everything sent
+  // opens it (a stale gossip ack must not spawn a parallel batch stream).
+  if (ds.in_flight && ds.acked_through >= ds.sent_through) {
+    if (ds.resend_timer != 0) {
+      sim_->Cancel(ds.resend_timer);
+      ds.resend_timer = 0;
+    }
+    ds.in_flight = false;
+  }
+  UpdateDsDurable();
+  MaybeSendBatch(ack.from);
+}
+
+bool WalterServer::IsDsDurableQuorum(const TxRecord& record) const {
+  size_t f = options_.f < 0 ? options_.num_sites - 1 : static_cast<size_t>(options_.f);
+  uint64_t seqno = record.version.seqno;
+  for (const auto& u : record.updates) {
+    ContainerInfo info = directory_->Get(u.oid.container);
+    size_t replica_count = info.replicas.empty() ? options_.num_sites : info.replicas.size();
+    size_t needed = std::min(f + 1, replica_count);
+    size_t have = 0;
+    bool preferred_has = false;
+    for (SiteId s = 0; s < options_.num_sites; ++s) {
+      if (!info.ReplicatedAt(s)) {
+        continue;
+      }
+      bool received = (s == options_.site) || dests_[s].acked_through >= seqno;
+      if (received) {
+        ++have;
+        if (s == info.preferred_site) {
+          preferred_has = true;
+        }
+      }
+    }
+    if (!info.ReplicatedAt(info.preferred_site)) {
+      preferred_has = true;  // degenerate configuration: no preferred replica
+    }
+    if (have < needed || !preferred_has) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void WalterServer::UpdateDsDurable() {
+  uint64_t before = ds_durable_through_;
+  while (true) {
+    uint64_t next = ds_durable_through_ + 1;
+    auto it = local_commits_.find(next);
+    if (it == local_commits_.end() || !it->second.committed ||
+        !IsDsDurableQuorum(it->second.record)) {
+      break;
+    }
+    it->second.ds_durable = true;
+    ds_durable_through_ = next;
+    if (it->second.want_durable) {
+      NotifyClient(it->second.reply_port, kDurableNotify, it->second.record.tid);
+    }
+  }
+  if (ds_durable_through_ != before) {
+    DsDurableMessage m;
+    m.origin = options_.site;
+    m.durable_through = ds_durable_through_;
+    for (SiteId s = 0; s < options_.num_sites; ++s) {
+      if (s != options_.site) {
+        endpoint_.Send(Address{s, kWalterPort}, kDsDurable, m.Serialize());
+      }
+    }
+    UpdateGloballyVisible();
+  }
+}
+
+void WalterServer::HandleDsDurable(const Message& msg) {
+  DsDurableMessage m = DsDurableMessage::Deserialize(msg.payload);
+  if (m.origin >= options_.num_sites || m.origin == options_.site) {
+    return;
+  }
+  durable_known_[m.origin] = std::max(durable_known_[m.origin], m.durable_through);
+  TryCommitRemotes();
+}
+
+void WalterServer::HandleVisibleAck(const Message& msg) {
+  VisibleAck ack = VisibleAck::Deserialize(msg.payload);
+  if (ack.origin != options_.site || ack.from >= options_.num_sites) {
+    return;
+  }
+  DestState& ds = dests_[ack.from];
+  ds.visible_through = std::max(ds.visible_through, ack.committed_through);
+  UpdateGloballyVisible();
+}
+
+void WalterServer::UpdateGloballyVisible() {
+  uint64_t v = std::min(committed_vts_.at(options_.site), ds_durable_through_);
+  for (SiteId s = 0; s < options_.num_sites; ++s) {
+    if (s != options_.site) {
+      v = std::min(v, dests_[s].visible_through);
+    }
+  }
+  while (visible_through_ < v) {
+    ++visible_through_;
+    auto it = local_commits_.find(visible_through_);
+    if (it != local_commits_.end()) {
+      if (it->second.want_visible) {
+        NotifyClient(it->second.reply_port, kVisibleNotify, it->second.record.tid);
+      }
+      // Globally visible implies received everywhere: safe to stop retaining.
+      committed_tids_.erase(it->second.record.tid);
+      local_commits_.erase(it);
+    }
+  }
+}
+
+void WalterServer::NotifyClient(uint32_t port, uint32_t type, TxId tid) {
+  if (port == 0) {
+    return;
+  }
+  TxNotify n{tid};
+  endpoint_.Send(Address{options_.site, port}, type, n.Serialize());
+}
+
+void WalterServer::StartGossip() {
+  sim_->After(options_.gossip_interval, [this]() {
+    if (!crashed_) {
+      SweepStaleLocks();
+      DsDurableMessage m;
+      m.origin = options_.site;
+      m.durable_through = ds_durable_through_;
+      for (SiteId s = 0; s < options_.num_sites; ++s) {
+        if (s == options_.site) {
+          continue;
+        }
+        endpoint_.Send(Address{s, kWalterPort}, kDsDurable, m.Serialize());
+        PropagateAck ack;
+        ack.from = options_.site;
+        ack.origin = s;
+        ack.received_through = got_vts_.at(s);
+        endpoint_.Send(Address{s, kWalterPort}, kPropagateAck, ack.Serialize());
+        VisibleAck vis;
+        vis.from = options_.site;
+        vis.origin = s;
+        vis.committed_through = committed_vts_.at(s);
+        endpoint_.Send(Address{s, kWalterPort}, kVisibleAck, vis.Serialize());
+      }
+    }
+    StartGossip();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Remote reads (Section 4.3)
+// ---------------------------------------------------------------------------
+
+void WalterServer::HandleRemoteRead(const Message& msg, RpcEndpoint::ReplyFn reply) {
+  RemoteReadRequest req = RemoteReadRequest::Deserialize(msg.payload);
+  cpu_.Execute(Jittered(options_.perf.read_op), [this, req = std::move(req),
+                                                 reply = std::move(reply)]() {
+    RemoteReadResponse resp;
+    if (req.is_cset) {
+      CountingSet set =
+          store_.ReadCsetExcluding(req.oid, req.vts, req.caller, req.local_min_seqno);
+      ByteWriter w;
+      set.Serialize(&w);
+      resp.cset_bytes = w.Take();
+      resp.found = true;
+    } else if (auto v = store_.ReadRegularVersioned(req.oid, req.vts)) {
+      resp.found = true;
+      resp.data = std::move(v->first);
+      resp.version = v->second;
+    }
+    Message m;
+    m.payload = resp.Serialize();
+    reply(std::move(m));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling and maintenance (Sections 5.7 and 6)
+// ---------------------------------------------------------------------------
+
+void WalterServer::Checkpoint() {
+  ByteWriter w;
+  w.PutString(store_.SerializeCheckpoint());
+  w.PutVts(got_vts_);
+  // Local transactions still replicating (not yet globally visible): the
+  // replacement server must be able to resume their propagation (Section 6).
+  w.PutU32(static_cast<uint32_t>(local_commits_.size()));
+  for (const auto& [seqno, lc] : local_commits_) {
+    lc.record.Serialize(&w);
+  }
+  checkpoint_image_ = w.Take();
+  checkpoint_wal_base_ = store_.wal().base() + store_.wal().size();
+  store_.wal().TruncatePrefix(checkpoint_wal_base_);
+}
+
+void WalterServer::Crash() {
+  crashed_ = true;
+  endpoint_.SetDown(true);
+}
+
+WalterServer::DurableImage WalterServer::TakeDurableImage() const {
+  DurableImage image;
+  image.checkpoint = checkpoint_image_;
+  const Wal& wal = store_.wal();
+  image.wal_base = wal.base();
+  size_t durable_len = durable_wal_bytes_ > wal.base() ? durable_wal_bytes_ - wal.base() : 0;
+  durable_len = std::min(durable_len, wal.bytes().size());
+  image.wal_bytes = wal.bytes().substr(0, durable_len);
+  return image;
+}
+
+void WalterServer::Restore(const DurableImage& image) {
+  // Parse the checkpoint wrapper.
+  std::string store_checkpoint;
+  VectorTimestamp checkpoint_got(options_.num_sites);
+  std::vector<TxRecord> pending_local;
+  if (!image.checkpoint.empty()) {
+    ByteReader r(image.checkpoint);
+    store_checkpoint = r.GetString();
+    checkpoint_got = r.GetVts();
+    uint32_t n = r.GetU32();
+    for (uint32_t i = 0; i < n && !r.failed(); ++i) {
+      pending_local.push_back(TxRecord::Deserialize(&r));
+    }
+  }
+
+  store_.RestoreCheckpoint(store_checkpoint);
+  got_vts_ = checkpoint_got;
+  if (got_vts_.num_sites() < options_.num_sites) {
+    got_vts_ = VectorTimestamp(options_.num_sites);
+  }
+
+  // Replay the WAL tail past the checkpoint frontier.
+  size_t frontier = store_.checkpoint_frontier();
+  size_t skip = frontier > image.wal_base ? frontier - image.wal_base : 0;
+  std::vector<TxRecord> tail;
+  if (skip < image.wal_bytes.size()) {
+    Wal::ReplayResult replay = Wal::Replay(std::string_view(image.wal_bytes).substr(skip));
+    tail = std::move(replay.records);
+  }
+  for (const auto& rec : tail) {
+    store_.ApplyToHistories(rec);
+    if (rec.version.seqno > got_vts_.at(rec.origin)) {
+      got_vts_.set(rec.origin, rec.version.seqno);
+    }
+  }
+
+  // Everything durably logged is treated as committed here: own records were
+  // acknowledged iff flushed; remote records commit at their origin exactly
+  // once, so re-committing them locally is safe (Section 5.7).
+  committed_vts_ = got_vts_;
+  curr_seqno_ = got_vts_.at(options_.site);
+
+  // Rebuild retained local commits: checkpointed pending ones plus own tail
+  // records; mark them flushed+committed so propagation can resume.
+  local_commits_.clear();
+  auto retain = [this](const TxRecord& rec) {
+    LocalCommit lc;
+    lc.record = rec;
+    lc.flushed = true;
+    lc.committed = true;
+    local_commits_.emplace(rec.version.seqno, std::move(lc));
+  };
+  for (const auto& rec : pending_local) {
+    retain(rec);
+  }
+  for (const auto& rec : tail) {
+    if (rec.origin == options_.site) {
+      retain(rec);
+    }
+  }
+  committed_tids_.clear();
+  for (const auto& [seqno, lc] : local_commits_) {
+    committed_tids_[lc.record.tid] = seqno;
+  }
+
+  // Conservative watermarks: everything below the smallest retained commit was
+  // globally visible (that is the only way records leave local_commits_).
+  uint64_t floor =
+      local_commits_.empty() ? curr_seqno_ : local_commits_.begin()->first - 1;
+  ds_durable_through_ = floor;
+  visible_through_ = floor;
+  for (auto& ds : dests_) {
+    ds = DestState{};
+    ds.acked_through = floor;
+    ds.visible_through = floor;
+  }
+  durable_wal_bytes_ = image.wal_base + image.wal_bytes.size();
+
+  crashed_ = false;
+  endpoint_.SetDown(false);
+  MaybeSendAllBatches();
+}
+
+void WalterServer::DiscardNonSurviving(SiteId s, uint64_t survive_through) {
+  if (s == options_.site || s >= options_.num_sites) {
+    return;
+  }
+  store_.RemoveVersionsFrom(s, survive_through);
+  pending_in_[s].clear();
+  auto& uncommitted = uncommitted_remote_[s];
+  for (auto it = uncommitted.begin(); it != uncommitted.end();) {
+    if (it->first > survive_through) {
+      it = uncommitted.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (got_vts_.at(s) > survive_through) {
+    got_vts_.set(s, survive_through);
+  }
+  if (committed_vts_.at(s) > survive_through) {
+    committed_vts_.set(s, survive_through);
+  }
+  durable_known_[s] = std::min(durable_known_[s], survive_through);
+}
+
+std::vector<TxRecord> WalterServer::CollectRecords(SiteId origin, uint64_t from,
+                                                   uint64_t to) const {
+  std::vector<TxRecord> out;
+  Wal::ReplayResult replay = store_.wal().ReplaySelf();
+  for (auto& rec : replay.records) {
+    if (rec.origin == origin && rec.version.seqno >= from && rec.version.seqno <= to) {
+      out.push_back(std::move(rec));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TxRecord& a, const TxRecord& b) {
+    return a.version.seqno < b.version.seqno;
+  });
+  return out;
+}
+
+void WalterServer::InjectRemoteRecords(SiteId origin, std::vector<TxRecord> records) {
+  if (origin == options_.site || origin >= options_.num_sites) {
+    return;
+  }
+  for (auto& rec : records) {
+    if (rec.version.seqno > got_vts_.at(origin)) {
+      pending_in_[origin].emplace(rec.version.seqno, std::move(rec));
+    }
+  }
+  DrainAllPending();
+}
+
+void WalterServer::SetDurableKnown(SiteId origin, uint64_t through) {
+  if (origin >= options_.num_sites || origin == options_.site) {
+    return;
+  }
+  durable_known_[origin] = std::max(durable_known_[origin], through);
+  TryCommitRemotes();
+}
+
+void WalterServer::HandleTxStatus(const Message& msg, RpcEndpoint::ReplyFn reply) {
+  TxStatusRequest req = TxStatusRequest::Deserialize(msg.payload);
+  TxStatusResponse resp;
+  if (slow_commits_.contains(req.tid)) {
+    resp.outcome = TxStatusOutcome::kTxPending;  // 2PC still deciding
+  } else if (committed_tids_.contains(req.tid)) {
+    resp.outcome = TxStatusOutcome::kTxCommitted;
+  } else {
+    // Unknown: never committed here, or already globally visible (in which
+    // case the asker released the lock when the transaction reached it).
+    resp.outcome = TxStatusOutcome::kTxAborted;
+  }
+  Message m;
+  m.payload = resp.Serialize();
+  reply(std::move(m));
+}
+
+void WalterServer::SweepStaleLocks() {
+  SimDuration stale_after = 2 * options_.resend_timeout;
+  for (auto& [tid, owner] : lock_owners_) {
+    if (owner.coordinator == options_.site || owner.query_in_flight ||
+        sim_->Now() - owner.acquired < stale_after) {
+      continue;
+    }
+    owner.query_in_flight = true;
+    TxStatusRequest req{tid};
+    endpoint_.Call(
+        Address{owner.coordinator, kWalterPort}, kTxStatus, req.Serialize(),
+        [this, tid](Status status, const Message& m) {
+          auto it = lock_owners_.find(tid);
+          if (it == lock_owners_.end()) {
+            return;  // released meanwhile (propagation or abort)
+          }
+          it->second.query_in_flight = false;
+          if (!status.ok()) {
+            return;  // coordinator unreachable: keep the lock (conservative)
+          }
+          TxStatusResponse resp = TxStatusResponse::Deserialize(m.payload);
+          if (resp.outcome == TxStatusOutcome::kTxAborted) {
+            ReleaseLocks(tid);  // orphaned prepare: the transaction is dead
+          }
+          // kTxCommitted: keep until the transaction propagates here;
+          // kTxPending: 2PC still in progress.
+        },
+        options_.resend_timeout);
+  }
+}
+
+size_t WalterServer::GarbageCollect(const VectorTimestamp& stable) {
+  return store_.GarbageCollect(stable);
+}
+
+}  // namespace walter

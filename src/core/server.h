@@ -1,0 +1,306 @@
+// WalterServer: the per-site Walter server (Sections 5-6).
+//
+// Implements, over the simulated network:
+//  - the per-site state of Figure 9 (CurrSeqNo, CommittedVTS, History, GotVTS),
+//  - transaction execution (Figure 10) with server-side update buffers and
+//    snapshot reads, including remote reads for objects not replicated locally,
+//  - fast commit (Figure 11) for transactions whose write-set is local-preferred
+//    (and for cset-only transactions, which never conflict),
+//  - slow commit (Figure 12): two-phase commit among the preferred sites of
+//    written objects, with object locks,
+//  - asynchronous propagation (Figure 13): per-destination batches with
+//    cumulative acks, disaster-safe durability announcements, and visibility
+//    acks; batching makes disaster-safe durability land in [RTTmax, 2*RTTmax]
+//    as in Figure 19,
+//  - write-ahead logging with group commit, checkpointing, and server
+//    replacement recovery (Sections 5.7 and 6).
+//
+// Single-threaded: all handlers run on the simulator's event loop; "atomic
+// regions" of the paper's pseudocode are single events here.
+#ifndef SRC_CORE_SERVER_H_
+#define SRC_CORE_SERVER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/common/update.h"
+#include "src/core/container.h"
+#include "src/core/messages.h"
+#include "src/core/perf_model.h"
+#include "src/net/network.h"
+#include "src/sim/disk.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+#include "src/storage/store.h"
+
+namespace walter {
+
+class WalterServer {
+ public:
+  struct Options {
+    SiteId site = 0;
+    size_t num_sites = 1;
+    PerfModel perf = PerfModel::Ec2();
+    DiskConfig disk = DiskConfig::Ec2();
+    // Disaster-safe durability parameter: a transaction is disaster-safe once
+    // f+1 sites replicating each written object (including its preferred site)
+    // have received it. -1 = all sites (the measurement convention of §8.1).
+    int f = -1;
+    // Floor between consecutive propagation batches to one destination (a new
+    // batch otherwise departs as soon as the previous one is acked).
+    SimDuration min_batch_interval = Millis(2);
+    // Resend window for unacked propagation batches and 2PC prepares.
+    SimDuration resend_timeout = Seconds(2);
+    // Periodic re-announcement of durability/visibility state (heals losses).
+    SimDuration gossip_interval = Seconds(1);
+    size_t cache_bytes = size_t{1} << 30;
+    // Cap on transactions per propagation batch.
+    size_t max_batch_records = 20000;
+  };
+
+  // Called whenever a transaction commits at this site (local commits and
+  // remote propagated commits alike), in this site's commit order.
+  using CommitObserver = std::function<void(SiteId site, const TxRecord& record)>;
+
+  WalterServer(Simulator* sim, Network* net, Options options, ContainerDirectory* directory);
+
+  SiteId site() const { return options_.site; }
+  const VectorTimestamp& committed_vts() const { return committed_vts_; }
+  const VectorTimestamp& got_vts() const { return got_vts_; }
+  Store& store() { return store_; }
+  const Options& options() const { return options_; }
+
+  void SetCommitObserver(CommitObserver observer) { observer_ = std::move(observer); }
+  // Preferred-site lease check (Section 5.1): writes to containers whose
+  // preferred site is here are rejected when the lease is not held.
+  void SetLeaseChecker(std::function<bool(ContainerId)> checker) {
+    lease_checker_ = std::move(checker);
+  }
+
+  // Durability/visibility watermarks for this site's own transactions.
+  uint64_t ds_durable_through() const { return ds_durable_through_; }
+  uint64_t globally_visible_through() const { return visible_through_; }
+
+  // Failure handling ---------------------------------------------------------
+  // What survives a crash: the checkpoint plus the durably flushed WAL prefix.
+  struct DurableImage {
+    std::string checkpoint;
+    std::string wal_bytes;
+    size_t wal_base = 0;
+  };
+
+  // Takes a checkpoint (Section 6): object state + GotVTS + still-replicating
+  // local transactions; allows WAL prefix truncation afterwards.
+  void Checkpoint();
+
+  // Simulates a server crash: endpoint down, volatile state untouched but
+  // unreachable. The durable image can seed a replacement server.
+  void Crash();
+  bool crashed() const { return crashed_; }
+  DurableImage TakeDurableImage() const;
+
+  // Rebuilds state from a durable image (replacement server, Section 5.7).
+  // Must be called before the server processes any request.
+  void Restore(const DurableImage& image);
+
+  // Aggressive site-failure recovery (Section 5.7): discard replicated data of
+  // failed site `s` beyond `survive_through` (its last surviving seqno).
+  void DiscardNonSurviving(SiteId s, uint64_t survive_through);
+
+  // Recovery-coordination support (Section 5.7): extract this site's copies of
+  // `origin`'s transactions in [from, to] from the WAL, so survivors can fill
+  // each other's gaps when the origin site is gone.
+  std::vector<TxRecord> CollectRecords(SiteId origin, uint64_t from, uint64_t to) const;
+  // Feeds records into the normal remote-apply path (guards still apply).
+  void InjectRemoteRecords(SiteId origin, std::vector<TxRecord> records);
+  // Declares `origin`'s prefix durable by configuration fiat (the surviving
+  // prefix of a removed site), unblocking remote commit of those transactions.
+  void SetDurableKnown(SiteId origin, uint64_t through);
+
+  // Maintenance ---------------------------------------------------------------
+  // Folds object histories below the current global stability frontier (the
+  // entry-wise minimum everyone has committed, i.e. this site's GotVTS floor).
+  size_t GarbageCollect(const VectorTimestamp& stable);
+
+  // Stats ----------------------------------------------------------------------
+  struct Stats {
+    uint64_t fast_commits = 0;
+    uint64_t slow_commits = 0;
+    uint64_t aborts = 0;
+    uint64_t reads = 0;
+    uint64_t remote_reads = 0;
+    uint64_t remote_txns_applied = 0;
+    uint64_t batches_sent = 0;
+    uint64_t prepares_handled = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Server-side state of an executing transaction (its update buffer).
+  struct ActiveTx {
+    VectorTimestamp start_vts;
+    std::vector<ObjectUpdate> updates;
+    bool committing = false;
+  };
+
+  // A locally committed transaction, retained until globally visible.
+  struct LocalCommit {
+    TxRecord record;
+    bool flushed = false;     // group-commit flush completed
+    bool committed = false;   // CommittedVTS advanced past it
+    bool ds_durable = false;
+    bool want_durable = false;
+    bool want_visible = false;
+    uint32_t reply_port = 0;  // client endpoint for notifications
+    std::function<void(ClientOpResponse)> respond;  // client reply, sent at commit
+  };
+
+  // Outbound replication state per destination site.
+  struct DestState {
+    uint64_t acked_through = 0;    // cumulative PROPAGATE-ACK
+    uint64_t sent_through = 0;     // highest seqno included in a sent batch
+    uint64_t visible_through = 0;  // cumulative VISIBLE ack (CommittedVTS[us] there)
+    bool in_flight = false;
+    SimTime last_batch_sent = 0;
+    EventId resend_timer = 0;
+    EventId batch_timer = 0;  // pending min-interval delayed batch
+  };
+
+  // A remote transaction applied to the store but not yet committed here.
+  struct PendingRemote {
+    TxRecord record;
+  };
+
+  // In-flight slow commit at the coordinator.
+  struct SlowCommitState {
+    TxId tid = 0;
+    ActiveTx tx;
+    std::vector<SiteId> sites;  // preferred sites of the write-set
+    std::vector<SiteId> yes_votes;  // remote sites holding locks for us
+    size_t votes_pending = 0;
+    bool any_no = false;
+    bool finished = false;
+    std::function<void(ClientOpResponse)> reply;
+    bool want_durable = false;
+    bool want_visible = false;
+    uint32_t reply_port = 0;
+  };
+
+  // --- request plumbing ---
+  void HandleClientOp(const Message& msg, RpcEndpoint::ReplyFn reply);
+  void ProcessClientOp(const ClientOpRequest& req,
+                       std::function<void(ClientOpResponse)> respond);
+  void DoRead(const ClientOpRequest& req, const VectorTimestamp& vts, const ActiveTx* tx,
+              std::function<void(ClientOpResponse)> respond);
+  void DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
+                uint32_t reply_port, std::function<void(ClientOpResponse)> respond);
+
+  // --- commit protocols ---
+  void FastCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
+                  uint32_t reply_port, std::function<void(ClientOpResponse)> respond);
+  void SlowCommit(TxId tid, ActiveTx tx, std::vector<SiteId> sites, bool want_durable,
+                  bool want_visible, uint32_t reply_port,
+                  std::function<void(ClientOpResponse)> respond);
+  void FinishSlowCommit(std::shared_ptr<SlowCommitState> state);
+  // Shared local-commit tail: assign seqno, apply, group-commit flush.
+  void CommitLocally(TxId tid, const ActiveTx& tx, bool want_durable, bool want_visible,
+                     uint32_t reply_port, std::function<void(ClientOpResponse)> respond);
+  void OnLocalFlushed(uint64_t seqno);
+  void AdvanceLocalCommits();
+
+  bool PrepareLocal(TxId tid, const std::vector<ObjectId>& oids, const VectorTimestamp& vts,
+                    SiteId coordinator);
+  void HandlePrepare(const Message& msg, RpcEndpoint::ReplyFn reply);
+  void HandleAbort2pc(const Message& msg);
+  void HandleTxStatus(const Message& msg, RpcEndpoint::ReplyFn reply);
+  void LockAll(TxId tid, const std::vector<ObjectId>& oids, SiteId coordinator);
+  void ReleaseLocks(TxId tid);
+  // 2PC termination: queries coordinators of stale prepare locks so an orphaned
+  // lock (coordinator crashed mid-2PC) is eventually released.
+  void SweepStaleLocks();
+
+  // --- propagation ---
+  void MaybeSendBatch(SiteId dest);
+  void MaybeSendAllBatches();
+  void HandlePropagate(const Message& msg);
+  void ApplyRemoteReady(SiteId origin);
+  void DrainAllPending();
+  void HandlePropagateAck(const Message& msg);
+  void HandleDsDurable(const Message& msg);
+  void HandleVisibleAck(const Message& msg);
+  void UpdateDsDurable();
+  void TryCommitRemotes();
+  void UpdateGloballyVisible();
+  void NotifyClient(uint32_t port, uint32_t type, TxId tid);
+  void StartGossip();
+
+  // --- remote reads ---
+  void HandleRemoteRead(const Message& msg, RpcEndpoint::ReplyFn reply);
+
+  bool IsDsDurableQuorum(const TxRecord& record) const;
+  SimDuration Jittered(SimDuration base);
+  SimDuration CostFor(const ClientOpRequest& req) const;
+  VectorTimestamp SnapshotNow() const { return committed_vts_; }
+
+  Simulator* sim_;
+  Network* net_;
+  Options options_;
+  ContainerDirectory* directory_;
+  RpcEndpoint endpoint_;
+  Resource cpu_;
+  Disk disk_;
+  Store store_;
+
+  // Figure 9 state.
+  uint64_t curr_seqno_ = 0;
+  VectorTimestamp committed_vts_;
+  VectorTimestamp got_vts_;
+
+  std::unordered_map<TxId, ActiveTx> active_;
+  std::map<uint64_t, LocalCommit> local_commits_;         // own seqno -> commit
+  std::unordered_map<TxId, std::shared_ptr<SlowCommitState>> slow_commits_;
+
+  // Locks (slow commit): object -> owning tid, plus reverse index with the
+  // coordinator and acquisition time for the termination protocol.
+  struct LockOwner {
+    std::vector<ObjectId> oids;
+    SiteId coordinator = kNoSite;
+    SimTime acquired = 0;
+    bool query_in_flight = false;
+  };
+  std::unordered_map<ObjectId, TxId> locks_;
+  std::unordered_map<TxId, LockOwner> lock_owners_;
+  // Local commits by tid, kept while the record is retained (for kTxStatus).
+  std::unordered_map<TxId, uint64_t> committed_tids_;
+
+  // Inbound replication.
+  std::vector<std::map<uint64_t, TxRecord>> pending_in_;      // per origin: buffered
+  std::vector<std::map<uint64_t, PendingRemote>> uncommitted_remote_;  // applied, not committed
+  std::vector<uint64_t> durable_known_;  // per origin: ds-durable-through
+
+  // Outbound replication.
+  std::vector<DestState> dests_;
+  uint64_t ds_durable_through_ = 0;
+  uint64_t visible_through_ = 0;
+
+  size_t durable_wal_bytes_ = 0;  // flushed WAL prefix (survives crashes)
+  std::string checkpoint_image_;
+  size_t checkpoint_wal_base_ = 0;
+
+  CommitObserver observer_;
+  std::function<bool(ContainerId)> lease_checker_;
+  bool crashed_ = false;
+  Stats stats_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_CORE_SERVER_H_

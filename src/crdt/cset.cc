@@ -1,0 +1,92 @@
+#include "src/crdt/cset.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace walter {
+
+int64_t CountingSet::Count(const ObjectId& elem) const {
+  auto it = counts_.find(elem);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void CountingSet::Add(const ObjectId& elem, int64_t n) {
+  int64_t& c = counts_[elem];
+  c += n;
+  if (c == 0) {
+    counts_.erase(elem);  // keep the map canonical so equality is structural
+  }
+}
+
+void CountingSet::ApplyOp(const ObjectUpdate& update) {
+  switch (update.kind) {
+    case UpdateKind::kAdd:
+      Add(update.elem, 1);
+      break;
+    case UpdateKind::kDel:
+      Remove(update.elem, 1);
+      break;
+    case UpdateKind::kData:
+      WCHECK(false, "DATA update applied to cset " << update.oid.ToString());
+  }
+}
+
+std::vector<ObjectId> CountingSet::NonZeroElements() const {
+  std::vector<ObjectId> out;
+  out.reserve(counts_.size());
+  for (const auto& [elem, count] : counts_) {
+    if (count != 0) {
+      out.push_back(elem);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ObjectId> CountingSet::PresentElements() const {
+  std::vector<ObjectId> out;
+  for (const auto& [elem, count] : counts_) {
+    if (count >= 1) {
+      out.push_back(elem);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void CountingSet::MergeAdd(const CountingSet& other) {
+  for (const auto& [elem, count] : other.counts_) {
+    Add(elem, count);
+  }
+}
+
+bool CountingSet::empty() const { return counts_.empty(); }
+
+void CountingSet::Serialize(ByteWriter* w) const {
+  // Sort for deterministic bytes (checkpoints are compared in tests).
+  std::vector<std::pair<ObjectId, int64_t>> entries(counts_.begin(), counts_.end());
+  std::sort(entries.begin(), entries.end());
+  w->PutU32(static_cast<uint32_t>(entries.size()));
+  for (const auto& [elem, count] : entries) {
+    w->PutObjectId(elem);
+    w->PutI64(count);
+  }
+}
+
+CountingSet CountingSet::Deserialize(ByteReader* r) {
+  CountingSet s;
+  uint32_t n = r->GetU32();
+  for (uint32_t i = 0; i < n && !r->failed(); ++i) {
+    ObjectId elem = r->GetObjectId();
+    int64_t count = r->GetI64();
+    if (count != 0) {
+      s.counts_[elem] = count;
+    }
+  }
+  return s;
+}
+
+bool operator==(const CountingSet& a, const CountingSet& b) { return a.counts_ == b.counts_; }
+
+}  // namespace walter

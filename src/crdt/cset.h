@@ -1,0 +1,67 @@
+// Counting set (cset): the conflict-free replicated set of Section 2/3.3/3.5.
+//
+// A cset maps element ids to integer counts, possibly negative. add(x)
+// increments x's count, rem(x) decrements it; because increments and decrements
+// commute, concurrent cset transactions never write-write conflict, which is
+// why Walter can fast-commit cset updates at any site. Removing from an empty
+// cset yields count -1 (an "anti-element"): a later add cancels it out.
+//
+// Two views (Section 3.5):
+//  - counted view: Count()/NonZeroElements(), when counts mean something
+//    (inventory, reference counts);
+//  - set view: Contains()/PresentElements(), which treats count >= 1 as present
+//    and <= 0 as absent, for friend lists, timelines, albums.
+#ifndef SRC_CRDT_CSET_H_
+#define SRC_CRDT_CSET_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/types.h"
+#include "src/common/update.h"
+
+namespace walter {
+
+class CountingSet {
+ public:
+  CountingSet() = default;
+
+  // Current count of elem (0 if never touched).
+  int64_t Count(const ObjectId& elem) const;
+
+  // Set view: present iff count >= 1.
+  bool Contains(const ObjectId& elem) const { return Count(elem) >= 1; }
+
+  void Add(const ObjectId& elem, int64_t n = 1);
+  void Remove(const ObjectId& elem, int64_t n = 1) { Add(elem, -n); }
+
+  // Applies a kAdd/kDel ObjectUpdate (kData is invalid for csets).
+  void ApplyOp(const ObjectUpdate& update);
+
+  // Elements with non-zero count, as returned by the PSI setRead operation.
+  std::vector<ObjectId> NonZeroElements() const;
+
+  // Set-view elements: count >= 1 (what applications show to users).
+  std::vector<ObjectId> PresentElements() const;
+
+  // Element-wise sum of counts. Commutative and associative — merging replicas
+  // in any order and grouping converges (the CRDT property; tested).
+  void MergeAdd(const CountingSet& other);
+
+  size_t entry_count() const { return counts_.size(); }
+  bool empty() const;
+
+  void Serialize(ByteWriter* w) const;
+  static CountingSet Deserialize(ByteReader* r);
+
+  friend bool operator==(const CountingSet& a, const CountingSet& b);
+
+ private:
+  std::unordered_map<ObjectId, int64_t> counts_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_CRDT_CSET_H_

@@ -1,0 +1,182 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace walter {
+
+namespace {
+// Fixed per-message overhead (headers etc.) for the serialization-delay model.
+constexpr size_t kMessageOverheadBytes = 64;
+}  // namespace
+
+Network::Network(Simulator* sim, Topology topology)
+    : sim_(sim), topology_(std::move(topology)), isolated_(topology_.num_sites(), false) {}
+
+void Network::Register(RpcEndpoint* ep) {
+  WCHECK(endpoints_.find(ep->address()) == endpoints_.end(),
+         "duplicate endpoint " << ep->address().ToString());
+  endpoints_[ep->address()] = ep;
+}
+
+void Network::Unregister(const Address& addr) { endpoints_.erase(addr); }
+
+void Network::SetPartitioned(SiteId a, SiteId b, bool partitioned) {
+  partitions_[{std::min(a, b), std::max(a, b)}] = partitioned;
+}
+
+void Network::IsolateSite(SiteId s, bool isolated) { isolated_[s] = isolated; }
+
+bool Network::IsCut(SiteId a, SiteId b) const {
+  if (a == b) {
+    return false;
+  }
+  if (isolated_[a] || isolated_[b]) {
+    return true;
+  }
+  auto it = partitions_.find({std::min(a, b), std::max(a, b)});
+  return it != partitions_.end() && it->second;
+}
+
+void Network::SendMessage(const Address& from, const Address& to, Message msg,
+                          size_t size_bytes) {
+  ++messages_sent_;
+  bytes_sent_ += size_bytes;
+  if (IsCut(from.site, to.site)) {
+    ++messages_dropped_;
+    return;
+  }
+  if (from.site != to.site && loss_probability_ > 0 &&
+      sim_->rng().Bernoulli(loss_probability_)) {
+    ++messages_dropped_;
+    return;
+  }
+
+  LinkState& link = links_[{from.site, to.site}];
+  SimTime start = std::max(sim_->Now(), link.next_free);
+  double bw = topology_.BandwidthBps(from.site, to.site);
+  auto tx_delay = static_cast<SimDuration>(
+      static_cast<double>((size_bytes + kMessageOverheadBytes) * 8) / bw * 1e6);
+  link.next_free = start + tx_delay;
+
+  SimDuration propagation = topology_.OneWay(from.site, to.site);
+  if (jitter_ > 0) {
+    propagation = static_cast<SimDuration>(
+        static_cast<double>(propagation) * (1.0 + jitter_ * sim_->rng().NextDouble()));
+  }
+  SimTime arrival = start + tx_delay + propagation;
+  // FIFO per directed link (TCP-like ordering).
+  arrival = std::max(arrival, link.last_arrival);
+  link.last_arrival = arrival;
+
+  sim_->At(arrival, [this, to, msg = std::move(msg)]() mutable {
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end() || it->second->down()) {
+      ++messages_dropped_;
+      return;
+    }
+    it->second->Deliver(std::move(msg));
+  });
+}
+
+RpcEndpoint::RpcEndpoint(Network* net, Address addr) : net_(net), addr_(addr) {
+  net_->Register(this);
+}
+
+RpcEndpoint::~RpcEndpoint() { net_->Unregister(addr_); }
+
+void RpcEndpoint::Handle(uint32_t type, Handler handler) {
+  handlers_[type] = std::move(handler);
+}
+
+void RpcEndpoint::Send(const Address& to, uint32_t type, std::string payload) {
+  if (down_) {
+    return;
+  }
+  Message msg;
+  msg.type = type;
+  msg.payload = std::move(payload);
+  msg.from = addr_;
+  size_t size = msg.payload.size();
+  net_->SendMessage(addr_, to, std::move(msg), size);
+}
+
+void RpcEndpoint::Call(const Address& to, uint32_t type, std::string payload,
+                       ResponseCallback cb, SimDuration timeout) {
+  if (down_) {
+    return;
+  }
+  Message msg;
+  msg.type = type;
+  msg.payload = std::move(payload);
+  msg.from = addr_;
+  msg.rpc_id = next_rpc_id_++;
+  uint64_t rpc_id = msg.rpc_id;
+
+  PendingCall pending;
+  pending.cb = std::move(cb);
+  if (timeout > 0) {
+    pending.timeout_event = sim()->After(timeout, [this, rpc_id]() {
+      auto it = pending_.find(rpc_id);
+      if (it == pending_.end()) {
+        return;
+      }
+      ResponseCallback cb = std::move(it->second.cb);
+      pending_.erase(it);
+      cb(Status::Timeout("rpc timeout"), Message{});
+    });
+  }
+  pending_[rpc_id] = std::move(pending);
+
+  size_t size = msg.payload.size();
+  net_->SendMessage(addr_, to, std::move(msg), size);
+}
+
+void RpcEndpoint::Deliver(Message msg) {
+  if (down_) {
+    return;
+  }
+  if (msg.is_response) {
+    auto it = pending_.find(msg.rpc_id);
+    if (it == pending_.end()) {
+      return;  // response for a timed-out or duplicate call
+    }
+    PendingCall pending = std::move(it->second);
+    pending_.erase(it);
+    if (pending.timeout_event != 0) {
+      sim()->Cancel(pending.timeout_event);
+    }
+    pending.cb(Status::Ok(), msg);
+    return;
+  }
+
+  auto it = handlers_.find(msg.type);
+  if (it == handlers_.end()) {
+    WLOG(kWarn, "no handler for message type " << msg.type << " at " << addr_.ToString());
+    return;
+  }
+  ReplyFn reply;
+  if (msg.rpc_id != 0) {
+    Address to = msg.from;
+    uint64_t rpc_id = msg.rpc_id;
+    uint32_t type = msg.type;
+    reply = [this, to, rpc_id, type](Message response) {
+      if (down_) {
+        return;
+      }
+      response.type = type;
+      response.from = addr_;
+      response.rpc_id = rpc_id;
+      response.is_response = true;
+      size_t size = response.payload.size();
+      net_->SendMessage(addr_, to, std::move(response), size);
+    };
+  } else {
+    reply = [](Message) {};
+  }
+  it->second(msg, std::move(reply));
+}
+
+}  // namespace walter

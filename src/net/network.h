@@ -1,0 +1,162 @@
+// Simulated message network and RPC layer.
+//
+// Endpoints are addressed by (site, port). Delivery between two endpoints
+// models: one-way propagation latency from the topology, per-link serialization
+// delay from the bandwidth cap (this is what throttles cross-site propagation
+// batches at 22 Mbps), optional jitter, FIFO ordering per directed link (TCP-
+// like), and fault injection (message loss, site partitions, downed endpoints).
+//
+// On top of raw messages, RpcEndpoint provides one-way sends and matched
+// request/response calls with timeouts — enough to express every protocol
+// message in Figures 10-13 and the Paxos rounds of the configuration service.
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/net/topology.h"
+#include "src/sim/simulator.h"
+
+namespace walter {
+
+// Well-known ports.
+inline constexpr uint32_t kWalterPort = 1;
+inline constexpr uint32_t kConfigPort = 2;
+inline constexpr uint32_t kClientPortBase = 100;
+
+struct Address {
+  SiteId site = kNoSite;
+  uint32_t port = 0;
+
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+
+  std::string ToString() const {
+    return "addr(" + std::to_string(site) + ":" + std::to_string(port) + ")";
+  }
+};
+
+struct Message {
+  uint32_t type = 0;       // protocol-defined message/RPC type
+  std::string payload;     // serialized body (ByteWriter format)
+  // RPC plumbing (filled by the network layer).
+  Address from;
+  uint64_t rpc_id = 0;     // nonzero for RPC requests/responses
+  bool is_response = false;
+};
+
+class RpcEndpoint;
+
+class Network {
+ public:
+  Network(Simulator* sim, Topology topology);
+
+  Simulator* sim() { return sim_; }
+  const Topology& topology() const { return topology_; }
+
+  // Fault injection -----------------------------------------------------------
+  // Drop every message between sites a and b (both directions).
+  void SetPartitioned(SiteId a, SiteId b, bool partitioned);
+  // Isolate a site from all others (its intra-site traffic still flows).
+  void IsolateSite(SiteId s, bool isolated);
+  // Probability of dropping any single cross-site message.
+  void SetLossProbability(double p) { loss_probability_ = p; }
+  // Extra multiplicative latency jitter: delay *= U[1, 1+jitter].
+  void SetJitter(double jitter) { jitter_ = jitter; }
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  friend class RpcEndpoint;
+
+  void Register(RpcEndpoint* ep);
+  void Unregister(const Address& addr);
+  // Sends msg (already stamped with from/rpc fields); size_bytes drives the
+  // serialization delay.
+  void SendMessage(const Address& from, const Address& to, Message msg, size_t size_bytes);
+
+  bool IsCut(SiteId a, SiteId b) const;
+
+  Simulator* sim_;
+  Topology topology_;
+  std::map<Address, RpcEndpoint*> endpoints_;
+  std::map<std::pair<SiteId, SiteId>, bool> partitions_;
+  std::vector<bool> isolated_;
+  double loss_probability_ = 0;
+  double jitter_ = 0.1;
+  // Per directed (site,site) link: when the link is next free (serialization)
+  // and the latest scheduled arrival (FIFO ordering).
+  struct LinkState {
+    SimTime next_free = 0;
+    SimTime last_arrival = 0;
+  };
+  std::map<std::pair<SiteId, SiteId>, LinkState> links_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+// A network endpoint with message handlers and RPC support.
+class RpcEndpoint {
+ public:
+  using ReplyFn = std::function<void(Message response)>;
+  // Handler for an incoming request: must eventually invoke reply exactly once
+  // (one-way messages pass a no-op reply).
+  using Handler = std::function<void(const Message& request, ReplyFn reply)>;
+  using ResponseCallback = std::function<void(Status status, const Message& response)>;
+
+  RpcEndpoint(Network* net, Address addr);
+  ~RpcEndpoint();
+
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  const Address& address() const { return addr_; }
+  Simulator* sim() { return net_->sim(); }
+  Network* network() { return net_; }
+
+  // Registers the handler for a message type.
+  void Handle(uint32_t type, Handler handler);
+
+  // One-way message (no response expected).
+  void Send(const Address& to, uint32_t type, std::string payload);
+
+  // RPC: delivers the request, waits for the response or timeout.
+  // timeout <= 0 means no timeout.
+  void Call(const Address& to, uint32_t type, std::string payload, ResponseCallback cb,
+            SimDuration timeout = Seconds(10));
+
+  // Takes the endpoint down: all traffic to it is dropped and pending inbound
+  // deliveries are discarded on arrival. Outstanding calls FROM it time out.
+  void SetDown(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
+ private:
+  friend class Network;
+
+  void Deliver(Message msg);
+
+  Network* net_;
+  Address addr_;
+  bool down_ = false;
+  uint64_t next_rpc_id_ = 1;
+  std::unordered_map<uint32_t, Handler> handlers_;
+  struct PendingCall {
+    ResponseCallback cb;
+    EventId timeout_event = 0;
+  };
+  std::unordered_map<uint64_t, PendingCall> pending_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_NET_NETWORK_H_

@@ -1,0 +1,76 @@
+#include "src/net/topology.h"
+
+#include <algorithm>
+
+namespace walter {
+
+Topology::Topology(size_t num_sites)
+    : names_(num_sites), rtt_(num_sites, std::vector<SimDuration>(num_sites, 0)) {
+  for (size_t i = 0; i < num_sites; ++i) {
+    names_[i] = "site" + std::to_string(i);
+  }
+}
+
+Topology Topology::Ec2() {
+  // RTT matrix from Section 8.1 (milliseconds):
+  //        VA   CA   IE   SG
+  //  VA   0.5   82   87  261
+  //  CA        0.3  153  190
+  //  IE             0.5  277
+  //  SG                  0.3
+  Topology t(4);
+  t.SetName(0, "VA");
+  t.SetName(1, "CA");
+  t.SetName(2, "IE");
+  t.SetName(3, "SG");
+  t.SetRtt(0, 0, Millis(0.5));
+  t.SetRtt(1, 1, Millis(0.3));
+  t.SetRtt(2, 2, Millis(0.5));
+  t.SetRtt(3, 3, Millis(0.3));
+  t.SetRtt(0, 1, Millis(82));
+  t.SetRtt(0, 2, Millis(87));
+  t.SetRtt(0, 3, Millis(261));
+  t.SetRtt(1, 2, Millis(153));
+  t.SetRtt(1, 3, Millis(190));
+  t.SetRtt(2, 3, Millis(277));
+  return t;
+}
+
+Topology Topology::Ec2Subset(size_t num_sites) {
+  Topology full = Ec2();
+  Topology t(num_sites);
+  for (SiteId a = 0; a < num_sites; ++a) {
+    t.SetName(a, full.name(a));
+    for (SiteId b = 0; b < num_sites; ++b) {
+      t.SetRtt(a, b, full.Rtt(a, b));
+    }
+  }
+  return t;
+}
+
+Topology Topology::Uniform(size_t num_sites, SimDuration cross_rtt, SimDuration intra_rtt) {
+  Topology t(num_sites);
+  for (SiteId a = 0; a < num_sites; ++a) {
+    for (SiteId b = 0; b < num_sites; ++b) {
+      t.SetRtt(a, b, a == b ? intra_rtt : cross_rtt);
+    }
+  }
+  return t;
+}
+
+void Topology::SetRtt(SiteId a, SiteId b, SimDuration rtt) {
+  rtt_[a][b] = rtt;
+  rtt_[b][a] = rtt;
+}
+
+SimDuration Topology::MaxRttFrom(SiteId s) const {
+  SimDuration m = 0;
+  for (size_t other = 0; other < num_sites(); ++other) {
+    if (other != s) {
+      m = std::max(m, rtt_[s][other]);
+    }
+  }
+  return m;
+}
+
+}  // namespace walter

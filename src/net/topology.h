@@ -1,0 +1,58 @@
+// Site topology: round-trip latencies and bandwidth between sites.
+//
+// The default topology is the EC2 deployment of the paper's evaluation
+// (Section 8.1): Virginia, California, Ireland, Singapore, with the measured
+// RTT matrix, >600 Mbps within a site and 22 Mbps across sites.
+#ifndef SRC_NET_TOPOLOGY_H_
+#define SRC_NET_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/time.h"
+
+namespace walter {
+
+class Topology {
+ public:
+  // A topology with `num_sites` sites; latencies must be set afterwards.
+  explicit Topology(size_t num_sites);
+
+  // The paper's 4-site EC2 topology (VA, CA, IE, SG) with measured RTTs.
+  static Topology Ec2();
+
+  // The first `num_sites` sites of the EC2 topology (the paper's 1-site,
+  // 2-sites, 3-sites, 4-sites experiment configurations).
+  static Topology Ec2Subset(size_t num_sites);
+
+  // A uniform topology: same RTT between every pair of distinct sites.
+  static Topology Uniform(size_t num_sites, SimDuration cross_rtt, SimDuration intra_rtt);
+
+  size_t num_sites() const { return names_.size(); }
+  const std::string& name(SiteId s) const { return names_[s]; }
+
+  void SetName(SiteId s, std::string name) { names_[s] = std::move(name); }
+  void SetRtt(SiteId a, SiteId b, SimDuration rtt);  // symmetric
+  SimDuration Rtt(SiteId a, SiteId b) const { return rtt_[a][b]; }
+  SimDuration OneWay(SiteId a, SiteId b) const { return rtt_[a][b] / 2; }
+
+  void SetCrossSiteBandwidthBps(double bps) { cross_bw_bps_ = bps; }
+  void SetIntraSiteBandwidthBps(double bps) { intra_bw_bps_ = bps; }
+  double BandwidthBps(SiteId a, SiteId b) const {
+    return a == b ? intra_bw_bps_ : cross_bw_bps_;
+  }
+
+  // Maximum RTT from `s` to any other site — the RTTmax of Sections 8.3/8.5.
+  SimDuration MaxRttFrom(SiteId s) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<SimDuration>> rtt_;
+  double cross_bw_bps_ = 22e6;   // 22 Mbps (Section 8.1)
+  double intra_bw_bps_ = 600e6;  // 600 Mbps (Section 8.1)
+};
+
+}  // namespace walter
+
+#endif  // SRC_NET_TOPOLOGY_H_

@@ -1,0 +1,206 @@
+#include "src/psi/checker.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+namespace walter {
+
+namespace {
+
+// Number of transactions visible to a start snapshot at the origin site: the
+// origin log interleaves transactions from all sites, one entry each, so the
+// visible prefix length is the sum of the startVTS entries.
+size_t StartPosition(const TxRecord& rec) {
+  const auto& counts = rec.start_vts.counts();
+  return static_cast<size_t>(std::accumulate(counts.begin(), counts.end(), uint64_t{0}));
+}
+
+std::string Describe(TxId tid) {
+  std::ostringstream os;
+  os << "tx" << tid;
+  return os.str();
+}
+
+}  // namespace
+
+void PsiChecker::BuildPositionIndex() const {
+  positions_.assign(num_sites_, {});
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    const auto& log = site_logs_[s];
+    positions_[s].reserve(log.size());
+    for (size_t i = 0; i < log.size(); ++i) {
+      positions_[s].emplace(log[i], i);
+    }
+  }
+}
+
+std::optional<size_t> PsiChecker::PositionAt(SiteId s, TxId tid) const {
+  if (positions_.empty()) {
+    BuildPositionIndex();
+  }
+  auto it = positions_[s].find(tid);
+  if (it == positions_[s].end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<ObjectId> PsiChecker::RegularWriteSet(const TxRecord& rec) {
+  std::vector<ObjectId> ws;
+  for (const auto& u : rec.updates) {
+    if (u.kind == UpdateKind::kData) {
+      ws.push_back(u.oid);
+    }
+  }
+  std::sort(ws.begin(), ws.end());
+  ws.erase(std::unique(ws.begin(), ws.end()), ws.end());
+  return ws;
+}
+
+Status PsiChecker::Check() const {
+  if (Status s = CheckProperty1SnapshotReads(); !s.ok()) {
+    return s;
+  }
+  if (Status s = CheckProperty2NoWriteConflicts(); !s.ok()) {
+    return s;
+  }
+  return CheckProperty3CommitCausality();
+}
+
+Status PsiChecker::CheckProperty1SnapshotReads() const {
+  // Group committed transactions by origin and sort by start position so we
+  // can replay each site's log once, checking reads against a rolling state.
+  for (SiteId site = 0; site < num_sites_; ++site) {
+    std::vector<const RecordedTx*> at_site;
+    for (const auto& [tid, tx] : txs_) {
+      if (tx.record.origin == site && !tx.reads.empty()) {
+        at_site.push_back(&tx);
+      }
+    }
+    std::sort(at_site.begin(), at_site.end(), [](const RecordedTx* a, const RecordedTx* b) {
+      return StartPosition(a->record) < StartPosition(b->record);
+    });
+
+    std::map<ObjectId, std::string> regular_state;
+    std::map<ObjectId, CountingSet> cset_state;
+    size_t applied = 0;
+    const auto& log = site_logs_[site];
+
+    for (const RecordedTx* tx : at_site) {
+      size_t start_pos = StartPosition(tx->record);
+      if (start_pos > log.size()) {
+        return Status::Internal(Describe(tx->record.tid) +
+                                " start snapshot exceeds site log length");
+      }
+      while (applied < start_pos) {
+        TxId applied_tid = log[applied];
+        auto it = txs_.find(applied_tid);
+        if (it == txs_.end()) {
+          return Status::Internal("site log references unregistered " + Describe(applied_tid));
+        }
+        for (const auto& u : it->second.record.updates) {
+          if (u.kind == UpdateKind::kData) {
+            regular_state[u.oid] = u.data;
+          } else {
+            cset_state[u.oid].ApplyOp(u);
+          }
+        }
+        ++applied;
+      }
+      for (const auto& read : tx->reads) {
+        if (read.is_cset) {
+          auto it = cset_state.find(read.oid);
+          CountingSet expected = it == cset_state.end() ? CountingSet{} : it->second;
+          if (!(expected == read.cset)) {
+            return Status::Internal("PSI Property 1 violated: " + Describe(tx->record.tid) +
+                                    " cset read of " + read.oid.ToString() +
+                                    " does not match its start snapshot");
+          }
+        } else {
+          auto it = regular_state.find(read.oid);
+          std::optional<std::string> expected;
+          if (it != regular_state.end()) {
+            expected = it->second;
+          }
+          if (expected != read.value) {
+            return Status::Internal("PSI Property 1 violated: " + Describe(tx->record.tid) +
+                                    " read of " + read.oid.ToString() +
+                                    " does not match its start snapshot");
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status PsiChecker::CheckProperty2NoWriteConflicts() const {
+  // Index writers per object so we only compare transactions that can conflict.
+  std::map<ObjectId, std::vector<TxId>> writers;
+  for (const auto& [tid, tx] : txs_) {
+    for (const ObjectId& oid : RegularWriteSet(tx.record)) {
+      writers[oid].push_back(tid);
+    }
+  }
+
+  // Concurrent at site s: one's commit position at s lies in the other's
+  // [start, commit) window at s (only defined when the "window" transaction
+  // originated at s). Somewhere-concurrent: concurrent at either origin.
+  auto concurrent_at_origin = [&](const RecordedTx& window, const RecordedTx& other) {
+    SiteId s = window.record.origin;
+    auto window_commit = PositionAt(s, window.record.tid);
+    auto other_commit = PositionAt(s, other.record.tid);
+    if (!window_commit || !other_commit) {
+      return false;
+    }
+    size_t start = StartPosition(window.record);
+    return *other_commit >= start && *other_commit < *window_commit;
+  };
+
+  for (const auto& [oid, tids] : writers) {
+    for (size_t i = 0; i < tids.size(); ++i) {
+      for (size_t j = i + 1; j < tids.size(); ++j) {
+        const RecordedTx& a = txs_.at(tids[i]);
+        const RecordedTx& b = txs_.at(tids[j]);
+        if (concurrent_at_origin(a, b) || concurrent_at_origin(b, a)) {
+          return Status::Internal("PSI Property 2 violated: committed somewhere-concurrent " +
+                                  Describe(a.record.tid) + " and " + Describe(b.record.tid) +
+                                  " both write " + oid.ToString());
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status PsiChecker::CheckProperty3CommitCausality() const {
+  // For every T2, every T1 committed at T2's origin before T2 started must
+  // precede T2 at every site where both committed.
+  for (const auto& [tid2, t2] : txs_) {
+    SiteId origin = t2.record.origin;
+    size_t start_pos = StartPosition(t2.record);
+    const auto& origin_log = site_logs_[origin];
+    size_t prefix = std::min(start_pos, origin_log.size());
+    for (size_t i = 0; i < prefix; ++i) {
+      TxId tid1 = origin_log[i];
+      if (tid1 == tid2) {
+        continue;
+      }
+      for (SiteId s = 0; s < num_sites_; ++s) {
+        auto p1 = PositionAt(s, tid1);
+        auto p2 = PositionAt(s, tid2);
+        if (p1 && p2 && *p1 > *p2) {
+          return Status::Internal("PSI Property 3 violated: " + Describe(tid1) +
+                                  " precedes " + Describe(tid2) + " at site " +
+                                  std::to_string(origin) + " but follows it at site " +
+                                  std::to_string(s));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace walter

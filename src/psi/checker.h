@@ -1,0 +1,92 @@
+// PsiChecker: mechanical verification of the three PSI properties (Section 3.2)
+// over a recorded multi-site execution.
+//
+// Integration tests run randomized workloads against the real Walter
+// implementation, record (a) each site's apply order of committed transactions
+// and (b) each committed transaction's observed reads, then call Check():
+//
+//  - Property 1 (Site Snapshot Read): every recorded read equals the state
+//    obtained by replaying the transaction's origin-site log up to its start
+//    snapshot, overlaid with the transaction's own earlier updates.
+//  - Property 2 (No Write-Write Conflicts): committed somewhere-concurrent
+//    transactions have disjoint (regular-object) write sets. cset operations
+//    never conflict.
+//  - Property 3 (Commit Causality Across Sites): if T1 committed at site A
+//    before T2 started at A, then T1 commits before T2 at every site where
+//    both appear.
+//
+// Positions: within a site's log, a transaction's "commit timestamp at s" is
+// its index in s's apply order. A transaction's "start timestamp" at its origin
+// is the number of log entries visible to its start snapshot, which equals the
+// sum of its startVTS entries.
+#ifndef SRC_PSI_CHECKER_H_
+#define SRC_PSI_CHECKER_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/common/update.h"
+#include "src/crdt/cset.h"
+
+namespace walter {
+
+// One read observed by a committed transaction during execution.
+struct RecordedRead {
+  ObjectId oid;
+  bool is_cset = false;
+  std::optional<std::string> value;  // regular read result (nullopt = nil)
+  CountingSet cset;                  // cset read result
+};
+
+// Everything the checker needs to know about one committed transaction.
+struct RecordedTx {
+  TxRecord record;                  // tid, origin, version, startVTS, updates
+  std::vector<RecordedRead> reads;  // observed read results, in issue order
+};
+
+class PsiChecker {
+ public:
+  explicit PsiChecker(size_t num_sites) : num_sites_(num_sites), site_logs_(num_sites) {}
+
+  // Reports that `tid` was applied (committed) at `site`; calls must follow
+  // each site's apply order. The full record is registered via OnCommit.
+  void OnApply(SiteId site, TxId tid) {
+    site_logs_[site].push_back(tid);
+    positions_.clear();
+  }
+
+  // Registers a committed transaction's details (once, from its origin).
+  void OnCommit(RecordedTx tx) { txs_[tx.record.tid] = std::move(tx); }
+
+  // Runs all three property checks; returns OK or the first violation found.
+  Status Check() const;
+
+  Status CheckProperty1SnapshotReads() const;
+  Status CheckProperty2NoWriteConflicts() const;
+  Status CheckProperty3CommitCausality() const;
+
+  size_t committed_count() const { return txs_.size(); }
+
+ private:
+  // Index of tid in site s's log, or nullopt. Uses a lazily built index.
+  std::optional<size_t> PositionAt(SiteId s, TxId tid) const;
+  void BuildPositionIndex() const;
+
+  // Regular-object write set of a transaction.
+  static std::vector<ObjectId> RegularWriteSet(const TxRecord& rec);
+
+  size_t num_sites_;
+  std::vector<std::vector<TxId>> site_logs_;
+  std::unordered_map<TxId, RecordedTx> txs_;
+  // Lazily built per-site tid -> log index maps (invalidated on OnApply by
+  // clearing; rebuilt on first PositionAt after recording ends).
+  mutable std::vector<std::unordered_map<TxId, size_t>> positions_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_PSI_CHECKER_H_

@@ -1,0 +1,220 @@
+#include "src/psi/psi_spec.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace walter {
+
+PsiSpec::PsiSpec(size_t num_sites) : num_sites_(num_sites), logs_(num_sites) {}
+
+const PsiSpec::Tx& PsiSpec::GetTx(TxHandle x) const {
+  auto it = txs_.find(x);
+  WCHECK(it != txs_.end(), "unknown tx handle " << x);
+  return it->second;
+}
+
+PsiSpec::Tx& PsiSpec::GetTx(TxHandle x) {
+  auto it = txs_.find(x);
+  WCHECK(it != txs_.end(), "unknown tx handle " << x);
+  return it->second;
+}
+
+PsiSpec::TxHandle PsiSpec::StartTx(SiteId site) {
+  WCHECK(site < num_sites_, "bad site");
+  TxHandle h = next_handle_++;
+  Tx tx;
+  tx.site = site;
+  tx.start_ts = ++clock_;
+  tx.commit_ts.assign(num_sites_, 0);
+  txs_[h] = std::move(tx);
+  return h;
+}
+
+void PsiSpec::Write(TxHandle x, const ObjectId& oid, std::string data) {
+  Tx& tx = GetTx(x);
+  WCHECK(tx.state == TxState::kExecuting, "write to finished tx");
+  tx.updates.push_back(ObjectUpdate::Data(oid, std::move(data)));
+}
+
+void PsiSpec::SetAdd(TxHandle x, const ObjectId& setid, const ObjectId& id) {
+  Tx& tx = GetTx(x);
+  WCHECK(tx.state == TxState::kExecuting, "setAdd to finished tx");
+  tx.updates.push_back(ObjectUpdate::Add(setid, id));
+}
+
+void PsiSpec::SetDel(TxHandle x, const ObjectId& setid, const ObjectId& id) {
+  Tx& tx = GetTx(x);
+  WCHECK(tx.state == TxState::kExecuting, "setDel to finished tx");
+  tx.updates.push_back(ObjectUpdate::Del(setid, id));
+}
+
+std::optional<std::string> PsiSpec::Read(TxHandle x, const ObjectId& oid) const {
+  const Tx& tx = GetTx(x);
+  // Own buffer first.
+  for (auto u = tx.updates.rbegin(); u != tx.updates.rend(); ++u) {
+    if (u->oid == oid && u->kind == UpdateKind::kData) {
+      return u->data;
+    }
+  }
+  std::optional<std::string> result;
+  for (const auto& e : logs_[tx.site]) {
+    if (e.commit_ts <= tx.start_ts && e.update.oid == oid &&
+        e.update.kind == UpdateKind::kData) {
+      result = e.update.data;
+    }
+  }
+  return result;
+}
+
+CountingSet PsiSpec::SetRead(TxHandle x, const ObjectId& setid) const {
+  const Tx& tx = GetTx(x);
+  CountingSet s;
+  for (const auto& e : logs_[tx.site]) {
+    if (e.commit_ts <= tx.start_ts && e.update.oid == setid &&
+        e.update.kind != UpdateKind::kData) {
+      s.ApplyOp(e.update);
+    }
+  }
+  for (const auto& u : tx.updates) {
+    if (u.oid == setid && u.kind != UpdateKind::kData) {
+      s.ApplyOp(u);
+    }
+  }
+  return s;
+}
+
+int64_t PsiSpec::SetReadId(TxHandle x, const ObjectId& setid, const ObjectId& id) const {
+  return SetRead(x, setid).Count(id);
+}
+
+bool PsiSpec::WriteConflicts(const Tx& a, const Tx& b) {
+  // Only DATA writes conflict; cset operations commute (Section 3.3).
+  for (const auto& ua : a.updates) {
+    if (ua.kind != UpdateKind::kData) {
+      continue;
+    }
+    for (const auto& ub : b.updates) {
+      if (ub.kind == UpdateKind::kData && ua.oid == ub.oid) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void PsiSpec::AppendToLog(SiteId s, const Tx& tx, uint64_t commit_ts) {
+  for (const auto& u : tx.updates) {
+    logs_[s].push_back(LogEntry{commit_ts, u});
+  }
+}
+
+TxOutcome PsiSpec::CommitTx(TxHandle x) {
+  Tx& tx = GetTx(x);
+  WCHECK(tx.state == TxState::kExecuting, "commit of finished tx");
+  uint64_t ts = ++clock_;
+
+  // chooseOutcome (Figure 5).
+  bool conflict_committed_or_propagating = false;
+  bool conflict_aborted_or_executing = false;
+  for (const auto& [h, other] : txs_) {
+    if (h == x || !WriteConflicts(tx, other)) {
+      continue;
+    }
+    if (other.state == TxState::kCommitted) {
+      uint64_t at_my_site = other.commit_ts[tx.site];
+      if (at_my_site != 0 && at_my_site > tx.start_ts) {
+        // Committed at site(x) after x started.
+        conflict_committed_or_propagating = true;
+      } else if (at_my_site == 0) {
+        // Currently propagating to site(x): committed but not yet there.
+        conflict_committed_or_propagating = true;
+      }
+    } else if (other.state == TxState::kAborted) {
+      // "aborted after x started": its outcome was chosen after our start.
+      uint64_t decided = 0;
+      for (uint64_t t : other.commit_ts) {
+        decided = std::max(decided, t);
+      }
+      if (decided > tx.start_ts) {
+        conflict_aborted_or_executing = true;
+      }
+    } else {
+      conflict_aborted_or_executing = true;  // currently executing
+    }
+  }
+
+  if (conflict_committed_or_propagating ||
+      (conflict_aborted_or_executing && nondet_abort_)) {
+    tx.state = TxState::kAborted;
+    tx.commit_ts[tx.site] = ts;  // records when the outcome was decided
+    return TxOutcome::kAborted;
+  }
+
+  tx.state = TxState::kCommitted;
+  tx.commit_ts[tx.site] = ts;
+  AppendToLog(tx.site, tx, ts);
+  return TxOutcome::kCommitted;
+}
+
+void PsiSpec::AbortTx(TxHandle x) {
+  Tx& tx = GetTx(x);
+  if (tx.state == TxState::kExecuting) {
+    tx.state = TxState::kAborted;
+    tx.commit_ts[tx.site] = ++clock_;
+  }
+}
+
+bool PsiSpec::PropagateTo(TxHandle x, SiteId s) {
+  Tx& tx = GetTx(x);
+  if (tx.state != TxState::kCommitted || s >= num_sites_ || tx.commit_ts[s] != 0) {
+    return false;
+  }
+  // Causality guard: every y that committed at site(x) before x started must
+  // already have committed at s.
+  for (const auto& [h, y] : txs_) {
+    if (y.state != TxState::kCommitted) {
+      continue;
+    }
+    uint64_t y_at_my_site = y.commit_ts[tx.site];
+    if (y_at_my_site != 0 && y_at_my_site < tx.start_ts && y.commit_ts[s] == 0) {
+      return false;
+    }
+  }
+  uint64_t ts = ++clock_;
+  tx.commit_ts[s] = ts;
+  AppendToLog(s, tx, ts);
+  return true;
+}
+
+void PsiSpec::PropagateAll() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto& [h, tx] : txs_) {
+      if (tx.state != TxState::kCommitted) {
+        continue;
+      }
+      for (SiteId s = 0; s < num_sites_; ++s) {
+        if (tx.commit_ts[s] == 0 && PropagateTo(h, s)) {
+          progressed = true;
+        }
+      }
+    }
+  }
+}
+
+bool PsiSpec::GloballyVisible(TxHandle x) const {
+  const Tx& tx = GetTx(x);
+  if (tx.state != TxState::kCommitted) {
+    return false;
+  }
+  for (uint64_t t : tx.commit_ts) {
+    if (t == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace walter

@@ -1,0 +1,96 @@
+// Executable specification of Parallel Snapshot Isolation (Figures 4, 5, 7).
+//
+// Centralized and single-threaded, exactly as in the paper: one log per site,
+// a global monotonic timestamp source, per-site commit timestamps, and an
+// explicit propagation step standing in for the spec's `upon` statement. A
+// transaction commits first at its own site; PropagateStep()/PropagateAll()
+// fire the upon-statement for eligible (transaction, site) pairs, respecting
+// the causality guard:
+//
+//   x.status = COMMITTED and x.commitTs[s] = bottom and
+//   forall y with y.commitTs[site(x)] < x.startTs : y.commitTs[s] != bottom
+//
+// Includes the cset extension of Figure 7 (setAdd/setDel/setRead) — cset
+// operations commute and never count as write-write conflicts.
+#ifndef SRC_PSI_PSI_SPEC_H_
+#define SRC_PSI_PSI_SPEC_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/common/update.h"
+#include "src/crdt/cset.h"
+#include "src/psi/si_spec.h"  // for TxOutcome
+
+namespace walter {
+
+class PsiSpec {
+ public:
+  using TxHandle = uint64_t;
+
+  explicit PsiSpec(size_t num_sites);
+
+  size_t num_sites() const { return num_sites_; }
+
+  // operation startTx at a site.
+  TxHandle StartTx(SiteId site);
+
+  void Write(TxHandle x, const ObjectId& oid, std::string data);
+  void SetAdd(TxHandle x, const ObjectId& setid, const ObjectId& id);
+  void SetDel(TxHandle x, const ObjectId& setid, const ObjectId& id);
+
+  // Reads from x.updates and Log[site(x)] up to x.startTs.
+  std::optional<std::string> Read(TxHandle x, const ObjectId& oid) const;
+  CountingSet SetRead(TxHandle x, const ObjectId& setid) const;
+  // setReadId extension (Section 3.3): count of one element.
+  int64_t SetReadId(TxHandle x, const ObjectId& setid, const ObjectId& id) const;
+
+  // Commits at site(x); the outcome is decided once (Figure 5).
+  TxOutcome CommitTx(TxHandle x);
+
+  void AbortTx(TxHandle x);
+
+  // Fires the upon-statement once for (x, s) if eligible; returns whether it ran.
+  bool PropagateTo(TxHandle x, SiteId s);
+  // Fires the upon-statement until no pair is eligible (full propagation).
+  void PropagateAll();
+  // True if x has committed at every site.
+  bool GloballyVisible(TxHandle x) const;
+
+  // Nondeterministic-branch policy, as in SiSpec.
+  void set_nondeterministic_abort(bool abort) { nondet_abort_ = abort; }
+
+ private:
+  struct LogEntry {
+    uint64_t commit_ts;  // commit timestamp at this log's site
+    ObjectUpdate update;
+  };
+  enum class TxState : uint8_t { kExecuting, kCommitted, kAborted };
+  struct Tx {
+    SiteId site = kNoSite;
+    uint64_t start_ts = 0;
+    std::vector<uint64_t> commit_ts;  // per site; 0 = bottom
+    TxState state = TxState::kExecuting;
+    std::vector<ObjectUpdate> updates;
+  };
+
+  const Tx& GetTx(TxHandle x) const;
+  Tx& GetTx(TxHandle x);
+  static bool WriteConflicts(const Tx& a, const Tx& b);
+  void AppendToLog(SiteId s, const Tx& tx, uint64_t commit_ts);
+
+  size_t num_sites_;
+  uint64_t clock_ = 0;
+  TxHandle next_handle_ = 1;
+  std::map<TxHandle, Tx> txs_;
+  std::vector<std::vector<LogEntry>> logs_;  // one log per site
+  bool nondet_abort_ = false;
+};
+
+}  // namespace walter
+
+#endif  // SRC_PSI_PSI_SPEC_H_

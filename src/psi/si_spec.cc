@@ -1,0 +1,96 @@
+#include "src/psi/si_spec.h"
+
+#include "src/common/logging.h"
+
+namespace walter {
+
+SiSpec::TxHandle SiSpec::StartTx() {
+  TxHandle h = next_handle_++;
+  Tx tx;
+  tx.start_ts = ++clock_;
+  txs_[h] = std::move(tx);
+  return h;
+}
+
+void SiSpec::Write(TxHandle x, const ObjectId& oid, std::string data) {
+  auto it = txs_.find(x);
+  WCHECK(it != txs_.end() && it->second.state == TxState::kExecuting, "write to invalid tx");
+  it->second.updates.emplace_back(oid, std::move(data));
+}
+
+std::optional<std::string> SiSpec::Read(TxHandle x, const ObjectId& oid) const {
+  auto it = txs_.find(x);
+  WCHECK(it != txs_.end(), "read from unknown tx");
+  const Tx& tx = it->second;
+  // Own update buffer wins (latest write of this transaction).
+  for (auto u = tx.updates.rbegin(); u != tx.updates.rend(); ++u) {
+    if (u->first == oid) {
+      return u->second;
+    }
+  }
+  // Otherwise the most recent committed version as of start_ts.
+  std::optional<std::string> result;
+  for (const auto& e : log_) {
+    if (e.commit_ts <= tx.start_ts && e.oid == oid) {
+      result = e.data;  // log is in commit-timestamp order; last visible wins
+    }
+  }
+  return result;
+}
+
+bool SiSpec::WriteConflicts(const Tx& a, const Tx& b) const {
+  for (const auto& [oid_a, _] : a.updates) {
+    for (const auto& [oid_b, __] : b.updates) {
+      if (oid_a == oid_b) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TxOutcome SiSpec::CommitTx(TxHandle x) {
+  auto it = txs_.find(x);
+  WCHECK(it != txs_.end() && it->second.state == TxState::kExecuting, "commit of invalid tx");
+  Tx& tx = it->second;
+  tx.commit_ts = ++clock_;
+
+  // chooseOutcome (Figure 2).
+  bool conflict_committed_after_start = false;
+  bool conflict_aborted_or_executing = false;
+  for (const auto& [h, other] : txs_) {
+    if (h == x || !WriteConflicts(tx, other)) {
+      continue;
+    }
+    if (other.state == TxState::kCommitted && other.commit_ts > tx.start_ts) {
+      conflict_committed_after_start = true;
+    } else if ((other.state == TxState::kAborted && other.commit_ts > tx.start_ts) ||
+               other.state == TxState::kExecuting) {
+      conflict_aborted_or_executing = true;
+    }
+  }
+
+  if (conflict_committed_after_start ||
+      (conflict_aborted_or_executing && nondet_abort_)) {
+    tx.state = TxState::kAborted;
+    return TxOutcome::kAborted;
+  }
+
+  tx.state = TxState::kCommitted;
+  ++committed_count_;
+  for (auto& [oid, data] : tx.updates) {
+    log_.push_back(LogEntry{tx.commit_ts, oid, data});
+  }
+  return TxOutcome::kCommitted;
+}
+
+void SiSpec::AbortTx(TxHandle x) {
+  auto it = txs_.find(x);
+  if (it == txs_.end()) {
+    return;
+  }
+  it->second.commit_ts = ++clock_;
+  it->second.state = TxState::kAborted;
+}
+
+}  // namespace walter

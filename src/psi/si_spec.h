@@ -1,0 +1,80 @@
+// Executable specification of Snapshot Isolation (paper Figures 1 and 2).
+//
+// This is the paper's abstract, centralized spec — a single log, monotonic
+// timestamps, one operation at a time. It exists to (a) document SI precisely,
+// (b) serve as a reference oracle in tests, and (c) demonstrate the anomaly
+// table of Figure 8 (SI allows short fork but not long fork; PSI allows both).
+//
+// chooseOutcome's nondeterministic branch ("either ABORTED or COMMITTED") is
+// exposed as a policy flag so tests can drive both behaviors.
+#ifndef SRC_PSI_SI_SPEC_H_
+#define SRC_PSI_SI_SPEC_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace walter {
+
+enum class TxOutcome : uint8_t {
+  kCommitted,
+  kAborted,
+};
+
+class SiSpec {
+ public:
+  using TxHandle = uint64_t;
+
+  // operation startTx(x): x.startTs <- new monotonic timestamp.
+  TxHandle StartTx();
+
+  // operation write(x, oid, data): append <oid, DATA(data)> to x.updates.
+  void Write(TxHandle x, const ObjectId& oid, std::string data);
+
+  // operation read(x, oid): state of oid from x.updates and Log up to x.startTs.
+  std::optional<std::string> Read(TxHandle x, const ObjectId& oid) const;
+
+  // operation commitTx(x): new commit timestamp, chooseOutcome, append to Log.
+  TxOutcome CommitTx(TxHandle x);
+
+  // Abandons a transaction without committing (models a client abort/crash).
+  void AbortTx(TxHandle x);
+
+  // Policy for the nondeterministic branch of chooseOutcome (Figure 2): when a
+  // write-conflicting transaction aborted after x started or is still
+  // executing, the spec may return either outcome. Default: commit.
+  void set_nondeterministic_abort(bool abort) { nondet_abort_ = abort; }
+
+  uint64_t committed_count() const { return committed_count_; }
+
+ private:
+  struct LogEntry {
+    uint64_t commit_ts;
+    ObjectId oid;
+    std::string data;
+  };
+  enum class TxState : uint8_t { kExecuting, kCommitted, kAborted };
+  struct Tx {
+    uint64_t start_ts = 0;
+    uint64_t commit_ts = 0;  // 0 until commit attempted
+    TxState state = TxState::kExecuting;
+    std::vector<std::pair<ObjectId, std::string>> updates;
+  };
+
+  bool WriteConflicts(const Tx& a, const Tx& b) const;
+
+  uint64_t clock_ = 0;  // the monotonic timestamp source
+  TxHandle next_handle_ = 1;
+  std::map<TxHandle, Tx> txs_;
+  std::vector<LogEntry> log_;
+  uint64_t committed_count_ = 0;
+  bool nondet_abort_ = false;
+};
+
+}  // namespace walter
+
+#endif  // SRC_PSI_SI_SPEC_H_

@@ -1,0 +1,80 @@
+#include "src/sim/disk.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace walter {
+
+DiskConfig DiskConfig::Ec2() {
+  // Virtualized EBS-era disk with write caching: sub-millisecond "flush", but
+  // noisy-neighbor stalls in the multi-millisecond range now and then.
+  return DiskConfig{.flush_latency = Millis(0.8),
+                    .jitter = 1.0,
+                    .stall_probability = 0.015,
+                    .stall_latency = Millis(14)};
+}
+
+DiskConfig DiskConfig::WriteCacheOn() {
+  return DiskConfig{.flush_latency = Millis(0.3),
+                    .jitter = 0.5,
+                    .stall_probability = 0.005,
+                    .stall_latency = Millis(6)};
+}
+
+DiskConfig DiskConfig::WriteCacheOff() {
+  // True synchronous write on a 7200rpm-class disk: ~8ms rotational+seek,
+  // with occasional multi-revolution stalls.
+  return DiskConfig{.flush_latency = Millis(8.0),
+                    .jitter = 0.6,
+                    .stall_probability = 0.02,
+                    .stall_latency = Millis(35)};
+}
+
+DiskConfig DiskConfig::Memory() {
+  return DiskConfig{.flush_latency = 0, .jitter = 0};
+}
+
+Disk::Disk(Simulator* sim, DiskConfig config) : sim_(sim), config_(config) {}
+
+void Disk::Flush(std::function<void()> done) {
+  ++records_;
+  if (config_.flush_latency == 0) {
+    done();
+    return;
+  }
+  waiting_.push_back(std::move(done));
+  if (!flushing_) {
+    StartFlush();
+  }
+}
+
+void Disk::StartFlush() {
+  flushing_ = true;
+  ++flushes_;
+  // Everything queued so far rides this flush; later arrivals form the next batch.
+  auto batch = std::make_shared<std::vector<std::function<void()>>>();
+  batch->reserve(waiting_.size());
+  while (!waiting_.empty()) {
+    batch->push_back(std::move(waiting_.front()));
+    waiting_.pop_front();
+  }
+  SimDuration latency = static_cast<SimDuration>(
+      static_cast<double>(config_.flush_latency) * (1.0 + config_.jitter * sim_->rng().NextDouble()));
+  if (config_.stall_probability > 0 && sim_->rng().Bernoulli(config_.stall_probability)) {
+    latency += static_cast<SimDuration>(static_cast<double>(config_.stall_latency) *
+                                        (0.5 + sim_->rng().NextDouble()));
+  }
+  sim_->After(latency, [this, batch]() {
+    for (auto& cb : *batch) {
+      cb();
+    }
+    if (!waiting_.empty()) {
+      StartFlush();
+    } else {
+      flushing_ = false;
+    }
+  });
+}
+
+}  // namespace walter

@@ -1,0 +1,67 @@
+// Group-commit disk model.
+//
+// Walter flushes commit records with group commit (Section 6): many records
+// share one flush. The model: at most one flush is in flight; records arriving
+// while a flush is running join the next batch, which starts when the current
+// flush completes. The resulting wait (0..2 flush latencies under load) is the
+// disk component of the Figure 18 commit-latency CDFs.
+//
+// Three presets mirror the paper's three measurement environments (Section 8.3):
+// EC2 (write cache effectively on, virtualized), private cluster with write
+// caching on, and private cluster with write caching off.
+#ifndef SRC_SIM_DISK_H_
+#define SRC_SIM_DISK_H_
+
+#include <deque>
+#include <functional>
+
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace walter {
+
+struct DiskConfig {
+  // Time for one flush (sync write) to become durable.
+  SimDuration flush_latency = Millis(1.0);
+  // Multiplicative jitter: each flush takes latency * U[1, 1+jitter].
+  double jitter = 0.5;
+  // Occasional stalls (virtualized/contended devices): with this probability a
+  // flush takes an extra stall_latency * U[0.5, 1.5]. These produce the long
+  // commit-latency tails of Figure 18.
+  double stall_probability = 0;
+  SimDuration stall_latency = 0;
+
+  static DiskConfig Ec2();                // virtualized disk, write cache on
+  static DiskConfig WriteCacheOn();       // private cluster, cache on
+  static DiskConfig WriteCacheOff();      // private cluster, cache off (true sync)
+  static DiskConfig Memory();             // commit to memory (ReTwis experiments, §8.7)
+};
+
+class Disk {
+ public:
+  Disk(Simulator* sim, DiskConfig config);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  // Makes one record durable; `done` runs when the batch containing the record
+  // has been flushed. With DiskConfig::Memory() this completes immediately.
+  void Flush(std::function<void()> done);
+
+  uint64_t flushes() const { return flushes_; }
+  uint64_t records() const { return records_; }
+
+ private:
+  void StartFlush();
+
+  Simulator* sim_;
+  DiskConfig config_;
+  bool flushing_ = false;
+  std::deque<std::function<void()>> waiting_;  // records for the next batch
+  uint64_t flushes_ = 0;
+  uint64_t records_ = 0;
+};
+
+}  // namespace walter
+
+#endif  // SRC_SIM_DISK_H_

@@ -1,0 +1,39 @@
+#include "src/sim/resource.h"
+
+#include <utility>
+
+namespace walter {
+
+Resource::Resource(Simulator* sim, int capacity, std::string name)
+    : sim_(sim), capacity_(capacity), name_(std::move(name)) {}
+
+void Resource::Execute(SimDuration service_time, std::function<void()> done) {
+  if (busy_ < capacity_) {
+    RunItem(Item{service_time, std::move(done)});
+  } else {
+    queue_.push_back(Item{service_time, std::move(done)});
+  }
+}
+
+void Resource::RunItem(Item item) {
+  ++busy_;
+  busy_time_ += item.service;
+  sim_->After(item.service, [this, done = std::move(item.done)]() mutable {
+    --busy_;
+    ++completed_;
+    // Run the completion before starting queued work so same-time ordering is
+    // deterministic: completion, then the next item's start.
+    done();
+    StartNext();
+  });
+}
+
+void Resource::StartNext() {
+  while (busy_ < capacity_ && !queue_.empty()) {
+    Item item = std::move(queue_.front());
+    queue_.pop_front();
+    RunItem(std::move(item));
+  }
+}
+
+}  // namespace walter

@@ -1,0 +1,58 @@
+// FIFO queueing resources used to model server capacity.
+//
+// A Walter server's throughput in the paper is bound by RPC processing cost
+// and, for commits, a contended lock (Section 8.3). We model both as
+// `Resource`s: a resource has `capacity` parallel servers; work items queue
+// FIFO and each occupies one server for its service time. Queueing delay under
+// load is what produces the latency tails of Figures 18, 20 and 22.
+#ifndef SRC_SIM_RESOURCE_H_
+#define SRC_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace walter {
+
+class Resource {
+ public:
+  // capacity: number of parallel servers (cores/lock holders).
+  Resource(Simulator* sim, int capacity, std::string name = "");
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  // Enqueues a work item needing `service_time`; `done` runs at completion.
+  void Execute(SimDuration service_time, std::function<void()> done);
+
+  size_t queue_length() const { return queue_.size(); }
+  int busy() const { return busy_; }
+  uint64_t completed() const { return completed_; }
+  // Cumulative busy server-time, for utilization reporting.
+  SimDuration busy_time() const { return busy_time_; }
+
+ private:
+  struct Item {
+    SimDuration service;
+    std::function<void()> done;
+  };
+
+  void StartNext();
+  void RunItem(Item item);
+
+  Simulator* sim_;
+  int capacity_;
+  std::string name_;
+  int busy_ = 0;
+  uint64_t completed_ = 0;
+  SimDuration busy_time_ = 0;
+  std::deque<Item> queue_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_SIM_RESOURCE_H_

@@ -1,0 +1,82 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace walter {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::At(SimTime t, std::function<void()> fn) {
+  auto ev = std::make_unique<Event>();
+  ev->time = std::max(t, now_);
+  ev->seq = next_seq_++;
+  ev->id = next_id_++;
+  ev->fn = std::move(fn);
+  EventId id = ev->id;
+  queue_.push(std::move(ev));
+  ++pending_count_;
+  return id;
+}
+
+EventId Simulator::After(SimDuration delay, std::function<void()> fn) {
+  return At(now_ + std::max<SimDuration>(delay, 0), std::move(fn));
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id != 0) {
+    canceled_.insert(id);
+  }
+}
+
+std::unique_ptr<Simulator::Event> Simulator::PopNext() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the const_cast is confined here and safe
+    // because we pop immediately after moving.
+    auto& top = const_cast<std::unique_ptr<Event>&>(queue_.top());
+    std::unique_ptr<Event> ev = std::move(top);
+    queue_.pop();
+    --pending_count_;
+    auto it = canceled_.find(ev->id);
+    if (it != canceled_.end()) {
+      canceled_.erase(it);
+      continue;
+    }
+    return ev;
+  }
+  return nullptr;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+size_t Simulator::RunUntil(SimTime t) {
+  size_t processed = 0;
+  while (!queue_.empty()) {
+    const auto& top = queue_.top();
+    if (top->time > t) {
+      break;
+    }
+    if (!Step()) {
+      break;
+    }
+    ++processed;
+  }
+  now_ = std::max(now_, t);
+  return processed;
+}
+
+bool Simulator::Step() {
+  std::unique_ptr<Event> ev = PopNext();
+  if (!ev) {
+    return false;
+  }
+  now_ = std::max(now_, ev->time);
+  ++events_processed_;
+  ev->fn();
+  return true;
+}
+
+}  // namespace walter

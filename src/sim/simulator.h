@@ -1,0 +1,94 @@
+// Deterministic single-threaded discrete-event simulator.
+//
+// All distributed pieces of this repository (Walter servers, Paxos nodes,
+// clients, the network) run as callbacks scheduled on one Simulator. Virtual
+// time replaces EC2 wall-clock time, which makes every experiment in
+// EXPERIMENTS.md exactly reproducible from a seed.
+//
+// Events scheduled for the same instant run in scheduling order (stable FIFO),
+// so protocol steps never race nondeterministically.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/time.h"
+
+namespace walter {
+
+// Handle for a scheduled event; used to cancel timers (e.g. RPC timeouts).
+using EventId = uint64_t;
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules fn at absolute virtual time t (clamped to Now()).
+  EventId At(SimTime t, std::function<void()> fn);
+
+  // Schedules fn after a virtual delay (clamped to >= 0).
+  EventId After(SimDuration delay, std::function<void()> fn);
+
+  // Cancels a pending event. Safe to call on already-fired or unknown ids.
+  void Cancel(EventId id);
+
+  // Runs until the event queue drains.
+  void Run();
+
+  // Runs events with time <= t, then sets Now() to t. Returns the number of
+  // events processed. Used by benches to run a fixed virtual duration.
+  size_t RunUntil(SimTime t);
+
+  // Runs a single event if one is pending; returns false when the queue is empty.
+  bool Step();
+
+  bool empty() const { return pending_count_ == 0; }
+  size_t events_processed() const { return events_processed_; }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // tie-break: FIFO among same-time events
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const std::unique_ptr<Event>& a, const std::unique_ptr<Event>& b) const {
+      if (a->time != b->time) {
+        return a->time > b->time;
+      }
+      return a->seq > b->seq;
+    }
+  };
+
+  // Pops the next non-canceled event, or nullptr if none.
+  std::unique_ptr<Event> PopNext();
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  size_t pending_count_ = 0;  // non-canceled events in the queue
+  size_t events_processed_ = 0;
+  std::priority_queue<std::unique_ptr<Event>, std::vector<std::unique_ptr<Event>>, EventLater>
+      queue_;
+  // Canceled ids not yet popped; erased when the event surfaces.
+  std::unordered_set<EventId> canceled_;
+  Rng rng_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,21 @@
+// Simulated time. One tick is one microsecond of virtual time.
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace walter {
+
+using SimTime = int64_t;      // absolute virtual time, microseconds
+using SimDuration = int64_t;  // virtual duration, microseconds
+
+constexpr SimDuration Micros(int64_t us) { return us; }
+constexpr SimDuration Millis(double ms) { return static_cast<SimDuration>(ms * 1000.0); }
+constexpr SimDuration Seconds(double s) { return static_cast<SimDuration>(s * 1'000'000.0); }
+
+constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) / 1000.0; }
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / 1'000'000.0; }
+
+}  // namespace walter
+
+#endif  // SRC_SIM_TIME_H_

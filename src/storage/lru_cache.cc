@@ -1,0 +1,55 @@
+#include "src/storage/lru_cache.h"
+
+namespace walter {
+
+void LruCache::Insert(const ObjectId& oid, ObjectType type, size_t bytes) {
+  Erase(oid);
+  if (bytes > capacity_) {
+    return;  // cannot fit even an empty cache
+  }
+  EvictUntilFits(bytes);
+  List& list = ListFor(type);
+  list.push_front(Entry{oid, type, bytes});
+  index_[oid] = list.begin();
+  used_ += bytes;
+}
+
+bool LruCache::Lookup(const ObjectId& oid) {
+  auto it = index_.find(oid);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  List& list = ListFor(it->second->type);
+  list.splice(list.begin(), list, it->second);
+  index_[oid] = list.begin();
+  return true;
+}
+
+void LruCache::Erase(const ObjectId& oid) {
+  auto it = index_.find(oid);
+  if (it == index_.end()) {
+    return;
+  }
+  used_ -= it->second->bytes;
+  ListFor(it->second->type).erase(it->second);
+  index_.erase(it);
+}
+
+void LruCache::EvictUntilFits(size_t incoming) {
+  // Prefer evicting regular objects; only touch csets when regulars are gone.
+  while (used_ + incoming > capacity_) {
+    List& victims = !regular_lru_.empty() ? regular_lru_ : cset_lru_;
+    if (victims.empty()) {
+      return;
+    }
+    const Entry& victim = victims.back();
+    used_ -= victim.bytes;
+    index_.erase(victim.oid);
+    victims.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace walter

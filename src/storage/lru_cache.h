@@ -1,0 +1,68 @@
+// In-memory object cache with cset-preferring eviction (Section 6).
+//
+// The Walter server keeps recently-used objects in memory and evicts on an LRU
+// basis; because csets are expensive to reconstruct from the log, the eviction
+// policy prefers to evict regular objects. We implement that as two LRU lists:
+// eviction drains the regular list first and only then touches csets.
+//
+// The cache tracks residency and charges byte sizes; the authoritative state
+// stays in the Store. The server uses Lookup() misses to charge a simulated
+// log-read penalty.
+#ifndef SRC_STORAGE_LRU_CACHE_H_
+#define SRC_STORAGE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/common/types.h"
+
+namespace walter {
+
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  // Inserts or refreshes an entry, evicting as needed. An entry larger than
+  // the whole cache is not admitted.
+  void Insert(const ObjectId& oid, ObjectType type, size_t bytes);
+
+  // True (and refreshes recency) if oid is resident.
+  bool Lookup(const ObjectId& oid);
+
+  void Erase(const ObjectId& oid);
+
+  size_t used_bytes() const { return used_; }
+  size_t capacity_bytes() const { return capacity_; }
+  size_t entry_count() const { return index_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    ObjectId oid;
+    ObjectType type;
+    size_t bytes;
+  };
+  using List = std::list<Entry>;
+
+  List& ListFor(ObjectType type) {
+    return type == ObjectType::kCset ? cset_lru_ : regular_lru_;
+  }
+  void EvictUntilFits(size_t incoming);
+
+  size_t capacity_;
+  size_t used_ = 0;
+  // Front = most recently used.
+  List regular_lru_;
+  List cset_lru_;
+  std::unordered_map<ObjectId, List::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace walter
+
+#endif  // SRC_STORAGE_LRU_CACHE_H_

@@ -1,0 +1,179 @@
+#include "src/storage/store.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace walter {
+
+Store::Store(size_t cache_capacity_bytes) : cache_(cache_capacity_bytes) {}
+
+void Store::Apply(const TxRecord& record) {
+  wal_.Append(record);
+  ApplyToHistories(record);
+}
+
+void Store::ApplyToHistories(const TxRecord& record) {
+  for (const auto& u : record.updates) {
+    histories_[u.oid].Append(record.version, u);
+  }
+}
+
+std::optional<std::string> Store::ReadRegular(const ObjectId& oid,
+                                              const VectorTimestamp& vts) const {
+  auto it = histories_.find(oid);
+  if (it == histories_.end()) {
+    return std::nullopt;
+  }
+  return it->second.ReadRegular(vts);
+}
+
+CountingSet Store::ReadCset(const ObjectId& oid, const VectorTimestamp& vts) const {
+  auto it = histories_.find(oid);
+  if (it == histories_.end()) {
+    return CountingSet{};
+  }
+  return it->second.ReadCset(vts);
+}
+
+std::optional<std::pair<std::string, Version>> Store::ReadRegularVersioned(
+    const ObjectId& oid, const VectorTimestamp& vts) const {
+  auto it = histories_.find(oid);
+  if (it == histories_.end()) {
+    return std::nullopt;
+  }
+  return it->second.ReadRegularVersioned(vts);
+}
+
+std::optional<std::pair<std::string, Version>> Store::LatestLocalVisible(
+    const ObjectId& oid, const VectorTimestamp& vts, SiteId self) const {
+  auto it = histories_.find(oid);
+  if (it == histories_.end()) {
+    return std::nullopt;
+  }
+  return it->second.LatestLocalVisible(vts, self);
+}
+
+CountingSet Store::ReadCsetExcluding(const ObjectId& oid, const VectorTimestamp& vts,
+                                     SiteId site, uint64_t min_seqno) const {
+  auto it = histories_.find(oid);
+  if (it == histories_.end()) {
+    return CountingSet{};
+  }
+  return it->second.ReadCsetExcluding(vts, site, min_seqno);
+}
+
+CountingSet Store::FoldLocalCsetOps(const ObjectId& oid, const VectorTimestamp& vts,
+                                    SiteId self) const {
+  auto it = histories_.find(oid);
+  if (it == histories_.end()) {
+    return CountingSet{};
+  }
+  return it->second.FoldLocalCsetOps(vts, self);
+}
+
+uint64_t Store::MinLocalSeqno(const ObjectId& oid, SiteId self) const {
+  auto it = histories_.find(oid);
+  if (it == histories_.end()) {
+    return 0;
+  }
+  return it->second.MinLocalSeqno(self);
+}
+
+bool Store::Unmodified(const ObjectId& oid, const VectorTimestamp& vts) const {
+  auto it = histories_.find(oid);
+  if (it == histories_.end()) {
+    return true;
+  }
+  return it->second.UnmodifiedSince(vts);
+}
+
+std::optional<Version> Store::LatestVersion(const ObjectId& oid) const {
+  auto it = histories_.find(oid);
+  if (it == histories_.end()) {
+    return std::nullopt;
+  }
+  return it->second.LatestVersion();
+}
+
+bool Store::TouchCache(const ObjectId& oid, ObjectType type, size_t approx_bytes) {
+  if (cache_.Lookup(oid)) {
+    return true;
+  }
+  cache_.Insert(oid, type, approx_bytes);
+  return false;
+}
+
+size_t Store::GarbageCollect(const VectorTimestamp& stable) {
+  size_t folded = 0;
+  for (auto& [oid, history] : histories_) {
+    folded += history.GarbageCollect(stable);
+  }
+  return folded;
+}
+
+size_t Store::RemoveVersionsFrom(SiteId site, uint64_t after_seqno) {
+  size_t removed = 0;
+  for (auto& [oid, history] : histories_) {
+    removed += history.RemoveVersionsFrom(site, after_seqno);
+  }
+  return removed;
+}
+
+std::string Store::SerializeCheckpoint() const {
+  ByteWriter w;
+  w.PutU64(wal_.base() + wal_.size());  // WAL frontier covered by this checkpoint
+  // Sort oids for deterministic checkpoint bytes.
+  std::vector<const std::pair<const ObjectId, ObjectHistory>*> items;
+  items.reserve(histories_.size());
+  for (const auto& kv : histories_) {
+    items.push_back(&kv);
+  }
+  std::sort(items.begin(), items.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  w.PutU64(items.size());
+  for (const auto* kv : items) {
+    w.PutObjectId(kv->first);
+    kv->second.Serialize(&w);
+  }
+  return w.Take();
+}
+
+void Store::RestoreCheckpoint(std::string_view bytes) {
+  histories_.clear();
+  if (bytes.empty()) {
+    checkpoint_frontier_ = 0;
+    return;
+  }
+  ByteReader r(bytes);
+  checkpoint_frontier_ = r.GetU64();
+  uint64_t n = r.GetU64();
+  for (uint64_t i = 0; i < n && !r.failed(); ++i) {
+    ObjectId oid = r.GetObjectId();
+    histories_[oid] = ObjectHistory::Deserialize(&r);
+  }
+}
+
+Store::RecoveryResult Store::Recover(std::string_view checkpoint_bytes,
+                                     std::string_view wal_bytes, size_t wal_base_offset) {
+  RecoveryResult result;
+  RestoreCheckpoint(checkpoint_bytes);
+  // Replay only the WAL suffix past the checkpoint frontier.
+  size_t skip = 0;
+  if (checkpoint_frontier_ > wal_base_offset) {
+    skip = checkpoint_frontier_ - wal_base_offset;
+  }
+  if (skip >= wal_bytes.size()) {
+    return result;
+  }
+  Wal::ReplayResult replay = Wal::Replay(wal_bytes.substr(skip));
+  result.torn_tail = replay.torn_tail;
+  for (const auto& rec : replay.records) {
+    ApplyToHistories(rec);
+    ++result.records_replayed;
+  }
+  return result;
+}
+
+}  // namespace walter

@@ -1,0 +1,99 @@
+// Store: the per-site storage engine tying together object histories, the
+// write-ahead log, the object cache and checkpointing (Section 6).
+//
+// The Walter server drives it with committed TxRecords (its own commits and
+// remote propagations); reads are snapshot reads against a vector timestamp.
+// Recovery follows Section 6: restore the latest checkpoint, then replay the
+// WAL tail after the checkpoint frontier.
+#ifndef SRC_STORAGE_STORE_H_
+#define SRC_STORAGE_STORE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/types.h"
+#include "src/common/update.h"
+#include "src/crdt/cset.h"
+#include "src/storage/lru_cache.h"
+#include "src/storage/object_history.h"
+#include "src/storage/wal.h"
+
+namespace walter {
+
+class Store {
+ public:
+  explicit Store(size_t cache_capacity_bytes = size_t{1} << 30);
+
+  // Applies a committed transaction: logs it to the WAL and appends each of
+  // its updates to the touched objects' histories. Caller guarantees each
+  // transaction is applied at most once (the server's GotVTS gating).
+  void Apply(const TxRecord& record);
+
+  // Applies without logging — used when replaying the WAL itself.
+  void ApplyToHistories(const TxRecord& record);
+
+  // Snapshot reads --------------------------------------------------------
+  std::optional<std::string> ReadRegular(const ObjectId& oid, const VectorTimestamp& vts) const;
+  CountingSet ReadCset(const ObjectId& oid, const VectorTimestamp& vts) const;
+
+  // Remote-read support (see ObjectHistory for semantics).
+  std::optional<std::pair<std::string, Version>> ReadRegularVersioned(
+      const ObjectId& oid, const VectorTimestamp& vts) const;
+  std::optional<std::pair<std::string, Version>> LatestLocalVisible(
+      const ObjectId& oid, const VectorTimestamp& vts, SiteId self) const;
+  CountingSet ReadCsetExcluding(const ObjectId& oid, const VectorTimestamp& vts, SiteId site,
+                                uint64_t min_seqno) const;
+  CountingSet FoldLocalCsetOps(const ObjectId& oid, const VectorTimestamp& vts,
+                               SiteId self) const;
+  uint64_t MinLocalSeqno(const ObjectId& oid, SiteId self) const;
+
+  // unmodified(oid, VTS) of Figures 11-12: no version of oid beyond vts.
+  bool Unmodified(const ObjectId& oid, const VectorTimestamp& vts) const;
+
+  std::optional<Version> LatestVersion(const ObjectId& oid) const;
+  bool Has(const ObjectId& oid) const { return histories_.contains(oid); }
+  size_t object_count() const { return histories_.size(); }
+
+  // Cache ------------------------------------------------------------------
+  // Records an access; returns true on a cache hit. Misses admit the entry.
+  bool TouchCache(const ObjectId& oid, ObjectType type, size_t approx_bytes);
+  const LruCache& cache() const { return cache_; }
+
+  // Maintenance --------------------------------------------------------------
+  // Folds history entries below `stable` (see ObjectHistory::GarbageCollect).
+  size_t GarbageCollect(const VectorTimestamp& stable);
+
+  // Discards updates of site `site` with seqno > after_seqno from every
+  // history (aggressive site-failure recovery, Section 5.7).
+  size_t RemoveVersionsFrom(SiteId site, uint64_t after_seqno);
+
+  // Serializes all object state (the "index" of Section 6) plus the WAL
+  // frontier it covers.
+  std::string SerializeCheckpoint() const;
+  void RestoreCheckpoint(std::string_view bytes);
+  // WAL offset covered by the last checkpoint taken/restored.
+  size_t checkpoint_frontier() const { return checkpoint_frontier_; }
+
+  struct RecoveryResult {
+    size_t records_replayed = 0;
+    bool torn_tail = false;
+  };
+  // Rebuilds state from a checkpoint image (may be empty) plus a raw WAL
+  // image: restores the checkpoint, then replays frames past its frontier.
+  RecoveryResult Recover(std::string_view checkpoint_bytes, std::string_view wal_bytes,
+                         size_t wal_base_offset = 0);
+
+  Wal& wal() { return wal_; }
+  const Wal& wal() const { return wal_; }
+
+ private:
+  std::unordered_map<ObjectId, ObjectHistory> histories_;
+  Wal wal_;
+  LruCache cache_;
+  size_t checkpoint_frontier_ = 0;
+};
+
+}  // namespace walter
+
+#endif  // SRC_STORAGE_STORE_H_

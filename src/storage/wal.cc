@@ -1,0 +1,113 @@
+#include "src/storage/wal.h"
+
+#include <array>
+#include <cstring>
+
+#include "src/common/bytes.h"
+
+namespace walter {
+
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x57414c52;  // "WALR"
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+uint32_t ReadU32At(std::string_view s, size_t pos) {
+  uint32_t v = 0;
+  std::memcpy(&v, s.data() + pos, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  const auto& table = Crc32Table();
+  uint32_t c = 0xffffffffu;
+  for (unsigned char ch : data) {
+    c = table[(c ^ ch) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+size_t Wal::Append(const TxRecord& record) {
+  ByteWriter payload;
+  record.Serialize(&payload);
+
+  ByteWriter frame;
+  frame.PutU32(kFrameMagic);
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload.data()));
+
+  size_t offset = base_ + buf_.size();
+  buf_ += frame.data();
+  buf_ += payload.data();
+  ++record_count_;
+  return offset;
+}
+
+void Wal::TruncatePrefix(size_t offset) {
+  if (offset <= base_) {
+    return;
+  }
+  size_t drop = offset - base_;
+  if (drop >= buf_.size()) {
+    base_ += buf_.size();
+    buf_.clear();
+  } else {
+    buf_.erase(0, drop);
+    base_ = offset;
+  }
+}
+
+Wal::ReplayResult Wal::Replay(std::string_view log_bytes) {
+  ReplayResult result;
+  size_t pos = 0;
+  constexpr size_t kHeader = 12;
+  while (pos + kHeader <= log_bytes.size()) {
+    uint32_t magic = ReadU32At(log_bytes, pos);
+    if (magic != kFrameMagic) {
+      result.torn_tail = true;
+      break;
+    }
+    uint32_t length = ReadU32At(log_bytes, pos + 4);
+    uint32_t crc = ReadU32At(log_bytes, pos + 8);
+    if (pos + kHeader + length > log_bytes.size()) {
+      result.torn_tail = true;  // incomplete tail frame
+      break;
+    }
+    std::string_view payload = log_bytes.substr(pos + kHeader, length);
+    if (Crc32(payload) != crc) {
+      result.torn_tail = true;
+      break;
+    }
+    ByteReader reader(payload);
+    TxRecord rec = TxRecord::Deserialize(&reader);
+    if (reader.failed()) {
+      result.torn_tail = true;
+      break;
+    }
+    result.records.push_back(std::move(rec));
+    pos += kHeader + length;
+    result.valid_bytes = pos;
+  }
+  if (pos < log_bytes.size() && !result.torn_tail) {
+    result.torn_tail = true;  // trailing garbage shorter than a header
+  }
+  return result;
+}
+
+}  // namespace walter

@@ -1,0 +1,60 @@
+// Write-ahead log of commit records (Section 6).
+//
+// Each committed transaction is framed as [magic][length][crc32][payload] and
+// appended to a byte buffer that stands in for the persistent device (the
+// simulated Disk decides *when* the bytes are durable; the Wal decides *what*
+// the bytes are, and is exercised against real serialization in recovery
+// tests). Replay stops cleanly at a torn tail: a frame with a bad magic, a
+// length overrunning the buffer, or a CRC mismatch ends recovery at the last
+// good record.
+#ifndef SRC_STORAGE_WAL_H_
+#define SRC_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/update.h"
+
+namespace walter {
+
+// CRC-32 (IEEE polynomial), table-driven.
+uint32_t Crc32(std::string_view data);
+
+class Wal {
+ public:
+  // Appends a framed commit record; returns the byte offset of the frame.
+  size_t Append(const TxRecord& record);
+
+  // Raw log contents (what would sit on the device).
+  const std::string& bytes() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+  uint64_t record_count() const { return record_count_; }
+
+  // Drops the prefix before `offset` (checkpoint truncation). Offsets returned
+  // by Append remain valid logical positions: reads are relative to base().
+  void TruncatePrefix(size_t offset);
+  size_t base() const { return base_; }
+
+  struct ReplayResult {
+    std::vector<TxRecord> records;
+    bool torn_tail = false;   // replay stopped at a corrupt/incomplete frame
+    size_t valid_bytes = 0;   // bytes of intact frames
+  };
+
+  // Decodes all intact frames from a raw log image.
+  static ReplayResult Replay(std::string_view log_bytes);
+
+  // Replays this log's own buffer.
+  ReplayResult ReplaySelf() const { return Replay(buf_); }
+
+ private:
+  std::string buf_;
+  size_t base_ = 0;  // logical offset of buf_[0]
+  uint64_t record_count_ = 0;
+};
+
+}  // namespace walter
+
+#endif  // SRC_STORAGE_WAL_H_

@@ -1,0 +1,338 @@
+// Tests of the three baselines: BDB-like primary-copy SI store, Redis-like
+// store with master-slave replication, and the eventually consistent store
+// (which exhibits the conflicting fork PSI precludes).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/baseline/bdb_store.h"
+#include "src/baseline/eventual_store.h"
+#include "src/baseline/redis_store.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace walter {
+namespace {
+
+template <typename Pred>
+void Drive(Simulator& sim, Pred done) {
+  while (!done() && sim.Step()) {
+  }
+  ASSERT_TRUE(done());
+}
+
+// --- BDB ---------------------------------------------------------------------
+
+struct BdbFixture {
+  BdbFixture() : sim(1), net(&sim, Topology::Ec2Subset(2)) {
+    BdbServer::Options primary;
+    primary.site = 0;
+    primary.is_primary = true;
+    primary.mirrors = {1};
+    primary.perf = BdbPerfModel::Instant();
+    primary.disk = DiskConfig::Memory();
+    servers.push_back(std::make_unique<BdbServer>(&sim, &net, primary));
+    BdbServer::Options mirror;
+    mirror.site = 1;
+    mirror.is_primary = false;
+    mirror.perf = BdbPerfModel::Instant();
+    mirror.disk = DiskConfig::Memory();
+    servers.push_back(std::make_unique<BdbServer>(&sim, &net, mirror));
+    client = std::make_unique<BdbClient>(&net, 0, kClientPortBase, 0);
+  }
+
+  Simulator sim;
+  Network net;
+  std::vector<std::unique_ptr<BdbServer>> servers;
+  std::unique_ptr<BdbClient> client;
+};
+
+TEST(BdbTest, PutThenGet) {
+  BdbFixture fx;
+  bool put_done = false;
+  fx.client->Put("k", "v", [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    put_done = true;
+  });
+  Drive(fx.sim, [&] { return put_done; });
+  std::optional<std::string> value;
+  bool got = false;
+  fx.client->Get("k", [&](Status s, std::optional<std::string> v) {
+    ASSERT_TRUE(s.ok());
+    value = std::move(v);
+    got = true;
+  });
+  Drive(fx.sim, [&] { return got; });
+  EXPECT_EQ(value, "v");
+}
+
+TEST(BdbTest, SnapshotIsolationTransactionConflictAborts) {
+  BdbFixture fx;
+  bool seeded = false;
+  fx.client->Put("x", "0", [&](Status) { seeded = true; });
+  Drive(fx.sim, [&] { return seeded; });
+
+  BdbClient::Txn t1;
+  BdbClient::Txn t2;
+  int begun = 0;
+  fx.client->Begin([&](Status s, BdbClient::Txn t) {
+    ASSERT_TRUE(s.ok());
+    t1 = t;
+    ++begun;
+  });
+  fx.client->Begin([&](Status s, BdbClient::Txn t) {
+    ASSERT_TRUE(s.ok());
+    t2 = t;
+    ++begun;
+  });
+  Drive(fx.sim, [&] { return begun == 2; });
+
+  int writes = 0;
+  fx.client->Write(t1, "x", "1", [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    ++writes;
+  });
+  fx.client->Write(t2, "x", "2", [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    ++writes;
+  });
+  Drive(fx.sim, [&] { return writes == 2; });
+
+  int commits = 0;
+  int ok = 0;
+  auto tally = [&](Status s) {
+    if (s.ok()) {
+      ++ok;
+    }
+    ++commits;
+  };
+  fx.client->Commit(t1, tally);
+  fx.client->Commit(t2, tally);
+  Drive(fx.sim, [&] { return commits == 2; });
+  EXPECT_EQ(ok, 1);  // first-committer-wins
+  EXPECT_EQ(fx.servers[0]->aborted(), 1u);
+}
+
+TEST(BdbTest, TransactionReadsItsSnapshot) {
+  BdbFixture fx;
+  bool seeded = false;
+  fx.client->Put("x", "old", [&](Status) { seeded = true; });
+  Drive(fx.sim, [&] { return seeded; });
+
+  BdbClient::Txn txn;
+  bool begun = false;
+  fx.client->Begin([&](Status, BdbClient::Txn t) {
+    txn = t;
+    begun = true;
+  });
+  Drive(fx.sim, [&] { return begun; });
+
+  bool overwrote = false;
+  fx.client->Put("x", "new", [&](Status) { overwrote = true; });
+  Drive(fx.sim, [&] { return overwrote; });
+
+  std::optional<std::string> value;
+  bool got = false;
+  fx.client->Read(txn, "x", [&](Status, std::optional<std::string> v) {
+    value = std::move(v);
+    got = true;
+  });
+  Drive(fx.sim, [&] { return got; });
+  EXPECT_EQ(value, "old");  // snapshot read
+}
+
+TEST(BdbTest, AsynchronousReplicationReachesMirror) {
+  BdbFixture fx;
+  bool put_done = false;
+  fx.client->Put("k", "v", [&](Status) { put_done = true; });
+  Drive(fx.sim, [&] { return put_done; });
+  fx.sim.RunUntil(fx.sim.Now() + Seconds(2));
+  EXPECT_EQ(fx.servers[1]->applied_from_primary(), 1u);
+}
+
+// --- Redis -------------------------------------------------------------------
+
+struct RedisFixture {
+  RedisFixture() : sim(1), net(&sim, Topology::Ec2Subset(2)) {
+    RedisServer::Options master;
+    master.site = 0;
+    master.is_master = true;
+    master.slaves = {1};
+    master.perf = RedisPerfModel::Instant();
+    servers.push_back(std::make_unique<RedisServer>(&sim, &net, master));
+    RedisServer::Options slave;
+    slave.site = 1;
+    slave.is_master = false;
+    slave.perf = RedisPerfModel::Instant();
+    servers.push_back(std::make_unique<RedisServer>(&sim, &net, slave));
+    client = std::make_unique<RedisClient>(&net, 0, kClientPortBase, 0);
+  }
+
+  Simulator sim;
+  Network net;
+  std::vector<std::unique_ptr<RedisServer>> servers;
+  std::unique_ptr<RedisClient> client;
+};
+
+TEST(RedisTest, IncrIsAtomicCounter) {
+  RedisFixture fx;
+  int64_t last = 0;
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    fx.client->Incr("ctr", [&](Status s, int64_t v) {
+      ASSERT_TRUE(s.ok());
+      last = v;
+      ++done;
+    });
+  }
+  Drive(fx.sim, [&] { return done == 5; });
+  EXPECT_EQ(last, 5);
+}
+
+TEST(RedisTest, ListPushAndRange) {
+  RedisFixture fx;
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    fx.client->LPush("l", "v" + std::to_string(i), [&](Status s) {
+      ASSERT_TRUE(s.ok());
+      ++done;
+    });
+  }
+  Drive(fx.sim, [&] { return done == 4; });
+  std::vector<std::string> range;
+  bool got = false;
+  fx.client->LRange("l", 3, [&](Status s, std::vector<std::string> v) {
+    ASSERT_TRUE(s.ok());
+    range = std::move(v);
+    got = true;
+  });
+  Drive(fx.sim, [&] { return got; });
+  ASSERT_EQ(range.size(), 3u);
+  EXPECT_EQ(range[0], "v3");  // newest first
+}
+
+TEST(RedisTest, SetOperations) {
+  RedisFixture fx;
+  int done = 0;
+  fx.client->SAdd("s", "a", [&](Status) { ++done; });
+  fx.client->SAdd("s", "b", [&](Status) { ++done; });
+  fx.client->SRem("s", "a", [&](Status) { ++done; });
+  Drive(fx.sim, [&] { return done == 3; });
+  std::vector<std::string> members;
+  bool got = false;
+  fx.client->SMembers("s", [&](Status, std::vector<std::string> v) {
+    members = std::move(v);
+    got = true;
+  });
+  Drive(fx.sim, [&] { return got; });
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(members[0], "b");
+}
+
+TEST(RedisTest, WritesRejectedAtSlave) {
+  RedisFixture fx;
+  RedisClient slave_client(&fx.net, 1, kClientPortBase, 1);  // "master" = slave site
+  Status result = Status::Ok();
+  bool done = false;
+  slave_client.Set("k", "v", [&](Status s) {
+    result = s;
+    done = true;
+  });
+  Drive(fx.sim, [&] { return done; });
+  // The slave accepts the RPC but refuses the write (master-slave scheme).
+  EXPECT_TRUE(result.ok());  // transport-level OK; semantic rejection is silent
+  // Verify nothing was written by reading back from the slave.
+  std::optional<std::string> value;
+  bool got = false;
+  slave_client.Get("k", [&](Status, std::optional<std::string> v) {
+    value = std::move(v);
+    got = true;
+  });
+  Drive(fx.sim, [&] { return got; });
+  EXPECT_EQ(value, std::nullopt);
+}
+
+TEST(RedisTest, MasterSlaveReplication) {
+  RedisFixture fx;
+  bool set_done = false;
+  fx.client->Set("k", "v", [&](Status) { set_done = true; });
+  Drive(fx.sim, [&] { return set_done; });
+  fx.sim.RunUntil(fx.sim.Now() + Seconds(2));
+  RedisClient reader(&fx.net, 1, kClientPortBase + 1, 0);
+  reader.set_read_site(1);  // read from the slave
+  std::optional<std::string> value;
+  bool got = false;
+  reader.Get("k", [&](Status, std::optional<std::string> v) {
+    value = std::move(v);
+    got = true;
+  });
+  Drive(fx.sim, [&] { return got; });
+  EXPECT_EQ(value, "v");
+}
+
+// --- Eventual consistency ------------------------------------------------------
+
+TEST(EventualTest, ConflictingForkDetectedAndResolvedByLww) {
+  Simulator sim(1);
+  Network net(&sim, Topology::Ec2Subset(2));
+  EventualServer::Options o0{.site = 0, .num_sites = 2};
+  EventualServer::Options o1{.site = 1, .num_sites = 2};
+  EventualServer s0(&sim, &net, o0);
+  EventualServer s1(&sim, &net, o1);
+  EventualClient c0(&net, 0, kClientPortBase);
+  EventualClient c1(&net, 1, kClientPortBase);
+
+  // Concurrent writes to the same key at both sites: BOTH are accepted (this
+  // is the conflicting fork PSI forbids), then LWW silently drops one.
+  int done = 0;
+  c0.Put("A", "site0", [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    ++done;
+  });
+  c1.Put("A", "site1", [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    ++done;
+  });
+  Drive(sim, [&] { return done == 2; });
+  sim.RunUntil(sim.Now() + Seconds(2));  // replicate
+
+  // Converged to one value at both sites...
+  std::optional<std::string> v0;
+  std::optional<std::string> v1;
+  int got = 0;
+  c0.Get("A", [&](Status, std::optional<std::string> v) {
+    v0 = std::move(v);
+    ++got;
+  });
+  c1.Get("A", [&](Status, std::optional<std::string> v) {
+    v1 = std::move(v);
+    ++got;
+  });
+  Drive(sim, [&] { return got == 2; });
+  EXPECT_EQ(v0, v1);
+  // ...but one user's write was silently lost, and the store knows it had to
+  // resolve a conflict — exactly what PSI's no-write-write-conflicts avoids.
+  EXPECT_GE(s0.conflicts_detected() + s1.conflicts_detected(), 1u);
+}
+
+TEST(EventualTest, SingleSiteReadsOwnWrites) {
+  Simulator sim(1);
+  Network net(&sim, Topology::Ec2Subset(1));
+  EventualServer::Options options{.site = 0, .num_sites = 1};
+  EventualServer server(&sim, &net, options);
+  EventualClient client(&net, 0, kClientPortBase);
+  bool put_done = false;
+  client.Put("k", "v", [&](Status) { put_done = true; });
+  Drive(sim, [&] { return put_done; });
+  std::optional<std::string> value;
+  bool got = false;
+  client.Get("k", [&](Status, std::optional<std::string> v) {
+    value = std::move(v);
+    got = true;
+  });
+  Drive(sim, [&] { return got; });
+  EXPECT_EQ(value, "v");
+}
+
+}  // namespace
+}  // namespace walter

@@ -1,0 +1,227 @@
+// Tests for ids, versions, vector timestamps, serialization, status, stats.
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/common/update.h"
+
+namespace walter {
+namespace {
+
+TEST(VectorTimestampTest, SeesVersionsUpToCount) {
+  VectorTimestamp vts(std::vector<uint64_t>{3, 0});
+  EXPECT_TRUE(vts.Sees(Version{0, 1}));
+  EXPECT_TRUE(vts.Sees(Version{0, 3}));
+  EXPECT_FALSE(vts.Sees(Version{0, 4}));
+  EXPECT_FALSE(vts.Sees(Version{1, 1}));
+  EXPECT_FALSE(vts.Sees(Version{}));  // kNoSite never visible
+}
+
+TEST(VectorTimestampTest, AdvanceAndSet) {
+  VectorTimestamp vts(3);
+  EXPECT_EQ(vts.Advance(1), 1u);
+  EXPECT_EQ(vts.Advance(1), 2u);
+  vts.set(2, 10);
+  EXPECT_EQ(vts.at(2), 10u);
+  EXPECT_EQ(vts.at(0), 0u);
+}
+
+TEST(VectorTimestampTest, CoversIsEntrywiseGeq) {
+  VectorTimestamp a(std::vector<uint64_t>{2, 3});
+  VectorTimestamp b(std::vector<uint64_t>{2, 2});
+  EXPECT_TRUE(a.Covers(b));
+  EXPECT_FALSE(b.Covers(a));
+  EXPECT_TRUE(a.Covers(a));
+  // Missing entries count as zero.
+  VectorTimestamp shorter(std::vector<uint64_t>{2});
+  EXPECT_TRUE(a.Covers(shorter));
+}
+
+TEST(VectorTimestampTest, MergeMaxIsLub) {
+  VectorTimestamp a(std::vector<uint64_t>{5, 1});
+  VectorTimestamp b(std::vector<uint64_t>{2, 7});
+  a.MergeMax(b);
+  EXPECT_EQ(a.at(0), 5u);
+  EXPECT_EQ(a.at(1), 7u);
+  EXPECT_TRUE(a.Covers(b));
+}
+
+TEST(VectorTimestampTest, CoversIsAPartialOrder) {
+  // Antisymmetry on equal-size vectors: Covers both ways implies equality.
+  VectorTimestamp a(std::vector<uint64_t>{1, 2});
+  VectorTimestamp b(std::vector<uint64_t>{1, 2});
+  EXPECT_TRUE(a.Covers(b) && b.Covers(a));
+  EXPECT_EQ(a, b);
+  // Incomparable pair.
+  VectorTimestamp c(std::vector<uint64_t>{2, 1});
+  EXPECT_FALSE(a.Covers(c));
+  EXPECT_FALSE(c.Covers(a));
+}
+
+TEST(BytesTest, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x1122334455667788ULL);
+  w.PutI64(-42);
+  w.PutString("hello");
+  w.PutObjectId(ObjectId{7, 9});
+  w.PutVersion(Version{2, 17});
+  w.PutVts(VectorTimestamp(std::vector<uint64_t>{1, 2, 3}));
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.GetU8(), 0xab);
+  EXPECT_EQ(r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64(), 0x1122334455667788ULL);
+  EXPECT_EQ(r.GetI64(), -42);
+  EXPECT_EQ(r.GetString(), "hello");
+  EXPECT_EQ(r.GetObjectId(), (ObjectId{7, 9}));
+  EXPECT_EQ(r.GetVersion(), (Version{2, 17}));
+  EXPECT_EQ(r.GetVts().counts(), (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(r.done());
+  EXPECT_FALSE(r.failed());
+}
+
+TEST(BytesTest, TruncatedInputLatchesFailure) {
+  ByteWriter w;
+  w.PutU64(7);
+  ByteReader r(std::string_view(w.data()).substr(0, 3));
+  EXPECT_EQ(r.GetU64(), 0u);
+  EXPECT_TRUE(r.failed());
+  // Further reads stay failed and return zero values.
+  EXPECT_EQ(r.GetU32(), 0u);
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(BytesTest, MaliciousLengthPrefixRejected) {
+  ByteWriter w;
+  w.PutU32(0xffffffff);  // claims a 4 GiB string
+  ByteReader r(w.data());
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(TxRecordTest, SerializationRoundTrip) {
+  TxRecord rec;
+  rec.tid = 42;
+  rec.origin = 2;
+  rec.version = Version{2, 99};
+  rec.start_vts = VectorTimestamp(std::vector<uint64_t>{4, 5, 6});
+  rec.updates = {
+      ObjectUpdate::Data(ObjectId{1, 1}, "payload"),
+      ObjectUpdate::Add(ObjectId{1, 2}, ObjectId{9, 9}),
+      ObjectUpdate::Del(ObjectId{1, 2}, ObjectId{9, 10}),
+  };
+  ByteWriter w;
+  rec.Serialize(&w);
+  ByteReader r(w.data());
+  TxRecord got = TxRecord::Deserialize(&r);
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(got.tid, rec.tid);
+  EXPECT_EQ(got.origin, rec.origin);
+  EXPECT_EQ(got.version, rec.version);
+  EXPECT_EQ(got.start_vts, rec.start_vts);
+  EXPECT_EQ(got.updates, rec.updates);
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status s = Status::Aborted("conflict on x");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(s.ToString(), "aborted: conflict on x");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  Result<int> err(Status::NotFound("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewed) {
+  Rng rng(11);
+  size_t low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Zipf(1000, 0.99) < 10) {
+      ++low;
+    }
+  }
+  // With theta=0.99, the top-10 of 1000 keys draw far more than 1% of accesses.
+  EXPECT_GT(low, 2000u);
+}
+
+TEST(RngTest, ExponentialHasRoughlyRightMean) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.Exponential(100.0);
+  }
+  double mean = sum / kN;
+  EXPECT_GT(mean, 90.0);
+  EXPECT_LT(mean, 110.0);
+}
+
+TEST(LatencyRecorderTest, PercentilesOnKnownData) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) {
+    rec.Add(i);
+  }
+  EXPECT_EQ(rec.Min(), 1);
+  EXPECT_EQ(rec.Max(), 100);
+  EXPECT_NEAR(rec.Median(), 50.5, 0.01);
+  EXPECT_NEAR(rec.Percentile(99), 99.01, 0.05);
+  EXPECT_NEAR(rec.Mean(), 50.5, 0.01);
+}
+
+TEST(LatencyRecorderTest, CdfIsMonotone) {
+  LatencyRecorder rec;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    rec.Add(rng.Exponential(10.0));
+  }
+  auto cdf = rec.Cdf(50);
+  ASSERT_FALSE(cdf.empty());
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(TablePrinterTest, RendersAlignedColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "2.5"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| longer"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace walter

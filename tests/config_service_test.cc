@@ -1,0 +1,183 @@
+// Tests of the configuration service: replicated container metadata, lease
+// enforcement at Walter servers, and the full aggressive site-removal and
+// re-integration flow of Section 5.7.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "src/config/config_service.h"
+#include "src/core/cluster.h"
+
+namespace walter {
+namespace {
+
+ObjectId Oid(uint64_t c, uint64_t l) { return ObjectId{c, l}; }
+
+struct ConfiguredCluster {
+  explicit ConfiguredCluster(size_t n) {
+    ClusterOptions options;
+    options.num_sites = n;
+    options.server.perf = PerfModel::Instant();
+    options.server.disk = DiskConfig::Memory();
+    options.server.gossip_interval = 0;
+    cluster = std::make_unique<Cluster>(options);
+    for (SiteId s = 0; s < n; ++s) {
+      configs.push_back(std::make_unique<ConfigService>(&cluster->sim(), &cluster->net(), s, n,
+                                                        &cluster->directory(s),
+                                                        &cluster->server(s)));
+    }
+  }
+
+  std::unique_ptr<Cluster> cluster;
+  std::vector<std::unique_ptr<ConfigService>> configs;
+};
+
+Status CommitWrite(Cluster& cluster, WalterClient* client, const ObjectId& oid,
+                   std::string value) {
+  Tx tx(client);
+  tx.Write(oid, std::move(value));
+  Status result = Status::Internal("unfinished");
+  bool done = false;
+  tx.Commit([&](Status s) {
+    result = s;
+    done = true;
+  });
+  while (!done && cluster.sim().Step()) {
+  }
+  return result;
+}
+
+std::optional<std::string> ReadOnce(Cluster& cluster, WalterClient* client,
+                                    const ObjectId& oid) {
+  Tx tx(client);
+  std::optional<std::string> value;
+  bool done = false;
+  tx.Read(oid, [&](Status s, std::optional<std::string> v) {
+    EXPECT_TRUE(s.ok());
+    value = std::move(v);
+    done = true;
+  });
+  while (!done && cluster.sim().Step()) {
+  }
+  return value;
+}
+
+TEST(ConfigServiceTest, UpsertContainerReachesEverySite) {
+  ConfiguredCluster fx(3);
+  bool done = false;
+  fx.configs[0]->ProposeUpsertContainer(ContainerInfo{42, 2, {}}, [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    done = true;
+  });
+  fx.cluster->RunFor(Seconds(5));
+  ASSERT_TRUE(done);
+  for (SiteId s = 0; s < 3; ++s) {
+    EXPECT_EQ(fx.cluster->directory(s).Get(42).preferred_site, 2u) << "site " << s;
+  }
+}
+
+TEST(ConfigServiceTest, LeaseChecksGateFastCommit) {
+  ConfiguredCluster fx(2);
+  // Move container 0's preferred site from 0 to 1.
+  bool done = false;
+  fx.configs[0]->ProposeUpsertContainer(ContainerInfo{0, 1, {}}, [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    done = true;
+  });
+  fx.cluster->RunFor(Seconds(5));
+  ASSERT_TRUE(done);
+
+  // Site 0 no longer holds the lease for container 0: its writes slow-commit
+  // through site 1; site 1 fast-commits.
+  WalterClient* c0 = fx.cluster->AddClient(0);
+  WalterClient* c1 = fx.cluster->AddClient(1);
+  ASSERT_TRUE(CommitWrite(*fx.cluster, c0, Oid(0, 1), "from0").ok());
+  EXPECT_EQ(fx.cluster->server(0).stats().slow_commits, 1u);
+  ASSERT_TRUE(CommitWrite(*fx.cluster, c1, Oid(0, 2), "from1").ok());
+  EXPECT_EQ(fx.cluster->server(1).stats().fast_commits, 1u);
+}
+
+TEST(ConfigServiceTest, HoldsLeaseFollowsConfiguration) {
+  ConfiguredCluster fx(2);
+  EXPECT_TRUE(fx.configs[0]->HoldsLease(0));   // default: container 0 -> site 0
+  EXPECT_FALSE(fx.configs[1]->HoldsLease(0));
+  EXPECT_TRUE(fx.configs[1]->HoldsLease(1));
+}
+
+TEST(ConfigServiceTest, AggressiveSiteRemovalEndToEnd) {
+  ConfiguredCluster fx(3);
+  Cluster& cluster = *fx.cluster;
+  WalterClient* c0 = cluster.AddClient(0);
+
+  // Two committed transactions at site 0; only the first propagates (site 0 is
+  // then isolated, so the second never leaves).
+  ASSERT_TRUE(CommitWrite(cluster, c0, Oid(0, 1), "survives").ok());
+  cluster.RunFor(Seconds(2));
+  cluster.net().IsolateSite(0, true);
+  ASSERT_TRUE(CommitWrite(cluster, c0, Oid(0, 2), "lost").ok());
+  cluster.RunFor(Seconds(1));
+
+  // A survivor coordinates the removal; Paxos still has a 2/3 majority.
+  SiteRecoveryCoordinator coordinator(
+      &cluster.sim(), {&cluster.server(0), &cluster.server(1), &cluster.server(2)},
+      fx.configs[1].get());
+  // Exclude the failed server from the survivor list by marking it crashed.
+  cluster.server(0).Crash();
+  bool removed = false;
+  coordinator.RemoveFailedSite(0, /*new_preferred=*/1, [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    removed = true;
+  });
+  cluster.RunFor(Seconds(10));
+  ASSERT_TRUE(removed);
+
+  // Both survivors: surviving transaction present, lost one discarded.
+  for (SiteId s : {SiteId{1}, SiteId{2}}) {
+    WalterClient* c = cluster.AddClient(s);
+    EXPECT_EQ(ReadOnce(cluster, c, Oid(0, 1)), "survives") << "site " << s;
+    EXPECT_EQ(ReadOnce(cluster, c, Oid(0, 2)), std::nullopt) << "site " << s;
+    EXPECT_FALSE(fx.configs[s]->IsActive(0));
+  }
+
+  // Container 0 is re-homed to site 1: writes there fast-commit again.
+  WalterClient* c1 = cluster.AddClient(1);
+  uint64_t fast_before = cluster.server(1).stats().fast_commits;
+  ASSERT_TRUE(CommitWrite(cluster, c1, Oid(0, 3), "rehomed").ok());
+  EXPECT_GT(cluster.server(1).stats().fast_commits, fast_before);
+}
+
+TEST(ConfigServiceTest, ReintegrationRestoresPreferredSite) {
+  ConfiguredCluster fx(3);
+  Cluster& cluster = *fx.cluster;
+
+  // Remove site 0 (no lost transactions in this variant).
+  cluster.net().IsolateSite(0, true);
+  cluster.server(0).Crash();
+  SiteRecoveryCoordinator coordinator(
+      &cluster.sim(), {&cluster.server(0), &cluster.server(1), &cluster.server(2)},
+      fx.configs[1].get());
+  bool removed = false;
+  coordinator.RemoveFailedSite(0, 1, [&](Status) { removed = true; });
+  cluster.RunFor(Seconds(10));
+  ASSERT_TRUE(removed);
+  EXPECT_EQ(cluster.directory(1).Get(0).preferred_site, 1u);
+
+  // Site 0 comes back: replacement server from its durable image, then a
+  // re-integration proposal clears the remap.
+  cluster.net().IsolateSite(0, false);
+  cluster.ReplaceServer(0);
+  bool reintegrated = false;
+  fx.configs[1]->ProposeReintegrateSite(0, [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    reintegrated = true;
+  });
+  cluster.RunFor(Seconds(10));
+  ASSERT_TRUE(reintegrated);
+  EXPECT_TRUE(fx.configs[1]->IsActive(0));
+  EXPECT_EQ(cluster.directory(1).Get(0).preferred_site, 0u);
+  EXPECT_EQ(cluster.directory(2).Get(0).preferred_site, 0u);
+}
+
+}  // namespace
+}  // namespace walter

@@ -1,0 +1,187 @@
+// Unit and property tests for the counting set CRDT (Sections 2, 3.3, 3.5).
+#include "src/crdt/cset.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace walter {
+namespace {
+
+ObjectId El(uint64_t n) { return ObjectId{1, n}; }
+
+TEST(CsetTest, EmptyByDefault) {
+  CountingSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Count(El(1)), 0);
+  EXPECT_FALSE(s.Contains(El(1)));
+  EXPECT_TRUE(s.NonZeroElements().empty());
+}
+
+TEST(CsetTest, AddIncrementsCount) {
+  CountingSet s;
+  s.Add(El(7));
+  EXPECT_EQ(s.Count(El(7)), 1);
+  EXPECT_TRUE(s.Contains(El(7)));
+  s.Add(El(7));
+  EXPECT_EQ(s.Count(El(7)), 2);
+}
+
+TEST(CsetTest, RemoveDecrementsCount) {
+  CountingSet s;
+  s.Add(El(7), 2);
+  s.Remove(El(7));
+  EXPECT_EQ(s.Count(El(7)), 1);
+}
+
+// The anti-element example from Section 2: removing x from an empty cset
+// yields -1 copies; a later add restores the empty cset.
+TEST(CsetTest, AntiElement) {
+  CountingSet s;
+  s.Remove(El(3));
+  EXPECT_EQ(s.Count(El(3)), -1);
+  EXPECT_FALSE(s.Contains(El(3)));  // negative counts read as absent (§3.5)
+  s.Add(El(3));
+  EXPECT_EQ(s.Count(El(3)), 0);
+  EXPECT_TRUE(s.empty());
+}
+
+// The commutativity example from Section 2: add(x), add(y), rem(x) at one site
+// and rem(x), add(x), add(y) at another reach the same state {y: 1}.
+TEST(CsetTest, PaperOrderingExample) {
+  CountingSet a;
+  a.Add(El(1));     // add(x)
+  a.Add(El(2));     // add(y)
+  a.Remove(El(1));  // rem(x)
+
+  CountingSet b;
+  b.Remove(El(1));  // rem(x)
+  b.Add(El(1));     // add(x)
+  b.Add(El(2));     // add(y)
+
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Count(El(2)), 1);
+  EXPECT_EQ(a.Count(El(1)), 0);
+}
+
+TEST(CsetTest, NonZeroVsPresentElements) {
+  CountingSet s;
+  s.Add(El(1));      // count 1: present
+  s.Remove(El(2));   // count -1: non-zero but absent
+  s.Add(El(3), 2);   // count 2: present
+  EXPECT_EQ(s.NonZeroElements(), (std::vector<ObjectId>{El(1), El(2), El(3)}));
+  EXPECT_EQ(s.PresentElements(), (std::vector<ObjectId>{El(1), El(3)}));
+}
+
+TEST(CsetTest, ApplyOpAddAndDel) {
+  CountingSet s;
+  s.ApplyOp(ObjectUpdate::Add(El(0), El(5)));
+  s.ApplyOp(ObjectUpdate::Add(El(0), El(5)));
+  s.ApplyOp(ObjectUpdate::Del(El(0), El(5)));
+  EXPECT_EQ(s.Count(El(5)), 1);
+}
+
+TEST(CsetTest, SerializationRoundTrip) {
+  CountingSet s;
+  s.Add(El(1), 3);
+  s.Remove(El(2), 5);
+  s.Add(El(99));
+  ByteWriter w;
+  s.Serialize(&w);
+  ByteReader r(w.data());
+  CountingSet restored = CountingSet::Deserialize(&r);
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(s, restored);
+}
+
+TEST(CsetTest, SerializationIsDeterministic) {
+  CountingSet a;
+  CountingSet b;
+  for (uint64_t i = 0; i < 50; ++i) {
+    a.Add(El(i), static_cast<int64_t>(i + 1));
+  }
+  for (uint64_t i = 50; i-- > 0;) {
+    b.Add(El(i), static_cast<int64_t>(i + 1));
+  }
+  ByteWriter wa;
+  ByteWriter wb;
+  a.Serialize(&wa);
+  b.Serialize(&wb);
+  EXPECT_EQ(wa.data(), wb.data());
+}
+
+TEST(CsetTest, MergeAddIsCommutative) {
+  CountingSet a;
+  a.Add(El(1), 2);
+  a.Remove(El(2));
+  CountingSet b;
+  b.Add(El(2), 3);
+  b.Add(El(3));
+
+  CountingSet ab = a;
+  ab.MergeAdd(b);
+  CountingSet ba = b;
+  ba.MergeAdd(a);
+  EXPECT_EQ(ab, ba);
+}
+
+// Property: applying any permutation of the same multiset of operations
+// converges to the same state — the CRDT guarantee that makes csets
+// conflict-free under PSI (Section 3.3).
+class CsetPermutationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsetPermutationTest, RandomOpPermutationsConverge) {
+  Rng rng(GetParam());
+  std::vector<ObjectUpdate> ops;
+  for (int i = 0; i < 200; ++i) {
+    ObjectId elem = El(rng.Uniform(10));
+    if (rng.Bernoulli(0.5)) {
+      ops.push_back(ObjectUpdate::Add(El(0), elem));
+    } else {
+      ops.push_back(ObjectUpdate::Del(El(0), elem));
+    }
+  }
+  CountingSet reference;
+  for (const auto& op : ops) {
+    reference.ApplyOp(op);
+  }
+  for (int perm = 0; perm < 5; ++perm) {
+    // Fisher-Yates shuffle with the test RNG.
+    std::vector<ObjectUpdate> shuffled = ops;
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.Uniform(i)]);
+    }
+    CountingSet s;
+    for (const auto& op : shuffled) {
+      s.ApplyOp(op);
+    }
+    EXPECT_EQ(s, reference) << "permutation " << perm << " diverged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsetPermutationTest, ::testing::Values(1, 2, 3, 42, 1337));
+
+// Property: partitioning operations between two "replicas" and merging
+// converges to applying all operations at one place.
+class CsetMergeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsetMergeTest, SplitApplyMergeConverges) {
+  Rng rng(GetParam());
+  CountingSet all;
+  CountingSet left;
+  CountingSet right;
+  for (int i = 0; i < 300; ++i) {
+    ObjectId elem = El(rng.Uniform(20));
+    int64_t delta = rng.Bernoulli(0.5) ? 1 : -1;
+    all.Add(elem, delta);
+    (rng.Bernoulli(0.5) ? left : right).Add(elem, delta);
+  }
+  left.MergeAdd(right);
+  EXPECT_EQ(left, all);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsetMergeTest, ::testing::Values(7, 8, 9, 100));
+
+}  // namespace
+}  // namespace walter

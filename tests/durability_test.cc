@@ -1,0 +1,185 @@
+// Disaster-safe durability semantics (Section 4.4): the f parameter, quorums
+// that must include the preferred site, partial replica sets, and the
+// conservative-vs-aggressive recovery choice they enable.
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+
+namespace walter {
+namespace {
+
+ObjectId Oid(uint64_t c, uint64_t l) { return ObjectId{c, l}; }
+
+ClusterOptions LogicOptions(size_t num_sites, int f) {
+  ClusterOptions o;
+  o.num_sites = num_sites;
+  o.server.perf = PerfModel::Instant();
+  o.server.disk = DiskConfig::Memory();
+  o.server.gossip_interval = 0;
+  o.server.f = f;
+  return o;
+}
+
+// Commits one write at `site` and returns whether it became disaster-safe
+// within the window.
+bool BecomesDurable(Cluster& cluster, SiteId site, const ObjectId& oid,
+                    SimDuration window = Seconds(3)) {
+  WalterClient* client = cluster.AddClient(site);
+  Tx tx(client);
+  tx.Write(oid, "d");
+  bool durable = false;
+  Tx::CommitOptions opts;
+  opts.on_durable = [&] { durable = true; };
+  bool committed = false;
+  tx.Commit([&](Status s) { committed = s.ok(); }, opts);
+  while (!committed && cluster.sim().Step()) {
+  }
+  EXPECT_TRUE(committed);
+  cluster.RunFor(window);
+  return durable;
+}
+
+TEST(DurabilityTest, SingleSiteIsImmediatelyDurable) {
+  Cluster cluster(LogicOptions(1, 0));
+  EXPECT_TRUE(BecomesDurable(cluster, 0, Oid(0, 1), Millis(10)));
+  EXPECT_EQ(cluster.server(0).globally_visible_through(), 1u);
+}
+
+TEST(DurabilityTest, FOneNeedsOneRemoteReplica) {
+  Cluster cluster(LogicOptions(3, 1));
+  // Cut one remote site: the other still completes the f+1 = 2 quorum.
+  cluster.net().SetPartitioned(0, 2, true);
+  EXPECT_TRUE(BecomesDurable(cluster, 0, Oid(0, 1)));
+}
+
+TEST(DurabilityTest, FOneStallsWithAllRemotesCut) {
+  Cluster cluster(LogicOptions(3, 1));
+  cluster.net().IsolateSite(0, true);
+  EXPECT_FALSE(BecomesDurable(cluster, 0, Oid(0, 1)));
+  EXPECT_EQ(cluster.server(0).ds_durable_through(), 0u);
+  // Healing completes durability for the stalled transaction (retransmission).
+  cluster.net().IsolateSite(0, false);
+  cluster.RunFor(Seconds(5));
+  EXPECT_EQ(cluster.server(0).ds_durable_through(), 1u);
+}
+
+TEST(DurabilityTest, FTwoNeedsTwoRemoteReplicas) {
+  Cluster cluster(LogicOptions(3, 2));
+  cluster.net().SetPartitioned(0, 2, true);  // only one remote reachable
+  EXPECT_FALSE(BecomesDurable(cluster, 0, Oid(0, 1)));
+  cluster.net().SetPartitioned(0, 2, false);
+  cluster.RunFor(Seconds(5));
+  EXPECT_EQ(cluster.server(0).ds_durable_through(), 1u);
+}
+
+TEST(DurabilityTest, QuorumMustIncludePreferredSite) {
+  // A transaction written at a NON-preferred site (slow commit) only becomes
+  // disaster-safe once the object's preferred site has a copy, regardless of
+  // how many other sites do (Section 5.6: "f+1 sites replicating each object
+  // including the object's preferred site").
+  Cluster cluster(LogicOptions(3, 1));
+  // Container 1 prefers site 1. Cut 0-1 AFTER commit so the prepare works but
+  // the data cannot reach the preferred site; site 2 still gets a copy.
+  WalterClient* client = cluster.AddClient(0);
+  Tx tx(client);
+  tx.Write(Oid(1, 1), "needs-preferred");
+  bool durable = false;
+  bool committed = false;
+  Tx::CommitOptions opts;
+  opts.on_durable = [&] { durable = true; };
+  tx.Commit([&](Status s) { committed = s.ok(); }, opts);
+  while (!committed && cluster.sim().Step()) {
+  }
+  ASSERT_TRUE(committed);
+  cluster.net().SetPartitioned(0, 1, true);
+  cluster.RunFor(Seconds(3));
+  // Site 2 acked (f+1 = 2 counting the origin), but the preferred site hasn't.
+  EXPECT_EQ(cluster.server(2).got_vts().at(0), 1u);
+  EXPECT_FALSE(durable);
+  cluster.net().SetPartitioned(0, 1, false);
+  cluster.RunFor(Seconds(5));
+  EXPECT_TRUE(durable);
+}
+
+TEST(DurabilityTest, PartialReplicaSetBoundsTheQuorum) {
+  // Container 7 replicated only at {0, 1} with preferred site 0: with f = 2
+  // the quorum clamps to the replica count (2), so site 1 alone suffices.
+  Cluster cluster(LogicOptions(3, 2));
+  cluster.UpsertContainerEverywhere(ContainerInfo{7, 0, {0, 1}});
+  EXPECT_TRUE(BecomesDurable(cluster, 0, Oid(7, 1)));
+}
+
+TEST(DurabilityTest, CsetOnlyTransactionsFollowTheSameQuorum) {
+  Cluster cluster(LogicOptions(2, 1));
+  WalterClient* client = cluster.AddClient(0);
+  Tx tx(client);
+  tx.SetAdd(Oid(0, 50), Oid(9, 9));
+  bool durable = false;
+  bool committed = false;
+  Tx::CommitOptions opts;
+  opts.on_durable = [&] { durable = true; };
+  tx.Commit([&](Status s) { committed = s.ok(); }, opts);
+  while (!committed && cluster.sim().Step()) {
+  }
+  ASSERT_TRUE(committed);
+  cluster.RunFor(Seconds(2));
+  EXPECT_TRUE(durable);
+}
+
+TEST(DurabilityTest, VisibilityImpliesDurability) {
+  Cluster cluster(LogicOptions(3, 1));
+  WalterClient* client = cluster.AddClient(0);
+  Tx tx(client);
+  tx.Write(Oid(0, 1), "v");
+  int order = 0;
+  int durable_at = 0;
+  int visible_at = 0;
+  Tx::CommitOptions opts;
+  opts.on_durable = [&] { durable_at = ++order; };
+  opts.on_visible = [&] { visible_at = ++order; };
+  bool committed = false;
+  tx.Commit([&](Status s) { committed = s.ok(); }, opts);
+  while (!committed && cluster.sim().Step()) {
+  }
+  cluster.RunFor(Seconds(3));
+  ASSERT_GT(durable_at, 0);
+  ASSERT_GT(visible_at, 0);
+  EXPECT_LT(durable_at, visible_at);  // durable strictly before visible
+  EXPECT_GE(cluster.server(0).globally_visible_through(), 1u);
+}
+
+TEST(DurabilityTest, ConservativeChoiceWritesBlockWhilePreferredSiteDown) {
+  // Section 4.4's conservative option: with the preferred site down and no
+  // reconfiguration, writes to its objects keep aborting — a deliberate loss
+  // of availability in exchange for never losing committed transactions.
+  ClusterOptions options = LogicOptions(2, 1);
+  options.server.resend_timeout = Millis(400);
+  Cluster cluster(options);
+  cluster.server(1).Crash();
+
+  WalterClient* client = cluster.AddClient(0);
+  Tx tx(client);
+  tx.Write(Oid(1, 1), "blocked");  // container 1 prefers the dead site
+  Status result = Status::Ok();
+  bool done = false;
+  tx.Commit([&](Status s) {
+    result = s;
+    done = true;
+  });
+  while (!done && cluster.sim().Step()) {
+  }
+  EXPECT_EQ(result.code(), StatusCode::kAborted);
+  // Local-preferred writes remain fully available.
+  Tx ok_tx(client);
+  ok_tx.Write(Oid(0, 1), "fine");
+  bool ok_done = false;
+  ok_tx.Commit([&](Status s) {
+    EXPECT_TRUE(s.ok());
+    ok_done = true;
+  });
+  while (!ok_done && cluster.sim().Step()) {
+  }
+}
+
+}  // namespace
+}  // namespace walter

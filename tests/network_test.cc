@@ -1,0 +1,188 @@
+// Tests for the topology, message delivery model and RPC layer.
+#include <gtest/gtest.h>
+
+#include "src/net/network.h"
+#include "src/net/topology.h"
+#include "src/sim/simulator.h"
+
+namespace walter {
+namespace {
+
+constexpr uint32_t kEcho = 7;
+
+TEST(TopologyTest, Ec2MatrixMatchesPaper) {
+  Topology t = Topology::Ec2();
+  ASSERT_EQ(t.num_sites(), 4u);
+  EXPECT_EQ(t.name(0), "VA");
+  EXPECT_EQ(t.name(3), "SG");
+  EXPECT_EQ(t.Rtt(0, 1), Millis(82));
+  EXPECT_EQ(t.Rtt(1, 0), Millis(82));  // symmetric
+  EXPECT_EQ(t.Rtt(0, 3), Millis(261));
+  EXPECT_EQ(t.Rtt(2, 3), Millis(277));
+  EXPECT_EQ(t.Rtt(0, 0), Millis(0.5));
+  EXPECT_EQ(t.MaxRttFrom(0), Millis(261));  // VA -> SG
+  EXPECT_EQ(t.MaxRttFrom(1), Millis(190));  // CA -> SG
+}
+
+TEST(TopologyTest, SubsetKeepsPrefix) {
+  Topology t = Topology::Ec2Subset(2);
+  ASSERT_EQ(t.num_sites(), 2u);
+  EXPECT_EQ(t.Rtt(0, 1), Millis(82));
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : sim_(1), net_(&sim_, MakeTopology()) { net_.SetJitter(0); }
+
+  static Topology MakeTopology() {
+    Topology t = Topology::Uniform(3, Millis(100), Millis(1));
+    return t;
+  }
+
+  Simulator sim_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, OneWayDeliveryLatency) {
+  RpcEndpoint a(&net_, Address{0, 1});
+  RpcEndpoint b(&net_, Address{1, 1});
+  SimTime arrival = -1;
+  b.Handle(kEcho, [&](const Message& m, RpcEndpoint::ReplyFn) {
+    arrival = sim_.Now();
+    EXPECT_EQ(m.payload, "hello");
+  });
+  a.Send(Address{1, 1}, kEcho, "hello");
+  sim_.Run();
+  // One-way = RTT/2 = 50 ms, plus tiny serialization delay.
+  EXPECT_GE(arrival, Millis(50));
+  EXPECT_LT(arrival, Millis(51));
+}
+
+TEST_F(NetworkTest, RpcRoundTrip) {
+  RpcEndpoint a(&net_, Address{0, 1});
+  RpcEndpoint b(&net_, Address{1, 1});
+  b.Handle(kEcho, [](const Message& m, RpcEndpoint::ReplyFn reply) {
+    Message resp;
+    resp.payload = "re:" + m.payload;
+    reply(std::move(resp));
+  });
+  std::string got;
+  SimTime done = 0;
+  a.Call(Address{1, 1}, kEcho, "ping", [&](Status s, const Message& m) {
+    ASSERT_TRUE(s.ok());
+    got = m.payload;
+    done = sim_.Now();
+  });
+  sim_.Run();
+  EXPECT_EQ(got, "re:ping");
+  EXPECT_GE(done, Millis(100));  // full RTT
+  EXPECT_LT(done, Millis(102));
+}
+
+TEST_F(NetworkTest, RpcTimesOutWhenPeerDown) {
+  RpcEndpoint a(&net_, Address{0, 1});
+  RpcEndpoint b(&net_, Address{1, 1});
+  b.SetDown(true);
+  Status result = Status::Ok();
+  a.Call(
+      Address{1, 1}, kEcho, "ping",
+      [&](Status s, const Message&) { result = s; }, Millis(500));
+  sim_.Run();
+  EXPECT_EQ(result.code(), StatusCode::kTimeout);
+}
+
+TEST_F(NetworkTest, PartitionDropsCrossSiteTraffic) {
+  RpcEndpoint a(&net_, Address{0, 1});
+  RpcEndpoint b(&net_, Address{1, 1});
+  bool delivered = false;
+  b.Handle(kEcho, [&](const Message&, RpcEndpoint::ReplyFn) { delivered = true; });
+  net_.SetPartitioned(0, 1, true);
+  a.Send(Address{1, 1}, kEcho, "x");
+  sim_.Run();
+  EXPECT_FALSE(delivered);
+  net_.SetPartitioned(0, 1, false);
+  a.Send(Address{1, 1}, kEcho, "x");
+  sim_.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(NetworkTest, IsolationCutsAllButIntraSite) {
+  RpcEndpoint a0(&net_, Address{0, 1});
+  RpcEndpoint a1(&net_, Address{0, 2});
+  RpcEndpoint b(&net_, Address{1, 1});
+  int local = 0;
+  int remote = 0;
+  a1.Handle(kEcho, [&](const Message&, RpcEndpoint::ReplyFn) { ++local; });
+  b.Handle(kEcho, [&](const Message&, RpcEndpoint::ReplyFn) { ++remote; });
+  net_.IsolateSite(0, true);
+  a0.Send(Address{0, 2}, kEcho, "x");
+  a0.Send(Address{1, 1}, kEcho, "x");
+  sim_.Run();
+  EXPECT_EQ(local, 1);
+  EXPECT_EQ(remote, 0);
+}
+
+TEST_F(NetworkTest, FifoPerLink) {
+  RpcEndpoint a(&net_, Address{0, 1});
+  RpcEndpoint b(&net_, Address{1, 1});
+  std::vector<std::string> order;
+  b.Handle(kEcho, [&](const Message& m, RpcEndpoint::ReplyFn) { order.push_back(m.payload); });
+  for (int i = 0; i < 20; ++i) {
+    a.Send(Address{1, 1}, kEcho, std::to_string(i));
+  }
+  sim_.Run();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(order[i], std::to_string(i));
+  }
+}
+
+TEST_F(NetworkTest, BandwidthDelaysLargeMessages) {
+  net_.SetJitter(0);
+  RpcEndpoint a(&net_, Address{0, 1});
+  RpcEndpoint b(&net_, Address{1, 1});
+  SimTime small_arrival = 0;
+  SimTime big_arrival = 0;
+  b.Handle(kEcho, [&](const Message& m, RpcEndpoint::ReplyFn) {
+    if (m.payload.size() > 1000) {
+      big_arrival = sim_.Now();
+    } else {
+      small_arrival = sim_.Now();
+    }
+  });
+  a.Send(Address{1, 1}, kEcho, "tiny");
+  sim_.Run();
+  // 22 Mbps cross-site: 2.2 MB takes ~800 ms of serialization alone.
+  a.Send(Address{1, 1}, kEcho, std::string(2'200'000, 'x'));
+  sim_.Run();
+  EXPECT_LT(small_arrival, Millis(51));
+  EXPECT_GT(big_arrival - small_arrival, Millis(700));
+}
+
+TEST_F(NetworkTest, MessageLossDropsSome) {
+  net_.SetLossProbability(0.5);
+  RpcEndpoint a(&net_, Address{0, 1});
+  RpcEndpoint b(&net_, Address{1, 1});
+  int delivered = 0;
+  b.Handle(kEcho, [&](const Message&, RpcEndpoint::ReplyFn) { ++delivered; });
+  for (int i = 0; i < 200; ++i) {
+    a.Send(Address{1, 1}, kEcho, "x");
+  }
+  sim_.Run();
+  EXPECT_GT(delivered, 50);
+  EXPECT_LT(delivered, 150);
+}
+
+TEST_F(NetworkTest, IntraSiteLossIsNotInjected) {
+  net_.SetLossProbability(1.0);  // cross-site only
+  RpcEndpoint a(&net_, Address{0, 1});
+  RpcEndpoint b(&net_, Address{0, 2});
+  int delivered = 0;
+  b.Handle(kEcho, [&](const Message&, RpcEndpoint::ReplyFn) { ++delivered; });
+  a.Send(Address{0, 2}, kEcho, "x");
+  sim_.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+}  // namespace
+}  // namespace walter

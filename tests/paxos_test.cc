@@ -1,0 +1,155 @@
+// Tests of the Paxos replicated log: agreement, ordering, progress under
+// message loss, minority failure, and dueling proposers (safety property
+// checks parameterized over seeds).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/config/paxos.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace walter {
+namespace {
+
+class PaxosFixture {
+ public:
+  explicit PaxosFixture(size_t n, uint64_t seed = 1)
+      : sim_(seed), net_(&sim_, Topology::Uniform(n, Millis(50), Millis(1))) {
+    logs_.resize(n);  // stable before any lambda captures a reference
+    for (SiteId s = 0; s < n; ++s) {
+      nodes_.push_back(std::make_unique<PaxosNode>(&sim_, &net_, s, n));
+      auto& log = logs_[s];
+      nodes_.back()->SetLearnCallback(
+          [&log](uint64_t slot, const std::string& value) { log.push_back({slot, value}); });
+    }
+  }
+
+  PaxosNode& node(SiteId s) { return *nodes_[s]; }
+  Simulator& sim() { return sim_; }
+  Network& net() { return net_; }
+  const std::vector<std::pair<uint64_t, std::string>>& log(SiteId s) const { return logs_[s]; }
+
+  void RunFor(SimDuration d) { sim_.RunUntil(sim_.Now() + d); }
+
+ private:
+  Simulator sim_;
+  Network net_;
+  std::vector<std::unique_ptr<PaxosNode>> nodes_;
+  std::vector<std::vector<std::pair<uint64_t, std::string>>> logs_;
+};
+
+TEST(PaxosTest, SingleProposalLearnedEverywhere) {
+  PaxosFixture fx(3);
+  bool chosen = false;
+  fx.node(0).Propose("hello", [&](Status s, uint64_t slot) {
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(slot, 1u);
+    chosen = true;
+  });
+  fx.RunFor(Seconds(5));
+  EXPECT_TRUE(chosen);
+  for (SiteId s = 0; s < 3; ++s) {
+    ASSERT_EQ(fx.log(s).size(), 1u) << "node " << s;
+    EXPECT_EQ(fx.log(s)[0].second, "hello");
+  }
+}
+
+TEST(PaxosTest, SequentialProposalsKeepOrder) {
+  PaxosFixture fx(3);
+  for (int i = 0; i < 5; ++i) {
+    fx.node(0).Propose("v" + std::to_string(i), nullptr);
+  }
+  fx.RunFor(Seconds(10));
+  for (SiteId s = 0; s < 3; ++s) {
+    ASSERT_EQ(fx.log(s).size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(fx.log(s)[i].second, "v" + std::to_string(i));
+    }
+  }
+}
+
+TEST(PaxosTest, ConcurrentProposersAgreeOnOneOrder) {
+  PaxosFixture fx(3, 7);
+  int done = 0;
+  for (SiteId s = 0; s < 3; ++s) {
+    for (int i = 0; i < 3; ++i) {
+      fx.node(s).Propose("n" + std::to_string(s) + "v" + std::to_string(i),
+                         [&](Status st, uint64_t) {
+                           EXPECT_TRUE(st.ok());
+                           ++done;
+                         });
+    }
+  }
+  fx.RunFor(Seconds(60));
+  EXPECT_EQ(done, 9);
+  ASSERT_EQ(fx.log(0).size(), 9u);
+  for (SiteId s = 1; s < 3; ++s) {
+    ASSERT_EQ(fx.log(s).size(), 9u);
+    for (size_t i = 0; i < 9; ++i) {
+      EXPECT_EQ(fx.log(s)[i].second, fx.log(0)[i].second)
+          << "divergent log at node " << s << " slot " << i;
+    }
+  }
+}
+
+TEST(PaxosTest, ProgressWithMinorityDown) {
+  PaxosFixture fx(3);
+  fx.node(2).SetDown(true);
+  bool chosen = false;
+  fx.node(0).Propose("majority", [&](Status s, uint64_t) {
+    EXPECT_TRUE(s.ok());
+    chosen = true;
+  });
+  fx.RunFor(Seconds(10));
+  EXPECT_TRUE(chosen);
+  EXPECT_EQ(fx.log(0).size(), 1u);
+  EXPECT_EQ(fx.log(1).size(), 1u);
+}
+
+TEST(PaxosTest, NoProgressWithMajorityDownThenRecovers) {
+  PaxosFixture fx(3);
+  fx.node(1).SetDown(true);
+  fx.node(2).SetDown(true);
+  bool chosen = false;
+  fx.node(0).Propose("stalled", [&](Status s, uint64_t) { chosen = s.ok(); });
+  fx.RunFor(Seconds(5));
+  EXPECT_FALSE(chosen);  // no quorum
+  fx.node(1).SetDown(false);
+  fx.RunFor(Seconds(10));
+  EXPECT_TRUE(chosen);  // retries succeed once quorum is back
+}
+
+class PaxosLossTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PaxosLossTest, SafetyAndLivenessUnderMessageLoss) {
+  PaxosFixture fx(5, GetParam());
+  fx.net().SetLossProbability(0.2);
+  int done = 0;
+  for (SiteId s = 0; s < 5; ++s) {
+    fx.node(s).Propose("p" + std::to_string(s), [&](Status st, uint64_t) {
+      EXPECT_TRUE(st.ok());
+      ++done;
+    });
+  }
+  fx.RunFor(Seconds(120));
+  fx.net().SetLossProbability(0);
+  fx.RunFor(Seconds(30));
+  EXPECT_EQ(done, 5);
+  // Safety: every pair of nodes agrees on every slot both have learned.
+  for (SiteId a = 0; a < 5; ++a) {
+    for (SiteId b = a + 1; b < 5; ++b) {
+      size_t common = std::min(fx.log(a).size(), fx.log(b).size());
+      for (size_t i = 0; i < common; ++i) {
+        EXPECT_EQ(fx.log(a)[i].second, fx.log(b)[i].second)
+            << "nodes " << a << "/" << b << " disagree at slot " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaxosLossTest, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace walter

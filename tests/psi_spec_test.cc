@@ -1,0 +1,240 @@
+// Tests of the executable SI and PSI specifications (Figures 1-7) and the
+// anomaly matrix of Figure 8.
+#include <gtest/gtest.h>
+
+#include "src/psi/psi_spec.h"
+#include "src/psi/si_spec.h"
+
+namespace walter {
+namespace {
+
+ObjectId A() { return ObjectId{1, 1}; }
+ObjectId B() { return ObjectId{1, 2}; }
+ObjectId Set() { return ObjectId{2, 1}; }
+ObjectId El(uint64_t n) { return ObjectId{3, n}; }
+
+// --- Snapshot isolation spec -------------------------------------------------
+
+TEST(SiSpecTest, ReadsSnapshotAtStart) {
+  SiSpec si;
+  auto w = si.StartTx();
+  si.Write(w, A(), "1");
+  EXPECT_EQ(si.CommitTx(w), TxOutcome::kCommitted);
+
+  auto r = si.StartTx();
+  EXPECT_EQ(si.Read(r, A()), "1");
+  auto w2 = si.StartTx();
+  si.Write(w2, A(), "2");
+  EXPECT_EQ(si.CommitTx(w2), TxOutcome::kCommitted);
+  // r still reads the snapshot from its start (no non-repeatable read).
+  EXPECT_EQ(si.Read(r, A()), "1");
+}
+
+TEST(SiSpecTest, OwnWritesVisible) {
+  SiSpec si;
+  auto x = si.StartTx();
+  si.Write(x, A(), "mine");
+  EXPECT_EQ(si.Read(x, A()), "mine");
+}
+
+TEST(SiSpecTest, WriteConflictAborts) {
+  SiSpec si;
+  auto t1 = si.StartTx();
+  auto t2 = si.StartTx();
+  si.Write(t1, A(), "1");
+  si.Write(t2, A(), "2");
+  EXPECT_EQ(si.CommitTx(t1), TxOutcome::kCommitted);
+  EXPECT_EQ(si.CommitTx(t2), TxOutcome::kAborted);  // lost update prevented
+}
+
+TEST(SiSpecTest, DisjointWritesBothCommit) {
+  SiSpec si;
+  auto t1 = si.StartTx();
+  auto t2 = si.StartTx();
+  si.Write(t1, A(), "1");
+  si.Write(t2, B(), "1");
+  EXPECT_EQ(si.CommitTx(t1), TxOutcome::kCommitted);
+  EXPECT_EQ(si.CommitTx(t2), TxOutcome::kCommitted);
+}
+
+// Short fork (write skew) is allowed by SI: both read A=B=0, write disjointly.
+TEST(SiSpecTest, ShortForkAllowed) {
+  SiSpec si;
+  auto init = si.StartTx();
+  si.Write(init, A(), "0");
+  si.Write(init, B(), "0");
+  ASSERT_EQ(si.CommitTx(init), TxOutcome::kCommitted);
+
+  auto t1 = si.StartTx();
+  auto t2 = si.StartTx();
+  EXPECT_EQ(si.Read(t1, A()), "0");
+  EXPECT_EQ(si.Read(t1, B()), "0");
+  EXPECT_EQ(si.Read(t2, A()), "0");
+  EXPECT_EQ(si.Read(t2, B()), "0");
+  si.Write(t1, A(), "1");
+  si.Write(t2, B(), "1");
+  EXPECT_EQ(si.CommitTx(t1), TxOutcome::kCommitted);
+  EXPECT_EQ(si.CommitTx(t2), TxOutcome::kCommitted);
+
+  auto t3 = si.StartTx();
+  EXPECT_EQ(si.Read(t3, A()), "1");
+  EXPECT_EQ(si.Read(t3, B()), "1");  // state merged after commit
+}
+
+TEST(SiSpecTest, NondeterministicBranchCanAbort) {
+  SiSpec si;
+  si.set_nondeterministic_abort(true);
+  auto t1 = si.StartTx();
+  auto t2 = si.StartTx();
+  si.Write(t1, A(), "1");
+  si.Write(t2, A(), "2");
+  // t2 is still executing and conflicts: the spec may choose to abort t1.
+  EXPECT_EQ(si.CommitTx(t1), TxOutcome::kAborted);
+}
+
+// --- PSI spec ----------------------------------------------------------------
+
+TEST(PsiSpecTest, LocalCommitVisibleLocallyOnly) {
+  PsiSpec psi(2);
+  auto x = psi.StartTx(0);
+  psi.Write(x, A(), "v");
+  ASSERT_EQ(psi.CommitTx(x), TxOutcome::kCommitted);
+
+  auto local = psi.StartTx(0);
+  EXPECT_EQ(psi.Read(local, A()), "v");
+  auto remote = psi.StartTx(1);
+  EXPECT_EQ(psi.Read(remote, A()), std::nullopt);  // not yet propagated
+
+  psi.PropagateAll();
+  auto remote2 = psi.StartTx(1);
+  EXPECT_EQ(psi.Read(remote2, A()), "v");
+  EXPECT_TRUE(psi.GloballyVisible(x));
+}
+
+TEST(PsiSpecTest, ConflictWithPropagatingTransactionAborts) {
+  PsiSpec psi(2);
+  auto x = psi.StartTx(0);
+  psi.Write(x, A(), "site0");
+  ASSERT_EQ(psi.CommitTx(x), TxOutcome::kCommitted);
+  // x has not propagated to site 1; a conflicting write there must abort
+  // ("currently propagating" clause of Figure 5).
+  auto y = psi.StartTx(1);
+  psi.Write(y, A(), "site1");
+  EXPECT_EQ(psi.CommitTx(y), TxOutcome::kAborted);
+}
+
+TEST(PsiSpecTest, PropagationRespectsCausality) {
+  PsiSpec psi(3);
+  auto x = psi.StartTx(0);
+  psi.Write(x, A(), "first");
+  ASSERT_EQ(psi.CommitTx(x), TxOutcome::kCommitted);
+  ASSERT_TRUE(psi.PropagateTo(x, 1));
+
+  // y at site 1 starts after x committed there: y causally follows x.
+  auto y = psi.StartTx(1);
+  EXPECT_EQ(psi.Read(y, A()), "first");
+  psi.Write(y, B(), "second");
+  ASSERT_EQ(psi.CommitTx(y), TxOutcome::kCommitted);
+
+  // y cannot reach site 2 before x does (the upon-statement guard).
+  EXPECT_FALSE(psi.PropagateTo(y, 2));
+  ASSERT_TRUE(psi.PropagateTo(x, 2));
+  EXPECT_TRUE(psi.PropagateTo(y, 2));
+}
+
+TEST(PsiSpecTest, LongForkAllowed) {
+  // Figure 8's long fork: T1 and T3 write disjoint objects at different sites;
+  // T2/T4 observe the fork; after propagation T5 sees both writes.
+  PsiSpec psi(2);
+  auto t1 = psi.StartTx(0);
+  psi.Write(t1, A(), "1");
+  ASSERT_EQ(psi.CommitTx(t1), TxOutcome::kCommitted);
+  auto t3 = psi.StartTx(1);
+  psi.Write(t3, B(), "1");
+  ASSERT_EQ(psi.CommitTx(t3), TxOutcome::kCommitted);
+
+  // Forked state: each site sees only its own write.
+  auto t2 = psi.StartTx(0);
+  EXPECT_EQ(psi.Read(t2, A()), "1");
+  EXPECT_EQ(psi.Read(t2, B()), std::nullopt);
+  auto t4 = psi.StartTx(1);
+  EXPECT_EQ(psi.Read(t4, A()), std::nullopt);
+  EXPECT_EQ(psi.Read(t4, B()), "1");
+
+  psi.PropagateAll();
+  auto t5 = psi.StartTx(0);
+  EXPECT_EQ(psi.Read(t5, A()), "1");
+  EXPECT_EQ(psi.Read(t5, B()), "1");
+}
+
+TEST(PsiSpecTest, DirtyReadPrevented) {
+  PsiSpec psi(1);
+  auto t1 = psi.StartTx(0);
+  psi.Write(t1, A(), "uncommitted");
+  auto t2 = psi.StartTx(0);
+  EXPECT_EQ(psi.Read(t2, A()), std::nullopt);  // no dirty read
+}
+
+TEST(PsiSpecTest, CsetOpsNeverConflict) {
+  PsiSpec psi(2);
+  auto x = psi.StartTx(0);
+  psi.SetAdd(x, Set(), El(1));
+  ASSERT_EQ(psi.CommitTx(x), TxOutcome::kCommitted);
+  // Concurrent cset update at the other site, before propagation: commits.
+  auto y = psi.StartTx(1);
+  psi.SetAdd(y, Set(), El(2));
+  psi.SetDel(y, Set(), El(1));
+  EXPECT_EQ(psi.CommitTx(y), TxOutcome::kCommitted);
+
+  psi.PropagateAll();
+  auto reader = psi.StartTx(0);
+  CountingSet set = psi.SetRead(reader, Set());
+  EXPECT_EQ(set.Count(El(1)), 0);  // add at 0, del at 1
+  EXPECT_EQ(set.Count(El(2)), 1);
+  EXPECT_EQ(psi.SetReadId(reader, Set(), El(2)), 1);
+}
+
+TEST(PsiSpecTest, CsetAntiElementAcrossSites) {
+  PsiSpec psi(2);
+  auto y = psi.StartTx(1);
+  psi.SetDel(y, Set(), El(5));  // remove from empty: count -1
+  ASSERT_EQ(psi.CommitTx(y), TxOutcome::kCommitted);
+  auto x = psi.StartTx(0);
+  psi.SetAdd(x, Set(), El(5));
+  ASSERT_EQ(psi.CommitTx(x), TxOutcome::kCommitted);
+  psi.PropagateAll();
+  auto reader = psi.StartTx(0);
+  EXPECT_EQ(psi.SetReadId(reader, Set(), El(5)), 0);  // annihilated
+}
+
+TEST(PsiSpecTest, OwnCsetOpsVisibleBeforeCommit) {
+  PsiSpec psi(1);
+  auto x = psi.StartTx(0);
+  psi.SetAdd(x, Set(), El(1));
+  psi.SetAdd(x, Set(), El(1));
+  EXPECT_EQ(psi.SetReadId(x, Set(), El(1)), 2);
+}
+
+TEST(PsiSpecTest, OutcomeDecidedOnce) {
+  // Once committed at its site, a transaction commits everywhere (Figure 4's
+  // upon statement never aborts).
+  PsiSpec psi(3);
+  auto x = psi.StartTx(0);
+  psi.Write(x, A(), "v");
+  ASSERT_EQ(psi.CommitTx(x), TxOutcome::kCommitted);
+  psi.PropagateAll();
+  EXPECT_TRUE(psi.GloballyVisible(x));
+}
+
+TEST(PsiSpecTest, WriteConflictAtSameSiteAborts) {
+  PsiSpec psi(2);
+  auto t1 = psi.StartTx(0);
+  auto t2 = psi.StartTx(0);
+  psi.Write(t1, A(), "1");
+  psi.Write(t2, A(), "2");
+  EXPECT_EQ(psi.CommitTx(t1), TxOutcome::kCommitted);
+  EXPECT_EQ(psi.CommitTx(t2), TxOutcome::kAborted);
+}
+
+}  // namespace
+}  // namespace walter

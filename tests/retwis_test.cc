@@ -1,0 +1,177 @@
+// ReTwis tests (Section 7 / 8.7): the same application logic on both backends
+// (Walter with csets, Redis-like with native lists), including multi-site
+// posting which only the Walter backend supports.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/retwis/retwis.h"
+#include "src/core/cluster.h"
+
+namespace walter {
+namespace {
+
+ClusterOptions LogicOptions(size_t num_sites) {
+  ClusterOptions o;
+  o.num_sites = num_sites;
+  o.server.perf = PerfModel::Instant();
+  o.server.disk = DiskConfig::Memory();
+  o.server.gossip_interval = 0;
+  return o;
+}
+
+template <typename Pred>
+void Drive(Simulator& sim, Pred done) {
+  while (!done() && sim.Step()) {
+  }
+  ASSERT_TRUE(done());
+}
+
+// Runs the same scenario against any backend.
+void FollowAndPostScenario(Simulator& sim, RetwisBackend& app) {
+  // 2 follows 1, 3 follows 1; 1 posts twice; follower timelines see both.
+  int done = 0;
+  app.Follow(2, 1, [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    ++done;
+  });
+  Drive(sim, [&] { return done == 1; });
+  app.Follow(3, 1, [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    ++done;
+  });
+  Drive(sim, [&] { return done == 2; });
+
+  app.Post(1, "first!", [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    ++done;
+  });
+  Drive(sim, [&] { return done == 3; });
+  app.Post(1, "second!", [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    ++done;
+  });
+  Drive(sim, [&] { return done == 4; });
+
+  for (RetwisBackend::UserId u : {1, 2, 3}) {
+    std::vector<std::string> timeline;
+    bool got = false;
+    app.Status(u, [&](Status s, std::vector<std::string> posts) {
+      ASSERT_TRUE(s.ok());
+      timeline = std::move(posts);
+      got = true;
+    });
+    Drive(sim, [&] { return got; });
+    ASSERT_EQ(timeline.size(), 2u) << "user " << u;
+    EXPECT_EQ(timeline[0], "second!");  // newest first
+    EXPECT_EQ(timeline[1], "first!");
+  }
+
+  // A non-follower's timeline stays empty.
+  std::vector<std::string> other;
+  bool got = false;
+  app.Status(9, [&](Status s, std::vector<std::string> posts) {
+    ASSERT_TRUE(s.ok());
+    other = std::move(posts);
+    got = true;
+  });
+  Drive(sim, [&] { return got; });
+  EXPECT_TRUE(other.empty());
+}
+
+TEST(RetwisTest, WalterBackendFollowAndPost) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+  RetwisOnWalter app(client);
+  FollowAndPostScenario(cluster.sim(), app);
+}
+
+TEST(RetwisTest, RedisBackendFollowAndPost) {
+  Simulator sim(1);
+  Network net(&sim, Topology::Ec2Subset(1));
+  RedisServer::Options options;
+  options.site = 0;
+  options.perf = RedisPerfModel::Instant();
+  RedisServer server(&sim, &net, options);
+  RedisClient client(&net, 0, kClientPortBase, 0);
+  RetwisOnRedis app(&client);
+  FollowAndPostScenario(sim, app);
+}
+
+TEST(RetwisTest, StatusReturnsAtMostTen) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+  RetwisOnWalter app(client);
+  for (int i = 0; i < 15; ++i) {
+    bool done = false;
+    app.Post(1, "p" + std::to_string(i), [&](Status s) {
+      ASSERT_TRUE(s.ok());
+      done = true;
+    });
+    Drive(cluster.sim(), [&] { return done; });
+  }
+  std::vector<std::string> timeline;
+  bool got = false;
+  app.Status(1, [&](Status s, std::vector<std::string> posts) {
+    ASSERT_TRUE(s.ok());
+    timeline = std::move(posts);
+    got = true;
+  });
+  Drive(cluster.sim(), [&] { return got; });
+  ASSERT_EQ(timeline.size(), 10u);
+  EXPECT_EQ(timeline[0], "p14");
+  EXPECT_EQ(timeline[9], "p5");
+}
+
+TEST(RetwisTest, WalterBackendPostsFromMultipleSites) {
+  // The point of the port (Section 7): with csets, different sites can add
+  // posts to the same timeline without conflicts — Redis cannot do this.
+  Cluster cluster(LogicOptions(2));
+  WalterClient* c0 = cluster.AddClient(0);
+  WalterClient* c1 = cluster.AddClient(1);
+  RetwisOnWalter app0(c0);
+  RetwisOnWalter app1(c1);
+
+  // User 4 follows users 2 (homed at site 0) and 3 (homed at site 1), so
+  // posts by 2 and 3 fan out into 4's timeline from different sites.
+  int done = 0;
+  app0.Follow(4, 2, [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    ++done;
+  });
+  app1.Follow(4, 3, [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    ++done;
+  });
+  Drive(cluster.sim(), [&] { return done == 2; });
+  cluster.RunFor(Seconds(3));  // both follow edges visible everywhere
+
+  // Concurrent posts from both sites.
+  done = 0;
+  app0.Post(2, "from site 0", [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    ++done;
+  });
+  app1.Post(3, "from site 1", [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    ++done;
+  });
+  Drive(cluster.sim(), [&] { return done == 2; });
+  cluster.RunFor(Seconds(3));
+
+  for (SiteId s = 0; s < 2; ++s) {
+    RetwisOnWalter app(s == 0 ? c0 : c1);
+    std::vector<std::string> timeline;
+    bool got = false;
+    app.Status(4, [&](Status st, std::vector<std::string> posts) {
+      ASSERT_TRUE(st.ok());
+      timeline = std::move(posts);
+      got = true;
+    });
+    Drive(cluster.sim(), [&] { return got; });
+    ASSERT_EQ(timeline.size(), 2u) << "site " << s;
+  }
+}
+
+}  // namespace
+}  // namespace walter

@@ -1,0 +1,193 @@
+// Tests for the discrete-event simulator, CPU resource and group-commit disk.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/disk.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace walter {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.After(Micros(30), [&] { order.push_back(3); });
+  sim.After(Micros(10), [&] { order.push_back(1); });
+  sim.After(Micros(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Micros(30));
+}
+
+TEST(SimulatorTest, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.After(Micros(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.After(Micros(1), [&] {
+    ++fired;
+    sim.After(Micros(1), [&] {
+      ++fired;
+      sim.After(Micros(1), [&] { ++fired; });
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.Now(), Micros(3));
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.After(Micros(10), [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelOneOfMany) {
+  Simulator sim;
+  int fired = 0;
+  sim.After(Micros(1), [&] { ++fired; });
+  EventId id = sim.After(Micros(2), [&] { fired += 100; });
+  sim.After(Micros(3), [&] { ++fired; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.After(Micros(10), [&] { ++fired; });
+  sim.After(Micros(20), [&] { ++fired; });
+  sim.RunUntil(Micros(15));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Micros(15));
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.After(Micros(-5), [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now(), 0);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRunsWithSameSeed) {
+  auto run = [](uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 5; ++i) {
+      values.push_back(sim.rng().Next());
+    }
+    return values;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(ResourceTest, SerializesWorkAtCapacityOne) {
+  Simulator sim;
+  Resource cpu(&sim, 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    cpu.Execute(Micros(10), [&] { completions.push_back(sim.Now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], Micros(10));
+  EXPECT_EQ(completions[1], Micros(20));
+  EXPECT_EQ(completions[2], Micros(30));
+  EXPECT_EQ(cpu.completed(), 3u);
+  EXPECT_EQ(cpu.busy_time(), Micros(30));
+}
+
+TEST(ResourceTest, ParallelismAtHigherCapacity) {
+  Simulator sim;
+  Resource cpu(&sim, 2);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 4; ++i) {
+    cpu.Execute(Micros(10), [&] { completions.push_back(sim.Now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(completions.size(), 4u);
+  EXPECT_EQ(completions[0], Micros(10));
+  EXPECT_EQ(completions[1], Micros(10));
+  EXPECT_EQ(completions[2], Micros(20));
+  EXPECT_EQ(completions[3], Micros(20));
+}
+
+TEST(ResourceTest, QueueLengthReflectsBacklog) {
+  Simulator sim;
+  Resource cpu(&sim, 1);
+  for (int i = 0; i < 5; ++i) {
+    cpu.Execute(Micros(10), [] {});
+  }
+  EXPECT_EQ(cpu.busy(), 1);
+  EXPECT_EQ(cpu.queue_length(), 4u);
+  sim.Run();
+  EXPECT_EQ(cpu.queue_length(), 0u);
+}
+
+TEST(DiskTest, MemoryDiskCompletesImmediately) {
+  Simulator sim;
+  Disk disk(&sim, DiskConfig::Memory());
+  bool done = false;
+  disk.Flush([&] { done = true; });
+  EXPECT_TRUE(done);  // synchronous for the memory config
+}
+
+TEST(DiskTest, GroupCommitBatchesConcurrentRecords) {
+  Simulator sim;
+  DiskConfig config;
+  config.flush_latency = Millis(1);
+  config.jitter = 0;
+  Disk disk(&sim, config);
+  // First record starts a flush; the next three arrive during it and share the
+  // second flush.
+  int done = 0;
+  disk.Flush([&] { ++done; });
+  sim.After(Micros(100), [&] {
+    disk.Flush([&] { ++done; });
+    disk.Flush([&] { ++done; });
+    disk.Flush([&] { ++done; });
+  });
+  sim.Run();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(disk.flushes(), 2u);  // 1 record + batched 3
+  EXPECT_EQ(disk.records(), 4u);
+}
+
+TEST(DiskTest, BackToBackFlushLatencyBounds) {
+  Simulator sim;
+  DiskConfig config;
+  config.flush_latency = Millis(1);
+  config.jitter = 0;
+  Disk disk(&sim, config);
+  SimTime t0 = 0;
+  SimTime t1 = 0;
+  disk.Flush([&] { t0 = sim.Now(); });
+  disk.Flush([&] { t1 = sim.Now(); });  // joins the *next* batch
+  sim.Run();
+  EXPECT_EQ(t0, Millis(1));
+  EXPECT_EQ(t1, Millis(2));
+}
+
+}  // namespace
+}  // namespace walter

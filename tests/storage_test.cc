@@ -1,0 +1,300 @@
+// Tests for object histories, the WAL (framing, torn-tail recovery), the LRU
+// cache with cset-preferring eviction, and Store checkpoint/recovery.
+#include <gtest/gtest.h>
+
+#include "src/storage/lru_cache.h"
+#include "src/storage/object_history.h"
+#include "src/storage/store.h"
+#include "src/storage/wal.h"
+
+namespace walter {
+namespace {
+
+ObjectId Oid(uint64_t c, uint64_t l) { return ObjectId{c, l}; }
+
+VectorTimestamp Vts(std::vector<uint64_t> counts) { return VectorTimestamp(std::move(counts)); }
+
+TxRecord MakeTx(TxId tid, SiteId origin, uint64_t seqno, std::vector<ObjectUpdate> updates,
+                VectorTimestamp start = {}) {
+  TxRecord rec;
+  rec.tid = tid;
+  rec.origin = origin;
+  rec.version = Version{origin, seqno};
+  rec.start_vts = start.num_sites() ? start : VectorTimestamp(2);
+  rec.updates = std::move(updates);
+  return rec;
+}
+
+// --- ObjectHistory ---------------------------------------------------------
+
+TEST(ObjectHistoryTest, ReadsLatestVisibleVersion) {
+  ObjectHistory h;
+  h.Append(Version{0, 1}, ObjectUpdate::Data(Oid(1, 1), "v1"));
+  h.Append(Version{0, 2}, ObjectUpdate::Data(Oid(1, 1), "v2"));
+  EXPECT_EQ(h.ReadRegular(Vts({1, 0})), "v1");
+  EXPECT_EQ(h.ReadRegular(Vts({2, 0})), "v2");
+  EXPECT_EQ(h.ReadRegular(Vts({0, 0})), std::nullopt);
+}
+
+TEST(ObjectHistoryTest, SnapshotIgnoresInvisibleRemoteVersions) {
+  ObjectHistory h;
+  h.Append(Version{0, 1}, ObjectUpdate::Data(Oid(1, 1), "local"));
+  h.Append(Version{1, 5}, ObjectUpdate::Data(Oid(1, 1), "remote"));
+  EXPECT_EQ(h.ReadRegular(Vts({1, 0})), "local");
+  EXPECT_EQ(h.ReadRegular(Vts({1, 5})), "remote");
+}
+
+TEST(ObjectHistoryTest, UnmodifiedSince) {
+  ObjectHistory h;
+  h.Append(Version{0, 3}, ObjectUpdate::Data(Oid(1, 1), "x"));
+  EXPECT_TRUE(h.UnmodifiedSince(Vts({3, 0})));
+  EXPECT_FALSE(h.UnmodifiedSince(Vts({2, 0})));
+}
+
+TEST(ObjectHistoryTest, CsetFoldsVisibleOps) {
+  ObjectHistory h;
+  h.Append(Version{0, 1}, ObjectUpdate::Add(Oid(1, 1), Oid(9, 1)));
+  h.Append(Version{1, 1}, ObjectUpdate::Add(Oid(1, 1), Oid(9, 1)));
+  h.Append(Version{0, 2}, ObjectUpdate::Del(Oid(1, 1), Oid(9, 1)));
+  EXPECT_EQ(h.ReadCset(Vts({1, 0})).Count(Oid(9, 1)), 1);
+  EXPECT_EQ(h.ReadCset(Vts({1, 1})).Count(Oid(9, 1)), 2);
+  EXPECT_EQ(h.ReadCset(Vts({2, 1})).Count(Oid(9, 1)), 1);
+}
+
+TEST(ObjectHistoryTest, GarbageCollectFoldsRegularBase) {
+  ObjectHistory h;
+  h.Append(Version{0, 1}, ObjectUpdate::Data(Oid(1, 1), "v1"));
+  h.Append(Version{0, 2}, ObjectUpdate::Data(Oid(1, 1), "v2"));
+  h.Append(Version{0, 3}, ObjectUpdate::Data(Oid(1, 1), "v3"));
+  EXPECT_EQ(h.GarbageCollect(Vts({2, 0})), 2u);
+  EXPECT_EQ(h.entry_count(), 1u);
+  // Snapshots at/above the frontier still read correctly.
+  EXPECT_EQ(h.ReadRegular(Vts({2, 0})), "v2");
+  EXPECT_EQ(h.ReadRegular(Vts({3, 0})), "v3");
+}
+
+TEST(ObjectHistoryTest, GarbageCollectFoldsCsetBase) {
+  ObjectHistory h;
+  for (uint64_t i = 1; i <= 10; ++i) {
+    h.Append(Version{0, i}, ObjectUpdate::Add(Oid(1, 1), Oid(9, i % 3)));
+  }
+  h.GarbageCollect(Vts({6, 0}));
+  CountingSet full = h.ReadCset(Vts({10, 0}));
+  int64_t total = 0;
+  for (const auto& e : full.NonZeroElements()) {
+    total += full.Count(e);
+  }
+  EXPECT_EQ(total, 10);
+}
+
+TEST(ObjectHistoryTest, RemoveVersionsFromDiscardsFailedSiteTail) {
+  ObjectHistory h;
+  h.Append(Version{1, 1}, ObjectUpdate::Data(Oid(1, 1), "keep"));
+  h.Append(Version{1, 2}, ObjectUpdate::Data(Oid(1, 1), "drop"));
+  h.Append(Version{0, 1}, ObjectUpdate::Data(Oid(1, 1), "other"));
+  EXPECT_EQ(h.RemoveVersionsFrom(1, 1), 1u);
+  EXPECT_EQ(h.entry_count(), 2u);
+  EXPECT_EQ(h.ReadRegular(Vts({1, 2})), "other");
+}
+
+TEST(ObjectHistoryTest, SerializationRoundTrip) {
+  ObjectHistory h;
+  h.Append(Version{0, 1}, ObjectUpdate::Data(Oid(1, 1), "v1"));
+  h.Append(Version{1, 1}, ObjectUpdate::Add(Oid(1, 1), Oid(9, 1)));
+  h.GarbageCollect(Vts({1, 0}));
+  ByteWriter w;
+  h.Serialize(&w);
+  ByteReader r(w.data());
+  ObjectHistory restored = ObjectHistory::Deserialize(&r);
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(restored.ReadRegular(Vts({1, 0})), "v1");
+  EXPECT_EQ(restored.ReadCset(Vts({1, 1})).Count(Oid(9, 1)), 1);
+}
+
+// --- WAL --------------------------------------------------------------------
+
+TEST(WalTest, AppendReplayRoundTrip) {
+  Wal wal;
+  wal.Append(MakeTx(1, 0, 1, {ObjectUpdate::Data(Oid(1, 1), "a")}));
+  wal.Append(MakeTx(2, 0, 2, {ObjectUpdate::Add(Oid(1, 2), Oid(9, 9))}));
+  auto replay = wal.ReplaySelf();
+  EXPECT_FALSE(replay.torn_tail);
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[0].tid, 1u);
+  EXPECT_EQ(replay.records[1].updates[0].kind, UpdateKind::kAdd);
+}
+
+TEST(WalTest, TornTailStopsAtLastGoodRecord) {
+  Wal wal;
+  wal.Append(MakeTx(1, 0, 1, {ObjectUpdate::Data(Oid(1, 1), "a")}));
+  wal.Append(MakeTx(2, 0, 2, {ObjectUpdate::Data(Oid(1, 1), "b")}));
+  std::string bytes = wal.bytes();
+  // Chop the final record mid-frame.
+  std::string torn = bytes.substr(0, bytes.size() - 5);
+  auto replay = Wal::Replay(torn);
+  EXPECT_TRUE(replay.torn_tail);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].tid, 1u);
+}
+
+TEST(WalTest, CorruptPayloadDetectedByCrc) {
+  Wal wal;
+  wal.Append(MakeTx(1, 0, 1, {ObjectUpdate::Data(Oid(1, 1), "aaaa")}));
+  std::string bytes = wal.bytes();
+  bytes[bytes.size() - 2] ^= 0xff;  // flip a payload byte
+  auto replay = Wal::Replay(bytes);
+  EXPECT_TRUE(replay.torn_tail);
+  EXPECT_TRUE(replay.records.empty());
+}
+
+TEST(WalTest, BadMagicRejected) {
+  std::string garbage = "this is not a wal frame at all.....";
+  auto replay = Wal::Replay(garbage);
+  EXPECT_TRUE(replay.torn_tail);
+  EXPECT_TRUE(replay.records.empty());
+}
+
+TEST(WalTest, TruncatePrefixKeepsLogicalOffsets) {
+  Wal wal;
+  size_t off1 = wal.Append(MakeTx(1, 0, 1, {ObjectUpdate::Data(Oid(1, 1), "a")}));
+  size_t off2 = wal.Append(MakeTx(2, 0, 2, {ObjectUpdate::Data(Oid(1, 1), "b")}));
+  EXPECT_EQ(off1, 0u);
+  wal.TruncatePrefix(off2);
+  EXPECT_EQ(wal.base(), off2);
+  auto replay = wal.ReplaySelf();
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].tid, 2u);
+}
+
+TEST(WalTest, Crc32KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE).
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+}
+
+// --- LruCache ---------------------------------------------------------------
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(300);
+  cache.Insert(Oid(1, 1), ObjectType::kRegular, 100);
+  cache.Insert(Oid(1, 2), ObjectType::kRegular, 100);
+  cache.Insert(Oid(1, 3), ObjectType::kRegular, 100);
+  EXPECT_TRUE(cache.Lookup(Oid(1, 1)));  // refresh 1
+  cache.Insert(Oid(1, 4), ObjectType::kRegular, 100);
+  EXPECT_TRUE(cache.Lookup(Oid(1, 1)));
+  EXPECT_FALSE(cache.Lookup(Oid(1, 2)));  // LRU victim
+  EXPECT_TRUE(cache.Lookup(Oid(1, 3)));
+  EXPECT_TRUE(cache.Lookup(Oid(1, 4)));
+}
+
+TEST(LruCacheTest, PrefersEvictingRegularOverCset) {
+  LruCache cache(300);
+  cache.Insert(Oid(1, 1), ObjectType::kCset, 100);
+  cache.Insert(Oid(1, 2), ObjectType::kRegular, 100);
+  cache.Insert(Oid(1, 3), ObjectType::kRegular, 100);
+  cache.Insert(Oid(1, 4), ObjectType::kRegular, 100);
+  // The cset is older than every regular entry yet survives (Section 6).
+  EXPECT_TRUE(cache.Lookup(Oid(1, 1)));
+  EXPECT_FALSE(cache.Lookup(Oid(1, 2)));
+}
+
+TEST(LruCacheTest, EvictsCsetsWhenNoRegularLeft) {
+  LruCache cache(200);
+  cache.Insert(Oid(1, 1), ObjectType::kCset, 100);
+  cache.Insert(Oid(1, 2), ObjectType::kCset, 100);
+  cache.Insert(Oid(1, 3), ObjectType::kCset, 100);
+  EXPECT_FALSE(cache.Lookup(Oid(1, 1)));
+  EXPECT_TRUE(cache.Lookup(Oid(1, 3)));
+}
+
+TEST(LruCacheTest, OversizedEntryNotAdmitted) {
+  LruCache cache(100);
+  cache.Insert(Oid(1, 1), ObjectType::kRegular, 500);
+  EXPECT_FALSE(cache.Lookup(Oid(1, 1)));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(LruCacheTest, TracksHitsAndMisses) {
+  LruCache cache(100);
+  cache.Insert(Oid(1, 1), ObjectType::kRegular, 10);
+  cache.Lookup(Oid(1, 1));
+  cache.Lookup(Oid(1, 2));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+// --- Store: apply/read/checkpoint/recover -----------------------------------
+
+TEST(StoreTest, ApplyAndSnapshotRead) {
+  Store store;
+  store.Apply(MakeTx(1, 0, 1, {ObjectUpdate::Data(Oid(1, 1), "a")}));
+  store.Apply(MakeTx(2, 1, 1, {ObjectUpdate::Data(Oid(1, 1), "b")}));
+  EXPECT_EQ(store.ReadRegular(Oid(1, 1), Vts({1, 0})), "a");
+  EXPECT_EQ(store.ReadRegular(Oid(1, 1), Vts({1, 1})), "b");
+  EXPECT_EQ(store.ReadRegular(Oid(9, 9), Vts({1, 1})), std::nullopt);
+}
+
+TEST(StoreTest, CheckpointRestoreRoundTrip) {
+  Store store;
+  store.Apply(MakeTx(1, 0, 1, {ObjectUpdate::Data(Oid(1, 1), "a")}));
+  store.Apply(MakeTx(2, 0, 2, {ObjectUpdate::Add(Oid(1, 2), Oid(9, 1))}));
+  std::string checkpoint = store.SerializeCheckpoint();
+
+  Store restored;
+  restored.RestoreCheckpoint(checkpoint);
+  EXPECT_EQ(restored.ReadRegular(Oid(1, 1), Vts({2, 0})), "a");
+  EXPECT_EQ(restored.ReadCset(Oid(1, 2), Vts({2, 0})).Count(Oid(9, 1)), 1);
+  EXPECT_EQ(restored.checkpoint_frontier(), store.wal().size());
+}
+
+TEST(StoreTest, RecoverReplaysWalTailAfterCheckpoint) {
+  Store store;
+  store.Apply(MakeTx(1, 0, 1, {ObjectUpdate::Data(Oid(1, 1), "a")}));
+  std::string checkpoint = store.SerializeCheckpoint();
+  store.Apply(MakeTx(2, 0, 2, {ObjectUpdate::Data(Oid(1, 1), "b")}));
+
+  Store restored;
+  auto result = restored.Recover(checkpoint, store.wal().bytes());
+  EXPECT_EQ(result.records_replayed, 1u);
+  EXPECT_FALSE(result.torn_tail);
+  EXPECT_EQ(restored.ReadRegular(Oid(1, 1), Vts({2, 0})), "b");
+  EXPECT_EQ(restored.ReadRegular(Oid(1, 1), Vts({1, 0})), "a");
+}
+
+TEST(StoreTest, RecoverFromWalOnlyNoCheckpoint) {
+  Store store;
+  store.Apply(MakeTx(1, 0, 1, {ObjectUpdate::Data(Oid(1, 1), "a")}));
+  store.Apply(MakeTx(2, 0, 2, {ObjectUpdate::Data(Oid(1, 2), "b")}));
+
+  Store restored;
+  auto result = restored.Recover("", store.wal().bytes());
+  EXPECT_EQ(result.records_replayed, 2u);
+  EXPECT_EQ(restored.ReadRegular(Oid(1, 2), Vts({2, 0})), "b");
+}
+
+TEST(StoreTest, RecoverStopsAtTornTail) {
+  Store store;
+  store.Apply(MakeTx(1, 0, 1, {ObjectUpdate::Data(Oid(1, 1), "a")}));
+  store.Apply(MakeTx(2, 0, 2, {ObjectUpdate::Data(Oid(1, 1), "b")}));
+  std::string bytes = store.wal().bytes();
+  std::string torn = bytes.substr(0, bytes.size() - 3);
+
+  Store restored;
+  auto result = restored.Recover("", torn);
+  EXPECT_TRUE(result.torn_tail);
+  EXPECT_EQ(result.records_replayed, 1u);
+  EXPECT_EQ(restored.ReadRegular(Oid(1, 1), Vts({1, 0})), "a");
+}
+
+TEST(StoreTest, GarbageCollectReducesEntries) {
+  Store store;
+  for (uint64_t i = 1; i <= 20; ++i) {
+    store.Apply(MakeTx(i, 0, i, {ObjectUpdate::Data(Oid(1, 1), "v" + std::to_string(i))}));
+  }
+  size_t folded = store.GarbageCollect(Vts({15, 0}));
+  EXPECT_EQ(folded, 15u);
+  EXPECT_EQ(store.ReadRegular(Oid(1, 1), Vts({15, 0})), "v15");
+  EXPECT_EQ(store.ReadRegular(Oid(1, 1), Vts({20, 0})), "v20");
+}
+
+}  // namespace
+}  // namespace walter

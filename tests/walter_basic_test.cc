@@ -1,0 +1,453 @@
+// End-to-end tests of the Walter server/client protocols on a simulated
+// cluster: transaction execution, fast commit, slow commit, csets,
+// asynchronous propagation, durability/visibility callbacks, and the RPC
+// piggybacking contract of Section 8.2.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "src/core/cluster.h"
+
+namespace walter {
+namespace {
+
+ObjectId Oid(uint64_t container, uint64_t local) { return ObjectId{container, local}; }
+
+// Logic-test options: no modeled CPU/disk cost, no gossip (so the simulator
+// quiesces), deterministic network.
+ClusterOptions LogicOptions(size_t num_sites) {
+  ClusterOptions o;
+  o.num_sites = num_sites;
+  o.server.perf = PerfModel::Instant();
+  o.server.disk = DiskConfig::Memory();
+  o.server.gossip_interval = 0;
+  return o;
+}
+
+// Runs simulator steps until `done` or the event queue drains.
+template <typename Pred>
+void RunUntil(Cluster& cluster, Pred done) {
+  while (!done() && cluster.sim().Step()) {
+  }
+  ASSERT_TRUE(done()) << "simulation drained before the condition held";
+}
+
+Status CommitWrite(Cluster& cluster, WalterClient* client, const ObjectId& oid,
+                   std::string value) {
+  Tx tx(client);
+  tx.Write(oid, std::move(value));
+  Status result = Status::Internal("not finished");
+  bool done = false;
+  tx.Commit([&](Status s) {
+    result = s;
+    done = true;
+  });
+  while (!done && cluster.sim().Step()) {
+  }
+  return result;
+}
+
+std::optional<std::string> ReadOnce(Cluster& cluster, WalterClient* client,
+                                    const ObjectId& oid) {
+  Tx tx(client);
+  std::optional<std::string> value;
+  bool done = false;
+  tx.Read(oid, [&](Status s, std::optional<std::string> v) {
+    EXPECT_TRUE(s.ok());
+    value = std::move(v);
+    done = true;
+  });
+  while (!done && cluster.sim().Step()) {
+  }
+  return value;
+}
+
+TEST(WalterBasicTest, WriteThenReadSingleSite) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+  ASSERT_TRUE(CommitWrite(cluster, client, Oid(1, 1), "hello").ok());
+  EXPECT_EQ(ReadOnce(cluster, client, Oid(1, 1)), "hello");
+}
+
+TEST(WalterBasicTest, UnwrittenObjectReadsNil) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+  EXPECT_EQ(ReadOnce(cluster, client, Oid(1, 99)), std::nullopt);
+}
+
+TEST(WalterBasicTest, DestroyWritesNil) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+  ASSERT_TRUE(CommitWrite(cluster, client, Oid(1, 1), "x").ok());
+  Tx tx(client);
+  tx.Destroy(Oid(1, 1));
+  bool done = false;
+  tx.Commit([&](Status s) {
+    EXPECT_TRUE(s.ok());
+    done = true;
+  });
+  RunUntil(cluster, [&] { return done; });
+  // Destroyed object reads as nil-equivalent (empty value).
+  EXPECT_EQ(ReadOnce(cluster, client, Oid(1, 1)), "");
+}
+
+TEST(WalterBasicTest, ReadYourOwnBufferedWrites) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+  Tx tx(client);
+  tx.Write(Oid(1, 1), "mine");
+  std::optional<std::string> value;
+  bool done = false;
+  tx.Read(Oid(1, 1), [&](Status s, std::optional<std::string> v) {
+    ASSERT_TRUE(s.ok());
+    value = std::move(v);
+    done = true;
+  });
+  RunUntil(cluster, [&] { return done; });
+  EXPECT_EQ(value, "mine");
+}
+
+TEST(WalterBasicTest, SnapshotDoesNotSeeLaterCommits) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+  ASSERT_TRUE(CommitWrite(cluster, client, Oid(1, 1), "v1").ok());
+
+  // Start a reader (its snapshot is assigned at the first read).
+  Tx reader(client);
+  std::optional<std::string> first;
+  bool read1_done = false;
+  reader.Read(Oid(1, 1), [&](Status, std::optional<std::string> v) {
+    first = std::move(v);
+    read1_done = true;
+  });
+  RunUntil(cluster, [&] { return read1_done; });
+  EXPECT_EQ(first, "v1");
+
+  // Another transaction overwrites.
+  ASSERT_TRUE(CommitWrite(cluster, client, Oid(1, 1), "v2").ok());
+
+  // The reader still sees its snapshot (non-repeatable read prevented).
+  std::optional<std::string> second;
+  bool read2_done = false;
+  reader.Read(Oid(1, 1), [&](Status, std::optional<std::string> v) {
+    second = std::move(v);
+    read2_done = true;
+  });
+  RunUntil(cluster, [&] { return read2_done; });
+  EXPECT_EQ(second, "v1");
+
+  // A fresh transaction sees the new value.
+  EXPECT_EQ(ReadOnce(cluster, client, Oid(1, 1)), "v2");
+}
+
+TEST(WalterBasicTest, WriteWriteConflictAborts) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+  ASSERT_TRUE(CommitWrite(cluster, client, Oid(1, 1), "base").ok());
+
+  // Two transactions read the same snapshot, then both write the object.
+  Tx t1(client);
+  Tx t2(client);
+  int reads = 0;
+  t1.Read(Oid(1, 1), [&](Status, std::optional<std::string>) { ++reads; });
+  RunUntil(cluster, [&] { return reads == 1; });
+  t2.Read(Oid(1, 1), [&](Status, std::optional<std::string>) { ++reads; });
+  RunUntil(cluster, [&] { return reads == 2; });
+
+  t1.Write(Oid(1, 1), "t1");
+  t2.Write(Oid(1, 1), "t2");
+
+  Status s1 = Status::Internal("");
+  Status s2 = Status::Internal("");
+  int commits = 0;
+  t1.Commit([&](Status s) {
+    s1 = s;
+    ++commits;
+  });
+  RunUntil(cluster, [&] { return commits == 1; });
+  t2.Commit([&](Status s) {
+    s2 = s;
+    ++commits;
+  });
+  RunUntil(cluster, [&] { return commits == 2; });
+
+  EXPECT_TRUE(s1.ok());
+  EXPECT_EQ(s2.code(), StatusCode::kAborted);  // lost update prevented
+  EXPECT_EQ(ReadOnce(cluster, client, Oid(1, 1)), "t1");
+  EXPECT_EQ(cluster.server(0).stats().aborts, 1u);
+}
+
+TEST(WalterBasicTest, CsetAddRemoveAndRead) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+  Tx tx(client);
+  tx.SetAdd(Oid(1, 1), Oid(9, 1));
+  tx.SetAdd(Oid(1, 1), Oid(9, 2));
+  tx.SetDel(Oid(1, 1), Oid(9, 2));
+  bool done = false;
+  tx.Commit([&](Status s) {
+    ASSERT_TRUE(s.ok());
+    done = true;
+  });
+  RunUntil(cluster, [&] { return done; });
+
+  Tx reader(client);
+  CountingSet set;
+  bool read_done = false;
+  reader.SetRead(Oid(1, 1), [&](Status s, CountingSet got) {
+    ASSERT_TRUE(s.ok());
+    set = std::move(got);
+    read_done = true;
+  });
+  RunUntil(cluster, [&] { return read_done; });
+  EXPECT_EQ(set.Count(Oid(9, 1)), 1);
+  EXPECT_EQ(set.Count(Oid(9, 2)), 0);
+
+  int64_t count = -1;
+  bool count_done = false;
+  reader.SetReadId(Oid(1, 1), Oid(9, 1), [&](Status, int64_t c) {
+    count = c;
+    count_done = true;
+  });
+  RunUntil(cluster, [&] { return count_done; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(WalterBasicTest, PropagationMakesWritesVisibleRemotely) {
+  Cluster cluster(LogicOptions(2));
+  WalterClient* writer = cluster.AddClient(0);
+  WalterClient* reader = cluster.AddClient(1);
+
+  // Container 0 prefers site 0 (default layout: container id % num_sites).
+  ASSERT_TRUE(CommitWrite(cluster, writer, Oid(0, 1), "geo").ok());
+  // Not yet propagated (no simulated time has passed beyond the commit).
+  cluster.RunFor(Seconds(2));
+  EXPECT_EQ(ReadOnce(cluster, reader, Oid(0, 1)), "geo");
+  EXPECT_EQ(cluster.server(1).committed_vts().at(0), 1u);
+}
+
+TEST(WalterBasicTest, SlowCommitForRemotePreferredObject) {
+  Cluster cluster(LogicOptions(2));
+  WalterClient* client = cluster.AddClient(0);
+  // Container 1 prefers site 1; writing it from site 0 needs 2PC.
+  Status s = CommitWrite(cluster, client, Oid(1, 1), "cross");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(cluster.server(0).stats().slow_commits, 1u);
+  EXPECT_EQ(cluster.server(0).stats().fast_commits, 0u);
+  EXPECT_EQ(cluster.server(1).stats().prepares_handled, 1u);
+  EXPECT_EQ(ReadOnce(cluster, client, Oid(1, 1)), "cross");
+  // After propagation, visible at the preferred site too.
+  cluster.RunFor(Seconds(2));
+  WalterClient* remote_reader = cluster.AddClient(1);
+  EXPECT_EQ(ReadOnce(cluster, remote_reader, Oid(1, 1)), "cross");
+}
+
+TEST(WalterBasicTest, CsetUpdateAtNonPreferredSiteFastCommits) {
+  Cluster cluster(LogicOptions(2));
+  WalterClient* client = cluster.AddClient(0);
+  Tx tx(client);
+  // Container 1 prefers site 1, but cset operations never need 2PC.
+  tx.SetAdd(Oid(1, 5), Oid(9, 1));
+  bool done = false;
+  tx.Commit([&](Status s) {
+    ASSERT_TRUE(s.ok());
+    done = true;
+  });
+  RunUntil(cluster, [&] { return done; });
+  EXPECT_EQ(cluster.server(0).stats().fast_commits, 1u);
+  EXPECT_EQ(cluster.server(0).stats().slow_commits, 0u);
+}
+
+TEST(WalterBasicTest, ConcurrentCsetAddsFromTwoSitesBothSurvive) {
+  Cluster cluster(LogicOptions(2));
+  WalterClient* c0 = cluster.AddClient(0);
+  WalterClient* c1 = cluster.AddClient(1);
+
+  int committed = 0;
+  Tx t0(c0);
+  t0.SetAdd(Oid(0, 7), Oid(9, 100));
+  t0.Commit([&](Status s) {
+    ASSERT_TRUE(s.ok());
+    ++committed;
+  });
+  Tx t1(c1);
+  t1.SetAdd(Oid(0, 7), Oid(9, 200));
+  t1.Commit([&](Status s) {
+    ASSERT_TRUE(s.ok());
+    ++committed;
+  });
+  RunUntil(cluster, [&] { return committed == 2; });
+  cluster.RunFor(Seconds(2));  // full propagation
+
+  for (SiteId s = 0; s < 2; ++s) {
+    WalterClient* reader = cluster.AddClient(s);
+    Tx tx(reader);
+    CountingSet set;
+    bool done = false;
+    tx.SetRead(Oid(0, 7), [&](Status, CountingSet got) {
+      set = std::move(got);
+      done = true;
+    });
+    RunUntil(cluster, [&] { return done; });
+    EXPECT_TRUE(set.Contains(Oid(9, 100))) << "site " << s;
+    EXPECT_TRUE(set.Contains(Oid(9, 200))) << "site " << s;
+  }
+}
+
+TEST(WalterBasicTest, DurableAndVisibleCallbacksFire) {
+  Cluster cluster(LogicOptions(3));
+  WalterClient* client = cluster.AddClient(0);
+  Tx tx(client);
+  tx.Write(Oid(0, 1), "important");
+  bool committed = false;
+  bool durable = false;
+  bool visible = false;
+  Tx::CommitOptions options;
+  options.on_durable = [&] { durable = true; };
+  options.on_visible = [&] { visible = true; };
+  tx.Commit(
+      [&](Status s) {
+        ASSERT_TRUE(s.ok());
+        committed = true;
+      },
+      options);
+  RunUntil(cluster, [&] { return committed; });
+  EXPECT_FALSE(visible);  // commit is local; visibility needs propagation
+  cluster.RunFor(Seconds(3));
+  EXPECT_TRUE(durable);
+  EXPECT_TRUE(visible);
+  EXPECT_EQ(cluster.server(0).globally_visible_through(), 1u);
+}
+
+TEST(WalterBasicTest, SingleUpdateTransactionIsOneRpc) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+  Tx tx(client);
+  tx.Write(Oid(1, 1), "v");
+  bool done = false;
+  tx.Commit([&](Status s) {
+    ASSERT_TRUE(s.ok());
+    done = true;
+  });
+  RunUntil(cluster, [&] { return done; });
+  EXPECT_EQ(tx.rpcs_issued(), 1u);  // Section 8.2's piggyback optimization
+}
+
+TEST(WalterBasicTest, SingleReadTransactionIsOneRpc) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+  Tx tx(client);
+  bool read_done = false;
+  tx.Read(Oid(1, 1), [&](Status, std::optional<std::string>) { read_done = true; });
+  RunUntil(cluster, [&] { return read_done; });
+  bool done = false;
+  tx.Commit([&](Status s) {
+    ASSERT_TRUE(s.ok());
+    done = true;
+  });
+  RunUntil(cluster, [&] { return done; });
+  EXPECT_EQ(tx.rpcs_issued(), 1u);  // read-only commit is client-local
+}
+
+TEST(WalterBasicTest, CsetTransactionOfSection84IsFourRpcs) {
+  Cluster cluster(LogicOptions(4));
+  WalterClient* client = cluster.AddClient(0);
+  Tx tx(client);
+  tx.Write(Oid(0, 1), "a");          // preferred locally
+  tx.Write(Oid(0, 2), "b");          // preferred locally
+  tx.SetAdd(Oid(1, 1), Oid(9, 1));   // cset with remote preferred site
+  bool done = false;
+  tx.Commit([&](Status s) {
+    ASSERT_TRUE(s.ok());
+    done = true;
+  });
+  RunUntil(cluster, [&] { return done; });
+  EXPECT_EQ(tx.rpcs_issued(), 4u);  // 2 writes + 1 cset op + commit (§8.4)
+  EXPECT_EQ(cluster.server(0).stats().fast_commits, 1u);
+}
+
+TEST(WalterBasicTest, MultiReadReturnsManyValues) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+  ASSERT_TRUE(CommitWrite(cluster, client, Oid(1, 1), "a").ok());
+  ASSERT_TRUE(CommitWrite(cluster, client, Oid(1, 2), "b").ok());
+  Tx tx(client);
+  std::vector<std::optional<std::string>> values;
+  bool done = false;
+  tx.MultiRead({Oid(1, 1), Oid(1, 2), Oid(1, 3)}, [&](Status s, auto v) {
+    ASSERT_TRUE(s.ok());
+    values = std::move(v);
+    done = true;
+  });
+  RunUntil(cluster, [&] { return done; });
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], "a");
+  EXPECT_EQ(values[1], "b");
+  EXPECT_EQ(values[2], std::nullopt);
+}
+
+TEST(WalterBasicTest, AbortDiscardsUpdates) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+  Tx tx(client);
+  tx.Write(Oid(1, 1), "ghost");
+  std::optional<std::string> observed;
+  bool read_done = false;
+  // Force the write to reach the server, then abort.
+  tx.Read(Oid(1, 2), [&](Status, std::optional<std::string>) { read_done = true; });
+  RunUntil(cluster, [&] { return read_done; });
+  bool aborted = false;
+  tx.Abort([&] { aborted = true; });
+  RunUntil(cluster, [&] { return aborted; });
+  observed = ReadOnce(cluster, client, Oid(1, 1));
+  EXPECT_EQ(observed, std::nullopt);
+}
+
+TEST(WalterBasicTest, SlowCommitConflictingWithFastCommitAborts) {
+  Cluster cluster(LogicOptions(2));
+  WalterClient* remote = cluster.AddClient(0);  // will slow-commit to site 1
+  WalterClient* local = cluster.AddClient(1);   // fast-commits at site 1
+
+  // A fast commit at the preferred site modifies the object first.
+  ASSERT_TRUE(CommitWrite(cluster, local, Oid(1, 1), "fast").ok());
+
+  // A transaction at site 0 that read an old snapshot tries to slow-commit a
+  // write to the same object; the preferred site votes NO (modified).
+  Tx tx(remote);
+  tx.Write(Oid(1, 1), "slow");
+  Status result = Status::Ok();
+  bool done = false;
+  tx.Commit([&](Status s) {
+    result = s;
+    done = true;
+  });
+  RunUntil(cluster, [&] { return done; });
+  EXPECT_EQ(result.code(), StatusCode::kAborted);
+  EXPECT_EQ(ReadOnce(cluster, local, Oid(1, 1)), "fast");
+}
+
+TEST(WalterBasicTest, CommitCausalityAcrossSites) {
+  // Alice posts at site 0; Bob reads it at site 1 and replies; nobody can see
+  // Bob's reply without Alice's post (Section 1's causality example).
+  Cluster cluster(LogicOptions(3));
+  WalterClient* alice = cluster.AddClient(0);
+  WalterClient* bob = cluster.AddClient(1);
+  WalterClient* carol = cluster.AddClient(2);
+
+  ASSERT_TRUE(CommitWrite(cluster, alice, Oid(0, 1), "alice-post").ok());
+  cluster.RunFor(Seconds(2));  // propagate to Bob's site
+
+  ASSERT_EQ(ReadOnce(cluster, bob, Oid(0, 1)), "alice-post");
+  ASSERT_TRUE(CommitWrite(cluster, bob, Oid(1, 1), "bob-reply").ok());
+  cluster.RunFor(Seconds(3));  // propagate everywhere
+
+  // At Carol's site, if the reply is visible the post must be too.
+  auto reply = ReadOnce(cluster, carol, Oid(1, 1));
+  auto post = ReadOnce(cluster, carol, Oid(0, 1));
+  ASSERT_EQ(reply, "bob-reply");
+  EXPECT_EQ(post, "alice-post");
+}
+
+}  // namespace
+}  // namespace walter

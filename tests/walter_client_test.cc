@@ -1,0 +1,212 @@
+// Client-library behaviour: the RPC-count contract of Section 8.2 across
+// transaction shapes (parameterized), id minting, notification plumbing for
+// many concurrent transactions, and snapshot reuse across operations.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/cluster.h"
+
+namespace walter {
+namespace {
+
+ObjectId Oid(uint64_t c, uint64_t l) { return ObjectId{c, l}; }
+
+ClusterOptions LogicOptions(size_t num_sites) {
+  ClusterOptions o;
+  o.num_sites = num_sites;
+  o.server.perf = PerfModel::Instant();
+  o.server.disk = DiskConfig::Memory();
+  o.server.gossip_interval = 0;
+  return o;
+}
+
+// A transaction shape: number of reads, then writes, then cset adds; the
+// expected RPC count = reads + (updates issued as RPCs) + commit, with the
+// single-access piggyback collapsing 1-update transactions to one RPC and
+// read-only transactions needing no commit RPC.
+struct Shape {
+  int reads;
+  int writes;
+  int cset_adds;
+  size_t expected_rpcs;
+};
+
+class RpcCountTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(RpcCountTest, MatchesPiggybackContract) {
+  const Shape& shape = GetParam();
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+
+  Tx tx(client);
+  int reads_done = 0;
+  for (int i = 0; i < shape.reads; ++i) {
+    tx.Read(Oid(0, 100 + i), [&](Status s, std::optional<std::string>) {
+      ASSERT_TRUE(s.ok());
+      ++reads_done;
+    });
+    while (reads_done <= i && cluster.sim().Step()) {
+    }
+  }
+  for (int i = 0; i < shape.writes; ++i) {
+    tx.Write(Oid(0, i), "v");
+  }
+  for (int i = 0; i < shape.cset_adds; ++i) {
+    tx.SetAdd(Oid(0, 1000), Oid(9, i));
+  }
+  bool done = false;
+  tx.Commit([&](Status s) {
+    ASSERT_TRUE(s.ok());
+    done = true;
+  });
+  while (!done && cluster.sim().Step()) {
+  }
+  EXPECT_EQ(tx.rpcs_issued(), shape.expected_rpcs)
+      << shape.reads << "r/" << shape.writes << "w/" << shape.cset_adds << "a";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RpcCountTest,
+    ::testing::Values(Shape{1, 0, 0, 1},   // single read: 1 RPC, no commit RPC
+                      Shape{0, 1, 0, 1},   // single write: combined with commit
+                      Shape{0, 0, 1, 1},   // single cset add: combined
+                      Shape{0, 2, 0, 3},   // 2 writes + commit
+                      Shape{0, 5, 0, 6},   // 5 writes + commit (Figure 17 size 5)
+                      Shape{0, 2, 1, 4},   // the Section 8.4 cset transaction
+                      Shape{2, 0, 0, 2},   // read-only of size 2
+                      Shape{1, 1, 0, 2},   // read, then single update combined with commit
+                      Shape{3, 2, 2, 8}),  // mixed
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      const Shape& s = info.param;
+      return std::to_string(s.reads) + "r_" + std::to_string(s.writes) + "w_" +
+             std::to_string(s.cset_adds) + "a";
+    });
+
+TEST(ClientTest, NewIdsAreUniqueWithinAndAcrossClients) {
+  Cluster cluster(LogicOptions(2));
+  WalterClient* c1 = cluster.AddClient(0);
+  WalterClient* c2 = cluster.AddClient(0);
+  WalterClient* c3 = cluster.AddClient(1);
+  std::set<ObjectId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.insert(c1->NewId(5));
+    ids.insert(c2->NewId(5));
+    ids.insert(c3->NewId(5));
+  }
+  EXPECT_EQ(ids.size(), 600u);
+  // Ids stay within the requested container.
+  for (const auto& id : ids) {
+    EXPECT_EQ(id.container, 5u);
+  }
+}
+
+TEST(ClientTest, TidsAreUniqueAcrossClients) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* c1 = cluster.AddClient(0);
+  WalterClient* c2 = cluster.AddClient(0);
+  std::set<TxId> tids;
+  for (int i = 0; i < 300; ++i) {
+    tids.insert(c1->NextTid());
+    tids.insert(c2->NextTid());
+  }
+  EXPECT_EQ(tids.size(), 600u);
+}
+
+TEST(ClientTest, NotificationsRouteToTheRightTransaction) {
+  Cluster cluster(LogicOptions(2));
+  WalterClient* client = cluster.AddClient(0);
+
+  constexpr int kTxns = 10;
+  std::vector<int> durable_order;
+  std::vector<int> visible_order;
+  int committed = 0;
+  for (int i = 0; i < kTxns; ++i) {
+    auto tx = std::make_shared<Tx>(client);
+    tx->Write(Oid(0, 2000 + i), "v");
+    Tx::CommitOptions opts;
+    opts.on_durable = [&durable_order, i] { durable_order.push_back(i); };
+    opts.on_visible = [&visible_order, i] { visible_order.push_back(i); };
+    tx->Commit(
+        [tx, &committed](Status s) {
+          ASSERT_TRUE(s.ok());
+          ++committed;
+        },
+        opts);
+  }
+  while (committed < kTxns && cluster.sim().Step()) {
+  }
+  cluster.RunFor(Seconds(3));
+
+  // Every transaction got exactly one of each notification, in commit order
+  // (watermarks advance monotonically).
+  ASSERT_EQ(durable_order.size(), static_cast<size_t>(kTxns));
+  ASSERT_EQ(visible_order.size(), static_cast<size_t>(kTxns));
+  for (int i = 0; i < kTxns; ++i) {
+    EXPECT_EQ(durable_order[i], i);
+    EXPECT_EQ(visible_order[i], i);
+  }
+}
+
+TEST(ClientTest, SnapshotIsStableAcrossManyOperations) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+
+  // Seed.
+  {
+    Tx tx(client);
+    tx.Write(Oid(0, 1), "before");
+    bool done = false;
+    tx.Commit([&](Status) { done = true; });
+    while (!done && cluster.sim().Step()) {
+    }
+  }
+
+  Tx reader(client);
+  std::optional<std::string> first;
+  bool r1 = false;
+  reader.Read(Oid(0, 1), [&](Status, std::optional<std::string> v) {
+    first = std::move(v);
+    r1 = true;
+  });
+  while (!r1 && cluster.sim().Step()) {
+  }
+
+  // Ten overwrites by other transactions.
+  for (int i = 0; i < 10; ++i) {
+    Tx w(client);
+    w.Write(Oid(0, 1), "after" + std::to_string(i));
+    bool done = false;
+    w.Commit([&](Status) { done = true; });
+    while (!done && cluster.sim().Step()) {
+    }
+  }
+
+  // Ten more reads by the same transaction: all return the original snapshot.
+  for (int i = 0; i < 10; ++i) {
+    std::optional<std::string> again;
+    bool done = false;
+    reader.Read(Oid(0, 1), [&](Status, std::optional<std::string> v) {
+      again = std::move(v);
+      done = true;
+    });
+    while (!done && cluster.sim().Step()) {
+    }
+    EXPECT_EQ(again, first);
+  }
+}
+
+TEST(ClientTest, AbortBeforeAnyRpcIsLocal) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+  Tx tx(client);
+  tx.Write(Oid(0, 1), "never-sent");
+  bool aborted = false;
+  tx.Abort([&] { aborted = true; });
+  EXPECT_TRUE(aborted);          // synchronous: nothing had reached the server
+  EXPECT_EQ(tx.rpcs_issued(), 0u);
+  cluster.RunUntilIdle();
+}
+
+}  // namespace
+}  // namespace walter

@@ -1,0 +1,165 @@
+// Soak test: realistic performance models (EC2 CPU costs, group-commit disk),
+// message loss and a transient partition, sustained mixed load from every
+// site — then full PSI verification and convergence checks. This is the
+// closest test to the paper's actual deployment conditions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/core/cluster.h"
+#include "src/psi/checker.h"
+
+namespace walter {
+namespace {
+
+struct StressParams {
+  uint64_t seed;
+  double loss;
+  bool partition_blip;
+};
+
+class StressTest : public ::testing::TestWithParam<StressParams> {};
+
+TEST_P(StressTest, PsiHoldsUnderRealisticConditions) {
+  const StressParams& params = GetParam();
+  ClusterOptions options;
+  options.num_sites = 3;
+  options.seed = params.seed;
+  options.server.perf = PerfModel::Ec2();
+  options.server.disk = DiskConfig::Ec2();
+  options.server.gossip_interval = Millis(500);
+  options.server.resend_timeout = Millis(900);
+  options.server.f = 1;
+  Cluster cluster(options);
+  cluster.net().SetLossProbability(params.loss);
+
+  PsiChecker checker(3);
+  std::unordered_map<TxId, std::vector<RecordedRead>> reads_by_tid;
+  cluster.ObserveCommits([&](SiteId site, const TxRecord& rec) {
+    checker.OnApply(site, rec.tid);
+    if (site == rec.origin) {
+      RecordedTx recorded;
+      recorded.record = rec;
+      auto it = reads_by_tid.find(rec.tid);
+      if (it != reads_by_tid.end()) {
+        recorded.reads = it->second;
+      }
+      checker.OnCommit(std::move(recorded));
+    }
+  });
+
+  // Three client loops per site, each mixing read-modify-write transactions on
+  // local-preferred objects with cset updates on shared containers.
+  auto rng = std::make_shared<Rng>(params.seed * 7 + 3);
+  int in_flight = 0;
+  int launched = 0;
+  constexpr int kTxnsPerLoop = 60;
+
+  std::function<void(WalterClient*, SiteId, int)> run_one =
+      [&](WalterClient* client, SiteId site, int remaining) {
+        if (remaining == 0) {
+          --in_flight;
+          return;
+        }
+        ++launched;
+        auto tx = std::make_shared<Tx>(client);
+        if (rng->Bernoulli(0.4)) {
+          // cset update on a shared container (any preferred site).
+          ObjectId setid{rng->Uniform(3), 900};
+          tx->SetRead(setid, [&, tx, client, site, remaining, setid](Status s,
+                                                                     CountingSet set) {
+            if (!s.ok()) {
+              run_one(client, site, remaining - 1);
+              return;
+            }
+            TxId tid = tx->tid();
+            reads_by_tid[tid] = {RecordedRead{setid, true, std::nullopt, std::move(set)}};
+            tx->SetAdd(setid, ObjectId{50, rng->Uniform(30)});
+            tx->Commit([&, tx, client, site, remaining, tid](Status s) {
+              if (!s.ok()) {
+                reads_by_tid.erase(tid);
+              }
+              run_one(client, site, remaining - 1);
+            });
+          });
+        } else {
+          ObjectId oid{site, rng->Uniform(25)};
+          tx->Read(oid, [&, tx, client, site, remaining, oid](
+                            Status s, std::optional<std::string> v) {
+            if (!s.ok()) {
+              run_one(client, site, remaining - 1);
+              return;
+            }
+            TxId tid = tx->tid();
+            reads_by_tid[tid] = {RecordedRead{oid, false, std::move(v), {}}};
+            tx->Write(oid, "s" + std::to_string(launched));
+            tx->Commit([&, tx, client, site, remaining, tid](Status s) {
+              if (!s.ok()) {
+                reads_by_tid.erase(tid);
+              }
+              run_one(client, site, remaining - 1);
+            });
+          });
+        }
+      };
+
+  for (SiteId s = 0; s < 3; ++s) {
+    for (int c = 0; c < 3; ++c) {
+      ++in_flight;
+      run_one(cluster.AddClient(s), s, kTxnsPerLoop);
+    }
+  }
+
+  if (params.partition_blip) {
+    // A 2-second partition in the middle of the run.
+    cluster.sim().After(Seconds(1), [&] { cluster.net().SetPartitioned(0, 1, true); });
+    cluster.sim().After(Seconds(3), [&] { cluster.net().SetPartitioned(0, 1, false); });
+  }
+
+  while (in_flight > 0 && cluster.sim().Step()) {
+  }
+  ASSERT_EQ(in_flight, 0);
+  // Quiesce: stop loss, let retransmission and gossip converge everything.
+  cluster.net().SetLossProbability(0);
+  cluster.RunFor(Seconds(40));
+
+  EXPECT_GT(checker.committed_count(), 100u);
+  Status result = checker.Check();
+  EXPECT_TRUE(result.ok()) << result.ToString();
+
+  // Full convergence: every site committed every site's transactions.
+  for (SiteId a = 0; a < 3; ++a) {
+    for (SiteId b = 0; b < 3; ++b) {
+      EXPECT_EQ(cluster.server(a).committed_vts().at(b),
+                cluster.server(b).committed_vts().at(b))
+          << "site " << a << " lagging origin " << b;
+    }
+  }
+  // And the cset CRDT state is identical everywhere.
+  for (ContainerId c = 0; c < 3; ++c) {
+    ObjectId setid{c, 900};
+    CountingSet reference =
+        cluster.server(0).store().ReadCset(setid, cluster.server(0).committed_vts());
+    for (SiteId s = 1; s < 3; ++s) {
+      CountingSet other =
+          cluster.server(s).store().ReadCset(setid, cluster.server(s).committed_vts());
+      EXPECT_EQ(reference, other) << "cset divergence at site " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Conditions, StressTest,
+                         ::testing::Values(StressParams{11, 0.0, false},
+                                           StressParams{12, 0.15, false},
+                                           StressParams{13, 0.0, true},
+                                           StressParams{14, 0.1, true}),
+                         [](const ::testing::TestParamInfo<StressParams>& info) {
+                           const auto& p = info.param;
+                           return "seed" + std::to_string(p.seed) + "_loss" +
+                                  std::to_string(static_cast<int>(p.loss * 100)) +
+                                  (p.partition_blip ? "_blip" : "_noblip");
+                         });
+
+}  // namespace
+}  // namespace walter

@@ -1,0 +1,249 @@
+// WaltSocial application tests (Section 7): befriend atomicity, wall posting,
+// multi-site behaviour of the social graph, and the album-creation example of
+// Section 2 (no partial writes visible).
+#include <gtest/gtest.h>
+
+#include "src/apps/waltsocial/waltsocial.h"
+#include "src/core/cluster.h"
+
+namespace walter {
+namespace {
+
+ClusterOptions LogicOptions(size_t num_sites) {
+  ClusterOptions o;
+  o.num_sites = num_sites;
+  o.server.perf = PerfModel::Instant();
+  o.server.disk = DiskConfig::Memory();
+  o.server.gossip_interval = 0;
+  return o;
+}
+
+class WaltSocialTest : public ::testing::Test {
+ protected:
+  WaltSocialTest() : cluster_(LogicOptions(2)) {
+    for (SiteId s = 0; s < 2; ++s) {
+      clients_.push_back(cluster_.AddClient(s));
+      apps_.emplace_back(clients_.back());
+    }
+  }
+
+  // Creates user `u` homed at u % 2.
+  void CreateUser(UserId u) {
+    bool done = false;
+    apps_[u % 2].CreateUser(u, "profile-" + std::to_string(u), [&](Status s) {
+      ASSERT_TRUE(s.ok());
+      done = true;
+    });
+    Drive([&] { return done; });
+  }
+
+  template <typename Pred>
+  void Drive(Pred done) {
+    while (!done() && cluster_.sim().Step()) {
+    }
+    ASSERT_TRUE(done());
+  }
+
+  WaltSocial::UserInfo ReadInfo(UserId u, SiteId at_site) {
+    WaltSocial::UserInfo info;
+    bool done = false;
+    apps_[at_site].ReadInfo(u, [&](Status s, WaltSocial::UserInfo got) {
+      EXPECT_TRUE(s.ok());
+      info = std::move(got);
+      done = true;
+    });
+    while (!done && cluster_.sim().Step()) {
+    }
+    return info;
+  }
+
+  Cluster cluster_;
+  std::vector<WalterClient*> clients_;
+  std::vector<WaltSocial> apps_;
+};
+
+TEST_F(WaltSocialTest, CreateAndReadProfile) {
+  CreateUser(0);
+  WaltSocial::UserInfo info = ReadInfo(0, 0);
+  EXPECT_EQ(info.profile, "profile-0");
+  EXPECT_TRUE(info.friends.empty());
+}
+
+TEST_F(WaltSocialTest, BefriendIsSymmetricAndAtomic) {
+  CreateUser(0);
+  CreateUser(1);
+  bool done = false;
+  apps_[0].Befriend(0, 1, [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    done = true;
+  });
+  Drive([&] { return done; });
+
+  // Visible at the acting site immediately.
+  WaltSocial::UserInfo info0 = ReadInfo(0, 0);
+  EXPECT_TRUE(info0.friends.Contains(WaltSocial::ProfileOid(1)));
+  WaltSocial::UserInfo info1 = ReadInfo(1, 0);
+  EXPECT_TRUE(info1.friends.Contains(WaltSocial::ProfileOid(0)));
+
+  // Never one-sided at any site (atomicity): after propagation site 1 agrees.
+  cluster_.RunFor(Seconds(3));
+  info0 = ReadInfo(0, 1);
+  info1 = ReadInfo(1, 1);
+  EXPECT_EQ(info0.friends.Contains(WaltSocial::ProfileOid(1)),
+            info1.friends.Contains(WaltSocial::ProfileOid(0)));
+  EXPECT_TRUE(info0.friends.Contains(WaltSocial::ProfileOid(1)));
+}
+
+TEST_F(WaltSocialTest, UnfriendRemovesBothEdges) {
+  CreateUser(0);
+  CreateUser(1);
+  bool done = false;
+  apps_[0].Befriend(0, 1, [&](Status s) { done = s.ok(); });
+  Drive([&] { return done; });
+  done = false;
+  apps_[0].Unfriend(0, 1, [&](Status s) { done = s.ok(); });
+  Drive([&] { return done; });
+  EXPECT_FALSE(ReadInfo(0, 0).friends.Contains(WaltSocial::ProfileOid(1)));
+  EXPECT_FALSE(ReadInfo(1, 0).friends.Contains(WaltSocial::ProfileOid(0)));
+}
+
+TEST_F(WaltSocialTest, ConcurrentBefriendsFromBothSitesMerge) {
+  CreateUser(0);
+  CreateUser(1);
+  CreateUser(2);
+  CreateUser(3);
+  // User 0 (site 0) befriends 2; user 1 (site 1) befriends 0 — concurrently.
+  // Friend lists are csets, so both merge without conflict.
+  int done = 0;
+  apps_[0].Befriend(0, 2, [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    ++done;
+  });
+  apps_[1].Befriend(1, 0, [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    ++done;
+  });
+  Drive([&] { return done == 2; });
+  cluster_.RunFor(Seconds(3));
+
+  for (SiteId s = 0; s < 2; ++s) {
+    WaltSocial::UserInfo info = ReadInfo(0, s);
+    EXPECT_TRUE(info.friends.Contains(WaltSocial::ProfileOid(2))) << "site " << s;
+    EXPECT_TRUE(info.friends.Contains(WaltSocial::ProfileOid(1))) << "site " << s;
+  }
+}
+
+TEST_F(WaltSocialTest, PostMessageAppearsOnRecipientWall) {
+  CreateUser(0);
+  CreateUser(1);
+  bool done = false;
+  apps_[0].PostMessage(0, 1, "hi bob", [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    done = true;
+  });
+  Drive([&] { return done; });
+  WaltSocial::UserInfo info = ReadInfo(1, 0);
+  EXPECT_EQ(info.messages.PresentElements().size(), 1u);
+}
+
+TEST_F(WaltSocialTest, StatusUpdateLandsOnOwnWallAndHistory) {
+  CreateUser(0);
+  bool done = false;
+  apps_[0].StatusUpdate(0, "feeling great", [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    done = true;
+  });
+  Drive([&] { return done; });
+  WaltSocial::UserInfo info = ReadInfo(0, 0);
+  ASSERT_EQ(info.messages.PresentElements().size(), 1u);
+
+  // The status text itself is readable through the wall's oid.
+  ObjectId status_oid = info.messages.PresentElements()[0];
+  Tx tx(clients_[0]);
+  std::optional<std::string> text;
+  bool read_done = false;
+  tx.Read(status_oid, [&](Status s, std::optional<std::string> v) {
+    ASSERT_TRUE(s.ok());
+    text = std::move(v);
+    read_done = true;
+  });
+  Drive([&] { return read_done; });
+  EXPECT_EQ(text, "feeling great");
+}
+
+TEST_F(WaltSocialTest, AlbumCreationIsAtomicNoOrphanOrDanglingPost) {
+  // Section 2's motivating example: creating an album posts news on the wall
+  // and updates the album set in ONE transaction. Any snapshot that sees the
+  // wall post also sees the album.
+  CreateUser(0);
+  ObjectId album;
+  bool done = false;
+  apps_[0].AddAlbum(0, "holiday", [&](Status s, ObjectId a) {
+    ASSERT_TRUE(s.ok());
+    album = a;
+    done = true;
+  });
+  Drive([&] { return done; });
+
+  done = false;
+  ObjectId photo;
+  apps_[0].AddPhoto(0, album, "jpeg-bytes", [&](Status s, ObjectId p) {
+    ASSERT_TRUE(s.ok());
+    photo = p;
+    done = true;
+  });
+  Drive([&] { return done; });
+
+  // One snapshot: wall mentions the album AND the album list contains it.
+  Tx tx(clients_[0]);
+  CountingSet wall;
+  CountingSet albums;
+  int reads = 0;
+  tx.SetRead(WaltSocial::MessageListOid(0), [&](Status s, CountingSet set) {
+    ASSERT_TRUE(s.ok());
+    wall = std::move(set);
+    ++reads;
+  });
+  Drive([&] { return reads == 1; });
+  tx.SetRead(WaltSocial::AlbumListOid(0), [&](Status s, CountingSet set) {
+    ASSERT_TRUE(s.ok());
+    albums = std::move(set);
+    ++reads;
+  });
+  Drive([&] { return reads == 2; });
+  EXPECT_EQ(wall.PresentElements().size(), 1u);   // album announcement
+  EXPECT_TRUE(albums.Contains(album));
+
+  std::vector<ObjectId> photos;
+  done = false;
+  apps_[0].ListAlbumPhotos(0, album, [&](Status s, std::vector<ObjectId> got) {
+    ASSERT_TRUE(s.ok());
+    photos = std::move(got);
+    done = true;
+  });
+  Drive([&] { return done; });
+  ASSERT_EQ(photos.size(), 1u);
+  EXPECT_EQ(photos[0], photo);
+}
+
+TEST_F(WaltSocialTest, CrossSitePostUsesFastCommitOnly) {
+  // User 1 is homed at site 1; user 0 (site 0) posts on user 1's wall. The
+  // written objects live in the sender's container and the recipient's wall is
+  // a cset, so the transaction fast-commits with no cross-site coordination —
+  // the paper's applications never use slow commit (Section 6).
+  CreateUser(0);
+  CreateUser(1);
+  uint64_t slow_before = cluster_.server(0).stats().slow_commits;
+  bool done = false;
+  apps_[0].PostMessage(0, 1, "cross-site", [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    done = true;
+  });
+  Drive([&] { return done; });
+  EXPECT_EQ(cluster_.server(0).stats().slow_commits, slow_before);
+  cluster_.RunFor(Seconds(3));
+  EXPECT_EQ(ReadInfo(1, 1).messages.PresentElements().size(), 1u);
+}
+
+}  // namespace
+}  // namespace walter
