@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_cset_vs_slow.dir/bench_abl_cset_vs_slow.cc.o"
+  "CMakeFiles/bench_abl_cset_vs_slow.dir/bench_abl_cset_vs_slow.cc.o.d"
+  "bench_abl_cset_vs_slow"
+  "bench_abl_cset_vs_slow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_cset_vs_slow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_cset_vs_slow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_preferred_site.dir/bench_abl_preferred_site.cc.o"
+  "CMakeFiles/bench_abl_preferred_site.dir/bench_abl_preferred_site.cc.o.d"
+  "bench_abl_preferred_site"
+  "bench_abl_preferred_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_preferred_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_slowcommit.dir/bench_fig20_slowcommit.cc.o"
+  "CMakeFiles/bench_fig20_slowcommit.dir/bench_fig20_slowcommit.cc.o.d"
+  "bench_fig20_slowcommit"
+  "bench_fig20_slowcommit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_slowcommit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_waltsocial_tput.dir/bench_fig21_waltsocial_tput.cc.o"
+  "CMakeFiles/bench_fig21_waltsocial_tput.dir/bench_fig21_waltsocial_tput.cc.o.d"
+  "bench_fig21_waltsocial_tput"
+  "bench_fig21_waltsocial_tput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_waltsocial_tput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_retwis.dir/bench_fig23_retwis.cc.o"
+  "CMakeFiles/bench_fig23_retwis.dir/bench_fig23_retwis.cc.o.d"
+  "bench_fig23_retwis"
+  "bench_fig23_retwis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_retwis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

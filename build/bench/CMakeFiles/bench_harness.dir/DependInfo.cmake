@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/harness.cc" "bench/CMakeFiles/bench_harness.dir/harness.cc.o" "gcc" "bench/CMakeFiles/bench_harness.dir/harness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/walter_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/walter_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/walter_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/walter_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crdt/CMakeFiles/walter_crdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/walter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec84_cset.dir/bench_sec84_cset.cc.o"
+  "CMakeFiles/bench_sec84_cset.dir/bench_sec84_cset.cc.o.d"
+  "bench_sec84_cset"
+  "bench_sec84_cset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec84_cset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

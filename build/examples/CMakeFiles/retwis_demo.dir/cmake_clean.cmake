@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retwis_demo.dir/retwis_demo.cpp.o"
+  "CMakeFiles/retwis_demo.dir/retwis_demo.cpp.o.d"
+  "retwis_demo"
+  "retwis_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retwis_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

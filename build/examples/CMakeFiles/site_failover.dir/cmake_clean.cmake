@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_failover.dir/site_failover.cpp.o"
+  "CMakeFiles/site_failover.dir/site_failover.cpp.o.d"
+  "site_failover"
+  "site_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

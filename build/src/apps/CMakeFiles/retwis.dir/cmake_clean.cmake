@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retwis.dir/retwis/retwis.cc.o"
+  "CMakeFiles/retwis.dir/retwis/retwis.cc.o.d"
+  "libretwis.a"
+  "libretwis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retwis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

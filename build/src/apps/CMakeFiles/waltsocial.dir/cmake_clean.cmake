@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waltsocial.dir/waltsocial/waltsocial.cc.o"
+  "CMakeFiles/waltsocial.dir/waltsocial/waltsocial.cc.o.d"
+  "libwaltsocial.a"
+  "libwaltsocial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waltsocial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

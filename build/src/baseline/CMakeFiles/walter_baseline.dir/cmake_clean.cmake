@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walter_baseline.dir/bdb_store.cc.o"
+  "CMakeFiles/walter_baseline.dir/bdb_store.cc.o.d"
+  "CMakeFiles/walter_baseline.dir/eventual_store.cc.o"
+  "CMakeFiles/walter_baseline.dir/eventual_store.cc.o.d"
+  "CMakeFiles/walter_baseline.dir/redis_store.cc.o"
+  "CMakeFiles/walter_baseline.dir/redis_store.cc.o.d"
+  "libwalter_baseline.a"
+  "libwalter_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walter_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walter_common.dir/logging.cc.o"
+  "CMakeFiles/walter_common.dir/logging.cc.o.d"
+  "CMakeFiles/walter_common.dir/stats.cc.o"
+  "CMakeFiles/walter_common.dir/stats.cc.o.d"
+  "CMakeFiles/walter_common.dir/status.cc.o"
+  "CMakeFiles/walter_common.dir/status.cc.o.d"
+  "CMakeFiles/walter_common.dir/types.cc.o"
+  "CMakeFiles/walter_common.dir/types.cc.o.d"
+  "CMakeFiles/walter_common.dir/update.cc.o"
+  "CMakeFiles/walter_common.dir/update.cc.o.d"
+  "libwalter_common.a"
+  "libwalter_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walter_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

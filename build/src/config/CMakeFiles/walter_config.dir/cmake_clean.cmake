@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walter_config.dir/config_service.cc.o"
+  "CMakeFiles/walter_config.dir/config_service.cc.o.d"
+  "CMakeFiles/walter_config.dir/paxos.cc.o"
+  "CMakeFiles/walter_config.dir/paxos.cc.o.d"
+  "libwalter_config.a"
+  "libwalter_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walter_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walter_core.dir/client.cc.o"
+  "CMakeFiles/walter_core.dir/client.cc.o.d"
+  "CMakeFiles/walter_core.dir/cluster.cc.o"
+  "CMakeFiles/walter_core.dir/cluster.cc.o.d"
+  "CMakeFiles/walter_core.dir/messages.cc.o"
+  "CMakeFiles/walter_core.dir/messages.cc.o.d"
+  "CMakeFiles/walter_core.dir/server.cc.o"
+  "CMakeFiles/walter_core.dir/server.cc.o.d"
+  "libwalter_core.a"
+  "libwalter_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walter_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

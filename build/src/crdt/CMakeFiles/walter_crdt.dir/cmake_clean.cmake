@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walter_crdt.dir/cset.cc.o"
+  "CMakeFiles/walter_crdt.dir/cset.cc.o.d"
+  "libwalter_crdt.a"
+  "libwalter_crdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walter_crdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walter_net.dir/network.cc.o"
+  "CMakeFiles/walter_net.dir/network.cc.o.d"
+  "CMakeFiles/walter_net.dir/topology.cc.o"
+  "CMakeFiles/walter_net.dir/topology.cc.o.d"
+  "libwalter_net.a"
+  "libwalter_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walter_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

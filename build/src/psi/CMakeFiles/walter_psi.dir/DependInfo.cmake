@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psi/checker.cc" "src/psi/CMakeFiles/walter_psi.dir/checker.cc.o" "gcc" "src/psi/CMakeFiles/walter_psi.dir/checker.cc.o.d"
+  "/root/repo/src/psi/psi_spec.cc" "src/psi/CMakeFiles/walter_psi.dir/psi_spec.cc.o" "gcc" "src/psi/CMakeFiles/walter_psi.dir/psi_spec.cc.o.d"
+  "/root/repo/src/psi/si_spec.cc" "src/psi/CMakeFiles/walter_psi.dir/si_spec.cc.o" "gcc" "src/psi/CMakeFiles/walter_psi.dir/si_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/walter_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crdt/CMakeFiles/walter_crdt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walter_psi.dir/checker.cc.o"
+  "CMakeFiles/walter_psi.dir/checker.cc.o.d"
+  "CMakeFiles/walter_psi.dir/psi_spec.cc.o"
+  "CMakeFiles/walter_psi.dir/psi_spec.cc.o.d"
+  "CMakeFiles/walter_psi.dir/si_spec.cc.o"
+  "CMakeFiles/walter_psi.dir/si_spec.cc.o.d"
+  "libwalter_psi.a"
+  "libwalter_psi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walter_psi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

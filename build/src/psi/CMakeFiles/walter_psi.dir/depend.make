@@ -1,0 +1,2 @@
+# Empty dependencies file for walter_psi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walter_sim.dir/disk.cc.o"
+  "CMakeFiles/walter_sim.dir/disk.cc.o.d"
+  "CMakeFiles/walter_sim.dir/resource.cc.o"
+  "CMakeFiles/walter_sim.dir/resource.cc.o.d"
+  "CMakeFiles/walter_sim.dir/simulator.cc.o"
+  "CMakeFiles/walter_sim.dir/simulator.cc.o.d"
+  "libwalter_sim.a"
+  "libwalter_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walter_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/lru_cache.cc" "src/storage/CMakeFiles/walter_storage.dir/lru_cache.cc.o" "gcc" "src/storage/CMakeFiles/walter_storage.dir/lru_cache.cc.o.d"
+  "/root/repo/src/storage/object_history.cc" "src/storage/CMakeFiles/walter_storage.dir/object_history.cc.o" "gcc" "src/storage/CMakeFiles/walter_storage.dir/object_history.cc.o.d"
+  "/root/repo/src/storage/store.cc" "src/storage/CMakeFiles/walter_storage.dir/store.cc.o" "gcc" "src/storage/CMakeFiles/walter_storage.dir/store.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/walter_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/walter_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/walter_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crdt/CMakeFiles/walter_crdt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walter_storage.dir/lru_cache.cc.o"
+  "CMakeFiles/walter_storage.dir/lru_cache.cc.o.d"
+  "CMakeFiles/walter_storage.dir/object_history.cc.o"
+  "CMakeFiles/walter_storage.dir/object_history.cc.o.d"
+  "CMakeFiles/walter_storage.dir/store.cc.o"
+  "CMakeFiles/walter_storage.dir/store.cc.o.d"
+  "CMakeFiles/walter_storage.dir/wal.cc.o"
+  "CMakeFiles/walter_storage.dir/wal.cc.o.d"
+  "libwalter_storage.a"
+  "libwalter_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walter_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_service_test.dir/config_service_test.cc.o"
+  "CMakeFiles/config_service_test.dir/config_service_test.cc.o.d"
+  "config_service_test"
+  "config_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cset_test.dir/cset_test.cc.o"
+  "CMakeFiles/cset_test.dir/cset_test.cc.o.d"
+  "cset_test"
+  "cset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_anomaly_test.dir/psi_anomaly_test.cc.o"
+  "CMakeFiles/psi_anomaly_test.dir/psi_anomaly_test.cc.o.d"
+  "psi_anomaly_test"
+  "psi_anomaly_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_anomaly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

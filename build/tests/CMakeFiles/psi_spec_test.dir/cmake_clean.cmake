@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_spec_test.dir/psi_spec_test.cc.o"
+  "CMakeFiles/psi_spec_test.dir/psi_spec_test.cc.o.d"
+  "psi_spec_test"
+  "psi_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walter_basic_test.dir/walter_basic_test.cc.o"
+  "CMakeFiles/walter_basic_test.dir/walter_basic_test.cc.o.d"
+  "walter_basic_test"
+  "walter_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walter_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walter_client_test.dir/walter_client_test.cc.o"
+  "CMakeFiles/walter_client_test.dir/walter_client_test.cc.o.d"
+  "walter_client_test"
+  "walter_client_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walter_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walter_failure_test.dir/walter_failure_test.cc.o"
+  "CMakeFiles/walter_failure_test.dir/walter_failure_test.cc.o.d"
+  "walter_failure_test"
+  "walter_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walter_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walter_psi_test.dir/walter_psi_test.cc.o"
+  "CMakeFiles/walter_psi_test.dir/walter_psi_test.cc.o.d"
+  "walter_psi_test"
+  "walter_psi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walter_psi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walter_stress_test.dir/walter_stress_test.cc.o"
+  "CMakeFiles/walter_stress_test.dir/walter_stress_test.cc.o.d"
+  "walter_stress_test"
+  "walter_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walter_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waltsocial_test.dir/waltsocial_test.cc.o"
+  "CMakeFiles/waltsocial_test.dir/waltsocial_test.cc.o.d"
+  "waltsocial_test"
+  "waltsocial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waltsocial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
