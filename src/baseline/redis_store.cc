@@ -276,7 +276,8 @@ void RedisClient::Incr(const std::string& key, IntCallback cb) {
     }
     ByteReader r(m.payload);
     r.GetU8();
-    ByteReader inner(r.GetString());
+    std::string value = r.GetString();  // named: ByteReader only views its input
+    ByteReader inner(value);
     cb(Status::Ok(), inner.GetI64());
   });
 }

@@ -41,17 +41,42 @@ ConfigCommand ConfigCommand::Deserialize(std::string_view bytes) {
 
 ConfigService::ConfigService(Simulator* sim, Network* net, SiteId site, size_t num_sites,
                              ContainerDirectory* directory, WalterServer* server)
-    : site_(site),
+    : sim_(sim),
+      site_(site),
       num_sites_(num_sites),
       directory_(directory),
       server_(server),
       paxos_(std::make_unique<PaxosNode>(sim, net, site, num_sites)),
-      active_(num_sites, true) {
+      active_(num_sites, true),
+      removed_through_(num_sites, 0) {
   paxos_->SetLearnCallback([this](uint64_t, const std::string& value) {
     Apply(ConfigCommand::Deserialize(value));
   });
   if (server_) {
     server_->SetLeaseChecker([this](ContainerId c) { return HoldsLease(c); });
+  }
+}
+
+void ConfigService::AttachServer(WalterServer* server) {
+  server_ = server;
+  if (server_ == nullptr) {
+    return;
+  }
+  server_->SetLeaseChecker([this](ContainerId c) { return HoldsLease(c); });
+  // Replay the server-side effects of commands learned while the old server
+  // object was being replaced: the fresh server restored from its durable
+  // image still holds removed sites' non-surviving records.
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    if (active_[s]) {
+      continue;
+    }
+    if (s == site_) {
+      server_->TruncateOwnLog(removed_through_[s]);
+    } else {
+      server_->DiscardNonSurviving(s, removed_through_[s]);
+      server_->SetDurableKnown(s, removed_through_[s]);
+      server_->SetSiteActive(s, false);
+    }
   }
 }
 
@@ -86,6 +111,9 @@ bool ConfigService::HoldsLease(ContainerId container) const {
   if (!active_[site_]) {
     return false;
   }
+  if (sim_ && sim_->Now() < lease_blackout_until_) {
+    return false;
+  }
   return directory_->Get(container).preferred_site == site_;
 }
 
@@ -96,23 +124,50 @@ void ConfigService::Apply(const ConfigCommand& cmd) {
       ++epoch_;
       break;
     case ConfigCommand::Kind::kRemoveSite:
-      if (cmd.site < num_sites_) {
+      // Idempotent: the recovery orchestration may race several proposers; the
+      // first learned removal wins and duplicates are no-ops.
+      if (cmd.site < num_sites_ && active_[cmd.site]) {
         active_[cmd.site] = false;
+        removed_through_[cmd.site] = cmd.survive_through;
         directory_->RemapSite(cmd.site, cmd.new_preferred);
         if (server_ && !server_->crashed()) {
-          server_->DiscardNonSurviving(cmd.site, cmd.survive_through);
-          server_->SetDurableKnown(cmd.site, cmd.survive_through);
+          if (cmd.site == site_) {
+            // The survivors removed US (we were isolated, not dead): drop our
+            // own non-surviving suffix; its seqnos rewind and are reused.
+            server_->TruncateOwnLog(cmd.survive_through);
+          } else {
+            server_->DiscardNonSurviving(cmd.site, cmd.survive_through);
+            server_->SetDurableKnown(cmd.site, cmd.survive_through);
+            // Gate the removed site's stale traffic (it may not know yet).
+            server_->SetSiteActive(cmd.site, false);
+          }
+        }
+        if (cmd.new_preferred == site_ && sim_) {
+          // Gaining site: hold off fast commits until the other sites have
+          // had time to learn the remap (no dual preferred site).
+          lease_blackout_until_ = sim_->Now() + kLeaseSettle;
         }
         ++epoch_;
       }
       break;
     case ConfigCommand::Kind::kReintegrateSite:
-      if (cmd.site < num_sites_) {
+      if (cmd.site < num_sites_ && !active_[cmd.site]) {
         active_[cmd.site] = true;
         directory_->ClearRemap(cmd.site);
+        if (server_ && !server_->crashed()) {
+          server_->SetSiteActive(cmd.site, true);
+        }
+        if (cmd.site == site_ && sim_) {
+          // Regaining our containers: same settle window, so the interim
+          // preferred site stops fast-committing them before we start.
+          lease_blackout_until_ = sim_->Now() + kLeaseSettle;
+        }
         ++epoch_;
       }
       break;
+  }
+  if (apply_observer_) {
+    apply_observer_(cmd);
   }
 }
 

@@ -46,6 +46,11 @@ struct ConfigCommand {
 
 class ConfigService {
  public:
+  // Gaining a lease (a container remapped here, or our own reintegration) is
+  // honored only after this settle window, so a site that has not yet learned
+  // the change cannot fast-commit the same container concurrently.
+  static constexpr SimDuration kLeaseSettle = Seconds(2);
+
   // One instance per site. `server` (optional) is the co-located Walter
   // server; learned RemoveSite commands are applied to it, and its lease
   // checks are wired to this service.
@@ -59,24 +64,43 @@ class ConfigService {
   void ProposeReintegrateSite(SiteId site, std::function<void(Status)> cb);
 
   // Lease check: true if this site is currently the preferred site of the
-  // container under the learned configuration and this site is active.
+  // container under the learned configuration, this site is active, and no
+  // lease-settle blackout is pending.
   bool HoldsLease(ContainerId container) const;
 
   bool IsActive(SiteId s) const { return active_[s]; }
   uint64_t epoch() const { return epoch_; }
+  // Last learned surviving prefix of a removed site (0 if never removed).
+  uint64_t removed_through(SiteId s) const { return removed_through_[s]; }
+
+  // Re-wires a replacement server object after Cluster::ReplaceServer: hooks
+  // the lease checker and replays the learned configuration's server-side
+  // effects (discards/truncation) that the fresh server missed.
+  void AttachServer(WalterServer* server);
+
+  // Observer called after every applied (learned) command, in log order.
+  // Used by recovery orchestration and test harnesses.
+  using ApplyObserver = std::function<void(const ConfigCommand&)>;
+  void SetApplyObserver(ApplyObserver observer) { apply_observer_ = std::move(observer); }
 
   PaxosNode& paxos() { return *paxos_; }
+  // Currently attached server (may be null, or crashed).
+  WalterServer* server() const { return server_; }
 
  private:
   void Apply(const ConfigCommand& cmd);
 
+  Simulator* sim_;
   SiteId site_;
   size_t num_sites_;
   ContainerDirectory* directory_;
   WalterServer* server_;
   std::unique_ptr<PaxosNode> paxos_;
   std::vector<bool> active_;
+  std::vector<uint64_t> removed_through_;
   uint64_t epoch_ = 0;  // bumped by every membership change
+  SimTime lease_blackout_until_ = 0;
+  ApplyObserver apply_observer_;
 };
 
 // Coordinates the aggressive removal of a failed site (Section 5.7): queries

@@ -1,0 +1,318 @@
+#include "src/config/failure_detector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/bytes.h"
+#include "src/common/logging.h"
+#include "src/core/server.h"
+
+namespace walter {
+
+namespace {
+
+// Heartbeat payload: sender id, heartbeat seqno, config-log applied prefix,
+// sender's own committed seqno (load proxy), suspicion bitmap, got-vector.
+struct Heartbeat {
+  SiteId from = kNoSite;
+  uint64_t seqno = 0;
+  uint64_t paxos_applied = 0;
+  uint64_t committed_seqno = 0;
+  uint64_t suspects_mask = 0;
+  VectorTimestamp got;
+
+  std::string Serialize() const {
+    ByteWriter w;
+    w.PutU32(from);
+    w.PutU64(seqno);
+    w.PutU64(paxos_applied);
+    w.PutU64(committed_seqno);
+    w.PutU64(suspects_mask);
+    w.PutVts(got);
+    return w.Take();
+  }
+  static Heartbeat Deserialize(std::string_view bytes) {
+    ByteReader r(bytes);
+    Heartbeat hb;
+    hb.from = r.GetU32();
+    hb.seqno = r.GetU64();
+    hb.paxos_applied = r.GetU64();
+    hb.committed_seqno = r.GetU64();
+    hb.suspects_mask = r.GetU64();
+    hb.got = r.GetVts();
+    return hb;
+  }
+};
+
+// Cap on chosen slots shipped per catch-up message; a lagging node converges
+// over successive heartbeats.
+constexpr uint64_t kMaxCatchupSlots = 64;
+
+}  // namespace
+
+FailureDetector::FailureDetector(Simulator* sim, Network* net, SiteId site, size_t num_sites,
+                                 ConfigService* config)
+    : FailureDetector(sim, net, site, num_sites, config, Options{}) {}
+
+FailureDetector::FailureDetector(Simulator* sim, Network* net, SiteId site, size_t num_sites,
+                                 ConfigService* config, Options options)
+    : sim_(sim),
+      site_(site),
+      num_sites_(num_sites),
+      config_(config),
+      options_(options),
+      endpoint_(net, Address{site, kFdPort}),
+      peers_(num_sites) {
+  WCHECK(num_sites_ <= 64, "suspicion bitmap is a uint64");
+  for (auto& p : peers_) {
+    p.last_heard = sim_->Now();
+  }
+  endpoint_.Handle(kFdHeartbeat, [this](const Message& msg, RpcEndpoint::ReplyFn) {
+    HandleHeartbeat(msg);
+  });
+  endpoint_.Handle(kFdPaxosCatchup, [this](const Message& msg, RpcEndpoint::ReplyFn) {
+    HandleCatchup(msg);
+  });
+}
+
+void FailureDetector::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  // Give everyone a full window of grace from startup.
+  for (auto& p : peers_) {
+    p.last_heard = sim_->Now();
+  }
+  Tick();
+}
+
+bool FailureDetector::ServerHealthy() const {
+  WalterServer* sv = config_->server();
+  return sv != nullptr && !sv->crashed();
+}
+
+void FailureDetector::Tick() {
+  // A detector whose co-located server is crashed goes silent: the site is
+  // effectively down and must be suspected by the others; it also must not
+  // orchestrate recoveries based on its stale view.
+  if (ServerHealthy()) {
+    SendHeartbeats();
+    UpdateSuspicions();
+    MaybeRecover();
+    MaybeReintegrate();
+  }
+  sim_->After(options_.heartbeat_interval, [this]() { Tick(); });
+}
+
+void FailureDetector::SendHeartbeats() {
+  WalterServer* sv = config_->server();
+  Heartbeat hb;
+  hb.from = site_;
+  hb.seqno = ++hb_seqno_;
+  hb.paxos_applied = config_->paxos().applied_through();
+  hb.committed_seqno = sv->committed_vts().at(site_);
+  hb.got = sv->got_vts();
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    if (s != site_ && peers_[s].suspect) {
+      hb.suspects_mask |= uint64_t{1} << s;
+    }
+  }
+  std::string payload = hb.Serialize();
+  // Removed sites are heartbeated too: they need our heartbeats (and catch-up
+  // slots) to learn their removal, and we need theirs to reintegrate them.
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    if (s != site_) {
+      endpoint_.Send(Address{s, kFdPort}, kFdHeartbeat, payload);
+    }
+  }
+}
+
+void FailureDetector::HandleHeartbeat(const Message& msg) {
+  Heartbeat hb = Heartbeat::Deserialize(msg.payload);
+  if (hb.from >= num_sites_ || hb.from == site_) {
+    return;
+  }
+  PeerState& peer = peers_[hb.from];
+  // Loss estimate from seqno gaps over a rolling window.
+  if (peer.last_seqno != 0 && hb.seqno > peer.last_seqno) {
+    peer.window_expected += hb.seqno - peer.last_seqno;
+    peer.window_received += 1;
+    if (peer.window_expected >= 20) {
+      peer.loss_est =
+          1.0 - static_cast<double>(peer.window_received) / static_cast<double>(peer.window_expected);
+      peer.window_expected = 0;
+      peer.window_received = 0;
+    }
+  }
+  peer.last_seqno = std::max(peer.last_seqno, hb.seqno);
+  peer.last_heard = sim_->Now();
+  peer.paxos_applied = hb.paxos_applied;
+  peer.committed_seqno = hb.committed_seqno;
+  peer.got = hb.got;
+  peer.suspects_mask = hb.suspects_mask;
+  peer.suspect = false;  // hearing from a peer clears the local suspicion
+
+  // Paxos catch-up: if the sender's applied prefix trails ours, ship it the
+  // chosen slots it is missing so a removed/lagging site can learn the
+  // configuration commands (including its own removal) without a proposer.
+  PaxosNode& paxos = config_->paxos();
+  if (hb.paxos_applied < paxos.applied_through()) {
+    ByteWriter w;
+    w.PutU32(site_);
+    uint64_t first = hb.paxos_applied + 1;
+    uint64_t last = std::min(paxos.applied_through(), first + kMaxCatchupSlots - 1);
+    uint32_t count = 0;
+    ByteWriter slots;
+    for (uint64_t slot = first; slot <= last; ++slot) {
+      if (!paxos.IsChosen(slot)) {
+        break;  // contiguous prefix only: the learner applies in order
+      }
+      slots.PutU64(slot);
+      slots.PutString(paxos.ChosenValue(slot));
+      ++count;
+    }
+    if (count > 0) {
+      w.PutU32(count);
+      w.PutString(slots.Take());
+      endpoint_.Send(Address{hb.from, kFdPort}, kFdPaxosCatchup, w.Take());
+    }
+  }
+}
+
+void FailureDetector::HandleCatchup(const Message& msg) {
+  ByteReader r(msg.payload);
+  (void)r.GetU32();  // sender
+  uint32_t count = r.GetU32();
+  std::string blob = r.GetString();
+  ByteReader sr(blob);
+  PaxosNode& paxos = config_->paxos();
+  for (uint32_t i = 0; i < count && !sr.failed(); ++i) {
+    uint64_t slot = sr.GetU64();
+    std::string value = sr.GetString();
+    if (!paxos.IsChosen(slot)) {
+      paxos.LearnChosen(slot, value);
+    }
+  }
+}
+
+SimDuration FailureDetector::DeadlineFor(const PeerState& peer) const {
+  double factor = std::min(options_.max_extension, 1.0 + options_.loss_extension * peer.loss_est);
+  return static_cast<SimDuration>(static_cast<double>(options_.suspicion_window) * factor);
+}
+
+void FailureDetector::UpdateSuspicions() {
+  SimTime now = sim_->Now();
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    if (s == site_ || !config_->IsActive(s)) {
+      continue;  // removed sites are tracked for reintegration, not suspicion
+    }
+    PeerState& peer = peers_[s];
+    if (!peer.suspect && now - peer.last_heard > DeadlineFor(peer)) {
+      peer.suspect = true;
+    }
+  }
+}
+
+bool FailureDetector::IsLeader() const {
+  if (!config_->IsActive(site_)) {
+    return false;
+  }
+  for (SiteId s = 0; s < site_; ++s) {
+    if (config_->IsActive(s) && !peers_[s].suspect) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FailureDetector::QuorumSuspects(SiteId target) const {
+  size_t active = 0;
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    if (config_->IsActive(s)) {
+      ++active;
+    }
+  }
+  size_t majority = active / 2 + 1;
+  SimTime now = sim_->Now();
+  size_t accusers = peers_[target].suspect ? 1 : 0;  // self
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    if (s == site_ || s == target || !config_->IsActive(s) || peers_[s].suspect) {
+      continue;
+    }
+    // Count a live peer's accusation only if its bitmap is fresh.
+    if (now - peers_[s].last_heard <= 2 * options_.heartbeat_interval + Millis(100) &&
+        (peers_[s].suspects_mask & (uint64_t{1} << target)) != 0) {
+      ++accusers;
+    }
+  }
+  return accusers >= majority;
+}
+
+SiteId FailureDetector::PickNewPreferred(SiteId failed) const {
+  // Least-loaded survivor: fewest transactions committed at its own site
+  // (its own committed seqno), ties to the lowest id. Self uses live state.
+  SiteId best = site_;
+  uint64_t best_load = config_->server()->committed_vts().at(site_);
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    if (s == site_ || s == failed || !config_->IsActive(s) || peers_[s].suspect) {
+      continue;
+    }
+    if (peers_[s].committed_seqno < best_load) {
+      best_load = peers_[s].committed_seqno;
+      best = s;
+    }
+  }
+  return best;
+}
+
+void FailureDetector::MaybeRecover() {
+  if (!IsLeader() || recovery_in_flight_ || !recovery_) {
+    return;
+  }
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    if (s == site_ || !config_->IsActive(s) || !peers_[s].suspect || !QuorumSuspects(s)) {
+      continue;
+    }
+    recovery_in_flight_ = true;
+    ++recoveries_started_;
+    WLOG(kInfo, "fd site " << site_ << ": quorum suspects site " << s << ", starting recovery");
+    recovery_(s, PickNewPreferred(s), [this](Status) { recovery_in_flight_ = false; });
+    return;  // one recovery at a time
+  }
+}
+
+void FailureDetector::MaybeReintegrate() {
+  if (!IsLeader() || reintegrate_in_flight_) {
+    return;
+  }
+  SimTime now = sim_->Now();
+  PaxosNode& paxos = config_->paxos();
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    if (s == site_ || config_->IsActive(s)) {
+      continue;
+    }
+    const PeerState& peer = peers_[s];
+    // (a) The site is heartbeating again.
+    if (peer.last_heard == 0 || now - peer.last_heard > options_.reintegrate_freshness) {
+      continue;
+    }
+    // (b) It has applied the configuration log at least as far as we have —
+    // in particular its own RemoveSite, so its non-surviving suffix is gone.
+    if (peer.paxos_applied < paxos.applied_through()) {
+      continue;
+    }
+    // (c) It has caught up on propagation: its got-vector covers everything
+    // we have committed, so reads there are no staler than the failure left.
+    if (!peer.got.Covers(config_->server()->committed_vts())) {
+      continue;
+    }
+    reintegrate_in_flight_ = true;
+    ++reintegrations_started_;
+    WLOG(kInfo, "fd site " << site_ << ": reintegrating site " << s);
+    config_->ProposeReintegrateSite(s, [this](Status) { reintegrate_in_flight_ = false; });
+    return;
+  }
+}
+
+}  // namespace walter

@@ -1,0 +1,126 @@
+// Failure detection and automatic recovery orchestration.
+//
+// The paper leaves the decision to give up on a failed preferred site to "the
+// administrators or some automated system" (Section 5.7). This is that
+// automated system: one FailureDetector runs at each site, heartbeating its
+// peers over the simulated network. A peer whose heartbeats stop for longer
+// than a suspicion window is suspected locally; suspicions are gossiped inside
+// the heartbeats, and when a majority of the active sites agrees, the lowest-id
+// surviving site (the detection leader) runs the aggressive recovery of
+// Section 5.7 automatically: collect the failed site's surviving prefix from
+// the survivors, fill gaps, and propose RemoveSite through Paxos, re-homing
+// the failed site's containers at the least-loaded survivor.
+//
+// The suspicion deadline adapts to observed message loss: heartbeats carry
+// sequence numbers, so each receiver can estimate the loss rate on the link
+// and stretch its deadline before accusing a peer that is merely lossy.
+//
+// Reintegration is also automatic: the leader keeps heartbeating removed
+// sites, ships them the chosen Paxos slots they missed (PaxosNode::
+// LearnChosen), and proposes ReintegrateSite once the rejoiner has (a) fresh
+// heartbeats, (b) applied the configuration log at least as far as the leader
+// (so it has learned — and acted on — its own removal), and (c) caught up on
+// propagated transaction state (its got-vector covers the leader's committed
+// vector timestamp).
+#ifndef SRC_CONFIG_FAILURE_DETECTOR_H_
+#define SRC_CONFIG_FAILURE_DETECTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/config/config_service.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace walter {
+
+// Message types on kFdPort.
+inline constexpr uint32_t kFdHeartbeat = 40;
+inline constexpr uint32_t kFdPaxosCatchup = 41;
+
+class FailureDetector {
+ public:
+  struct Options {
+    SimDuration heartbeat_interval = Millis(500);
+    // Base deadline without message loss: a peer silent for this long is
+    // suspected.
+    SimDuration suspicion_window = Seconds(3);
+    // Deadline multiplier grows as 1 + loss_extension * observed_loss,
+    // capped at max_extension (a 50%-lossy link gets a 2x deadline by
+    // default, never more than 3x).
+    double loss_extension = 2.0;
+    double max_extension = 3.0;
+    // How recent a removed site's heartbeat must be to count as "back".
+    SimDuration reintegrate_freshness = Seconds(2);
+  };
+
+  // Invoked at the detection leader when a quorum of active sites agrees that
+  // `failed` is down. The handler runs the recovery (typically
+  // SiteRecoveryCoordinator::RemoveFailedSite over the current server
+  // objects) and must eventually call done exactly once.
+  using RecoveryHandler =
+      std::function<void(SiteId failed, SiteId new_preferred, std::function<void(Status)> done)>;
+
+  FailureDetector(Simulator* sim, Network* net, SiteId site, size_t num_sites,
+                  ConfigService* config);
+  FailureDetector(Simulator* sim, Network* net, SiteId site, size_t num_sites,
+                  ConfigService* config, Options options);
+
+  void SetRecoveryHandler(RecoveryHandler handler) { recovery_ = std::move(handler); }
+
+  // Starts the heartbeat/suspicion loop (idempotent).
+  void Start();
+
+  // Introspection (tests, EXPERIMENTS.md probes).
+  bool IsSuspect(SiteId s) const { return peers_[s].suspect; }
+  double ObservedLoss(SiteId s) const { return peers_[s].loss_est; }
+  bool IsLeader() const;
+  uint64_t recoveries_started() const { return recoveries_started_; }
+  uint64_t reintegrations_started() const { return reintegrations_started_; }
+
+ private:
+  struct PeerState {
+    SimTime last_heard = 0;
+    uint64_t last_seqno = 0;          // highest heartbeat seqno received
+    uint64_t window_expected = 0;     // loss-estimation window
+    uint64_t window_received = 0;
+    double loss_est = 0;
+    uint64_t paxos_applied = 0;       // peer's applied config-log prefix
+    uint64_t committed_seqno = 0;     // peer's own committed sequence number
+    VectorTimestamp got;              // peer's got-vector (last reported)
+    uint64_t suspects_mask = 0;       // peer's suspicion bitmap (last reported)
+    bool suspect = false;
+  };
+
+  void Tick();
+  void SendHeartbeats();
+  void UpdateSuspicions();
+  void MaybeRecover();
+  void MaybeReintegrate();
+  SimDuration DeadlineFor(const PeerState& peer) const;
+  bool QuorumSuspects(SiteId s) const;
+  SiteId PickNewPreferred(SiteId failed) const;
+  bool ServerHealthy() const;
+  void HandleHeartbeat(const Message& msg);
+  void HandleCatchup(const Message& msg);
+
+  Simulator* sim_;
+  SiteId site_;
+  size_t num_sites_;
+  ConfigService* config_;
+  Options options_;
+  RecoveryHandler recovery_;
+  RpcEndpoint endpoint_;
+  std::vector<PeerState> peers_;  // indexed by site; peers_[site_] unused
+  uint64_t hb_seqno_ = 0;
+  bool started_ = false;
+  bool recovery_in_flight_ = false;
+  bool reintegrate_in_flight_ = false;
+  uint64_t recoveries_started_ = 0;
+  uint64_t reintegrations_started_ = 0;
+};
+
+}  // namespace walter
+
+#endif  // SRC_CONFIG_FAILURE_DETECTOR_H_

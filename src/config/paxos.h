@@ -55,6 +55,12 @@ class PaxosNode {
   bool IsChosen(uint64_t slot) const { return chosen_.contains(slot); }
   const std::string& ChosenValue(uint64_t slot) const { return chosen_.at(slot); }
 
+  // Out-of-band catch-up: install a value another node learned as chosen (a
+  // chosen value is final, so trusting the peer is safe). Used by the failure
+  // detector to bring a lagging/rejoining node's log up to date without a
+  // full Paxos round per slot.
+  void LearnChosen(uint64_t slot, const std::string& value) { OnChosen(slot, value, false); }
+
   // Fault injection for tests.
   void SetDown(bool down) { endpoint_.SetDown(down); }
 

@@ -1,5 +1,6 @@
 #include "src/core/client.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -7,8 +8,12 @@
 namespace walter {
 
 WalterClient::WalterClient(Network* net, SiteId site, uint32_t port)
+    : WalterClient(net, site, port, Options{}) {}
+
+WalterClient::WalterClient(Network* net, SiteId site, uint32_t port, Options options)
     : endpoint_(net, Address{site, port}),
       site_(site),
+      options_(options),
       uid_((static_cast<uint64_t>(site) << 20) | port) {
   endpoint_.Handle(kDurableNotify, [this](const Message& m, RpcEndpoint::ReplyFn) {
     TxNotify n = TxNotify::Deserialize(m.payload);
@@ -38,19 +43,60 @@ ObjectId WalterClient::NewId(ContainerId container) {
 
 void WalterClient::Op(ClientOpRequest req,
                       std::function<void(Status, const ClientOpResponse&)> cb) {
-  endpoint_.Call(Address{site_, kWalterPort}, kClientOp, req.Serialize(),
-                 [cb = std::move(cb)](Status status, const Message& m) {
-                   if (!status.ok()) {
-                     cb(status, ClientOpResponse{});
-                     return;
-                   }
-                   ClientOpResponse resp = ClientOpResponse::Deserialize(m.payload);
-                   if (resp.status != StatusCode::kOk) {
-                     cb(Status(resp.status, ""), resp);
-                     return;
-                   }
-                   cb(Status::Ok(), resp);
-                 });
+  // Stamp once; retransmissions reuse the same op_seq so the server can
+  // deduplicate a buffering op whose response (not request) was lost.
+  if (req.op_seq == 0) {
+    req.op_seq = next_op_seq_++;
+  }
+  Attempt(std::move(req), std::move(cb), 1);
+}
+
+SimDuration WalterClient::BackoffFor(size_t attempt) {
+  SimDuration backoff = options_.backoff_base;
+  for (size_t i = 1; i < attempt && backoff < options_.backoff_cap; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, options_.backoff_cap);
+  if (options_.backoff_jitter > 0) {
+    backoff = static_cast<SimDuration>(
+        static_cast<double>(backoff) *
+        (1.0 + options_.backoff_jitter * sim()->rng().NextDouble()));
+  }
+  return backoff;
+}
+
+void WalterClient::Attempt(ClientOpRequest req,
+                           std::function<void(Status, const ClientOpResponse&)> cb,
+                           size_t attempt) {
+  std::string payload = req.Serialize();
+  endpoint_.Call(
+      Address{site_, kWalterPort}, kClientOp, std::move(payload),
+      [this, req = std::move(req), cb = std::move(cb), attempt](Status status,
+                                                               const Message& m) mutable {
+        if (status.ok()) {
+          ClientOpResponse resp = ClientOpResponse::Deserialize(m.payload);
+          if (resp.status != StatusCode::kOk) {
+            cb(Status(resp.status, ""), resp);
+            return;
+          }
+          cb(Status::Ok(), resp);
+          return;
+        }
+        // Transport failure (timeout): back off and retransmit, up to the
+        // budget; then report unavailability instead of hanging forever.
+        if (attempt >= options_.max_attempts) {
+          cb(Status::Unavailable("server unreachable after " + std::to_string(attempt) +
+                                 " attempts"),
+             ClientOpResponse{});
+          return;
+        }
+        sim()->After(BackoffFor(attempt),
+                     [this, req = std::move(req), cb = std::move(cb), attempt]() mutable {
+                       ++retries_sent_;
+                       Attempt(std::move(req), std::move(cb), attempt + 1);
+                     });
+      },
+      options_.rpc_timeout);
 }
 
 Tx::Tx(WalterClient* client) : client_(client), tid_(client->NextTid()) {}
@@ -85,7 +131,11 @@ void Tx::BufferUpdate(ClientOpKind kind, const ObjectId& oid, const ObjectId& el
     ++update_rpcs_sent_;
     ++rpcs_issued_;
     client_->Op(std::move(to_send),
-                [this](Status, const ClientOpResponse& resp) { AbsorbResponse(resp); });
+                [this, alive = AliveToken()](Status, const ClientOpResponse& resp) {
+                  if (!alive.expired()) {
+                    AbsorbResponse(resp);
+                  }
+                });
   } else {
     buffered_ = std::move(req);
   }
@@ -114,7 +164,11 @@ void Tx::FlushBuffered(std::function<void(Status)> then) {
   ++update_rpcs_sent_;
   ++rpcs_issued_;
   client_->Op(std::move(to_send),
-              [this, then = std::move(then)](Status status, const ClientOpResponse& resp) {
+              [this, alive = AliveToken(), then = std::move(then)](
+                  Status status, const ClientOpResponse& resp) {
+                if (alive.expired()) {
+                  return;  // transaction abandoned while the RPC was in flight
+                }
                 AbsorbResponse(resp);
                 then(status);
               });
@@ -132,7 +186,11 @@ void Tx::Read(const ObjectId& oid, ReadCallback cb) {
     req.oid = oid;
     ++rpcs_issued_;
     client_->Op(std::move(req),
-                [this, cb = std::move(cb)](Status status, const ClientOpResponse& resp) {
+                [this, alive = AliveToken(), cb = std::move(cb)](
+                    Status status, const ClientOpResponse& resp) {
+                  if (alive.expired()) {
+                    return;
+                  }
                   AbsorbResponse(resp);
                   if (!status.ok()) {
                     cb(status, std::nullopt);
@@ -155,7 +213,11 @@ void Tx::SetRead(const ObjectId& setid, SetReadCallback cb) {
     req.oid = setid;
     ++rpcs_issued_;
     client_->Op(std::move(req),
-                [this, cb = std::move(cb)](Status status, const ClientOpResponse& resp) {
+                [this, alive = AliveToken(), cb = std::move(cb)](
+                    Status status, const ClientOpResponse& resp) {
+                  if (alive.expired()) {
+                    return;
+                  }
                   AbsorbResponse(resp);
                   if (!status.ok()) {
                     cb(status, CountingSet{});
@@ -179,7 +241,11 @@ void Tx::SetReadId(const ObjectId& setid, const ObjectId& id, CountCallback cb) 
     req.elem = id;
     ++rpcs_issued_;
     client_->Op(std::move(req),
-                [this, cb = std::move(cb)](Status status, const ClientOpResponse& resp) {
+                [this, alive = AliveToken(), cb = std::move(cb)](
+                    Status status, const ClientOpResponse& resp) {
+                  if (alive.expired()) {
+                    return;
+                  }
                   AbsorbResponse(resp);
                   cb(status, resp.count);
                 });
@@ -197,7 +263,11 @@ void Tx::MultiRead(std::vector<ObjectId> oids, MultiReadCallback cb) {
     req.oids = std::move(oids);
     ++rpcs_issued_;
     client_->Op(std::move(req),
-                [this, cb = std::move(cb)](Status status, const ClientOpResponse& resp) {
+                [this, alive = AliveToken(), cb = std::move(cb)](
+                    Status status, const ClientOpResponse& resp) {
+                  if (alive.expired()) {
+                    return;
+                  }
                   AbsorbResponse(resp);
                   cb(status, resp.values);
                 });
@@ -225,7 +295,11 @@ void Tx::Commit(CommitCallback cb, CommitOptions options) {
     req.reply_port = client_->port();
     ++rpcs_issued_;
     client_->Op(std::move(req),
-                [this, cb = std::move(cb)](Status status, const ClientOpResponse& resp) {
+                [this, alive = AliveToken(), cb = std::move(cb)](
+                    Status status, const ClientOpResponse& resp) {
+                  if (alive.expired()) {
+                    return;
+                  }
                   AbsorbResponse(resp);
                   cb(status);
                 });

@@ -20,6 +20,7 @@
 #define SRC_CORE_CLIENT_H_
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -35,8 +36,22 @@ namespace walter {
 
 class WalterClient {
  public:
+  // RPC robustness knobs: every operation is retried on transport failure with
+  // exponential backoff and jitter, and surfaces kUnavailable once the retry
+  // budget is spent — an application never hangs on a crashed local server.
+  // Retransmitted commits are safe: the server deduplicates them by TxId, and
+  // retransmitted buffering ops by op_seq.
+  struct Options {
+    SimDuration rpc_timeout = Seconds(1);
+    size_t max_attempts = 4;                 // 1 = no retries
+    SimDuration backoff_base = Millis(250);  // doubles per attempt
+    SimDuration backoff_cap = Seconds(4);
+    double backoff_jitter = 0.3;             // backoff *= U[1, 1+jitter]
+  };
+
   // port must be unique per client within the site (use kClientPortBase + n).
   WalterClient(Network* net, SiteId site, uint32_t port);
+  WalterClient(Network* net, SiteId site, uint32_t port, Options options);
 
   SiteId site() const { return site_; }
   uint32_t port() const { return endpoint_.address().port; }
@@ -49,19 +64,31 @@ class WalterClient {
   // client-locally, so they are unique without coordination.
   ObjectId NewId(ContainerId container);
 
-  // Low-level unified operation RPC (used by Tx).
+  // Low-level unified operation RPC (used by Tx). Handles timeouts, retries
+  // and the retry budget per Options.
   void Op(ClientOpRequest req, std::function<void(Status, const ClientOpResponse&)> cb);
+
+  const Options& options() const { return options_; }
+  // Total RPC retransmissions performed (excluding first attempts).
+  uint64_t retries_sent() const { return retries_sent_; }
 
   // Commit-event notification registry (Section 4.2 callbacks).
   void WatchDurable(TxId tid, std::function<void()> cb) { durable_watch_[tid] = std::move(cb); }
   void WatchVisible(TxId tid, std::function<void()> cb) { visible_watch_[tid] = std::move(cb); }
 
  private:
+  void Attempt(ClientOpRequest req, std::function<void(Status, const ClientOpResponse&)> cb,
+               size_t attempt);
+  SimDuration BackoffFor(size_t attempt);
+
   RpcEndpoint endpoint_;
   SiteId site_;
+  Options options_;
   uint64_t uid_;
   uint64_t next_tx_ = 1;
   uint64_t next_local_id_ = 1;
+  uint64_t next_op_seq_ = 1;
+  uint64_t retries_sent_ = 0;
   std::unordered_map<TxId, std::function<void()>> durable_watch_;
   std::unordered_map<TxId, std::function<void()>> visible_watch_;
 };
@@ -110,6 +137,11 @@ class Tx {
   // Sends the buffered update (if any), then runs `then`.
   void FlushBuffered(std::function<void(Status)> then);
   void AbsorbResponse(const ClientOpResponse& resp);
+  // Expires when this Tx is destroyed. Response callbacks of in-flight RPCs
+  // (which may outlive an abandoned transaction through the retry/backoff
+  // chain) hold a weak copy and drop the late response instead of touching a
+  // dead Tx.
+  std::weak_ptr<char> AliveToken() const { return alive_; }
 
   WalterClient* client_;
   TxId tid_;
@@ -118,6 +150,7 @@ class Tx {
   size_t update_rpcs_sent_ = 0;
   size_t rpcs_issued_ = 0;
   bool finished_ = false;
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 
 }  // namespace walter

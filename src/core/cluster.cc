@@ -27,8 +27,11 @@ void Cluster::UpsertContainerEverywhere(const ContainerInfo& info) {
   }
 }
 
-WalterClient* Cluster::AddClient(SiteId site) {
-  clients_.push_back(std::make_unique<WalterClient>(net_.get(), site, next_client_port_++));
+WalterClient* Cluster::AddClient(SiteId site) { return AddClient(site, options_.client); }
+
+WalterClient* Cluster::AddClient(SiteId site, WalterClient::Options options) {
+  clients_.push_back(
+      std::make_unique<WalterClient>(net_.get(), site, next_client_port_++, options));
   return clients_.back().get();
 }
 
@@ -38,12 +41,16 @@ WalterServer& Cluster::ReplaceServer(SiteId s) {
   servers_[s].reset();  // frees the endpoint address
   servers_[s] = std::make_unique<WalterServer>(&sim_, net_.get(), so, directories_[s].get());
   servers_[s]->Restore(image);
+  if (observer_) {
+    servers_[s]->SetCommitObserver(observer_);
+  }
   return *servers_[s];
 }
 
 void Cluster::ObserveCommits(WalterServer::CommitObserver observer) {
+  observer_ = std::move(observer);
   for (auto& server : servers_) {
-    server->SetCommitObserver(observer);
+    server->SetCommitObserver(observer_);
   }
 }
 

@@ -21,6 +21,8 @@ struct ClusterOptions {
   uint64_t seed = 1;
   // Per-server options; site/num_sites are filled in per server.
   WalterServer::Options server;
+  // Default RPC robustness options for clients created via AddClient.
+  WalterClient::Options client;
   // Network topology; by default the paper's EC2 sites (truncated to num_sites).
   std::optional<Topology> topology;
 };
@@ -42,6 +44,8 @@ class Cluster {
 
   // Creates a client at a site (each gets a unique port).
   WalterClient* AddClient(SiteId site);
+  // Same, with per-client retry/timeout options overriding ClusterOptions.
+  WalterClient* AddClient(SiteId site, WalterClient::Options options);
 
   // Replaces a crashed server with a fresh one restored from its durable image
   // (the replacement-server path of Section 5.7). The old server object is
@@ -64,6 +68,7 @@ class Cluster {
   std::vector<std::unique_ptr<WalterServer>> servers_;
   std::vector<std::unique_ptr<WalterClient>> clients_;
   uint32_t next_client_port_ = kClientPortBase;
+  WalterServer::CommitObserver observer_;  // reapplied to replacement servers
 };
 
 }  // namespace walter

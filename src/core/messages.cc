@@ -36,6 +36,7 @@ std::string ClientOpRequest::Serialize() const {
     w.PutObjectId(o);
   }
   w.PutU32(reply_port);
+  w.PutU64(op_seq);
   return w.Take();
 }
 
@@ -59,6 +60,7 @@ ClientOpRequest ClientOpRequest::Deserialize(std::string_view bytes) {
     req.oids.push_back(r.GetObjectId());
   }
   req.reply_port = r.GetU32();
+  req.op_seq = r.GetU64();
   return req;
 }
 
@@ -299,6 +301,25 @@ TxNotify TxNotify::Deserialize(std::string_view bytes) {
   TxNotify n;
   n.tid = r.GetU64();
   return n;
+}
+
+std::string ResyncState::Serialize() const {
+  ByteWriter w;
+  w.PutU32(from);
+  w.PutU64(got_through);
+  w.PutU64(committed_through);
+  w.PutU8(is_reply ? 1 : 0);
+  return w.Take();
+}
+
+ResyncState ResyncState::Deserialize(std::string_view bytes) {
+  ByteReader r(bytes);
+  ResyncState m;
+  m.from = r.GetU32();
+  m.got_through = r.GetU64();
+  m.committed_through = r.GetU64();
+  m.is_reply = r.GetU8() != 0;
+  return m;
 }
 
 }  // namespace walter

@@ -36,6 +36,7 @@ enum MessageType : uint32_t {
   kVisibleAck = 15,     // remote site has committed the transaction (one-way)
   kRemoteRead = 16,     // read at the preferred site for non-replicated objects
   kTxStatus = 17,       // lock-holder asks a 2PC coordinator for an outcome
+  kResync = 18,         // restored/truncated server resets a peer's cumulative acks
 };
 
 // 2PC termination protocol: a site holding a prepare lock whose coordinator
@@ -90,6 +91,10 @@ struct ClientOpRequest {
   bool want_durable = false;  // notify client at disaster-safe durability
   bool want_visible = false;  // notify client at global visibility
   uint32_t reply_port = 0;    // client's endpoint port for notifications
+  // Client-assigned sequence number of this operation within the connection
+  // (monotonic per client, stable across RPC retries). Lets the server drop a
+  // retransmitted buffering op instead of double-applying the update.
+  uint64_t op_seq = 0;
 
   std::string Serialize() const;
   static ClientOpRequest Deserialize(std::string_view bytes);
@@ -198,6 +203,21 @@ struct TxNotify {
 
   std::string Serialize() const;
   static TxNotify Deserialize(std::string_view bytes);
+};
+
+// Sent by a restored (or log-truncated) server to every peer: "this is what I
+// actually hold of yours". Cumulative PROPAGATE/VISIBLE acks are monotonic, so
+// after a crash rolls a site's GotVTS back, the origins must be told to lower
+// their watermarks or they would never resend the lost suffix. The receiver
+// answers with its own kResync so both directions reset.
+struct ResyncState {
+  SiteId from = kNoSite;
+  uint64_t got_through = 0;        // sender's GotVTS entry for the receiver
+  uint64_t committed_through = 0;  // sender's CommittedVTS entry for the receiver
+  bool is_reply = false;           // set on the answering leg (stops the echo)
+
+  std::string Serialize() const;
+  static ResyncState Deserialize(std::string_view bytes);
 };
 
 }  // namespace walter

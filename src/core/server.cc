@@ -40,7 +40,9 @@ WalterServer::WalterServer(Simulator* sim, Network* net, Options options,
       pending_in_(options.num_sites),
       uncommitted_remote_(options.num_sites),
       durable_known_(options.num_sites, 0),
-      dests_(options.num_sites) {
+      site_active_(options.num_sites, true),
+      dests_(options.num_sites),
+      alive_(std::make_shared<bool>(true)) {
   endpoint_.Handle(kClientOp,
                    [this](const Message& m, RpcEndpoint::ReplyFn r) { HandleClientOp(m, std::move(r)); });
   endpoint_.Handle(kPrepare,
@@ -55,10 +57,16 @@ WalterServer::WalterServer(Simulator* sim, Network* net, Options options,
                    [this](const Message& m, RpcEndpoint::ReplyFn r) { HandleRemoteRead(m, std::move(r)); });
   endpoint_.Handle(kTxStatus,
                    [this](const Message& m, RpcEndpoint::ReplyFn r) { HandleTxStatus(m, std::move(r)); });
+  endpoint_.Handle(kResync, [this](const Message& m, RpcEndpoint::ReplyFn) { HandleResync(m); });
   if (options_.num_sites > 1 && options_.gossip_interval > 0) {
     StartGossip();
   }
+  if (options_.idle_tx_timeout > 0) {
+    SweepIdleTxs();
+  }
 }
+
+WalterServer::~WalterServer() { *alive_ = false; }
 
 SimDuration WalterServer::Jittered(SimDuration base) {
   if (base == 0 || options_.perf.jitter <= 0) {
@@ -117,7 +125,14 @@ void WalterServer::ProcessClientOp(const ClientOpRequest& req,
   if (req.abort) {
     active_.erase(req.tid);
     ReleaseLocks(req.tid);
+    aborted_tids_.insert(req.tid);
     respond(ClientOpResponse{});
+    return;
+  }
+
+  // A retransmitted commit (response lost, client retried) must be answered
+  // from the recorded outcome, never re-applied.
+  if (req.commit_after && DedupRetransmittedCommit(req, respond)) {
     return;
   }
 
@@ -151,6 +166,7 @@ void WalterServer::ProcessClientOp(const ClientOpRequest& req,
   }
   if (is_update) {
     ActiveTx& tx = active_[req.tid];
+    tx.last_touch = sim_->Now();
     if (tx.start_vts.num_sites() == 0) {
       tx.start_vts = vts;
     }
@@ -160,13 +176,23 @@ void WalterServer::ProcessClientOp(const ClientOpRequest& req,
       respond(std::move(resp));
       return;
     }
-    tx.updates.push_back(std::move(update));
+    if (req.op_seq != 0 && req.op_seq <= tx.max_op_seq) {
+      // Retransmission of a buffering op whose response (not request) was
+      // lost: the update is already buffered, just re-acknowledge.
+      ++stats_.op_dedups;
+    } else {
+      tx.max_op_seq = std::max(tx.max_op_seq, req.op_seq);
+      tx.updates.push_back(std::move(update));
+    }
     it = active_.find(req.tid);
   }
 
   if (req.op == ClientOpKind::kRead || req.op == ClientOpKind::kSetRead ||
       req.op == ClientOpKind::kSetReadId || req.op == ClientOpKind::kMultiRead) {
     ++stats_.reads;
+    if (it != active_.end()) {
+      it->second.last_touch = sim_->Now();
+    }
     const ActiveTx* tx = it != active_.end() ? &it->second : nullptr;
     DoRead(req, vts, tx, std::move(respond));
     return;
@@ -369,6 +395,68 @@ void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts
 // Commit (Figures 11 and 12)
 // ---------------------------------------------------------------------------
 
+bool WalterServer::DedupRetransmittedCommit(const ClientOpRequest& req,
+                                            std::function<void(ClientOpResponse)>& respond) {
+  auto sc = slow_commits_.find(req.tid);
+  if (sc != slow_commits_.end()) {
+    // 2PC still deciding: attach this reply to whatever the outcome is.
+    ++stats_.commit_dedups;
+    auto prev = std::move(sc->second->reply);
+    sc->second->reply = [prev = std::move(prev),
+                         r = std::move(respond)](ClientOpResponse resp) {
+      if (prev) {
+        prev(resp);
+      }
+      r(std::move(resp));
+    };
+    return true;
+  }
+  auto cv = committed_versions_.find(req.tid);
+  if (cv != committed_versions_.end()) {
+    ++stats_.commit_dedups;
+    auto ct = committed_tids_.find(req.tid);
+    if (ct != committed_tids_.end()) {
+      auto lc = local_commits_.find(ct->second);
+      if (lc != local_commits_.end() && !lc->second.committed) {
+        // The original commit is still group-commit flushing: reply when the
+        // original reply fires.
+        auto prev = std::move(lc->second.respond);
+        lc->second.respond = [prev = std::move(prev),
+                              r = std::move(respond)](ClientOpResponse resp) {
+          if (prev) {
+            prev(resp);
+          }
+          r(std::move(resp));
+        };
+        return true;
+      }
+    }
+    ClientOpResponse resp;
+    resp.commit_version = cv->second;
+    respond(std::move(resp));
+    return true;
+  }
+  if (aborted_tids_.contains(req.tid)) {
+    ++stats_.commit_dedups;
+    ClientOpResponse resp;
+    resp.status = StatusCode::kAborted;
+    respond(std::move(resp));
+    return true;
+  }
+  if (req.op == ClientOpKind::kNone && req.vts.num_sites() > 0 &&
+      !active_.contains(req.tid)) {
+    // A bare commit for a transaction that issued prior operations (it carries
+    // a snapshot) but for which we hold no buffer and no recorded outcome: the
+    // state was lost (server crash). Refuse rather than commit an empty
+    // transaction and silently drop the client's updates.
+    ClientOpResponse resp;
+    resp.status = StatusCode::kUnavailable;
+    respond(std::move(resp));
+    return true;
+  }
+  return false;
+}
+
 void WalterServer::DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
                             uint32_t reply_port, std::function<void(ClientOpResponse)> respond) {
   std::vector<ObjectId> writeset = WriteSetOf(tx.updates);
@@ -413,6 +501,7 @@ void WalterServer::FastCommit(TxId tid, ActiveTx tx, bool want_durable, bool wan
     }
     if (locks_.contains(oid) || !store_.Unmodified(oid, tx.start_vts)) {
       ++stats_.aborts;
+      aborted_tids_.insert(tid);
       ClientOpResponse resp;
       resp.status = StatusCode::kAborted;
       respond(std::move(resp));
@@ -434,6 +523,7 @@ void WalterServer::CommitLocally(TxId tid, const ActiveTx& tx, bool want_durable
   rec.start_vts = tx.start_vts;
   rec.updates = tx.updates;
   store_.Apply(rec);
+  committed_versions_[tid] = rec.version;
 
   LocalCommit lc;
   lc.record = std::move(rec);
@@ -532,27 +622,40 @@ void WalterServer::SlowCommit(TxId tid, ActiveTx tx, std::vector<SiteId> sites,
     prep.tid = tid;
     prep.oids = std::move(oids);
     prep.start_vts = state->tx.start_vts;
-    endpoint_.Call(
-        Address{s, kWalterPort}, kPrepare, prep.Serialize(),
-        [this, state, s](Status status, const Message& m) {
-          if (state->finished) {
-            return;
-          }
-          bool yes = false;
-          if (status.ok()) {
-            yes = PrepareResponse::Deserialize(m.payload).vote_yes;
-          }
-          if (yes) {
-            state->yes_votes.push_back(s);
-          } else {
-            state->any_no = true;
-          }
-          if (--state->votes_pending == 0) {
-            FinishSlowCommit(state);
-          }
-        },
-        options_.resend_timeout);
+    SendPrepare(s, std::move(prep), state, 1);
   }
+}
+
+void WalterServer::SendPrepare(SiteId dest, PrepareRequest prep,
+                               std::shared_ptr<SlowCommitState> state, size_t attempt) {
+  std::string payload = prep.Serialize();
+  endpoint_.Call(
+      Address{dest, kWalterPort}, kPrepare, std::move(payload),
+      [this, state, dest, prep = std::move(prep), attempt](Status status,
+                                                          const Message& m) mutable {
+        if (state->finished) {
+          return;
+        }
+        if (!status.ok() && attempt < options_.prepare_attempts) {
+          // Transport failure with retry budget left: retransmit. Duplicate
+          // prepares are harmless (participants re-affirm a held vote), and a
+          // participant whose yes vote we never see is cleaned up by the lock
+          // termination protocol.
+          ++stats_.prepare_retries;
+          SendPrepare(dest, std::move(prep), state, attempt + 1);
+          return;
+        }
+        bool yes = status.ok() && PrepareResponse::Deserialize(m.payload).vote_yes;
+        if (yes) {
+          state->yes_votes.push_back(dest);
+        } else {
+          state->any_no = true;
+        }
+        if (--state->votes_pending == 0) {
+          FinishSlowCommit(state);
+        }
+      },
+      options_.resend_timeout);
 }
 
 void WalterServer::FinishSlowCommit(std::shared_ptr<SlowCommitState> state) {
@@ -566,6 +669,7 @@ void WalterServer::FinishSlowCommit(std::shared_ptr<SlowCommitState> state) {
     }
     ReleaseLocks(state->tid);
     ++stats_.aborts;
+    aborted_tids_.insert(state->tid);
     ClientOpResponse resp;
     resp.status = StatusCode::kAborted;
     state->reply(std::move(resp));
@@ -580,6 +684,9 @@ void WalterServer::FinishSlowCommit(std::shared_ptr<SlowCommitState> state) {
 
 bool WalterServer::PrepareLocal(TxId tid, const std::vector<ObjectId>& oids,
                                 const VectorTimestamp& vts, SiteId coordinator) {
+  if (lock_owners_.contains(tid)) {
+    return true;  // duplicate prepare (coordinator retried): re-affirm the vote
+  }
   for (const auto& oid : oids) {
     if (lease_checker_ && !lease_checker_(oid.container)) {
       return false;
@@ -599,7 +706,10 @@ void WalterServer::HandlePrepare(const Message& msg, RpcEndpoint::ReplyFn reply)
                                                     reply = std::move(reply)]() {
     ++stats_.prepares_handled;
     PrepareResponse resp;
-    resp.vote_yes = PrepareLocal(req.tid, req.oids, req.start_vts, coordinator);
+    // A removed coordinator works from a stale snapshot; refuse its prepares
+    // until it is reintegrated.
+    resp.vote_yes = site_active_[coordinator] &&
+                    PrepareLocal(req.tid, req.oids, req.start_vts, coordinator);
     Message m;
     m.payload = resp.Serialize();
     reply(std::move(m));
@@ -662,37 +772,67 @@ void WalterServer::MaybeSendBatch(SiteId dest) {
   }
   SimTime earliest = ds.last_batch_sent + options_.min_batch_interval;
   if (sim_->Now() < earliest) {
-    ds.batch_timer = sim_->After(earliest - sim_->Now(), [this, dest]() {
-      dests_[dest].batch_timer = 0;
-      MaybeSendBatch(dest);
-    });
+    ds.batch_timer = sim_->After(earliest - sim_->Now(), Guard([this, dest]() {
+                                   dests_[dest].batch_timer = 0;
+                                   MaybeSendBatch(dest);
+                                 }));
     return;
   }
 
   to = std::min(to, from + options_.max_batch_records - 1);
   PropagateBatch batch;
   batch.origin = options_.site;
+  // Seqnos below the retention floor were globally visible once and their
+  // records released; a resynced peer that lost them to a crash is served from
+  // the WAL (requires the prefix not to have been checkpointed away).
+  uint64_t floor = local_commits_.empty() ? to + 1 : local_commits_.begin()->first;
+  std::vector<TxRecord> released;
+  if (from < floor) {
+    released = CollectRecords(options_.site, from, std::min(to, floor - 1));
+  }
+  size_t ri = 0;
   for (uint64_t s = from; s <= to; ++s) {
     auto it = local_commits_.find(s);
-    WCHECK(it != local_commits_.end(), "missing retained commit record seqno=" << s);
-    batch.records.push_back(it->second.record);
+    if (it != local_commits_.end()) {
+      batch.records.push_back(it->second.record);
+      continue;
+    }
+    WCHECK(ri < released.size() && released[ri].version.seqno == s,
+           "missing commit record seqno=" << s << " (released and checkpointed?)");
+    batch.records.push_back(std::move(released[ri++]));
   }
   ++stats_.batches_sent;
   endpoint_.Send(Address{dest, kWalterPort}, kPropagate, batch.Serialize());
   ds.in_flight = true;
   ds.sent_through = to;
   ds.last_batch_sent = sim_->Now();
-  ds.resend_timer = sim_->After(options_.resend_timeout, [this, dest]() {
-    dests_[dest].resend_timer = 0;
-    dests_[dest].in_flight = false;
-    MaybeSendBatch(dest);  // resend from the last cumulative ack
-  });
+  // Resend window: exponential backoff per consecutive unacked resend, with
+  // jitter, so a partitioned/crashed peer is not hammered at a fixed period.
+  SimDuration window = options_.resend_timeout;
+  for (uint32_t i = 0; i < ds.resend_attempts && window < options_.resend_backoff_cap; ++i) {
+    window *= 2;
+  }
+  window = std::min(window, options_.resend_backoff_cap);
+  ds.resend_timer = sim_->After(Jittered(window), Guard([this, dest]() {
+                                  DestState& d = dests_[dest];
+                                  d.resend_timer = 0;
+                                  d.in_flight = false;
+                                  ++d.resend_attempts;
+                                  ++stats_.batch_resends;
+                                  MaybeSendBatch(dest);  // resend from the last cumulative ack
+                                }));
 }
 
 void WalterServer::HandlePropagate(const Message& msg) {
   PropagateBatch batch = PropagateBatch::Deserialize(msg.payload);
   SiteId origin = batch.origin;
   if (origin >= options_.num_sites || origin == options_.site) {
+    return;
+  }
+  if (!site_active_[origin]) {
+    // A removed site that has not yet learned its removal may resend its
+    // non-surviving (discarded) transactions; drop them unacknowledged. It
+    // retransmits after reintegration, when its truncated log is consistent.
     return;
   }
   SimDuration cost = Jittered(options_.perf.remote_apply *
@@ -808,7 +948,11 @@ void WalterServer::HandlePropagateAck(const Message& msg) {
     return;
   }
   DestState& ds = dests_[ack.from];
+  uint64_t before_ack = ds.acked_through;
   ds.acked_through = std::max(ds.acked_through, ack.received_through);
+  if (ds.acked_through > before_ack) {
+    ds.resend_attempts = 0;  // the peer is making progress: reset the backoff
+  }
   // Flow control is a one-batch window: only an ack covering everything sent
   // opens it (a stale gossip ack must not spawn a parallel batch stream).
   if (ds.in_flight && ds.acked_through >= ds.sent_through) {
@@ -820,6 +964,47 @@ void WalterServer::HandlePropagateAck(const Message& msg) {
   }
   UpdateDsDurable();
   MaybeSendBatch(ack.from);
+}
+
+void WalterServer::SendResync(SiteId peer, bool is_reply) {
+  ResyncState m;
+  m.from = options_.site;
+  m.got_through = got_vts_.at(peer);
+  m.committed_through = committed_vts_.at(peer);
+  m.is_reply = is_reply;
+  endpoint_.Send(Address{peer, kWalterPort}, kResync, m.Serialize());
+}
+
+void WalterServer::HandleResync(const Message& msg) {
+  ResyncState m = ResyncState::Deserialize(msg.payload);
+  if (m.from >= options_.num_sites || m.from == options_.site) {
+    return;
+  }
+  // Unlike cumulative acks (which only ever advance), a resync assigns the
+  // peer's watermarks directly: after a crash its GotVTS may have rolled BACK,
+  // and max()-merging would leave us believing it holds records it lost,
+  // stranding its replication stream forever. Per-link FIFO ordering makes the
+  // direct assignment safe (no older ack can overtake the resync).
+  DestState& ds = dests_[m.from];
+  ds.acked_through = m.got_through;
+  ds.sent_through = m.got_through;
+  ds.visible_through = m.committed_through;
+  ds.resend_attempts = 0;
+  if (ds.resend_timer != 0) {
+    sim_->Cancel(ds.resend_timer);
+    ds.resend_timer = 0;
+  }
+  if (ds.batch_timer != 0) {
+    sim_->Cancel(ds.batch_timer);
+    ds.batch_timer = 0;
+  }
+  ds.in_flight = false;
+  if (!m.is_reply) {
+    SendResync(m.from, true);
+  }
+  UpdateDsDurable();
+  UpdateGloballyVisible();
+  MaybeSendBatch(m.from);
 }
 
 bool WalterServer::IsDsDurableQuorum(const TxRecord& record) const {
@@ -883,7 +1068,7 @@ void WalterServer::UpdateDsDurable() {
 
 void WalterServer::HandleDsDurable(const Message& msg) {
   DsDurableMessage m = DsDurableMessage::Deserialize(msg.payload);
-  if (m.origin >= options_.num_sites || m.origin == options_.site) {
+  if (m.origin >= options_.num_sites || m.origin == options_.site || !site_active_[m.origin]) {
     return;
   }
   durable_known_[m.origin] = std::max(durable_known_[m.origin], m.durable_through);
@@ -930,7 +1115,7 @@ void WalterServer::NotifyClient(uint32_t port, uint32_t type, TxId tid) {
 }
 
 void WalterServer::StartGossip() {
-  sim_->After(options_.gossip_interval, [this]() {
+  sim_->After(options_.gossip_interval, Guard([this]() {
     if (!crashed_) {
       SweepStaleLocks();
       DsDurableMessage m;
@@ -954,7 +1139,26 @@ void WalterServer::StartGossip() {
       }
     }
     StartGossip();
-  });
+  }));
+}
+
+void WalterServer::SweepIdleTxs() {
+  sim_->After(options_.idle_tx_timeout / 2, Guard([this]() {
+    if (!crashed_) {
+      for (auto it = active_.begin(); it != active_.end();) {
+        // A buffered transaction whose client went silent: drop it. In-flight
+        // commits (committing flag) resolve through the commit path instead.
+        if (!it->second.committing &&
+            sim_->Now() - it->second.last_touch > options_.idle_tx_timeout) {
+          aborted_tids_.insert(it->first);
+          it = active_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    SweepIdleTxs();
+  }));
 }
 
 // ---------------------------------------------------------------------------
@@ -1080,8 +1284,11 @@ void WalterServer::Restore(const DurableImage& image) {
     }
   }
   committed_tids_.clear();
+  committed_versions_.clear();
+  aborted_tids_.clear();
   for (const auto& [seqno, lc] : local_commits_) {
     committed_tids_[lc.record.tid] = seqno;
+    committed_versions_[lc.record.tid] = lc.record.version;
   }
 
   // Conservative watermarks: everything below the smallest retained commit was
@@ -1099,7 +1306,56 @@ void WalterServer::Restore(const DurableImage& image) {
 
   crashed_ = false;
   endpoint_.SetDown(false);
-  MaybeSendAllBatches();
+  // Our watermarks and every peer's idea of our GotVTS may now disagree in
+  // either direction (we rolled back to the durable prefix). Exchange explicit
+  // resyncs before resuming propagation; deferred one event so the cluster can
+  // finish re-wiring the replacement server first.
+  sim_->After(0, Guard([this]() {
+    for (SiteId s = 0; s < options_.num_sites; ++s) {
+      if (s != options_.site) {
+        SendResync(s, false);
+      }
+    }
+    MaybeSendAllBatches();
+  }));
+}
+
+void WalterServer::TruncateOwnLog(uint64_t survive_through) {
+  if (curr_seqno_ <= survive_through) {
+    return;
+  }
+  store_.RemoveVersionsFrom(options_.site, survive_through);
+  for (auto it = local_commits_.begin(); it != local_commits_.end();) {
+    if (it->first > survive_through) {
+      // The commit never took effect cluster-wide; a retransmitted commit must
+      // not be told "committed". The tid becomes unknown (not aborted), so a
+      // bare retried commit gets kUnavailable.
+      committed_tids_.erase(it->second.record.tid);
+      committed_versions_.erase(it->second.record.tid);
+      it = local_commits_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Seqnos are reused from the surviving prefix: the survivors discarded our
+  // suffix, so the numbers are free again (Section 5.7).
+  curr_seqno_ = survive_through;
+  if (committed_vts_.at(options_.site) > survive_through) {
+    committed_vts_.set(options_.site, survive_through);
+  }
+  if (got_vts_.at(options_.site) > survive_through) {
+    got_vts_.set(options_.site, survive_through);
+  }
+  ds_durable_through_ = std::min(ds_durable_through_, survive_through);
+  visible_through_ = std::min(visible_through_, survive_through);
+  // Roll the outbound watermarks down too: peers may have acked the discarded
+  // suffix, and those stale acks must not suppress sending the reused seqnos.
+  for (auto& ds : dests_) {
+    ds.acked_through = std::min(ds.acked_through, survive_through);
+    ds.sent_through = std::min(ds.sent_through, survive_through);
+    ds.visible_through = std::min(ds.visible_through, survive_through);
+    ds.resend_attempts = 0;
+  }
 }
 
 void WalterServer::DiscardNonSurviving(SiteId s, uint64_t survive_through) {
@@ -1127,16 +1383,20 @@ void WalterServer::DiscardNonSurviving(SiteId s, uint64_t survive_through) {
 
 std::vector<TxRecord> WalterServer::CollectRecords(SiteId origin, uint64_t from,
                                                    uint64_t to) const {
-  std::vector<TxRecord> out;
+  // Keyed by seqno with later WAL appends winning: after TruncateOwnLog a
+  // seqno can be reused, and only the latest record for it is live.
+  std::map<uint64_t, TxRecord> by_seqno;
   Wal::ReplayResult replay = store_.wal().ReplaySelf();
   for (auto& rec : replay.records) {
     if (rec.origin == origin && rec.version.seqno >= from && rec.version.seqno <= to) {
-      out.push_back(std::move(rec));
+      by_seqno[rec.version.seqno] = std::move(rec);
     }
   }
-  std::sort(out.begin(), out.end(), [](const TxRecord& a, const TxRecord& b) {
-    return a.version.seqno < b.version.seqno;
-  });
+  std::vector<TxRecord> out;
+  out.reserve(by_seqno.size());
+  for (auto& [seqno, rec] : by_seqno) {
+    out.push_back(std::move(rec));
+  }
   return out;
 }
 
@@ -1160,12 +1420,18 @@ void WalterServer::SetDurableKnown(SiteId origin, uint64_t through) {
   TryCommitRemotes();
 }
 
+void WalterServer::SetSiteActive(SiteId s, bool active) {
+  if (s < options_.num_sites && s != options_.site) {
+    site_active_[s] = active;
+  }
+}
+
 void WalterServer::HandleTxStatus(const Message& msg, RpcEndpoint::ReplyFn reply) {
   TxStatusRequest req = TxStatusRequest::Deserialize(msg.payload);
   TxStatusResponse resp;
   if (slow_commits_.contains(req.tid)) {
     resp.outcome = TxStatusOutcome::kTxPending;  // 2PC still deciding
-  } else if (committed_tids_.contains(req.tid)) {
+  } else if (committed_tids_.contains(req.tid) || committed_versions_.contains(req.tid)) {
     resp.outcome = TxStatusOutcome::kTxCommitted;
   } else {
     // Unknown: never committed here, or already globally visible (in which

@@ -27,6 +27,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/status.h"
@@ -59,8 +60,19 @@ class WalterServer {
     SimDuration min_batch_interval = Millis(2);
     // Resend window for unacked propagation batches and 2PC prepares.
     SimDuration resend_timeout = Seconds(2);
+    // Exponential backoff for consecutive unacked propagation-batch resends to
+    // one destination: the window doubles per attempt (with jitter) up to this
+    // cap, instead of hammering a partitioned peer at a fixed period forever.
+    SimDuration resend_backoff_cap = Seconds(30);
+    // 2PC prepare RPC attempts per participant site (1 = a single RPC; a
+    // timeout counts as a no vote, as before).
+    size_t prepare_attempts = 1;
     // Periodic re-announcement of durability/visibility state (heals losses).
     SimDuration gossip_interval = Seconds(1);
+    // Server-side buffers of transactions whose client went silent (crashed,
+    // or gave up its retry budget mid-transaction) are dropped after this
+    // idle period. 0 disables the sweep.
+    SimDuration idle_tx_timeout = 0;
     size_t cache_bytes = size_t{1} << 30;
     // Cap on transactions per propagation batch.
     size_t max_batch_records = 20000;
@@ -72,11 +84,26 @@ class WalterServer {
 
   WalterServer(Simulator* sim, Network* net, Options options, ContainerDirectory* directory);
 
+  ~WalterServer();
+
   SiteId site() const { return options_.site; }
   const VectorTimestamp& committed_vts() const { return committed_vts_; }
   const VectorTimestamp& got_vts() const { return got_vts_; }
+  uint64_t curr_seqno() const { return curr_seqno_; }
   Store& store() { return store_; }
+  Disk& disk() { return disk_; }
   const Options& options() const { return options_; }
+  // Currently held slow-commit locks / server-side transaction buffers (leak
+  // detectors in chaos tests assert both drain after heal).
+  size_t lock_count() const { return locks_.size(); }
+  size_t active_tx_count() const { return active_.size(); }
+  // Retained (not yet globally visible) own commit by sequence number, or
+  // nullptr. After a restore this covers every own record the replacement
+  // committed silently, letting a harness recover records no observer saw.
+  const TxRecord* RetainedLocalCommit(uint64_t seqno) const {
+    auto it = local_commits_.find(seqno);
+    return it == local_commits_.end() ? nullptr : &it->second.record;
+  }
 
   void SetCommitObserver(CommitObserver observer) { observer_ = std::move(observer); }
   // Preferred-site lease check (Section 5.1): writes to containers whose
@@ -115,6 +142,12 @@ class WalterServer {
   // failed site `s` beyond `survive_through` (its last surviving seqno).
   void DiscardNonSurviving(SiteId s, uint64_t survive_through);
 
+  // The self-facing counterpart: this site learns (after a restart, or after
+  // being isolated) that the survivors removed it with the given surviving
+  // prefix. Own commits beyond it are dropped, the sequence number rewinds,
+  // and the watermarks roll back so reused seqnos replicate normally.
+  void TruncateOwnLog(uint64_t survive_through);
+
   // Recovery-coordination support (Section 5.7): extract this site's copies of
   // `origin`'s transactions in [from, to] from the WAL, so survivors can fill
   // each other's gaps when the origin site is gone.
@@ -124,6 +157,14 @@ class WalterServer {
   // Declares `origin`'s prefix durable by configuration fiat (the surviving
   // prefix of a removed site), unblocking remote commit of those transactions.
   void SetDurableKnown(SiteId origin, uint64_t through);
+
+  // Membership gating (Section 5.7): while `s` is removed from the
+  // configuration, its stale propagation batches, 2PC prepares and durability
+  // announcements are rejected here, so a removed-but-alive site that has not
+  // yet learned its removal cannot resurrect discarded transactions. The
+  // configuration service drives this from RemoveSite / ReintegrateSite.
+  void SetSiteActive(SiteId s, bool active);
+  bool IsSiteActive(SiteId s) const { return site_active_[s]; }
 
   // Maintenance ---------------------------------------------------------------
   // Folds object histories below the current global stability frontier (the
@@ -140,6 +181,10 @@ class WalterServer {
     uint64_t remote_txns_applied = 0;
     uint64_t batches_sent = 0;
     uint64_t prepares_handled = 0;
+    uint64_t batch_resends = 0;    // propagation batches retransmitted on timeout
+    uint64_t prepare_retries = 0;  // 2PC prepare RPC retransmissions
+    uint64_t commit_dedups = 0;    // retransmitted commits answered from history
+    uint64_t op_dedups = 0;        // retransmitted buffering ops dropped by op_seq
   };
   const Stats& stats() const { return stats_; }
 
@@ -149,6 +194,8 @@ class WalterServer {
     VectorTimestamp start_vts;
     std::vector<ObjectUpdate> updates;
     bool committing = false;
+    uint64_t max_op_seq = 0;  // highest client op_seq buffered (retry dedup)
+    SimTime last_touch = 0;   // for idle expiry (abandoned clients)
   };
 
   // A locally committed transaction, retained until globally visible.
@@ -172,6 +219,7 @@ class WalterServer {
     SimTime last_batch_sent = 0;
     EventId resend_timer = 0;
     EventId batch_timer = 0;  // pending min-interval delayed batch
+    uint32_t resend_attempts = 0;  // consecutive unacked resends (backoff)
   };
 
   // A remote transaction applied to the store but not yet committed here.
@@ -198,6 +246,10 @@ class WalterServer {
   void HandleClientOp(const Message& msg, RpcEndpoint::ReplyFn reply);
   void ProcessClientOp(const ClientOpRequest& req,
                        std::function<void(ClientOpResponse)> respond);
+  // Handles a retransmitted commit: answers (or chains onto) the recorded /
+  // in-flight outcome instead of double-applying. Returns true if handled.
+  bool DedupRetransmittedCommit(const ClientOpRequest& req,
+                                std::function<void(ClientOpResponse)>& respond);
   void DoRead(const ClientOpRequest& req, const VectorTimestamp& vts, const ActiveTx* tx,
               std::function<void(ClientOpResponse)> respond);
   void DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
@@ -230,6 +282,10 @@ class WalterServer {
   // --- propagation ---
   void MaybeSendBatch(SiteId dest);
   void MaybeSendAllBatches();
+  void SendPrepare(SiteId dest, PrepareRequest prep, std::shared_ptr<SlowCommitState> state,
+                   size_t attempt);
+  void HandleResync(const Message& msg);
+  void SendResync(SiteId peer, bool is_reply);
   void HandlePropagate(const Message& msg);
   void ApplyRemoteReady(SiteId origin);
   void DrainAllPending();
@@ -241,6 +297,7 @@ class WalterServer {
   void UpdateGloballyVisible();
   void NotifyClient(uint32_t port, uint32_t type, TxId tid);
   void StartGossip();
+  void SweepIdleTxs();
 
   // --- remote reads ---
   void HandleRemoteRead(const Message& msg, RpcEndpoint::ReplyFn reply);
@@ -249,6 +306,17 @@ class WalterServer {
   SimDuration Jittered(SimDuration base);
   SimDuration CostFor(const ClientOpRequest& req) const;
   VectorTimestamp SnapshotNow() const { return committed_vts_; }
+
+  // Wraps a callback scheduled on the simulator so it becomes a no-op once
+  // this server has been destroyed (replacement after a crash).
+  template <typename F>
+  auto Guard(F fn) {
+    return [alive = alive_, fn = std::move(fn)]() {
+      if (*alive) {
+        fn();
+      }
+    };
+  }
 
   Simulator* sim_;
   Network* net_;
@@ -280,11 +348,18 @@ class WalterServer {
   std::unordered_map<TxId, LockOwner> lock_owners_;
   // Local commits by tid, kept while the record is retained (for kTxStatus).
   std::unordered_map<TxId, uint64_t> committed_tids_;
+  // All-time commit outcomes by tid, kept past global visibility so a late
+  // commit retransmission is answered instead of double-applied. (In the
+  // simulation this grows with the run; a production server would age entries
+  // out after the client lease expires.)
+  std::unordered_map<TxId, Version> committed_versions_;
+  std::unordered_set<TxId> aborted_tids_;
 
   // Inbound replication.
   std::vector<std::map<uint64_t, TxRecord>> pending_in_;      // per origin: buffered
   std::vector<std::map<uint64_t, PendingRemote>> uncommitted_remote_;  // applied, not committed
   std::vector<uint64_t> durable_known_;  // per origin: ds-durable-through
+  std::vector<bool> site_active_;        // per site: in the current configuration
 
   // Outbound replication.
   std::vector<DestState> dests_;
@@ -299,6 +374,7 @@ class WalterServer {
   std::function<bool(ContainerId)> lease_checker_;
   bool crashed_ = false;
   Stats stats_;
+  std::shared_ptr<bool> alive_;
 };
 
 }  // namespace walter

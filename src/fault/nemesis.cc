@@ -1,0 +1,162 @@
+#include "src/fault/nemesis.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace walter {
+
+Nemesis::Nemesis(RecoveryRig* rig, NemesisOptions options)
+    : rig_(rig),
+      options_(options),
+      sim_(&rig->cluster().sim()),
+      num_sites_(rig->cluster().num_sites()) {}
+
+void Nemesis::Run(SimDuration horizon) {
+  deadline_ = sim_->Now() + horizon;
+  ScheduleNext();
+}
+
+void Nemesis::Note(const std::string& what) {
+  history_.push_back("t=" + std::to_string(sim_->Now() / 1000) + "ms " + what);
+  WLOG(kInfo, "nemesis: " << history_.back());
+}
+
+SimDuration Nemesis::HeavyDuration() {
+  return static_cast<SimDuration>(
+      sim_->rng().UniformRange(static_cast<uint64_t>(options_.min_heavy),
+                               static_cast<uint64_t>(options_.max_heavy)));
+}
+
+SimDuration Nemesis::LightDuration() {
+  return static_cast<SimDuration>(
+      sim_->rng().UniformRange(static_cast<uint64_t>(options_.min_light),
+                               static_cast<uint64_t>(options_.max_light)));
+}
+
+void Nemesis::ScheduleNext() {
+  SimDuration gap = static_cast<SimDuration>(
+      sim_->rng().Exponential(static_cast<double>(options_.mean_gap)));
+  gap = std::max<SimDuration>(gap, Millis(100));
+  if (sim_->Now() + gap > deadline_) {
+    return;  // schedule exhausted; outstanding heals are already queued
+  }
+  sim_->After(gap, [this]() {
+    Inject();
+    ScheduleNext();
+  });
+}
+
+void Nemesis::Inject() {
+  Rng& rng = sim_->rng();
+  std::vector<Fault> menu;
+  bool heavy_ok = !heavy_active_ && sim_->Now() >= heavy_free_at_;
+  if (heavy_ok && options_.enable_crash) {
+    menu.push_back(Fault::kCrash);
+  }
+  if (heavy_ok && options_.enable_isolation) {
+    menu.push_back(Fault::kIsolation);
+  }
+  if (heavy_ok && options_.enable_partition) {
+    menu.push_back(Fault::kPartition);
+  }
+  if (options_.enable_loss) {
+    menu.push_back(Fault::kLoss);
+  }
+  if (options_.enable_disk) {
+    menu.push_back(Fault::kDisk);
+  }
+  if (menu.empty()) {
+    return;
+  }
+  Fault fault = menu[rng.Uniform(menu.size())];
+  Network& net = rig_->cluster().net();
+
+  switch (fault) {
+    case Fault::kCrash: {
+      SiteId s = rng.Uniform(num_sites_);
+      if (rig_->IsCrashed(s)) {
+        return;
+      }
+      SimDuration d = HeavyDuration();
+      heavy_active_ = true;
+      ++injected_;
+      Note("crash site " + std::to_string(s) + " for " + std::to_string(d / 1000) + "ms");
+      rig_->CrashSite(s);
+      sim_->After(d, [this, s]() {
+        Note("restart site " + std::to_string(s));
+        rig_->RestartSite(s);
+        heavy_active_ = false;
+        heavy_free_at_ = sim_->Now() + options_.heavy_cooldown;
+        ++healed_count_;
+      });
+      break;
+    }
+    case Fault::kIsolation: {
+      SiteId s = rng.Uniform(num_sites_);
+      SimDuration d = HeavyDuration();
+      heavy_active_ = true;
+      ++injected_;
+      Note("isolate site " + std::to_string(s) + " for " + std::to_string(d / 1000) + "ms");
+      net.IsolateSite(s, true);
+      sim_->After(d, [this, s, &net]() {
+        Note("heal isolation of site " + std::to_string(s));
+        net.IsolateSite(s, false);
+        heavy_active_ = false;
+        heavy_free_at_ = sim_->Now() + options_.heavy_cooldown;
+        ++healed_count_;
+      });
+      break;
+    }
+    case Fault::kPartition: {
+      SiteId a = rng.Uniform(num_sites_);
+      SiteId b = (a + 1 + rng.Uniform(num_sites_ - 1)) % num_sites_;
+      SimDuration d = HeavyDuration();
+      heavy_active_ = true;
+      ++injected_;
+      Note("partition " + std::to_string(a) + "<->" + std::to_string(b) + " for " +
+           std::to_string(d / 1000) + "ms");
+      net.SetPartitioned(a, b, true);
+      sim_->After(d, [this, a, b, &net]() {
+        Note("heal partition " + std::to_string(a) + "<->" + std::to_string(b));
+        net.SetPartitioned(a, b, false);
+        heavy_active_ = false;
+        heavy_free_at_ = sim_->Now() + options_.heavy_cooldown;
+        ++healed_count_;
+      });
+      break;
+    }
+    case Fault::kLoss: {
+      double p = 0.05 + rng.NextDouble() * (options_.max_loss - 0.05);
+      SimDuration d = LightDuration();
+      ++injected_;
+      Note("loss burst p=" + std::to_string(p) + " for " + std::to_string(d / 1000) + "ms");
+      net.SetLossProbability(p);
+      sim_->After(d, [this, &net]() {
+        Note("heal loss burst");
+        net.SetLossProbability(0);
+        ++healed_count_;
+      });
+      break;
+    }
+    case Fault::kDisk: {
+      SiteId s = rng.Uniform(num_sites_);
+      double factor = 2.0 + rng.NextDouble() * (options_.max_disk_slowdown - 2.0);
+      SimDuration d = LightDuration();
+      ++injected_;
+      Note("slow disk at site " + std::to_string(s) + " x" + std::to_string(factor) + " for " +
+           std::to_string(d / 1000) + "ms");
+      rig_->cluster().server(s).disk().SetSlowdown(factor);
+      sim_->After(d, [this, s]() {
+        Note("heal disk at site " + std::to_string(s));
+        // The server object may have been replaced; the current one's disk is
+        // the one that matters.
+        rig_->cluster().server(s).disk().SetSlowdown(1.0);
+        ++healed_count_;
+      });
+      break;
+    }
+  }
+}
+
+}  // namespace walter

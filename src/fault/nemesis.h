@@ -1,0 +1,92 @@
+// Nemesis: a deterministic chaos (fault-injection) scheduler.
+//
+// Given a seed, the nemesis composes faults against a self-healing deployment
+// (RecoveryRig) on a schedule drawn from the simulator's deterministic RNG:
+//
+//  - crash + delayed restart of a site's Walter server,
+//  - isolation of one site from all others,
+//  - pairwise network partitions,
+//  - bursts of random message loss,
+//  - disk slowdowns.
+//
+// "Heavy" faults (crash, isolation, partition — anything that can take a site
+// or link out) are serialized: at most one is active at a time, and each lasts
+// long enough for automatic detection, removal and reintegration to run to
+// completion before the next one starts. Loss bursts and disk slowdowns may
+// overlap anything. At the end of the schedule every fault is healed, so the
+// deployment can converge and be checked.
+//
+// The same seed always yields the same fault schedule at the same virtual
+// times, so a failing chaos run is exactly reproducible.
+#ifndef SRC_FAULT_NEMESIS_H_
+#define SRC_FAULT_NEMESIS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fault/recovery_rig.h"
+#include "src/sim/time.h"
+
+namespace walter {
+
+struct NemesisOptions {
+  // Mean gap between fault injections (exponential).
+  SimDuration mean_gap = Seconds(5);
+  // Heavy-fault duration range; must exceed the failure detector's suspicion
+  // window so removals actually trigger.
+  SimDuration min_heavy = Seconds(8);
+  SimDuration max_heavy = Seconds(16);
+  // Extra quiet time after a heavy fault heals before the next heavy fault,
+  // so reintegration can complete.
+  SimDuration heavy_cooldown = Seconds(20);
+  // Light-fault duration range.
+  SimDuration min_light = Seconds(2);
+  SimDuration max_light = Seconds(6);
+  double max_loss = 0.3;           // loss-burst drop probability cap
+  double max_disk_slowdown = 8.0;  // disk slowdown factor cap
+  bool enable_crash = true;
+  bool enable_isolation = true;
+  bool enable_partition = true;
+  bool enable_loss = true;
+  bool enable_disk = true;
+};
+
+class Nemesis {
+ public:
+  Nemesis(RecoveryRig* rig, NemesisOptions options);
+
+  // Schedules faults from now until now + horizon; every fault injected is
+  // healed no later than shortly after the horizon. Call once.
+  void Run(SimDuration horizon);
+
+  // True once every injected fault has been healed (crashed servers
+  // restarted, partitions/isolation lifted, loss and slowdowns cleared).
+  bool healed() const { return injected_ == healed_count_; }
+  uint64_t faults_injected() const { return injected_; }
+  // Human-readable fault log, for diagnosing a failing seed.
+  const std::vector<std::string>& history() const { return history_; }
+
+ private:
+  enum class Fault { kCrash, kIsolation, kPartition, kLoss, kDisk };
+
+  void ScheduleNext();
+  void Inject();
+  void Note(const std::string& what);
+  SimDuration HeavyDuration();
+  SimDuration LightDuration();
+
+  RecoveryRig* rig_;
+  NemesisOptions options_;
+  Simulator* sim_;
+  size_t num_sites_;
+  SimTime deadline_ = 0;       // no new faults after this
+  SimTime heavy_free_at_ = 0;  // next time a heavy fault may start
+  bool heavy_active_ = false;
+  uint64_t injected_ = 0;
+  uint64_t healed_count_ = 0;
+  std::vector<std::string> history_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_FAULT_NEMESIS_H_

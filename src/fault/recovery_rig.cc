@@ -1,0 +1,53 @@
+#include "src/fault/recovery_rig.h"
+
+#include <utility>
+
+namespace walter {
+
+RecoveryRig::RecoveryRig(Cluster* cluster)
+    : RecoveryRig(cluster, FailureDetector::Options{}) {}
+
+RecoveryRig::RecoveryRig(Cluster* cluster, FailureDetector::Options fd_options)
+    : cluster_(cluster) {
+  size_t n = cluster_->num_sites();
+  for (SiteId s = 0; s < n; ++s) {
+    configs_.push_back(std::make_unique<ConfigService>(&cluster_->sim(), &cluster_->net(), s, n,
+                                                       &cluster_->directory(s),
+                                                       &cluster_->server(s)));
+  }
+  for (SiteId s = 0; s < n; ++s) {
+    detectors_.push_back(std::make_unique<FailureDetector>(
+        &cluster_->sim(), &cluster_->net(), s, n, configs_[s].get(), fd_options));
+    // The detection leader drives the aggressive recovery of Section 5.7 over
+    // the current server objects. Server pointers are taken at call time:
+    // RestartSite replaces server objects.
+    detectors_[s]->SetRecoveryHandler(
+        [this, s](SiteId failed, SiteId new_preferred, std::function<void(Status)> done) {
+          std::vector<WalterServer*> servers;
+          for (SiteId i = 0; i < cluster_->num_sites(); ++i) {
+            servers.push_back(&cluster_->server(i));
+          }
+          SiteRecoveryCoordinator coordinator(&cluster_->sim(), std::move(servers),
+                                              configs_[s].get());
+          coordinator.RemoveFailedSite(failed, new_preferred, std::move(done));
+        });
+  }
+}
+
+void RecoveryRig::Start() {
+  for (auto& d : detectors_) {
+    d->Start();
+  }
+}
+
+void RecoveryRig::CrashSite(SiteId s) { cluster_->server(s).Crash(); }
+
+void RecoveryRig::RestartSite(SiteId s) {
+  WalterServer& replacement = cluster_->ReplaceServer(s);
+  configs_[s]->AttachServer(&replacement);
+  if (restart_observer_) {
+    restart_observer_(s);
+  }
+}
+
+}  // namespace walter

@@ -1,0 +1,62 @@
+// RecoveryRig: a fully self-healing Walter deployment.
+//
+// Wraps a Cluster with one ConfigService and one FailureDetector per site and
+// wires them together so that site failure, removal, container re-homing,
+// replacement and reintegration all happen automatically — no test or
+// administrator intervention beyond physically restarting a crashed machine
+// (RestartSite). This is the deployment the chaos harness attacks.
+#ifndef SRC_FAULT_RECOVERY_RIG_H_
+#define SRC_FAULT_RECOVERY_RIG_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/config/config_service.h"
+#include "src/config/failure_detector.h"
+#include "src/core/cluster.h"
+
+namespace walter {
+
+class RecoveryRig {
+ public:
+  explicit RecoveryRig(Cluster* cluster);
+  RecoveryRig(Cluster* cluster, FailureDetector::Options fd_options);
+
+  // Starts every site's failure detector (call after containers are set up).
+  void Start();
+
+  ConfigService& config(SiteId s) { return *configs_[s]; }
+  FailureDetector& detector(SiteId s) { return *detectors_[s]; }
+  Cluster& cluster() { return *cluster_; }
+
+  // Crashes the server at s (volatile state lost; endpoint down). Detection,
+  // removal and re-homing then happen automatically.
+  void CrashSite(SiteId s);
+
+  // Replaces a crashed server with a fresh one restored from its durable
+  // image and re-attaches it to the site's config service; the failure
+  // detector reintegrates the site automatically once it has caught up.
+  void RestartSite(SiteId s);
+
+  // Invoked after RestartSite has restored the replacement server and replayed
+  // configuration history into it. Restoration commits every durably-applied
+  // record without the per-commit observer firing (the server cannot know
+  // which of them the crashed instance already reported), so a harness keeping
+  // its own commit logs must reconcile them here.
+  void SetRestartObserver(std::function<void(SiteId)> observer) {
+    restart_observer_ = std::move(observer);
+  }
+
+  bool IsCrashed(SiteId s) const { return cluster_->server(s).crashed(); }
+
+ private:
+  Cluster* cluster_;
+  std::vector<std::unique_ptr<ConfigService>> configs_;
+  std::vector<std::unique_ptr<FailureDetector>> detectors_;
+  std::function<void(SiteId)> restart_observer_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_FAULT_RECOVERY_RIG_H_

@@ -44,6 +44,10 @@ void Network::SendMessage(const Address& from, const Address& to, Message msg,
                           size_t size_bytes) {
   ++messages_sent_;
   bytes_sent_ += size_bytes;
+  if (drop_filter_ && drop_filter_(msg, from, to)) {
+    ++messages_dropped_;
+    return;
+  }
   if (IsCut(from.site, to.site)) {
     ++messages_dropped_;
     return;
@@ -85,7 +89,16 @@ RpcEndpoint::RpcEndpoint(Network* net, Address addr) : net_(net), addr_(addr) {
   net_->Register(this);
 }
 
-RpcEndpoint::~RpcEndpoint() { net_->Unregister(addr_); }
+RpcEndpoint::~RpcEndpoint() {
+  // Cancel outstanding timeout timers: their callbacks capture `this`, which
+  // is about to dangle (server replacement destroys the old endpoint).
+  for (auto& [id, pending] : pending_) {
+    if (pending.timeout_event != 0) {
+      sim()->Cancel(pending.timeout_event);
+    }
+  }
+  net_->Unregister(addr_);
+}
 
 void RpcEndpoint::Handle(uint32_t type, Handler handler) {
   handlers_[type] = std::move(handler);
@@ -112,7 +125,7 @@ void RpcEndpoint::Call(const Address& to, uint32_t type, std::string payload,
   msg.type = type;
   msg.payload = std::move(payload);
   msg.from = addr_;
-  msg.rpc_id = next_rpc_id_++;
+  msg.rpc_id = net_->next_rpc_id_++;
   uint64_t rpc_id = msg.rpc_id;
 
   PendingCall pending;

@@ -29,6 +29,7 @@ namespace walter {
 // Well-known ports.
 inline constexpr uint32_t kWalterPort = 1;
 inline constexpr uint32_t kConfigPort = 2;
+inline constexpr uint32_t kFdPort = 3;  // failure-detector heartbeats
 inline constexpr uint32_t kClientPortBase = 100;
 
 struct Address {
@@ -70,6 +71,11 @@ class Network {
   void SetLossProbability(double p) { loss_probability_ = p; }
   // Extra multiplicative latency jitter: delay *= U[1, 1+jitter].
   void SetJitter(double jitter) { jitter_ = jitter; }
+  // Targeted fault injection: drop every message for which the filter returns
+  // true (checked before loss/partitions; nullptr disables). Lets tests drop
+  // e.g. exactly one commit response.
+  using DropFilter = std::function<bool(const Message&, const Address& from, const Address& to)>;
+  void SetDropFilter(DropFilter filter) { drop_filter_ = std::move(filter); }
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
@@ -100,9 +106,13 @@ class Network {
     SimTime last_arrival = 0;
   };
   std::map<std::pair<SiteId, SiteId>, LinkState> links_;
+  DropFilter drop_filter_;
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;
   uint64_t bytes_sent_ = 0;
+  // RPC ids are minted network-wide so a replacement endpoint at a reused
+  // address can never mistake a stale response for one of its own calls.
+  uint64_t next_rpc_id_ = 1;
 };
 
 // A network endpoint with message handlers and RPC support.
@@ -148,7 +158,6 @@ class RpcEndpoint {
   Network* net_;
   Address addr_;
   bool down_ = false;
-  uint64_t next_rpc_id_ = 1;
   std::unordered_map<uint32_t, Handler> handlers_;
   struct PendingCall {
     ResponseCallback cb;

@@ -35,11 +35,14 @@ DiskConfig DiskConfig::Memory() {
   return DiskConfig{.flush_latency = 0, .jitter = 0};
 }
 
-Disk::Disk(Simulator* sim, DiskConfig config) : sim_(sim), config_(config) {}
+Disk::Disk(Simulator* sim, DiskConfig config)
+    : sim_(sim), config_(config), alive_(std::make_shared<bool>(true)) {}
+
+Disk::~Disk() { *alive_ = false; }
 
 void Disk::Flush(std::function<void()> done) {
   ++records_;
-  if (config_.flush_latency == 0) {
+  if (config_.flush_latency == 0 || slowdown_ == 0) {
     done();
     return;
   }
@@ -65,7 +68,11 @@ void Disk::StartFlush() {
     latency += static_cast<SimDuration>(static_cast<double>(config_.stall_latency) *
                                         (0.5 + sim_->rng().NextDouble()));
   }
-  sim_->After(latency, [this, batch]() {
+  latency = static_cast<SimDuration>(static_cast<double>(latency) * slowdown_);
+  sim_->After(latency, [this, batch, alive = alive_]() {
+    if (!*alive) {
+      return;
+    }
     for (auto& cb : *batch) {
       cb();
     }

@@ -40,6 +40,7 @@ struct DiskConfig {
 class Disk {
  public:
   Disk(Simulator* sim, DiskConfig config);
+  ~Disk();
 
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
@@ -47,6 +48,11 @@ class Disk {
   // Makes one record durable; `done` runs when the batch containing the record
   // has been flushed. With DiskConfig::Memory() this completes immediately.
   void Flush(std::function<void()> done);
+
+  // Runtime latency multiplier (fault injection: a degraded device). 1.0 is
+  // nominal; an instant (Memory) disk stays instant regardless.
+  void SetSlowdown(double factor) { slowdown_ = factor < 0 ? 0 : factor; }
+  double slowdown() const { return slowdown_; }
 
   uint64_t flushes() const { return flushes_; }
   uint64_t records() const { return records_; }
@@ -56,10 +62,14 @@ class Disk {
 
   Simulator* sim_;
   DiskConfig config_;
+  double slowdown_ = 1.0;
   bool flushing_ = false;
   std::deque<std::function<void()>> waiting_;  // records for the next batch
   uint64_t flushes_ = 0;
   uint64_t records_ = 0;
+  // Flush-completion events capture `this`; the token lets a completion fire
+  // after the owning server has been replaced without touching freed state.
+  std::shared_ptr<bool> alive_;
 };
 
 }  // namespace walter

@@ -5,7 +5,12 @@
 namespace walter {
 
 Resource::Resource(Simulator* sim, int capacity, std::string name)
-    : sim_(sim), capacity_(capacity), name_(std::move(name)) {}
+    : sim_(sim),
+      capacity_(capacity),
+      name_(std::move(name)),
+      alive_(std::make_shared<bool>(true)) {}
+
+Resource::~Resource() { *alive_ = false; }
 
 void Resource::Execute(SimDuration service_time, std::function<void()> done) {
   if (busy_ < capacity_) {
@@ -18,7 +23,10 @@ void Resource::Execute(SimDuration service_time, std::function<void()> done) {
 void Resource::RunItem(Item item) {
   ++busy_;
   busy_time_ += item.service;
-  sim_->After(item.service, [this, done = std::move(item.done)]() mutable {
+  sim_->After(item.service, [this, alive = alive_, done = std::move(item.done)]() mutable {
+    if (!*alive) {
+      return;
+    }
     --busy_;
     ++completed_;
     // Run the completion before starting queued work so same-time ordering is

@@ -22,6 +22,7 @@ class Resource {
  public:
   // capacity: number of parallel servers (cores/lock holders).
   Resource(Simulator* sim, int capacity, std::string name = "");
+  ~Resource();
 
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
@@ -51,6 +52,9 @@ class Resource {
   uint64_t completed_ = 0;
   SimDuration busy_time_ = 0;
   std::deque<Item> queue_;
+  // Completion events capture `this`; the token lets one fire after the owner
+  // (a replaced server) destroyed this resource without touching freed state.
+  std::shared_ptr<bool> alive_;
 };
 
 }  // namespace walter

@@ -56,6 +56,17 @@ size_t Simulator::RunUntil(SimTime t) {
   size_t processed = 0;
   while (!queue_.empty()) {
     const auto& top = queue_.top();
+    if (auto it = canceled_.find(top->id); it != canceled_.end()) {
+      // Discard canceled events here: letting Step() skip them would make it
+      // execute the next live event even when that one lies beyond `t`,
+      // silently jumping simulated time past the requested horizon.
+      canceled_.erase(it);
+      auto& topref = const_cast<std::unique_ptr<Event>&>(queue_.top());
+      std::unique_ptr<Event> dead = std::move(topref);
+      queue_.pop();
+      --pending_count_;
+      continue;
+    }
     if (top->time > t) {
       break;
     }

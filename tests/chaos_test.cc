@@ -1,0 +1,283 @@
+// Deterministic chaos harness: a seeded Nemesis injects crashes, isolation,
+// partitions, loss bursts and disk slowdowns into a self-healing deployment
+// (RecoveryRig) while a random multi-site workload runs. After the schedule
+// ends and every fault heals, the execution must still satisfy all three PSI
+// properties (PsiChecker) and the sites must converge to identical state.
+//
+// The harness keeps its own per-site commit logs, because aggressive site
+// removal (Section 5.7) legitimately *discards* committed transactions: when
+// a site learns its own removal it truncates its silently-committed tail, and
+// the harness prunes exactly those entries (by tid) before building the
+// checker. Survivors can never have applied a discarded transaction — the
+// surviving prefix is by definition the longest prefix any survivor received,
+// and membership gating rejects stale resends — which the harness asserts.
+//
+// Each seed is a separate ctest case; a failing seed replays exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "src/fault/nemesis.h"
+#include "src/fault/recovery_rig.h"
+#include "src/psi/checker.h"
+
+namespace walter {
+namespace {
+
+constexpr size_t kSites = 3;
+
+// Random mixed workload that keeps running through faults: operations may
+// fail (crashed local server, exhausted retry budget) and that is fine — the
+// driver records reads only for transactions that are confirmed committed.
+class ChaosDriver {
+ public:
+  ChaosDriver(Cluster& cluster, uint64_t seed) : cluster_(cluster), rng_(seed ^ 0xc4a05) {}
+
+  void Run(SimDuration duration, int clients_per_site) {
+    stop_at_ = cluster_.sim().Now() + duration;
+    for (SiteId s = 0; s < kSites; ++s) {
+      for (int c = 0; c < clients_per_site; ++c) {
+        WalterClient* client = cluster_.AddClient(s);
+        ++active_;
+        Loop(client);
+      }
+    }
+    // Hard deadline well past the workload stop, in case of a stuck client.
+    SimTime hard_deadline = stop_at_ + Seconds(60);
+    while (active_ > 0 && cluster_.sim().Now() < hard_deadline && cluster_.sim().Step()) {
+    }
+    ASSERT_EQ(active_, 0) << "client transactions stuck past their retry budgets";
+  }
+
+  int confirmed() const { return confirmed_; }
+  int failed() const { return failed_; }
+  std::unordered_map<TxId, std::vector<RecordedRead>>& reads_by_tid() { return reads_by_tid_; }
+
+ private:
+  ObjectId RandomObject(ContainerId container) { return ObjectId{container, rng_.Uniform(30)}; }
+
+  void Loop(WalterClient* client) {
+    if (cluster_.sim().Now() >= stop_at_) {
+      --active_;
+      return;
+    }
+    SimDuration think = static_cast<SimDuration>(rng_.Exponential(250.0 * 1000));
+    cluster_.sim().After(think, [this, client]() { StartTx(client); });
+  }
+
+  void StartTx(WalterClient* client) {
+    auto tx = std::make_shared<Tx>(client);
+    double dice = rng_.NextDouble();
+    if (dice < 0.15) {
+      // Cross-site write: slow commit through a remote preferred site.
+      ContainerId remote = (client->site() + 1 + rng_.Uniform(kSites - 1)) % kSites;
+      tx->Write(RandomObject(remote), "x" + std::to_string(next_value_++));
+      Finish(client, tx, {});
+    } else {
+      // Read one local object, then write one or two local objects.
+      ContainerId local = client->site();
+      ObjectId read_oid = RandomObject(local);
+      tx->Read(read_oid, [this, client, tx, read_oid](Status s,
+                                                      std::optional<std::string> v) {
+        std::vector<RecordedRead> reads;
+        if (s.ok()) {
+          reads.push_back(RecordedRead{read_oid, false, std::move(v), {}});
+        }
+        ContainerId local = client->site();
+        ObjectId w1 = RandomObject(local);
+        tx->Write(w1, "w" + std::to_string(next_value_++));
+        if (rng_.Bernoulli(0.3)) {
+          ObjectId w2 = RandomObject(local);
+          if (w2 != w1) {
+            tx->Write(w2, "w" + std::to_string(next_value_++));
+          }
+        }
+        Finish(client, tx, std::move(reads));
+      });
+    }
+  }
+
+  void Finish(WalterClient* client, std::shared_ptr<Tx> tx,
+              std::vector<RecordedRead> reads) {
+    TxId tid = tx->tid();
+    reads_by_tid_[tid] = std::move(reads);
+    tx->Commit([this, client, tx, tid](Status s) {
+      if (s.ok()) {
+        ++confirmed_;
+      } else {
+        ++failed_;
+        // The transaction may still have committed server-side (lost
+        // response); without confirmation its reads are not checkable.
+        reads_by_tid_.erase(tid);
+      }
+      Loop(client);
+    });
+  }
+
+  Cluster& cluster_;
+  Rng rng_;
+  SimTime stop_at_ = 0;
+  int active_ = 0;
+  int confirmed_ = 0;
+  int failed_ = 0;
+  uint64_t next_value_ = 1;
+  std::unordered_map<TxId, std::vector<RecordedRead>> reads_by_tid_;
+};
+
+void RunChaos(uint64_t seed) {
+  ClusterOptions options;
+  options.num_sites = kSites;
+  options.seed = seed;
+  options.server.perf = PerfModel::Instant();
+  options.server.disk = DiskConfig::Memory();
+  options.server.gossip_interval = Seconds(1);
+  options.server.resend_backoff_cap = Seconds(5);
+  options.server.idle_tx_timeout = Seconds(20);
+  options.client.max_attempts = 3;
+  Cluster cluster(options);
+
+  FailureDetector::Options fd;
+  fd.heartbeat_interval = Millis(250);
+  fd.suspicion_window = Seconds(2);
+  RecoveryRig rig(&cluster, fd);
+
+  // Harness-side per-site commit logs (prunable, unlike PsiChecker's), plus a
+  // (origin, seqno) -> record index for restart reconciliation below.
+  std::vector<std::vector<TxRecord>> logs(kSites);
+  std::vector<std::set<std::pair<SiteId, uint64_t>>> applied(kSites);
+  std::map<std::pair<SiteId, uint64_t>, TxRecord> by_version;
+  std::set<TxId> discarded;
+  cluster.ObserveCommits([&](SiteId site, const TxRecord& rec) {
+    logs[site].push_back(rec);
+    applied[site].insert({rec.origin, rec.version.seqno});
+    by_version[{rec.origin, rec.version.seqno}] = rec;  // reused seqnos: latest wins
+  });
+
+  // A restored server treats everything durably applied as committed
+  // (Section 5.7) without firing the commit observer — it cannot know which
+  // records the crashed instance already reported. Reconcile the harness log:
+  // any record inside the replacement's committed frontier that site never
+  // reported commits *now* (at the restore), so it is appended here, between
+  // the pre-crash entries and everything the site commits after restart.
+  rig.SetRestartObserver([&](SiteId s) {
+    const VectorTimestamp& frontier = cluster.server(s).committed_vts();
+    for (SiteId o = 0; o < kSites; ++o) {
+      for (uint64_t q = 1; q <= frontier.at(o); ++q) {
+        if (applied[s].count({o, q})) {
+          continue;
+        }
+        auto it = by_version.find({o, q});
+        if (it == by_version.end()) {
+          // Own record flushed but unacknowledged at the crash: no observer
+          // anywhere has seen it yet; the restored server retains it.
+          ASSERT_EQ(o, s);
+          const TxRecord* rec = cluster.server(s).RetainedLocalCommit(q);
+          ASSERT_NE(rec, nullptr) << "site " << s << " seqno " << q;
+          it = by_version.emplace(std::make_pair(o, q), *rec).first;
+        }
+        logs[s].push_back(it->second);
+        applied[s].insert({o, q});
+      }
+    }
+  });
+  for (SiteId s = 0; s < kSites; ++s) {
+    rig.config(s).SetApplyObserver([&, s](const ConfigCommand& cmd) {
+      if (cmd.kind != ConfigCommand::Kind::kRemoveSite) {
+        return;
+      }
+      auto matches = [&](const TxRecord& rec) {
+        return rec.origin == cmd.site && rec.version.seqno > cmd.survive_through;
+      };
+      if (s == cmd.site) {
+        // The removed site prunes its silently-committed tail; these tids are
+        // the authoritative discarded set for this incident.
+        auto& log = logs[s];
+        for (auto it = log.begin(); it != log.end();) {
+          if (matches(*it)) {
+            discarded.insert(it->tid);
+            applied[s].erase({it->origin, it->version.seqno});
+            it = log.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      } else {
+        // Survivors must never have applied a non-surviving transaction.
+        for (const TxRecord& rec : logs[s]) {
+          EXPECT_FALSE(matches(rec))
+              << "site " << s << " applied discarded tx of site " << cmd.site
+              << " seqno " << rec.version.seqno << " > " << cmd.survive_through;
+        }
+      }
+    });
+  }
+  rig.Start();
+
+  NemesisOptions nopt;
+  Nemesis nemesis(&rig, nopt);
+  ChaosDriver driver(cluster, seed);
+
+  const SimDuration kHorizon = Seconds(60);
+  nemesis.Run(kHorizon);
+  driver.Run(kHorizon, /*clients_per_site=*/2);
+
+  // Let outstanding heals fire, then converge: reintegration, propagation
+  // backlog, lock termination, idle-tx expiry.
+  cluster.RunFor(Seconds(90));
+
+  std::string trace = "seed " + std::to_string(seed);
+  for (const std::string& line : nemesis.history()) {
+    trace += "\n  " + line;
+  }
+  SCOPED_TRACE(trace);
+  EXPECT_TRUE(nemesis.healed());
+  EXPECT_GT(nemesis.faults_injected(), 0u);
+  EXPECT_GT(driver.confirmed(), 0);
+
+  // Post-heal convergence: full membership, identical committed state,
+  // no leaked locks or transaction buffers anywhere.
+  for (SiteId s = 0; s < kSites; ++s) {
+    for (SiteId t = 0; t < kSites; ++t) {
+      EXPECT_TRUE(rig.config(s).IsActive(t)) << "site " << s << " still excludes " << t;
+    }
+    EXPECT_EQ(cluster.server(s).committed_vts(), cluster.server(0).committed_vts())
+        << "site " << s << " did not converge";
+    EXPECT_EQ(cluster.server(s).lock_count(), 0u) << "site " << s;
+    EXPECT_EQ(cluster.server(s).active_tx_count(), 0u) << "site " << s;
+  }
+
+  // Feed the harness logs to the PSI checker: apply orders per site, and
+  // transaction details (with confirmed reads) registered from each origin.
+  PsiChecker checker(kSites);
+  for (SiteId s = 0; s < kSites; ++s) {
+    for (const TxRecord& rec : logs[s]) {
+      checker.OnApply(s, rec.tid);
+    }
+  }
+  for (SiteId s = 0; s < kSites; ++s) {
+    for (const TxRecord& rec : logs[s]) {
+      if (rec.origin != s) {
+        continue;
+      }
+      RecordedTx recorded;
+      recorded.record = rec;
+      auto it = driver.reads_by_tid().find(rec.tid);
+      if (it != driver.reads_by_tid().end()) {
+        recorded.reads = it->second;
+      }
+      checker.OnCommit(std::move(recorded));
+    }
+  }
+  Status result = checker.Check();
+  EXPECT_TRUE(result.ok()) << result.ToString();
+}
+
+TEST(ChaosTest, Seed101) { RunChaos(101); }
+TEST(ChaosTest, Seed202) { RunChaos(202); }
+TEST(ChaosTest, Seed303) { RunChaos(303); }
+
+}  // namespace
+}  // namespace walter

@@ -147,6 +147,58 @@ TEST(ConfigServiceTest, AggressiveSiteRemovalEndToEnd) {
   EXPECT_GT(cluster.server(1).stats().fast_commits, fast_before);
 }
 
+// Step 2 of the aggressive recovery: survivors received different prefixes of
+// the failed site's sequence (here site 1 has 1-5, site 2 only 1-3 because of
+// a partition); the coordinator must fill site 2's gap from site 1 so both
+// survivors end up with the full surviving prefix 1-5.
+TEST(ConfigServiceTest, RemoveFailedSiteFillsSurvivorGaps) {
+  ConfiguredCluster fx(3);
+  Cluster& cluster = *fx.cluster;
+  WalterClient* c0 = cluster.AddClient(0);
+
+  // Seqnos 1-3 at site 0 propagate everywhere.
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(CommitWrite(cluster, c0, Oid(0, i), "v" + std::to_string(i)).ok());
+  }
+  cluster.RunFor(Seconds(2));
+  ASSERT_EQ(cluster.server(1).got_vts().at(0), 3u);
+  ASSERT_EQ(cluster.server(2).got_vts().at(0), 3u);
+
+  // Seqnos 4-5 reach only site 1 (site 2 is partitioned from site 0).
+  cluster.net().SetPartitioned(0, 2, true);
+  for (int i = 4; i <= 5; ++i) {
+    ASSERT_TRUE(CommitWrite(cluster, c0, Oid(0, i), "v" + std::to_string(i)).ok());
+  }
+  cluster.RunFor(Seconds(2));
+  ASSERT_EQ(cluster.server(1).got_vts().at(0), 5u);
+  ASSERT_EQ(cluster.server(2).got_vts().at(0), 3u);
+
+  // Site 0 dies; a survivor coordinates its removal.
+  cluster.server(0).Crash();
+  SiteRecoveryCoordinator coordinator(
+      &cluster.sim(), {&cluster.server(0), &cluster.server(1), &cluster.server(2)},
+      fx.configs[1].get());
+  bool removed = false;
+  coordinator.RemoveFailedSite(0, /*new_preferred=*/1, [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    removed = true;
+  });
+  cluster.RunFor(Seconds(10));
+  ASSERT_TRUE(removed);
+  EXPECT_EQ(fx.configs[1]->removed_through(0), 5u);
+
+  // Both survivors hold the complete surviving prefix 1-5 and can read it.
+  for (SiteId s : {SiteId{1}, SiteId{2}}) {
+    EXPECT_EQ(cluster.server(s).got_vts().at(0), 5u) << "site " << s;
+    EXPECT_EQ(cluster.server(s).committed_vts().at(0), 5u) << "site " << s;
+    WalterClient* c = cluster.AddClient(s);
+    for (int i = 1; i <= 5; ++i) {
+      EXPECT_EQ(ReadOnce(cluster, c, Oid(0, i)), "v" + std::to_string(i))
+          << "site " << s << " seqno " << i;
+    }
+  }
+}
+
 TEST(ConfigServiceTest, ReintegrationRestoresPreferredSite) {
   ConfiguredCluster fx(3);
   Cluster& cluster = *fx.cluster;

@@ -3,6 +3,8 @@
 // conservative-vs-aggressive recovery choice they enable.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/core/cluster.h"
 
 namespace walter {
@@ -27,16 +29,18 @@ bool BecomesDurable(Cluster& cluster, SiteId site, const ObjectId& oid,
   WalterClient* client = cluster.AddClient(site);
   Tx tx(client);
   tx.Write(oid, "d");
-  bool durable = false;
+  // Heap flag: the durable watch outlives this frame when the notification
+  // only arrives after the caller heals the network.
+  auto durable = std::make_shared<bool>(false);
   Tx::CommitOptions opts;
-  opts.on_durable = [&] { durable = true; };
+  opts.on_durable = [durable] { *durable = true; };
   bool committed = false;
   tx.Commit([&](Status s) { committed = s.ok(); }, opts);
   while (!committed && cluster.sim().Step()) {
   }
   EXPECT_TRUE(committed);
   cluster.RunFor(window);
-  return durable;
+  return *durable;
 }
 
 TEST(DurabilityTest, SingleSiteIsImmediatelyDurable) {

@@ -1,0 +1,190 @@
+// Automatic failure detection and recovery orchestration: a RecoveryRig
+// deployment detects a dead site by missed heartbeats, declares the failure by
+// quorum, runs the aggressive recovery of Section 5.7 (surviving prefix,
+// container re-homing) with no manual intervention, and automatically
+// reintegrates the site once it returns and catches up.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/fault/recovery_rig.h"
+
+namespace walter {
+namespace {
+
+ObjectId Oid(uint64_t c, uint64_t l) { return ObjectId{c, l}; }
+
+ClusterOptions RigOptions(size_t n, uint64_t seed = 1) {
+  ClusterOptions o;
+  o.num_sites = n;
+  o.seed = seed;
+  o.server.perf = PerfModel::Instant();
+  o.server.disk = DiskConfig::Memory();
+  o.server.gossip_interval = 0;
+  o.server.resend_backoff_cap = Seconds(5);  // keep post-heal catch-up snappy
+  return o;
+}
+
+FailureDetector::Options FastDetection() {
+  FailureDetector::Options fd;
+  fd.heartbeat_interval = Millis(200);
+  fd.suspicion_window = Millis(1500);
+  return fd;
+}
+
+Status CommitWrite(Cluster& cluster, WalterClient* client, const ObjectId& oid,
+                   std::string value) {
+  Tx tx(client);
+  tx.Write(oid, std::move(value));
+  Status result = Status::Internal("unfinished");
+  bool done = false;
+  tx.Commit([&](Status s) {
+    result = s;
+    done = true;
+  });
+  while (!done && cluster.sim().Step()) {
+  }
+  return result;
+}
+
+std::optional<std::string> ReadOnce(Cluster& cluster, WalterClient* client,
+                                    const ObjectId& oid) {
+  Tx tx(client);
+  std::optional<std::string> value;
+  bool done = false;
+  tx.Read(oid, [&](Status s, std::optional<std::string> v) {
+    EXPECT_TRUE(s.ok());
+    value = std::move(v);
+    done = true;
+  });
+  while (!done && cluster.sim().Step()) {
+  }
+  return value;
+}
+
+// The headline scenario: site 0 crashes and nobody calls any recovery API.
+// The detectors declare it by quorum, remove it, re-home its containers at a
+// survivor where writes fast-commit again, and — once the machine is
+// physically restarted — reintegrate it and hand its lease back.
+TEST(FailureDetectorTest, CrashIsDetectedRecoveredAndReintegratedAutomatically) {
+  Cluster cluster(RigOptions(3));
+  RecoveryRig rig(&cluster, FastDetection());
+  rig.Start();
+
+  WalterClient* c0 = cluster.AddClient(0);
+  ASSERT_TRUE(CommitWrite(cluster, c0, Oid(0, 1), "survives").ok());
+  cluster.RunFor(Seconds(2));  // propagate everywhere
+
+  rig.CrashSite(0);
+  cluster.RunFor(Seconds(10));
+
+  // Quorum declared the failure and the survivors removed site 0; the
+  // detection leader (lowest surviving id) ran the recovery exactly once.
+  EXPECT_FALSE(rig.config(1).IsActive(0));
+  EXPECT_FALSE(rig.config(2).IsActive(0));
+  EXPECT_EQ(rig.detector(1).recoveries_started(), 1u);
+  EXPECT_EQ(rig.detector(2).recoveries_started(), 0u);
+
+  // The surviving prefix is readable at the survivors.
+  WalterClient* c1 = cluster.AddClient(1);
+  EXPECT_EQ(ReadOnce(cluster, c1, Oid(0, 1)), "survives");
+
+  // Container 0 was re-homed to a survivor; once the lease-settle blackout
+  // passes, writes to it fast-commit there.
+  SiteId np = cluster.directory(1).Get(0).preferred_site;
+  ASSERT_NE(np, 0u);
+  cluster.RunFor(ConfigService::kLeaseSettle);
+  WalterClient* cn = cluster.AddClient(np);
+  uint64_t fast_before = cluster.server(np).stats().fast_commits;
+  ASSERT_TRUE(CommitWrite(cluster, cn, Oid(0, 2), "rehomed").ok());
+  EXPECT_GT(cluster.server(np).stats().fast_commits, fast_before);
+
+  // The machine comes back; reintegration is automatic.
+  rig.RestartSite(0);
+  cluster.RunFor(Seconds(20));
+  EXPECT_TRUE(rig.config(0).IsActive(0));
+  EXPECT_TRUE(rig.config(1).IsActive(0));
+  EXPECT_GE(rig.detector(1).reintegrations_started(), 1u);
+  EXPECT_EQ(cluster.directory(2).Get(0).preferred_site, 0u);
+
+  // The reintegrated site caught up (including the interim write) and holds
+  // its lease again: local writes fast-commit.
+  cluster.RunFor(ConfigService::kLeaseSettle);
+  WalterClient* c0b = cluster.AddClient(0);
+  EXPECT_EQ(ReadOnce(cluster, c0b, Oid(0, 2)), "rehomed");
+  uint64_t fast0 = cluster.server(0).stats().fast_commits;
+  ASSERT_TRUE(CommitWrite(cluster, c0b, Oid(0, 3), "back").ok());
+  EXPECT_GT(cluster.server(0).stats().fast_commits, fast0);
+}
+
+// An isolated (but alive) site is removed; when the network heals, it learns
+// of its own removal through the heartbeat channel's Paxos catch-up, truncates
+// its silently-committed tail, and is reintegrated automatically.
+TEST(FailureDetectorTest, IsolatedSiteIsRemovedThenReintegratedAfterHeal) {
+  Cluster cluster(RigOptions(3));
+  RecoveryRig rig(&cluster, FastDetection());
+  rig.Start();
+
+  WalterClient* c0 = cluster.AddClient(0);
+  ASSERT_TRUE(CommitWrite(cluster, c0, Oid(0, 1), "survives").ok());
+  cluster.RunFor(Seconds(2));
+
+  cluster.net().IsolateSite(0, true);
+  // Site 0 still thinks it holds its lease and fast-commits a transaction
+  // that can never propagate: the documented data-loss window of aggressive
+  // recovery. It will be discarded.
+  ASSERT_TRUE(CommitWrite(cluster, c0, Oid(0, 2), "lost").ok());
+  cluster.RunFor(Seconds(10));
+  EXPECT_FALSE(rig.config(1).IsActive(0));
+  EXPECT_GE(rig.detector(1).recoveries_started(), 1u);
+
+  cluster.net().IsolateSite(0, false);
+  cluster.RunFor(Seconds(30));
+
+  // Reintegrated; the lost transaction is gone everywhere, including at its
+  // origin (truncated when site 0 learned its removal).
+  EXPECT_TRUE(rig.config(0).IsActive(0));
+  EXPECT_TRUE(rig.config(1).IsActive(0));
+  for (SiteId s = 0; s < 3; ++s) {
+    WalterClient* c = cluster.AddClient(s);
+    EXPECT_EQ(ReadOnce(cluster, c, Oid(0, 1)), "survives") << "site " << s;
+    EXPECT_EQ(ReadOnce(cluster, c, Oid(0, 2)), std::nullopt) << "site " << s;
+  }
+  // Every site converged to the same committed state.
+  for (SiteId s = 1; s < 3; ++s) {
+    EXPECT_EQ(cluster.server(s).committed_vts(), cluster.server(0).committed_vts());
+  }
+}
+
+// A lossy (but live) link must not cost a site its membership: the suspicion
+// deadline stretches with the observed loss rate.
+TEST(FailureDetectorTest, MessageLossDoesNotTriggerRemoval) {
+  Cluster cluster(RigOptions(3, /*seed=*/7));
+  RecoveryRig rig(&cluster, FastDetection());
+  rig.Start();
+  cluster.RunFor(Seconds(5));  // learn baseline loss = 0
+
+  cluster.net().SetLossProbability(0.3);
+  cluster.RunFor(Seconds(30));
+  cluster.net().SetLossProbability(0);
+
+  for (SiteId s = 0; s < 3; ++s) {
+    EXPECT_TRUE(rig.config(s).IsActive(0));
+    EXPECT_TRUE(rig.config(s).IsActive(1));
+    EXPECT_TRUE(rig.config(s).IsActive(2));
+    EXPECT_EQ(rig.detector(s).recoveries_started(), 0u) << "site " << s;
+  }
+  // At least one detector measured real loss and stretched its deadline.
+  double max_loss = 0;
+  for (SiteId s = 0; s < 3; ++s) {
+    for (SiteId p = 0; p < 3; ++p) {
+      if (p != s) {
+        max_loss = std::max(max_loss, rig.detector(s).ObservedLoss(p));
+      }
+    }
+  }
+  EXPECT_GT(max_loss, 0.05);
+}
+
+}  // namespace
+}  // namespace walter

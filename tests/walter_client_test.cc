@@ -208,5 +208,85 @@ TEST(ClientTest, AbortBeforeAnyRpcIsLocal) {
   cluster.RunUntilIdle();
 }
 
+// Robustness: a dropped commit *response* forces the client to retransmit the
+// commit. The server deduplicates by transaction id: the write is applied
+// exactly once and the retry is answered from the retained outcome.
+TEST(ClientTest, RetriedCommitIsAppliedExactlyOnce) {
+  Cluster cluster(LogicOptions(1));
+  WalterClient* client = cluster.AddClient(0);
+
+  int dropped = 0;
+  cluster.net().SetDropFilter([&](const Message& m, const Address&, const Address& to) {
+    if (m.is_response && m.type == kClientOp && to.port >= kClientPortBase && dropped == 0) {
+      ++dropped;
+      return true;  // exactly the first commit response
+    }
+    return false;
+  });
+
+  Tx tx(client);
+  tx.Write(Oid(0, 1), "once");
+  Status result = Status::Internal("unfinished");
+  bool done = false;
+  tx.Commit([&](Status s) {
+    result = s;
+    done = true;
+  });
+  while (!done && cluster.sim().Step()) {
+  }
+  cluster.net().SetDropFilter(nullptr);
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.ok()) << result.ToString();
+  EXPECT_EQ(dropped, 1);
+  EXPECT_GE(client->retries_sent(), 1u);
+  // Applied exactly once, retry answered from the dedup table.
+  EXPECT_EQ(cluster.server(0).committed_vts().at(0), 1u);
+  EXPECT_EQ(cluster.server(0).stats().fast_commits, 1u);
+  EXPECT_GE(cluster.server(0).stats().commit_dedups, 1u);
+
+  bool read_done = false;
+  Tx rd(client);
+  rd.Read(Oid(0, 1), [&](Status s, std::optional<std::string> v) {
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(v, "once");
+    read_done = true;
+  });
+  while (!read_done && cluster.sim().Step()) {
+  }
+}
+
+// A client whose local server is dead must fail fast with kUnavailable after
+// its retry budget — never hang.
+TEST(ClientTest, CrashedServerYieldsUnavailableWithinRetryBudget) {
+  Cluster cluster(LogicOptions(1));
+  cluster.server(0).Crash();
+  WalterClient* client = cluster.AddClient(0);
+
+  Tx tx(client);
+  tx.Write(Oid(0, 1), "v");
+  Status result = Status::Internal("unfinished");
+  bool done = false;
+  SimTime start = cluster.sim().Now();
+  tx.Commit([&](Status s) {
+    result = s;
+    done = true;
+  });
+  while (!done && cluster.sim().Step()) {
+  }
+
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.code(), StatusCode::kUnavailable) << result.ToString();
+  // Budget: max_attempts timeouts plus the capped backoffs between them.
+  const WalterClient::Options defaults{};
+  SimDuration budget = 0;
+  SimDuration backoff = defaults.backoff_base;
+  for (size_t a = 0; a < defaults.max_attempts; ++a) {
+    budget += defaults.rpc_timeout + backoff * 2;  // x2: jitter headroom
+    backoff = std::min(backoff * 2, defaults.backoff_cap);
+  }
+  EXPECT_LE(cluster.sim().Now() - start, budget);
+}
+
 }  // namespace
 }  // namespace walter
