@@ -6,8 +6,14 @@
 //   write-only     (middle plot: grows sub-linearly; 52 Ktps at 4 sites, size 1)
 //   90% read / 10% write mixed (right plot: ~80 Ktps at 4 sites for
 //                               read-size 1 / write-size 5)
+//
+// Every (workload, sites, seed) cell is an independent simulation, so the
+// sweep fans out to --jobs worker threads; the merged output is byte-identical
+// for every job count. --quick runs a reduced matrix for CI smoke tests.
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/harness.h"
 
@@ -16,8 +22,6 @@ namespace {
 
 constexpr uint64_t kKeysPerSite = 10'000;
 constexpr int kClientsPerSite = 64;
-constexpr SimDuration kWarmup = Millis(300);
-constexpr SimDuration kMeasure = Seconds(1.2);
 
 struct Workload {
   double read_fraction;  // per transaction: read-only with this probability
@@ -25,7 +29,17 @@ struct Workload {
   size_t write_size;
 };
 
-double RunWorkload(size_t num_sites, const Workload& w, uint64_t seed) {
+struct Cell {
+  size_t sites;
+  Workload workload;
+  uint64_t seed;
+  std::string json_key;
+};
+
+double RunWorkload(size_t num_sites, const Workload& w, uint64_t seed, bool quick) {
+  SimDuration warmup = quick ? Millis(100) : Millis(300);
+  SimDuration measure = quick ? Millis(400) : Seconds(1.2);
+
   ClusterOptions options;
   options.num_sites = num_sites;
   options.seed = seed;
@@ -60,23 +74,54 @@ double RunWorkload(size_t num_sites, const Workload& w, uint64_t seed) {
       });
     }
   }
-  return load.Run(kWarmup, kMeasure).ThroughputKops();
+  return load.Run(warmup, measure).ThroughputKops();
 }
 
 }  // namespace
 }  // namespace walter
 
-int main() {
+int main(int argc, char** argv) {
+  using walter::Cell;
   using walter::TablePrinter;
-  std::printf("=== Figure 17: aggregate throughput on EC2, 1-4 sites ===\n\n");
+  walter::BenchOptions opt = walter::ParseBenchArgs(argc, argv);
+  size_t max_sites = opt.quick ? 2 : 4;
+
+  // Build the full sweep as an ordered cell list; seeds match the original
+  // per-table loops so results stay comparable across commits.
+  std::vector<Cell> cells;
+  auto add = [&](const char* tag, double rf, size_t rs, size_t ws, uint64_t seed_base) {
+    for (size_t sites = 1; sites <= max_sites; ++sites) {
+      cells.push_back({sites,
+                       {rf, rs, ws},
+                       seed_base + sites,
+                       std::string(tag) + "_sites" + std::to_string(sites)});
+    }
+  };
+  add("read_s1", 1.0, 1, 1, 100);
+  add("read_s5", 1.0, 5, 1, 200);
+  add("write_s1", 0.0, 1, 1, 300);
+  add("write_s5", 0.0, 1, 5, 400);
+  add("mix_r1w1", 0.9, 1, 1, 500);
+  add("mix_r1w5", 0.9, 1, 5, 600);
+  add("mix_r5w1", 0.9, 5, 1, 700);
+  add("mix_r5w5", 0.9, 5, 5, 800);
+
+  walter::ParallelRunner runner(opt.jobs);
+  std::vector<double> ktps = runner.Map<double>(cells.size(), [&](size_t i) {
+    const Cell& c = cells[i];
+    return walter::RunWorkload(c.sites, c.workload, c.seed, opt.quick);
+  });
+  // cells are laid out as 8 consecutive site-sweeps of max_sites rows each.
+  auto at = [&](size_t sweep, size_t sites) { return ktps[sweep * max_sites + sites - 1]; };
+
+  std::printf("=== Figure 17: aggregate throughput on EC2, 1-%zu sites ===\n\n", max_sites);
 
   std::printf("-- Read-only workload (paper: size 1 scales ~linearly to 157 Ktps @4) --\n");
   {
     TablePrinter table({"sites", "read-tx size=1 (Ktps)", "read-tx size=5 (Ktps)"});
-    for (size_t sites = 1; sites <= 4; ++sites) {
-      double k1 = walter::RunWorkload(sites, {1.0, 1, 1}, 100 + sites);
-      double k5 = walter::RunWorkload(sites, {1.0, 5, 1}, 200 + sites);
-      table.AddRow({std::to_string(sites), TablePrinter::Fmt(k1), TablePrinter::Fmt(k5)});
+    for (size_t sites = 1; sites <= max_sites; ++sites) {
+      table.AddRow({std::to_string(sites), TablePrinter::Fmt(at(0, sites)),
+                    TablePrinter::Fmt(at(1, sites))});
     }
     std::printf("%s\n", table.Render().c_str());
   }
@@ -84,10 +129,9 @@ int main() {
   std::printf("-- Write-only workload (paper: size 1 grows sub-linearly to 52 Ktps @4) --\n");
   {
     TablePrinter table({"sites", "write-tx size=1 (Ktps)", "write-tx size=5 (Ktps)"});
-    for (size_t sites = 1; sites <= 4; ++sites) {
-      double k1 = walter::RunWorkload(sites, {0.0, 1, 1}, 300 + sites);
-      double k5 = walter::RunWorkload(sites, {0.0, 1, 5}, 400 + sites);
-      table.AddRow({std::to_string(sites), TablePrinter::Fmt(k1), TablePrinter::Fmt(k5)});
+    for (size_t sites = 1; sites <= max_sites; ++sites) {
+      table.AddRow({std::to_string(sites), TablePrinter::Fmt(at(2, sites)),
+                    TablePrinter::Fmt(at(3, sites))});
     }
     std::printf("%s\n", table.Render().c_str());
   }
@@ -96,18 +140,22 @@ int main() {
   {
     TablePrinter table({"sites", "r1/w1 (Ktps)", "r1/w5 (Ktps)", "r5/w1 (Ktps)",
                         "r5/w5 (Ktps)"});
-    for (size_t sites = 1; sites <= 4; ++sites) {
-      double a = walter::RunWorkload(sites, {0.9, 1, 1}, 500 + sites);
-      double b = walter::RunWorkload(sites, {0.9, 1, 5}, 600 + sites);
-      double c = walter::RunWorkload(sites, {0.9, 5, 1}, 700 + sites);
-      double d = walter::RunWorkload(sites, {0.9, 5, 5}, 800 + sites);
-      table.AddRow({std::to_string(sites), TablePrinter::Fmt(a), TablePrinter::Fmt(b),
-                    TablePrinter::Fmt(c), TablePrinter::Fmt(d)});
+    for (size_t sites = 1; sites <= max_sites; ++sites) {
+      table.AddRow({std::to_string(sites), TablePrinter::Fmt(at(4, sites)),
+                    TablePrinter::Fmt(at(5, sites)), TablePrinter::Fmt(at(6, sites)),
+                    TablePrinter::Fmt(at(7, sites))});
     }
     std::printf("%s\n", table.Render().c_str());
   }
   std::printf(
       "Expected shape: reads scale linearly with sites; writes grow sub-linearly\n"
       "(replication work grows with sites); size-5 transactions ~1/5 of size-1.\n");
-  return 0;
+
+  walter::BenchJson json;
+  json.Set("bench", std::string("fig17_throughput"));
+  json.Set("quick", opt.quick ? 1.0 : 0.0);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    json.Set(cells[i].json_key + "_ktps", ktps[i]);
+  }
+  return json.WriteIfRequested(opt.json_path) ? 0 : 1;
 }

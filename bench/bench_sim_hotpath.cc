@@ -1,0 +1,210 @@
+// Simulation-core hot-path microbenchmark: event loop, timer cancellation,
+// RPC echo, and propagation-style fanout. Wall-clock rates over the same four
+// workloads as the pre-overhaul baseline recorded in BENCH_core.json, so the
+// numbers are directly comparable across commits.
+//
+// Scenarios:
+//   A event-loop:   256 self-rescheduling chains, 2M events total.
+//   B timer-cancel: 1M schedule(10s timeout) + cancel pairs (the RPC-timeout
+//                   pattern: the response almost always arrives first).
+//   C rpc-echo:     1M 128-byte echo round-trips across a 4-site uniform
+//                   topology (1 ms RTT, 10 us intra-site), 16 client loops.
+//   D fanout:       20k rounds of one 32 KB batch payload sent to 3 remote
+//                   destinations; reports payload bytes materialized per
+//                   message (buffer sharing makes this size/3 instead of size).
+//
+// --quick divides the workload sizes by 10 (CI smoke); --json PATH emits the
+// rates machine-readably.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/net/network.h"
+#include "src/net/topology.h"
+#include "src/sim/simulator.h"
+
+namespace walter {
+namespace {
+
+double WallSeconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// Scenario A: self-rescheduling timer wheel; the capture exceeds 16 bytes so
+// the closure is representative of this codebase's callbacks.
+double BenchEventLoop(uint64_t target_events) {
+  Simulator sim(1);
+  struct Chain {
+    Simulator* sim;
+    uint64_t remaining;
+    uint64_t pad;  // keep the capture larger than a bare pointer
+  };
+  std::vector<Chain> chains(256);
+  auto t0 = std::chrono::steady_clock::now();
+  std::function<void(Chain*)> tick = [&tick](Chain* c) {
+    if (c->remaining == 0) {
+      return;
+    }
+    --c->remaining;
+    Chain* cp = c;
+    auto* tp = &tick;
+    c->sim->After(1, [cp, tp, pad = c->pad]() {
+      (void)pad;
+      (*tp)(cp);
+    });
+  };
+  for (auto& c : chains) {
+    c = Chain{&sim, target_events / chains.size(), 0x5a5a5a5a};
+    tick(&c);
+  }
+  sim.Run();
+  double secs = WallSeconds(t0);
+  std::printf("  event-loop: %llu events in %.3fs = %.0f events/s\n",
+              (unsigned long long)sim.events_processed(), secs,
+              sim.events_processed() / secs);
+  return sim.events_processed() / secs;
+}
+
+// Scenario B: schedule a far-future timeout, cancel it almost immediately.
+double BenchTimerCancel(uint64_t target_ops) {
+  Simulator sim(2);
+  uint64_t done = 0;
+  EventId pending = 0;
+  std::function<void()> step = [&]() {
+    if (pending != 0) {
+      sim.Cancel(pending);
+      pending = 0;
+    }
+    if (done++ >= target_ops) {
+      return;
+    }
+    uint64_t pad = done;
+    pending = sim.After(Seconds(10), [pad]() { (void)pad; });
+    sim.After(1, step);
+  };
+  auto t0 = std::chrono::steady_clock::now();
+  step();
+  sim.Run();
+  double secs = WallSeconds(t0);
+  std::printf("  timer-cancel: %llu schedule+cancel pairs in %.3fs = %.0f ops/s\n",
+              (unsigned long long)target_ops, secs, target_ops / secs);
+  return target_ops / secs;
+}
+
+// Scenario C: RPC echo round-trips across sites.
+double BenchRpcEcho(uint64_t target_msgs) {
+  Simulator sim(3);
+  Network net(&sim, Topology::Uniform(4, Millis(1), Micros(10)));
+  net.SetJitter(0);
+  std::vector<std::unique_ptr<RpcEndpoint>> servers;
+  std::vector<std::unique_ptr<RpcEndpoint>> clients;
+  constexpr uint32_t kEcho = 7;
+  for (SiteId s = 0; s < 4; ++s) {
+    servers.push_back(std::make_unique<RpcEndpoint>(&net, Address{s, 1}));
+    servers.back()->Handle(kEcho, [](const Message& m, RpcEndpoint::ReplyFn reply) {
+      Message resp;
+      resp.payload = m.payload;  // refcount bump: echoing shares the buffer
+      reply(std::move(resp));
+    });
+  }
+  Payload body(std::string(128, 'x'));
+  auto t0 = std::chrono::steady_clock::now();
+  std::function<void(RpcEndpoint*, SiteId)> fire = [&](RpcEndpoint* ep, SiteId dest) {
+    if (net.messages_sent() >= target_msgs) {
+      return;
+    }
+    ep->Call(Address{dest, 1}, kEcho, body,
+             [&fire, ep, dest](Status, const Message&) { fire(ep, dest); });
+  };
+  for (SiteId s = 0; s < 4; ++s) {
+    for (int c = 0; c < 4; ++c) {
+      clients.push_back(std::make_unique<RpcEndpoint>(&net, Address{s, 100 + (uint32_t)c}));
+      fire(clients.back().get(), (s + 1 + c) % 4);
+    }
+  }
+  sim.Run();
+  double secs = WallSeconds(t0);
+  std::printf("  rpc-echo: %llu messages in %.3fs = %.0f msgs/s\n",
+              (unsigned long long)net.messages_sent(), secs, net.messages_sent() / secs);
+  return net.messages_sent() / secs;
+}
+
+// Scenario D: propagation-style fanout — one 32 KB batch payload per round,
+// shared by reference across 3 destinations.
+struct FanoutResult {
+  double msgs_per_sec = 0;
+  double bytes_per_msg = 0;
+};
+
+FanoutResult BenchFanout(uint64_t rounds) {
+  Simulator sim(4);
+  Topology topo = Topology::Uniform(4, Millis(1), Micros(10));
+  topo.SetCrossSiteBandwidthBps(1e12);  // do not let virtual bw throttle wall time
+  Network net(&sim, topo);
+  net.SetJitter(0);
+  constexpr uint32_t kBatch = 12;
+  std::vector<std::unique_ptr<RpcEndpoint>> eps;
+  uint64_t delivered = 0;
+  for (SiteId s = 0; s < 4; ++s) {
+    eps.push_back(std::make_unique<RpcEndpoint>(&net, Address{s, 1}));
+    eps.back()->Handle(kBatch, [&delivered](const Message&, RpcEndpoint::ReplyFn) {
+      ++delivered;
+    });
+  }
+  uint64_t wrapped_before = Payload::bytes_wrapped();
+  auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t r = 0; r < rounds; ++r) {
+    // Serialize once per round; all three sends alias the same buffer.
+    Payload batch(std::string(32 * 1024, 'b'));
+    for (SiteId d = 1; d < 4; ++d) {
+      eps[0]->Send(Address{d, 1}, kBatch, batch);
+    }
+    if (r % 64 == 0) {
+      sim.Run();  // drain so the queue does not balloon
+    }
+  }
+  sim.Run();
+  double secs = WallSeconds(t0);
+  uint64_t wrapped = Payload::bytes_wrapped() - wrapped_before;
+  FanoutResult out;
+  out.msgs_per_sec = delivered / secs;
+  out.bytes_per_msg = static_cast<double>(wrapped) / delivered;
+  std::printf("  fanout: %llu msgs in %.3fs = %.0f msgs/s, %.0f bytes wrapped/msg\n",
+              (unsigned long long)delivered, secs, out.msgs_per_sec, out.bytes_per_msg);
+  return out;
+}
+
+}  // namespace
+}  // namespace walter
+
+int main(int argc, char** argv) {
+  walter::BenchOptions opt = walter::ParseBenchArgs(argc, argv);
+  uint64_t scale = opt.quick ? 10 : 1;
+  std::printf("=== sim hot-path ===\n");
+  double a = walter::BenchEventLoop(2'000'000 / scale);
+  double b = walter::BenchTimerCancel(1'000'000 / scale);
+  double c = walter::BenchRpcEcho(1'000'000 / scale);
+  walter::FanoutResult d = walter::BenchFanout(20'000 / scale);
+  // Headline events/sec: total scheduled+fired events over both event-loop
+  // scenarios (aggregate by total work / total time).
+  double ev_a = 2'000'000.0 / scale;
+  double ev_b = 1'000'000.0 / scale;
+  double headline = (ev_a + 2 * ev_b) / (ev_a / a + ev_b / b);
+  std::printf("headline events/s (A+B aggregate): %.0f\n", headline);
+
+  walter::BenchJson json;
+  json.Set("bench", std::string("sim_hotpath"));
+  json.Set("quick", opt.quick ? 1.0 : 0.0);
+  json.Set("event_loop_events_per_sec", a);
+  json.Set("timer_cancel_ops_per_sec", b);
+  json.Set("rpc_echo_msgs_per_sec", c);
+  json.Set("fanout_msgs_per_sec", d.msgs_per_sec);
+  json.Set("fanout_bytes_wrapped_per_msg", d.bytes_per_msg);
+  json.Set("headline_events_per_sec", headline);
+  return json.WriteIfRequested(opt.json_path) ? 0 : 1;
+}

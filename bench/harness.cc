@@ -1,6 +1,9 @@
 #include "bench/harness.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <utility>
 
@@ -14,7 +17,74 @@ struct Window {
   bool Contains(SimTime t) const { return t >= start && t < end; }
 };
 
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
 }  // namespace
+
+BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions options;
+  if (const char* env = std::getenv("WALTER_BENCH_JOBS")) {
+    options.jobs = std::max(1, std::atoi(env));
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      options.jobs = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      options.jobs = std::max(1, std::atoi(argv[i] + 7));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      options.json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      options.json_path = argv[i] + 7;
+    }
+  }
+  return options;
+}
+
+void BenchJson::Set(const std::string& key, double value) {
+  entries_.emplace_back(key, JsonNumber(value));
+}
+
+void BenchJson::Set(const std::string& key, const std::string& value) {
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') {
+      quoted += '\\';
+    }
+    quoted += c;
+  }
+  quoted += '"';
+  entries_.emplace_back(key, std::move(quoted));
+}
+
+std::string BenchJson::Render() const {
+  std::string out = "{\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out += "  \"" + entries_[i].first + "\": " + entries_[i].second;
+    out += i + 1 < entries_.size() ? ",\n" : "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+bool BenchJson::WriteIfRequested(const std::string& path) const {
+  if (path.empty()) {
+    return true;
+  }
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot write JSON to %s\n", path.c_str());
+    return false;
+  }
+  f << Render();
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return static_cast<bool>(f);
+}
 
 LoadResult ClosedLoopLoad::Run(SimDuration warmup, SimDuration measure) {
   auto result = std::make_shared<LoadResult>();
@@ -24,13 +94,18 @@ LoadResult ClosedLoopLoad::Run(SimDuration warmup, SimDuration measure) {
   auto stopped = std::make_shared<bool>(false);
 
   for (auto& factory : factories_) {
+    // The loop body captures itself weakly (a strong self-capture would be a
+    // shared_ptr cycle and leak the closure); each in-flight operation's
+    // completion callback holds the strong reference instead.
     auto loop = std::make_shared<std::function<void()>>();
-    *loop = [this, factory, result, window, stopped, loop]() {
+    *loop = [this, factory, result, window, stopped,
+             weak_loop = std::weak_ptr<std::function<void()>>(loop)]() {
       if (*stopped) {
         return;
       }
       SimTime begin = sim_->Now();
-      factory([this, begin, result, window, stopped, loop](bool ok) {
+      auto self = weak_loop.lock();
+      factory([this, begin, result, window, stopped, self](bool ok) {
         SimTime now = sim_->Now();
         if (window->Contains(begin)) {
           if (ok) {
@@ -40,8 +115,8 @@ LoadResult ClosedLoopLoad::Run(SimDuration warmup, SimDuration measure) {
             ++result->failed;
           }
         }
-        if (!*stopped) {
-          (*loop)();
+        if (!*stopped && self) {
+          (*self)();
         }
       });
     };
@@ -64,8 +139,11 @@ LoadResult OpenLoopLoad::Run(SimDuration warmup, SimDuration measure) {
   auto stopped = std::make_shared<bool>(false);
   double mean_gap_us = 1e6 / rate_;
 
+  // Weak self-capture (see ClosedLoopLoad::Run); the scheduled timer event
+  // holds the strong reference that keeps the arrival closure alive.
   auto arrival = std::make_shared<std::function<void()>>();
-  *arrival = [this, result, window, stopped, arrival, mean_gap_us]() {
+  *arrival = [this, result, window, stopped, mean_gap_us,
+              weak_arrival = std::weak_ptr<std::function<void()>>(arrival)]() {
     if (*stopped) {
       return;
     }
@@ -81,7 +159,12 @@ LoadResult OpenLoopLoad::Run(SimDuration warmup, SimDuration measure) {
       }
     });
     SimDuration gap = static_cast<SimDuration>(sim_->rng().Exponential(mean_gap_us));
-    sim_->After(std::max<SimDuration>(gap, 1), *arrival);
+    auto self = weak_arrival.lock();
+    sim_->After(std::max<SimDuration>(gap, 1), [self]() {
+      if (self) {
+        (*self)();
+      }
+    });
   };
   (*arrival)();
 
@@ -115,17 +198,22 @@ OpFactory ReadTxFactory(WalterClient* client, ContainerId container, uint64_t ke
     auto tx = std::make_shared<Tx>(client);
     auto remaining = std::make_shared<size_t>(tx_size);
     auto finish = std::make_shared<std::function<void(bool)>>(std::move(done));
+    // One step per read; the step closure captures itself weakly (a strong
+    // self-capture would be a cycle leaking every transaction) while each
+    // in-flight read callback holds the strong reference.
     auto step = std::make_shared<std::function<void()>>();
-    *step = [tx, container, keys, rng, remaining, step, finish]() {
+    *step = [tx, container, keys, rng, remaining, finish,
+             weak_step = std::weak_ptr<std::function<void()>>(step)]() {
       if (*remaining == 0) {
         tx->Commit([tx, finish](Status s) { (*finish)(s.ok()); });
         return;
       }
       --*remaining;
       ObjectId oid{container, rng->Uniform(keys)};
-      tx->Read(oid, [step, finish](Status s, std::optional<std::string>) {
-        if (s.ok()) {
-          (*step)();
+      auto self = weak_step.lock();
+      tx->Read(oid, [self, finish](Status s, std::optional<std::string>) {
+        if (s.ok() && self) {
+          (*self)();
         } else {
           (*finish)(false);
         }

@@ -9,9 +9,12 @@
 #ifndef BENCH_HARNESS_H_
 #define BENCH_HARNESS_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -19,6 +22,78 @@
 #include "src/core/cluster.h"
 
 namespace walter {
+
+// --- Experiment runner & reporting -------------------------------------------
+
+// Shared command-line conventions of the bench binaries.
+struct BenchOptions {
+  int jobs = 1;            // worker threads for independent simulation cells
+  bool quick = false;      // reduced matrix/duration for CI smoke runs
+  std::string json_path;   // when nonempty, also emit metrics as JSON here
+};
+
+// Parses --jobs N, --quick and --json PATH (unrecognized arguments are
+// ignored). With no --jobs, the WALTER_BENCH_JOBS environment variable
+// applies; the default is 1.
+BenchOptions ParseBenchArgs(int argc, char** argv);
+
+// Deterministic machine-readable metrics alongside the text tables: insertion-
+// ordered flat key -> value pairs rendered as one JSON object.
+class BenchJson {
+ public:
+  void Set(const std::string& key, double value);
+  void Set(const std::string& key, const std::string& value);
+
+  std::string Render() const;
+  // Writes Render() to path; empty path is a no-op. Returns false on IO error.
+  bool WriteIfRequested(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+// Fans independent simulation cells of a sweep out to a thread pool. Each cell
+// must build its own private Simulator/Cluster (cells share nothing), so any
+// interleaving of cells is safe; results are returned in cell order, making
+// the merged output byte-identical for every job count.
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {}
+
+  template <typename R>
+  std::vector<R> Map(size_t cells, const std::function<R(size_t cell)>& fn) const {
+    std::vector<R> results(cells);
+    if (jobs_ == 1 || cells <= 1) {
+      for (size_t i = 0; i < cells; ++i) {
+        results[i] = fn(i);
+      }
+      return results;
+    }
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      while (true) {
+        size_t i = next.fetch_add(1);
+        if (i >= cells) {
+          return;
+        }
+        results[i] = fn(i);
+      }
+    };
+    std::vector<std::thread> pool;
+    size_t n = std::min<size_t>(static_cast<size_t>(jobs_), cells);
+    pool.reserve(n);
+    for (size_t t = 0; t < n; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (auto& t : pool) {
+      t.join();
+    }
+    return results;
+  }
+
+ private:
+  int jobs_;
+};
 
 // Starts one operation; must invoke done(ok) exactly once when it completes.
 using OpFactory = std::function<void(std::function<void(bool ok)> done)>;

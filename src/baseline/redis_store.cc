@@ -81,7 +81,7 @@ RedisServer::RedisServer(Simulator* sim, Network* net, Options options)
   }
 }
 
-std::string RedisServer::ApplyWrite(const std::string& command_bytes) {
+std::string RedisServer::ApplyWrite(std::string_view command_bytes) {
   Command c = DecodeCommand(command_bytes);
   ByteWriter result;
   switch (c.op) {
@@ -142,7 +142,7 @@ void RedisServer::HandleCommand(const Message& msg, RpcEndpoint::ReplyFn reply) 
         return;
       }
       std::string result = ApplyWrite(payload);
-      unreplicated_.push_back(payload);
+      unreplicated_.push_back(payload.ToString());
       w.PutU8(0);
       w.PutString(result);
       m.payload = w.Take();

@@ -55,7 +55,7 @@ class RedisServer {
   void HandleCommand(const Message& msg, RpcEndpoint::ReplyFn reply);
   void HandleReplicate(const Message& msg);
   void ReplicationLoop();
-  std::string ApplyWrite(const std::string& command_bytes);  // returns result
+  std::string ApplyWrite(std::string_view command_bytes);  // returns result
 
   Simulator* sim_;
   Options options_;

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,6 +17,46 @@
 #include "src/common/types.h"
 
 namespace walter {
+
+// Ref-counted immutable byte buffer: the payload type of the messaging layer.
+//
+// Serialized bytes are produced once (ByteWriter) and then shared by
+// reference: sending one PropagateBatch to three destinations, resending it on
+// an ack timeout, or holding it in a delivery event all alias the same buffer.
+// Immutability makes the sharing safe — no receiver can observe another
+// receiver's (nonexistent) mutations — and copying a Payload is two pointer
+// writes instead of a byte copy.
+class Payload {
+ public:
+  Payload() = default;
+  // Wraps freshly produced bytes (one control-block allocation, no byte copy).
+  Payload(std::string bytes)  // NOLINT(runtime/explicit): std::string is a payload
+      : buf_(bytes.empty() ? nullptr
+                           : std::make_shared<const std::string>(std::move(bytes))) {
+    bytes_wrapped_ += buf_ ? buf_->size() : 0;
+  }
+  Payload(const char* bytes) : Payload(std::string(bytes)) {}  // NOLINT(runtime/explicit)
+
+  std::string_view view() const {
+    return buf_ ? std::string_view(*buf_) : std::string_view();
+  }
+  operator std::string_view() const { return view(); }  // NOLINT(runtime/explicit)
+
+  const char* data() const { return view().data(); }
+  size_t size() const { return buf_ ? buf_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  std::string ToString() const { return std::string(view()); }
+
+  // Total bytes that were materialized into payload buffers (deep "copies").
+  // Shares bump a refcount instead; benches report wrapped-bytes-per-message
+  // to show the effect of buffer sharing on fanout and resends. Thread-local
+  // so concurrent simulations (ParallelRunner) never contend or race.
+  static uint64_t bytes_wrapped() { return bytes_wrapped_; }
+
+ private:
+  std::shared_ptr<const std::string> buf_;
+  static inline thread_local uint64_t bytes_wrapped_ = 0;
+};
 
 class ByteWriter {
  public:

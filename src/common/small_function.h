@@ -1,0 +1,141 @@
+// Small-buffer-optimized move-only callable, used on the simulator hot path.
+//
+// std::function heap-allocates any callable larger than its tiny inline buffer
+// (16 bytes on libstdc++), and this codebase's typical event closures —
+// Guard() wrappers capturing a shared_ptr plus an inner lambda, RPC
+// continuations capturing endpoints and ids — are bigger than that. With an
+// inline buffer of kSmallFunctionSbo bytes, scheduling such a closure performs
+// no allocation at all; only unusually fat captures fall back to the heap.
+//
+// Unlike std::function, SmallFunction is move-only and therefore accepts
+// move-only captures (e.g. a captured Payload or unique_ptr).
+#ifndef SRC_COMMON_SMALL_FUNCTION_H_
+#define SRC_COMMON_SMALL_FUNCTION_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace walter {
+
+// Inline capture budget. 64 bytes covers the network delivery closure (a
+// Message — payload handle, addresses, rpc id — plus the network pointer),
+// which is scheduled once per message and is the hottest closure in the
+// system, as well as every Guard()-wrapped protocol callback.
+inline constexpr size_t kSmallFunctionSbo = 64;
+
+template <typename Signature, size_t SboSize = kSmallFunctionSbo>
+class SmallFunction;
+
+template <typename R, typename... Args, size_t SboSize>
+class SmallFunction<R(Args...), SboSize> {
+ public:
+  SmallFunction() = default;
+  SmallFunction(std::nullptr_t) {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(runtime/explicit)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= SboSize && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { Reset(); }
+
+  // Destroys the held callable (releasing everything it captured).
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(unsigned char*, Args&&...);
+    // Move-constructs the callable from src into dst, then destroys src.
+    void (*relocate)(unsigned char* src, unsigned char* dst);
+    void (*destroy)(unsigned char*);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static R Invoke(unsigned char* s, Args&&... args) {
+      return (*std::launder(reinterpret_cast<Fn*>(s)))(std::forward<Args>(args)...);
+    }
+    static void Relocate(unsigned char* src, unsigned char* dst) {
+      Fn* f = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (static_cast<void*>(dst)) Fn(std::move(*f));
+      f->~Fn();
+    }
+    static void Destroy(unsigned char* s) {
+      std::launder(reinterpret_cast<Fn*>(s))->~Fn();
+    }
+    static constexpr Ops ops{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* Ptr(unsigned char* s) {
+      return *std::launder(reinterpret_cast<Fn**>(s));
+    }
+    static R Invoke(unsigned char* s, Args&&... args) {
+      return (*Ptr(s))(std::forward<Args>(args)...);
+    }
+    static void Relocate(unsigned char* src, unsigned char* dst) {
+      ::new (static_cast<void*>(dst)) Fn*(Ptr(src));
+    }
+    static void Destroy(unsigned char* s) { delete Ptr(s); }
+    static constexpr Ops ops{&Invoke, &Relocate, &Destroy};
+  };
+
+  void MoveFrom(SmallFunction&& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[SboSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace walter
+
+#endif  // SRC_COMMON_SMALL_FUNCTION_H_

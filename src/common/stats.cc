@@ -38,6 +38,10 @@ double LatencyRecorder::Percentile(double p) {
     return 0;
   }
   Sort();
+  return PercentileSorted(p);
+}
+
+double LatencyRecorder::PercentileSorted(double p) const {
   double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
   auto idx = static_cast<size_t>(rank);
   if (idx + 1 >= samples_.size()) {
@@ -45,6 +49,23 @@ double LatencyRecorder::Percentile(double p) {
   }
   double frac = rank - static_cast<double>(idx);
   return samples_[idx] * (1 - frac) + samples_[idx + 1] * frac;
+}
+
+LatencyRecorder::SummaryStats LatencyRecorder::Stats() {
+  SummaryStats out;
+  out.n = samples_.size();
+  if (samples_.empty()) {
+    return out;
+  }
+  Sort();  // the single sort pass; every statistic below reads the sorted vector
+  out.min = samples_.front();
+  out.max = samples_.back();
+  out.mean = Mean();
+  out.p50 = PercentileSorted(50);
+  out.p90 = PercentileSorted(90);
+  out.p99 = PercentileSorted(99);
+  out.p999 = PercentileSorted(99.9);
+  return out;
 }
 
 std::vector<std::pair<double, double>> LatencyRecorder::Cdf(size_t points) {
@@ -65,11 +86,11 @@ std::vector<std::pair<double, double>> LatencyRecorder::Cdf(size_t points) {
 }
 
 std::string LatencyRecorder::Summary(const std::string& unit) {
+  SummaryStats s = Stats();
   std::ostringstream os;
   os << std::fixed << std::setprecision(1);
-  os << "n=" << count() << " p50=" << Percentile(50) << unit << " p90=" << Percentile(90) << unit
-     << " p99=" << Percentile(99) << unit << " p99.9=" << Percentile(99.9) << unit
-     << " max=" << Max() << unit;
+  os << "n=" << s.n << " p50=" << s.p50 << unit << " p90=" << s.p90 << unit
+     << " p99=" << s.p99 << unit << " p99.9=" << s.p999 << unit << " max=" << s.max << unit;
   return os.str();
 }
 

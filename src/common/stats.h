@@ -3,6 +3,7 @@
 #ifndef SRC_COMMON_STATS_H_
 #define SRC_COMMON_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -15,9 +16,17 @@ namespace walter {
 class LatencyRecorder {
  public:
   void Add(double sample) {
+    if (samples_.size() == samples_.capacity()) {
+      // Start with a bench-sized block so the measurement loop does not pay a
+      // ladder of small grow-and-copy steps.
+      samples_.reserve(std::max<size_t>(4096, samples_.capacity() * 2));
+    }
     samples_.push_back(sample);
     sorted_ = false;
   }
+
+  // Pre-sizes the sample buffer (e.g. for an expected op count).
+  void Reserve(size_t n) { samples_.reserve(n); }
 
   size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
@@ -34,7 +43,15 @@ class LatencyRecorder {
   // downsampled to at most `points` entries.
   std::vector<std::pair<double, double>> Cdf(size_t points = 100);
 
+  // All the summary statistics, extracted from one sort pass.
+  struct SummaryStats {
+    size_t n = 0;
+    double min = 0, mean = 0, p50 = 0, p90 = 0, p99 = 0, p999 = 0, max = 0;
+  };
+  SummaryStats Stats();
+
   // Prints "p50=.. p90=.. p99=.. p99.9=.. max=.." with the given unit suffix.
+  // Sorts (at most) once regardless of how many percentiles it reports.
   std::string Summary(const std::string& unit = "us");
 
   void Clear() {
@@ -44,6 +61,8 @@ class LatencyRecorder {
 
  private:
   void Sort();
+  // Percentile lookup that assumes Sort() already ran (no per-call check).
+  double PercentileSorted(double p) const;
 
   std::vector<double> samples_;
   bool sorted_ = false;

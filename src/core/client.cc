@@ -68,11 +68,18 @@ SimDuration WalterClient::BackoffFor(size_t attempt) {
 void WalterClient::Attempt(ClientOpRequest req,
                            std::function<void(Status, const ClientOpResponse&)> cb,
                            size_t attempt) {
-  std::string payload = req.Serialize();
+  // Serialize once; retransmissions share the same immutable buffer (the
+  // request, op_seq included, is bit-identical across attempts by design).
+  Attempt(Payload(req.Serialize()), std::move(cb), attempt);
+}
+
+void WalterClient::Attempt(Payload request,
+                           std::function<void(Status, const ClientOpResponse&)> cb,
+                           size_t attempt) {
   endpoint_.Call(
-      Address{site_, kWalterPort}, kClientOp, std::move(payload),
-      [this, req = std::move(req), cb = std::move(cb), attempt](Status status,
-                                                               const Message& m) mutable {
+      Address{site_, kWalterPort}, kClientOp, request,
+      [this, request, cb = std::move(cb), attempt](Status status,
+                                                   const Message& m) mutable {
         if (status.ok()) {
           ClientOpResponse resp = ClientOpResponse::Deserialize(m.payload);
           if (resp.status != StatusCode::kOk) {
@@ -91,9 +98,10 @@ void WalterClient::Attempt(ClientOpRequest req,
           return;
         }
         sim()->After(BackoffFor(attempt),
-                     [this, req = std::move(req), cb = std::move(cb), attempt]() mutable {
+                     [this, request = std::move(request), cb = std::move(cb),
+                      attempt]() mutable {
                        ++retries_sent_;
-                       Attempt(std::move(req), std::move(cb), attempt + 1);
+                       Attempt(std::move(request), std::move(cb), attempt + 1);
                      });
       },
       options_.rpc_timeout);

@@ -79,6 +79,9 @@ class WalterClient {
  private:
   void Attempt(ClientOpRequest req, std::function<void(Status, const ClientOpResponse&)> cb,
                size_t attempt);
+  // Retransmission path: the serialized request buffer is shared across attempts.
+  void Attempt(Payload request, std::function<void(Status, const ClientOpResponse&)> cb,
+               size_t attempt);
   SimDuration BackoffFor(size_t attempt);
 
   RpcEndpoint endpoint_;

@@ -780,29 +780,37 @@ void WalterServer::MaybeSendBatch(SiteId dest) {
   }
 
   to = std::min(to, from + options_.max_batch_records - 1);
-  PropagateBatch batch;
-  batch.origin = options_.site;
-  // Seqnos below the retention floor were globally visible once and their
-  // records released; a resynced peer that lost them to a crash is served from
-  // the WAL (requires the prefix not to have been checkpointed away).
-  uint64_t floor = local_commits_.empty() ? to + 1 : local_commits_.begin()->first;
-  std::vector<TxRecord> released;
-  if (from < floor) {
-    released = CollectRecords(options_.site, from, std::min(to, floor - 1));
-  }
-  size_t ri = 0;
-  for (uint64_t s = from; s <= to; ++s) {
-    auto it = local_commits_.find(s);
-    if (it != local_commits_.end()) {
-      batch.records.push_back(it->second.record);
-      continue;
+  // Serialize the batch once per (from, to) range and share the buffer: other
+  // destinations at the same ack state and resend retransmissions reuse it
+  // instead of re-collecting and re-serializing the records. A committed
+  // seqno's record is immutable, so the cache only needs invalidation when
+  // seqnos are reused (TruncateOwnLog).
+  if (batch_cache_.payload.empty() || batch_cache_.from != from || batch_cache_.to != to) {
+    PropagateBatch batch;
+    batch.origin = options_.site;
+    // Seqnos below the retention floor were globally visible once and their
+    // records released; a resynced peer that lost them to a crash is served from
+    // the WAL (requires the prefix not to have been checkpointed away).
+    uint64_t floor = local_commits_.empty() ? to + 1 : local_commits_.begin()->first;
+    std::vector<TxRecord> released;
+    if (from < floor) {
+      released = CollectRecords(options_.site, from, std::min(to, floor - 1));
     }
-    WCHECK(ri < released.size() && released[ri].version.seqno == s,
-           "missing commit record seqno=" << s << " (released and checkpointed?)");
-    batch.records.push_back(std::move(released[ri++]));
+    size_t ri = 0;
+    for (uint64_t s = from; s <= to; ++s) {
+      auto it = local_commits_.find(s);
+      if (it != local_commits_.end()) {
+        batch.records.push_back(it->second.record);
+        continue;
+      }
+      WCHECK(ri < released.size() && released[ri].version.seqno == s,
+             "missing commit record seqno=" << s << " (released and checkpointed?)");
+      batch.records.push_back(std::move(released[ri++]));
+    }
+    batch_cache_ = {from, to, Payload(batch.Serialize())};
   }
   ++stats_.batches_sent;
-  endpoint_.Send(Address{dest, kWalterPort}, kPropagate, batch.Serialize());
+  endpoint_.Send(Address{dest, kWalterPort}, kPropagate, batch_cache_.payload);
   ds.in_flight = true;
   ds.sent_through = to;
   ds.last_batch_sent = sim_->Now();
@@ -1057,9 +1065,10 @@ void WalterServer::UpdateDsDurable() {
     DsDurableMessage m;
     m.origin = options_.site;
     m.durable_through = ds_durable_through_;
+    Payload announce = m.Serialize();  // one buffer shared by every destination
     for (SiteId s = 0; s < options_.num_sites; ++s) {
       if (s != options_.site) {
-        endpoint_.Send(Address{s, kWalterPort}, kDsDurable, m.Serialize());
+        endpoint_.Send(Address{s, kWalterPort}, kDsDurable, announce);
       }
     }
     UpdateGloballyVisible();
@@ -1121,11 +1130,12 @@ void WalterServer::StartGossip() {
       DsDurableMessage m;
       m.origin = options_.site;
       m.durable_through = ds_durable_through_;
+      Payload announce = m.Serialize();  // shared across destinations
       for (SiteId s = 0; s < options_.num_sites; ++s) {
         if (s == options_.site) {
           continue;
         }
-        endpoint_.Send(Address{s, kWalterPort}, kDsDurable, m.Serialize());
+        endpoint_.Send(Address{s, kWalterPort}, kDsDurable, announce);
         PropagateAck ack;
         ack.from = options_.site;
         ack.origin = s;
@@ -1338,7 +1348,9 @@ void WalterServer::TruncateOwnLog(uint64_t survive_through) {
     }
   }
   // Seqnos are reused from the surviving prefix: the survivors discarded our
-  // suffix, so the numbers are free again (Section 5.7).
+  // suffix, so the numbers are free again (Section 5.7). A cached batch
+  // payload may cover discarded seqnos about to be rewritten — drop it.
+  batch_cache_ = {};
   curr_seqno_ = survive_through;
   if (committed_vts_.at(options_.site) > survive_through) {
     committed_vts_.set(options_.site, survive_through);

@@ -363,6 +363,15 @@ class WalterServer {
 
   // Outbound replication.
   std::vector<DestState> dests_;
+  // The serialized PROPAGATE payload for seqno range [from, to], shared across
+  // destinations and resends (the records of a committed seqno never change;
+  // only TruncateOwnLog invalidates by reusing seqnos).
+  struct BatchPayloadCache {
+    uint64_t from = 0;
+    uint64_t to = 0;
+    Payload payload;
+  };
+  BatchPayloadCache batch_cache_;
   uint64_t ds_durable_through_ = 0;
   uint64_t visible_through_ = 0;
 

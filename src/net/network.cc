@@ -13,21 +13,37 @@ constexpr size_t kMessageOverheadBytes = 64;
 }  // namespace
 
 Network::Network(Simulator* sim, Topology topology)
-    : sim_(sim), topology_(std::move(topology)), isolated_(topology_.num_sites(), false) {}
+    : sim_(sim),
+      topology_(std::move(topology)),
+      num_sites_(topology_.num_sites()),
+      endpoints_(num_sites_),
+      partitioned_(num_sites_ * num_sites_, 0),
+      isolated_(num_sites_, 0),
+      links_(num_sites_ * num_sites_) {}
 
 void Network::Register(RpcEndpoint* ep) {
-  WCHECK(endpoints_.find(ep->address()) == endpoints_.end(),
-         "duplicate endpoint " << ep->address().ToString());
-  endpoints_[ep->address()] = ep;
+  const Address& addr = ep->address();
+  WCHECK(addr.site < num_sites_, "endpoint site out of range " << addr.ToString());
+  auto& ports = endpoints_[addr.site];
+  if (addr.port >= ports.size()) {
+    ports.resize(addr.port + 1, nullptr);
+  }
+  WCHECK(ports[addr.port] == nullptr, "duplicate endpoint " << addr.ToString());
+  ports[addr.port] = ep;
 }
 
-void Network::Unregister(const Address& addr) { endpoints_.erase(addr); }
+void Network::Unregister(const Address& addr) {
+  if (addr.site < endpoints_.size() && addr.port < endpoints_[addr.site].size()) {
+    endpoints_[addr.site][addr.port] = nullptr;
+  }
+}
 
 void Network::SetPartitioned(SiteId a, SiteId b, bool partitioned) {
-  partitions_[{std::min(a, b), std::max(a, b)}] = partitioned;
+  partitioned_[LinkIndex(a, b)] = partitioned ? 1 : 0;
+  partitioned_[LinkIndex(b, a)] = partitioned ? 1 : 0;
 }
 
-void Network::IsolateSite(SiteId s, bool isolated) { isolated_[s] = isolated; }
+void Network::IsolateSite(SiteId s, bool isolated) { isolated_[s] = isolated ? 1 : 0; }
 
 bool Network::IsCut(SiteId a, SiteId b) const {
   if (a == b) {
@@ -36,12 +52,11 @@ bool Network::IsCut(SiteId a, SiteId b) const {
   if (isolated_[a] || isolated_[b]) {
     return true;
   }
-  auto it = partitions_.find({std::min(a, b), std::max(a, b)});
-  return it != partitions_.end() && it->second;
+  return partitioned_[LinkIndex(a, b)] != 0;
 }
 
-void Network::SendMessage(const Address& from, const Address& to, Message msg,
-                          size_t size_bytes) {
+void Network::SendMessage(const Address& from, const Address& to, Message msg) {
+  size_t size_bytes = msg.payload.size();
   ++messages_sent_;
   bytes_sent_ += size_bytes;
   if (drop_filter_ && drop_filter_(msg, from, to)) {
@@ -58,7 +73,7 @@ void Network::SendMessage(const Address& from, const Address& to, Message msg,
     return;
   }
 
-  LinkState& link = links_[{from.site, to.site}];
+  LinkState& link = links_[LinkIndex(from.site, to.site)];
   SimTime start = std::max(sim_->Now(), link.next_free);
   double bw = topology_.BandwidthBps(from.site, to.site);
   auto tx_delay = static_cast<SimDuration>(
@@ -75,13 +90,14 @@ void Network::SendMessage(const Address& from, const Address& to, Message msg,
   arrival = std::max(arrival, link.last_arrival);
   link.last_arrival = arrival;
 
+  // The delivery event aliases the payload buffer (refcount bump, no copy).
   sim_->At(arrival, [this, to, msg = std::move(msg)]() mutable {
-    auto it = endpoints_.find(to);
-    if (it == endpoints_.end() || it->second->down()) {
+    RpcEndpoint* ep = Lookup(to);
+    if (ep == nullptr || ep->down()) {
       ++messages_dropped_;
       return;
     }
-    it->second->Deliver(std::move(msg));
+    ep->Deliver(std::move(msg));
   });
 }
 
@@ -104,7 +120,7 @@ void RpcEndpoint::Handle(uint32_t type, Handler handler) {
   handlers_[type] = std::move(handler);
 }
 
-void RpcEndpoint::Send(const Address& to, uint32_t type, std::string payload) {
+void RpcEndpoint::Send(const Address& to, uint32_t type, Payload payload) {
   if (down_) {
     return;
   }
@@ -112,11 +128,10 @@ void RpcEndpoint::Send(const Address& to, uint32_t type, std::string payload) {
   msg.type = type;
   msg.payload = std::move(payload);
   msg.from = addr_;
-  size_t size = msg.payload.size();
-  net_->SendMessage(addr_, to, std::move(msg), size);
+  net_->SendMessage(addr_, to, std::move(msg));
 }
 
-void RpcEndpoint::Call(const Address& to, uint32_t type, std::string payload,
+void RpcEndpoint::Call(const Address& to, uint32_t type, Payload payload,
                        ResponseCallback cb, SimDuration timeout) {
   if (down_) {
     return;
@@ -143,8 +158,7 @@ void RpcEndpoint::Call(const Address& to, uint32_t type, std::string payload,
   }
   pending_[rpc_id] = std::move(pending);
 
-  size_t size = msg.payload.size();
-  net_->SendMessage(addr_, to, std::move(msg), size);
+  net_->SendMessage(addr_, to, std::move(msg));
 }
 
 void RpcEndpoint::Deliver(Message msg) {
@@ -183,8 +197,7 @@ void RpcEndpoint::Deliver(Message msg) {
       response.from = addr_;
       response.rpc_id = rpc_id;
       response.is_response = true;
-      size_t size = response.payload.size();
-      net_->SendMessage(addr_, to, std::move(response), size);
+      net_->SendMessage(addr_, to, std::move(response));
     };
   } else {
     reply = [](Message) {};

@@ -9,16 +9,21 @@
 // On top of raw messages, RpcEndpoint provides one-way sends and matched
 // request/response calls with timeouts — enough to express every protocol
 // message in Figures 10-13 and the Paxos rounds of the configuration service.
+//
+// Hot-path design: payloads are ref-counted immutable buffers (Payload), so a
+// message's bytes are serialized once and shared across destinations, resends
+// and the delivery event — no per-hop byte copies. Endpoint and link lookups
+// are dense site/port-indexed vectors rather than ordered maps.
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/bytes.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/net/topology.h"
@@ -46,7 +51,7 @@ struct Address {
 
 struct Message {
   uint32_t type = 0;       // protocol-defined message/RPC type
-  std::string payload;     // serialized body (ByteWriter format)
+  Payload payload;         // serialized body (ByteWriter format), shared buffer
   // RPC plumbing (filled by the network layer).
   Address from;
   uint64_t rpc_id = 0;     // nonzero for RPC requests/responses
@@ -86,17 +91,30 @@ class Network {
 
   void Register(RpcEndpoint* ep);
   void Unregister(const Address& addr);
-  // Sends msg (already stamped with from/rpc fields); size_bytes drives the
-  // serialization delay.
-  void SendMessage(const Address& from, const Address& to, Message msg, size_t size_bytes);
+  // Sends msg (already stamped with from/rpc fields); the payload size drives
+  // the serialization delay.
+  void SendMessage(const Address& from, const Address& to, Message msg);
 
   bool IsCut(SiteId a, SiteId b) const;
 
+  RpcEndpoint* Lookup(const Address& addr) {
+    if (addr.site >= endpoints_.size()) {
+      return nullptr;
+    }
+    auto& ports = endpoints_[addr.site];
+    return addr.port < ports.size() ? ports[addr.port] : nullptr;
+  }
+
+  size_t LinkIndex(SiteId from, SiteId to) const { return from * num_sites_ + to; }
+
   Simulator* sim_;
   Topology topology_;
-  std::map<Address, RpcEndpoint*> endpoints_;
-  std::map<std::pair<SiteId, SiteId>, bool> partitions_;
-  std::vector<bool> isolated_;
+  size_t num_sites_;
+  // endpoints_[site][port]; ports are small dense integers (well-known ports
+  // plus client ports allocated upward from kClientPortBase).
+  std::vector<std::vector<RpcEndpoint*>> endpoints_;
+  std::vector<uint8_t> partitioned_;  // [a*n+b], symmetric
+  std::vector<uint8_t> isolated_;
   double loss_probability_ = 0;
   double jitter_ = 0.1;
   // Per directed (site,site) link: when the link is next free (serialization)
@@ -105,7 +123,7 @@ class Network {
     SimTime next_free = 0;
     SimTime last_arrival = 0;
   };
-  std::map<std::pair<SiteId, SiteId>, LinkState> links_;
+  std::vector<LinkState> links_;  // [from*n+to]
   DropFilter drop_filter_;
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;
@@ -137,12 +155,13 @@ class RpcEndpoint {
   // Registers the handler for a message type.
   void Handle(uint32_t type, Handler handler);
 
-  // One-way message (no response expected).
-  void Send(const Address& to, uint32_t type, std::string payload);
+  // One-way message (no response expected). Passing the same Payload to
+  // several destinations shares one buffer across all of them.
+  void Send(const Address& to, uint32_t type, Payload payload);
 
   // RPC: delivers the request, waits for the response or timeout.
   // timeout <= 0 means no timeout.
-  void Call(const Address& to, uint32_t type, std::string payload, ResponseCallback cb,
+  void Call(const Address& to, uint32_t type, Payload payload, ResponseCallback cb,
             SimDuration timeout = Seconds(10));
 
   // Takes the endpoint down: all traffic to it is dropped and pending inbound

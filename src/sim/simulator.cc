@@ -7,44 +7,103 @@ namespace walter {
 
 Simulator::Simulator(uint64_t seed) : rng_(seed) {}
 
-EventId Simulator::At(SimTime t, std::function<void()> fn) {
-  auto ev = std::make_unique<Event>();
-  ev->time = std::max(t, now_);
-  ev->seq = next_seq_++;
-  ev->id = next_id_++;
-  ev->fn = std::move(fn);
-  EventId id = ev->id;
-  queue_.push(std::move(ev));
-  ++pending_count_;
-  return id;
+uint32_t Simulator::AllocSlot() {
+  if (free_head_ != kNoSlot) {
+    uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoSlot;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
 }
 
-EventId Simulator::After(SimDuration delay, std::function<void()> fn) {
+void Simulator::ReleaseSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.Reset();
+  ++s.gen;
+  s.heap_pos = kNoSlot;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Simulator::SiftUp(uint32_t pos) {
+  uint32_t moving = heap_[pos];
+  while (pos > 0) {
+    uint32_t parent = (pos - 1) / 2;
+    if (!Earlier(moving, heap_[parent])) {
+      break;
+    }
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos]].heap_pos = pos;
+    pos = parent;
+  }
+  heap_[pos] = moving;
+  slots_[moving].heap_pos = pos;
+}
+
+void Simulator::SiftDown(uint32_t pos) {
+  uint32_t moving = heap_[pos];
+  const uint32_t n = static_cast<uint32_t>(heap_.size());
+  while (true) {
+    uint32_t child = 2 * pos + 1;
+    if (child >= n) {
+      break;
+    }
+    if (child + 1 < n && Earlier(heap_[child + 1], heap_[child])) {
+      ++child;
+    }
+    if (!Earlier(heap_[child], moving)) {
+      break;
+    }
+    heap_[pos] = heap_[child];
+    slots_[heap_[pos]].heap_pos = pos;
+    pos = child;
+  }
+  heap_[pos] = moving;
+  slots_[moving].heap_pos = pos;
+}
+
+void Simulator::HeapRemove(uint32_t pos) {
+  uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) {
+    return;  // removed the tail
+  }
+  heap_[pos] = last;
+  slots_[last].heap_pos = pos;
+  // The replacement may need to move either direction.
+  SiftUp(pos);
+  SiftDown(slots_[last].heap_pos);
+}
+
+EventId Simulator::At(SimTime t, Callback fn) {
+  uint32_t slot = AllocSlot();
+  Slot& s = slots_[slot];
+  s.time = std::max(t, now_);
+  s.seq = next_seq_++;
+  s.fn = std::move(fn);
+  heap_.push_back(slot);
+  SiftUp(static_cast<uint32_t>(heap_.size() - 1));
+  return (static_cast<EventId>(s.gen) << 32) | (slot + 1);
+}
+
+EventId Simulator::After(SimDuration delay, Callback fn) {
   return At(now_ + std::max<SimDuration>(delay, 0), std::move(fn));
 }
 
 void Simulator::Cancel(EventId id) {
-  if (id != 0) {
-    canceled_.insert(id);
+  if (id == 0) {
+    return;
   }
-}
-
-std::unique_ptr<Simulator::Event> Simulator::PopNext() {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; the const_cast is confined here and safe
-    // because we pop immediately after moving.
-    auto& top = const_cast<std::unique_ptr<Event>&>(queue_.top());
-    std::unique_ptr<Event> ev = std::move(top);
-    queue_.pop();
-    --pending_count_;
-    auto it = canceled_.find(ev->id);
-    if (it != canceled_.end()) {
-      canceled_.erase(it);
-      continue;
-    }
-    return ev;
+  uint32_t slot = static_cast<uint32_t>(id & 0xffffffffu) - 1;
+  uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].gen != gen ||
+      slots_[slot].heap_pos == kNoSlot) {
+    return;  // already fired/canceled (possibly reused since)
   }
-  return nullptr;
+  HeapRemove(slots_[slot].heap_pos);
+  ReleaseSlot(slot);
 }
 
 void Simulator::Run() {
@@ -54,25 +113,7 @@ void Simulator::Run() {
 
 size_t Simulator::RunUntil(SimTime t) {
   size_t processed = 0;
-  while (!queue_.empty()) {
-    const auto& top = queue_.top();
-    if (auto it = canceled_.find(top->id); it != canceled_.end()) {
-      // Discard canceled events here: letting Step() skip them would make it
-      // execute the next live event even when that one lies beyond `t`,
-      // silently jumping simulated time past the requested horizon.
-      canceled_.erase(it);
-      auto& topref = const_cast<std::unique_ptr<Event>&>(queue_.top());
-      std::unique_ptr<Event> dead = std::move(topref);
-      queue_.pop();
-      --pending_count_;
-      continue;
-    }
-    if (top->time > t) {
-      break;
-    }
-    if (!Step()) {
-      break;
-    }
+  while (!heap_.empty() && slots_[heap_[0]].time <= t && Step()) {
     ++processed;
   }
   now_ = std::max(now_, t);
@@ -80,13 +121,19 @@ size_t Simulator::RunUntil(SimTime t) {
 }
 
 bool Simulator::Step() {
-  std::unique_ptr<Event> ev = PopNext();
-  if (!ev) {
+  if (heap_.empty()) {
     return false;
   }
-  now_ = std::max(now_, ev->time);
+  uint32_t slot = heap_[0];
+  now_ = std::max(now_, slots_[slot].time);
+  // Move the callable out and release the slot before invoking it, so the
+  // callback can freely schedule new events (possibly reusing this slot) and
+  // Cancel with the fired event's id is a stale-generation no-op.
+  Callback fn = std::move(slots_[slot].fn);
+  HeapRemove(0);
+  ReleaseSlot(slot);
   ++events_processed_;
-  ev->fn();
+  fn();
   return true;
 }
 

@@ -7,26 +7,38 @@
 //
 // Events scheduled for the same instant run in scheduling order (stable FIFO),
 // so protocol steps never race nondeterministically.
+//
+// Hot-path design (every protocol message is at least one event, so this layer
+// bounds the wall-clock speed of every experiment):
+//  - Events live inline in a slot pool ordered by a flat indexed binary heap
+//    of slot indices; scheduling an event performs no heap allocation beyond
+//    amortized pool growth.
+//  - Callbacks are SmallFunction with a 48-byte inline buffer, so typical
+//    protocol closures never allocate.
+//  - EventIds carry a slot generation, making Cancel O(log n) with immediate
+//    removal (no tombstones): the callable and everything it captured are
+//    released at cancel time, and a stale id can never cancel a later event
+//    that reuses the slot.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/small_function.h"
 #include "src/sim/time.h"
 
 namespace walter {
 
 // Handle for a scheduled event; used to cancel timers (e.g. RPC timeouts).
+// Encodes (generation << 32) | (slot + 1); 0 is reserved as "no event".
 using EventId = uint64_t;
 
 class Simulator {
  public:
+  using Callback = SmallFunction<void()>;
+
   explicit Simulator(uint64_t seed = 1);
 
   Simulator(const Simulator&) = delete;
@@ -35,12 +47,15 @@ class Simulator {
   SimTime Now() const { return now_; }
 
   // Schedules fn at absolute virtual time t (clamped to Now()).
-  EventId At(SimTime t, std::function<void()> fn);
+  EventId At(SimTime t, Callback fn);
 
   // Schedules fn after a virtual delay (clamped to >= 0).
-  EventId After(SimDuration delay, std::function<void()> fn);
+  EventId After(SimDuration delay, Callback fn);
 
-  // Cancels a pending event. Safe to call on already-fired or unknown ids.
+  // Cancels a pending event, releasing its callable (and everything the
+  // callable captured) immediately. Safe to call on already-fired, canceled or
+  // unknown ids: generation checking makes those calls no-ops even if the
+  // event's slot has been reused by a later event.
   void Cancel(EventId id);
 
   // Runs until the event queue drains.
@@ -53,39 +68,50 @@ class Simulator {
   // Runs a single event if one is pending; returns false when the queue is empty.
   bool Step();
 
-  bool empty() const { return pending_count_ == 0; }
+  bool empty() const { return heap_.empty(); }
   size_t events_processed() const { return events_processed_; }
 
   Rng& rng() { return rng_; }
 
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;  // tie-break: FIFO among same-time events
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct EventLater {
-    bool operator()(const std::unique_ptr<Event>& a, const std::unique_ptr<Event>& b) const {
-      if (a->time != b->time) {
-        return a->time > b->time;
-      }
-      return a->seq > b->seq;
-    }
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+
+  // One event, stored inline in the slot pool. `heap_pos`/`gen` are live-event
+  // bookkeeping; a free slot threads `next_free` through the pool instead.
+  struct Slot {
+    SimTime time = 0;
+    uint64_t seq = 0;       // tie-break: FIFO among same-time events
+    Callback fn;
+    uint32_t gen = 1;       // bumped on release; stale EventIds do not match
+    uint32_t heap_pos = kNoSlot;
+    uint32_t next_free = kNoSlot;
   };
 
-  // Pops the next non-canceled event, or nullptr if none.
-  std::unique_ptr<Event> PopNext();
+  bool Earlier(uint32_t a, uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.time != sb.time) {
+      return sa.time < sb.time;
+    }
+    return sa.seq < sb.seq;
+  }
+
+  void SiftUp(uint32_t pos);
+  void SiftDown(uint32_t pos);
+  // Detaches heap_[pos] from the heap and restores the heap property.
+  void HeapRemove(uint32_t pos);
+
+  uint32_t AllocSlot();
+  // Returns a slot to the free list, destroying its callable and bumping its
+  // generation so outstanding ids for it become stale.
+  void ReleaseSlot(uint32_t slot);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  size_t pending_count_ = 0;  // non-canceled events in the queue
   size_t events_processed_ = 0;
-  std::priority_queue<std::unique_ptr<Event>, std::vector<std::unique_ptr<Event>>, EventLater>
-      queue_;
-  // Canceled ids not yet popped; erased when the event surfaces.
-  std::unordered_set<EventId> canceled_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> heap_;  // heap of slot indices, min (time, seq) on top
+  uint32_t free_head_ = kNoSlot;
   Rng rng_;
 };
 

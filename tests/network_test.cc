@@ -49,7 +49,7 @@ TEST_F(NetworkTest, OneWayDeliveryLatency) {
   SimTime arrival = -1;
   b.Handle(kEcho, [&](const Message& m, RpcEndpoint::ReplyFn) {
     arrival = sim_.Now();
-    EXPECT_EQ(m.payload, "hello");
+    EXPECT_EQ(m.payload.view(), "hello");
   });
   a.Send(Address{1, 1}, kEcho, "hello");
   sim_.Run();
@@ -63,14 +63,14 @@ TEST_F(NetworkTest, RpcRoundTrip) {
   RpcEndpoint b(&net_, Address{1, 1});
   b.Handle(kEcho, [](const Message& m, RpcEndpoint::ReplyFn reply) {
     Message resp;
-    resp.payload = "re:" + m.payload;
+    resp.payload = "re:" + m.payload.ToString();
     reply(std::move(resp));
   });
   std::string got;
   SimTime done = 0;
   a.Call(Address{1, 1}, kEcho, "ping", [&](Status s, const Message& m) {
     ASSERT_TRUE(s.ok());
-    got = m.payload;
+    got = m.payload.ToString();
     done = sim_.Now();
   });
   sim_.Run();
@@ -126,7 +126,9 @@ TEST_F(NetworkTest, FifoPerLink) {
   RpcEndpoint a(&net_, Address{0, 1});
   RpcEndpoint b(&net_, Address{1, 1});
   std::vector<std::string> order;
-  b.Handle(kEcho, [&](const Message& m, RpcEndpoint::ReplyFn) { order.push_back(m.payload); });
+  b.Handle(kEcho, [&](const Message& m, RpcEndpoint::ReplyFn) {
+    order.push_back(m.payload.ToString());
+  });
   for (int i = 0; i < 20; ++i) {
     a.Send(Address{1, 1}, kEcho, std::to_string(i));
   }
@@ -157,6 +159,43 @@ TEST_F(NetworkTest, BandwidthDelaysLargeMessages) {
   sim_.Run();
   EXPECT_LT(small_arrival, Millis(51));
   EXPECT_GT(big_arrival - small_arrival, Millis(700));
+}
+
+TEST_F(NetworkTest, SharedPayloadAliasesAcrossDestinationsUnchanged) {
+  RpcEndpoint a(&net_, Address{0, 1});
+  RpcEndpoint b(&net_, Address{1, 1});
+  RpcEndpoint c(&net_, Address{2, 1});
+  std::vector<const char*> delivered_ptrs;
+  std::vector<std::string> delivered_bytes;
+  auto record = [&](const Message& m, RpcEndpoint::ReplyFn) {
+    delivered_ptrs.push_back(m.payload.data());
+    delivered_bytes.push_back(m.payload.ToString());
+  };
+  b.Handle(kEcho, record);
+  c.Handle(kEcho, record);
+
+  std::string bytes = "batch-contents";
+  uint64_t wrapped_before = Payload::bytes_wrapped();
+  Payload shared{std::string(bytes)};
+  EXPECT_EQ(Payload::bytes_wrapped() - wrapped_before, bytes.size());
+  const char* buf = shared.data();
+
+  a.Send(Address{1, 1}, kEcho, shared);
+  a.Send(Address{2, 1}, kEcho, shared);
+  // The sends alias the wrapped buffer; no further bytes were materialized.
+  EXPECT_EQ(Payload::bytes_wrapped() - wrapped_before, bytes.size());
+
+  // Mutating the sender's local string after Send must not be observable at
+  // any receiver: the wrapped buffer is immutable and independently owned.
+  bytes.assign(bytes.size(), '!');
+  sim_.Run();
+
+  ASSERT_EQ(delivered_bytes.size(), 2u);
+  EXPECT_EQ(delivered_bytes[0], "batch-contents");
+  EXPECT_EQ(delivered_bytes[1], "batch-contents");
+  // Both deliveries observed the very same buffer — zero-copy fanout.
+  EXPECT_EQ(delivered_ptrs[0], buf);
+  EXPECT_EQ(delivered_ptrs[1], buf);
 }
 
 TEST_F(NetworkTest, MessageLossDropsSome) {

@@ -1,6 +1,7 @@
 // Tests for the discrete-event simulator, CPU resource and group-commit disk.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "src/sim/disk.h"
@@ -87,6 +88,71 @@ TEST(SimulatorTest, NegativeDelayClampsToNow) {
   sim.Run();
   EXPECT_TRUE(fired);
   EXPECT_EQ(sim.Now(), 0);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsSafe) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.After(Micros(1), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  // The event already fired and its slot was recycled: cancelling the stale id
+  // must be a no-op, even after another event has reused the slot.
+  EventId later = sim.After(Micros(1), [&] { fired += 10; });
+  sim.Cancel(id);
+  sim.Cancel(id);  // idempotent
+  sim.Run();
+  EXPECT_EQ(fired, 11);
+  (void)later;
+}
+
+TEST(SimulatorTest, CancelReleasesCallableImmediately) {
+  Simulator sim;
+  auto guard = std::make_shared<int>(42);
+  EventId id = sim.After(Seconds(10), [guard] { (void)*guard; });
+  ASSERT_EQ(guard.use_count(), 2);
+  sim.Cancel(id);
+  // The captured state must be dropped at cancel time, not when the event's
+  // deadline passes — cancelled RPC timeouts must not pin their closures.
+  EXPECT_EQ(guard.use_count(), 1);
+}
+
+TEST(SimulatorTest, GenerationGuardsSlotReuseAfterCancel) {
+  Simulator sim;
+  int fired = 0;
+  EventId old_id = sim.After(Micros(10), [&] { fired += 100; });
+  sim.Cancel(old_id);
+  // Keep scheduling until some event reuses the cancelled event's slot (same
+  // low 32 bits). Its generation differs, so cancelling via the stale id must
+  // not touch it.
+  EventId reused = 0;
+  for (int i = 0; i < 64 && reused == 0; ++i) {
+    EventId id = sim.After(Micros(1), [&] { ++fired; });
+    if ((id & 0xffffffffu) == (old_id & 0xffffffffu)) {
+      reused = id;
+    }
+  }
+  ASSERT_NE(reused, 0u) << "slot free list should reuse the cancelled slot";
+  EXPECT_NE(reused, old_id) << "reused slot must carry a fresh generation";
+  sim.Cancel(old_id);  // stale: must not cancel the new occupant
+  sim.Run();
+  EXPECT_GE(fired, 1);
+  EXPECT_LT(fired, 100);
+}
+
+TEST(SimulatorTest, RescheduleFromWithinCallback) {
+  Simulator sim;
+  // A callback that cancels a sibling and schedules a replacement while the
+  // heap is mid-pop; the replacement and cancellation must both take effect.
+  int fired = 0;
+  EventId sibling = sim.After(Micros(5), [&] { fired += 100; });
+  sim.After(Micros(1), [&] {
+    sim.Cancel(sibling);
+    sim.After(Micros(1), [&] { ++fired; });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Micros(2));
 }
 
 TEST(SimulatorTest, DeterministicAcrossRunsWithSameSeed) {
