@@ -36,7 +36,12 @@ struct Cell {
   std::string json_key;
 };
 
-double RunWorkload(size_t num_sites, const Workload& w, uint64_t seed, bool quick) {
+struct CellResult {
+  double ktps = 0;
+  MetricsRegistry metrics;  // per-site protocol + transport counters
+};
+
+CellResult RunWorkload(size_t num_sites, const Workload& w, uint64_t seed, bool quick) {
   SimDuration warmup = quick ? Millis(100) : Millis(300);
   SimDuration measure = quick ? Millis(400) : Seconds(1.2);
 
@@ -74,7 +79,12 @@ double RunWorkload(size_t num_sites, const Workload& w, uint64_t seed, bool quic
       });
     }
   }
-  return load.Run(warmup, measure).ThroughputKops();
+  LoadResult result = load.Run(warmup, measure);
+  CellResult cell;
+  cell.ktps = result.ThroughputKops();
+  result.ExportMetrics(cell.metrics);
+  cluster.ExportMetrics(cell.metrics);
+  return cell;
 }
 
 }  // namespace
@@ -107,12 +117,15 @@ int main(int argc, char** argv) {
   add("mix_r5w5", 0.9, 5, 5, 800);
 
   walter::ParallelRunner runner(opt.jobs);
-  std::vector<double> ktps = runner.Map<double>(cells.size(), [&](size_t i) {
-    const Cell& c = cells[i];
-    return walter::RunWorkload(c.sites, c.workload, c.seed, opt.quick);
-  });
+  std::vector<walter::CellResult> results =
+      runner.Map<walter::CellResult>(cells.size(), [&](size_t i) {
+        const Cell& c = cells[i];
+        return walter::RunWorkload(c.sites, c.workload, c.seed, opt.quick);
+      });
   // cells are laid out as 8 consecutive site-sweeps of max_sites rows each.
-  auto at = [&](size_t sweep, size_t sites) { return ktps[sweep * max_sites + sites - 1]; };
+  auto at = [&](size_t sweep, size_t sites) {
+    return results[sweep * max_sites + sites - 1].ktps;
+  };
 
   std::printf("=== Figure 17: aggregate throughput on EC2, 1-%zu sites ===\n\n", max_sites);
 
@@ -155,7 +168,11 @@ int main(int argc, char** argv) {
   json.Set("bench", std::string("fig17_throughput"));
   json.Set("quick", opt.quick ? 1.0 : 0.0);
   for (size_t i = 0; i < cells.size(); ++i) {
-    json.Set(cells[i].json_key + "_ktps", ktps[i]);
+    json.Set(cells[i].json_key + "_ktps", results[i].ktps);
   }
+  // Full counter registry for the flagship write cell (largest site count):
+  // per-site commit/abort/propagation counters plus transport totals.
+  size_t flagship = 2 * max_sites + (max_sites - 1);  // write_s1 at max sites
+  json.SetAll(results[flagship].metrics, cells[flagship].json_key + ".");
   return json.WriteIfRequested(opt.json_path) ? 0 : 1;
 }

@@ -72,6 +72,12 @@ std::string BenchJson::Render() const {
   return out;
 }
 
+void BenchJson::SetAll(const MetricsRegistry& metrics, const std::string& prefix) {
+  for (const MetricPoint& p : metrics.Snapshot()) {
+    Set(prefix + MetricsRegistry::JsonKey(p), p.value);
+  }
+}
+
 bool BenchJson::WriteIfRequested(const std::string& path) const {
   if (path.empty()) {
     return true;

@@ -20,6 +20,7 @@
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/core/cluster.h"
+#include "src/obs/metrics.h"
 
 namespace walter {
 
@@ -47,6 +48,9 @@ class BenchJson {
   std::string Render() const;
   // Writes Render() to path; empty path is a no-op. Returns false on IO error.
   bool WriteIfRequested(const std::string& path) const;
+
+  // Renders every registry point as "<prefix><name>[.s<site>]": value.
+  void SetAll(const MetricsRegistry& metrics, const std::string& prefix = "");
 
  private:
   std::vector<std::pair<std::string, std::string>> entries_;
@@ -106,6 +110,13 @@ struct LoadResult {
 
   double Throughput() const { return seconds > 0 ? completed / seconds : 0; }
   double ThroughputKops() const { return Throughput() / 1000.0; }
+
+  // Dumps the load-driver counters into the shared registry ("bench.*" names).
+  void ExportMetrics(MetricsRegistry& metrics) const {
+    metrics.Set("bench.completed", kNoSite, static_cast<double>(completed));
+    metrics.Set("bench.failed", kNoSite, static_cast<double>(failed));
+    metrics.Set("bench.throughput_ops", kNoSite, Throughput());
+  }
 };
 
 // Drives registered client loops as fast as each completes, measuring during

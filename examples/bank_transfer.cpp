@@ -9,6 +9,7 @@
 #include <string>
 
 #include "src/core/cluster.h"
+#include "src/obs/watchdog.h"
 
 using namespace walter;
 
@@ -62,6 +63,9 @@ int main() {
   ClusterOptions options;
   options.num_sites = 2;
   Cluster cluster(options);
+  // If any transaction below stalls, fail loudly with a stage/site verdict and
+  // a trace slice instead of spinning in the wait loops forever.
+  LivenessWatchdog watchdog(&cluster.sim());
   WalterClient* client = cluster.AddClient(0);
 
   const ObjectId alice{0, 1};
@@ -100,7 +104,9 @@ int main() {
 
   // Overdraft attempt: the conditional write aborts client-side.
   bool overdraft_done = false;
+  bool overdraft_moved = false;
   Transfer(cluster, client, alice, bob, 1'000'000, [&](bool ok) {
+    overdraft_moved = ok;
     std::printf("overdraft transfer: %s\n", ok ? "MOVED (bug!)" : "refused");
     overdraft_done = true;
   });
@@ -108,11 +114,11 @@ int main() {
   }
 
   // Audit: total money is conserved across all accounts.
+  int64_t total = 0;
   {
     Tx tx(client);
     bool done = false;
     tx.MultiRead({alice, bob, carol}, [&](Status, auto values) {
-      int64_t total = 0;
       const char* names[] = {"alice", "bob", "carol"};
       for (size_t i = 0; i < values.size(); ++i) {
         std::printf("  %s = %lld\n", names[i],
@@ -125,5 +131,14 @@ int main() {
     while (!done && cluster.sim().Step()) {
     }
   }
-  return 0;
+
+  bool ok = completed == 2 && moved == 2 && !overdraft_moved && total == 200 &&
+            !watchdog.fired();
+  if (!ok) {
+    std::printf("FAILED: completed=%d moved=%d overdraft_moved=%d total=%lld "
+                "watchdog_fired=%d\n",
+                completed, moved, overdraft_moved ? 1 : 0, static_cast<long long>(total),
+                watchdog.fired() ? 1 : 0);
+  }
+  return ok ? 0 : 1;
 }

@@ -11,16 +11,19 @@
 #include <memory>
 
 #include "src/core/cluster.h"
+#include "src/obs/watchdog.h"
 
 using namespace walter;
 
 int main() {
   std::printf("Walter quickstart: 2 sites (VA, CA), RTT 82 ms\n\n");
 
-  // 1. Bring up two sites.
+  // 1. Bring up two sites. The watchdog turns any stalled transaction into a
+  //    loud failure (stage + site + trace slice) instead of an infinite loop.
   ClusterOptions options;
   options.num_sites = 2;
   Cluster cluster(options);
+  LivenessWatchdog watchdog(&cluster.sim());
   WalterClient* va_client = cluster.AddClient(0);
   WalterClient* ca_client = cluster.AddClient(1);
 
@@ -64,12 +67,15 @@ int main() {
   }
 
   // 4. Read from California: the snapshot there now includes the VA commit.
+  bool ca_saw_greeting = false;
+  int64_t ca_visit_count = 0;
   {
     Tx tx(ca_client);
     bool done = false;
     tx.Read(greeting, [&](Status s, std::optional<std::string> value) {
       std::printf("[CA] read: %s -> \"%s\"\n", s.ToString().c_str(),
                   value.value_or("<nil>").c_str());
+      ca_saw_greeting = s.ok() && value == "hello from Virginia";
       done = true;
     });
     while (!done && cluster.sim().Step()) {
@@ -77,6 +83,7 @@ int main() {
     bool count_done = false;
     tx.SetReadId(visits, ObjectId{99, 1}, [&](Status, int64_t count) {
       std::printf("[CA] cset count for user 1: %lld\n", static_cast<long long>(count));
+      ca_visit_count = count;
       count_done = true;
     });
     while (!count_done && cluster.sim().Step()) {
@@ -84,6 +91,7 @@ int main() {
   }
 
   // 5. Concurrent cset updates from both sites: no conflict, both survive.
+  size_t visitors = 0;
   {
     int commits = 0;
     Tx a(va_client);
@@ -99,8 +107,9 @@ int main() {
     Tx check(va_client);
     bool done = false;
     check.SetRead(visits, [&](Status, CountingSet set) {
+      visitors = set.PresentElements().size();
       std::printf("[VA] after concurrent adds from both sites, cset has %zu visitors\n",
-                  set.PresentElements().size());
+                  visitors);
       done = true;
     });
     while (!done && cluster.sim().Step()) {
@@ -109,5 +118,13 @@ int main() {
 
   std::printf("\nDone. Total virtual time: %.1f ms; simulator events: %zu\n",
               ToMillis(cluster.sim().Now()), cluster.sim().events_processed());
-  return 0;
+
+  bool ok = ca_saw_greeting && ca_visit_count == 1 && visitors == 3 && !watchdog.fired();
+  if (!ok) {
+    std::printf("FAILED: ca_saw_greeting=%d ca_visit_count=%lld visitors=%zu "
+                "watchdog_fired=%d\n",
+                ca_saw_greeting ? 1 : 0, static_cast<long long>(ca_visit_count), visitors,
+                watchdog.fired() ? 1 : 0);
+  }
+  return ok ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 
 #include "src/apps/retwis/retwis.h"
 #include "src/core/cluster.h"
+#include "src/obs/watchdog.h"
 
 using namespace walter;
 
@@ -18,7 +19,7 @@ void Drive(Simulator& sim, const bool& flag) {
   }
 }
 
-void RunScenario(Simulator& sim, RetwisBackend& app, const char* label) {
+size_t RunScenario(Simulator& sim, RetwisBackend& app, const char* label) {
   std::printf("--- %s ---\n", label);
   bool done = false;
   app.Follow(/*follower=*/7, /*followee=*/1, [&](Status s) {
@@ -34,8 +35,10 @@ void RunScenario(Simulator& sim, RetwisBackend& app, const char* label) {
   });
   Drive(sim, done);
 
+  size_t entries = 0;
   done = false;
   app.Status(7, [&](Status, std::vector<std::string> timeline) {
+    entries = timeline.size();
     std::printf("  user 7's timeline (%zu): ", timeline.size());
     for (const auto& t : timeline) {
       std::printf("\"%s\" ", t.c_str());
@@ -44,6 +47,7 @@ void RunScenario(Simulator& sim, RetwisBackend& app, const char* label) {
     done = true;
   });
   Drive(sim, done);
+  return entries;
 }
 
 }  // namespace
@@ -52,6 +56,7 @@ int main() {
   std::printf("ReTwis on two backends\n\n");
 
   // Backend 1: Redis-like store (master at one site; only it takes writes).
+  size_t redis_entries = 0;
   {
     Simulator sim(1);
     Network net(&sim, Topology::Ec2Subset(1));
@@ -60,18 +65,24 @@ int main() {
     RedisServer server(&sim, &net, options);
     RedisClient client(&net, 0, kClientPortBase, 0);
     RetwisOnRedis app(&client);
-    RunScenario(sim, app, "ReTwis on Redis (1 site)");
+    redis_entries = RunScenario(sim, app, "ReTwis on Redis (1 site)");
   }
 
   // Backend 2: Walter across two sites — and the part Redis cannot do:
   // concurrent posting from BOTH sites into the same timeline.
+  size_t walter_entries = 0;
+  size_t merged_entries = 0;
+  bool watchdog_fired = false;
   {
     ClusterOptions options;
     options.num_sites = 2;
     Cluster cluster(options);
+    // Any stalled Walter transaction fails with a stage/site verdict instead
+    // of spinning in Drive() forever.
+    LivenessWatchdog watchdog(&cluster.sim());
     RetwisOnWalter app_va(cluster.AddClient(0));
     RetwisOnWalter app_ca(cluster.AddClient(1));
-    RunScenario(cluster.sim(), app_va, "ReTwis on Walter (site VA)");
+    walter_entries = RunScenario(cluster.sim(), app_va, "ReTwis on Walter (site VA)");
 
     std::printf("--- multi-site posting (csets make timelines conflict-free) ---\n");
     bool f1 = false;
@@ -91,6 +102,7 @@ int main() {
 
     bool done = false;
     app_va.Status(7, [&](Status, std::vector<std::string> timeline) {
+      merged_entries = timeline.size();
       std::printf("  user 7's merged timeline (%zu entries):\n", timeline.size());
       for (const auto& t : timeline) {
         std::printf("    \"%s\"\n", t.c_str());
@@ -98,7 +110,15 @@ int main() {
       done = true;
     });
     Drive(cluster.sim(), done);
+    watchdog_fired = watchdog.fired();
   }
 
-  return 0;
+  bool ok = redis_entries == 1 && walter_entries == 1 && merged_entries == 3 &&
+            !watchdog_fired;
+  if (!ok) {
+    std::printf("FAILED: redis_entries=%zu walter_entries=%zu merged_entries=%zu "
+                "watchdog_fired=%d\n",
+                redis_entries, walter_entries, merged_entries, watchdog_fired ? 1 : 0);
+  }
+  return ok ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 
 #include "src/config/config_service.h"
 #include "src/core/cluster.h"
+#include "src/obs/watchdog.h"
 
 using namespace walter;
 
@@ -54,6 +55,12 @@ int main() {
   ClusterOptions options;
   options.num_sites = 3;
   Cluster cluster(options);
+  // Turn any stalled transaction into a loud stage/site verdict rather than an
+  // infinite wait loop. The budget is generous because failover legitimately
+  // parks client retries for several seconds of virtual time.
+  WatchdogOptions wd;
+  wd.budget = Seconds(60);
+  LivenessWatchdog watchdog(&cluster.sim(), wd);
   // One configuration-service node per site (Paxos-replicated, Section 5.1).
   std::vector<std::unique_ptr<ConfigService>> configs;
   for (SiteId s = 0; s < 3; ++s) {
@@ -64,8 +71,8 @@ int main() {
   WalterClient* va = cluster.AddClient(0);
 
   // Two commits at VA; only the first replicates before the disaster.
-  std::printf("[VA] commit #1: %s\n",
-              CommitWrite(cluster, va, ObjectId{0, 1}, "replicated").ToString().c_str());
+  Status commit1 = CommitWrite(cluster, va, ObjectId{0, 1}, "replicated");
+  std::printf("[VA] commit #1: %s\n", commit1.ToString().c_str());
   cluster.RunFor(Seconds(2));
   cluster.net().IsolateSite(0, true);  // the disaster starts: VA unreachable
   std::printf("[VA] commit #2 (while cut off): %s\n",
@@ -87,15 +94,18 @@ int main() {
   cluster.RunFor(Seconds(10));
 
   WalterClient* ca = cluster.AddClient(1);
+  std::optional<std::string> survived = ReadOnce(cluster, ca, ObjectId{0, 1});
   std::printf("[CA] read of replicated commit:   \"%s\"\n",
-              ReadOnce(cluster, ca, ObjectId{0, 1}).value_or("<nil>").c_str());
+              survived.value_or("<nil>").c_str());
+  std::optional<std::string> abandoned = ReadOnce(cluster, ca, ObjectId{0, 2});
   std::printf("[CA] read of unreplicated commit: \"%s\"  (abandoned, per the aggressive\n"
               "     option: availability over durability for unpropagated commits)\n",
-              ReadOnce(cluster, ca, ObjectId{0, 2}).value_or("<nil>").c_str());
+              abandoned.value_or("<nil>").c_str());
 
   // VA's containers are re-homed: CA now fast-commits writes to them.
+  Status rehomed = CommitWrite(cluster, ca, ObjectId{0, 3}, "new home");
   std::printf("[CA] write to re-homed container: %s (fast commit at CA)\n",
-              CommitWrite(cluster, ca, ObjectId{0, 3}, "new home").ToString().c_str());
+              rehomed.ToString().c_str());
 
   // The site returns: replacement server from the durable image, then a
   // re-integration proposal restores the old preferred-site assignment.
@@ -110,11 +120,24 @@ int main() {
   cluster.RunFor(Seconds(10));
 
   WalterClient* va2 = cluster.AddClient(0);
+  std::optional<std::string> synced = ReadOnce(cluster, va2, ObjectId{0, 3});
   std::printf("[VA] read after re-integration: \"%s\" (synchronized from survivors)\n",
-              ReadOnce(cluster, va2, ObjectId{0, 3}).value_or("<nil>").c_str());
-  std::printf("[VA] write after re-integration: %s\n",
-              CommitWrite(cluster, va2, ObjectId{0, 4}, "home again").ToString().c_str());
+              synced.value_or("<nil>").c_str());
+  Status home_again = CommitWrite(cluster, va2, ObjectId{0, 4}, "home again");
+  std::printf("[VA] write after re-integration: %s\n", home_again.ToString().c_str());
   std::printf("\nDone: lease moved VA -> CA -> VA through the Paxos-replicated\n"
               "configuration; surviving data was preserved, unpropagated data dropped.\n");
-  return 0;
+
+  bool ok = commit1.ok() && removed && survived == "replicated" && !abandoned.has_value() &&
+            rehomed.ok() && back && synced == "new home" && home_again.ok() &&
+            !watchdog.fired();
+  if (!ok) {
+    std::printf("FAILED: commit1=%s removed=%d survived=%s abandoned=%d rehomed=%s "
+                "back=%d synced=%s home_again=%s watchdog_fired=%d\n",
+                commit1.ToString().c_str(), removed ? 1 : 0,
+                survived.value_or("<nil>").c_str(), abandoned.has_value() ? 1 : 0,
+                rehomed.ToString().c_str(), back ? 1 : 0, synced.value_or("<nil>").c_str(),
+                home_again.ToString().c_str(), watchdog.fired() ? 1 : 0);
+  }
+  return ok ? 0 : 1;
 }

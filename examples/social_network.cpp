@@ -8,6 +8,7 @@
 
 #include "src/apps/waltsocial/waltsocial.h"
 #include "src/core/cluster.h"
+#include "src/obs/watchdog.h"
 
 using namespace walter;
 
@@ -27,6 +28,9 @@ int main() {
   ClusterOptions options;
   options.num_sites = 4;
   Cluster cluster(options);
+  // A stalled transaction fails with a stage/site verdict instead of spinning
+  // in Wait() forever.
+  LivenessWatchdog watchdog(&cluster.sim());
 
   // Alice is homed in Virginia (user 0 -> site 0), Bob in Ireland (user 2 ->
   // site 2): each one's client talks to her local site.
@@ -86,11 +90,14 @@ int main() {
   Wait(cluster, done);
 
   cluster.RunFor(Seconds(2));
+  size_t messages = 0;
+  size_t friends = 0;
   done = false;
   alice_app.ReadInfo(alice, [&](Status, WaltSocial::UserInfo info) {
+    messages = info.messages.PresentElements().size();
+    friends = info.friends.PresentElements().size();
     std::printf("Alice's wall at VA, after propagation:  %zu message(s), %zu friend(s)\n",
-                info.messages.PresentElements().size(),
-                info.friends.PresentElements().size());
+                messages, friends);
     done = true;
   });
   Wait(cluster, done);
@@ -112,9 +119,11 @@ int main() {
     done = true;
   });
   Wait(cluster, done);
+  size_t album_photos = 0;
   done = false;
   alice_app.ListAlbumPhotos(alice, album, [&](Status, std::vector<ObjectId> photos) {
-    std::printf("album now holds %zu photo(s)\n", photos.size());
+    album_photos = photos.size();
+    std::printf("album now holds %zu photo(s)\n", album_photos);
     done = true;
   });
   Wait(cluster, done);
@@ -126,5 +135,16 @@ int main() {
               static_cast<unsigned long long>(cluster.server(2).stats().fast_commits),
               static_cast<unsigned long long>(cluster.server(2).stats().slow_commits));
   std::printf("No slow commits anywhere: preferred sites + csets at work.\n");
-  return 0;
+
+  uint64_t slow = cluster.server(0).stats().slow_commits + cluster.server(2).stats().slow_commits;
+  // After propagation Alice's wall holds her own status update plus Bob's post.
+  bool ok = messages == 2 && friends == 1 && album_photos == 1 && slow == 0 &&
+            !watchdog.fired();
+  if (!ok) {
+    std::printf("FAILED: messages=%zu friends=%zu album_photos=%zu slow_commits=%llu "
+                "watchdog_fired=%d\n",
+                messages, friends, album_photos, static_cast<unsigned long long>(slow),
+                watchdog.fired() ? 1 : 0);
+  }
+  return ok ? 0 : 1;
 }

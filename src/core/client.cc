@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace walter {
 
@@ -48,7 +49,8 @@ void WalterClient::Op(ClientOpRequest req,
   if (req.op_seq == 0) {
     req.op_seq = next_op_seq_++;
   }
-  Attempt(std::move(req), std::move(cb), 1);
+  TxId tid = req.tid;
+  Attempt(std::move(req), std::move(cb), 1, tid);
 }
 
 SimDuration WalterClient::BackoffFor(size_t attempt) {
@@ -67,19 +69,19 @@ SimDuration WalterClient::BackoffFor(size_t attempt) {
 
 void WalterClient::Attempt(ClientOpRequest req,
                            std::function<void(Status, const ClientOpResponse&)> cb,
-                           size_t attempt) {
+                           size_t attempt, TxId tid) {
   // Serialize once; retransmissions share the same immutable buffer (the
   // request, op_seq included, is bit-identical across attempts by design).
-  Attempt(Payload(req.Serialize()), std::move(cb), attempt);
+  Attempt(Payload(req.Serialize()), std::move(cb), attempt, tid);
 }
 
 void WalterClient::Attempt(Payload request,
                            std::function<void(Status, const ClientOpResponse&)> cb,
-                           size_t attempt) {
+                           size_t attempt, TxId tid) {
   endpoint_.Call(
       Address{site_, kWalterPort}, kClientOp, request,
-      [this, request, cb = std::move(cb), attempt](Status status,
-                                                   const Message& m) mutable {
+      [this, request, cb = std::move(cb), attempt, tid](Status status,
+                                                        const Message& m) mutable {
         if (status.ok()) {
           ClientOpResponse resp = ClientOpResponse::Deserialize(m.payload);
           if (resp.status != StatusCode::kOk) {
@@ -92,22 +94,33 @@ void WalterClient::Attempt(Payload request,
         // Transport failure (timeout): back off and retransmit, up to the
         // budget; then report unavailability instead of hanging forever.
         if (attempt >= options_.max_attempts) {
+          WTRACE(sim()->Now(), TraceKind::kClientGiveUp, tid, site_, attempt);
           cb(Status::Unavailable("server unreachable after " + std::to_string(attempt) +
                                  " attempts"),
              ClientOpResponse{});
           return;
         }
         sim()->After(BackoffFor(attempt),
-                     [this, request = std::move(request), cb = std::move(cb),
-                      attempt]() mutable {
+                     [this, request = std::move(request), cb = std::move(cb), attempt,
+                      tid]() mutable {
                        ++retries_sent_;
-                       Attempt(std::move(request), std::move(cb), attempt + 1);
+                       WTRACE(sim()->Now(), TraceKind::kClientRetry, tid, site_, attempt + 1);
+                       Attempt(std::move(request), std::move(cb), attempt + 1, tid);
                      });
       },
       options_.rpc_timeout);
 }
 
 Tx::Tx(WalterClient* client) : client_(client), tid_(client->NextTid()) {}
+
+Tx::~Tx() {
+  if (!finished_) {
+    // Abandoned (typically a read-only transaction the application just let
+    // go of): nothing to undo server-side, but retire it in the trace stream.
+    WTRACE(client_->sim()->Now(), TraceKind::kClientDone, tid_, client_->site(),
+           static_cast<uint64_t>(StatusCode::kAborted));
+  }
+}
 
 ClientOpRequest Tx::BaseRequest() {
   ClientOpRequest req;
@@ -138,6 +151,8 @@ void Tx::BufferUpdate(ClientOpKind kind, const ObjectId& oid, const ObjectId& el
     to_send.vts = vts_;
     ++update_rpcs_sent_;
     ++rpcs_issued_;
+    WTRACE(client_->sim()->Now(), TraceKind::kClientOpRpc, tid_, client_->site(), 0,
+           static_cast<uint32_t>(to_send.op));
     client_->Op(std::move(to_send),
                 [this, alive = AliveToken()](Status, const ClientOpResponse& resp) {
                   if (!alive.expired()) {
@@ -171,11 +186,15 @@ void Tx::FlushBuffered(std::function<void(Status)> then) {
   to_send.vts = vts_;
   ++update_rpcs_sent_;
   ++rpcs_issued_;
+  WTRACE(client_->sim()->Now(), TraceKind::kClientOpRpc, tid_, client_->site(), 0,
+         static_cast<uint32_t>(to_send.op));
   client_->Op(std::move(to_send),
-              [this, alive = AliveToken(), then = std::move(then)](
-                  Status status, const ClientOpResponse& resp) {
+              [this, alive = AliveToken(), client = client_, tid = tid_,
+               then = std::move(then)](Status status, const ClientOpResponse& resp) {
                 if (alive.expired()) {
-                  return;  // transaction abandoned while the RPC was in flight
+                  // Transaction abandoned while the RPC was in flight.
+                  WTRACE(client->sim()->Now(), TraceKind::kClientDropLate, tid, client->site());
+                  return;
                 }
                 AbsorbResponse(resp);
                 then(status);
@@ -193,10 +212,14 @@ void Tx::Read(const ObjectId& oid, ReadCallback cb) {
     req.op = ClientOpKind::kRead;
     req.oid = oid;
     ++rpcs_issued_;
+    WTRACE(client_->sim()->Now(), TraceKind::kClientOpRpc, tid_, client_->site(), 0,
+           static_cast<uint32_t>(req.op));
     client_->Op(std::move(req),
-                [this, alive = AliveToken(), cb = std::move(cb)](
-                    Status status, const ClientOpResponse& resp) {
+                [this, alive = AliveToken(), client = client_, tid = tid_,
+                 cb = std::move(cb)](Status status, const ClientOpResponse& resp) {
                   if (alive.expired()) {
+                    WTRACE(client->sim()->Now(), TraceKind::kClientDropLate, tid,
+                           client->site());
                     return;
                   }
                   AbsorbResponse(resp);
@@ -220,6 +243,8 @@ void Tx::SetRead(const ObjectId& setid, SetReadCallback cb) {
     req.op = ClientOpKind::kSetRead;
     req.oid = setid;
     ++rpcs_issued_;
+    WTRACE(client_->sim()->Now(), TraceKind::kClientOpRpc, tid_, client_->site(), 0,
+           static_cast<uint32_t>(req.op));
     client_->Op(std::move(req),
                 [this, alive = AliveToken(), cb = std::move(cb)](
                     Status status, const ClientOpResponse& resp) {
@@ -248,6 +273,8 @@ void Tx::SetReadId(const ObjectId& setid, const ObjectId& id, CountCallback cb) 
     req.oid = setid;
     req.elem = id;
     ++rpcs_issued_;
+    WTRACE(client_->sim()->Now(), TraceKind::kClientOpRpc, tid_, client_->site(), 0,
+           static_cast<uint32_t>(req.op));
     client_->Op(std::move(req),
                 [this, alive = AliveToken(), cb = std::move(cb)](
                     Status status, const ClientOpResponse& resp) {
@@ -270,6 +297,8 @@ void Tx::MultiRead(std::vector<ObjectId> oids, MultiReadCallback cb) {
     req.op = ClientOpKind::kMultiRead;
     req.oids = std::move(oids);
     ++rpcs_issued_;
+    WTRACE(client_->sim()->Now(), TraceKind::kClientOpRpc, tid_, client_->site(), 0,
+           static_cast<uint32_t>(req.op));
     client_->Op(std::move(req),
                 [this, alive = AliveToken(), cb = std::move(cb)](
                     Status status, const ClientOpResponse& resp) {
@@ -295,22 +324,32 @@ void Tx::Commit(CommitCallback cb, CommitOptions options) {
     client_->WatchVisible(tid_, std::move(options.on_visible));
   }
 
-  auto send_commit = [this, want_durable, want_visible](ClientOpRequest req,
-                                                        CommitCallback cb) {
+  // Commit is terminal: after this call the outcome must reach `cb` exactly
+  // once even if the caller drops its last reference to the Tx handle before
+  // the commit RPCs resolve (examples/bank_transfer did exactly that, and the
+  // old AliveToken guard on the flush continuation silently swallowed the
+  // commit — the hang fixed in PR 3). So the chain below captures the client
+  // and plain values, never `this`, and does not use AliveToken.
+  WalterClient* client = client_;
+  TxId tid = tid_;
+  SiteId site = client->site();
+
+  CommitCallback done = [client, tid, site, cb = std::move(cb)](Status status) {
+    WTRACE(client->sim()->Now(), TraceKind::kClientDone, tid, site,
+           static_cast<uint64_t>(status.code()));
+    cb(status);
+  };
+  auto send_commit = [client, tid, site, want_durable, want_visible](
+                         ClientOpRequest req, CommitCallback done) {
     req.commit_after = true;
     req.want_durable = want_durable;
     req.want_visible = want_visible;
-    req.reply_port = client_->port();
-    ++rpcs_issued_;
-    client_->Op(std::move(req),
-                [this, alive = AliveToken(), cb = std::move(cb)](
-                    Status status, const ClientOpResponse& resp) {
-                  if (alive.expired()) {
-                    return;
-                  }
-                  AbsorbResponse(resp);
-                  cb(status);
-                });
+    req.reply_port = client->port();
+    WTRACE(client->sim()->Now(), TraceKind::kClientCommitRpc, tid, site);
+    client->Op(std::move(req),
+               [done = std::move(done)](Status status, const ClientOpResponse&) {
+                 done(status);
+               });
   };
 
   if (buffered_ && update_rpcs_sent_ == 0) {
@@ -318,31 +357,56 @@ void Tx::Commit(CommitCallback cb, CommitOptions options) {
     ClientOpRequest req = std::move(*buffered_);
     buffered_.reset();
     req.vts = vts_;
-    send_commit(std::move(req), std::move(cb));
+    ++rpcs_issued_;
+    send_commit(std::move(req), std::move(done));
     return;
   }
   if (buffered_) {
-    FlushBuffered([this, cb = std::move(cb), send_commit](Status status) mutable {
-      if (!status.ok()) {
-        cb(status);
-        return;
-      }
-      send_commit(BaseRequest(), std::move(cb));
-    });
+    // Flush the last buffered update, then send the bare commit. The flushed
+    // update's assigned snapshot (when the transaction does not have one yet)
+    // is threaded into the commit request directly rather than through the Tx,
+    // keeping the chain independent of the handle's lifetime.
+    ClientOpRequest flush = std::move(*buffered_);
+    buffered_.reset();
+    flush.vts = vts_;
+    ++update_rpcs_sent_;
+    rpcs_issued_ += 2;
+    ClientOpRequest commit_req = BaseRequest();
+    WTRACE(client->sim()->Now(), TraceKind::kClientOpRpc, tid, site, 0,
+           static_cast<uint32_t>(flush.op));
+    client->Op(std::move(flush),
+               [commit_req = std::move(commit_req), done = std::move(done),
+                send_commit](Status status, const ClientOpResponse& resp) mutable {
+                 if (!status.ok()) {
+                   done(status);
+                   return;
+                 }
+                 if (commit_req.vts.num_sites() == 0 && resp.assigned_vts.num_sites() > 0) {
+                   commit_req.vts = resp.assigned_vts;
+                   commit_req.start_tx = false;
+                 }
+                 send_commit(std::move(commit_req), std::move(done));
+               });
     return;
   }
   if (update_rpcs_sent_ == 0) {
     // Read-only transaction: commit is local (no RPC, Section 8.2).
-    cb(Status::Ok());
+    done(Status::Ok());
     return;
   }
-  send_commit(BaseRequest(), std::move(cb));
+  ++rpcs_issued_;
+  send_commit(BaseRequest(), std::move(done));
 }
 
 void Tx::Abort(std::function<void()> done) {
   finished_ = true;
   buffered_.reset();
+  WalterClient* client = client_;
+  TxId tid = tid_;
+  SiteId site = client->site();
   if (update_rpcs_sent_ == 0) {
+    WTRACE(client->sim()->Now(), TraceKind::kClientDone, tid, site,
+           static_cast<uint64_t>(StatusCode::kAborted));
     if (done) {
       done();
     }
@@ -351,11 +415,16 @@ void Tx::Abort(std::function<void()> done) {
   ClientOpRequest req = BaseRequest();
   req.abort = true;
   ++rpcs_issued_;
-  client_->Op(std::move(req), [done = std::move(done)](Status, const ClientOpResponse&) {
-    if (done) {
-      done();
-    }
-  });
+  WTRACE(client->sim()->Now(), TraceKind::kClientAbortRpc, tid, site);
+  // Like Commit, the abort chain must not depend on the handle staying alive.
+  client->Op(std::move(req),
+             [client, tid, site, done = std::move(done)](Status, const ClientOpResponse&) {
+               WTRACE(client->sim()->Now(), TraceKind::kClientDone, tid, site,
+                      static_cast<uint64_t>(StatusCode::kAborted));
+               if (done) {
+                 done();
+               }
+             });
 }
 
 }  // namespace walter

@@ -77,11 +77,12 @@ class WalterClient {
   void WatchVisible(TxId tid, std::function<void()> cb) { visible_watch_[tid] = std::move(cb); }
 
  private:
+  // `tid` is carried alongside the request purely for trace attribution.
   void Attempt(ClientOpRequest req, std::function<void(Status, const ClientOpResponse&)> cb,
-               size_t attempt);
+               size_t attempt, TxId tid);
   // Retransmission path: the serialized request buffer is shared across attempts.
   void Attempt(Payload request, std::function<void(Status, const ClientOpResponse&)> cb,
-               size_t attempt);
+               size_t attempt, TxId tid);
   SimDuration BackoffFor(size_t attempt);
 
   RpcEndpoint endpoint_;
@@ -101,6 +102,9 @@ class WalterClient {
 class Tx {
  public:
   explicit Tx(WalterClient* client);
+  // A handle dropped without Commit/Abort traces the transaction as done so
+  // liveness tracking (the watchdog) retires it instead of reporting it stuck.
+  ~Tx();
 
   TxId tid() const { return tid_; }
 

@@ -54,4 +54,16 @@ void Cluster::ObserveCommits(WalterServer::CommitObserver observer) {
   }
 }
 
+void Cluster::ExportMetrics(MetricsRegistry& metrics) const {
+  for (const auto& server : servers_) {
+    server->ExportMetrics(metrics);
+  }
+  net_->ExportMetrics(metrics);
+  uint64_t retries = 0;
+  for (const auto& client : clients_) {
+    retries += client->retries_sent();
+  }
+  metrics.Set("client.retries_sent", kNoSite, static_cast<double>(retries));
+}
+
 }  // namespace walter

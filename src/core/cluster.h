@@ -55,6 +55,10 @@ class Cluster {
   // Installs a commit observer on every server (e.g. a PsiChecker hook).
   void ObserveCommits(WalterServer::CommitObserver observer);
 
+  // Dumps every server's counters plus the transport counters into the shared
+  // registry (benches render the registry into their --json output).
+  void ExportMetrics(MetricsRegistry& metrics) const;
+
   // Runs virtual time forward by `d`.
   void RunFor(SimDuration d) { sim_.RunUntil(sim_.Now() + d); }
   // Runs until no events remain (all protocols quiesce; gossip must be off).

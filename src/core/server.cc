@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace walter {
 
@@ -109,6 +110,8 @@ SimDuration WalterServer::CostFor(const ClientOpRequest& req) const {
 
 void WalterServer::HandleClientOp(const Message& msg, RpcEndpoint::ReplyFn reply) {
   ClientOpRequest req = ClientOpRequest::Deserialize(msg.payload);
+  WTRACE(sim_->Now(), TraceKind::kServerRecv, req.tid, options_.site, 0,
+         static_cast<uint32_t>(req.op));
   auto respond = [reply = std::move(reply)](ClientOpResponse resp) {
     Message m;
     m.payload = resp.Serialize();
@@ -459,6 +462,7 @@ bool WalterServer::DedupRetransmittedCommit(const ClientOpRequest& req,
 
 void WalterServer::DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
                             uint32_t reply_port, std::function<void(ClientOpResponse)> respond) {
+  WTRACE(sim_->Now(), TraceKind::kCommitStart, tid, options_.site);
   std::vector<ObjectId> writeset = WriteSetOf(tx.updates);
 
   if (tx.updates.empty()) {
@@ -479,8 +483,11 @@ void WalterServer::DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_
 
   bool all_local = sites.empty() || (sites.size() == 1 && sites[0] == options_.site);
   if (all_local) {
+    WTRACE(sim_->Now(), TraceKind::kFastPath, tid, options_.site);
     FastCommit(tid, std::move(tx), want_durable, want_visible, reply_port, std::move(respond));
   } else {
+    WTRACE(sim_->Now(), TraceKind::kSlowPath, tid, options_.site, 0,
+           static_cast<uint32_t>(sites.size()));
     SlowCommit(tid, std::move(tx), std::move(sites), want_durable, want_visible, reply_port,
                std::move(respond));
   }
@@ -494,6 +501,8 @@ void WalterServer::FastCommit(TxId tid, ActiveTx tx, bool want_durable, bool wan
   for (const auto& oid : WriteSetOf(tx.updates)) {
     if (lease_checker_ && !lease_checker_(oid.container)) {
       ++stats_.aborts;
+      WTRACE(sim_->Now(), TraceKind::kTxAbort, tid, options_.site,
+             static_cast<uint64_t>(StatusCode::kUnavailable));
       ClientOpResponse resp;
       resp.status = StatusCode::kUnavailable;
       respond(std::move(resp));
@@ -502,6 +511,8 @@ void WalterServer::FastCommit(TxId tid, ActiveTx tx, bool want_durable, bool wan
     if (locks_.contains(oid) || !store_.Unmodified(oid, tx.start_vts)) {
       ++stats_.aborts;
       aborted_tids_.insert(tid);
+      WTRACE(sim_->Now(), TraceKind::kTxAbort, tid, options_.site,
+             static_cast<uint64_t>(StatusCode::kAborted));
       ClientOpResponse resp;
       resp.status = StatusCode::kAborted;
       respond(std::move(resp));
@@ -524,6 +535,7 @@ void WalterServer::CommitLocally(TxId tid, const ActiveTx& tx, bool want_durable
   rec.updates = tx.updates;
   store_.Apply(rec);
   committed_versions_[tid] = rec.version;
+  WTRACE(sim_->Now(), TraceKind::kCommitApply, tid, options_.site, seqno);
 
   LocalCommit lc;
   lc.record = std::move(rec);
@@ -563,10 +575,13 @@ void WalterServer::AdvanceLocalCommits() {
     committed_vts_.Advance(options_.site);
     got_vts_.set(options_.site, committed_vts_.at(options_.site));
     ReleaseLocks(lc.record.tid);
+    WTRACE(sim_->Now(), TraceKind::kCommitLocal, lc.record.tid, options_.site, next);
     if (lc.respond) {
       ClientOpResponse resp;
       resp.assigned_vts = lc.record.start_vts;
       resp.commit_version = lc.record.version;
+      WTRACE(sim_->Now(), TraceKind::kCommitAck, lc.record.tid, options_.site,
+             lc.record.version.seqno);
       lc.respond(std::move(resp));
       lc.respond = nullptr;
     }
@@ -628,6 +643,7 @@ void WalterServer::SlowCommit(TxId tid, ActiveTx tx, std::vector<SiteId> sites,
 
 void WalterServer::SendPrepare(SiteId dest, PrepareRequest prep,
                                std::shared_ptr<SlowCommitState> state, size_t attempt) {
+  WTRACE(sim_->Now(), TraceKind::kPrepareSend, prep.tid, options_.site, attempt, dest);
   std::string payload = prep.Serialize();
   endpoint_.Call(
       Address{dest, kWalterPort}, kPrepare, std::move(payload),
@@ -670,6 +686,8 @@ void WalterServer::FinishSlowCommit(std::shared_ptr<SlowCommitState> state) {
     ReleaseLocks(state->tid);
     ++stats_.aborts;
     aborted_tids_.insert(state->tid);
+    WTRACE(sim_->Now(), TraceKind::kTxAbort, state->tid, options_.site,
+           static_cast<uint64_t>(StatusCode::kAborted));
     ClientOpResponse resp;
     resp.status = StatusCode::kAborted;
     state->reply(std::move(resp));
@@ -705,11 +723,14 @@ void WalterServer::HandlePrepare(const Message& msg, RpcEndpoint::ReplyFn reply)
   cpu_.Execute(Jittered(options_.perf.prepare_op), [this, req = std::move(req), coordinator,
                                                     reply = std::move(reply)]() {
     ++stats_.prepares_handled;
+    WTRACE(sim_->Now(), TraceKind::kPrepareRecv, req.tid, options_.site, 0, coordinator);
     PrepareResponse resp;
     // A removed coordinator works from a stale snapshot; refuse its prepares
     // until it is reintegrated.
     resp.vote_yes = site_active_[coordinator] &&
                     PrepareLocal(req.tid, req.oids, req.start_vts, coordinator);
+    WTRACE(sim_->Now(), TraceKind::kPrepareVote, req.tid, options_.site,
+           resp.vote_yes ? 1 : 0, coordinator);
     Message m;
     m.payload = resp.Serialize();
     reply(std::move(m));
@@ -722,6 +743,7 @@ void WalterServer::HandleAbort2pc(const Message& msg) {
 }
 
 void WalterServer::LockAll(TxId tid, const std::vector<ObjectId>& oids, SiteId coordinator) {
+  WTRACE(sim_->Now(), TraceKind::kLockAcquire, tid, options_.site, oids.size(), coordinator);
   LockOwner& owner = lock_owners_[tid];
   owner.coordinator = coordinator;
   owner.acquired = sim_->Now();
@@ -736,6 +758,7 @@ void WalterServer::ReleaseLocks(TxId tid) {
   if (it == lock_owners_.end()) {
     return;
   }
+  WTRACE(sim_->Now(), TraceKind::kLockRelease, tid, options_.site, it->second.oids.size());
   for (const auto& oid : it->second.oids) {
     auto lock = locks_.find(oid);
     if (lock != locks_.end() && lock->second == tid) {
@@ -810,6 +833,7 @@ void WalterServer::MaybeSendBatch(SiteId dest) {
     batch_cache_ = {from, to, Payload(batch.Serialize())};
   }
   ++stats_.batches_sent;
+  WTRACE(sim_->Now(), TraceKind::kPropagateSend, 0, options_.site, to, dest);
   endpoint_.Send(Address{dest, kWalterPort}, kPropagate, batch_cache_.payload);
   ds.in_flight = true;
   ds.sent_through = to;
@@ -852,6 +876,8 @@ void WalterServer::HandlePropagate(const Message& msg) {
       }
     }
     DrainAllPending();
+    WTRACE(sim_->Now(), TraceKind::kPropagateRecv, 0, options_.site, got_vts_.at(origin),
+           origin);
     PropagateAck ack;
     ack.from = options_.site;
     ack.origin = origin;
@@ -930,6 +956,8 @@ void WalterServer::TryCommitRemotes() {
         }
         committed_vts_.Advance(j);
         ReleaseLocks(it->second.record.tid);
+        WTRACE(sim_->Now(), TraceKind::kRemoteCommit, it->second.record.tid, options_.site,
+               it->first, j);
         if (observer_) {
           observer_(options_.site, it->second.record);
         }
@@ -1057,6 +1085,7 @@ void WalterServer::UpdateDsDurable() {
     }
     it->second.ds_durable = true;
     ds_durable_through_ = next;
+    WTRACE(sim_->Now(), TraceKind::kDsDurable, it->second.record.tid, options_.site, next);
     if (it->second.want_durable) {
       NotifyClient(it->second.reply_port, kDurableNotify, it->second.record.tid);
     }
@@ -1105,6 +1134,8 @@ void WalterServer::UpdateGloballyVisible() {
     ++visible_through_;
     auto it = local_commits_.find(visible_through_);
     if (it != local_commits_.end()) {
+      WTRACE(sim_->Now(), TraceKind::kVisible, it->second.record.tid, options_.site,
+             visible_through_);
       if (it->second.want_visible) {
         NotifyClient(it->second.reply_port, kVisibleNotify, it->second.record.tid);
       }
@@ -1488,6 +1519,27 @@ void WalterServer::SweepStaleLocks() {
 
 size_t WalterServer::GarbageCollect(const VectorTimestamp& stable) {
   return store_.GarbageCollect(stable);
+}
+
+void WalterServer::ExportMetrics(MetricsRegistry& metrics) const {
+  SiteId s = options_.site;
+  metrics.Set("server.fast_commits", s, static_cast<double>(stats_.fast_commits));
+  metrics.Set("server.slow_commits", s, static_cast<double>(stats_.slow_commits));
+  metrics.Set("server.aborts", s, static_cast<double>(stats_.aborts));
+  metrics.Set("server.reads", s, static_cast<double>(stats_.reads));
+  metrics.Set("server.remote_reads", s, static_cast<double>(stats_.remote_reads));
+  metrics.Set("server.remote_txns_applied", s, static_cast<double>(stats_.remote_txns_applied));
+  metrics.Set("server.batches_sent", s, static_cast<double>(stats_.batches_sent));
+  metrics.Set("server.prepares_handled", s, static_cast<double>(stats_.prepares_handled));
+  metrics.Set("server.batch_resends", s, static_cast<double>(stats_.batch_resends));
+  metrics.Set("server.prepare_retries", s, static_cast<double>(stats_.prepare_retries));
+  metrics.Set("server.commit_dedups", s, static_cast<double>(stats_.commit_dedups));
+  metrics.Set("server.op_dedups", s, static_cast<double>(stats_.op_dedups));
+  metrics.Set("server.active_txs", s, static_cast<double>(active_.size()));
+  metrics.Set("server.held_locks", s, static_cast<double>(locks_.size()));
+  metrics.Set("server.committed_seqno", s, static_cast<double>(committed_vts_.at(s)));
+  metrics.Set("server.ds_durable_through", s, static_cast<double>(ds_durable_through_));
+  metrics.Set("server.visible_through", s, static_cast<double>(visible_through_));
 }
 
 }  // namespace walter

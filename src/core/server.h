@@ -37,6 +37,7 @@
 #include "src/core/messages.h"
 #include "src/core/perf_model.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
 #include "src/sim/disk.h"
 #include "src/sim/resource.h"
 #include "src/sim/simulator.h"
@@ -187,6 +188,9 @@ class WalterServer {
     uint64_t op_dedups = 0;        // retransmitted buffering ops dropped by op_seq
   };
   const Stats& stats() const { return stats_; }
+
+  // Dumps this site's counters into the shared registry ("server.*" names).
+  void ExportMetrics(MetricsRegistry& metrics) const;
 
  private:
   // Server-side state of an executing transaction (its update buffer).

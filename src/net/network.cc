@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace walter {
 
@@ -61,17 +62,21 @@ void Network::SendMessage(const Address& from, const Address& to, Message msg) {
   bytes_sent_ += size_bytes;
   if (drop_filter_ && drop_filter_(msg, from, to)) {
     ++messages_dropped_;
+    WTRACE(sim_->Now(), TraceKind::kNetDrop, 0, from.site, msg.rpc_id, msg.type);
     return;
   }
   if (IsCut(from.site, to.site)) {
     ++messages_dropped_;
+    WTRACE(sim_->Now(), TraceKind::kNetDrop, 0, from.site, msg.rpc_id, msg.type);
     return;
   }
   if (from.site != to.site && loss_probability_ > 0 &&
       sim_->rng().Bernoulli(loss_probability_)) {
     ++messages_dropped_;
+    WTRACE(sim_->Now(), TraceKind::kNetDrop, 0, from.site, msg.rpc_id, msg.type);
     return;
   }
+  WTRACE(sim_->Now(), TraceKind::kNetEnqueue, 0, from.site, msg.rpc_id, msg.type);
 
   LinkState& link = links_[LinkIndex(from.site, to.site)];
   SimTime start = std::max(sim_->Now(), link.next_free);
@@ -95,6 +100,7 @@ void Network::SendMessage(const Address& from, const Address& to, Message msg) {
     RpcEndpoint* ep = Lookup(to);
     if (ep == nullptr || ep->down()) {
       ++messages_dropped_;
+      WTRACE(sim_->Now(), TraceKind::kNetDrop, 0, to.site, msg.rpc_id, msg.type);
       return;
     }
     ep->Deliver(std::move(msg));
@@ -153,6 +159,7 @@ void RpcEndpoint::Call(const Address& to, uint32_t type, Payload payload,
       }
       ResponseCallback cb = std::move(it->second.cb);
       pending_.erase(it);
+      WTRACE(sim()->Now(), TraceKind::kNetRpcTimeout, 0, addr_.site, rpc_id);
       cb(Status::Timeout("rpc timeout"), Message{});
     });
   }

@@ -27,6 +27,7 @@
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/net/topology.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 
 namespace walter {
@@ -85,6 +86,13 @@ class Network {
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+
+  // Dumps the cluster-wide transport counters into the shared registry.
+  void ExportMetrics(MetricsRegistry& metrics) const {
+    metrics.Set("net.messages_sent", kNoSite, static_cast<double>(messages_sent_));
+    metrics.Set("net.messages_dropped", kNoSite, static_cast<double>(messages_dropped_));
+    metrics.Set("net.bytes_sent", kNoSite, static_cast<double>(bytes_sent_));
+  }
 
  private:
   friend class RpcEndpoint;

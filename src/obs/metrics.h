@@ -1,0 +1,85 @@
+// Per-site counter/gauge registry.
+//
+// The servers, the network, and the bench harness each grew their own ad-hoc
+// counters (Server::Stats, Network delivery/drop totals, LoadResult). This
+// registry gives them one export surface: components dump their counters into
+// a MetricsRegistry under stable dotted names, and benches render the whole
+// registry into their --json output. The registry is a plain deterministic
+// map — no atomics, no background thread — because everything that writes to
+// it runs on one simulator thread.
+//
+// Naming convention: "<component>.<counter>" (e.g. "server.fast_commits",
+// "net.msgs_dropped"). `site` is the owning site, or kNoSite for cluster-wide
+// values; JSON keys render as "<name>.s<site>" and "<name>" respectively.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace walter {
+
+struct MetricPoint {
+  std::string name;
+  SiteId site = kNoSite;
+  double value = 0;
+};
+
+class MetricsRegistry {
+ public:
+  void Set(const std::string& name, SiteId site, double value) {
+    values_[{name, site}] = value;
+  }
+  void Add(const std::string& name, SiteId site, double delta) {
+    values_[{name, site}] += delta;
+  }
+
+  double Get(const std::string& name, SiteId site = kNoSite) const {
+    auto it = values_.find({name, site});
+    return it == values_.end() ? 0 : it->second;
+  }
+  bool Has(const std::string& name, SiteId site = kNoSite) const {
+    return values_.count({name, site}) > 0;
+  }
+
+  // Sums a counter across all sites it was recorded for.
+  double Total(const std::string& name) const {
+    double total = 0;
+    for (auto it = values_.lower_bound({name, 0}); it != values_.end() && it->first.first == name;
+         ++it) {
+      total += it->second;
+    }
+    return total;
+  }
+
+  // Points in deterministic (name, site) order.
+  std::vector<MetricPoint> Snapshot() const {
+    std::vector<MetricPoint> out;
+    out.reserve(values_.size());
+    for (const auto& [key, value] : values_) {
+      out.push_back({key.first, key.second, value});
+    }
+    return out;
+  }
+
+  // The flat JSON key a point renders under in bench --json output.
+  static std::string JsonKey(const MetricPoint& p) {
+    return p.site == kNoSite ? p.name : p.name + ".s" + std::to_string(p.site);
+  }
+
+  size_t size() const { return values_.size(); }
+  void Clear() { values_.clear(); }
+
+ private:
+  // kNoSite (=0xffffffff) sorts after all real sites, so Total()'s
+  // lower_bound({name, 0}) sweep covers per-site and cluster-wide entries.
+  std::map<std::pair<std::string, SiteId>, double> values_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,150 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace walter {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kNone:
+      return "none";
+    case TraceKind::kClientOpRpc:
+      return "client_op_rpc";
+    case TraceKind::kClientCommitRpc:
+      return "client_commit_rpc";
+    case TraceKind::kClientAbortRpc:
+      return "client_abort_rpc";
+    case TraceKind::kClientRetry:
+      return "client_retry";
+    case TraceKind::kClientGiveUp:
+      return "client_give_up";
+    case TraceKind::kClientDone:
+      return "client_done";
+    case TraceKind::kClientDropLate:
+      return "client_drop_late";
+    case TraceKind::kNetEnqueue:
+      return "net_enqueue";
+    case TraceKind::kNetDrop:
+      return "net_drop";
+    case TraceKind::kNetRpcTimeout:
+      return "net_rpc_timeout";
+    case TraceKind::kServerRecv:
+      return "server_recv";
+    case TraceKind::kCommitStart:
+      return "commit_start";
+    case TraceKind::kFastPath:
+      return "fast_path";
+    case TraceKind::kSlowPath:
+      return "slow_path";
+    case TraceKind::kLockAcquire:
+      return "lock_acquire";
+    case TraceKind::kLockRelease:
+      return "lock_release";
+    case TraceKind::kPrepareSend:
+      return "prepare_send";
+    case TraceKind::kPrepareRecv:
+      return "prepare_recv";
+    case TraceKind::kPrepareVote:
+      return "prepare_vote";
+    case TraceKind::kTxAbort:
+      return "tx_abort";
+    case TraceKind::kCommitApply:
+      return "commit_apply";
+    case TraceKind::kCommitLocal:
+      return "commit_local";
+    case TraceKind::kCommitAck:
+      return "commit_ack";
+    case TraceKind::kPropagateSend:
+      return "propagate_send";
+    case TraceKind::kPropagateRecv:
+      return "propagate_recv";
+    case TraceKind::kRemoteCommit:
+      return "remote_commit";
+    case TraceKind::kDsDurable:
+      return "ds_durable";
+    case TraceKind::kVisible:
+      return "visible";
+  }
+  return "unknown";
+}
+
+std::string TraceEvent::ToJson() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"t\":%lld,\"kind\":\"%s\",\"tid\":%llu,\"site\":%d,\"arg\":%llu,\"aux\":%u}",
+                static_cast<long long>(time), TraceKindName(kind),
+                static_cast<unsigned long long>(tid), site == 0xff ? -1 : static_cast<int>(site),
+                static_cast<unsigned long long>(arg), aux);
+  return buf;
+}
+
+void Tracer::Clear() {
+  head_ = 0;
+  recorded_ = 0;
+  for (TraceEvent& e : ring_) {
+    e = TraceEvent{};
+  }
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  ring_.assign(capacity == 0 ? 1 : capacity, TraceEvent{});
+  head_ = 0;
+  recorded_ = 0;
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> out;
+  size_t n = size();
+  out.reserve(n);
+  // Oldest retained event: head_ when the ring has wrapped, index 0 otherwise.
+  size_t start = recorded_ >= ring_.size() ? head_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::Slice(TxId tid) const {
+  std::vector<TraceEvent> out;
+  size_t n = size();
+  size_t start = recorded_ >= ring_.size() ? head_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = ring_[(start + i) % ring_.size()];
+    if (e.tid == tid) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::string Tracer::ToJsonl(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 96);
+  for (const TraceEvent& e : events) {
+    out += e.ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+#if WALTER_TRACE_MODE == 2
+void Tracer::StreamJsonl(const TraceEvent& event) {
+  static FILE* sink = [] {
+    const char* path = std::getenv("WALTER_TRACE_FILE");
+    if (path != nullptr && *path != '\0') {
+      FILE* f = std::fopen(path, "w");
+      if (f != nullptr) {
+        return f;
+      }
+      std::fprintf(stderr, "WALTER_TRACE_FILE: cannot open %s, streaming to stderr\n", path);
+    }
+    return stderr;
+  }();
+  std::string line = event.ToJson();
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), sink);
+}
+#endif
+
+}  // namespace walter

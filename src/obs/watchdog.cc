@@ -1,0 +1,146 @@
+#include "src/obs/watchdog.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace walter {
+
+namespace {
+
+bool CountsAsProgress(TraceKind kind) {
+  switch (kind) {
+    // A retransmission or a dropped late response means the protocol is
+    // spinning, not advancing.
+    case TraceKind::kClientRetry:
+    case TraceKind::kClientDropLate:
+      return false;
+    // Traced before the server's dedup check, so a retried commit whose ack
+    // keeps getting lost re-records this kind forever. The client-issue edge
+    // already stamps progress for genuinely new operations.
+    case TraceKind::kServerRecv:
+      return false;
+    // Background replication trails the commit ack by design; counting it
+    // would smear the verdict's anchor stage ("stuck at visible") when the
+    // client-observable protocol stalled earlier (e.g. the ack was lost).
+    case TraceKind::kPropagateSend:
+    case TraceKind::kPropagateRecv:
+    case TraceKind::kRemoteCommit:
+    case TraceKind::kDsDurable:
+    case TraceKind::kVisible:
+      return false;
+    default:
+      return true;
+  }
+}
+
+// Only a client-issue edge opens tracking. Server-side events alone never do:
+// durability/visibility/remote-commit edges trail the client's completion
+// (sometimes by seconds of virtual time), and re-admitting a finished
+// transaction on those would make the watchdog cry wolf.
+bool StartsTracking(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kClientOpRpc:
+    case TraceKind::kClientCommitRpc:
+    case TraceKind::kClientAbortRpc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+LivenessWatchdog::LivenessWatchdog(Simulator* sim, WatchdogOptions options)
+    : sim_(sim), options_(options) {
+#if WALTER_TRACE_MODE == 0
+  std::fprintf(stderr,
+               "LivenessWatchdog: WALTER_TRACE_MODE=0 compiles out all trace events; "
+               "the watchdog cannot observe transactions and will stay silent.\n");
+#endif
+  Tracer::Get().SetListener(this);
+  check_event_ = sim_->After(options_.check_interval, [this] { Check(); });
+}
+
+LivenessWatchdog::~LivenessWatchdog() {
+  if (Tracer::Get().listener() == this) {
+    Tracer::Get().SetListener(nullptr);
+  }
+  sim_->Cancel(check_event_);
+}
+
+void LivenessWatchdog::OnTrace(const TraceEvent& event) {
+  if (event.tid == 0) {
+    return;  // batch-level / network-level event not tied to one transaction
+  }
+  if (event.kind == TraceKind::kClientDone) {
+    in_flight_.erase(event.tid);
+    return;
+  }
+  auto it = in_flight_.find(event.tid);
+  if (it == in_flight_.end()) {
+    if (!StartsTracking(event.kind)) {
+      return;
+    }
+    it = in_flight_.emplace(event.tid, TxState{}).first;
+  }
+  TxState& state = it->second;
+  if (state.stage == TraceKind::kNone || CountsAsProgress(event.kind)) {
+    state.stage = event.kind;
+    state.site = event.site == 0xff ? kNoSite : event.site;
+    state.last_progress = event.time;
+  }
+}
+
+void LivenessWatchdog::Check() {
+  SimTime now = sim_->Now();
+  // Collect first: ReportStuck erases from in_flight_ and may run user code.
+  std::vector<std::pair<TxId, TxState>> stuck;
+  for (const auto& [tid, state] : in_flight_) {
+    if (now - state.last_progress > options_.budget) {
+      stuck.emplace_back(tid, state);
+    }
+  }
+  for (const auto& [tid, state] : stuck) {
+    ReportStuck(tid, state);
+  }
+  check_event_ = sim_->After(options_.check_interval, [this] { Check(); });
+}
+
+void LivenessWatchdog::ReportStuck(TxId tid, const TxState& state) {
+  in_flight_.erase(tid);
+
+  StuckReport report;
+  report.tid = tid;
+  report.stage = state.stage;
+  report.site = state.site;
+  report.last_progress = state.last_progress;
+  report.detected = sim_->Now();
+
+  char site_buf[32];
+  if (state.site == kNoSite) {
+    std::snprintf(site_buf, sizeof(site_buf), "client");
+  } else {
+    std::snprintf(site_buf, sizeof(site_buf), "site %u", state.site);
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "liveness watchdog: tx %llu stuck at stage %s on %s "
+                "(no progress for %.3fs, budget %.3fs, detected at t=%.3fs)",
+                static_cast<unsigned long long>(tid), TraceKindName(state.stage), site_buf,
+                ToSeconds(report.detected - state.last_progress), ToSeconds(options_.budget),
+                ToSeconds(report.detected));
+  report.verdict = buf;
+  report.trace_jsonl = Tracer::ToJsonl(Tracer::Get().Slice(tid));
+
+  reports_.push_back(report);
+  if (on_stuck_) {
+    on_stuck_(reports_.back());
+  }
+  if (options_.abort_on_stuck) {
+    std::fprintf(stderr, "%s\ncausal trace slice for tx %llu:\n%s", report.verdict.c_str(),
+                 static_cast<unsigned long long>(tid), report.trace_jsonl.c_str());
+    std::abort();
+  }
+}
+
+}  // namespace walter

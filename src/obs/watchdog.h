@@ -1,0 +1,92 @@
+// Simulator-driven liveness watchdog.
+//
+// The watchdog listens to the tracer's event stream and tracks every in-flight
+// transaction (first trace event with a transaction id -> tracked; kClientDone
+// -> done). A periodic simulator event checks how long each in-flight
+// transaction has gone without forward progress; one that exceeds the sim-time
+// budget produces a precise verdict — "stuck at stage X on site Y" — plus the
+// transaction's causal trace slice as JSONL, instead of an infinite hang.
+//
+// "Forward progress" means a new commit-protocol stage was reached. Client
+// retransmissions (kClientRetry) and dropped late responses (kClientDropLate)
+// deliberately do NOT count: a client retrying forever against a server that
+// never answers is exactly the stuck shape the watchdog exists to catch.
+//
+// The watchdog is itself deterministic: it runs on simulator time, so the same
+// seed always detects the same stuck transaction at the same virtual instant.
+#ifndef SRC_OBS_WATCHDOG_H_
+#define SRC_OBS_WATCHDOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace walter {
+
+struct WatchdogOptions {
+  // A transaction making no forward progress for this long is stuck.
+  SimDuration budget = Seconds(30);
+  // How often the watchdog wakes up to scan in-flight transactions.
+  SimDuration check_interval = Seconds(1);
+  // When true (the default), a stuck transaction prints its verdict and trace
+  // slice to stderr and aborts the process — turning a hang into a test
+  // failure. Set false to receive reports via SetOnStuck instead.
+  bool abort_on_stuck = true;
+};
+
+// Everything known about one stuck transaction at detection time.
+struct StuckReport {
+  TxId tid = 0;
+  TraceKind stage = TraceKind::kNone;  // last forward-progress stage reached
+  SiteId site = kNoSite;               // site of that stage (kNoSite = client/none)
+  SimTime last_progress = 0;           // when that stage was reached
+  SimTime detected = 0;                // when the watchdog fired
+  std::string verdict;                 // one-line human-readable diagnosis
+  std::string trace_jsonl;             // the transaction's causal trace slice
+};
+
+class LivenessWatchdog : public TraceListener {
+ public:
+  // Attaches to the calling thread's Tracer and starts the periodic check.
+  explicit LivenessWatchdog(Simulator* sim, WatchdogOptions options = {});
+  ~LivenessWatchdog() override;
+
+  LivenessWatchdog(const LivenessWatchdog&) = delete;
+  LivenessWatchdog& operator=(const LivenessWatchdog&) = delete;
+
+  void OnTrace(const TraceEvent& event) override;
+
+  // Called once per stuck transaction (after it is recorded in reports()).
+  void SetOnStuck(std::function<void(const StuckReport&)> fn) { on_stuck_ = std::move(fn); }
+
+  size_t in_flight() const { return in_flight_.size(); }
+  bool fired() const { return !reports_.empty(); }
+  const std::vector<StuckReport>& reports() const { return reports_; }
+
+ private:
+  struct TxState {
+    TraceKind stage = TraceKind::kNone;
+    SiteId site = kNoSite;
+    SimTime last_progress = 0;
+  };
+
+  void Check();
+  void ReportStuck(TxId tid, const TxState& state);
+
+  Simulator* sim_;
+  WatchdogOptions options_;
+  EventId check_event_ = 0;
+  std::unordered_map<TxId, TxState> in_flight_;
+  std::vector<StuckReport> reports_;
+  std::function<void(const StuckReport&)> on_stuck_;
+};
+
+}  // namespace walter
+
+#endif  // SRC_OBS_WATCHDOG_H_

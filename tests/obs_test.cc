@@ -1,0 +1,300 @@
+// Unit tests for the observability subsystem: the trace ring, the metrics
+// registry, and the liveness watchdog (src/obs/).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/watchdog.h"
+#include "src/sim/simulator.h"
+
+namespace walter {
+namespace {
+
+// The tracer is a per-thread singleton, so every test starts from a clean
+// slate and restores the default configuration on exit.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer& t = Tracer::Get();
+    t.SetListener(nullptr);
+    t.SetEnabled(true);
+    t.SetCapacity(Tracer::kDefaultCapacity);
+    t.Clear();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+TEST_F(TraceTest, RecordsEventsInOrder) {
+  Tracer& t = Tracer::Get();
+  t.Record(10, TraceKind::kCommitStart, 7, 0, 1, 2);
+  t.Record(20, TraceKind::kFastPath, 7, 0);
+  t.Record(30, TraceKind::kCommitAck, 7, 1, 42);
+
+  ASSERT_EQ(t.recorded(), 3u);
+  std::vector<TraceEvent> events = t.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, TraceKind::kCommitStart);
+  EXPECT_EQ(events[0].time, 10);
+  EXPECT_EQ(events[0].arg, 1u);
+  EXPECT_EQ(events[0].aux, 2u);
+  EXPECT_EQ(events[1].kind, TraceKind::kFastPath);
+  EXPECT_EQ(events[2].kind, TraceKind::kCommitAck);
+  EXPECT_EQ(events[2].site, 1);
+  EXPECT_EQ(events[2].arg, 42u);
+}
+
+TEST_F(TraceTest, RingWrapsKeepingNewest) {
+  Tracer& t = Tracer::Get();
+  t.SetCapacity(4);
+  for (int i = 0; i < 10; ++i) {
+    t.Record(i, TraceKind::kNetEnqueue, 1, 0, static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.capacity(), 4u);
+  std::vector<TraceEvent> events = t.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // The four newest survive, oldest first.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].arg, 6u + i);
+  }
+}
+
+TEST_F(TraceTest, SliceExtractsOneTransaction) {
+  Tracer& t = Tracer::Get();
+  t.Record(1, TraceKind::kCommitStart, 5, 0);
+  t.Record(2, TraceKind::kCommitStart, 6, 0);
+  t.Record(3, TraceKind::kCommitAck, 5, 0);
+  t.Record(4, TraceKind::kNetEnqueue, 0, 0);  // no transaction attribution
+
+  std::vector<TraceEvent> slice = t.Slice(5);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice[0].kind, TraceKind::kCommitStart);
+  EXPECT_EQ(slice[1].kind, TraceKind::kCommitAck);
+  EXPECT_TRUE(t.Slice(99).empty());
+}
+
+TEST_F(TraceTest, JsonRendering) {
+  TraceEvent e;
+  e.time = 1500;
+  e.tid = 9;
+  e.kind = TraceKind::kSlowPath;
+  e.site = 2;
+  e.arg = 3;
+  e.aux = 4;
+  EXPECT_EQ(e.ToJson(), "{\"t\":1500,\"kind\":\"slow_path\",\"tid\":9,\"site\":2,"
+                        "\"arg\":3,\"aux\":4}");
+
+  TraceEvent none;  // site 0xff renders as -1
+  none.kind = TraceKind::kClientRetry;
+  EXPECT_NE(none.ToJson().find("\"site\":-1"), std::string::npos);
+
+  std::string jsonl = Tracer::ToJsonl({e, none});
+  // One line per event, each newline-terminated.
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+}
+
+TEST_F(TraceTest, RuntimeDisableRecordsNothing) {
+  Tracer& t = Tracer::Get();
+  t.SetEnabled(false);
+  t.Record(1, TraceKind::kCommitStart, 1, 0);
+  EXPECT_EQ(t.recorded(), 0u);
+  t.SetEnabled(true);
+  t.Record(2, TraceKind::kCommitStart, 1, 0);
+  EXPECT_EQ(t.recorded(), 1u);
+}
+
+TEST_F(TraceTest, CompileTimeModeControlsWtrace) {
+  Tracer& t = Tracer::Get();
+  WTRACE(1, TraceKind::kCommitStart, 1, 0);
+#if WALTER_TRACE_MODE == 0
+  EXPECT_EQ(t.recorded(), 0u);  // WTRACE compiles to nothing
+#else
+  EXPECT_EQ(t.recorded(), 1u);
+#endif
+}
+
+TEST_F(TraceTest, ListenerSeesEveryEvent) {
+  struct Counter : TraceListener {
+    int events = 0;
+    void OnTrace(const TraceEvent&) override { ++events; }
+  } counter;
+  Tracer& t = Tracer::Get();
+  t.SetListener(&counter);
+  t.Record(1, TraceKind::kCommitStart, 1, 0);
+  t.Record(2, TraceKind::kCommitAck, 1, 0);
+  t.SetListener(nullptr);
+  t.Record(3, TraceKind::kClientDone, 1, 0);
+  EXPECT_EQ(counter.events, 2);
+}
+
+TEST(MetricsTest, SetAddGetTotal) {
+  MetricsRegistry m;
+  m.Set("server.fast_commits", 0, 10);
+  m.Set("server.fast_commits", 1, 20);
+  m.Add("server.fast_commits", 0, 5);
+  m.Set("net.messages_sent", kNoSite, 100);
+
+  EXPECT_EQ(m.Get("server.fast_commits", 0), 15);
+  EXPECT_EQ(m.Get("server.fast_commits", 1), 20);
+  EXPECT_EQ(m.Total("server.fast_commits"), 35);
+  EXPECT_TRUE(m.Has("net.messages_sent", kNoSite));
+  EXPECT_FALSE(m.Has("server.fast_commits", 2));
+  EXPECT_EQ(m.Get("absent", 0), 0);
+}
+
+TEST(MetricsTest, SnapshotIsSortedAndStable) {
+  MetricsRegistry m;
+  m.Set("zeta", 1, 1);
+  m.Set("alpha", kNoSite, 2);
+  m.Set("zeta", 0, 3);
+  std::vector<MetricPoint> points = m.Snapshot();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].name, "alpha");
+  EXPECT_EQ(points[1].name, "zeta");
+  EXPECT_EQ(points[1].site, 0u);
+  EXPECT_EQ(points[2].site, 1u);
+  EXPECT_EQ(MetricsRegistry::JsonKey(points[0]), "alpha");
+  EXPECT_EQ(MetricsRegistry::JsonKey(points[1]), "zeta.s0");
+}
+
+#if WALTER_TRACE_MODE != 0
+
+class WatchdogTest : public TraceTest {};
+
+// A transaction that records one client-issue edge and then nothing must be
+// reported stuck once the budget elapses, naming that stage and site.
+TEST_F(WatchdogTest, FiresOnStuckTransaction) {
+  Simulator sim(1);
+  WatchdogOptions options;
+  options.budget = Seconds(5);
+  options.abort_on_stuck = false;
+  LivenessWatchdog watchdog(&sim, options);
+
+  sim.After(Millis(10), [&] {
+    Tracer::Get().Record(sim.Now(), TraceKind::kClientCommitRpc, 42, 0);
+  });
+  sim.RunUntil(Seconds(10));
+
+  ASSERT_TRUE(watchdog.fired());
+  ASSERT_EQ(watchdog.reports().size(), 1u);
+  const StuckReport& report = watchdog.reports()[0];
+  EXPECT_EQ(report.tid, 42u);
+  EXPECT_EQ(report.stage, TraceKind::kClientCommitRpc);
+  EXPECT_EQ(report.site, 0u);
+  EXPECT_NE(report.verdict.find("stuck at stage client_commit_rpc on site 0"),
+            std::string::npos);
+  EXPECT_FALSE(report.trace_jsonl.empty());
+  EXPECT_EQ(watchdog.in_flight(), 0u);  // reported transactions are detached
+}
+
+// A transaction that keeps reaching new stages — however slowly — is alive.
+TEST_F(WatchdogTest, SilentOnSlowButProgressingTransaction) {
+  Simulator sim(1);
+  WatchdogOptions options;
+  options.budget = Seconds(5);
+  options.abort_on_stuck = false;
+  LivenessWatchdog watchdog(&sim, options);
+
+  const TraceKind stages[] = {TraceKind::kClientCommitRpc, TraceKind::kCommitStart,
+                              TraceKind::kFastPath, TraceKind::kCommitApply,
+                              TraceKind::kCommitLocal, TraceKind::kCommitAck,
+                              TraceKind::kClientDone};
+  for (size_t i = 0; i < std::size(stages); ++i) {
+    sim.At(Seconds(3 * (i + 1)), [&, i] {
+      Tracer::Get().Record(sim.Now(), stages[i], 7, 0);
+    });
+  }
+  sim.RunUntil(Seconds(40));
+
+  EXPECT_FALSE(watchdog.fired());
+  EXPECT_EQ(watchdog.in_flight(), 0u);  // kClientDone retired it
+}
+
+// Retransmissions are spinning, not progress: a client retrying forever must
+// still be reported, anchored at the last real stage.
+TEST_F(WatchdogTest, RetriesDoNotCountAsProgress) {
+  Simulator sim(1);
+  WatchdogOptions options;
+  options.budget = Seconds(5);
+  options.abort_on_stuck = false;
+  LivenessWatchdog watchdog(&sim, options);
+
+  sim.After(Millis(10), [&] {
+    Tracer::Get().Record(sim.Now(), TraceKind::kClientCommitRpc, 8, 1);
+  });
+  for (int i = 1; i <= 20; ++i) {
+    sim.At(Seconds(i), [&, i] {
+      Tracer::Get().Record(sim.Now(), TraceKind::kClientRetry, 8, 1,
+                           static_cast<uint64_t>(i));
+    });
+  }
+  sim.RunUntil(Seconds(25));
+
+  ASSERT_TRUE(watchdog.fired());
+  EXPECT_EQ(watchdog.reports()[0].stage, TraceKind::kClientCommitRpc);
+  EXPECT_EQ(watchdog.reports()[0].site, 1u);
+}
+
+// Server-side events for transactions the watchdog never saw a client issue
+// for (e.g. visibility edges trailing a completed commit) must not re-admit
+// them as in-flight.
+TEST_F(WatchdogTest, ServerEventsAloneDoNotStartTracking) {
+  Simulator sim(1);
+  WatchdogOptions options;
+  options.budget = Seconds(5);
+  options.abort_on_stuck = false;
+  LivenessWatchdog watchdog(&sim, options);
+
+  sim.After(Millis(10), [&] {
+    Tracer::Get().Record(sim.Now(), TraceKind::kClientCommitRpc, 3, 0);
+    Tracer::Get().Record(sim.Now(), TraceKind::kClientDone, 3, 0);
+    // Durability/visibility edges arrive after the client callback.
+    Tracer::Get().Record(sim.Now(), TraceKind::kDsDurable, 3, 0);
+    Tracer::Get().Record(sim.Now(), TraceKind::kVisible, 3, 0);
+  });
+  sim.RunUntil(Seconds(10));
+
+  EXPECT_FALSE(watchdog.fired());
+  EXPECT_EQ(watchdog.in_flight(), 0u);
+}
+
+// Same seed, same verdict at the same virtual instant — the watchdog is part
+// of the deterministic simulation, not a wall-clock heuristic.
+TEST_F(WatchdogTest, DeterministicAcrossRuns) {
+  auto run_tracked = [](uint64_t seed) {
+    Tracer::Get().Clear();
+    Simulator sim(seed);
+    WatchdogOptions options;
+    options.budget = Seconds(5);
+    options.abort_on_stuck = false;
+    LivenessWatchdog watchdog(&sim, options);
+    sim.After(Millis(137), [&] {
+      Tracer::Get().Record(sim.Now(), TraceKind::kClientCommitRpc, 11, 2);
+    });
+    sim.RunUntil(Seconds(10));
+    StuckReport report;
+    if (watchdog.fired()) {
+      report = watchdog.reports()[0];
+    }
+    return report;
+  };
+  StuckReport a = run_tracked(1);
+  StuckReport b = run_tracked(2);
+  StuckReport c = run_tracked(1);
+  ASSERT_NE(a.tid, 0u);
+  EXPECT_EQ(a.detected, c.detected);
+  EXPECT_EQ(a.verdict, c.verdict);
+  EXPECT_EQ(a.trace_jsonl, c.trace_jsonl);
+  // A different seed still detects the same transaction deterministically.
+  EXPECT_EQ(a.tid, b.tid);
+  EXPECT_EQ(a.stage, b.stage);
+}
+
+#endif  // WALTER_TRACE_MODE != 0
+
+}  // namespace
+}  // namespace walter
