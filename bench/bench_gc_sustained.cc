@@ -1,0 +1,215 @@
+// Bounded memory under sustained load (EXPERIMENTS.md).
+//
+// A Fig-17-style write-heavy closed-loop workload runs for >=10x the Figure 17
+// measurement window while the stability-frontier GC is active (the default).
+// The run samples every memory gauge the GC bounds — unfolded history entries,
+// WAL bytes, retained local commits, retained dedup outcomes — at fixed
+// intervals, and self-checks two properties:
+//
+//   1. Plateau: each gauge's second-half peak stays within kPlateauSlack of
+//      its first-half peak. Unbounded growth is ~linear in commits, so a
+//      leaking gauge roughly doubles across the halves and fails loudly.
+//   2. GC effectiveness: an identical GC-disabled control run must end with
+//      several times more retained history than the GC run ever peaks at.
+//
+// The sampled series is printed as a table and exported via --json (the CI
+// perf-smoke job enforces a memory ceiling from those gauges).
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace walter {
+namespace {
+
+constexpr uint64_t kKeysPerSite = 1'000;
+constexpr int kClientsPerSite = 16;
+constexpr size_t kSites = 3;
+constexpr double kPlateauSlack = 1.5;
+
+struct Sample {
+  double t_seconds = 0;
+  uint64_t history_entries = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t retained_commits = 0;
+  uint64_t retained_outcomes = 0;
+};
+
+struct RunResult {
+  std::vector<Sample> samples;  // cluster-wide totals per window
+  uint64_t gc_runs = 0;
+  uint64_t gc_folded = 0;
+  uint64_t wal_truncated = 0;
+  uint64_t commits = 0;
+};
+
+RunResult RunSustained(bool gc_enabled, uint64_t seed, bool quick) {
+  // Figure 17 measures 1.2s (0.4s quick); sustain >= 10x that.
+  SimDuration warmup = quick ? Millis(200) : Seconds(1);
+  SimDuration window = quick ? Millis(500) : Seconds(2);
+  int windows = quick ? 8 : 10;
+
+  ClusterOptions options;
+  options.num_sites = kSites;
+  options.seed = seed;
+  options.server.perf = PerfModel::Ec2();
+  options.server.disk = DiskConfig::Ec2();
+  options.gc.enabled = gc_enabled;
+  // The default 30s dedup-outcome retention (sized for real client retry
+  // windows) exceeds the whole run: scale it down so the gauge can reach its
+  // steady state inside the measurement horizon.
+  options.server.tx_outcome_retention = quick ? Seconds(1) : Seconds(4);
+  if (quick) {
+    // The default 5s checkpoint cadence never fires inside a ~4s quick run.
+    options.gc.interval = Millis(100);
+    options.gc.checkpoint_every = Millis(500);
+  }
+  Cluster cluster(options);
+  for (SiteId s = 0; s < kSites; ++s) {
+    WalterClient* setup = cluster.AddClient(s);
+    Populate(cluster, setup, /*container=*/s, kKeysPerSite, 100, 20);
+  }
+
+  // Closed-loop writers against the local-preferred container: maximum
+  // history churn, every commit replicated everywhere.
+  auto rng = std::make_shared<Rng>(seed * 31 + 7);
+  for (SiteId s = 0; s < kSites; ++s) {
+    for (int c = 0; c < kClientsPerSite; ++c) {
+      WalterClient* client = cluster.AddClient(s);
+      auto write = std::make_shared<OpFactory>(
+          WriteTxFactory(client, s, kKeysPerSite, /*tx_size=*/1, 100, rng));
+      auto pump = std::make_shared<std::function<void(bool)>>();
+      *pump = [write, pump](bool) { (*write)([pump](bool ok) { (*pump)(ok); }); };
+      (*pump)(true);
+    }
+  }
+
+  cluster.RunFor(warmup);
+  RunResult result;
+  for (int w = 1; w <= windows; ++w) {
+    cluster.RunFor(window);
+    Sample sample;
+    sample.t_seconds = static_cast<double>(cluster.sim().Now()) / Seconds(1);
+    for (SiteId s = 0; s < kSites; ++s) {
+      WalterServer& server = cluster.server(s);
+      sample.history_entries += server.store().TotalEntryCount();
+      sample.wal_bytes += server.store().wal().size();
+      sample.retained_commits += server.retained_local_commits();
+      sample.retained_outcomes += server.retained_tx_outcomes();
+    }
+    result.samples.push_back(sample);
+  }
+  for (SiteId s = 0; s < kSites; ++s) {
+    result.gc_runs += cluster.server(s).stats().gc_runs;
+    result.gc_folded += cluster.server(s).stats().gc_folded_entries;
+    result.wal_truncated += cluster.server(s).stats().wal_truncated_bytes;
+    result.commits += cluster.server(s).committed_vts().at(s);
+  }
+  return result;
+}
+
+// Peak of a gauge over samples [begin, end).
+uint64_t Peak(const std::vector<Sample>& samples, size_t begin, size_t end,
+              uint64_t Sample::* gauge) {
+  uint64_t peak = 0;
+  for (size_t i = begin; i < end && i < samples.size(); ++i) {
+    peak = std::max(peak, samples[i].*gauge);
+  }
+  return peak;
+}
+
+bool CheckPlateau(const char* name, const std::vector<Sample>& samples,
+                  uint64_t Sample::* gauge) {
+  size_t half = samples.size() / 2;
+  uint64_t first = Peak(samples, 0, half, gauge);
+  uint64_t second = Peak(samples, half, samples.size(), gauge);
+  bool ok = static_cast<double>(second) <=
+            kPlateauSlack * static_cast<double>(std::max<uint64_t>(first, 1));
+  std::printf("%-18s first-half peak %10llu  second-half peak %10llu  %s\n", name,
+              static_cast<unsigned long long>(first),
+              static_cast<unsigned long long>(second), ok ? "plateau" : "GROWING");
+  return ok;
+}
+
+}  // namespace
+}  // namespace walter
+
+int main(int argc, char** argv) {
+  using walter::RunResult;
+  using walter::Sample;
+  using walter::TablePrinter;
+  walter::BenchOptions opt = walter::ParseBenchArgs(argc, argv);
+
+  // The GC run and its GC-disabled control are independent simulations.
+  walter::ParallelRunner runner(opt.jobs);
+  std::vector<RunResult> runs = runner.Map<RunResult>(2, [&](size_t i) {
+    return walter::RunSustained(/*gc_enabled=*/i == 0, /*seed=*/42, opt.quick);
+  });
+  const RunResult& gc = runs[0];
+  const RunResult& control = runs[1];
+
+  std::printf("=== Sustained write load: memory gauges with stability-frontier GC ===\n\n");
+  {
+    TablePrinter table({"t (s)", "history entries", "wal bytes", "retained commits",
+                        "retained outcomes"});
+    for (const Sample& s : gc.samples) {
+      table.AddRow({TablePrinter::Fmt(s.t_seconds), std::to_string(s.history_entries),
+                    std::to_string(s.wal_bytes), std::to_string(s.retained_commits),
+                    std::to_string(s.retained_outcomes)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  std::printf("commits %llu, gc runs %llu, entries folded %llu, wal bytes truncated %llu\n\n",
+              static_cast<unsigned long long>(gc.commits),
+              static_cast<unsigned long long>(gc.gc_runs),
+              static_cast<unsigned long long>(gc.gc_folded),
+              static_cast<unsigned long long>(gc.wal_truncated));
+
+  bool ok = true;
+  ok &= walter::CheckPlateau("history entries", gc.samples, &Sample::history_entries);
+  ok &= walter::CheckPlateau("wal bytes", gc.samples, &Sample::wal_bytes);
+  ok &= walter::CheckPlateau("retained commits", gc.samples, &Sample::retained_commits);
+  ok &= walter::CheckPlateau("retained outcomes", gc.samples, &Sample::retained_outcomes);
+
+  // Effectiveness: without GC the same workload must retain far more history.
+  uint64_t gc_peak = walter::Peak(gc.samples, 0, gc.samples.size(),
+                                  &Sample::history_entries);
+  uint64_t control_final = control.samples.back().history_entries;
+  bool effective = control_final >= 3 * std::max<uint64_t>(gc_peak, 1);
+  std::printf("\nGC-off control final history entries: %llu (GC-on peak %llu) — %s\n",
+              static_cast<unsigned long long>(control_final),
+              static_cast<unsigned long long>(gc_peak),
+              effective ? "GC is folding real state" : "GC FOLDED TOO LITTLE");
+  ok &= effective;
+  ok &= gc.gc_runs > 0 && gc.gc_folded > 0 && gc.wal_truncated > 0;
+
+  walter::BenchJson json;
+  json.Set("bench", std::string("gc_sustained"));
+  json.Set("quick", opt.quick ? 1.0 : 0.0);
+  json.Set("commits", static_cast<double>(gc.commits));
+  json.Set("gc_runs", static_cast<double>(gc.gc_runs));
+  json.Set("gc_folded_entries", static_cast<double>(gc.gc_folded));
+  json.Set("wal_truncated_bytes", static_cast<double>(gc.wal_truncated));
+  json.Set("history_entries_peak", static_cast<double>(gc_peak));
+  json.Set("history_entries_final", static_cast<double>(gc.samples.back().history_entries));
+  json.Set("wal_bytes_final", static_cast<double>(gc.samples.back().wal_bytes));
+  json.Set("retained_commits_final",
+           static_cast<double>(gc.samples.back().retained_commits));
+  json.Set("retained_outcomes_final",
+           static_cast<double>(gc.samples.back().retained_outcomes));
+  json.Set("control_history_entries_final", static_cast<double>(control_final));
+  json.Set("plateau_ok", ok ? 1.0 : 0.0);
+  if (!json.WriteIfRequested(opt.json_path)) {
+    return 1;
+  }
+  if (!ok) {
+    std::printf("\nFAIL: memory gauges did not plateau under sustained load\n");
+    return 1;
+  }
+  std::printf("\nOK: all gauges plateaued; GC keeps memory bounded\n");
+  return 0;
+}

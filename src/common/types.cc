@@ -44,6 +44,15 @@ void VectorTimestamp::MergeMax(const VectorTimestamp& other) {
   }
 }
 
+void VectorTimestamp::MergeMin(const VectorTimestamp& other) {
+  if (other.counts_.size() < counts_.size()) {
+    counts_.resize(other.counts_.size());
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] = std::min(counts_[i], other.counts_[i]);
+  }
+}
+
 bool VectorTimestamp::Covers(const VectorTimestamp& other) const {
   for (size_t i = 0; i < other.counts_.size(); ++i) {
     uint64_t mine = i < counts_.size() ? counts_[i] : 0;

@@ -86,6 +86,11 @@ class VectorTimestamp {
   // Entry-wise maximum (least upper bound of the two snapshots).
   void MergeMax(const VectorTimestamp& other);
 
+  // Entry-wise minimum (greatest lower bound; missing entries count as 0).
+  // The pointwise min of causally-closed snapshots is causally closed, which
+  // is what makes the GC stability frontier safe to fold histories at.
+  void MergeMin(const VectorTimestamp& other);
+
   // True if every entry of this is >= the corresponding entry of other, i.e.
   // this snapshot includes everything other does.
   bool Covers(const VectorTimestamp& other) const;

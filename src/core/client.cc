@@ -111,12 +111,15 @@ void WalterClient::Attempt(Payload request,
       options_.rpc_timeout);
 }
 
-Tx::Tx(WalterClient* client) : client_(client), tid_(client->NextTid()) {}
+Tx::Tx(WalterClient* client)
+    : client_(client), tid_(client->NextTid()), pin_(client->PinSnapshot()) {}
 
 Tx::~Tx() {
   if (!finished_) {
     // Abandoned (typically a read-only transaction the application just let
-    // go of): nothing to undo server-side, but retire it in the trace stream.
+    // go of): nothing to undo server-side, but retire it in the trace stream
+    // and release the snapshot pin so it stops holding the GC frontier down.
+    client_->UnpinSnapshot(pin_);
     WTRACE(client_->sim()->Now(), TraceKind::kClientDone, tid_, client_->site(),
            static_cast<uint64_t>(StatusCode::kAborted));
   }
@@ -133,6 +136,9 @@ ClientOpRequest Tx::BaseRequest() {
 void Tx::AbsorbResponse(const ClientOpResponse& resp) {
   if (vts_.num_sites() == 0 && resp.assigned_vts.num_sites() > 0) {
     vts_ = resp.assigned_vts;
+    // The pin was taken at a conservative floor; raise it to the exact
+    // snapshot so it holds the GC frontier no lower than necessary.
+    client_->RaisePin(pin_, vts_);
   }
 }
 
@@ -333,8 +339,12 @@ void Tx::Commit(CommitCallback cb, CommitOptions options) {
   WalterClient* client = client_;
   TxId tid = tid_;
   SiteId site = client->site();
+  uint64_t pin = pin_;
 
-  CommitCallback done = [client, tid, site, cb = std::move(cb)](Status status) {
+  CommitCallback done = [client, tid, site, pin, cb = std::move(cb)](Status status) {
+    // The outcome is settled; retransmissions are answered from the server's
+    // dedup state without re-reading the snapshot, so the pin can go.
+    client->UnpinSnapshot(pin);
     WTRACE(client->sim()->Now(), TraceKind::kClientDone, tid, site,
            static_cast<uint64_t>(status.code()));
     cb(status);
@@ -404,7 +414,9 @@ void Tx::Abort(std::function<void()> done) {
   WalterClient* client = client_;
   TxId tid = tid_;
   SiteId site = client->site();
+  uint64_t pin = pin_;
   if (update_rpcs_sent_ == 0) {
+    client->UnpinSnapshot(pin);
     WTRACE(client->sim()->Now(), TraceKind::kClientDone, tid, site,
            static_cast<uint64_t>(StatusCode::kAborted));
     if (done) {
@@ -418,7 +430,8 @@ void Tx::Abort(std::function<void()> done) {
   WTRACE(client->sim()->Now(), TraceKind::kClientAbortRpc, tid, site);
   // Like Commit, the abort chain must not depend on the handle staying alive.
   client->Op(std::move(req),
-             [client, tid, site, done = std::move(done)](Status, const ClientOpResponse&) {
+             [client, tid, site, pin, done = std::move(done)](Status, const ClientOpResponse&) {
+               client->UnpinSnapshot(pin);
                WTRACE(client->sim()->Now(), TraceKind::kClientDone, tid, site,
                       static_cast<uint64_t>(StatusCode::kAborted));
                if (done) {

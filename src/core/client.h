@@ -29,6 +29,7 @@
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/core/messages.h"
+#include "src/core/snapshot_pins.h"
 #include "src/crdt/cset.h"
 #include "src/net/network.h"
 
@@ -76,6 +77,25 @@ class WalterClient {
   void WatchDurable(TxId tid, std::function<void()> cb) { durable_watch_[tid] = std::move(cb); }
   void WatchVisible(TxId tid, std::function<void()> cb) { visible_watch_[tid] = std::move(cb); }
 
+  // Snapshot pinning (the GC frontier's live-transaction input). The cluster
+  // attaches the site's registry plus a floor provider that reads the local
+  // server's CommittedVTS; without a registry pinning is a no-op (pin id 0).
+  void AttachPins(SnapshotPinRegistry* pins, std::function<VectorTimestamp()> floor) {
+    pins_ = pins;
+    pin_floor_ = std::move(floor);
+  }
+  uint64_t PinSnapshot() { return pins_ != nullptr ? pins_->Pin(pin_floor_()) : 0; }
+  void RaisePin(uint64_t pin, const VectorTimestamp& vts) {
+    if (pins_ != nullptr && pin != 0) {
+      pins_->Raise(pin, vts);
+    }
+  }
+  void UnpinSnapshot(uint64_t pin) {
+    if (pins_ != nullptr && pin != 0) {
+      pins_->Unpin(pin);
+    }
+  }
+
  private:
   // `tid` is carried alongside the request purely for trace attribution.
   void Attempt(ClientOpRequest req, std::function<void(Status, const ClientOpResponse&)> cb,
@@ -95,6 +115,8 @@ class WalterClient {
   uint64_t retries_sent_ = 0;
   std::unordered_map<TxId, std::function<void()>> durable_watch_;
   std::unordered_map<TxId, std::function<void()>> visible_watch_;
+  SnapshotPinRegistry* pins_ = nullptr;
+  std::function<VectorTimestamp()> pin_floor_;
 };
 
 // A transaction handle. Create, issue operations (serially), then Commit or
@@ -157,6 +179,10 @@ class Tx {
   size_t update_rpcs_sent_ = 0;
   size_t rpcs_issued_ = 0;
   bool finished_ = false;
+  // Snapshot pin held for the lifetime of the transaction (0 = no registry).
+  // Released exactly once: by the Commit/Abort chains (which own it by value,
+  // independent of the handle) or by the destructor for abandoned handles.
+  uint64_t pin_ = 0;
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 

@@ -13,12 +13,27 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)), sim_(op
   net_ = std::make_unique<Network>(&sim_, std::move(topo));
   for (SiteId s = 0; s < options_.num_sites; ++s) {
     directories_.push_back(std::make_unique<ContainerDirectory>(options_.num_sites));
+    pin_registries_.push_back(std::make_unique<SnapshotPinRegistry>());
     WalterServer::Options so = options_.server;
     so.site = s;
     so.num_sites = options_.num_sites;
     servers_.push_back(
         std::make_unique<WalterServer>(&sim_, net_.get(), so, directories_[s].get()));
+    WirePinFloor(s);
   }
+  // The GC coordinator follows the gossip gating (RunUntilIdle-based tests
+  // disable periodic work by setting gossip_interval = 0), and stands down in
+  // frontier_gossip mode, where the servers fold from acked floors themselves.
+  if (options_.num_sites > 1 && options_.server.gossip_interval > 0 &&
+      options_.gc.enabled && !options_.server.frontier_gossip) {
+    gc_ = std::make_unique<GcCoordinator>(this, options_.gc, options_.seed);
+    gc_->Start();
+  }
+}
+
+void Cluster::WirePinFloor(SiteId s) {
+  servers_[s]->SetPinFloorProvider(
+      [reg = pin_registries_[s].get()]() { return reg->MinPin(); });
 }
 
 void Cluster::UpsertContainerEverywhere(const ContainerInfo& info) {
@@ -32,6 +47,11 @@ WalterClient* Cluster::AddClient(SiteId site) { return AddClient(site, options_.
 WalterClient* Cluster::AddClient(SiteId site, WalterClient::Options options) {
   clients_.push_back(
       std::make_unique<WalterClient>(net_.get(), site, next_client_port_++, options));
+  // Every transaction the client opens pins its snapshot in the site registry,
+  // at a floor read from the (current) local server's CommittedVTS.
+  clients_.back()->AttachPins(pin_registries_[site].get(), [this, site]() {
+    return servers_[site]->committed_vts();
+  });
   return clients_.back().get();
 }
 
@@ -41,6 +61,7 @@ WalterServer& Cluster::ReplaceServer(SiteId s) {
   servers_[s].reset();  // frees the endpoint address
   servers_[s] = std::make_unique<WalterServer>(&sim_, net_.get(), so, directories_[s].get());
   servers_[s]->Restore(image);
+  WirePinFloor(s);  // the registry outlives the server it was wired to
   if (observer_) {
     servers_[s]->SetCommitObserver(observer_);
   }
@@ -57,6 +78,12 @@ void Cluster::ObserveCommits(WalterServer::CommitObserver observer) {
 void Cluster::ExportMetrics(MetricsRegistry& metrics) const {
   for (const auto& server : servers_) {
     server->ExportMetrics(metrics);
+  }
+  for (SiteId s = 0; s < pin_registries_.size(); ++s) {
+    metrics.Set("gc.active_pins", s, static_cast<double>(pin_registries_[s]->active()));
+  }
+  if (gc_) {
+    gc_->ExportMetrics(metrics);
   }
   net_->ExportMetrics(metrics);
   uint64_t retries = 0;

@@ -9,7 +9,9 @@
 
 #include "src/core/client.h"
 #include "src/core/container.h"
+#include "src/core/gc_coordinator.h"
 #include "src/core/server.h"
+#include "src/core/snapshot_pins.h"
 #include "src/net/network.h"
 #include "src/net/topology.h"
 #include "src/sim/simulator.h"
@@ -25,6 +27,11 @@ struct ClusterOptions {
   WalterClient::Options client;
   // Network topology; by default the paper's EC2 sites (truncated to num_sites).
   std::optional<Topology> topology;
+  // Stability-frontier GC/checkpointing. Active (like gossip) only for
+  // multi-site clusters with a nonzero gossip_interval — tests that rely on
+  // RunUntilIdle quiescence disable both together — and not in the servers'
+  // frontier_gossip mode, where each site folds from acked floors instead.
+  GcOptions gc;
 };
 
 class Cluster {
@@ -55,6 +62,12 @@ class Cluster {
   // Installs a commit observer on every server (e.g. a PsiChecker hook).
   void ObserveCommits(WalterServer::CommitObserver observer);
 
+  // The stability-frontier GC/checkpoint driver; nullptr when disabled (single
+  // site, gossip off, gc.enabled false, or frontier_gossip mode).
+  GcCoordinator* gc() { return gc_.get(); }
+  // Per-site snapshot-pin registry (owned here: it must survive ReplaceServer).
+  SnapshotPinRegistry& pin_registry(SiteId s) { return *pin_registries_[s]; }
+
   // Dumps every server's counters plus the transport counters into the shared
   // registry (benches render the registry into their --json output).
   void ExportMetrics(MetricsRegistry& metrics) const;
@@ -65,12 +78,17 @@ class Cluster {
   void RunUntilIdle() { sim_.Run(); }
 
  private:
+  // Attaches a server to its site's pin registry (ctor and ReplaceServer).
+  void WirePinFloor(SiteId s);
+
   ClusterOptions options_;
   Simulator sim_;
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<ContainerDirectory>> directories_;
+  std::vector<std::unique_ptr<SnapshotPinRegistry>> pin_registries_;
   std::vector<std::unique_ptr<WalterServer>> servers_;
   std::vector<std::unique_ptr<WalterClient>> clients_;
+  std::unique_ptr<GcCoordinator> gc_;
   uint32_t next_client_port_ = kClientPortBase;
   WalterServer::CommitObserver observer_;  // reapplied to replacement servers
 };

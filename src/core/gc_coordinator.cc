@@ -1,0 +1,236 @@
+#include "src/core/gc_coordinator.h"
+
+#include <algorithm>
+
+#include "src/core/cluster.h"
+#include "src/obs/trace.h"
+
+namespace walter {
+
+const char* GcStallReasonName(GcStallReason reason) {
+  switch (reason) {
+    case GcStallReason::kNone:
+      return "none";
+    case GcStallReason::kDeadSite:
+      return "dead_site";
+    case GcStallReason::kSnapshotPin:
+      return "snapshot_pin";
+    case GcStallReason::kLaggingSite:
+      return "lagging_site";
+  }
+  return "unknown";
+}
+
+GcCoordinator::GcCoordinator(Cluster* cluster, GcOptions options, uint64_t seed)
+    : cluster_(cluster),
+      options_(options),
+      rng_(seed ^ 0x6663726f6e746965ULL),  // decorrelate from the workload seed
+      last_floor_(cluster->num_sites()),
+      last_durable_(cluster->num_sites()),
+      in_config_(cluster->num_sites(), true),
+      frontier_(cluster->num_sites()) {}
+
+void GcCoordinator::Start() {
+  if (started_ || !options_.enabled) {
+    return;
+  }
+  started_ = true;
+  last_checkpoint_ = cluster_->sim().Now();
+  Schedule();
+}
+
+void GcCoordinator::Schedule() {
+  // Jitter from the coordinator's private Rng: the simulation's event sequence
+  // (and therefore every benchmark number) must not depend on GC existing.
+  SimDuration jitter = static_cast<SimDuration>(
+      static_cast<double>(options_.interval) * 0.1 * rng_.NextDouble());
+  cluster_->sim().After(options_.interval + jitter, [this]() {
+    Tick();
+    Schedule();
+  });
+}
+
+void GcCoordinator::RefreshCaches() {
+  for (SiteId s = 0; s < cluster_->num_sites(); ++s) {
+    WalterServer& server = cluster_->server(s);
+    if (server.crashed()) {
+      continue;  // frozen at the last known state
+    }
+    // Floors and durable watermarks are monotone per site; max-merge protects
+    // against a replacement server that briefly reports a lower committed
+    // state mid-resync.
+    VectorTimestamp floor = server.StabilityFloor();
+    VectorTimestamp durable = server.durable_applied();
+    if (!in_config_[s]) {
+      // A removed-but-reachable site keeps reporting its non-surviving own
+      // commits until it learns of its removal; never cache those.
+      floor.set(s, 0);
+      durable.set(s, 0);
+    }
+    last_floor_[s].MergeMax(floor);
+    last_durable_[s].MergeMax(durable);
+  }
+}
+
+void GcCoordinator::Tick() {
+  size_t n = cluster_->num_sites();
+  auto in_config = [this](SiteId s) { return !probe_ || probe_(s); };
+  for (SiteId s = 0; s < n; ++s) {
+    bool now = in_config(s);
+    if (in_config_[s] && !now) {
+      // §5.7 removal rolls the removed site's own seqnos back (TruncateOwnLog
+      // reuses them past survive_through): its cached own-index entries are
+      // phantom state. Reset them so the frontier and the WAL floors rebuild
+      // from what the reintegrated replacement actually reports. The remote-
+      // origin entries stay frozen — those records are durable at the site
+      // and survive its crash, so they remain true lower bounds.
+      last_floor_[s].set(s, 0);
+      last_durable_[s].set(s, 0);
+    }
+    in_config_[s] = now;
+  }
+  RefreshCaches();
+
+  // Outcome aging is time-based and independent of the frontier (dropping a
+  // dedup outcome while a client still retransmits would double-commit; see
+  // Options::tx_outcome_retention). It rides the GC cadence, nothing more.
+  for (SiteId s = 0; s < n; ++s) {
+    if (!cluster_->server(s).crashed()) {
+      cluster_->server(s).AgeTxOutcomes();
+    }
+  }
+
+  // Candidate frontier: pointwise min over in-config sites (crashed ones
+  // contribute their frozen cache, freezing the frontier — the safe stall).
+  bool have = false;
+  VectorTimestamp next;
+  for (SiteId s = 0; s < n; ++s) {
+    if (!in_config(s)) {
+      continue;
+    }
+    if (!have) {
+      next = last_floor_[s];
+      have = true;
+    } else {
+      next.MergeMin(last_floor_[s]);
+    }
+  }
+  if (!have) {
+    return;  // degenerate: nobody in the configuration
+  }
+
+  // Folding a server is only safe once its own applied+durable state covers
+  // the frontier. In-config live sites satisfy this by construction (the
+  // frontier is the min of their floors), but the oracle can also see sites
+  // the network cannot reach: a §5.7-removed site still catching up, or a
+  // replacement mid-resync whose cached floor outruns its actual state.
+  // Folding those would push their store frontier past records they have yet
+  // to receive, stranding the records below it forever once they arrive.
+  auto fold_safe = [this](WalterServer& server) {
+    return !server.crashed() &&
+           server.StabilityFloor(/*include_pins=*/false).Covers(frontier_);
+  };
+
+  if (!frontier_.Covers(next)) {
+    // The frontier advanced: fold every eligible server in this same event,
+    // so sites share one frontier and remote reads never straddle two.
+    frontier_.MergeMax(next);
+    ++runs_;
+    last_stall_reason_ = GcStallReason::kNone;
+    last_stall_site_ = kNoSite;
+    for (SiteId s = 0; s < n; ++s) {
+      WalterServer& server = cluster_->server(s);
+      if (fold_safe(server)) {
+        server.DriveGc(frontier_);
+      }
+    }
+  } else {
+    // No advance — but a lagging server may still owe a fold: a replacement
+    // restores history the cluster folded long ago (its WAL tail replay can
+    // resurrect entries below the frontier), and a reintegrated site drains
+    // its gap-fill backlog before it is safe to fold. Catch them up.
+    for (SiteId s = 0; s < n; ++s) {
+      WalterServer& server = cluster_->server(s);
+      if (fold_safe(server) && !server.store().gc_frontier().Covers(frontier_)) {
+        server.DriveGc(frontier_);
+      }
+    }
+    // Only a real blocker counts as a stall: if even the live
+    // sites' pin-free floors are covered by the frontier, there is simply
+    // nothing to collect yet (idle).
+    bool have_ideal = false;
+    VectorTimestamp ideal;  // what the frontier could be with no dead sites/pins
+    for (SiteId s = 0; s < n; ++s) {
+      if (!in_config(s) || cluster_->server(s).crashed()) {
+        continue;
+      }
+      VectorTimestamp floor = cluster_->server(s).StabilityFloor(/*include_pins=*/false);
+      if (!have_ideal) {
+        ideal = std::move(floor);
+        have_ideal = true;
+      } else {
+        ideal.MergeMin(floor);
+      }
+    }
+    if (have_ideal && !frontier_.Covers(ideal)) {
+      ++stalls_;
+      last_stall_reason_ = GcStallReason::kLaggingSite;
+      last_stall_site_ = kNoSite;
+      for (SiteId s = 0; s < n; ++s) {
+        if (!in_config(s)) {
+          continue;
+        }
+        if (cluster_->server(s).crashed() && !last_floor_[s].Covers(ideal)) {
+          last_stall_reason_ = GcStallReason::kDeadSite;
+          last_stall_site_ = s;
+          break;
+        }
+        if (!cluster_->server(s).crashed() &&
+            !cluster_->server(s).StabilityFloor(/*include_pins=*/true).Covers(ideal)) {
+          // Pin-free floor reaches `ideal` but the pinned floor does not: a
+          // live snapshot is the blocker.
+          last_stall_reason_ = GcStallReason::kSnapshotPin;
+          last_stall_site_ = s;
+          // keep scanning: a dead site outranks a pin in the report
+        }
+      }
+      WTRACE(cluster_->sim().Now(), TraceKind::kGcStall, 0, last_stall_site_,
+             static_cast<uint64_t>(last_stall_reason_));
+    } else {
+      last_stall_reason_ = GcStallReason::kNone;
+      last_stall_site_ = kNoSite;
+    }
+  }
+
+  // Retention-aware checkpoints on their own (coarser) cadence. WAL floors
+  // take the min over ALL sites — including crashed and removed ones, via
+  // their frozen caches — because reintegration gap-fills from these logs.
+  if (cluster_->sim().Now() - last_checkpoint_ >= options_.checkpoint_every) {
+    last_checkpoint_ = cluster_->sim().Now();
+    VectorTimestamp wal_floors = last_durable_[0];
+    for (SiteId s = 1; s < n; ++s) {
+      wal_floors.MergeMin(last_durable_[s]);
+    }
+    for (SiteId s = 0; s < n; ++s) {
+      WalterServer& server = cluster_->server(s);
+      if (!server.crashed()) {
+        server.CheckpointRetaining(wal_floors);
+      }
+    }
+    ++checkpoints_;
+  }
+}
+
+void GcCoordinator::ExportMetrics(MetricsRegistry& metrics) const {
+  metrics.Set("gc.runs", kNoSite, static_cast<double>(runs_));
+  metrics.Set("gc.stalls", kNoSite, static_cast<double>(stalls_));
+  metrics.Set("gc.checkpoints", kNoSite, static_cast<double>(checkpoints_));
+  metrics.Set("gc.stall_reason", kNoSite, static_cast<double>(last_stall_reason_));
+  metrics.Set("gc.stall_site", kNoSite,
+              last_stall_site_ == kNoSite ? -1.0 : static_cast<double>(last_stall_site_));
+  for (SiteId s = 0; s < cluster_->num_sites(); ++s) {
+    metrics.Set("gc.frontier", s, static_cast<double>(frontier_.at(s)));
+  }
+}
+
+}  // namespace walter

@@ -180,6 +180,9 @@ std::string PropagateAck::Serialize() const {
   w.PutU32(from);
   w.PutU32(origin);
   w.PutU64(received_through);
+  if (stability_floor.num_sites() > 0) {
+    w.PutVts(stability_floor);
+  }
   return w.Take();
 }
 
@@ -189,6 +192,9 @@ PropagateAck PropagateAck::Deserialize(std::string_view bytes) {
   a.from = r.GetU32();
   a.origin = r.GetU32();
   a.received_through = r.GetU64();
+  if (r.remaining() > 0) {
+    a.stability_floor = r.GetVts();
+  }
   return a;
 }
 

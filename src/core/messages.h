@@ -152,6 +152,11 @@ struct PropagateAck {
   SiteId from = kNoSite;       // the acking site
   SiteId origin = kNoSite;     // whose transactions are acked
   uint64_t received_through = 0;  // cumulative: GotVTS[origin] at the acker
+  // Optional tail (frontier-gossip mode only): the acker's stability floor —
+  // the entry-wise min of its committed/durably-applied state and its local
+  // snapshot pins. Empty (num_sites()==0) when the mode is off, in which case
+  // the wire bytes are identical to the pre-gossip format.
+  VectorTimestamp stability_floor;
 
   std::string Serialize() const;
   static PropagateAck Deserialize(std::string_view bytes);

@@ -38,11 +38,13 @@ WalterServer::WalterServer(Simulator* sim, Network* net, Options options,
       store_(options.cache_bytes),
       committed_vts_(options.num_sites),
       got_vts_(options.num_sites),
+      durable_applied_(options.num_sites),
       pending_in_(options.num_sites),
       uncommitted_remote_(options.num_sites),
       durable_known_(options.num_sites, 0),
       site_active_(options.num_sites, true),
       dests_(options.num_sites),
+      peer_floors_(options.num_sites),
       alive_(std::make_shared<bool>(true)) {
   endpoint_.Handle(kClientOp,
                    [this](const Message& m, RpcEndpoint::ReplyFn r) { HandleClientOp(m, std::move(r)); });
@@ -129,6 +131,7 @@ void WalterServer::ProcessClientOp(const ClientOpRequest& req,
     active_.erase(req.tid);
     ReleaseLocks(req.tid);
     aborted_tids_.insert(req.tid);
+    RecordOutcome(req.tid);
     respond(ClientOpResponse{});
     return;
   }
@@ -224,6 +227,19 @@ void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts
                           const ActiveTx* tx, std::function<void(ClientOpResponse)> respond) {
   ClientOpResponse resp;
   resp.assigned_vts = vts;
+
+  if (!vts.Covers(store_.gc_frontier())) {
+    // Snapshot below the GC frontier: folded bases may already include writes
+    // the snapshot must not see, so no correct answer exists. Fail-stop with
+    // kUnavailable (the client restarts on a fresh snapshot). Unreachable
+    // while the snapshot-pin registry holds live transactions above the
+    // frontier; reachable for a client-carried vts that outlived its pin.
+    ++stats_.gc_stale_reads;
+    WTRACE(sim_->Now(), TraceKind::kGcStaleRead, req.tid, options_.site);
+    resp.status = StatusCode::kUnavailable;
+    respond(std::move(resp));
+    return;
+  }
 
   auto own_regular = [&](const ObjectId& oid) -> std::optional<std::string> {
     if (tx == nullptr) {
@@ -349,6 +365,13 @@ void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts
               return;
             }
             RemoteReadResponse remote = RemoteReadResponse::Deserialize(m.payload);
+            if (!remote.found) {
+              // The preferred site refused the snapshot (below its GC frontier
+              // in frontier-gossip mode, where sites fold independently).
+              resp.status = StatusCode::kUnavailable;
+              respond(std::move(resp));
+              return;
+            }
             ByteReader r(remote.cset_bytes);
             CountingSet set = CountingSet::Deserialize(&r);
             set.MergeAdd(local);
@@ -511,6 +534,7 @@ void WalterServer::FastCommit(TxId tid, ActiveTx tx, bool want_durable, bool wan
     if (locks_.contains(oid) || !store_.Unmodified(oid, tx.start_vts)) {
       ++stats_.aborts;
       aborted_tids_.insert(tid);
+      RecordOutcome(tid);
       WTRACE(sim_->Now(), TraceKind::kTxAbort, tid, options_.site,
              static_cast<uint64_t>(StatusCode::kAborted));
       ClientOpResponse resp;
@@ -535,6 +559,7 @@ void WalterServer::CommitLocally(TxId tid, const ActiveTx& tx, bool want_durable
   rec.updates = tx.updates;
   store_.Apply(rec);
   committed_versions_[tid] = rec.version;
+  RecordOutcome(tid);
   WTRACE(sim_->Now(), TraceKind::kCommitApply, tid, options_.site, seqno);
 
   LocalCommit lc;
@@ -574,6 +599,8 @@ void WalterServer::AdvanceLocalCommits() {
     lc.committed = true;
     committed_vts_.Advance(options_.site);
     got_vts_.set(options_.site, committed_vts_.at(options_.site));
+    // Own commits advance past the group-commit flush, so they are durable.
+    durable_applied_.set(options_.site, committed_vts_.at(options_.site));
     ReleaseLocks(lc.record.tid);
     WTRACE(sim_->Now(), TraceKind::kCommitLocal, lc.record.tid, options_.site, next);
     if (lc.respond) {
@@ -686,6 +713,7 @@ void WalterServer::FinishSlowCommit(std::shared_ptr<SlowCommitState> state) {
     ReleaseLocks(state->tid);
     ++stats_.aborts;
     aborted_tids_.insert(state->tid);
+    RecordOutcome(state->tid);
     WTRACE(sim_->Now(), TraceKind::kTxAbort, state->tid, options_.site,
            static_cast<uint64_t>(StatusCode::kAborted));
     ClientOpResponse resp;
@@ -790,6 +818,21 @@ void WalterServer::MaybeSendBatch(SiteId dest) {
   }
   uint64_t from = ds.acked_through + 1;
   uint64_t to = committed_vts_.at(options_.site);
+  // A seqno below the retained-commit floor whose WAL record was also
+  // truncated is gone on purpose: retention-aware truncation requires it
+  // durably applied at every site, so the destination provably has it even
+  // across its own crashes. A replacement server (fresh acked_through) skips
+  // that prefix instead of failing to re-serve it.
+  uint64_t retained_floor =
+      local_commits_.empty() ? to + 1 : local_commits_.begin()->first;
+  if (from < retained_floor) {
+    uint64_t first_avail = std::min(
+        retained_floor, store_.wal().OldestSeqno(options_.site).value_or(retained_floor));
+    if (first_avail > from) {
+      ds.acked_through = first_avail - 1;
+      from = first_avail;
+    }
+  }
   if (from > to) {
     return;
   }
@@ -882,6 +925,9 @@ void WalterServer::HandlePropagate(const Message& msg) {
     ack.from = options_.site;
     ack.origin = origin;
     ack.received_through = got_vts_.at(origin);
+    if (options_.frontier_gossip) {
+      ack.stability_floor = StabilityFloor();
+    }
     endpoint_.Send(Address{origin, kWalterPort}, kPropagateAck, ack.Serialize());
   });
 }
@@ -909,8 +955,11 @@ void WalterServer::ApplyRemoteReady(SiteId origin) {
     });
     store_.Apply(filtered);
     size_t wal_frontier = store_.wal().base() + store_.wal().size();
-    disk_.Flush([this, wal_frontier]() {
+    disk_.Flush([this, wal_frontier, origin, seqno = rec.version.seqno]() {
       durable_wal_bytes_ = std::max(durable_wal_bytes_, wal_frontier);
+      if (seqno > durable_applied_.at(origin)) {
+        durable_applied_.set(origin, seqno);
+      }
     });
     got_vts_.Advance(origin);
     ++stats_.remote_txns_applied;
@@ -984,6 +1033,13 @@ void WalterServer::HandlePropagateAck(const Message& msg) {
     return;
   }
   DestState& ds = dests_[ack.from];
+  if (ack.stability_floor.num_sites() > 0 && site_active_[ack.from]) {
+    // frontier-gossip mode: remember the peer's acked stability floor. Floors
+    // are monotone per peer (committed/durable state only advances, and a pin
+    // only lowers the floor it was created under), so max-merge is safe even
+    // when acks arrive out of order.
+    peer_floors_[ack.from].MergeMax(ack.stability_floor);
+  }
   uint64_t before_ack = ds.acked_through;
   ds.acked_through = std::max(ds.acked_through, ack.received_through);
   if (ds.acked_through > before_ack) {
@@ -1048,14 +1104,19 @@ bool WalterServer::IsDsDurableQuorum(const TxRecord& record) const {
   uint64_t seqno = record.version.seqno;
   for (const auto& u : record.updates) {
     ContainerInfo info = directory_->Get(u.oid.container);
-    size_t replica_count = info.replicas.empty() ? options_.num_sites : info.replicas.size();
-    size_t needed = std::min(f + 1, replica_count);
+    // Replicas at §5.7-removed sites are not part of the configuration: they
+    // neither count toward the quorum nor toward its size (with f = all, a
+    // removed replica would otherwise block durability — and with it global
+    // visibility — until reintegration).
+    size_t replica_count = 0;
     size_t have = 0;
     bool preferred_has = false;
     for (SiteId s = 0; s < options_.num_sites; ++s) {
-      if (!info.ReplicatedAt(s)) {
+      bool in_config = (s == options_.site) || site_active_[s];
+      if (!in_config || !info.ReplicatedAt(s)) {
         continue;
       }
+      ++replica_count;
       bool received = (s == options_.site) || dests_[s].acked_through >= seqno;
       if (received) {
         ++have;
@@ -1064,8 +1125,10 @@ bool WalterServer::IsDsDurableQuorum(const TxRecord& record) const {
         }
       }
     }
-    if (!info.ReplicatedAt(info.preferred_site)) {
-      preferred_has = true;  // degenerate configuration: no preferred replica
+    size_t needed = std::min(f + 1, replica_count);
+    if (!info.ReplicatedAt(info.preferred_site) ||
+        (info.preferred_site != options_.site && !site_active_[info.preferred_site])) {
+      preferred_has = true;  // no in-config preferred replica to wait for
     }
     if (have < needed || !preferred_has) {
       return false;
@@ -1126,7 +1189,12 @@ void WalterServer::HandleVisibleAck(const Message& msg) {
 void WalterServer::UpdateGloballyVisible() {
   uint64_t v = std::min(committed_vts_.at(options_.site), ds_durable_through_);
   for (SiteId s = 0; s < options_.num_sites; ++s) {
-    if (s != options_.site) {
+    if (s != options_.site && site_active_[s]) {
+      // A §5.7-removed site can never send a visibility ack; counting it would
+      // freeze the watermark and retain local_commits_ forever. "Globally
+      // visible" means visible at every site of the current configuration. A
+      // reintegrated site that misses released records is gap-filled from the
+      // WAL, whose retention floors still count removed sites.
       v = std::min(v, dests_[s].visible_through);
     }
   }
@@ -1171,12 +1239,20 @@ void WalterServer::StartGossip() {
         ack.from = options_.site;
         ack.origin = s;
         ack.received_through = got_vts_.at(s);
+        if (options_.frontier_gossip) {
+          // Refresh the floor even when idle, so frontiers keep advancing
+          // without new propagation traffic.
+          ack.stability_floor = StabilityFloor();
+        }
         endpoint_.Send(Address{s, kWalterPort}, kPropagateAck, ack.Serialize());
         VisibleAck vis;
         vis.from = options_.site;
         vis.origin = s;
         vis.committed_through = committed_vts_.at(s);
         endpoint_.Send(Address{s, kWalterPort}, kVisibleAck, vis.Serialize());
+      }
+      if (options_.frontier_gossip) {
+        GossipFrontierGc();
       }
     }
     StartGossip();
@@ -1192,6 +1268,7 @@ void WalterServer::SweepIdleTxs() {
         if (!it->second.committing &&
             sim_->Now() - it->second.last_touch > options_.idle_tx_timeout) {
           aborted_tids_.insert(it->first);
+          RecordOutcome(it->first);
           it = active_.erase(it);
         } else {
           ++it;
@@ -1211,6 +1288,22 @@ void WalterServer::HandleRemoteRead(const Message& msg, RpcEndpoint::ReplyFn rep
   cpu_.Execute(Jittered(options_.perf.read_op), [this, req = std::move(req),
                                                  reply = std::move(reply)]() {
     RemoteReadResponse resp;
+    if (!req.vts.Covers(store_.gc_frontier())) {
+      // The caller's snapshot is below OUR frontier (possible in
+      // frontier-gossip mode, where sites fold independently). Answering from
+      // a folded base could double-count ops the caller also holds or leak
+      // too-new regular values. Refuse: found=false maps to kUnavailable at a
+      // cset caller; for regular reads the reply is withheld so the caller's
+      // RPC times out into kUnavailable instead of reading nil.
+      ++stats_.gc_stale_reads;
+      WTRACE(sim_->Now(), TraceKind::kGcStaleRead, 0, options_.site, 0, req.caller);
+      if (req.is_cset) {
+        Message m;
+        m.payload = resp.Serialize();
+        reply(std::move(m));
+      }
+      return;
+    }
     if (req.is_cset) {
       CountingSet set =
           store_.ReadCsetExcluding(req.oid, req.vts, req.caller, req.local_min_seqno);
@@ -1233,7 +1326,7 @@ void WalterServer::HandleRemoteRead(const Message& msg, RpcEndpoint::ReplyFn rep
 // Failure handling and maintenance (Sections 5.7 and 6)
 // ---------------------------------------------------------------------------
 
-void WalterServer::Checkpoint() {
+std::string WalterServer::BuildCheckpointImage() const {
   ByteWriter w;
   w.PutString(store_.SerializeCheckpoint());
   w.PutVts(got_vts_);
@@ -1243,9 +1336,26 @@ void WalterServer::Checkpoint() {
   for (const auto& [seqno, lc] : local_commits_) {
     lc.record.Serialize(&w);
   }
-  checkpoint_image_ = w.Take();
+  return w.Take();
+}
+
+void WalterServer::Checkpoint() {
+  checkpoint_image_ = BuildCheckpointImage();
   checkpoint_wal_base_ = store_.wal().base() + store_.wal().size();
   store_.wal().TruncatePrefix(checkpoint_wal_base_);
+}
+
+void WalterServer::CheckpointRetaining(const VectorTimestamp& wal_floors) {
+  checkpoint_image_ = BuildCheckpointImage();
+  checkpoint_wal_base_ = store_.wal().base() + store_.wal().size();
+  // Truncate only records every in-config site (and every removed site, via
+  // its last-known watermark — reintegration gap-fills from here) has durably
+  // applied; the rest stays for resyncs and CollectRecords.
+  size_t safe = store_.wal().SafePrefix(wal_floors, checkpoint_wal_base_);
+  size_t released = safe > store_.wal().base() ? safe - store_.wal().base() : 0;
+  store_.wal().TruncatePrefix(safe);
+  stats_.wal_truncated_bytes += released;
+  WTRACE(sim_->Now(), TraceKind::kGcCheckpoint, 0, options_.site, released);
 }
 
 void WalterServer::Crash() {
@@ -1280,6 +1390,13 @@ void WalterServer::Restore(const DurableImage& image) {
   }
 
   store_.RestoreCheckpoint(store_checkpoint);
+  // Seed the store's WAL with the durable image so CollectRecords (resyncs and
+  // §5.7 gap-filling) and retention-aware truncation keep working after the
+  // replacement: without this the replacement's log starts empty and released
+  // records become unrecoverable.
+  store_.wal().SeedForRecovery(image.wal_bytes, image.wal_base);
+  checkpoint_image_ = image.checkpoint;
+  checkpoint_wal_base_ = store_.checkpoint_frontier();
   got_vts_ = checkpoint_got;
   if (got_vts_.num_sites() < options_.num_sites) {
     got_vts_ = VectorTimestamp(options_.num_sites);
@@ -1299,12 +1416,20 @@ void WalterServer::Restore(const DurableImage& image) {
       got_vts_.set(rec.origin, rec.version.seqno);
     }
   }
+  // Tail replay can resurrect history entries the GC frontier already folded
+  // (records logged after the checkpoint but folded before the crash): fold
+  // them again so restored state matches the invariant the frontier promises.
+  if (store_.gc_frontier().num_sites() > 0) {
+    store_.GarbageCollect(store_.gc_frontier());
+  }
 
   // Everything durably logged is treated as committed here: own records were
   // acknowledged iff flushed; remote records commit at their origin exactly
   // once, so re-committing them locally is safe (Section 5.7).
   committed_vts_ = got_vts_;
   curr_seqno_ = got_vts_.at(options_.site);
+  // Everything restored came from the durable WAL, by construction.
+  durable_applied_ = got_vts_;
 
   // Rebuild retained local commits: checkpointed pending ones plus own tail
   // records; mark them flushed+committed so propagation can resume.
@@ -1327,9 +1452,11 @@ void WalterServer::Restore(const DurableImage& image) {
   committed_tids_.clear();
   committed_versions_.clear();
   aborted_tids_.clear();
+  outcome_log_.clear();
   for (const auto& [seqno, lc] : local_commits_) {
     committed_tids_[lc.record.tid] = seqno;
     committed_versions_[lc.record.tid] = lc.record.version;
+    RecordOutcome(lc.record.tid);  // restamped: the original settle time is gone
   }
 
   // Conservative watermarks: everything below the smallest retained commit was
@@ -1343,7 +1470,7 @@ void WalterServer::Restore(const DurableImage& image) {
     ds.acked_through = floor;
     ds.visible_through = floor;
   }
-  durable_wal_bytes_ = image.wal_base + image.wal_bytes.size();
+  durable_wal_bytes_ = store_.wal().base() + store_.wal().size();
 
   crashed_ = false;
   endpoint_.SetDown(false);
@@ -1391,6 +1518,9 @@ void WalterServer::TruncateOwnLog(uint64_t survive_through) {
   }
   ds_durable_through_ = std::min(ds_durable_through_, survive_through);
   visible_through_ = std::min(visible_through_, survive_through);
+  if (durable_applied_.at(options_.site) > survive_through) {
+    durable_applied_.set(options_.site, survive_through);
+  }
   // Roll the outbound watermarks down too: peers may have acked the discarded
   // suffix, and those stale acks must not suppress sending the reused seqnos.
   for (auto& ds : dests_) {
@@ -1420,6 +1550,9 @@ void WalterServer::DiscardNonSurviving(SiteId s, uint64_t survive_through) {
   }
   if (committed_vts_.at(s) > survive_through) {
     committed_vts_.set(s, survive_through);
+  }
+  if (durable_applied_.at(s) > survive_through) {
+    durable_applied_.set(s, survive_through);
   }
   durable_known_[s] = std::min(durable_known_[s], survive_through);
 }
@@ -1464,8 +1597,21 @@ void WalterServer::SetDurableKnown(SiteId origin, uint64_t through) {
 }
 
 void WalterServer::SetSiteActive(SiteId s, bool active) {
-  if (s < options_.num_sites && s != options_.site) {
-    site_active_[s] = active;
+  if (s >= options_.num_sites || s == options_.site || site_active_[s] == active) {
+    return;
+  }
+  site_active_[s] = active;
+  if (!active) {
+    peer_floors_[s] = VectorTimestamp();  // a removed site's floor is void
+  }
+  // Membership changes re-derive the configuration-gated watermarks: a removed
+  // site no longer gates disaster-safe durability or global visibility (it can
+  // never ack), and a reintegrated site starts gating them again and must be
+  // caught up by propagation.
+  UpdateDsDurable();
+  UpdateGloballyVisible();
+  if (active && !crashed_) {
+    MaybeSendBatch(s);
   }
 }
 
@@ -1521,6 +1667,78 @@ size_t WalterServer::GarbageCollect(const VectorTimestamp& stable) {
   return store_.GarbageCollect(stable);
 }
 
+VectorTimestamp WalterServer::StabilityFloor(bool include_pins) const {
+  // min(committed, durably applied): committed alone could roll back across a
+  // crash (the volatile suffix), durable alone may not be applied yet. The min
+  // survives a crash-and-restore, so an announced floor never retreats.
+  VectorTimestamp floor = committed_vts_;
+  floor.MergeMin(durable_applied_);
+  if (include_pins && pin_floor_provider_) {
+    if (auto pins = pin_floor_provider_()) {
+      floor.MergeMin(*pins);
+    }
+  }
+  return floor;
+}
+
+size_t WalterServer::DriveGc(const VectorTimestamp& frontier) {
+  size_t folded = store_.GarbageCollect(frontier);
+  ++stats_.gc_runs;
+  stats_.gc_folded_entries += folded;
+  WTRACE(sim_->Now(), TraceKind::kGcRun, 0, options_.site, folded);
+  return folded;
+}
+
+void WalterServer::GossipFrontierGc() {
+  // Decentralized frontier: the min of every in-config peer's acked stability
+  // floor and our own. A peer we have not heard from contributes zero (its
+  // floor is empty), freezing the frontier until acks flow — the same stall
+  // semantics as the coordinator's dead-site rule, computed locally.
+  VectorTimestamp frontier = StabilityFloor();
+  for (SiteId s = 0; s < options_.num_sites; ++s) {
+    if (s == options_.site || !site_active_[s]) {
+      continue;
+    }
+    if (peer_floors_[s].num_sites() == 0) {
+      return;  // not heard yet: no safe frontier exists
+    }
+    frontier.MergeMin(peer_floors_[s]);
+  }
+  if (!store_.gc_frontier().Covers(frontier)) {
+    DriveGc(frontier);
+  }
+  AgeTxOutcomes();
+}
+
+void WalterServer::RecordOutcome(TxId tid) {
+  if (options_.tx_outcome_retention > 0) {
+    outcome_log_.emplace_back(sim_->Now(), tid);
+  }
+}
+
+void WalterServer::AgeTxOutcomes() {
+  if (options_.tx_outcome_retention <= 0) {
+    return;
+  }
+  SimTime now = sim_->Now();
+  if (now < options_.tx_outcome_retention) {
+    return;
+  }
+  SimTime cutoff = now - options_.tx_outcome_retention;
+  while (!outcome_log_.empty() && outcome_log_.front().first <= cutoff) {
+    TxId tid = outcome_log_.front().second;
+    auto cv = committed_versions_.find(tid);
+    if (cv != committed_versions_.end()) {
+      if (cv->second.seqno > visible_through_) {
+        break;  // still replicating: a retransmission must find the outcome
+      }
+      committed_versions_.erase(cv);
+    }
+    aborted_tids_.erase(tid);
+    outcome_log_.pop_front();
+  }
+}
+
 void WalterServer::ExportMetrics(MetricsRegistry& metrics) const {
   SiteId s = options_.site;
   metrics.Set("server.fast_commits", s, static_cast<double>(stats_.fast_commits));
@@ -1540,6 +1758,17 @@ void WalterServer::ExportMetrics(MetricsRegistry& metrics) const {
   metrics.Set("server.committed_seqno", s, static_cast<double>(committed_vts_.at(s)));
   metrics.Set("server.ds_durable_through", s, static_cast<double>(ds_durable_through_));
   metrics.Set("server.visible_through", s, static_cast<double>(visible_through_));
+  // Memory-boundedness gauges: under sustained load with GC active these
+  // plateau instead of growing with the run.
+  metrics.Set("server.history_entries", s, static_cast<double>(store_.TotalEntryCount()));
+  metrics.Set("server.wal_bytes", s, static_cast<double>(store_.wal().size()));
+  metrics.Set("server.retained_local_commits", s, static_cast<double>(local_commits_.size()));
+  metrics.Set("server.tx_outcomes_retained", s,
+              static_cast<double>(committed_versions_.size() + aborted_tids_.size()));
+  metrics.Set("server.gc_runs", s, static_cast<double>(stats_.gc_runs));
+  metrics.Set("server.gc_folded_entries", s, static_cast<double>(stats_.gc_folded_entries));
+  metrics.Set("server.gc_stale_reads", s, static_cast<double>(stats_.gc_stale_reads));
+  metrics.Set("server.wal_truncated_bytes", s, static_cast<double>(stats_.wal_truncated_bytes));
 }
 
 }  // namespace walter

@@ -77,6 +77,20 @@ class WalterServer {
     size_t cache_bytes = size_t{1} << 30;
     // Cap on transactions per propagation batch.
     size_t max_batch_records = 20000;
+    // Commit/abort outcomes (the retransmission dedup state) are dropped this
+    // long after the outcome settled, once globally visible. Must stay far
+    // above any client retry horizon: dropping an outcome a client is still
+    // retransmitting against would double-apply the commit. Aged by time, never
+    // by the GC frontier (the frontier can advance within a client's retry
+    // window). 0 retains outcomes forever.
+    SimDuration tx_outcome_retention = Seconds(30);
+    // Decentralized stability-frontier exchange: each site piggybacks its
+    // stability floor on propagation acks and folds its own histories from the
+    // acked floors, instead of relying on the cluster-level GC coordinator.
+    // Off by default: the extra ack payload changes wire bytes, and sites
+    // GC'ing at different frontiers forces sub-frontier remote reads to be
+    // refused rather than answered.
+    bool frontier_gossip = false;
   };
 
   // Called whenever a transaction commits at this site (local commits and
@@ -172,6 +186,44 @@ class WalterServer {
   // entry-wise minimum everyone has committed, i.e. this site's GotVTS floor).
   size_t GarbageCollect(const VectorTimestamp& stable);
 
+  // GC / checkpoint driving (the stability-frontier subsystem) ---------------
+  // Per-origin seqnos durably logged AND applied here. Rollback-proof: a crash
+  // followed by Restore replays the durable WAL, so the restored watermarks
+  // never fall below what was announced. The frontier is derived from this,
+  // not from the volatile GotVTS.
+  const VectorTimestamp& durable_applied() const { return durable_applied_; }
+
+  // This site's contribution to the stability frontier: the entry-wise min of
+  // its committed and durably-applied state, optionally lowered to the oldest
+  // local snapshot pin. The pointwise min of these floors across in-config
+  // sites is causally closed, hence safe to fold histories at.
+  VectorTimestamp StabilityFloor(bool include_pins = true) const;
+
+  // Oldest live local snapshot (nullopt when none) — wired by the cluster to
+  // this site's SnapshotPinRegistry.
+  void SetPinFloorProvider(std::function<std::optional<VectorTimestamp>()> provider) {
+    pin_floor_provider_ = std::move(provider);
+  }
+
+  // Folds histories at `frontier` (a coordinator-established stability
+  // frontier). Returns entries folded; traces kGcRun.
+  size_t DriveGc(const VectorTimestamp& frontier);
+
+  // Checkpoint variant that truncates the WAL only up to what every in-config
+  // site has durably applied (per-origin `wal_floors`), so resyncs and §5.7
+  // gap-filling can still be served from the log. The no-arg Checkpoint()
+  // keeps the original truncate-everything semantics for manual callers.
+  void CheckpointRetaining(const VectorTimestamp& wal_floors);
+
+  // Drops commit/abort dedup outcomes older than tx_outcome_retention whose
+  // records are globally visible. Driven on the GC cadence.
+  void AgeTxOutcomes();
+
+  size_t retained_local_commits() const { return local_commits_.size(); }
+  size_t retained_tx_outcomes() const {
+    return committed_versions_.size() + aborted_tids_.size();
+  }
+
   // Stats ----------------------------------------------------------------------
   struct Stats {
     uint64_t fast_commits = 0;
@@ -186,6 +238,10 @@ class WalterServer {
     uint64_t prepare_retries = 0;  // 2PC prepare RPC retransmissions
     uint64_t commit_dedups = 0;    // retransmitted commits answered from history
     uint64_t op_dedups = 0;        // retransmitted buffering ops dropped by op_seq
+    uint64_t gc_runs = 0;          // DriveGc invocations that reached the store
+    uint64_t gc_folded_entries = 0;   // history entries folded by GC
+    uint64_t gc_stale_reads = 0;      // snapshot reads refused below the frontier
+    uint64_t wal_truncated_bytes = 0; // WAL bytes released by retention-aware checkpoints
   };
   const Stats& stats() const { return stats_; }
 
@@ -302,6 +358,13 @@ class WalterServer {
   void NotifyClient(uint32_t port, uint32_t type, TxId tid);
   void StartGossip();
   void SweepIdleTxs();
+  // Stamps a settled commit/abort outcome for time-based aging.
+  void RecordOutcome(TxId tid);
+  // frontier_gossip mode: folds local histories at the min of the peers' acked
+  // stability floors (runs on the gossip tick).
+  void GossipFrontierGc();
+  // Shared checkpoint body (Checkpoint / CheckpointRetaining).
+  std::string BuildCheckpointImage() const;
 
   // --- remote reads ---
   void HandleRemoteRead(const Message& msg, RpcEndpoint::ReplyFn reply);
@@ -335,6 +398,8 @@ class WalterServer {
   uint64_t curr_seqno_ = 0;
   VectorTimestamp committed_vts_;
   VectorTimestamp got_vts_;
+  // Per-origin durably-logged-and-applied watermark (see durable_applied()).
+  VectorTimestamp durable_applied_;
 
   std::unordered_map<TxId, ActiveTx> active_;
   std::map<uint64_t, LocalCommit> local_commits_;         // own seqno -> commit
@@ -358,6 +423,9 @@ class WalterServer {
   // out after the client lease expires.)
   std::unordered_map<TxId, Version> committed_versions_;
   std::unordered_set<TxId> aborted_tids_;
+  // Outcomes in settle order with their settle time; AgeTxOutcomes() drains the
+  // front once entries pass tx_outcome_retention and are globally visible.
+  std::deque<std::pair<SimTime, TxId>> outcome_log_;
 
   // Inbound replication.
   std::vector<std::map<uint64_t, TxRecord>> pending_in_;      // per origin: buffered
@@ -385,6 +453,10 @@ class WalterServer {
 
   CommitObserver observer_;
   std::function<bool(ContainerId)> lease_checker_;
+  std::function<std::optional<VectorTimestamp>()> pin_floor_provider_;
+  // frontier_gossip mode: latest stability floor acked by each peer (empty =
+  // not heard yet, contributes zero and blocks folding).
+  std::vector<VectorTimestamp> peer_floors_;
   bool crashed_ = false;
   Stats stats_;
   std::shared_ptr<bool> alive_;

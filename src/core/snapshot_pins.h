@@ -1,0 +1,75 @@
+// Snapshot-pin registry: the "(b)" input of the GC stability frontier.
+//
+// Every live transaction pins its snapshot so garbage collection can never
+// fold a version the transaction might still read. A pin is taken when the Tx
+// handle is created — before the first RPC, at a floor no higher than the
+// snapshot the server will assign (the local server's CommittedVTS is
+// monotone, so floor <= startVTS always holds) — raised to the exact startVTS
+// once the first response reports it, and released exactly once when the
+// transaction commits, aborts, or its handle is dropped.
+//
+// One registry per site, owned by the Cluster (it must survive server
+// replacement). Registration is a direct function call, not a message: it is
+// atomic with respect to simulator events, so a GC tick either runs before the
+// pin exists (and cannot have folded anything the new snapshot sees, because
+// the frontier is also bounded by CommittedVTS) or sees the pin.
+#ifndef SRC_CORE_SNAPSHOT_PINS_H_
+#define SRC_CORE_SNAPSHOT_PINS_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "src/common/types.h"
+
+namespace walter {
+
+class SnapshotPinRegistry {
+ public:
+  using PinId = uint64_t;
+
+  // Registers a pin at `floor` and returns its id (never 0).
+  PinId Pin(VectorTimestamp floor) {
+    PinId id = next_++;
+    pins_.emplace(id, std::move(floor));
+    return id;
+  }
+
+  // Replaces the floor with the transaction's exact snapshot. The assigned
+  // snapshot is always >= the floor, so this only ever relaxes the frontier.
+  void Raise(PinId id, const VectorTimestamp& vts) {
+    auto it = pins_.find(id);
+    if (it != pins_.end()) {
+      it->second = vts;
+    }
+  }
+
+  // Idempotent: commit/abort chains and the Tx destructor may race to release.
+  void Unpin(PinId id) { pins_.erase(id); }
+
+  // Pointwise minimum over all active pins; nullopt when nothing is pinned.
+  std::optional<VectorTimestamp> MinPin() const {
+    if (pins_.empty()) {
+      return std::nullopt;
+    }
+    std::optional<VectorTimestamp> min;
+    for (const auto& [id, vts] : pins_) {
+      if (!min) {
+        min = vts;
+      } else {
+        min->MergeMin(vts);
+      }
+    }
+    return min;
+  }
+
+  size_t active() const { return pins_.size(); }
+
+ private:
+  std::unordered_map<PinId, VectorTimestamp> pins_;
+  PinId next_ = 1;
+};
+
+}  // namespace walter
+
+#endif  // SRC_CORE_SNAPSHOT_PINS_H_

@@ -32,6 +32,19 @@ RecoveryRig::RecoveryRig(Cluster* cluster, FailureDetector::Options fd_options)
           coordinator.RemoveFailedSite(failed, new_preferred, std::move(done));
         });
   }
+  // A §5.7-removed site must stop freezing the GC stability frontier (and
+  // resume gating it once reintegrated): a site counts as in-config while any
+  // live site's configuration still considers it active.
+  if (GcCoordinator* gc = cluster_->gc()) {
+    gc->SetMembershipProbe([this](SiteId s) {
+      for (SiteId i = 0; i < cluster_->num_sites(); ++i) {
+        if (!cluster_->server(i).crashed() && configs_[i]->IsActive(s)) {
+          return true;
+        }
+      }
+      return false;
+    });
+  }
 }
 
 void RecoveryRig::Start() {

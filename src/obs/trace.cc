@@ -65,6 +65,14 @@ const char* TraceKindName(TraceKind kind) {
       return "ds_durable";
     case TraceKind::kVisible:
       return "visible";
+    case TraceKind::kGcRun:
+      return "gc_run";
+    case TraceKind::kGcStall:
+      return "gc_stall";
+    case TraceKind::kGcStaleRead:
+      return "gc_stale_read";
+    case TraceKind::kGcCheckpoint:
+      return "gc_checkpoint";
   }
   return "unknown";
 }

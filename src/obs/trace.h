@@ -68,6 +68,11 @@ enum class TraceKind : uint8_t {
   kRemoteCommit,       // remote transaction committed here; arg = seqno, aux = origin
   kDsDurable,          // transaction disaster-safe durable; arg = seqno
   kVisible,            // transaction globally visible; arg = seqno
+  // Garbage collection / checkpointing (tid = 0; driven by the GC coordinator).
+  kGcRun,              // histories folded at a frontier; arg = entries folded
+  kGcStall,            // frontier could not advance; arg = StallReason
+  kGcStaleRead,        // snapshot read below the GC frontier rejected
+  kGcCheckpoint,       // retention-aware checkpoint; arg = WAL bytes truncated
 };
 
 const char* TraceKindName(TraceKind kind);

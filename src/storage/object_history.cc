@@ -54,6 +54,7 @@ CountingSet ObjectHistory::ReadCsetExcluding(const VectorTimestamp& vts, SiteId 
                                              uint64_t min_seqno) const {
   CountingSet s;
   if (has_base_ && base_is_cset_) {
+    WCHECK(vts.Sees(base_version_), "cset remote read below GC-folded base");
     s.MergeAdd(base_cset_);
   }
   for (const auto& e : entries_) {
@@ -92,6 +93,12 @@ uint64_t ObjectHistory::MinLocalSeqno(SiteId self) const {
 CountingSet ObjectHistory::ReadCset(const VectorTimestamp& vts) const {
   CountingSet s;
   if (has_base_ && base_is_cset_) {
+    // Fail-stop on a snapshot below the folded base: the base already merged
+    // ops the snapshot cannot see, so any answer here would be wrong. The
+    // snapshot-pin registry keeps live transactions above the GC frontier, and
+    // the server rejects sub-frontier reads with kUnavailable before reaching
+    // this point, so tripping this check means a pin was lost.
+    WCHECK(vts.Sees(base_version_), "cset read below GC-folded base");
     s.MergeAdd(base_cset_);
   }
   for (const auto& e : entries_) {
@@ -108,6 +115,11 @@ CountingSet ObjectHistory::ReadCset(const VectorTimestamp& vts) const {
 }
 
 bool ObjectHistory::UnmodifiedSince(const VectorTimestamp& vts) const {
+  // The folded base is a real write: a snapshot that predates it has been
+  // modified since, even when GC left entries_ empty.
+  if (has_base_ && !vts.Sees(base_version_)) {
+    return false;
+  }
   for (const auto& e : entries_) {
     if (!vts.Sees(e.version)) {
       return false;

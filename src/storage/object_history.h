@@ -83,6 +83,17 @@ class ObjectHistory {
   size_t entry_count() const { return entries_.size(); }
   const std::vector<VersionedUpdate>& entries() const { return entries_; }
 
+  // Entries visible to `vts` that GC has not folded yet (drain diagnostics).
+  size_t CountCoveredBy(const VectorTimestamp& vts) const {
+    size_t n = 0;
+    for (const auto& e : entries_) {
+      if (vts.Sees(e.version)) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
   // Checkpoint support.
   void Serialize(ByteWriter* w) const;
   static ObjectHistory Deserialize(ByteReader* r);

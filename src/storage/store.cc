@@ -110,7 +110,24 @@ size_t Store::GarbageCollect(const VectorTimestamp& stable) {
   for (auto& [oid, history] : histories_) {
     folded += history.GarbageCollect(stable);
   }
+  gc_frontier_.MergeMax(stable);
   return folded;
+}
+
+size_t Store::TotalEntryCount() const {
+  size_t n = 0;
+  for (const auto& [oid, history] : histories_) {
+    n += history.entry_count();
+  }
+  return n;
+}
+
+size_t Store::CountEntriesCoveredBy(const VectorTimestamp& vts) const {
+  size_t n = 0;
+  for (const auto& [oid, history] : histories_) {
+    n += history.CountCoveredBy(vts);
+  }
+  return n;
 }
 
 size_t Store::RemoveVersionsFrom(SiteId site, uint64_t after_seqno) {
@@ -124,6 +141,7 @@ size_t Store::RemoveVersionsFrom(SiteId site, uint64_t after_seqno) {
 std::string Store::SerializeCheckpoint() const {
   ByteWriter w;
   w.PutU64(wal_.base() + wal_.size());  // WAL frontier covered by this checkpoint
+  w.PutVts(gc_frontier_);  // histories below this are folded; restores need it
   // Sort oids for deterministic checkpoint bytes.
   std::vector<const std::pair<const ObjectId, ObjectHistory>*> items;
   items.reserve(histories_.size());
@@ -144,10 +162,12 @@ void Store::RestoreCheckpoint(std::string_view bytes) {
   histories_.clear();
   if (bytes.empty()) {
     checkpoint_frontier_ = 0;
+    gc_frontier_ = VectorTimestamp();
     return;
   }
   ByteReader r(bytes);
   checkpoint_frontier_ = r.GetU64();
+  gc_frontier_ = r.GetVts();
   uint64_t n = r.GetU64();
   for (uint64_t i = 0; i < n && !r.failed(); ++i) {
     ObjectId oid = r.GetObjectId();

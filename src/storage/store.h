@@ -61,8 +61,22 @@ class Store {
   const LruCache& cache() const { return cache_; }
 
   // Maintenance --------------------------------------------------------------
-  // Folds history entries below `stable` (see ObjectHistory::GarbageCollect).
+  // Folds history entries below `stable` (see ObjectHistory::GarbageCollect)
+  // and advances the recorded GC frontier. Callers (the GC coordinator)
+  // guarantee `stable` is a stability frontier: every site has durably
+  // committed everything it covers and no live snapshot starts below it.
   size_t GarbageCollect(const VectorTimestamp& stable);
+
+  // Highest frontier GC has folded at (entry-wise; persisted in checkpoints).
+  // Snapshot reads below it are unanswerable and fail-stop.
+  const VectorTimestamp& gc_frontier() const { return gc_frontier_; }
+
+  // Memory gauges ------------------------------------------------------------
+  // Unfolded history entries across all objects (the memory GC bounds).
+  size_t TotalEntryCount() const;
+  // Entries `vts` covers that GC has not folded yet: zero once histories have
+  // drained to the frontier (the chaos suite's post-heal assert).
+  size_t CountEntriesCoveredBy(const VectorTimestamp& vts) const;
 
   // Discards updates of site `site` with seqno > after_seqno from every
   // history (aggressive site-failure recovery, Section 5.7).
@@ -92,6 +106,7 @@ class Store {
   Wal wal_;
   LruCache cache_;
   size_t checkpoint_frontier_ = 0;
+  VectorTimestamp gc_frontier_;
 };
 
 }  // namespace walter

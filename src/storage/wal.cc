@@ -56,6 +56,7 @@ size_t Wal::Append(const TxRecord& record) {
   buf_ += frame.data();
   buf_ += payload.data();
   ++record_count_;
+  metas_.push_back({base_ + buf_.size(), record.origin, record.version.seqno});
   return offset;
 }
 
@@ -71,6 +72,52 @@ void Wal::TruncatePrefix(size_t offset) {
     buf_.erase(0, drop);
     base_ = offset;
   }
+  while (!metas_.empty() && metas_.front().end_offset <= base_) {
+    metas_.pop_front();
+  }
+}
+
+size_t Wal::SafePrefix(const VectorTimestamp& floors, size_t limit) const {
+  size_t safe = base_;
+  for (const auto& m : metas_) {
+    if (m.end_offset > limit || m.seqno > floors.at(m.origin)) {
+      break;
+    }
+    safe = m.end_offset;
+  }
+  return safe;
+}
+
+void Wal::SeedForRecovery(std::string_view bytes, size_t base) {
+  buf_.clear();
+  metas_.clear();
+  base_ = base;
+  record_count_ = 0;
+  size_t pos = 0;
+  constexpr size_t kHeader = 12;
+  while (pos + kHeader <= bytes.size()) {
+    if (ReadU32At(bytes, pos) != kFrameMagic) {
+      break;
+    }
+    uint32_t length = ReadU32At(bytes, pos + 4);
+    uint32_t crc = ReadU32At(bytes, pos + 8);
+    if (pos + kHeader + length > bytes.size()) {
+      break;
+    }
+    std::string_view payload = bytes.substr(pos + kHeader, length);
+    if (Crc32(payload) != crc) {
+      break;
+    }
+    ByteReader reader(payload);
+    TxRecord rec = TxRecord::Deserialize(&reader);
+    if (reader.failed()) {
+      break;
+    }
+    pos += kHeader + length;
+    metas_.push_back({base_ + pos, rec.origin, rec.version.seqno});
+    ++record_count_;
+  }
+  buf_.assign(bytes.substr(0, pos));
 }
 
 Wal::ReplayResult Wal::Replay(std::string_view log_bytes) {

@@ -11,6 +11,8 @@
 #define SRC_STORAGE_WAL_H_
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,6 +39,31 @@ class Wal {
   void TruncatePrefix(size_t offset);
   size_t base() const { return base_; }
 
+  // Largest offset the prefix can be truncated to given per-origin retention
+  // floors: every record below the returned offset has seqno <= floors[origin]
+  // (each site durably applied it, so no resync or gap-fill can ask for it
+  // again), and the offset never exceeds `limit` — the latest checkpoint's WAL
+  // frontier, past which records are still needed for self-recovery replay.
+  size_t SafePrefix(const VectorTimestamp& floors, size_t limit) const;
+
+  // Smallest seqno still logged for `origin` (nullopt when none): the sender
+  // uses it to tell a truncated record (durably applied everywhere, skippable)
+  // from one it must still be able to serve.
+  std::optional<uint64_t> OldestSeqno(SiteId origin) const {
+    std::optional<uint64_t> oldest;
+    for (const RecordMeta& m : metas_) {
+      if (m.origin == origin && (!oldest || m.seqno < *oldest)) {
+        oldest = m.seqno;
+      }
+    }
+    return oldest;
+  }
+
+  // Seeds the log from a recovered durable image (replacement server): keeps
+  // the intact frame prefix and rebuilds the per-record retention index, so
+  // CollectRecords and safe truncation keep working across a restore.
+  void SeedForRecovery(std::string_view bytes, size_t base);
+
   struct ReplayResult {
     std::vector<TxRecord> records;
     bool torn_tail = false;   // replay stopped at a corrupt/incomplete frame
@@ -50,9 +77,19 @@ class Wal {
   ReplayResult ReplaySelf() const { return Replay(buf_); }
 
  private:
+  // Retention index: one entry per logged record, in log order. end_offset is
+  // the logical offset just past the record's frame, so truncating to it drops
+  // the record and everything before it.
+  struct RecordMeta {
+    size_t end_offset = 0;
+    SiteId origin = kNoSite;
+    uint64_t seqno = 0;
+  };
+
   std::string buf_;
   size_t base_ = 0;  // logical offset of buf_[0]
   uint64_t record_count_ = 0;
+  std::deque<RecordMeta> metas_;
 };
 
 }  // namespace walter

@@ -249,6 +249,20 @@ void RunChaos(uint64_t seed) {
     EXPECT_EQ(cluster.server(s).active_tx_count(), 0u) << "site " << s;
   }
 
+  // With stability-frontier GC on (the default), a healed cluster must drain:
+  // the frontier stalls during partitions and removals, but once membership
+  // and replication converge, one recomputation folds every history entry at
+  // or below the frontier on every site.
+  ASSERT_NE(cluster.gc(), nullptr);
+  cluster.gc()->Tick();
+  const VectorTimestamp& frontier = cluster.gc()->last_frontier();
+  for (SiteId s = 0; s < kSites; ++s) {
+    EXPECT_GT(frontier.at(s), 0u) << "frontier never advanced for origin " << s;
+    EXPECT_EQ(cluster.server(s).store().CountEntriesCoveredBy(frontier), 0u)
+        << "site " << s << " retains entries the frontier already covers";
+  }
+  EXPECT_GT(cluster.gc()->runs(), 0u);
+
   // Feed the harness logs to the PSI checker: apply orders per site, and
   // transaction details (with confirmed reads) registered from each origin.
   PsiChecker checker(kSites);

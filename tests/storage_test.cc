@@ -51,6 +51,19 @@ TEST(ObjectHistoryTest, UnmodifiedSince) {
   EXPECT_FALSE(h.UnmodifiedSince(Vts({2, 0})));
 }
 
+// Regression: after GC folds a conflicting write into the base, the fast-commit
+// conflict check must still see it. An old snapshot that predates the folded
+// write is modified-since, even though entries_ is empty — otherwise a fast
+// commit against that snapshot silently loses the folded update.
+TEST(ObjectHistoryTest, UnmodifiedSinceSeesFoldedBase) {
+  ObjectHistory h;
+  h.Append(Version{0, 3}, ObjectUpdate::Data(Oid(1, 1), "conflict"));
+  h.GarbageCollect(Vts({3, 0}));  // folds the write into base_version_ = (0,3)
+  ASSERT_EQ(h.entry_count(), 0u);
+  EXPECT_TRUE(h.UnmodifiedSince(Vts({3, 0})));
+  EXPECT_FALSE(h.UnmodifiedSince(Vts({2, 0})));  // fails before the base check
+}
+
 TEST(ObjectHistoryTest, CsetFoldsVisibleOps) {
   ObjectHistory h;
   h.Append(Version{0, 1}, ObjectUpdate::Add(Oid(1, 1), Oid(9, 1)));
