@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Documentation drift gate.
+
+Fails (exit 1) when the docs disagree with the build:
+  1. A relative markdown link points at a file that does not exist.
+  2. A markdown link's #anchor names a heading that does not exist
+     (GitHub-style anchor derivation).
+  3. A `bench_*` binary named anywhere in the docs is not declared in
+     bench/CMakeLists.txt.
+  4. A ctest label used with `-L <label>` in the docs is not declared via
+     LABELS in any CMakeLists.txt.
+
+Usage: check_docs.py [repo_root]   (default: the script's parent directory)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+
+# Inputs provided to this repo (paper/related-work metadata), not docs we own,
+# plus the append-only changelog, whose old entries legitimately name binaries
+# and labels that no longer exist.
+EXCLUDED = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md", "CHANGES.md"}
+
+
+def markdown_files(root: Path):
+    files = sorted(root.glob("*.md"))
+    files += sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.name not in EXCLUDED]
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> fragment derivation (ASCII subset)."""
+    text = heading.strip().lower()
+    text = text.replace("`", "")
+    text = re.sub(r"[^a-z0-9_\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md: Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in md.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence and re.match(r"#{1,6}\s", line):
+            anchors.add(github_anchor(line.lstrip("#")))
+    return anchors
+
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_links(files, errors):
+    anchor_cache = {}
+    for md in files:
+        for target in LINK.findall(md.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            dest = md if not path_part else (md.parent / path_part).resolve()
+            if not dest.exists():
+                errors.append(f"{md}: broken link -> {target}")
+                continue
+            if fragment and dest.suffix == ".md":
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = anchors_of(dest)
+                if fragment not in anchor_cache[dest]:
+                    errors.append(f"{md}: dead anchor -> {target}")
+
+
+def check_bench_binaries(root: Path, files, errors):
+    cmake = (root / "bench" / "CMakeLists.txt").read_text()
+    declared = set(re.findall(r"walter_bench\((bench_[a-z0-9_]+)", cmake))
+    declared |= set(re.findall(r"add_library\((bench_[a-z0-9_]+)", cmake))
+    for md in files:
+        for name in set(re.findall(r"\bbench_[a-z0-9_]+\b", md.read_text(encoding="utf-8"))):
+            if name not in declared:
+                errors.append(f"{md}: names unknown bench binary '{name}'")
+
+
+def check_ctest_labels(root: Path, files, errors):
+    declared = set()
+    for cmake in root.rglob("CMakeLists.txt"):
+        if "build" in cmake.parts:
+            continue
+        for group in re.findall(r'LABELS\s+"([^"]+)"', cmake.read_text(encoding="utf-8")):
+            declared.update(group.split(";"))
+    for md in files:
+        for label in set(re.findall(r"ctest[^\n]*?-L\s+([a-z0-9_]+)", md.read_text(encoding="utf-8"))):
+            if label not in declared:
+                errors.append(f"{md}: names unknown ctest label '{label}'")
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    files = markdown_files(root)
+    if not files:
+        print(f"check_docs: no markdown files under {root}", file=sys.stderr)
+        return 1
+    errors = []
+    check_links(files, errors)
+    check_bench_binaries(root, files, errors)
+    check_ctest_labels(root, files, errors)
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s):", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"check_docs: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

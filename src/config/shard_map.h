@@ -1,0 +1,103 @@
+// ShardMap: the configuration service's assignment of containers to co-located
+// servers ("shards") within each site.
+//
+// The paper models one server per site; real deployments shard each site's
+// key-space across several co-located servers so throughput scales within a
+// site, not only across sites. The shard map is the authoritative layout: per
+// site, how many servers it runs, and — via a stable hash of the container id —
+// which of them owns each container there.
+//
+// Server ids are global and dense: site 0's shards come first, then site 1's,
+// and so on. With one server per site (the trivial map, the default
+// everywhere) server ids coincide with site ids, which is what keeps every
+// pre-sharding benchmark byte-identical: nothing downstream can tell the map
+// exists. The hash depends only on the container id, so two sites with the
+// same shard count place a container on the same shard index — the property
+// the shard-map unit tests pin.
+//
+// Header-only on purpose: src/core's ContainerDirectory translates container
+// metadata through the map, and a compiled shard_map.cc in walter_config would
+// make walter_core and walter_config mutually dependent.
+#ifndef SRC_CONFIG_SHARD_MAP_H_
+#define SRC_CONFIG_SHARD_MAP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace walter {
+
+class ShardMap {
+ public:
+  // Trivial map over `num_sites` sites: one server per site.
+  explicit ShardMap(size_t num_sites = 0)
+      : ShardMap(std::vector<size_t>(num_sites, 1)) {}
+
+  // `servers_per_site[s]` = number of co-located servers at site s (>= 1).
+  explicit ShardMap(std::vector<size_t> servers_per_site)
+      : shards_(std::move(servers_per_site)) {
+    base_.reserve(shards_.size());
+    SiteId next = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      base_.push_back(next);
+      for (size_t k = 0; k < shards_[s]; ++k) {
+        site_of_.push_back(static_cast<SiteId>(s));
+      }
+      next += static_cast<SiteId>(shards_[s]);
+    }
+  }
+
+  static ShardMap Uniform(size_t num_sites, size_t per_site) {
+    return ShardMap(std::vector<size_t>(num_sites, per_site));
+  }
+
+  size_t num_sites() const { return shards_.size(); }
+  size_t num_servers() const { return site_of_.size(); }
+  size_t shards_at(SiteId site) const { return shards_[site]; }
+  const std::vector<size_t>& shards() const { return shards_; }
+
+  // One server per site everywhere: server ids == site ids, and every
+  // consumer (directory translation, client routing, topology expansion)
+  // short-circuits to the pre-sharding behavior.
+  bool trivial() const { return num_servers() == num_sites(); }
+
+  // Global server id of shard `shard` at `site`.
+  SiteId ServerAt(SiteId site, size_t shard) const {
+    return base_[site] + static_cast<SiteId>(shard);
+  }
+  // The site a server belongs to.
+  SiteId SiteOf(SiteId server) const { return site_of_[server]; }
+  // This server's shard index within its site.
+  size_t ShardIndexOf(SiteId server) const { return server - base_[SiteOf(server)]; }
+
+  // Stable container hash (splitmix64 finalizer, like ObjectIdHash): which of
+  // `site`'s shards owns the container there. Depends only on the container id
+  // and the site's shard count — never on the site id — so equal-sized sites
+  // agree on the placement.
+  size_t ShardOf(ContainerId c, SiteId site) const {
+    size_t n = shards_[site];
+    if (n <= 1) {
+      return 0;
+    }
+    uint64_t h = c + 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return static_cast<size_t>(h % n);
+  }
+
+  // The server owning container `c` at `site`.
+  SiteId OwnerAt(ContainerId c, SiteId site) const {
+    return ServerAt(site, ShardOf(c, site));
+  }
+
+ private:
+  std::vector<size_t> shards_;   // per site: server count
+  std::vector<SiteId> base_;     // per site: first server id (prefix sums)
+  std::vector<SiteId> site_of_;  // per server: owning site
+};
+
+}  // namespace walter
+
+#endif  // SRC_CONFIG_SHARD_MAP_H_

@@ -44,13 +44,18 @@ ObjectId WalterClient::NewId(ContainerId container) {
 
 void WalterClient::Op(ClientOpRequest req,
                       std::function<void(Status, const ClientOpResponse&)> cb) {
+  Op(site_, std::move(req), std::move(cb));
+}
+
+void WalterClient::Op(SiteId target, ClientOpRequest req,
+                      std::function<void(Status, const ClientOpResponse&)> cb) {
   // Stamp once; retransmissions reuse the same op_seq so the server can
   // deduplicate a buffering op whose response (not request) was lost.
   if (req.op_seq == 0) {
     req.op_seq = next_op_seq_++;
   }
   TxId tid = req.tid;
-  Attempt(std::move(req), std::move(cb), 1, tid);
+  Attempt(target, std::move(req), std::move(cb), 1, tid);
 }
 
 SimDuration WalterClient::BackoffFor(size_t attempt) {
@@ -67,21 +72,21 @@ SimDuration WalterClient::BackoffFor(size_t attempt) {
   return backoff;
 }
 
-void WalterClient::Attempt(ClientOpRequest req,
+void WalterClient::Attempt(SiteId target, ClientOpRequest req,
                            std::function<void(Status, const ClientOpResponse&)> cb,
                            size_t attempt, TxId tid) {
   // Serialize once; retransmissions share the same immutable buffer (the
   // request, op_seq included, is bit-identical across attempts by design).
-  Attempt(Payload(req.Serialize()), std::move(cb), attempt, tid);
+  Attempt(target, Payload(req.Serialize()), std::move(cb), attempt, tid);
 }
 
-void WalterClient::Attempt(Payload request,
+void WalterClient::Attempt(SiteId target, Payload request,
                            std::function<void(Status, const ClientOpResponse&)> cb,
                            size_t attempt, TxId tid) {
   endpoint_.Call(
-      Address{site_, kWalterPort}, kClientOp, request,
-      [this, request, cb = std::move(cb), attempt, tid](Status status,
-                                                        const Message& m) mutable {
+      Address{target, kWalterPort}, kClientOp, request,
+      [this, target, request, cb = std::move(cb), attempt, tid](Status status,
+                                                                const Message& m) mutable {
         if (status.ok()) {
           ClientOpResponse resp = ClientOpResponse::Deserialize(m.payload);
           if (resp.status != StatusCode::kOk) {
@@ -101,11 +106,11 @@ void WalterClient::Attempt(Payload request,
           return;
         }
         sim()->After(BackoffFor(attempt),
-                     [this, request = std::move(request), cb = std::move(cb), attempt,
+                     [this, target, request = std::move(request), cb = std::move(cb), attempt,
                       tid]() mutable {
                        ++retries_sent_;
                        WTRACE(sim()->Now(), TraceKind::kClientRetry, tid, site_, attempt + 1);
-                       Attempt(std::move(request), std::move(cb), attempt + 1, tid);
+                       Attempt(target, std::move(request), std::move(cb), attempt + 1, tid);
                      });
       },
       options_.rpc_timeout);
@@ -145,6 +150,11 @@ void Tx::AbsorbResponse(const ClientOpResponse& resp) {
 void Tx::BufferUpdate(ClientOpKind kind, const ObjectId& oid, const ObjectId& elem,
                       std::string data) {
   WCHECK(!finished_, "update on finished transaction");
+  if (commit_server_ == kNoSite) {
+    // First write pins the transaction to the shard owning its container: that
+    // server buffers the updates and coordinates the eventual commit.
+    commit_server_ = client_->RouteFor(oid.container);
+  }
   ClientOpRequest req = BaseRequest();
   req.op = kind;
   req.oid = oid;
@@ -159,7 +169,7 @@ void Tx::BufferUpdate(ClientOpKind kind, const ObjectId& oid, const ObjectId& el
     ++rpcs_issued_;
     WTRACE(client_->sim()->Now(), TraceKind::kClientOpRpc, tid_, client_->site(), 0,
            static_cast<uint32_t>(to_send.op));
-    client_->Op(std::move(to_send),
+    client_->Op(commit_server_, std::move(to_send),
                 [this, alive = AliveToken()](Status, const ClientOpResponse& resp) {
                   if (!alive.expired()) {
                     AbsorbResponse(resp);
@@ -194,7 +204,7 @@ void Tx::FlushBuffered(std::function<void(Status)> then) {
   ++rpcs_issued_;
   WTRACE(client_->sim()->Now(), TraceKind::kClientOpRpc, tid_, client_->site(), 0,
          static_cast<uint32_t>(to_send.op));
-  client_->Op(std::move(to_send),
+  client_->Op(commit_server_, std::move(to_send),
               [this, alive = AliveToken(), client = client_, tid = tid_,
                then = std::move(then)](Status status, const ClientOpResponse& resp) {
                 if (alive.expired()) {
@@ -220,7 +230,7 @@ void Tx::Read(const ObjectId& oid, ReadCallback cb) {
     ++rpcs_issued_;
     WTRACE(client_->sim()->Now(), TraceKind::kClientOpRpc, tid_, client_->site(), 0,
            static_cast<uint32_t>(req.op));
-    client_->Op(std::move(req),
+    client_->Op(ReadTarget(oid.container), std::move(req),
                 [this, alive = AliveToken(), client = client_, tid = tid_,
                  cb = std::move(cb)](Status status, const ClientOpResponse& resp) {
                   if (alive.expired()) {
@@ -251,7 +261,7 @@ void Tx::SetRead(const ObjectId& setid, SetReadCallback cb) {
     ++rpcs_issued_;
     WTRACE(client_->sim()->Now(), TraceKind::kClientOpRpc, tid_, client_->site(), 0,
            static_cast<uint32_t>(req.op));
-    client_->Op(std::move(req),
+    client_->Op(ReadTarget(setid.container), std::move(req),
                 [this, alive = AliveToken(), cb = std::move(cb)](
                     Status status, const ClientOpResponse& resp) {
                   if (alive.expired()) {
@@ -281,7 +291,7 @@ void Tx::SetReadId(const ObjectId& setid, const ObjectId& id, CountCallback cb) 
     ++rpcs_issued_;
     WTRACE(client_->sim()->Now(), TraceKind::kClientOpRpc, tid_, client_->site(), 0,
            static_cast<uint32_t>(req.op));
-    client_->Op(std::move(req),
+    client_->Op(ReadTarget(setid.container), std::move(req),
                 [this, alive = AliveToken(), cb = std::move(cb)](
                     Status status, const ClientOpResponse& resp) {
                   if (alive.expired()) {
@@ -299,21 +309,100 @@ void Tx::MultiRead(std::vector<ObjectId> oids, MultiReadCallback cb) {
       cb(status, {});
       return;
     }
-    ClientOpRequest req = BaseRequest();
-    req.op = ClientOpKind::kMultiRead;
-    req.oids = std::move(oids);
-    ++rpcs_issued_;
-    WTRACE(client_->sim()->Now(), TraceKind::kClientOpRpc, tid_, client_->site(), 0,
-           static_cast<uint32_t>(req.op));
-    client_->Op(std::move(req),
-                [this, alive = AliveToken(), cb = std::move(cb)](
-                    Status status, const ClientOpResponse& resp) {
-                  if (alive.expired()) {
-                    return;
-                  }
-                  AbsorbResponse(resp);
-                  cb(status, resp.values);
-                });
+    // One server can answer the whole batch when the transaction is pinned to
+    // its commit server or every container routes to the same shard — the
+    // single-RPC path, and the only path in unsharded runs.
+    SiteId target = oids.empty() ? client_->site() : ReadTarget(oids[0].container);
+    bool single = true;
+    for (const ObjectId& oid : oids) {
+      if (ReadTarget(oid.container) != target) {
+        single = false;
+        break;
+      }
+    }
+    if (single) {
+      ClientOpRequest req = BaseRequest();
+      req.op = ClientOpKind::kMultiRead;
+      req.oids = std::move(oids);
+      ++rpcs_issued_;
+      WTRACE(client_->sim()->Now(), TraceKind::kClientOpRpc, tid_, client_->site(), 0,
+             static_cast<uint32_t>(req.op));
+      client_->Op(target, std::move(req),
+                  [this, alive = AliveToken(), cb = std::move(cb)](
+                      Status status, const ClientOpResponse& resp) {
+                    if (alive.expired()) {
+                      return;
+                    }
+                    AbsorbResponse(resp);
+                    cb(status, resp.values);
+                  });
+      return;
+    }
+    // The batch spans shards: one sub-read per shard, issued serially so the
+    // first response's assigned snapshot flows into the rest (a parallel
+    // fan-out could get a different snapshot per shard). Results merge back
+    // into request order.
+    struct Group {
+      SiteId target;
+      std::vector<size_t> indices;
+      std::vector<ObjectId> oids;
+    };
+    auto groups = std::make_shared<std::vector<Group>>();
+    for (size_t i = 0; i < oids.size(); ++i) {
+      SiteId t = ReadTarget(oids[i].container);
+      Group* g = nullptr;
+      for (Group& cand : *groups) {
+        if (cand.target == t) {
+          g = &cand;
+          break;
+        }
+      }
+      if (g == nullptr) {
+        groups->push_back(Group{t, {}, {}});
+        g = &groups->back();
+      }
+      g->indices.push_back(i);
+      g->oids.push_back(oids[i]);
+    }
+    auto values = std::make_shared<std::vector<std::optional<std::string>>>(oids.size());
+    auto next = std::make_shared<std::function<void(size_t)>>();
+    // The stored function refers to itself only weakly; each in-flight RPC
+    // callback holds the one strong reference, so the chain frees itself when
+    // the last response (or a drop) retires it — no shared_ptr cycle.
+    std::weak_ptr<std::function<void(size_t)>> weak_next = next;
+    *next = [this, alive = AliveToken(), groups, values, weak_next,
+             cb = std::move(cb)](size_t k) mutable {
+      if (k == groups->size()) {
+        cb(Status::Ok(), std::move(*values));
+        return;
+      }
+      auto self = weak_next.lock();
+      Group& g = (*groups)[k];
+      ClientOpRequest req = BaseRequest();
+      req.op = ClientOpKind::kMultiRead;
+      req.oids = g.oids;
+      ++rpcs_issued_;
+      WTRACE(client_->sim()->Now(), TraceKind::kClientOpRpc, tid_, client_->site(), 0,
+             static_cast<uint32_t>(req.op));
+      client_->Op(g.target, std::move(req),
+                  [this, alive, groups, values, self, cb, k](
+                      Status status, const ClientOpResponse& resp) mutable {
+                    if (alive.expired()) {
+                      return;
+                    }
+                    AbsorbResponse(resp);
+                    if (!status.ok()) {
+                      cb(status, {});
+                      return;
+                    }
+                    const Group& g = (*groups)[k];
+                    for (size_t j = 0; j < g.indices.size() && j < resp.values.size(); ++j) {
+                      (*values)[g.indices[j]] = resp.values[j];
+                    }
+                    (*self)(k + 1);
+                  });
+    };
+    (*next)(0);
   });
 }
 
@@ -339,6 +428,10 @@ void Tx::Commit(CommitCallback cb, CommitOptions options) {
   WalterClient* client = client_;
   TxId tid = tid_;
   SiteId site = client->site();
+  // Transactions with writes commit at their pinned shard; the commit request
+  // names the client's own node when they differ, so durable/visible
+  // notifications find their way home.
+  SiteId target = commit_server_ == kNoSite ? site : commit_server_;
   uint64_t pin = pin_;
 
   CommitCallback done = [client, tid, site, pin, cb = std::move(cb)](Status status) {
@@ -349,14 +442,17 @@ void Tx::Commit(CommitCallback cb, CommitOptions options) {
            static_cast<uint64_t>(status.code()));
     cb(status);
   };
-  auto send_commit = [client, tid, site, want_durable, want_visible](
+  auto send_commit = [client, tid, site, target, want_durable, want_visible](
                          ClientOpRequest req, CommitCallback done) {
     req.commit_after = true;
     req.want_durable = want_durable;
     req.want_visible = want_visible;
     req.reply_port = client->port();
+    if (target != site) {
+      req.reply_site = site;
+    }
     WTRACE(client->sim()->Now(), TraceKind::kClientCommitRpc, tid, site);
-    client->Op(std::move(req),
+    client->Op(target, std::move(req),
                [done = std::move(done)](Status status, const ClientOpResponse&) {
                  done(status);
                });
@@ -384,7 +480,7 @@ void Tx::Commit(CommitCallback cb, CommitOptions options) {
     ClientOpRequest commit_req = BaseRequest();
     WTRACE(client->sim()->Now(), TraceKind::kClientOpRpc, tid, site, 0,
            static_cast<uint32_t>(flush.op));
-    client->Op(std::move(flush),
+    client->Op(target, std::move(flush),
                [commit_req = std::move(commit_req), done = std::move(done),
                 send_commit](Status status, const ClientOpResponse& resp) mutable {
                  if (!status.ok()) {
@@ -429,7 +525,8 @@ void Tx::Abort(std::function<void()> done) {
   ++rpcs_issued_;
   WTRACE(client->sim()->Now(), TraceKind::kClientAbortRpc, tid, site);
   // Like Commit, the abort chain must not depend on the handle staying alive.
-  client->Op(std::move(req),
+  // The server-side buffer (if any) lives at the pinned commit server.
+  client->Op(commit_server_ == kNoSite ? site : commit_server_, std::move(req),
              [client, tid, site, pin, done = std::move(done)](Status, const ClientOpResponse&) {
                client->UnpinSnapshot(pin);
                WTRACE(client->sim()->Now(), TraceKind::kClientDone, tid, site,

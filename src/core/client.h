@@ -66,8 +66,19 @@ class WalterClient {
   ObjectId NewId(ContainerId container);
 
   // Low-level unified operation RPC (used by Tx). Handles timeouts, retries
-  // and the retry budget per Options.
+  // and the retry budget per Options. The no-target form addresses the local
+  // server (this client's own node); the targeted form addresses a sibling
+  // shard of the same site under intra-site sharding.
   void Op(ClientOpRequest req, std::function<void(Status, const ClientOpResponse&)> cb);
+  void Op(SiteId target, ClientOpRequest req,
+          std::function<void(Status, const ClientOpResponse&)> cb);
+
+  // Per-container routing under intra-site sharding: maps a container to the
+  // server node owning it at this client's site. Unset (the default) = every
+  // container is served by the client's own node, the unsharded behavior.
+  using Router = std::function<SiteId(ContainerId)>;
+  void SetRouter(Router router) { router_ = std::move(router); }
+  SiteId RouteFor(ContainerId c) const { return router_ ? router_(c) : site_; }
 
   const Options& options() const { return options_; }
   // Total RPC retransmissions performed (excluding first attempts).
@@ -98,11 +109,13 @@ class WalterClient {
 
  private:
   // `tid` is carried alongside the request purely for trace attribution.
-  void Attempt(ClientOpRequest req, std::function<void(Status, const ClientOpResponse&)> cb,
-               size_t attempt, TxId tid);
+  void Attempt(SiteId target, ClientOpRequest req,
+               std::function<void(Status, const ClientOpResponse&)> cb, size_t attempt,
+               TxId tid);
   // Retransmission path: the serialized request buffer is shared across attempts.
-  void Attempt(Payload request, std::function<void(Status, const ClientOpResponse&)> cb,
-               size_t attempt, TxId tid);
+  void Attempt(SiteId target, Payload request,
+               std::function<void(Status, const ClientOpResponse&)> cb, size_t attempt,
+               TxId tid);
   SimDuration BackoffFor(size_t attempt);
 
   RpcEndpoint endpoint_;
@@ -117,6 +130,7 @@ class WalterClient {
   std::unordered_map<TxId, std::function<void()>> visible_watch_;
   SnapshotPinRegistry* pins_ = nullptr;
   std::function<VectorTimestamp()> pin_floor_;
+  Router router_;
 };
 
 // A transaction handle. Create, issue operations (serially), then Commit or
@@ -172,9 +186,20 @@ class Tx {
   // dead Tx.
   std::weak_ptr<char> AliveToken() const { return alive_; }
 
+  // The server node this transaction's ops are pinned to once it has written:
+  // the shard owning the first written container at the client's site. The
+  // server-side update buffer lives there, so later updates, reads (which must
+  // see the buffer) and the commit all go there too. kNoSite until the first
+  // write; read-only transactions route each read by its container instead.
+  SiteId CommitServer() const { return commit_server_; }
+  SiteId ReadTarget(ContainerId c) const {
+    return commit_server_ != kNoSite ? commit_server_ : client_->RouteFor(c);
+  }
+
   WalterClient* client_;
   TxId tid_;
   VectorTimestamp vts_;  // snapshot, once known
+  SiteId commit_server_ = kNoSite;
   std::optional<ClientOpRequest> buffered_;
   size_t update_rpcs_sent_ = 0;
   size_t rpcs_issued_ = 0;

@@ -1,30 +1,51 @@
 #include "src/core/cluster.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace walter {
 
-Cluster::Cluster(ClusterOptions options) : options_(std::move(options)), sim_(options_.seed) {
+Cluster::Cluster(ClusterOptions options)
+    : options_(std::move(options)),
+      shard_map_(options_.servers_per_site.empty() ? ShardMap(options_.num_sites)
+                                                   : ShardMap(options_.servers_per_site)),
+      sim_(options_.seed) {
   Topology topo = options_.topology ? *options_.topology
                                     : (options_.num_sites <= 4
                                            ? Topology::Ec2Subset(options_.num_sites)
                                            : Topology::Uniform(options_.num_sites, Millis(100),
                                                                Millis(0.5)));
+  if (!shard_map_.trivial()) {
+    // One network node per server; co-located shards talk at the site's
+    // intra-site RTT and bandwidth.
+    topo = Topology::ShardExpand(topo, shard_map_.shards());
+  }
   net_ = std::make_unique<Network>(&sim_, std::move(topo));
   for (SiteId s = 0; s < options_.num_sites; ++s) {
     directories_.push_back(std::make_unique<ContainerDirectory>(options_.num_sites));
+    directories_.back()->AttachShardMap(&shard_map_);
     pin_registries_.push_back(std::make_unique<SnapshotPinRegistry>());
+  }
+  // One WalterServer per shard (the "virtual server" model): each is a full
+  // Walter server whose `site` is its global server id and whose vector-clock
+  // dimension is the total server count. The directory translation above makes
+  // every container's replica set exactly one shard per site, so commit,
+  // propagation, durability-quorum and recovery machinery are unchanged —
+  // cross-shard transactions inside one site simply become slow commits whose
+  // participants happen to be a LAN hop apart.
+  for (SiteId v = 0; v < static_cast<SiteId>(shard_map_.num_servers()); ++v) {
     WalterServer::Options so = options_.server;
-    so.site = s;
-    so.num_sites = options_.num_sites;
-    servers_.push_back(
-        std::make_unique<WalterServer>(&sim_, net_.get(), so, directories_[s].get()));
-    WirePinFloor(s);
+    so.site = v;
+    so.num_sites = shard_map_.num_servers();
+    so.sharded = !shard_map_.trivial();
+    servers_.push_back(std::make_unique<WalterServer>(
+        &sim_, net_.get(), so, directories_[shard_map_.SiteOf(v)].get()));
+    WirePinFloor(v);
   }
   // The GC coordinator follows the gossip gating (RunUntilIdle-based tests
   // disable periodic work by setting gossip_interval = 0), and stands down in
   // frontier_gossip mode, where the servers fold from acked floors themselves.
-  if (options_.num_sites > 1 && options_.server.gossip_interval > 0 &&
+  if (shard_map_.num_servers() > 1 && options_.server.gossip_interval > 0 &&
       options_.gc.enabled && !options_.server.frontier_gossip) {
     gc_ = std::make_unique<GcCoordinator>(this, options_.gc, options_.seed);
     gc_->Start();
@@ -33,7 +54,7 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)), sim_(op
 
 void Cluster::WirePinFloor(SiteId s) {
   servers_[s]->SetPinFloorProvider(
-      [reg = pin_registries_[s].get()]() { return reg->MinPin(); });
+      [reg = pin_registries_[shard_map_.SiteOf(s)].get()]() { return reg->MinPin(); });
 }
 
 void Cluster::UpsertContainerEverywhere(const ContainerInfo& info) {
@@ -45,12 +66,28 @@ void Cluster::UpsertContainerEverywhere(const ContainerInfo& info) {
 WalterClient* Cluster::AddClient(SiteId site) { return AddClient(site, options_.client); }
 
 WalterClient* Cluster::AddClient(SiteId site, WalterClient::Options options) {
+  // Clients live on their site's first shard node; under sharding they route
+  // each container to its owning shard instead of the node they sit on.
+  SiteId node = shard_map_.ServerAt(site, 0);
   clients_.push_back(
-      std::make_unique<WalterClient>(net_.get(), site, next_client_port_++, options));
+      std::make_unique<WalterClient>(net_.get(), node, next_client_port_++, options));
+  if (!shard_map_.trivial()) {
+    clients_.back()->SetRouter(
+        [map = &shard_map_, site](ContainerId c) { return map->OwnerAt(c, site); });
+  }
   // Every transaction the client opens pins its snapshot in the site registry,
-  // at a floor read from the (current) local server's CommittedVTS.
+  // at a floor read from the (current) local server's CommittedVTS — under
+  // sharding the entrywise min across the site's shards, a lower bound on any
+  // snapshot a shard could assign the transaction.
   clients_.back()->AttachPins(pin_registries_[site].get(), [this, site]() {
-    return servers_[site]->committed_vts();
+    VectorTimestamp floor = servers_[shard_map_.ServerAt(site, 0)]->committed_vts();
+    for (size_t k = 1; k < shard_map_.shards_at(site); ++k) {
+      const VectorTimestamp& v = servers_[shard_map_.ServerAt(site, k)]->committed_vts();
+      for (SiteId i = 0; i < static_cast<SiteId>(floor.num_sites()); ++i) {
+        floor.set(i, std::min(floor.at(i), v.at(i)));
+      }
+    }
+    return floor;
   });
   return clients_.back().get();
 }
@@ -59,7 +96,8 @@ WalterServer& Cluster::ReplaceServer(SiteId s) {
   WalterServer::DurableImage image = servers_[s]->TakeDurableImage();
   WalterServer::Options so = servers_[s]->options();
   servers_[s].reset();  // frees the endpoint address
-  servers_[s] = std::make_unique<WalterServer>(&sim_, net_.get(), so, directories_[s].get());
+  servers_[s] = std::make_unique<WalterServer>(&sim_, net_.get(), so,
+                                               directories_[shard_map_.SiteOf(s)].get());
   servers_[s]->Restore(image);
   WirePinFloor(s);  // the registry outlives the server it was wired to
   if (observer_) {

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/config/shard_map.h"
 #include "src/core/client.h"
 #include "src/core/container.h"
 #include "src/core/gc_coordinator.h"
@@ -20,6 +21,12 @@ namespace walter {
 
 struct ClusterOptions {
   size_t num_sites = 4;
+  // Intra-site sharding: co-located servers per site (empty = 1 everywhere,
+  // the paper's one-server-per-site model). When any entry exceeds 1 the
+  // cluster runs in sharded mode: one WalterServer, one network node and one
+  // CPU/disk Resource per shard, containers hashed to shards by the shard
+  // map, and clients routing per-container. Must be empty or num_sites long.
+  std::vector<size_t> servers_per_site;
   uint64_t seed = 1;
   // Per-server options; site/num_sites are filled in per server.
   WalterServer::Options server;
@@ -38,12 +45,24 @@ class Cluster {
  public:
   explicit Cluster(ClusterOptions options = {});
 
-  size_t num_sites() const { return servers_.size(); }
+  // Logical (geographic) sites. Equal to num_servers() unless sharded.
+  size_t num_sites() const { return directories_.size(); }
+  // Total servers across all sites; server ids index them densely, site 0's
+  // shards first. With one server per site, server ids coincide with site ids.
+  size_t num_servers() const { return servers_.size(); }
+  const ShardMap& shard_map() const { return shard_map_; }
+  SiteId site_of(SiteId server) const { return shard_map_.SiteOf(server); }
   Simulator& sim() { return sim_; }
   Network& net() { return *net_; }
-  // Each site caches container metadata independently (Section 5.1).
+  // Each site caches container metadata independently (Section 5.1); the
+  // site's co-located shards share its directory.
   ContainerDirectory& directory(SiteId s) { return *directories_[s]; }
+  // By global server id (== site id when unsharded).
   WalterServer& server(SiteId s) { return *servers_[s]; }
+  // Shard `shard` of site `site`.
+  WalterServer& server_at(SiteId site, size_t shard) {
+    return *servers_[shard_map_.ServerAt(site, shard)];
+  }
 
   // Administrator convenience: installs container metadata at every site at
   // once (tests that need divergence write per-site directories directly).
@@ -56,7 +75,8 @@ class Cluster {
 
   // Replaces a crashed server with a fresh one restored from its durable image
   // (the replacement-server path of Section 5.7). The old server object is
-  // destroyed; references to it become invalid.
+  // destroyed; references to it become invalid. `s` is a global server id, so
+  // under sharding each shard of a site is replaced (re-homed) independently.
   WalterServer& ReplaceServer(SiteId s);
 
   // Installs a commit observer on every server (e.g. a PsiChecker hook).
@@ -82,6 +102,7 @@ class Cluster {
   void WirePinFloor(SiteId s);
 
   ClusterOptions options_;
+  ShardMap shard_map_;
   Simulator sim_;
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<ContainerDirectory>> directories_;

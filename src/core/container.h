@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/config/shard_map.h"
 
 namespace walter {
 
@@ -44,6 +45,13 @@ class ContainerDirectory {
   void Upsert(ContainerInfo info) { containers_[info.id] = std::move(info); }
   void Erase(ContainerId id) { containers_.erase(id); }
 
+  // Shard-aware mode: container metadata (and the config service protocol)
+  // stays in logical site ids; Get() translates the resolved info into server
+  // ids through the map — the preferred site becomes the owning shard there,
+  // and the replica set becomes the one owning shard per replica site. With a
+  // trivial map (one server per site) translation is the identity.
+  void AttachShardMap(const ShardMap* map) { shard_map_ = map; }
+
   // Metadata for a container; falls back to the default layout when unknown.
   // A site remap (failed-site recovery) rewrites the preferred site.
   ContainerInfo Get(ContainerId id) const {
@@ -58,6 +66,9 @@ class ContainerDirectory {
     auto remap = remap_.find(info.preferred_site);
     if (remap != remap_.end()) {
       info.preferred_site = remap->second;
+    }
+    if (shard_map_ != nullptr && !shard_map_->trivial()) {
+      Translate(&info);
     }
     return info;
   }
@@ -77,9 +88,26 @@ class ContainerDirectory {
   size_t num_sites() const { return num_sites_; }
 
  private:
+  void Translate(ContainerInfo* info) const {
+    info->preferred_site = shard_map_->OwnerAt(info->id, info->preferred_site);
+    if (info->replicas.empty()) {
+      // "All sites" must become an explicit server list: only the owning
+      // shard at each site stores the container, not every co-located server.
+      info->replicas.reserve(shard_map_->num_sites());
+      for (SiteId s = 0; s < static_cast<SiteId>(shard_map_->num_sites()); ++s) {
+        info->replicas.push_back(shard_map_->OwnerAt(info->id, s));
+      }
+    } else {
+      for (SiteId& r : info->replicas) {
+        r = shard_map_->OwnerAt(info->id, r);
+      }
+    }
+  }
+
   size_t num_sites_;
   std::unordered_map<ContainerId, ContainerInfo> containers_;
   std::unordered_map<SiteId, SiteId> remap_;
+  const ShardMap* shard_map_ = nullptr;
 };
 
 }  // namespace walter

@@ -25,10 +25,14 @@ GcCoordinator::GcCoordinator(Cluster* cluster, GcOptions options, uint64_t seed)
     : cluster_(cluster),
       options_(options),
       rng_(seed ^ 0x6663726f6e746965ULL),  // decorrelate from the workload seed
-      last_floor_(cluster->num_sites()),
-      last_durable_(cluster->num_sites()),
-      in_config_(cluster->num_sites(), true),
-      frontier_(cluster->num_sites()) {}
+      // All per-"site" state here is really per server: under intra-site
+      // sharding every shard contributes its own floor, durable watermark and
+      // frontier coordinate, so the frontier is automatically the min over
+      // shards too.
+      last_floor_(cluster->num_servers()),
+      last_durable_(cluster->num_servers()),
+      in_config_(cluster->num_servers(), true),
+      frontier_(cluster->num_servers()) {}
 
 void GcCoordinator::Start() {
   if (started_ || !options_.enabled) {
@@ -51,7 +55,7 @@ void GcCoordinator::Schedule() {
 }
 
 void GcCoordinator::RefreshCaches() {
-  for (SiteId s = 0; s < cluster_->num_sites(); ++s) {
+  for (SiteId s = 0; s < cluster_->num_servers(); ++s) {
     WalterServer& server = cluster_->server(s);
     if (server.crashed()) {
       continue;  // frozen at the last known state
@@ -73,8 +77,10 @@ void GcCoordinator::RefreshCaches() {
 }
 
 void GcCoordinator::Tick() {
-  size_t n = cluster_->num_sites();
-  auto in_config = [this](SiteId s) { return !probe_ || probe_(s); };
+  size_t n = cluster_->num_servers();
+  // The membership probe speaks logical sites; a shard is in-config iff its
+  // site is.
+  auto in_config = [this](SiteId s) { return !probe_ || probe_(cluster_->site_of(s)); };
   for (SiteId s = 0; s < n; ++s) {
     bool now = in_config(s);
     if (in_config_[s] && !now) {
@@ -228,7 +234,7 @@ void GcCoordinator::ExportMetrics(MetricsRegistry& metrics) const {
   metrics.Set("gc.stall_reason", kNoSite, static_cast<double>(last_stall_reason_));
   metrics.Set("gc.stall_site", kNoSite,
               last_stall_site_ == kNoSite ? -1.0 : static_cast<double>(last_stall_site_));
-  for (SiteId s = 0; s < cluster_->num_sites(); ++s) {
+  for (SiteId s = 0; s < cluster_->num_servers(); ++s) {
     metrics.Set("gc.frontier", s, static_cast<double>(frontier_.at(s)));
   }
 }

@@ -37,6 +37,12 @@ std::string ClientOpRequest::Serialize() const {
   }
   w.PutU32(reply_port);
   w.PutU64(op_seq);
+  // Trailing optional field (wire-compatible like PropagateAck's floor): only
+  // cross-node ops carry it, so single-server-per-site runs serialize the
+  // exact pre-sharding byte stream.
+  if (reply_site != kNoSite) {
+    w.PutU32(reply_site);
+  }
   return w.Take();
 }
 
@@ -61,6 +67,9 @@ ClientOpRequest ClientOpRequest::Deserialize(std::string_view bytes) {
   }
   req.reply_port = r.GetU32();
   req.op_seq = r.GetU64();
+  if (r.remaining() > 0) {
+    req.reply_site = r.GetU32();
+  }
   return req;
 }
 

@@ -95,6 +95,11 @@ struct ClientOpRequest {
   // (monotonic per client, stable across RPC retries). Lets the server drop a
   // retransmitted buffering op instead of double-applying the update.
   uint64_t op_seq = 0;
+  // Node the client's endpoint lives on, when it differs from the server
+  // handling the op — under intra-site sharding a client pinned to shard 0
+  // may commit at a sibling shard, and durable/visible notifications must
+  // come back to the client's own node. kNoSite = same node as the server.
+  SiteId reply_site = kNoSite;
 
   std::string Serialize() const;
   static ClientOpRequest Deserialize(std::string_view bytes);

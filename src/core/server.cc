@@ -213,7 +213,7 @@ void WalterServer::ProcessClientOp(const ClientOpRequest& req,
       tx.start_vts = vts;
     }
     DoCommit(req.tid, std::move(tx), req.want_durable, req.want_visible, req.reply_port,
-             std::move(respond));
+             req.reply_site, std::move(respond));
     return;
   }
 
@@ -238,6 +238,21 @@ void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts
     WTRACE(sim_->Now(), TraceKind::kGcStaleRead, req.tid, options_.site);
     resp.status = StatusCode::kUnavailable;
     respond(std::move(resp));
+    return;
+  }
+
+  if (options_.sharded && !committed_vts_.Covers(vts)) {
+    // Sharded mode only: the snapshot was assigned by a sibling shard whose
+    // committed state runs ahead of ours for some origin, so our history may
+    // still be missing versions the snapshot includes. The gap closes via
+    // normal intra-site propagation (~min_batch_interval); park the read and
+    // retry rather than serve a hole. The ActiveTx pointer is re-resolved on
+    // retry — the buffer can move or be swept while we wait.
+    sim_->After(Millis(1), Guard([this, req, vts, respond = std::move(respond)]() {
+      auto it = active_.find(req.tid);
+      const ActiveTx* tx2 = it != active_.end() ? &it->second : nullptr;
+      DoRead(req, vts, tx2, respond);
+    }));
     return;
   }
 
@@ -484,7 +499,8 @@ bool WalterServer::DedupRetransmittedCommit(const ClientOpRequest& req,
 }
 
 void WalterServer::DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
-                            uint32_t reply_port, std::function<void(ClientOpResponse)> respond) {
+                            uint32_t reply_port, SiteId reply_site,
+                            std::function<void(ClientOpResponse)> respond) {
   WTRACE(sim_->Now(), TraceKind::kCommitStart, tid, options_.site);
   std::vector<ObjectId> writeset = WriteSetOf(tx.updates);
 
@@ -507,17 +523,18 @@ void WalterServer::DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_
   bool all_local = sites.empty() || (sites.size() == 1 && sites[0] == options_.site);
   if (all_local) {
     WTRACE(sim_->Now(), TraceKind::kFastPath, tid, options_.site);
-    FastCommit(tid, std::move(tx), want_durable, want_visible, reply_port, std::move(respond));
+    FastCommit(tid, std::move(tx), want_durable, want_visible, reply_port, reply_site,
+               std::move(respond));
   } else {
     WTRACE(sim_->Now(), TraceKind::kSlowPath, tid, options_.site, 0,
            static_cast<uint32_t>(sites.size()));
     SlowCommit(tid, std::move(tx), std::move(sites), want_durable, want_visible, reply_port,
-               std::move(respond));
+               reply_site, std::move(respond));
   }
 }
 
 void WalterServer::FastCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
-                              uint32_t reply_port,
+                              uint32_t reply_port, SiteId reply_site,
                               std::function<void(ClientOpResponse)> respond) {
   // Conflict checks of Figure 11: every written object unmodified since the
   // snapshot and unlocked. This whole function is one event — atomic.
@@ -544,11 +561,11 @@ void WalterServer::FastCommit(TxId tid, ActiveTx tx, bool want_durable, bool wan
     }
   }
   ++stats_.fast_commits;
-  CommitLocally(tid, tx, want_durable, want_visible, reply_port, std::move(respond));
+  CommitLocally(tid, tx, want_durable, want_visible, reply_port, reply_site, std::move(respond));
 }
 
 void WalterServer::CommitLocally(TxId tid, const ActiveTx& tx, bool want_durable,
-                                 bool want_visible, uint32_t reply_port,
+                                 bool want_visible, uint32_t reply_port, SiteId reply_site,
                                  std::function<void(ClientOpResponse)> respond) {
   uint64_t seqno = ++curr_seqno_;
   TxRecord rec;
@@ -567,6 +584,7 @@ void WalterServer::CommitLocally(TxId tid, const ActiveTx& tx, bool want_durable
   lc.want_durable = want_durable;
   lc.want_visible = want_visible;
   lc.reply_port = reply_port;
+  lc.reply_site = reply_site == kNoSite ? options_.site : reply_site;
   lc.respond = std::move(respond);
   local_commits_.emplace(seqno, std::move(lc));
   committed_tids_[tid] = seqno;
@@ -626,7 +644,7 @@ void WalterServer::AdvanceLocalCommits() {
 
 void WalterServer::SlowCommit(TxId tid, ActiveTx tx, std::vector<SiteId> sites,
                               bool want_durable, bool want_visible, uint32_t reply_port,
-                              std::function<void(ClientOpResponse)> respond) {
+                              SiteId reply_site, std::function<void(ClientOpResponse)> respond) {
   ++stats_.slow_commits;
   auto state = std::make_shared<SlowCommitState>();
   state->tid = tid;
@@ -636,6 +654,7 @@ void WalterServer::SlowCommit(TxId tid, ActiveTx tx, std::vector<SiteId> sites,
   state->want_durable = want_durable;
   state->want_visible = want_visible;
   state->reply_port = reply_port;
+  state->reply_site = reply_site;
   slow_commits_[tid] = state;
 
   // Partition the write-set by preferred site.
@@ -725,7 +744,7 @@ void WalterServer::FinishSlowCommit(std::shared_ptr<SlowCommitState> state) {
   // Local locks (if any) are released when the commit is applied; remote locks
   // when the transaction propagates there (Figure 13).
   CommitLocally(state->tid, state->tx, state->want_durable, state->want_visible,
-                state->reply_port, std::move(state->reply));
+                state->reply_port, state->reply_site, std::move(state->reply));
 }
 
 bool WalterServer::PrepareLocal(TxId tid, const std::vector<ObjectId>& oids,
@@ -1150,7 +1169,8 @@ void WalterServer::UpdateDsDurable() {
     ds_durable_through_ = next;
     WTRACE(sim_->Now(), TraceKind::kDsDurable, it->second.record.tid, options_.site, next);
     if (it->second.want_durable) {
-      NotifyClient(it->second.reply_port, kDurableNotify, it->second.record.tid);
+      NotifyClient(it->second.reply_site, it->second.reply_port, kDurableNotify,
+                   it->second.record.tid);
     }
   }
   if (ds_durable_through_ != before) {
@@ -1205,7 +1225,8 @@ void WalterServer::UpdateGloballyVisible() {
       WTRACE(sim_->Now(), TraceKind::kVisible, it->second.record.tid, options_.site,
              visible_through_);
       if (it->second.want_visible) {
-        NotifyClient(it->second.reply_port, kVisibleNotify, it->second.record.tid);
+        NotifyClient(it->second.reply_site, it->second.reply_port, kVisibleNotify,
+                     it->second.record.tid);
       }
       // Globally visible implies received everywhere: safe to stop retaining.
       committed_tids_.erase(it->second.record.tid);
@@ -1214,12 +1235,12 @@ void WalterServer::UpdateGloballyVisible() {
   }
 }
 
-void WalterServer::NotifyClient(uint32_t port, uint32_t type, TxId tid) {
+void WalterServer::NotifyClient(SiteId site, uint32_t port, uint32_t type, TxId tid) {
   if (port == 0) {
     return;
   }
   TxNotify n{tid};
-  endpoint_.Send(Address{options_.site, port}, type, n.Serialize());
+  endpoint_.Send(Address{site == kNoSite ? options_.site : site, port}, type, n.Serialize());
 }
 
 void WalterServer::StartGossip() {

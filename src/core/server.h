@@ -50,6 +50,13 @@ class WalterServer {
   struct Options {
     SiteId site = 0;
     size_t num_sites = 1;
+    // Intra-site sharding (virtual-server model): when the cluster shards a
+    // site across co-located servers, `site` is really a global server id and
+    // `num_sites` the total server count — every vector clock, propagation
+    // destination and 2PC participant is per-server. This flag marks that
+    // mode for the few places whose behavior must differ (snapshot reads may
+    // arrive at a shard before the snapshot's commits do — see DoRead).
+    bool sharded = false;
     PerfModel perf = PerfModel::Ec2();
     DiskConfig disk = DiskConfig::Ec2();
     // Disaster-safe durability parameter: a transaction is disaster-safe once
@@ -267,6 +274,7 @@ class WalterServer {
     bool want_durable = false;
     bool want_visible = false;
     uint32_t reply_port = 0;  // client endpoint for notifications
+    SiteId reply_site = kNoSite;  // client's node when not this server's own
     std::function<void(ClientOpResponse)> respond;  // client reply, sent at commit
   };
 
@@ -300,6 +308,7 @@ class WalterServer {
     bool want_durable = false;
     bool want_visible = false;
     uint32_t reply_port = 0;
+    SiteId reply_site = kNoSite;
   };
 
   // --- request plumbing ---
@@ -313,18 +322,21 @@ class WalterServer {
   void DoRead(const ClientOpRequest& req, const VectorTimestamp& vts, const ActiveTx* tx,
               std::function<void(ClientOpResponse)> respond);
   void DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
-                uint32_t reply_port, std::function<void(ClientOpResponse)> respond);
+                uint32_t reply_port, SiteId reply_site,
+                std::function<void(ClientOpResponse)> respond);
 
   // --- commit protocols ---
   void FastCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
-                  uint32_t reply_port, std::function<void(ClientOpResponse)> respond);
+                  uint32_t reply_port, SiteId reply_site,
+                  std::function<void(ClientOpResponse)> respond);
   void SlowCommit(TxId tid, ActiveTx tx, std::vector<SiteId> sites, bool want_durable,
-                  bool want_visible, uint32_t reply_port,
+                  bool want_visible, uint32_t reply_port, SiteId reply_site,
                   std::function<void(ClientOpResponse)> respond);
   void FinishSlowCommit(std::shared_ptr<SlowCommitState> state);
   // Shared local-commit tail: assign seqno, apply, group-commit flush.
   void CommitLocally(TxId tid, const ActiveTx& tx, bool want_durable, bool want_visible,
-                     uint32_t reply_port, std::function<void(ClientOpResponse)> respond);
+                     uint32_t reply_port, SiteId reply_site,
+                     std::function<void(ClientOpResponse)> respond);
   void OnLocalFlushed(uint64_t seqno);
   void AdvanceLocalCommits();
 
@@ -355,7 +367,7 @@ class WalterServer {
   void UpdateDsDurable();
   void TryCommitRemotes();
   void UpdateGloballyVisible();
-  void NotifyClient(uint32_t port, uint32_t type, TxId tid);
+  void NotifyClient(SiteId site, uint32_t port, uint32_t type, TxId tid);
   void StartGossip();
   void SweepIdleTxs();
   // Stamps a settled commit/abort outcome for time-based aging.

@@ -58,6 +58,36 @@ Topology Topology::Uniform(size_t num_sites, SimDuration cross_rtt, SimDuration 
   return t;
 }
 
+Topology Topology::ShardExpand(const Topology& sites,
+                               const std::vector<size_t>& servers_per_site) {
+  size_t total = 0;
+  for (size_t n : servers_per_site) {
+    total += n;
+  }
+  Topology t(total);
+  t.cross_bw_bps_ = sites.cross_bw_bps_;
+  t.intra_bw_bps_ = sites.intra_bw_bps_;
+  t.site_of_.reserve(total);
+  SiteId node = 0;
+  for (SiteId s = 0; s < static_cast<SiteId>(servers_per_site.size()); ++s) {
+    for (size_t k = 0; k < servers_per_site[s]; ++k) {
+      t.SetName(node, sites.name(s) + "/" + std::to_string(k));
+      t.site_of_.push_back(s);
+      ++node;
+    }
+  }
+  for (SiteId a = 0; a < static_cast<SiteId>(total); ++a) {
+    for (SiteId b = a; b < static_cast<SiteId>(total); ++b) {
+      SiteId sa = t.site_of_[a];
+      SiteId sb = t.site_of_[b];
+      // Same-site pairs — a server to itself or to a co-located shard — use
+      // the site's own (intra-site) RTT entry.
+      t.SetRtt(a, b, sites.Rtt(sa, sb));
+    }
+  }
+  return t;
+}
+
 void Topology::SetRtt(SiteId a, SiteId b, SimDuration rtt) {
   rtt_[a][b] = rtt;
   rtt_[b][a] = rtt;

@@ -29,6 +29,14 @@ class Topology {
   // A uniform topology: same RTT between every pair of distinct sites.
   static Topology Uniform(size_t num_sites, SimDuration cross_rtt, SimDuration intra_rtt);
 
+  // Expand a per-site topology into a per-server one: site s contributes
+  // servers_per_site[s] nodes named "<site>/<shard>". Any two servers of the
+  // same site — including two distinct shards — are linked at the site's own
+  // intra-site RTT and bandwidth; cross-site links inherit the site pair's
+  // RTT. The expanded topology remembers which site each node belongs to.
+  static Topology ShardExpand(const Topology& sites,
+                              const std::vector<size_t>& servers_per_site);
+
   size_t num_sites() const { return names_.size(); }
   const std::string& name(SiteId s) const { return names_[s]; }
 
@@ -40,7 +48,13 @@ class Topology {
   void SetCrossSiteBandwidthBps(double bps) { cross_bw_bps_ = bps; }
   void SetIntraSiteBandwidthBps(double bps) { intra_bw_bps_ = bps; }
   double BandwidthBps(SiteId a, SiteId b) const {
-    return a == b ? intra_bw_bps_ : cross_bw_bps_;
+    return SiteOf(a) == SiteOf(b) ? intra_bw_bps_ : cross_bw_bps_;
+  }
+
+  // The geographic site a node belongs to. Identity unless this topology came
+  // from ShardExpand, where several co-located servers share one site.
+  SiteId SiteOf(SiteId node) const {
+    return site_of_.empty() ? node : site_of_[node];
   }
 
   // Maximum RTT from `s` to any other site — the RTTmax of Sections 8.3/8.5.
@@ -49,6 +63,7 @@ class Topology {
  private:
   std::vector<std::string> names_;
   std::vector<std::vector<SimDuration>> rtt_;
+  std::vector<SiteId> site_of_;  // empty = every node is its own site
   double cross_bw_bps_ = 22e6;   // 22 Mbps (Section 8.1)
   double intra_bw_bps_ = 600e6;  // 600 Mbps (Section 8.1)
 };
