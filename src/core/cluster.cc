@@ -38,6 +38,10 @@ Cluster::Cluster(ClusterOptions options)
     so.site = v;
     so.num_sites = shard_map_.num_servers();
     so.sharded = !shard_map_.trivial();
+    if (!so.wal_dir.empty()) {
+      // Each server gets its own segment directory under the configured root.
+      so.wal_dir += "/site-" + std::to_string(v);
+    }
     servers_.push_back(std::make_unique<WalterServer>(
         &sim_, net_.get(), so, directories_[shard_map_.SiteOf(v)].get()));
     WirePinFloor(v);
@@ -93,7 +97,10 @@ WalterClient* Cluster::AddClient(SiteId site, WalterClient::Options options) {
 }
 
 WalterServer& Cluster::ReplaceServer(SiteId s) {
-  WalterServer::DurableImage image = servers_[s]->TakeDurableImage();
+  // TakeFaultyImage == TakeDurableImage unless the test armed DiskFaults on
+  // this server's disk; armed faults are consumed here, at the moment the old
+  // medium is read back, which is where real torn writes and bit rot surface.
+  WalterServer::DurableImage image = servers_[s]->TakeFaultyImage();
   WalterServer::Options so = servers_[s]->options();
   servers_[s].reset();  // frees the endpoint address
   servers_[s] = std::make_unique<WalterServer>(&sim_, net_.get(), so,

@@ -323,6 +323,7 @@ std::string ResyncState::Serialize() const {
   w.PutU32(from);
   w.PutU64(got_through);
   w.PutU64(committed_through);
+  w.PutU64(durable_through);
   w.PutU8(is_reply ? 1 : 0);
   return w.Take();
 }
@@ -333,7 +334,46 @@ ResyncState ResyncState::Deserialize(std::string_view bytes) {
   m.from = r.GetU32();
   m.got_through = r.GetU64();
   m.committed_through = r.GetU64();
+  m.durable_through = r.GetU64();
   m.is_reply = r.GetU8() != 0;
+  return m;
+}
+
+std::string FetchRecordsRequest::Serialize() const {
+  ByteWriter w;
+  w.PutU32(from);
+  w.PutU32(origin);
+  w.PutU64(from_seqno);
+  w.PutU64(to_seqno);
+  return w.Take();
+}
+
+FetchRecordsRequest FetchRecordsRequest::Deserialize(std::string_view bytes) {
+  ByteReader r(bytes);
+  FetchRecordsRequest m;
+  m.from = r.GetU32();
+  m.origin = r.GetU32();
+  m.from_seqno = r.GetU64();
+  m.to_seqno = r.GetU64();
+  return m;
+}
+
+std::string FetchRecordsResponse::Serialize() const {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(records.size()));
+  for (const auto& rec : records) {
+    rec.Serialize(&w);
+  }
+  return w.Take();
+}
+
+FetchRecordsResponse FetchRecordsResponse::Deserialize(std::string_view bytes) {
+  ByteReader r(bytes);
+  FetchRecordsResponse m;
+  uint32_t n = r.GetU32();
+  for (uint32_t i = 0; i < n && !r.failed(); ++i) {
+    m.records.push_back(TxRecord::Deserialize(&r));
+  }
   return m;
 }
 

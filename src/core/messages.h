@@ -37,6 +37,7 @@ enum MessageType : uint32_t {
   kRemoteRead = 16,     // read at the preferred site for non-replicated objects
   kTxStatus = 17,       // lock-holder asks a 2PC coordinator for an outcome
   kResync = 18,         // restored/truncated server resets a peer's cumulative acks
+  kFetchRecords = 19,   // RPC: fetch an origin's records from a peer's WAL (backfill)
 };
 
 // 2PC termination protocol: a site holding a prepare lock whose coordinator
@@ -224,10 +225,37 @@ struct ResyncState {
   SiteId from = kNoSite;
   uint64_t got_through = 0;        // sender's GotVTS entry for the receiver
   uint64_t committed_through = 0;  // sender's CommittedVTS entry for the receiver
+  // Sender's own disaster-safe watermark. kDsDurable announcements only fire
+  // when the watermark advances, so a server restored after everything already
+  // settled would otherwise wait forever for evidence that re-sent remote
+  // records are durable at their origin — the resync carries it explicitly.
+  uint64_t durable_through = 0;
   bool is_reply = false;           // set on the answering leg (stops the echo)
 
   std::string Serialize() const;
   static ResyncState Deserialize(std::string_view bytes);
+};
+
+// Own-record backfill (corruption-tolerant recovery): a restored server whose
+// durable log lost records past the fsync contract (bit rot) asks a peer for
+// its copies of the server's own transactions — the resync exchange is the
+// evidence (the peer's got_through exceeds what the log restored). The peer
+// answers from its WAL via CollectRecords.
+struct FetchRecordsRequest {
+  SiteId from = kNoSite;     // the asking site
+  SiteId origin = kNoSite;   // whose records (the asker's own site on backfill)
+  uint64_t from_seqno = 0;   // inclusive range
+  uint64_t to_seqno = 0;
+
+  std::string Serialize() const;
+  static FetchRecordsRequest Deserialize(std::string_view bytes);
+};
+
+struct FetchRecordsResponse {
+  std::vector<TxRecord> records;  // ascending seqno; may be partial (WAL truncated)
+
+  std::string Serialize() const;
+  static FetchRecordsResponse Deserialize(std::string_view bytes);
 };
 
 }  // namespace walter

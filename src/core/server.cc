@@ -10,6 +10,18 @@ namespace walter {
 
 namespace {
 
+// Wrapper around the checkpoint image: [magic][crc32 of the body][body]. Lets
+// Restore detect a rotted checkpoint and degrade to WAL-only recovery instead
+// of silently installing corrupt object state.
+constexpr uint32_t kCheckpointMagic = 0x57434b50;  // "WCKP"
+
+std::unique_ptr<WalDevice> MakeWalDevice(const WalterServer::Options& options) {
+  if (options.wal_dir.empty()) {
+    return nullptr;
+  }
+  return std::make_unique<FileWalDevice>(options.wal_dir);
+}
+
 // Deduplicated regular-object write set of an update buffer (the write-set of
 // Figure 11 excludes cset updates).
 std::vector<ObjectId> WriteSetOf(const std::vector<ObjectUpdate>& updates) {
@@ -35,7 +47,7 @@ WalterServer::WalterServer(Simulator* sim, Network* net, Options options,
       endpoint_(net, Address{options.site, kWalterPort}),
       cpu_(sim, options.perf.cpu_capacity, "cpu@" + std::to_string(options.site)),
       disk_(sim, options.disk),
-      store_(options.cache_bytes),
+      store_(options.cache_bytes, MakeWalDevice(options)),
       committed_vts_(options.num_sites),
       got_vts_(options.num_sites),
       durable_applied_(options.num_sites),
@@ -61,6 +73,9 @@ WalterServer::WalterServer(Simulator* sim, Network* net, Options options,
   endpoint_.Handle(kTxStatus,
                    [this](const Message& m, RpcEndpoint::ReplyFn r) { HandleTxStatus(m, std::move(r)); });
   endpoint_.Handle(kResync, [this](const Message& m, RpcEndpoint::ReplyFn) { HandleResync(m); });
+  endpoint_.Handle(kFetchRecords, [this](const Message& m, RpcEndpoint::ReplyFn r) {
+    HandleFetchRecords(m, std::move(r));
+  });
   if (options_.num_sites > 1 && options_.gossip_interval > 0) {
     StartGossip();
   }
@@ -578,6 +593,15 @@ void WalterServer::CommitLocally(TxId tid, const ActiveTx& tx, bool want_durable
   committed_versions_[tid] = rec.version;
   RecordOutcome(tid);
   WTRACE(sim_->Now(), TraceKind::kCommitApply, tid, options_.site, seqno);
+  if (storage_hook_) {
+    storage_hook_(StorageEvent::kWalAppend, store_.wal().base() + store_.wal().size());
+    if (crashed_) {
+      // The fuzzer killed us at this append boundary: the record is framed but
+      // never flushed, so the client is never acked and the durable image does
+      // not contain it.
+      return;
+    }
+  }
 
   LocalCommit lc;
   lc.record = std::move(rec);
@@ -591,6 +615,10 @@ void WalterServer::CommitLocally(TxId tid, const ActiveTx& tx, bool want_durable
 
   size_t wal_frontier = store_.wal().base() + store_.wal().size();
   disk_.Flush([this, seqno, wal_frontier]() {
+    if (crashed_) {
+      return;  // the machine died with the flush in flight: bytes not durable
+    }
+    store_.wal().Sync();  // fsync on a file-backed WAL; no-op otherwise
     durable_wal_bytes_ = std::max(durable_wal_bytes_, wal_frontier);
     OnLocalFlushed(seqno);
   });
@@ -952,6 +980,9 @@ void WalterServer::HandlePropagate(const Message& msg) {
 }
 
 void WalterServer::ApplyRemoteReady(SiteId origin) {
+  if (crashed_) {
+    return;
+  }
   auto& pending = pending_in_[origin];
   while (!pending.empty()) {
     auto it = pending.begin();
@@ -973,8 +1004,18 @@ void WalterServer::ApplyRemoteReady(SiteId origin) {
       return !directory_->ReplicatedAt(u.oid, options_.site);
     });
     store_.Apply(filtered);
+    if (storage_hook_) {
+      storage_hook_(StorageEvent::kWalAppend, store_.wal().base() + store_.wal().size());
+      if (crashed_) {
+        return;  // killed at this append boundary; the rest of the batch is lost
+      }
+    }
     size_t wal_frontier = store_.wal().base() + store_.wal().size();
     disk_.Flush([this, wal_frontier, origin, seqno = rec.version.seqno]() {
+      if (crashed_) {
+        return;  // the machine died with the flush in flight: bytes not durable
+      }
+      store_.wal().Sync();
       durable_wal_bytes_ = std::max(durable_wal_bytes_, wal_frontier);
       if (seqno > durable_applied_.at(origin)) {
         durable_applied_.set(origin, seqno);
@@ -1082,6 +1123,7 @@ void WalterServer::SendResync(SiteId peer, bool is_reply) {
   m.from = options_.site;
   m.got_through = got_vts_.at(peer);
   m.committed_through = committed_vts_.at(peer);
+  m.durable_through = ds_durable_through_;
   m.is_reply = is_reply;
   endpoint_.Send(Address{peer, kWalterPort}, kResync, m.Serialize());
 }
@@ -1096,6 +1138,11 @@ void WalterServer::HandleResync(const Message& msg) {
   // and max()-merging would leave us believing it holds records it lost,
   // stranding its replication stream forever. Per-link FIFO ordering makes the
   // direct assignment safe (no older ack can overtake the resync).
+  // The sender's disaster-safe watermark doubles as durability evidence for
+  // its records: without it, a server restored at quiescence could re-apply
+  // re-sent remote records but never commit them (kDsDurable only fires on
+  // advance, and nothing advances after the cluster settled).
+  durable_known_[m.from] = std::max(durable_known_[m.from], m.durable_through);
   DestState& ds = dests_[m.from];
   ds.acked_through = m.got_through;
   ds.sent_through = m.got_through;
@@ -1110,12 +1157,126 @@ void WalterServer::HandleResync(const Message& msg) {
     ds.batch_timer = 0;
   }
   ds.in_flight = false;
+  if (m.got_through > curr_seqno_) {
+    // The peer holds own records the durable log no longer does. A record is
+    // propagated only after it committed — hence after its flush — so a clean
+    // restore can never trail a peer; only corruption past the fsync contract
+    // (bit rot rolling the durable log back) gets here. Reserve the lost
+    // seqnos immediately so new commits never reuse them, then fetch the
+    // records back from the peer and re-install them in order.
+    WTRACE(sim_->Now(), TraceKind::kRecoveryCorrupt, 0, options_.site,
+           static_cast<uint64_t>(CorruptKind::kOwnRecordsLost), m.from);
+    WLOG(kWarn, "resync@" << options_.site << ": peer " << m.from << " holds our records through "
+                          << m.got_through << " but we restored only " << curr_seqno_
+                          << "; backfilling");
+    curr_seqno_ = m.got_through;
+    backfill_target_ = std::max(backfill_target_, m.got_through);
+    RequestOwnRecordBackfill(m.from, m.got_through);
+  }
   if (!m.is_reply) {
     SendResync(m.from, true);
   }
+  TryCommitRemotes();  // the refreshed durability evidence may unblock commits
   UpdateDsDurable();
   UpdateGloballyVisible();
   MaybeSendBatch(m.from);
+}
+
+void WalterServer::HandleFetchRecords(const Message& msg, RpcEndpoint::ReplyFn reply) {
+  FetchRecordsRequest req = FetchRecordsRequest::Deserialize(msg.payload);
+  FetchRecordsResponse resp;
+  if (req.origin < options_.num_sites) {
+    // Served from the WAL: this site's copies of the origin's records. The
+    // copies were receiver-side filtered to this site's replica set, so a
+    // backfilled record recovers exactly the updates some site still holds.
+    resp.records = CollectRecords(req.origin, req.from_seqno, req.to_seqno);
+  }
+  Message m;
+  m.payload = resp.Serialize();
+  reply(std::move(m));
+}
+
+void WalterServer::RequestOwnRecordBackfill(SiteId peer, uint64_t through) {
+  uint64_t have = committed_vts_.at(options_.site);
+  if (have >= through || crashed_) {
+    return;
+  }
+  FetchRecordsRequest req;
+  req.from = options_.site;
+  req.origin = options_.site;
+  req.from_seqno = have + 1;
+  req.to_seqno = through;
+  endpoint_.Call(
+      Address{peer, kWalterPort}, kFetchRecords, req.Serialize(),
+      [this, peer, through](Status status, const Message& m) {
+        if (status.ok()) {
+          InstallOwnRecords(FetchRecordsResponse::Deserialize(m.payload).records, peer);
+        }
+        if (committed_vts_.at(options_.site) < through && !crashed_) {
+          // Transport failure, or the peer's WAL no longer held the full range:
+          // retry on the resend cadence until the gap closes (another peer's
+          // resync may also restart the chase with fresher evidence).
+          sim_->After(options_.resend_timeout, Guard([this, peer, through]() {
+                        RequestOwnRecordBackfill(peer, through);
+                      }));
+        }
+      },
+      options_.resend_timeout);
+}
+
+void WalterServer::InstallOwnRecords(std::vector<TxRecord> records, SiteId peer) {
+  uint64_t installed_through = 0;
+  for (auto& rec : records) {
+    uint64_t next = committed_vts_.at(options_.site) + 1;
+    if (rec.origin != options_.site || rec.version.seqno != next) {
+      continue;  // duplicate or out of order; only the sequential prefix installs
+    }
+    store_.Apply(rec);
+    if (storage_hook_) {
+      storage_hook_(StorageEvent::kWalAppend, store_.wal().base() + store_.wal().size());
+      if (crashed_) {
+        return;
+      }
+    }
+    committed_vts_.Advance(options_.site);
+    got_vts_.set(options_.site, next);
+    installed_through = next;
+    ++stats_.recovery_backfilled;
+    WTRACE(sim_->Now(), TraceKind::kRecoveryBackfill, rec.tid, options_.site, next, peer);
+
+    // Retain like a restored tail record: already acknowledged pre-crash, so
+    // it re-enters the replication pipeline without a client reply.
+    LocalCommit lc;
+    lc.record = std::move(rec);
+    lc.flushed = true;
+    lc.committed = true;
+    committed_tids_[lc.record.tid] = next;
+    committed_versions_[lc.record.tid] = lc.record.version;
+    RecordOutcome(lc.record.tid);
+    if (observer_) {
+      observer_(options_.site, lc.record);
+    }
+    local_commits_.emplace(next, std::move(lc));
+  }
+  if (installed_through == 0) {
+    return;
+  }
+  batch_cache_ = {};  // ranges crossing the healed gap must re-serialize
+  size_t wal_frontier = store_.wal().base() + store_.wal().size();
+  disk_.Flush([this, wal_frontier, installed_through]() {
+    if (crashed_) {
+      return;  // the machine died with the flush in flight: bytes not durable
+    }
+    store_.wal().Sync();
+    durable_wal_bytes_ = std::max(durable_wal_bytes_, wal_frontier);
+    if (durable_applied_.at(options_.site) < installed_through) {
+      durable_applied_.set(options_.site, installed_through);
+    }
+  });
+  AdvanceLocalCommits();  // queued post-restore commits may now be contiguous
+  TryCommitRemotes();
+  UpdateDsDurable();
+  MaybeSendAllBatches();
 }
 
 bool WalterServer::IsDsDurableQuorum(const TxRecord& record) const {
@@ -1348,27 +1509,48 @@ void WalterServer::HandleRemoteRead(const Message& msg, RpcEndpoint::ReplyFn rep
 // ---------------------------------------------------------------------------
 
 std::string WalterServer::BuildCheckpointImage() const {
-  ByteWriter w;
-  w.PutString(store_.SerializeCheckpoint());
-  w.PutVts(got_vts_);
+  ByteWriter body;
+  body.PutString(store_.SerializeCheckpoint());
+  body.PutVts(got_vts_);
   // Local transactions still replicating (not yet globally visible): the
   // replacement server must be able to resume their propagation (Section 6).
-  w.PutU32(static_cast<uint32_t>(local_commits_.size()));
+  body.PutU32(static_cast<uint32_t>(local_commits_.size()));
   for (const auto& [seqno, lc] : local_commits_) {
-    lc.record.Serialize(&w);
+    lc.record.Serialize(&body);
   }
-  return w.Take();
+  // CRC wrapper: Restore rejects a rotted image instead of installing it.
+  ByteWriter w;
+  w.PutU32(kCheckpointMagic);
+  w.PutU32(Crc32(body.data()));
+  std::string out = w.Take();
+  out += body.data();
+  return out;
 }
 
 void WalterServer::Checkpoint() {
   checkpoint_image_ = BuildCheckpointImage();
   checkpoint_wal_base_ = store_.wal().base() + store_.wal().size();
+  if (storage_hook_) {
+    storage_hook_(StorageEvent::kCheckpoint, checkpoint_wal_base_);
+    if (crashed_) {
+      return;  // killed between the checkpoint write and the truncation
+    }
+  }
   store_.wal().TruncatePrefix(checkpoint_wal_base_);
+  if (storage_hook_) {
+    storage_hook_(StorageEvent::kWalTruncate, checkpoint_wal_base_);
+  }
 }
 
 void WalterServer::CheckpointRetaining(const VectorTimestamp& wal_floors) {
   checkpoint_image_ = BuildCheckpointImage();
   checkpoint_wal_base_ = store_.wal().base() + store_.wal().size();
+  if (storage_hook_) {
+    storage_hook_(StorageEvent::kCheckpoint, checkpoint_wal_base_);
+    if (crashed_) {
+      return;  // killed between the checkpoint write and the truncation
+    }
+  }
   // Truncate only records every in-config site (and every removed site, via
   // its last-known watermark — reintegration gap-fills from here) has durably
   // applied; the rest stays for resyncs and CollectRecords.
@@ -1377,6 +1559,9 @@ void WalterServer::CheckpointRetaining(const VectorTimestamp& wal_floors) {
   store_.wal().TruncatePrefix(safe);
   stats_.wal_truncated_bytes += released;
   WTRACE(sim_->Now(), TraceKind::kGcCheckpoint, 0, options_.site, released);
+  if (storage_hook_) {
+    storage_hook_(StorageEvent::kWalTruncate, safe);
+  }
 }
 
 void WalterServer::Crash() {
@@ -1395,13 +1580,64 @@ WalterServer::DurableImage WalterServer::TakeDurableImage() const {
   return image;
 }
 
+WalterServer::DurableImage WalterServer::TakeFaultyImage() {
+  DurableImage image = TakeDurableImage();
+  DiskFaults f = disk_.TakeFaults();
+  if (f.torn_tail) {
+    // Expose a prefix of the in-flight (unflushed) bytes, possibly ending
+    // mid-frame. Flush-acknowledged bytes are never torn, so the durable
+    // prefix is untouched and no acked commit can be lost this way.
+    const std::string& all = store_.wal().bytes();
+    size_t durable_len = image.wal_bytes.size();
+    size_t tail_len = all.size() > durable_len ? all.size() - durable_len : 0;
+    size_t add = std::min(f.torn_tail_bytes, tail_len);
+    image.wal_bytes.append(all, durable_len, add);
+  }
+  if (f.bit_rot && !image.wal_bytes.empty()) {
+    uint8_t mask = f.bit_rot_mask != 0 ? f.bit_rot_mask : uint8_t{1};
+    size_t pos = f.bit_rot_offset % image.wal_bytes.size();
+    image.wal_bytes[pos] = static_cast<char>(
+        static_cast<uint8_t>(image.wal_bytes[pos]) ^ mask);
+  }
+  if (f.checkpoint_rot && !image.checkpoint.empty()) {
+    size_t pos = image.checkpoint.size() / 2;
+    image.checkpoint[pos] = static_cast<char>(static_cast<uint8_t>(image.checkpoint[pos]) ^ 1);
+  }
+  return image;
+}
+
 void WalterServer::Restore(const DurableImage& image) {
+  ++stats_.recoveries;
+  WTRACE(sim_->Now(), TraceKind::kRecoveryStart, 0, options_.site, image.wal_bytes.size());
+
+  // Validate the checkpoint's CRC wrapper: a rotted image is rejected and
+  // recovery degrades to replaying the WAL alone (complete iff the log was
+  // never truncated past the lost checkpoint's coverage).
+  std::string_view checkpoint_body;
+  if (!image.checkpoint.empty()) {
+    ByteReader hr(image.checkpoint);
+    uint32_t magic = hr.GetU32();
+    uint32_t crc = hr.GetU32();
+    std::string_view body = image.checkpoint.size() > 8
+                                ? std::string_view(image.checkpoint).substr(8)
+                                : std::string_view();
+    if (hr.failed() || magic != kCheckpointMagic || Crc32(body) != crc) {
+      ++stats_.recovery_bad_checkpoints;
+      WTRACE(sim_->Now(), TraceKind::kRecoveryCorrupt, 0, options_.site,
+             static_cast<uint64_t>(CorruptKind::kCheckpointBad));
+      WLOG(kWarn, "restore@" << options_.site
+                             << ": checkpoint image failed CRC, replaying WAL only");
+    } else {
+      checkpoint_body = body;
+    }
+  }
+
   // Parse the checkpoint wrapper.
   std::string store_checkpoint;
   VectorTimestamp checkpoint_got(options_.num_sites);
   std::vector<TxRecord> pending_local;
-  if (!image.checkpoint.empty()) {
-    ByteReader r(image.checkpoint);
+  if (!checkpoint_body.empty()) {
+    ByteReader r(checkpoint_body);
     store_checkpoint = r.GetString();
     checkpoint_got = r.GetVts();
     uint32_t n = r.GetU32();
@@ -1414,9 +1650,17 @@ void WalterServer::Restore(const DurableImage& image) {
   // Seed the store's WAL with the durable image so CollectRecords (resyncs and
   // §5.7 gap-filling) and retention-aware truncation keep working after the
   // replacement: without this the replacement's log starts empty and released
-  // records become unrecoverable.
+  // records become unrecoverable. Seeding keeps the intact frame prefix only —
+  // a torn or rotted tail ends the restored log at the last good frame.
   store_.wal().SeedForRecovery(image.wal_bytes, image.wal_base);
-  checkpoint_image_ = image.checkpoint;
+  if (store_.wal().size() < image.wal_bytes.size()) {
+    ++stats_.recovery_torn_tails;
+    WTRACE(sim_->Now(), TraceKind::kRecoveryCorrupt, 0, options_.site,
+           static_cast<uint64_t>(CorruptKind::kTornWalTail),
+           static_cast<uint32_t>(store_.wal().size()));
+  }
+  // A rejected checkpoint is not re-adopted: the next Checkpoint() overwrites.
+  checkpoint_image_ = checkpoint_body.empty() ? std::string() : image.checkpoint;
   checkpoint_wal_base_ = store_.checkpoint_frontier();
   got_vts_ = checkpoint_got;
   if (got_vts_.num_sites() < options_.num_sites) {
@@ -1431,12 +1675,39 @@ void WalterServer::Restore(const DurableImage& image) {
     Wal::ReplayResult replay = Wal::Replay(std::string_view(image.wal_bytes).substr(skip));
     tail = std::move(replay.records);
   }
-  for (const auto& rec : tail) {
-    store_.ApplyToHistories(rec);
-    if (rec.version.seqno > got_vts_.at(rec.origin)) {
-      got_vts_.set(rec.origin, rec.version.seqno);
+  // Figure 13's receive guard, applied to recovery: a record only installs if
+  // it extends its origin's sequence contiguously AND its causal snapshot is
+  // covered. A rejected checkpoint leaves the log tail starting past the lost
+  // coverage; advancing the watermarks over that gap would hide the hole from
+  // resync evidence forever. Records past a gap (or depending on one) are
+  // dropped here and healed like any other loss — own records through peer
+  // backfill, remote ones through rewound propagation.
+  std::vector<TxRecord> kept;
+  kept.reserve(tail.size());
+  size_t dropped = 0;
+  for (auto& rec : tail) {
+    // Own records skip the Covers check: a sharded client's start_vts is a
+    // cluster-wide snapshot that was never required to be covered by this
+    // server's own watermark at commit time. Remote records passed the
+    // receive guard at this exact log position, so the check holds for them
+    // whenever the replayed prefix is intact.
+    bool causal_ok = rec.origin == options_.site || got_vts_.Covers(rec.start_vts);
+    if (rec.version.seqno != got_vts_.at(rec.origin) + 1 || !causal_ok) {
+      ++dropped;
+      continue;
     }
+    store_.ApplyToHistories(rec);
+    got_vts_.set(rec.origin, rec.version.seqno);
+    kept.push_back(std::move(rec));
   }
+  if (dropped > 0) {
+    WTRACE(sim_->Now(), TraceKind::kRecoveryCorrupt, 0, options_.site,
+           static_cast<uint64_t>(CorruptKind::kLogGap), static_cast<uint32_t>(dropped));
+    WLOG(kWarn, "restore@" << options_.site << ": dropped " << dropped
+                           << " log records past a recovery gap");
+  }
+  stats_.recovery_replayed += kept.size();
+  WTRACE(sim_->Now(), TraceKind::kRecoveryReplay, 0, options_.site, kept.size());
   // Tail replay can resurrect history entries the GC frontier already folded
   // (records logged after the checkpoint but folded before the crash): fold
   // them again so restored state matches the invariant the frontier promises.
@@ -1465,7 +1736,7 @@ void WalterServer::Restore(const DurableImage& image) {
   for (const auto& rec : pending_local) {
     retain(rec);
   }
-  for (const auto& rec : tail) {
+  for (const auto& rec : kept) {
     if (rec.origin == options_.site) {
       retain(rec);
     }
@@ -1492,9 +1763,11 @@ void WalterServer::Restore(const DurableImage& image) {
     ds.visible_through = floor;
   }
   durable_wal_bytes_ = store_.wal().base() + store_.wal().size();
+  backfill_target_ = curr_seqno_;
 
   crashed_ = false;
   endpoint_.SetDown(false);
+  WTRACE(sim_->Now(), TraceKind::kRecoveryDone, 0, options_.site, curr_seqno_);
   // Our watermarks and every peer's idea of our GotVTS may now disagree in
   // either direction (we rolled back to the durable prefix). Exchange explicit
   // resyncs before resuming propagation; deferred one event so the cluster can
@@ -1790,6 +2063,15 @@ void WalterServer::ExportMetrics(MetricsRegistry& metrics) const {
   metrics.Set("server.gc_folded_entries", s, static_cast<double>(stats_.gc_folded_entries));
   metrics.Set("server.gc_stale_reads", s, static_cast<double>(stats_.gc_stale_reads));
   metrics.Set("server.wal_truncated_bytes", s, static_cast<double>(stats_.wal_truncated_bytes));
+  // Recovery-path counters: all zero in a healthy run; nonzero values localize
+  // which durability layer a chaos/crash-fuzz schedule exercised.
+  metrics.Set("server.recoveries", s, static_cast<double>(stats_.recoveries));
+  metrics.Set("server.recovery_replayed", s, static_cast<double>(stats_.recovery_replayed));
+  metrics.Set("server.recovery_torn_tails", s, static_cast<double>(stats_.recovery_torn_tails));
+  metrics.Set("server.recovery_bad_checkpoints", s,
+              static_cast<double>(stats_.recovery_bad_checkpoints));
+  metrics.Set("server.recovery_backfilled", s, static_cast<double>(stats_.recovery_backfilled));
+  metrics.Set("server.disk_stall_bursts", s, static_cast<double>(disk_.stall_bursts()));
 }
 
 }  // namespace walter

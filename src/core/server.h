@@ -98,7 +98,24 @@ class WalterServer {
     // GC'ing at different frontiers forces sub-frontier remote reads to be
     // refused rather than answered.
     bool frontier_gossip = false;
+    // Real-file WAL backing: when non-empty, the WAL mirrors every append into
+    // segmented log files under this directory (see FileWalDevice) and fsyncs
+    // on group-commit flush. Empty (default) keeps the in-memory image only —
+    // the simulated benchmarks' behavior is unchanged.
+    std::string wal_dir;
   };
+
+  // Storage-layer milestones, exposed for crash-point enumeration: the crash
+  // fuzzer hooks these to kill the server exactly at a WAL append, checkpoint
+  // write, or WAL truncation boundary. `offset` is the logical WAL position
+  // after the event. The hook may call Crash(); the server stops the current
+  // storage operation cleanly when it does.
+  enum class StorageEvent : uint8_t {
+    kWalAppend = 0,
+    kCheckpoint = 1,
+    kWalTruncate = 2,
+  };
+  using StorageEventHook = std::function<void(StorageEvent event, size_t offset)>;
 
   // Called whenever a transaction commits at this site (local commits and
   // remote propagated commits alike), in this site's commit order.
@@ -128,6 +145,7 @@ class WalterServer {
   }
 
   void SetCommitObserver(CommitObserver observer) { observer_ = std::move(observer); }
+  void SetStorageEventHook(StorageEventHook hook) { storage_hook_ = std::move(hook); }
   // Preferred-site lease check (Section 5.1): writes to containers whose
   // preferred site is here are rejected when the lease is not held.
   void SetLeaseChecker(std::function<bool(ContainerId)> checker) {
@@ -137,6 +155,11 @@ class WalterServer {
   // Durability/visibility watermarks for this site's own transactions.
   uint64_t ds_durable_through() const { return ds_durable_through_; }
   uint64_t globally_visible_through() const { return visible_through_; }
+  // Logical WAL offset of the flush-confirmed prefix. The gap up to
+  // wal().base() + wal().size() is in flight: lost on a crash, except what a
+  // torn write exposes. The crash fuzzer reads this at each storage event to
+  // size its torn-tail sweep.
+  size_t durable_wal_bytes() const { return durable_wal_bytes_; }
 
   // Failure handling ---------------------------------------------------------
   // What survives a crash: the checkpoint plus the durably flushed WAL prefix.
@@ -155,6 +178,13 @@ class WalterServer {
   void Crash();
   bool crashed() const { return crashed_; }
   DurableImage TakeDurableImage() const;
+
+  // The durable image as a faulty device would present it: consumes faults
+  // armed on this server's Disk (see DiskFaults). A torn tail appends a prefix
+  // of the unflushed WAL bytes — fsynced bytes are never torn — while bit rot
+  // and checkpoint rot damage the durable contents themselves. Identical to
+  // TakeDurableImage() when no faults are armed.
+  DurableImage TakeFaultyImage();
 
   // Rebuilds state from a durable image (replacement server, Section 5.7).
   // Must be called before the server processes any request.
@@ -249,6 +279,11 @@ class WalterServer {
     uint64_t gc_folded_entries = 0;   // history entries folded by GC
     uint64_t gc_stale_reads = 0;      // snapshot reads refused below the frontier
     uint64_t wal_truncated_bytes = 0; // WAL bytes released by retention-aware checkpoints
+    uint64_t recoveries = 0;              // Restore() invocations
+    uint64_t recovery_replayed = 0;       // WAL tail records replayed by Restore
+    uint64_t recovery_torn_tails = 0;     // restores that truncated a torn WAL tail
+    uint64_t recovery_bad_checkpoints = 0;  // checkpoint images rejected by CRC
+    uint64_t recovery_backfilled = 0;     // own records re-installed from peers
   };
   const Stats& stats() const { return stats_; }
 
@@ -358,6 +393,13 @@ class WalterServer {
                    size_t attempt);
   void HandleResync(const Message& msg);
   void SendResync(SiteId peer, bool is_reply);
+  // Own-record backfill (corruption-tolerant recovery): when a resync shows a
+  // peer holding own records the durable log lost (bit rot violated the fsync
+  // contract), the seqnos are reserved immediately — so new commits never
+  // reuse them — and the records are fetched back and re-installed in order.
+  void HandleFetchRecords(const Message& msg, RpcEndpoint::ReplyFn reply);
+  void RequestOwnRecordBackfill(SiteId peer, uint64_t through);
+  void InstallOwnRecords(std::vector<TxRecord> records, SiteId peer);
   void HandlePropagate(const Message& msg);
   void ApplyRemoteReady(SiteId origin);
   void DrainAllPending();
@@ -463,7 +505,13 @@ class WalterServer {
   std::string checkpoint_image_;
   size_t checkpoint_wal_base_ = 0;
 
+  // Highest own seqno known to exist cluster-wide; > committed_vts_[site] only
+  // while a backfill is in flight (the gap blocks AdvanceLocalCommits until
+  // the lost records are re-installed).
+  uint64_t backfill_target_ = 0;
+
   CommitObserver observer_;
+  StorageEventHook storage_hook_;
   std::function<bool(ContainerId)> lease_checker_;
   std::function<std::optional<VectorTimestamp>()> pin_floor_provider_;
   // frontier_gossip mode: latest stability floor acked by each peer (empty =

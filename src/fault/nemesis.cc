@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
+#include "src/sim/disk.h"
 
 namespace walter {
 
@@ -65,6 +67,9 @@ void Nemesis::Inject() {
   }
   if (options_.enable_disk) {
     menu.push_back(Fault::kDisk);
+  }
+  if (heavy_ok && options_.enable_disk_fault) {
+    menu.push_back(Fault::kDiskFault);
   }
   if (menu.empty()) {
     return;
@@ -153,6 +158,49 @@ void Nemesis::Inject() {
         // the one that matters.
         rig_->cluster().server(s).disk().SetSlowdown(1.0);
         ++healed_count_;
+      });
+      break;
+    }
+    case Fault::kDiskFault: {
+      // A dying disk: IO stalls hard, then the machine crashes, and when the
+      // replacement reads the medium back the unflushed WAL suffix is torn
+      // mid-frame. Recovery must drop the torn tail (never an acked frame) and
+      // resync/backfill the rest from peers.
+      SiteId s = rng.Uniform(num_sites_);
+      if (rig_->IsCrashed(s)) {
+        return;
+      }
+      double factor = 4.0 + rng.NextDouble() * (options_.max_disk_slowdown - 4.0);
+      SimDuration stall = std::min(LightDuration(), Seconds(1));
+      SimDuration d = HeavyDuration();
+      heavy_active_ = true;
+      ++injected_;
+      Note("disk fault at site " + std::to_string(s) + ": stall x" + std::to_string(factor) +
+           ", torn-tail crash for " + std::to_string(d / 1000) + "ms");
+      Disk& disk = rig_->cluster().server(s).disk();
+      disk.StallBurst(factor, stall);
+      WTRACE(sim_->Now(), TraceKind::kDiskStall, 0, s, static_cast<uint64_t>(factor));
+      DiskFaults faults;
+      faults.torn_tail = true;
+      faults.torn_tail_bytes = 1 + rng.Uniform(256);
+      disk.ArmFaults(faults);
+      sim_->After(stall, [this, s, d]() {
+        if (rig_->IsCrashed(s)) {
+          // Another fault beat us to it; the armed faults still surface at the
+          // next restore.
+          heavy_active_ = false;
+          heavy_free_at_ = sim_->Now() + options_.heavy_cooldown;
+          ++healed_count_;
+          return;
+        }
+        rig_->CrashSite(s);
+        sim_->After(d, [this, s]() {
+          Note("restart site " + std::to_string(s) + " after disk fault");
+          rig_->RestartSite(s);
+          heavy_active_ = false;
+          heavy_free_at_ = sim_->Now() + options_.heavy_cooldown;
+          ++healed_count_;
+        });
       });
       break;
     }

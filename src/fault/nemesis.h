@@ -7,7 +7,9 @@
 //  - isolation of one site from all others,
 //  - pairwise network partitions,
 //  - bursts of random message loss,
-//  - disk slowdowns.
+//  - disk slowdowns,
+//  - disk faults: a stall burst followed by a crash with a torn WAL tail
+//    surfacing at restore (the unflushed suffix partially reaches the medium).
 //
 // "Heavy" faults (crash, isolation, partition — anything that can take a site
 // or link out) are serialized: at most one is active at a time, and each lasts
@@ -49,6 +51,10 @@ struct NemesisOptions {
   bool enable_partition = true;
   bool enable_loss = true;
   bool enable_disk = true;
+  // Heavy fault: disk stall burst, then crash with DiskFaults armed so the
+  // restore sees a torn WAL tail. Exercises the corruption-tolerant recovery
+  // path under the full chaos schedule.
+  bool enable_disk_fault = true;
 };
 
 class Nemesis {
@@ -67,7 +73,7 @@ class Nemesis {
   const std::vector<std::string>& history() const { return history_; }
 
  private:
-  enum class Fault { kCrash, kIsolation, kPartition, kLoss, kDisk };
+  enum class Fault { kCrash, kIsolation, kPartition, kLoss, kDisk, kDiskFault };
 
   void ScheduleNext();
   void Inject();

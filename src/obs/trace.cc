@@ -73,6 +73,18 @@ const char* TraceKindName(TraceKind kind) {
       return "gc_stale_read";
     case TraceKind::kGcCheckpoint:
       return "gc_checkpoint";
+    case TraceKind::kRecoveryStart:
+      return "recovery_start";
+    case TraceKind::kRecoveryReplay:
+      return "recovery_replay";
+    case TraceKind::kRecoveryCorrupt:
+      return "recovery_corrupt";
+    case TraceKind::kRecoveryBackfill:
+      return "recovery_backfill";
+    case TraceKind::kRecoveryDone:
+      return "recovery_done";
+    case TraceKind::kDiskStall:
+      return "disk_stall";
   }
   return "unknown";
 }

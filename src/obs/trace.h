@@ -73,6 +73,21 @@ enum class TraceKind : uint8_t {
   kGcStall,            // frontier could not advance; arg = StallReason
   kGcStaleRead,        // snapshot read below the GC frontier rejected
   kGcCheckpoint,       // retention-aware checkpoint; arg = WAL bytes truncated
+  // Crash recovery (tid = 0; driven by Restore and the backfill protocol).
+  kRecoveryStart,      // Restore entered; arg = durable WAL bytes
+  kRecoveryReplay,     // WAL tail replayed; arg = records replayed
+  kRecoveryCorrupt,    // corruption detected; arg = CorruptKind (aux = offset)
+  kRecoveryBackfill,   // own record re-installed from a peer; arg = seqno, aux = peer
+  kRecoveryDone,       // Restore finished; arg = restored own seqno
+  kDiskStall,          // injected disk stall burst; arg = slowdown factor
+};
+
+// arg of kRecoveryCorrupt.
+enum class CorruptKind : uint8_t {
+  kTornWalTail = 0,       // replay stopped before the end of the durable image
+  kCheckpointBad = 1,     // checkpoint wrapper CRC/magic mismatch
+  kOwnRecordsLost = 2,    // a peer holds own records the durable log lost
+  kLogGap = 3,            // tail records past a recovery gap dropped (aux = count)
 };
 
 const char* TraceKindName(TraceKind kind);

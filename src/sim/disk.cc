@@ -1,5 +1,6 @@
 #include "src/sim/disk.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -39,6 +40,23 @@ Disk::Disk(Simulator* sim, DiskConfig config)
     : sim_(sim), config_(config), alive_(std::make_shared<bool>(true)) {}
 
 Disk::~Disk() { *alive_ = false; }
+
+void Disk::StallBurst(double factor, SimDuration duration) {
+  if (factor < 1.0) {
+    factor = 1.0;
+  }
+  ++stall_bursts_;
+  slowdown_ = factor;
+  stall_until_ = std::max(stall_until_, sim_->Now() + duration);
+  sim_->After(duration, [this, alive = alive_]() {
+    if (!*alive) {
+      return;
+    }
+    if (sim_->Now() >= stall_until_) {
+      slowdown_ = 1.0;
+    }
+  });
+}
 
 void Disk::Flush(std::function<void()> done) {
   ++records_;

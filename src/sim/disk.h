@@ -12,6 +12,7 @@
 #ifndef SRC_SIM_DISK_H_
 #define SRC_SIM_DISK_H_
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 
@@ -37,6 +38,31 @@ struct DiskConfig {
   static DiskConfig Memory();             // commit to memory (ReTwis experiments, §8.7)
 };
 
+// Injectable storage faults (crash-point fuzzing and the Nemesis disk action).
+// Armed on a server's Disk and consumed by the restore path the next time the
+// server is replaced: the replacement sees the durable image as a faulty
+// device would present it. All parameters are explicit, so a seeded rig
+// replays the exact same corruption.
+struct DiskFaults {
+  // Torn final write: append the first `torn_tail_bytes` bytes of the
+  // *unflushed* WAL tail to the durable image. fsync-acknowledged bytes are
+  // never torn — the tear only exposes a prefix of in-flight bytes, possibly
+  // ending mid-frame (recovery must stop at the last intact frame).
+  bool torn_tail = false;
+  size_t torn_tail_bytes = SIZE_MAX;  // clamped to the in-flight tail length
+  // Bit rot inside the durable WAL image: XOR `bit_rot_mask` into the byte at
+  // `bit_rot_offset` (relative to the image start, wrapped to its length).
+  // Violates the fsync contract, so recovery may need peer backfill.
+  bool bit_rot = false;
+  size_t bit_rot_offset = 0;
+  uint8_t bit_rot_mask = 0x01;
+  // Corrupt the checkpoint image (detected by its CRC wrapper; recovery falls
+  // back to replaying the WAL alone).
+  bool checkpoint_rot = false;
+
+  bool any() const { return torn_tail || bit_rot || checkpoint_rot; }
+};
+
 class Disk {
  public:
   Disk(Simulator* sim, DiskConfig config);
@@ -54,6 +80,20 @@ class Disk {
   void SetSlowdown(double factor) { slowdown_ = factor < 0 ? 0 : factor; }
   double slowdown() const { return slowdown_; }
 
+  // Stall burst: flushes run `factor`x slower until `duration` elapses, then
+  // the slowdown returns to nominal. Overlapping bursts extend, not stack.
+  void StallBurst(double factor, SimDuration duration);
+  uint64_t stall_bursts() const { return stall_bursts_; }
+
+  // Arms faults for the next crash/restore cycle; TakeFaults consumes them.
+  void ArmFaults(const DiskFaults& faults) { faults_ = faults; }
+  DiskFaults TakeFaults() {
+    DiskFaults f = faults_;
+    faults_ = DiskFaults{};
+    return f;
+  }
+  const DiskFaults& armed_faults() const { return faults_; }
+
   uint64_t flushes() const { return flushes_; }
   uint64_t records() const { return records_; }
 
@@ -67,6 +107,9 @@ class Disk {
   std::deque<std::function<void()>> waiting_;  // records for the next batch
   uint64_t flushes_ = 0;
   uint64_t records_ = 0;
+  uint64_t stall_bursts_ = 0;
+  SimTime stall_until_ = 0;  // latest pending burst expiry
+  DiskFaults faults_;
   // Flush-completion events capture `this`; the token lets a completion fire
   // after the owning server has been replaced without touching freed state.
   std::shared_ptr<bool> alive_;

@@ -9,6 +9,9 @@ namespace walter {
 
 Store::Store(size_t cache_capacity_bytes) : cache_(cache_capacity_bytes) {}
 
+Store::Store(size_t cache_capacity_bytes, std::unique_ptr<WalDevice> wal_device)
+    : wal_(std::move(wal_device)), cache_(cache_capacity_bytes) {}
+
 void Store::Apply(const TxRecord& record) {
   wal_.Append(record);
   ApplyToHistories(record);

@@ -24,6 +24,9 @@ namespace walter {
 class Store {
  public:
   explicit Store(size_t cache_capacity_bytes = size_t{1} << 30);
+  // Puts the WAL on a persistence device (real segment files). The simulated
+  // default keeps the in-memory image only.
+  Store(size_t cache_capacity_bytes, std::unique_ptr<WalDevice> wal_device);
 
   // Applies a committed transaction: logs it to the WAL and appends each of
   // its updates to the touched objects' histories. Caller guarantees each

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/bytes.h"
+#include "src/common/logging.h"
 
 namespace walter {
 
@@ -43,6 +44,23 @@ uint32_t Crc32(std::string_view data) {
   return c ^ 0xffffffffu;
 }
 
+void Wal::IndexRemove(SiteId origin, uint64_t seqno) {
+  auto it = oldest_index_.find(origin);
+  if (it == oldest_index_.end()) {
+    return;
+  }
+  auto sit = it->second.find(seqno);
+  if (sit == it->second.end()) {
+    return;
+  }
+  if (--sit->second == 0) {
+    it->second.erase(sit);
+  }
+  if (it->second.empty()) {
+    oldest_index_.erase(it);
+  }
+}
+
 size_t Wal::Append(const TxRecord& record) {
   ByteWriter payload;
   record.Serialize(&payload);
@@ -57,6 +75,11 @@ size_t Wal::Append(const TxRecord& record) {
   buf_ += payload.data();
   ++record_count_;
   metas_.push_back({base_ + buf_.size(), record.origin, record.version.seqno});
+  IndexAdd(record.origin, record.version.seqno);
+  if (device_) {
+    device_->Append(frame.data());
+    device_->Append(payload.data());
+  }
   return offset;
 }
 
@@ -73,7 +96,11 @@ void Wal::TruncatePrefix(size_t offset) {
     base_ = offset;
   }
   while (!metas_.empty() && metas_.front().end_offset <= base_) {
+    IndexRemove(metas_.front().origin, metas_.front().seqno);
     metas_.pop_front();
+  }
+  if (device_) {
+    device_->TruncatePrefix(base_);
   }
 }
 
@@ -88,9 +115,10 @@ size_t Wal::SafePrefix(const VectorTimestamp& floors, size_t limit) const {
   return safe;
 }
 
-void Wal::SeedForRecovery(std::string_view bytes, size_t base) {
+size_t Wal::SeedInternal(std::string_view bytes, size_t base) {
   buf_.clear();
   metas_.clear();
+  oldest_index_.clear();
   base_ = base;
   record_count_ = 0;
   size_t pos = 0;
@@ -115,9 +143,31 @@ void Wal::SeedForRecovery(std::string_view bytes, size_t base) {
     }
     pos += kHeader + length;
     metas_.push_back({base_ + pos, rec.origin, rec.version.seqno});
+    IndexAdd(rec.origin, rec.version.seqno);
     ++record_count_;
   }
   buf_.assign(bytes.substr(0, pos));
+  return pos;
+}
+
+void Wal::SeedForRecovery(std::string_view bytes, size_t base) {
+  SeedInternal(bytes, base);
+  if (device_) {
+    device_->Reset(WalDevice::Image{base_, buf_});
+  }
+}
+
+Wal::ReplayResult Wal::RecoverFromDevice() {
+  WCHECK(device_ != nullptr, "RecoverFromDevice needs an attached WalDevice");
+  WalDevice::Image image = device_->ReadImage();
+  ReplayResult result = Replay(image.bytes);
+  SeedInternal(image.bytes, image.base);
+  if (result.valid_bytes < image.bytes.size()) {
+    // Torn or corrupt tail: drop it from the files so the device reopens to an
+    // intact frame sequence.
+    device_->TruncateTail(image.base + result.valid_bytes);
+  }
+  return result;
 }
 
 Wal::ReplayResult Wal::Replay(std::string_view log_bytes) {

@@ -7,17 +7,26 @@
 // tests). Replay stops cleanly at a torn tail: a frame with a bad magic, a
 // length overrunning the buffer, or a CRC mismatch ends recovery at the last
 // good record.
+//
+// A Wal can optionally sit on a WalDevice (see wal_device.h): the in-memory
+// buffer stays authoritative for reads, and the device mirrors every append,
+// truncation and sync so the same frame bytes land in real segment files. With
+// no device attached, behavior is bit-for-bit what it was before the seam.
 #ifndef SRC_STORAGE_WAL_H_
 #define SRC_STORAGE_WAL_H_
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/update.h"
+#include "src/storage/wal_device.h"
 
 namespace walter {
 
@@ -26,8 +35,19 @@ uint32_t Crc32(std::string_view data);
 
 class Wal {
  public:
+  Wal() = default;
+  explicit Wal(std::unique_ptr<WalDevice> device) : device_(std::move(device)) {}
+
   // Appends a framed commit record; returns the byte offset of the frame.
   size_t Append(const TxRecord& record);
+
+  // Pushes appended bytes to stable storage (fsync on a file device). Called
+  // by the group-commit flush path; a no-op without a device.
+  void Sync() {
+    if (device_) {
+      device_->Sync();
+    }
+  }
 
   // Raw log contents (what would sit on the device).
   const std::string& bytes() const { return buf_; }
@@ -36,6 +56,8 @@ class Wal {
 
   // Drops the prefix before `offset` (checkpoint truncation). Offsets returned
   // by Append remain valid logical positions: reads are relative to base().
+  // A file device truncates at segment granularity underneath — it may retain
+  // more bytes than the in-memory image, never fewer.
   void TruncatePrefix(size_t offset);
   size_t base() const { return base_; }
 
@@ -48,20 +70,21 @@ class Wal {
 
   // Smallest seqno still logged for `origin` (nullopt when none): the sender
   // uses it to tell a truncated record (durably applied everywhere, skippable)
-  // from one it must still be able to serve.
+  // from one it must still be able to serve. Served from a maintained
+  // per-origin index — GC truncation decisions call this per origin per tick,
+  // and the old linear scan over every logged record dominated large logs.
   std::optional<uint64_t> OldestSeqno(SiteId origin) const {
-    std::optional<uint64_t> oldest;
-    for (const RecordMeta& m : metas_) {
-      if (m.origin == origin && (!oldest || m.seqno < *oldest)) {
-        oldest = m.seqno;
-      }
+    auto it = oldest_index_.find(origin);
+    if (it == oldest_index_.end() || it->second.empty()) {
+      return std::nullopt;
     }
-    return oldest;
+    return it->second.begin()->first;
   }
 
   // Seeds the log from a recovered durable image (replacement server): keeps
   // the intact frame prefix and rebuilds the per-record retention index, so
-  // CollectRecords and safe truncation keep working across a restore.
+  // CollectRecords and safe truncation keep working across a restore. If a
+  // device is attached its contents are replaced with the seeded image.
   void SeedForRecovery(std::string_view bytes, size_t base);
 
   struct ReplayResult {
@@ -70,11 +93,19 @@ class Wal {
     size_t valid_bytes = 0;   // bytes of intact frames
   };
 
+  // Recovers from the attached device's own durable contents: reads the image
+  // back from the files, seeds this Wal with the intact frame prefix, and
+  // truncates the device at the first torn/corrupt frame so the on-disk log
+  // reopens clean. Requires a device.
+  ReplayResult RecoverFromDevice();
+
   // Decodes all intact frames from a raw log image.
   static ReplayResult Replay(std::string_view log_bytes);
 
   // Replays this log's own buffer.
   ReplayResult ReplaySelf() const { return Replay(buf_); }
+
+  WalDevice* device() const { return device_.get(); }
 
  private:
   // Retention index: one entry per logged record, in log order. end_offset is
@@ -86,10 +117,20 @@ class Wal {
     uint64_t seqno = 0;
   };
 
+  void IndexAdd(SiteId origin, uint64_t seqno) { ++oldest_index_[origin][seqno]; }
+  void IndexRemove(SiteId origin, uint64_t seqno);
+  // Parses `bytes` (logical base `base`) into buf_/metas_/oldest_index_,
+  // keeping the intact frame prefix. Returns the number of valid bytes kept.
+  size_t SeedInternal(std::string_view bytes, size_t base);
+
   std::string buf_;
   size_t base_ = 0;  // logical offset of buf_[0]
   uint64_t record_count_ = 0;
   std::deque<RecordMeta> metas_;
+  // origin -> (seqno -> number of logged records with that seqno). Mirrors
+  // metas_ so OldestSeqno is a lookup instead of a full-log scan.
+  std::unordered_map<SiteId, std::map<uint64_t, uint32_t>> oldest_index_;
+  std::unique_ptr<WalDevice> device_;
 };
 
 }  // namespace walter

@@ -1,0 +1,293 @@
+#include "src/storage/wal_device.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "src/common/bytes.h"
+#include "src/common/logging.h"
+#include "src/storage/wal.h"
+
+namespace walter {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Segment header: [magic][version][start offset][crc of the preceding fields].
+constexpr uint32_t kSegmentMagic = 0x57534547;  // "WSEG"
+constexpr uint32_t kSegmentVersion = 1;
+constexpr size_t kSegmentHeaderSize = 4 + 4 + 8 + 4;
+
+std::string SegmentName(uint64_t start) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%016llx.seg",
+                static_cast<unsigned long long>(start));
+  return buf;
+}
+
+std::string EncodeHeader(uint64_t start) {
+  ByteWriter w;
+  w.PutU32(kSegmentMagic);
+  w.PutU32(kSegmentVersion);
+  w.PutU64(start);
+  w.PutU32(Crc32(w.data()));
+  return w.Take();
+}
+
+// Returns the start offset on a valid header, -1 otherwise.
+int64_t DecodeHeader(std::string_view bytes) {
+  if (bytes.size() < kSegmentHeaderSize) {
+    return -1;
+  }
+  ByteReader r(bytes.substr(0, kSegmentHeaderSize));
+  uint32_t magic = r.GetU32();
+  uint32_t version = r.GetU32();
+  uint64_t start = r.GetU64();
+  uint32_t crc = r.GetU32();
+  if (magic != kSegmentMagic || version != kSegmentVersion ||
+      Crc32(bytes.substr(0, kSegmentHeaderSize - 4)) != crc) {
+    return -1;
+  }
+  return static_cast<int64_t>(start);
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::string out;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return out;
+  }
+  char buf[1 << 16];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+void FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+FileWalDevice::FileWalDevice(std::string dir, FileWalDeviceOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  WCHECK(!ec, "cannot create WAL directory " << dir_ << ": " << ec.message());
+  OpenExisting();
+}
+
+FileWalDevice::~FileWalDevice() { CloseCurrent(); }
+
+void FileWalDevice::OpenExisting() {
+  // Collect wal-*.seg files sorted by their (name-encoded) start offset.
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.starts_with("wal-") && name.ends_with(".seg")) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+
+  // Validate headers and contiguity; the first bad segment and everything
+  // after it is dropped (a torn segment roll, or stray files).
+  bool have_prev = false;
+  uint64_t expect_start = 0;
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::string path = dir_ + "/" + names[i];
+    std::string contents = ReadWholeFile(path);
+    int64_t start = DecodeHeader(contents);
+    bool ok = start >= 0 && (!have_prev || static_cast<uint64_t>(start) == expect_start);
+    if (ok) {
+      Segment seg;
+      seg.start = static_cast<uint64_t>(start);
+      seg.length = contents.size() - kSegmentHeaderSize;
+      seg.path = std::move(path);
+      expect_start = seg.start + seg.length;
+      have_prev = true;
+      segments_.push_back(std::move(seg));
+      continue;
+    }
+    // Drop this and all later segments: bytes past a corrupt point are
+    // unusable (replay could not reach them).
+    tail_was_torn_ = true;
+    WLOG(kWarn, "wal: dropping corrupt/discontiguous segment " << names[i]
+                                                               << " and later segments");
+    for (size_t j = i; j < names.size(); ++j) {
+      fs::remove(dir_ + "/" + names[j], ec);
+    }
+    break;
+  }
+  end_ = segments_.empty() ? 0 : segments_.back().start + segments_.back().length;
+  synced_through_ = end_;
+  if (!segments_.empty()) {
+    fd_ = ::open(segments_.back().path.c_str(), O_WRONLY);
+    WCHECK(fd_ >= 0, "cannot reopen WAL segment " << segments_.back().path);
+    ::lseek(fd_, 0, SEEK_END);
+  }
+}
+
+void FileWalDevice::RollSegment(uint64_t start_offset) {
+  CloseCurrent();
+  Segment seg;
+  seg.start = start_offset;
+  seg.length = 0;
+  seg.path = dir_ + "/" + SegmentName(start_offset);
+  fd_ = ::open(seg.path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  WCHECK(fd_ >= 0, "cannot create WAL segment " << seg.path << ": " << std::strerror(errno));
+  std::string header = EncodeHeader(start_offset);
+  ssize_t n = ::write(fd_, header.data(), header.size());
+  WCHECK(n == static_cast<ssize_t>(header.size()), "short write of WAL segment header");
+  FsyncDir(dir_);
+  segments_.push_back(std::move(seg));
+}
+
+void FileWalDevice::CloseCurrent() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void FileWalDevice::Append(std::string_view frame) {
+  if (frame.empty()) {
+    return;
+  }
+  if (segments_.empty() || Current()->length >= options_.segment_bytes) {
+    RollSegment(end_);
+  }
+  ssize_t n = ::write(fd_, frame.data(), frame.size());
+  WCHECK(n == static_cast<ssize_t>(frame.size()), "short WAL append");
+  Current()->length += frame.size();
+  end_ += frame.size();
+}
+
+void FileWalDevice::Sync() {
+  if (fd_ >= 0 && synced_through_ < end_) {
+    ::fsync(fd_);
+  }
+  synced_through_ = end_;
+}
+
+void FileWalDevice::TruncatePrefix(uint64_t offset) {
+  // Segment-granular: unlink only segments wholly below `offset`. The first
+  // retained segment may still hold bytes below the offset — the device keeps
+  // them (never lies about what it retains; ReadImage reports the real base).
+  std::error_code ec;
+  size_t drop = 0;
+  while (drop < segments_.size() && segments_[drop].start + segments_[drop].length <= offset) {
+    ++drop;
+  }
+  if (drop == 0) {
+    return;
+  }
+  if (drop == segments_.size()) {
+    CloseCurrent();
+  }
+  for (size_t i = 0; i < drop; ++i) {
+    fs::remove(segments_[i].path, ec);
+  }
+  segments_.erase(segments_.begin(), segments_.begin() + drop);
+  FsyncDir(dir_);
+}
+
+void FileWalDevice::TruncateTail(uint64_t offset) {
+  if (offset >= end_) {
+    return;
+  }
+  tail_was_torn_ = true;
+  std::error_code ec;
+  while (!segments_.empty() && segments_.back().start >= offset) {
+    CloseCurrent();
+    fs::remove(segments_.back().path, ec);
+    segments_.pop_back();
+  }
+  if (!segments_.empty()) {
+    Segment& last = segments_.back();
+    uint64_t keep = offset - last.start;
+    if (keep < last.length) {
+      if (fd_ < 0) {
+        fd_ = ::open(last.path.c_str(), O_WRONLY);
+        WCHECK(fd_ >= 0, "cannot reopen WAL segment for tail truncation");
+      }
+      int rc = ::ftruncate(fd_, static_cast<off_t>(kSegmentHeaderSize + keep));
+      WCHECK(rc == 0, "ftruncate failed on " << last.path);
+      ::fsync(fd_);
+      ::lseek(fd_, 0, SEEK_END);
+      last.length = keep;
+    }
+  }
+  end_ = segments_.empty() ? offset : segments_.back().start + segments_.back().length;
+  synced_through_ = std::min(synced_through_, end_);
+  FsyncDir(dir_);
+  // Reopen the new last segment for appends.
+  if (fd_ < 0 && !segments_.empty()) {
+    fd_ = ::open(segments_.back().path.c_str(), O_WRONLY);
+    WCHECK(fd_ >= 0, "cannot reopen WAL segment after tail truncation");
+    ::lseek(fd_, 0, SEEK_END);
+  }
+}
+
+void FileWalDevice::Reset(const Image& image) {
+  CloseCurrent();
+  std::error_code ec;
+  for (const Segment& seg : segments_) {
+    fs::remove(seg.path, ec);
+  }
+  segments_.clear();
+  end_ = image.base;
+  if (!image.bytes.empty()) {
+    // Re-segment the image so post-reset truncation behaves like a normally
+    // grown log.
+    size_t pos = 0;
+    while (pos < image.bytes.size()) {
+      size_t chunk = std::min<size_t>(options_.segment_bytes, image.bytes.size() - pos);
+      RollSegment(image.base + pos);
+      std::string_view piece(image.bytes.data() + pos, chunk);
+      ssize_t n = ::write(fd_, piece.data(), piece.size());
+      WCHECK(n == static_cast<ssize_t>(piece.size()), "short WAL reset write");
+      Current()->length = chunk;
+      pos += chunk;
+    }
+    end_ = image.base + image.bytes.size();
+  }
+  Sync();
+  FsyncDir(dir_);
+}
+
+WalDevice::Image FileWalDevice::ReadImage() {
+  CloseCurrent();
+  Image image;
+  image.base = segments_.empty() ? end_ : segments_.front().start;
+  for (const Segment& seg : segments_) {
+    std::string contents = ReadWholeFile(seg.path);
+    WCHECK(contents.size() >= kSegmentHeaderSize, "WAL segment shrank under us: " << seg.path);
+    image.bytes.append(contents, kSegmentHeaderSize, contents.size() - kSegmentHeaderSize);
+  }
+  // Reopen the active segment for further appends.
+  if (!segments_.empty()) {
+    fd_ = ::open(segments_.back().path.c_str(), O_WRONLY);
+    WCHECK(fd_ >= 0, "cannot reopen WAL segment after ReadImage");
+    ::lseek(fd_, 0, SEEK_END);
+  }
+  return image;
+}
+
+}  // namespace walter

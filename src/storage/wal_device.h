@@ -1,0 +1,143 @@
+// WalDevice: the persistence backend under the Wal.
+//
+// The Wal owns the log's *contents* — framing, checksums, the retention index —
+// and always keeps an in-memory image of the retained suffix (reads, replay and
+// CollectRecords are served from it). The device decides where those bytes
+// *live*:
+//
+//  - MemWalDevice (default): the in-memory image is the device. Appends,
+//    truncation and Sync are no-ops beyond the image the Wal already keeps, so
+//    the simulated-disk configuration behaves exactly as before this seam
+//    existed (every figure bench is byte-identical).
+//  - FileWalDevice: a segmented on-disk log in the style of walb's block-level
+//    driver. Frames are appended to segment files with checksummed headers,
+//    Sync() is a real fsync (called on group-commit flush), TruncatePrefix is
+//    segment-granular (whole files are unlinked; the device may retain more
+//    than asked, never less), and opening an existing directory recovers the
+//    intact frame prefix — a torn tail (partial frame, bad CRC, short header)
+//    is detected and truncated to the last good frame boundary.
+//
+// Offsets are logical log positions: they keep growing across truncation, so
+// positions returned by Wal::Append stay valid forever. A segment file named
+// wal-<start>.seg holds the frame bytes for logical offsets [start, start+len).
+#ifndef SRC_STORAGE_WAL_DEVICE_H_
+#define SRC_STORAGE_WAL_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace walter {
+
+class WalDevice {
+ public:
+  virtual ~WalDevice() = default;
+
+  // The durable image read back at open/recovery time: frame bytes starting at
+  // logical offset `base`. May include a torn tail; the Wal validates frames.
+  struct Image {
+    uint64_t base = 0;
+    std::string bytes;
+  };
+
+  // Appends frame bytes at the device's current logical end.
+  virtual void Append(std::string_view frame) = 0;
+  // Makes everything appended so far durable (fsync for real files).
+  virtual void Sync() = 0;
+  // Releases bytes before logical `offset`. A device may retain more (e.g.
+  // whole segments) but must never drop bytes at or past `offset`.
+  virtual void TruncatePrefix(uint64_t offset) = 0;
+  // Drops everything past logical `offset` (recovery truncates a torn tail).
+  virtual void TruncateTail(uint64_t offset) = 0;
+  // Replaces the device contents with `image` (seeding a replacement server).
+  virtual void Reset(const Image& image) = 0;
+  // Reads back what the device holds.
+  virtual Image ReadImage() = 0;
+};
+
+// The in-memory image. The Wal's own buffer is authoritative, so this device
+// only mirrors the logical base/end bookkeeping and stores nothing.
+class MemWalDevice : public WalDevice {
+ public:
+  void Append(std::string_view frame) override { end_ += frame.size(); }
+  void Sync() override {}
+  void TruncatePrefix(uint64_t offset) override {
+    if (offset > base_) {
+      base_ = offset < end_ ? offset : end_;
+    }
+  }
+  void TruncateTail(uint64_t offset) override {
+    if (offset < end_) {
+      end_ = offset > base_ ? offset : base_;
+    }
+  }
+  void Reset(const Image& image) override {
+    base_ = image.base;
+    end_ = image.base + image.bytes.size();
+  }
+  Image ReadImage() override { return Image{base_, std::string()}; }
+
+ private:
+  uint64_t base_ = 0;
+  uint64_t end_ = 0;
+};
+
+struct FileWalDeviceOptions {
+  // Segment roll threshold: a new segment starts once the current one reaches
+  // this many frame bytes. Small enough that truncation reclaims space at the
+  // checkpoint cadence, large enough that a segment holds many group commits.
+  uint64_t segment_bytes = 64 * 1024;
+};
+
+// Segmented real-file backend. Not used by the simulated benchmarks (which
+// keep the in-memory device); exercised by the wal_device tests, the crash
+// fuzzer's replay-equivalence checks and the CI real-file smoke test.
+class FileWalDevice : public WalDevice {
+ public:
+  // Opens (creating if needed) the segment directory. Existing segments are
+  // scanned in offset order; a torn or corrupt tail is truncated on open so
+  // the device always reopens to an intact frame sequence.
+  explicit FileWalDevice(std::string dir, FileWalDeviceOptions options = {});
+  ~FileWalDevice() override;
+
+  FileWalDevice(const FileWalDevice&) = delete;
+  FileWalDevice& operator=(const FileWalDevice&) = delete;
+
+  void Append(std::string_view frame) override;
+  void Sync() override;
+  void TruncatePrefix(uint64_t offset) override;
+  void TruncateTail(uint64_t offset) override;
+  void Reset(const Image& image) override;
+  Image ReadImage() override;
+
+  // Observability for tests/metrics.
+  size_t segment_count() const { return segments_.size(); }
+  uint64_t synced_bytes() const { return synced_through_; }
+  bool tail_was_torn() const { return tail_was_torn_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Segment {
+    uint64_t start = 0;   // logical offset of the first frame byte
+    uint64_t length = 0;  // frame bytes in the file (excluding the header)
+    std::string path;
+  };
+
+  void OpenExisting();
+  void RollSegment(uint64_t start_offset);
+  void CloseCurrent();
+  Segment* Current() { return segments_.empty() ? nullptr : &segments_.back(); }
+
+  std::string dir_;
+  FileWalDeviceOptions options_;
+  std::vector<Segment> segments_;
+  int fd_ = -1;  // open fd of the last (active) segment
+  uint64_t end_ = 0;
+  uint64_t synced_through_ = 0;
+  bool tail_was_torn_ = false;
+};
+
+}  // namespace walter
+
+#endif  // SRC_STORAGE_WAL_DEVICE_H_

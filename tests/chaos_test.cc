@@ -132,7 +132,10 @@ void RunChaos(uint64_t seed) {
   options.num_sites = kSites;
   options.seed = seed;
   options.server.perf = PerfModel::Instant();
-  options.server.disk = DiskConfig::Memory();
+  // A real (fast) flush window instead of DiskConfig::Memory(): commits are
+  // only durable once the group-commit flush lands, so a crash loses the
+  // in-flight WAL tail and the nemesis's disk faults can tear it mid-frame.
+  options.server.disk = DiskConfig{/*flush_latency=*/Millis(0.3), /*jitter=*/0.0};
   options.server.gossip_interval = Seconds(1);
   options.server.resend_backoff_cap = Seconds(5);
   options.server.idle_tx_timeout = Seconds(20);
@@ -151,8 +154,15 @@ void RunChaos(uint64_t seed) {
   std::map<std::pair<SiteId, uint64_t>, TxRecord> by_version;
   std::set<TxId> discarded;
   cluster.ObserveCommits([&](SiteId site, const TxRecord& rec) {
+    // First occurrence wins: with a real flush window a commit can fire here,
+    // roll back with the unflushed WAL tail at a crash, and fire again on
+    // re-application — the first position was this site's real apply order.
+    // (Reused seqnos after a removal still land: the removal observer below
+    // erases the discarded entries from `applied` first.)
+    if (!applied[site].insert({rec.origin, rec.version.seqno}).second) {
+      return;
+    }
     logs[site].push_back(rec);
-    applied[site].insert({rec.origin, rec.version.seqno});
     by_version[{rec.origin, rec.version.seqno}] = rec;  // reused seqnos: latest wins
   });
 

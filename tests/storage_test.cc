@@ -184,6 +184,97 @@ TEST(WalTest, Crc32KnownVector) {
   EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
 }
 
+// Exhaustive truncation matrix: cut the log at EVERY byte offset inside the
+// last frame. Replay must always keep the intact prefix, flag the tear except
+// at exact frame boundaries, and report valid_bytes at the boundary.
+TEST(WalTest, TruncationAtEveryByteOffsetOfLastFrame) {
+  Wal wal;
+  wal.Append(MakeTx(1, 0, 1, {ObjectUpdate::Data(Oid(1, 1), "first")}));
+  size_t first_len = wal.Append(MakeTx(2, 0, 2, {ObjectUpdate::Data(Oid(1, 1), "second")}));
+  std::string bytes = wal.bytes();
+  ASSERT_GT(bytes.size(), first_len);
+
+  for (size_t cut = first_len; cut <= bytes.size(); ++cut) {
+    auto replay = Wal::Replay(bytes.substr(0, cut));
+    if (cut == bytes.size()) {
+      EXPECT_FALSE(replay.torn_tail) << "cut=" << cut;
+      ASSERT_EQ(replay.records.size(), 2u) << "cut=" << cut;
+      EXPECT_EQ(replay.valid_bytes, bytes.size());
+      continue;
+    }
+    ASSERT_EQ(replay.records.size(), 1u) << "cut=" << cut;
+    EXPECT_EQ(replay.records[0].tid, 1u) << "cut=" << cut;
+    EXPECT_EQ(replay.valid_bytes, first_len) << "cut=" << cut;
+    if (cut == first_len) {
+      EXPECT_FALSE(replay.torn_tail) << "an exact frame boundary is not a tear";
+    } else {
+      EXPECT_TRUE(replay.torn_tail) << "cut=" << cut;
+    }
+  }
+}
+
+// Exhaustive single-bit corruption matrix over the last frame: every bit of
+// the magic, length, CRC and payload fields. Replay must stop at the previous
+// frame boundary every time — CRC-32 catches all single-bit payload errors,
+// and header damage reads as a bad magic / impossible length / CRC mismatch.
+TEST(WalTest, BitFlipAnywhereInLastFrameStopsReplayAtBoundary) {
+  Wal wal;
+  wal.Append(MakeTx(1, 0, 1, {ObjectUpdate::Data(Oid(1, 1), "keep")}));
+  size_t first_len = wal.Append(MakeTx(2, 0, 2, {ObjectUpdate::Data(Oid(1, 1), "rot")}));
+  std::string bytes = wal.bytes();
+
+  for (size_t pos = first_len; pos < bytes.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string rotted = bytes;
+      rotted[pos] = static_cast<char>(rotted[pos] ^ (1 << bit));
+      auto replay = Wal::Replay(rotted);
+      EXPECT_TRUE(replay.torn_tail) << "pos=" << pos << " bit=" << bit;
+      ASSERT_EQ(replay.records.size(), 1u) << "pos=" << pos << " bit=" << bit;
+      EXPECT_EQ(replay.records[0].tid, 1u);
+      EXPECT_EQ(replay.valid_bytes, first_len) << "pos=" << pos << " bit=" << bit;
+    }
+  }
+}
+
+// Regression for the per-origin minimum index: OldestSeqno must stay correct
+// (without scanning) as records append, the prefix truncates in steps, and the
+// log is reseeded wholesale for recovery.
+TEST(WalTest, OldestSeqnoTracksTruncationAndReseeding) {
+  Wal wal;
+  std::vector<size_t> offs;
+  // Interleaved origins: (0,1) (1,5) (0,2) (1,6) (0,3).
+  offs.push_back(wal.Append(MakeTx(1, 0, 1, {ObjectUpdate::Data(Oid(1, 1), "a")})));
+  offs.push_back(wal.Append(MakeTx(2, 1, 5, {ObjectUpdate::Data(Oid(2, 1), "b")})));
+  offs.push_back(wal.Append(MakeTx(3, 0, 2, {ObjectUpdate::Data(Oid(1, 1), "c")})));
+  offs.push_back(wal.Append(MakeTx(4, 1, 6, {ObjectUpdate::Data(Oid(2, 1), "d")})));
+  offs.push_back(wal.Append(MakeTx(5, 0, 3, {ObjectUpdate::Data(Oid(1, 1), "e")})));
+  EXPECT_EQ(wal.OldestSeqno(0), 1u);
+  EXPECT_EQ(wal.OldestSeqno(1), 5u);
+  EXPECT_EQ(wal.OldestSeqno(2), std::nullopt);
+
+  wal.TruncatePrefix(offs[1]);  // drops (0,1)
+  EXPECT_EQ(wal.OldestSeqno(0), 2u);
+  EXPECT_EQ(wal.OldestSeqno(1), 5u);
+
+  wal.TruncatePrefix(offs[3]);  // drops (1,5) and (0,2)
+  EXPECT_EQ(wal.OldestSeqno(0), 3u);
+  EXPECT_EQ(wal.OldestSeqno(1), 6u);
+
+  wal.TruncatePrefix(wal.base() + wal.size());  // empty log
+  EXPECT_EQ(wal.OldestSeqno(0), std::nullopt);
+  EXPECT_EQ(wal.OldestSeqno(1), std::nullopt);
+
+  // SeedForRecovery rebuilds the index from the seeded bytes.
+  Wal donor;
+  donor.Append(MakeTx(10, 1, 9, {ObjectUpdate::Data(Oid(2, 1), "x")}));
+  donor.Append(MakeTx(11, 0, 4, {ObjectUpdate::Data(Oid(1, 1), "y")}));
+  donor.Append(MakeTx(12, 1, 10, {ObjectUpdate::Data(Oid(2, 1), "z")}));
+  wal.SeedForRecovery(donor.bytes(), 4096);
+  EXPECT_EQ(wal.base(), 4096u);
+  EXPECT_EQ(wal.OldestSeqno(0), 4u);
+  EXPECT_EQ(wal.OldestSeqno(1), 9u);
+}
+
 // --- LruCache ---------------------------------------------------------------
 
 TEST(LruCacheTest, EvictsLeastRecentlyUsed) {

@@ -1,0 +1,326 @@
+// FileWalDevice: segment rolling, reopen recovery, torn-tail trimming,
+// segment-granular prefix truncation, Reset seeding, and the replay-equivalence
+// guarantee (a file-backed Wal recovers the identical record sequence an
+// in-memory Wal replays). Ends with a cluster smoke test running real segment
+// directories under every server.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/storage/wal.h"
+#include "src/storage/wal_device.h"
+
+namespace walter {
+namespace {
+
+namespace fs = std::filesystem;
+
+ObjectId Oid(uint64_t c, uint64_t l) { return ObjectId{c, l}; }
+
+TxRecord MakeTx(TxId tid, SiteId origin, uint64_t seqno, std::string value) {
+  TxRecord rec;
+  rec.tid = tid;
+  rec.origin = origin;
+  rec.version = Version{origin, seqno};
+  rec.start_vts = VectorTimestamp(2);
+  rec.updates = {ObjectUpdate::Data(Oid(origin, seqno), std::move(value))};
+  return rec;
+}
+
+// A fresh, empty directory under the test temp root.
+std::string TempWalDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("walter_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+size_t CountSegFiles(const std::string& dir) {
+  size_t n = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    if (name.starts_with("wal-") && name.ends_with(".seg")) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// The last segment file in offset (== name) order.
+fs::path LastSegFile(const std::string& dir) {
+  std::vector<fs::path> segs;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().starts_with("wal-")) {
+      segs.push_back(entry.path());
+    }
+  }
+  EXPECT_FALSE(segs.empty());
+  std::sort(segs.begin(), segs.end());
+  return segs.back();
+}
+
+// --- Segment lifecycle -----------------------------------------------------
+
+TEST(FileWalDeviceTest, SegmentsRollAtThreshold) {
+  std::string dir = TempWalDir("roll");
+  FileWalDeviceOptions opts;
+  opts.segment_bytes = 64;  // each record frame is ~50 bytes: frequent rolls
+  auto device = std::make_unique<FileWalDevice>(dir, opts);
+  FileWalDevice* dev = device.get();
+  Wal wal(std::move(device));
+  for (uint64_t i = 1; i <= 8; ++i) {
+    wal.Append(MakeTx(100 + i, 0, i, "roll-" + std::to_string(i)));
+  }
+  wal.Sync();
+  EXPECT_GT(dev->segment_count(), 2u);
+  EXPECT_EQ(dev->segment_count(), CountSegFiles(dir));
+  EXPECT_EQ(dev->synced_bytes(), wal.base() + wal.size());
+}
+
+TEST(FileWalDeviceTest, ReopenRecoversAllRecords) {
+  std::string dir = TempWalDir("reopen");
+  FileWalDeviceOptions opts;
+  opts.segment_bytes = 128;
+  {
+    Wal wal(std::make_unique<FileWalDevice>(dir, opts));
+    for (uint64_t i = 1; i <= 6; ++i) {
+      wal.Append(MakeTx(200 + i, 1, i, "v" + std::to_string(i)));
+    }
+    wal.Sync();
+  }
+  auto device = std::make_unique<FileWalDevice>(dir, opts);
+  EXPECT_FALSE(device->tail_was_torn());
+  Wal wal(std::move(device));
+  Wal::ReplayResult result = wal.RecoverFromDevice();
+  EXPECT_FALSE(result.torn_tail);
+  ASSERT_EQ(result.records.size(), 6u);
+  for (uint64_t i = 1; i <= 6; ++i) {
+    EXPECT_EQ(result.records[i - 1].tid, 200 + i);
+    EXPECT_EQ(result.records[i - 1].version.seqno, i);
+  }
+  EXPECT_EQ(wal.record_count(), 6u);
+  EXPECT_EQ(wal.OldestSeqno(1), 1u);
+}
+
+// --- Torn tails ------------------------------------------------------------
+
+TEST(FileWalDeviceTest, TornTailFrameTrimmedOnRecovery) {
+  std::string dir = TempWalDir("torn");
+  size_t intact_end = 0;
+  {
+    Wal wal(std::make_unique<FileWalDevice>(dir));
+    for (uint64_t i = 1; i <= 4; ++i) {
+      size_t off = wal.Append(MakeTx(300 + i, 0, i, "torn-" + std::to_string(i)));
+      if (i == 4) {
+        intact_end = off;  // the last frame starts here; chop inside it
+      }
+    }
+    wal.Sync();
+  }
+  // Simulate a torn write: the last frame only partially reached the medium.
+  fs::path last = LastSegFile(dir);
+  fs::resize_file(last, fs::file_size(last) - 7);
+
+  {
+    Wal wal(std::make_unique<FileWalDevice>(dir));
+    Wal::ReplayResult result = wal.RecoverFromDevice();
+    EXPECT_TRUE(result.torn_tail);
+    ASSERT_EQ(result.records.size(), 3u);
+    EXPECT_EQ(result.valid_bytes, intact_end);
+    auto* dev = static_cast<FileWalDevice*>(wal.device());
+    EXPECT_TRUE(dev->tail_was_torn());
+  }
+  // The trim is durable: a third open sees an intact 3-record log.
+  Wal wal(std::make_unique<FileWalDevice>(dir));
+  Wal::ReplayResult result = wal.RecoverFromDevice();
+  EXPECT_FALSE(result.torn_tail);
+  EXPECT_EQ(result.records.size(), 3u);
+}
+
+TEST(FileWalDeviceTest, CorruptSegmentHeaderDropsItAndLaterSegments) {
+  std::string dir = TempWalDir("badheader");
+  FileWalDeviceOptions opts;
+  opts.segment_bytes = 64;
+  {
+    Wal wal(std::make_unique<FileWalDevice>(dir, opts));
+    for (uint64_t i = 1; i <= 8; ++i) {
+      wal.Append(MakeTx(400 + i, 0, i, "hdr-" + std::to_string(i)));
+    }
+    wal.Sync();
+  }
+  ASSERT_GT(CountSegFiles(dir), 2u);
+  // Flip a byte in the last segment's header: that segment (and anything
+  // after) is unusable, but the earlier ones must survive.
+  fs::path last = LastSegFile(dir);
+  {
+    std::fstream f(last, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(2);
+    f.put('\xff');
+  }
+  auto device = std::make_unique<FileWalDevice>(dir, opts);
+  EXPECT_TRUE(device->tail_was_torn());
+  Wal wal(std::move(device));
+  Wal::ReplayResult result = wal.RecoverFromDevice();
+  EXPECT_FALSE(result.torn_tail);  // remaining segments are frame-intact
+  EXPECT_GT(result.records.size(), 0u);
+  EXPECT_LT(result.records.size(), 8u);
+  // Records that survive are a strict prefix: seqnos 1..k.
+  for (size_t i = 0; i < result.records.size(); ++i) {
+    EXPECT_EQ(result.records[i].version.seqno, i + 1);
+  }
+}
+
+// --- Truncation ------------------------------------------------------------
+
+TEST(FileWalDeviceTest, TruncatePrefixIsSegmentGranular) {
+  std::string dir = TempWalDir("truncate");
+  FileWalDeviceOptions opts;
+  opts.segment_bytes = 64;
+  auto device = std::make_unique<FileWalDevice>(dir, opts);
+  FileWalDevice* dev = device.get();
+  Wal wal(std::move(device));
+  std::vector<size_t> offsets;
+  for (uint64_t i = 1; i <= 10; ++i) {
+    offsets.push_back(wal.Append(MakeTx(500 + i, 0, i, "gc-" + std::to_string(i))));
+  }
+  wal.Sync();
+  size_t before = dev->segment_count();
+  ASSERT_GT(before, 3u);
+
+  wal.TruncatePrefix(offsets[6]);  // logical retention starts at record 7
+  EXPECT_LT(dev->segment_count(), before);
+  EXPECT_EQ(dev->segment_count(), CountSegFiles(dir));
+  // The device may retain more than asked (whole segments), never less: a
+  // reopen must still recover records 7..10, possibly with earlier ones.
+  Wal reopened(std::make_unique<FileWalDevice>(dir, opts));
+  Wal::ReplayResult result = reopened.RecoverFromDevice();
+  EXPECT_FALSE(result.torn_tail);
+  ASSERT_GE(result.records.size(), 4u);
+  EXPECT_EQ(result.records.back().version.seqno, 10u);
+  uint64_t first = result.records.front().version.seqno;
+  EXPECT_LE(first, 7u);
+  for (size_t i = 0; i < result.records.size(); ++i) {
+    EXPECT_EQ(result.records[i].version.seqno, first + i);
+  }
+}
+
+TEST(FileWalDeviceTest, ResetSeedsReplacementContents) {
+  // SeedForRecovery (the replacement-server path) resets the device to the
+  // donor's image; stale segments from the previous life must not survive.
+  std::string donor_dir = TempWalDir("reset_donor");
+  Wal donor(std::make_unique<FileWalDevice>(donor_dir));
+  for (uint64_t i = 1; i <= 3; ++i) {
+    donor.Append(MakeTx(600 + i, 1, i, "donor-" + std::to_string(i)));
+  }
+  donor.Sync();
+
+  std::string dir = TempWalDir("reset_target");
+  {
+    Wal stale(std::make_unique<FileWalDevice>(dir));
+    stale.Append(MakeTx(999, 0, 1, "stale"));
+    stale.Sync();
+  }
+  {
+    Wal wal(std::make_unique<FileWalDevice>(dir));
+    wal.RecoverFromDevice();
+    wal.SeedForRecovery(donor.bytes(), donor.base());
+    EXPECT_EQ(wal.record_count(), 3u);
+  }
+  Wal reopened(std::make_unique<FileWalDevice>(dir));
+  Wal::ReplayResult result = reopened.RecoverFromDevice();
+  EXPECT_FALSE(result.torn_tail);
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_EQ(result.records[0].tid, 601u);
+  EXPECT_EQ(result.records[0].origin, 1u);
+}
+
+// --- Replay equivalence ----------------------------------------------------
+
+// The file backend must recover the exact record sequence the in-memory Wal
+// replays from the same appends — same order, same bytes.
+TEST(FileWalDeviceTest, FileBackendReplayMatchesInMemory) {
+  std::string dir = TempWalDir("equiv");
+  FileWalDeviceOptions opts;
+  opts.segment_bytes = 96;  // force several rolls mid-stream
+  Wal mem;
+  std::vector<size_t> mem_offsets;
+  std::vector<size_t> file_offsets;
+  {
+    Wal file(std::make_unique<FileWalDevice>(dir, opts));
+    for (uint64_t i = 1; i <= 9; ++i) {
+      TxRecord rec = MakeTx(700 + i, i % 3, (i + 2) / 3, "eq-" + std::to_string(i));
+      mem_offsets.push_back(mem.Append(rec));
+      file_offsets.push_back(file.Append(rec));
+    }
+    file.Sync();
+  }
+  EXPECT_EQ(mem_offsets, file_offsets);
+
+  Wal recovered(std::make_unique<FileWalDevice>(dir, opts));
+  Wal::ReplayResult from_file = recovered.RecoverFromDevice();
+  Wal::ReplayResult from_mem = mem.ReplaySelf();
+  EXPECT_FALSE(from_file.torn_tail);
+  EXPECT_EQ(from_file.valid_bytes, from_mem.valid_bytes);
+  ASSERT_EQ(from_file.records.size(), from_mem.records.size());
+  for (size_t i = 0; i < from_mem.records.size(); ++i) {
+    EXPECT_EQ(from_file.records[i].tid, from_mem.records[i].tid);
+    EXPECT_EQ(from_file.records[i].origin, from_mem.records[i].origin);
+    EXPECT_EQ(from_file.records[i].version.seqno, from_mem.records[i].version.seqno);
+    ASSERT_EQ(from_file.records[i].updates.size(), from_mem.records[i].updates.size());
+    EXPECT_EQ(from_file.records[i].updates[0].data, from_mem.records[i].updates[0].data);
+  }
+  // The recovered byte image is identical too.
+  EXPECT_EQ(recovered.bytes(), mem.bytes());
+  EXPECT_EQ(recovered.base(), mem.base());
+}
+
+// --- Cluster smoke ---------------------------------------------------------
+
+// A cluster with Options::wal_dir set runs every server against a real
+// segment directory (one per server, under the configured root) and commits
+// normally; the segment files exist and hold the committed records.
+TEST(FileWalDeviceTest, ClusterRunsOnRealFiles) {
+  std::string root = TempWalDir("cluster");
+  ClusterOptions options;
+  options.num_sites = 2;
+  options.server.perf = PerfModel::Instant();
+  options.server.disk = DiskConfig{Millis(0.3), 0.0};
+  options.server.wal_dir = root;
+  Cluster cluster(options);
+
+  WalterClient* client = cluster.AddClient(0);
+  for (int i = 1; i <= 3; ++i) {
+    Tx tx(client);
+    tx.Write(Oid(0, 10 + i), "file-" + std::to_string(i));
+    bool done = false;
+    tx.Commit([&](Status s) {
+      EXPECT_TRUE(s.ok());
+      done = true;
+    });
+    while (!done && cluster.sim().Step()) {
+    }
+    ASSERT_TRUE(done);
+  }
+  cluster.RunFor(Seconds(2));
+
+  for (SiteId s = 0; s < 2; ++s) {
+    std::string dir = root + "/site-" + std::to_string(s);
+    ASSERT_TRUE(fs::exists(dir)) << dir;
+    EXPECT_GT(CountSegFiles(dir), 0u);
+  }
+  // The victim's on-disk log replays to exactly what its in-memory Wal holds.
+  Wal::ReplayResult disk = Wal(std::make_unique<FileWalDevice>(root + "/site-0")).RecoverFromDevice();
+  Wal::ReplayResult live = cluster.server(0).store().wal().ReplaySelf();
+  EXPECT_FALSE(disk.torn_tail);
+  ASSERT_EQ(disk.records.size(), live.records.size());
+  for (size_t i = 0; i < disk.records.size(); ++i) {
+    EXPECT_EQ(disk.records[i].tid, live.records[i].tid);
+  }
+}
+
+}  // namespace
+}  // namespace walter
