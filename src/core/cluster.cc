@@ -1,6 +1,7 @@
 #include "src/core/cluster.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 namespace walter {
@@ -33,11 +34,22 @@ Cluster::Cluster(ClusterOptions options)
   // propagation, durability-quorum and recovery machinery are unchanged —
   // cross-shard transactions inside one site simply become slow commits whose
   // participants happen to be a LAN hop apart.
+  bool early_release = options_.early_lock_release;
+  if (const char* env = std::getenv("WALTER_EARLY_LOCK_RELEASE")) {
+    early_release = !(env[0] == '0' && env[1] == '\0');
+  }
   for (SiteId v = 0; v < static_cast<SiteId>(shard_map_.num_servers()); ++v) {
     WalterServer::Options so = options_.server;
     so.site = v;
     so.num_sites = shard_map_.num_servers();
     so.sharded = !shard_map_.trivial();
+    so.early_lock_release = early_release;
+    // Which geographic site each virtual server lives in: the co-sited test
+    // behind sequential lock ordering and fast remote-commit visibility.
+    so.geo_site_of.resize(shard_map_.num_servers());
+    for (SiteId u = 0; u < static_cast<SiteId>(shard_map_.num_servers()); ++u) {
+      so.geo_site_of[u] = shard_map_.SiteOf(u);
+    }
     if (!so.wal_dir.empty()) {
       // Each server gets its own segment directory under the configured root.
       so.wal_dir += "/site-" + std::to_string(v);

@@ -28,6 +28,12 @@ struct ClusterOptions {
   // map, and clients routing per-container. Must be empty or num_sites long.
   std::vector<size_t> servers_per_site;
   uint64_t seed = 1;
+  // Early lock release (visibility watermarks + ordered/wound-wait lock
+  // acquisition): 2PC participants free their prepare locks at the commit
+  // decision instead of holding them until the committed record propagates
+  // back. Default on; the env var WALTER_EARLY_LOCK_RELEASE=0 forces it off
+  // (e.g. to reproduce pre-watermark figure output byte-for-byte).
+  bool early_lock_release = true;
   // Per-server options; site/num_sites are filled in per server.
   WalterServer::Options server;
   // Default RPC robustness options for clients created via AddClient.

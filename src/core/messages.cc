@@ -114,6 +114,11 @@ std::string PrepareRequest::Serialize() const {
     w.PutObjectId(o);
   }
   w.PutVts(start_vts);
+  // Trailing optional (like PropagateAck's floor): omitted when zero, so the
+  // pre-watermark protocol serializes the exact same byte stream.
+  if (priority != 0) {
+    w.PutU64(priority);
+  }
   return w.Take();
 }
 
@@ -126,12 +131,18 @@ PrepareRequest PrepareRequest::Deserialize(std::string_view bytes) {
     req.oids.push_back(r.GetObjectId());
   }
   req.start_vts = r.GetVts();
+  if (r.remaining() > 0) {
+    req.priority = r.GetU64();
+  }
   return req;
 }
 
 std::string PrepareResponse::Serialize() const {
   ByteWriter w;
   w.PutU8(vote_yes ? 1 : 0);
+  if (reason != AbortReason::kNone) {
+    w.PutU8(static_cast<uint8_t>(reason));
+  }
   return w.Take();
 }
 
@@ -139,7 +150,25 @@ PrepareResponse PrepareResponse::Deserialize(std::string_view bytes) {
   ByteReader r(bytes);
   PrepareResponse resp;
   resp.vote_yes = r.GetU8() != 0;
+  if (r.remaining() > 0) {
+    resp.reason = static_cast<AbortReason>(r.GetU8());
+  }
   return resp;
+}
+
+std::string CommitDecision::Serialize() const {
+  ByteWriter w;
+  w.PutU64(tid);
+  w.PutVersion(version);
+  return w.Take();
+}
+
+CommitDecision CommitDecision::Deserialize(std::string_view bytes) {
+  ByteReader r(bytes);
+  CommitDecision d;
+  d.tid = r.GetU64();
+  d.version = r.GetVersion();
+  return d;
 }
 
 std::string AbortMessage::Serialize() const {

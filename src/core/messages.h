@@ -38,6 +38,18 @@ enum MessageType : uint32_t {
   kTxStatus = 17,       // lock-holder asks a 2PC coordinator for an outcome
   kResync = 18,         // restored/truncated server resets a peer's cumulative acks
   kFetchRecords = 19,   // RPC: fetch an origin's records from a peer's WAL (backfill)
+  kCommitDecision = 20, // coordinator -> participant: 2PC decided commit (one-way);
+                        // the participant releases its prepare locks early and
+                        // guards readers with a visibility watermark instead
+};
+
+// Why a commit attempt died, carried on no-vote prepare responses and recorded
+// on abort traces (kTxAbort aux) so the bench abort breakdown is exact.
+enum class AbortReason : uint8_t {
+  kNone = 0,
+  kConflict = 1,  // lock held / write-write conflict against the snapshot
+  kWound = 2,     // wound-wait: an older transaction took the locks
+  kTimeout = 3,   // lock-wait deadline expired before the holder resolved
 };
 
 // 2PC termination protocol: a site holding a prepare lock whose coordinator
@@ -126,6 +138,10 @@ struct PrepareRequest {
   TxId tid = 0;
   std::vector<ObjectId> oids;  // written objects whose preferred site is the callee
   VectorTimestamp start_vts;
+  // Wound-wait age (coordinator's sim time at slow-commit entry; smaller =
+  // older = wins). Trailing optional field: 0 (early_lock_release off) keeps
+  // the wire bytes identical to the pre-watermark format.
+  uint64_t priority = 0;
 
   std::string Serialize() const;
   static PrepareRequest Deserialize(std::string_view bytes);
@@ -133,9 +149,27 @@ struct PrepareRequest {
 
 struct PrepareResponse {
   bool vote_yes = false;
+  // Why a no vote (AbortReason); trailing optional like PrepareRequest's
+  // priority — kNone (yes votes, and the pre-watermark protocol) is omitted.
+  AbortReason reason = AbortReason::kNone;
 
   std::string Serialize() const;
   static PrepareResponse Deserialize(std::string_view bytes);
+};
+
+// One-way coordinator -> yes-voting participant: the 2PC decided commit and
+// the decision record (the coordinator's local commit) is logged. On receipt
+// the participant releases the transaction's prepare locks; if the version is
+// not yet committed there, each previously locked object gets a visibility
+// watermark so readers keep waiting exactly as long as the lock would have
+// made them. Loss is tolerated: the locks then release on propagation as
+// before (the old Figure-13 lifetime is the backstop).
+struct CommitDecision {
+  TxId tid = 0;
+  Version version;  // the decided commit's version (origin site + seqno)
+
+  std::string Serialize() const;
+  static CommitDecision Deserialize(std::string_view bytes);
 };
 
 struct AbortMessage {

@@ -63,6 +63,8 @@ WalterServer::WalterServer(Simulator* sim, Network* net, Options options,
   endpoint_.Handle(kPrepare,
                    [this](const Message& m, RpcEndpoint::ReplyFn r) { HandlePrepare(m, std::move(r)); });
   endpoint_.Handle(kAbort2pc, [this](const Message& m, RpcEndpoint::ReplyFn) { HandleAbort2pc(m); });
+  endpoint_.Handle(kCommitDecision,
+                   [this](const Message& m, RpcEndpoint::ReplyFn) { HandleCommitDecision(m); });
   endpoint_.Handle(kPropagate, [this](const Message& m, RpcEndpoint::ReplyFn) { HandlePropagate(m); });
   endpoint_.Handle(kPropagateAck,
                    [this](const Message& m, RpcEndpoint::ReplyFn) { HandlePropagateAck(m); });
@@ -271,6 +273,35 @@ void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts
     return;
   }
 
+  if (options_.early_lock_release && store_.has_watermarks()) {
+    // Early lock release: a watermark marks a decided version our snapshot
+    // includes but our history does not hold yet (the lock that used to delay
+    // such snapshots is already released). Park until it commits here; the
+    // watermark clears on the same propagation edge the lock release used to
+    // ride, so the wait is the propagation gap, not a new failure mode.
+    bool blocked = false;
+    if (req.op == ClientOpKind::kMultiRead) {
+      for (const auto& oid : req.oids) {
+        if (store_.WatermarkBlocksRead(oid, vts)) {
+          blocked = true;
+          break;
+        }
+      }
+    } else {
+      blocked = store_.WatermarkBlocksRead(req.oid, vts);
+    }
+    if (blocked) {
+      ++stats_.watermark_read_waits;
+      WTRACE(sim_->Now(), TraceKind::kWaitWatermark, req.tid, options_.site);
+      sim_->After(Millis(1), Guard([this, req, vts, respond = std::move(respond)]() {
+        auto it = active_.find(req.tid);
+        const ActiveTx* tx2 = it != active_.end() ? &it->second : nullptr;
+        DoRead(req, vts, tx2, respond);
+      }));
+      return;
+    }
+  }
+
   auto own_regular = [&](const ObjectId& oid) -> std::optional<std::string> {
     if (tx == nullptr) {
       return std::nullopt;
@@ -467,6 +498,21 @@ bool WalterServer::DedupRetransmittedCommit(const ClientOpRequest& req,
     };
     return true;
   }
+  auto pk = parked_commits_.find(req.tid);
+  if (pk != parked_commits_.end()) {
+    // Parked on a held lock (early lock release): chain onto the eventual
+    // outcome like an in-flight 2PC.
+    ++stats_.commit_dedups;
+    auto prev = std::move(pk->second.respond);
+    pk->second.respond = [prev = std::move(prev),
+                          r = std::move(respond)](ClientOpResponse resp) {
+      if (prev) {
+        prev(resp);
+      }
+      r(std::move(resp));
+    };
+    return true;
+  }
   auto cv = committed_versions_.find(req.tid);
   if (cv != committed_versions_.end()) {
     ++stats_.commit_dedups;
@@ -550,10 +596,15 @@ void WalterServer::DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_
 
 void WalterServer::FastCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
                               uint32_t reply_port, SiteId reply_site,
-                              std::function<void(ClientOpResponse)> respond) {
+                              std::function<void(ClientOpResponse)> respond, SimTime deadline) {
   // Conflict checks of Figure 11: every written object unmodified since the
-  // snapshot and unlocked. This whole function is one event — atomic.
-  for (const auto& oid : WriteSetOf(tx.updates)) {
+  // snapshot and unlocked. This whole function is one event — atomic. With
+  // early lock release on, a held lock is a wait (the holder may abort), while
+  // a modified object or a watermark is a permanent conflict — the conflicting
+  // version is committed/decided, so this snapshot can never pass.
+  std::vector<ObjectId> ws = WriteSetOf(tx.updates);
+  TxId blocker = 0;
+  for (const auto& oid : ws) {
     if (lease_checker_ && !lease_checker_(oid.container)) {
       ++stats_.aborts;
       WTRACE(sim_->Now(), TraceKind::kTxAbort, tid, options_.site,
@@ -563,17 +614,69 @@ void WalterServer::FastCommit(TxId tid, ActiveTx tx, bool want_durable, bool wan
       respond(std::move(resp));
       return;
     }
-    if (locks_.contains(oid) || !store_.Unmodified(oid, tx.start_vts)) {
+    bool conflict = !store_.Unmodified(oid, tx.start_vts) ||
+                    (options_.early_lock_release && store_.WatermarkBlocksWrite(oid));
+    auto lock = locks_.find(oid);
+    if (lock != locks_.end() && !conflict && options_.early_lock_release) {
+      blocker = lock->second;
+      continue;
+    }
+    if (lock != locks_.end() || conflict) {
       ++stats_.aborts;
+      ++stats_.aborts_conflict;
       aborted_tids_.insert(tid);
       RecordOutcome(tid);
       WTRACE(sim_->Now(), TraceKind::kTxAbort, tid, options_.site,
-             static_cast<uint64_t>(StatusCode::kAborted));
+             static_cast<uint64_t>(StatusCode::kAborted),
+             static_cast<uint32_t>(AbortReason::kConflict));
       ClientOpResponse resp;
       resp.status = StatusCode::kAborted;
       respond(std::move(resp));
       return;
     }
+  }
+  if (blocker != 0) {
+    // Blocked only by live locks: park until the holders resolve. A fast
+    // commit is always younger than any current holder (its age starts now),
+    // so wound-wait never favors it — it just waits its turn.
+    if (deadline == 0) {
+      deadline = sim_->Now() + options_.lock_wait_timeout;
+    }
+    ++stats_.lock_waits;
+    WTRACE(sim_->Now(), TraceKind::kLockWait, tid, options_.site, blocker);
+    ParkedCommit pc;
+    pc.tx = std::move(tx);
+    pc.want_durable = want_durable;
+    pc.want_visible = want_visible;
+    pc.reply_port = reply_port;
+    pc.reply_site = reply_site;
+    pc.respond = std::move(respond);
+    parked_commits_[tid] = std::move(pc);
+    uint64_t priority = static_cast<uint64_t>(deadline - options_.lock_wait_timeout) + 1;
+    ParkLockWaiter(tid, priority, std::move(ws), deadline, [this, tid, deadline](bool timed_out) {
+      auto node = parked_commits_.extract(tid);
+      if (node.empty()) {
+        return;
+      }
+      ParkedCommit pc = std::move(node.mapped());
+      if (timed_out) {
+        ++stats_.lock_wait_timeouts;
+        ++stats_.aborts;
+        ++stats_.aborts_timeout;
+        aborted_tids_.insert(tid);
+        RecordOutcome(tid);
+        WTRACE(sim_->Now(), TraceKind::kTxAbort, tid, options_.site,
+               static_cast<uint64_t>(StatusCode::kAborted),
+               static_cast<uint32_t>(AbortReason::kTimeout));
+        ClientOpResponse resp;
+        resp.status = StatusCode::kAborted;
+        pc.respond(std::move(resp));
+        return;
+      }
+      FastCommit(tid, std::move(pc.tx), pc.want_durable, pc.want_visible, pc.reply_port,
+                 pc.reply_site, std::move(pc.respond), deadline);
+    });
+    return;
   }
   ++stats_.fast_commits;
   CommitLocally(tid, tx, want_durable, want_visible, reply_port, reply_site, std::move(respond));
@@ -685,10 +788,66 @@ void WalterServer::SlowCommit(TxId tid, ActiveTx tx, std::vector<SiteId> sites,
   state->reply_site = reply_site;
   slow_commits_[tid] = state;
 
-  // Partition the write-set by preferred site.
+  // Partition the write-set by preferred site. WriteSetOf is globally sorted,
+  // so each site's bucket is sorted and its front() is the site's minimum oid.
   std::map<SiteId, std::vector<ObjectId>> by_site;
   for (const auto& oid : WriteSetOf(state->tx.updates)) {
     by_site[directory_->PreferredSite(oid)].push_back(oid);
+  }
+
+  if (options_.early_lock_release) {
+    // Wound-wait age: commit entry time (+1 so a priority of 0 stays the
+    // "pre-watermark holder" sentinel even at simulated time zero).
+    state->priority = static_cast<uint64_t>(sim_->Now()) + 1;
+    state->by_site = std::move(by_site);
+    // All participants co-sited with us (intra-site sharding)? Then prepare
+    // RPCs are cheap and deadlock is the real tax: acquire the sites one at a
+    // time in global minimum-oid order, so concurrent cross-shard commits
+    // never hold-and-wait in opposite orders. Across WAN sites the old
+    // parallel fan-out stays — serializing 100ms RTTs would be far worse than
+    // the conflicts it avoids.
+    bool co_sited = !options_.geo_site_of.empty();
+    if (co_sited) {
+      for (const auto& [s, oids] : state->by_site) {
+        if (options_.geo_site_of[s] != options_.geo_site_of[options_.site]) {
+          co_sited = false;
+          break;
+        }
+      }
+    }
+    state->sequential = co_sited;
+    if (state->sequential) {
+      for (const auto& [s, oids] : state->by_site) {
+        state->site_order.push_back(s);
+      }
+      std::sort(state->site_order.begin(), state->site_order.end(),
+                [&](SiteId a, SiteId b) {
+                  return state->by_site[a].front() < state->by_site[b].front();
+                });
+      AdvancePrepares(state);
+      return;
+    }
+    state->votes_pending = state->by_site.size();
+    if (state->votes_pending == 0) {
+      FinishSlowCommit(state);
+      return;
+    }
+    for (const auto& [s, oids] : state->by_site) {
+      if (state->finished) {
+        break;  // a synchronous single-participant local vote already decided
+      }
+      if (s == options_.site) {
+        StartLocalVote(state, oids);
+        continue;
+      }
+      PrepareRequest prep;
+      prep.tid = tid;
+      prep.oids = oids;
+      prep.start_vts = state->tx.start_vts;
+      prep.priority = state->priority;
+      SendPrepare(s, std::move(prep), state, 1);
+    }
+    return;
   }
 
   // Local vote first (synchronous).
@@ -735,17 +894,104 @@ void WalterServer::SendPrepare(SiteId dest, PrepareRequest prep,
           SendPrepare(dest, std::move(prep), state, attempt + 1);
           return;
         }
-        bool yes = status.ok() && PrepareResponse::Deserialize(m.payload).vote_yes;
-        if (yes) {
-          state->yes_votes.push_back(dest);
-        } else {
-          state->any_no = true;
+        bool yes = false;
+        AbortReason reason = AbortReason::kTimeout;  // transport-dead participant
+        if (status.ok()) {
+          PrepareResponse resp = PrepareResponse::Deserialize(m.payload);
+          yes = resp.vote_yes;
+          reason = resp.reason;
         }
-        if (--state->votes_pending == 0) {
-          FinishSlowCommit(state);
-        }
+        OnPrepareVote(state, dest, yes, reason);
       },
       options_.resend_timeout);
+}
+
+void WalterServer::OnPrepareVote(const std::shared_ptr<SlowCommitState>& state, SiteId voter,
+                                 bool yes, AbortReason reason) {
+  if (state->finished) {
+    return;
+  }
+  if (yes) {
+    if (voter != options_.site) {
+      state->yes_votes.push_back(voter);
+    }
+  } else if (!state->any_no) {
+    state->any_no = true;
+    state->abort_reason = reason == AbortReason::kNone ? AbortReason::kConflict : reason;
+  }
+  if (state->sequential) {
+    ++state->next_site;
+    AdvancePrepares(state);  // finishes on a no vote or on exhaustion
+    return;
+  }
+  if (--state->votes_pending == 0) {
+    FinishSlowCommit(state);
+  }
+}
+
+void WalterServer::AdvancePrepares(const std::shared_ptr<SlowCommitState>& state) {
+  if (state->finished) {
+    return;
+  }
+  if (state->any_no || state->next_site >= state->site_order.size()) {
+    FinishSlowCommit(state);
+    return;
+  }
+  SiteId s = state->site_order[state->next_site];
+  const std::vector<ObjectId>& oids = state->by_site[s];
+  if (s == options_.site) {
+    StartLocalVote(state, oids);
+    return;
+  }
+  PrepareRequest prep;
+  prep.tid = state->tid;
+  prep.oids = oids;
+  prep.start_vts = state->tx.start_vts;
+  prep.priority = state->priority;
+  SendPrepare(s, std::move(prep), state, 1);
+}
+
+void WalterServer::StartLocalVote(const std::shared_ptr<SlowCommitState>& state,
+                                  const std::vector<ObjectId>& oids, SimTime deadline) {
+  if (state->finished) {
+    return;
+  }
+  if (state->any_no) {
+    // Wounded (or a parallel-mode peer voted no) while we were parked: don't
+    // bother acquiring — cast a no so the vote accounting completes.
+    OnPrepareVote(state, options_.site, false, AbortReason::kConflict);
+    return;
+  }
+  TxId blocker = 0;
+  PrepareCheck c = CheckPrepare(state->tid, oids, state->tx.start_vts, state->priority, &blocker);
+  if (c == PrepareCheck::kWait) {
+    if (deadline == 0) {
+      deadline = sim_->Now() + options_.lock_wait_timeout;
+    }
+    ++stats_.lock_waits;
+    WTRACE(sim_->Now(), TraceKind::kLockWait, state->tid, options_.site, blocker);
+    ParkLockWaiter(state->tid, state->priority, oids, deadline,
+                   [this, state, oids, deadline](bool timed_out) {
+                     if (state->finished) {
+                       return;
+                     }
+                     if (timed_out) {
+                       ++stats_.lock_wait_timeouts;
+                       OnPrepareVote(state, options_.site, false, AbortReason::kTimeout);
+                       return;
+                     }
+                     StartLocalVote(state, oids, deadline);
+                   });
+    return;
+  }
+  if (c == PrepareCheck::kYes) {
+    if (!lock_owners_.contains(state->tid)) {
+      LockAll(state->tid, oids, options_.site, state->priority);
+    }
+    OnPrepareVote(state, options_.site, true, AbortReason::kNone);
+    return;
+  }
+  OnPrepareVote(state, options_.site, false, AbortReason::kConflict);
 }
 
 void WalterServer::FinishSlowCommit(std::shared_ptr<SlowCommitState> state) {
@@ -759,10 +1005,22 @@ void WalterServer::FinishSlowCommit(std::shared_ptr<SlowCommitState> state) {
     }
     ReleaseLocks(state->tid);
     ++stats_.aborts;
+    switch (state->abort_reason) {
+      case AbortReason::kWound:
+        ++stats_.aborts_wound;
+        break;
+      case AbortReason::kTimeout:
+        ++stats_.aborts_timeout;
+        break;
+      default:
+        ++stats_.aborts_conflict;
+        break;
+    }
     aborted_tids_.insert(state->tid);
     RecordOutcome(state->tid);
     WTRACE(sim_->Now(), TraceKind::kTxAbort, state->tid, options_.site,
-           static_cast<uint64_t>(StatusCode::kAborted));
+           static_cast<uint64_t>(StatusCode::kAborted),
+           static_cast<uint32_t>(state->abort_reason));
     ClientOpResponse resp;
     resp.status = StatusCode::kAborted;
     state->reply(std::move(resp));
@@ -773,6 +1031,32 @@ void WalterServer::FinishSlowCommit(std::shared_ptr<SlowCommitState> state) {
   // when the transaction propagates there (Figure 13).
   CommitLocally(state->tid, state->tx, state->want_durable, state->want_visible,
                 state->reply_port, state->reply_site, std::move(state->reply));
+  if (options_.early_lock_release && !crashed_) {
+    // The decision is made and logged (CommitLocally framed the record): tell
+    // the participants so they release their prepare locks NOW and cover the
+    // gap with visibility watermarks, instead of holding them for the full
+    // propagation round trip. Decision loss is benign — the participant then
+    // just releases on the old propagation edge (or the stale sweep).
+    if (!state->yes_votes.empty()) {
+      auto cv = committed_versions_.find(state->tid);
+      Version version = cv != committed_versions_.end() ? cv->second : Version{};
+      CommitDecision decision;
+      decision.tid = state->tid;
+      decision.version = version;
+      Payload payload(decision.Serialize());  // one buffer for all participants
+      for (SiteId s : state->yes_votes) {
+        endpoint_.Send(Address{s, kWalterPort}, kCommitDecision, payload);
+      }
+      stats_.decisions_sent += state->yes_votes.size();
+      WTRACE(sim_->Now(), TraceKind::kDecisionSend, state->tid, options_.site, version.seqno,
+             static_cast<uint32_t>(state->yes_votes.size()));
+    }
+    // Our own prepare locks can go too: the record is applied to the local
+    // store, so Unmodified now rejects any conflicting writer — no watermark
+    // needed for a local decided version (readers see it when CommittedVTS
+    // advances past the flush; until then no snapshot covers it).
+    ReleaseLocks(state->tid);
+  }
 }
 
 bool WalterServer::PrepareLocal(TxId tid, const std::vector<ObjectId>& oids,
@@ -799,6 +1083,16 @@ void WalterServer::HandlePrepare(const Message& msg, RpcEndpoint::ReplyFn reply)
                                                     reply = std::move(reply)]() {
     ++stats_.prepares_handled;
     WTRACE(sim_->Now(), TraceKind::kPrepareRecv, req.tid, options_.site, 0, coordinator);
+    if (options_.early_lock_release) {
+      // A removed coordinator works from a stale snapshot; refuse its prepares
+      // until it is reintegrated.
+      if (!site_active_[coordinator]) {
+        ReplyPrepareVote(req.tid, coordinator, reply, false, AbortReason::kConflict);
+        return;
+      }
+      AnswerPrepare(req, coordinator, reply, 0);
+      return;
+    }
     PrepareResponse resp;
     // A removed coordinator works from a stale snapshot; refuse its prepares
     // until it is reintegrated.
@@ -812,16 +1106,190 @@ void WalterServer::HandlePrepare(const Message& msg, RpcEndpoint::ReplyFn reply)
   });
 }
 
+void WalterServer::ReplyPrepareVote(TxId tid, SiteId coordinator,
+                                    const RpcEndpoint::ReplyFn& reply, bool yes,
+                                    AbortReason reason) {
+  PrepareResponse resp;
+  resp.vote_yes = yes;
+  resp.reason = yes ? AbortReason::kNone : reason;
+  WTRACE(sim_->Now(), TraceKind::kPrepareVote, tid, options_.site, yes ? 1 : 0, coordinator);
+  Message m;
+  m.payload = resp.Serialize();
+  reply(std::move(m));
+}
+
+void WalterServer::AnswerPrepare(PrepareRequest req, SiteId coordinator,
+                                 RpcEndpoint::ReplyFn reply, SimTime deadline) {
+  if (lock_waiters_.contains(req.tid)) {
+    // A duplicate prepare while the first copy is parked (coordinator resend):
+    // refuse rather than stack two deferred votes. The parked copy answers the
+    // RPC it arrived on when it resolves; this reply reaches a dead call id.
+    ReplyPrepareVote(req.tid, coordinator, reply, false, AbortReason::kConflict);
+    return;
+  }
+  TxId blocker = 0;
+  PrepareCheck c = CheckPrepare(req.tid, req.oids, req.start_vts, req.priority, &blocker);
+  if (c == PrepareCheck::kWait) {
+    if (deadline == 0) {
+      deadline = sim_->Now() + options_.lock_wait_timeout;
+    }
+    ++stats_.lock_waits;
+    WTRACE(sim_->Now(), TraceKind::kLockWait, req.tid, options_.site, blocker, coordinator);
+    uint64_t priority = req.priority != 0
+                            ? req.priority
+                            : static_cast<uint64_t>(deadline - options_.lock_wait_timeout) + 1;
+    std::vector<ObjectId> oids = req.oids;
+    ParkLockWaiter(req.tid, priority, std::move(oids), deadline,
+                   [this, req, coordinator, reply, deadline](bool timed_out) {
+                     if (timed_out) {
+                       ++stats_.lock_wait_timeouts;
+                       ReplyPrepareVote(req.tid, coordinator, reply, false,
+                                        AbortReason::kTimeout);
+                       return;
+                     }
+                     AnswerPrepare(req, coordinator, reply, deadline);
+                   });
+    return;
+  }
+  if (c == PrepareCheck::kYes) {
+    if (!lock_owners_.contains(req.tid)) {
+      LockAll(req.tid, req.oids, coordinator, req.priority);
+    }
+    ReplyPrepareVote(req.tid, coordinator, reply, true, AbortReason::kNone);
+    return;
+  }
+  ReplyPrepareVote(req.tid, coordinator, reply, false, AbortReason::kConflict);
+}
+
+WalterServer::PrepareCheck WalterServer::CheckPrepare(TxId tid,
+                                                      const std::vector<ObjectId>& oids,
+                                                      const VectorTimestamp& vts,
+                                                      uint64_t priority, TxId* blocker) {
+  if (lock_owners_.contains(tid)) {
+    return PrepareCheck::kYes;  // duplicate prepare: re-affirm the held vote
+  }
+  bool blocked = false;
+  for (const auto& oid : oids) {
+    if (lease_checker_ && !lease_checker_(oid.container)) {
+      return PrepareCheck::kNo;
+    }
+    // A watermark or a modified history is a decided/committed version this
+    // snapshot does not cover: permanent conflict, waiting cannot help.
+    if (!store_.Unmodified(oid, vts) ||
+        (options_.early_lock_release && store_.WatermarkBlocksWrite(oid))) {
+      return PrepareCheck::kNo;
+    }
+    auto lock = locks_.find(oid);
+    if (lock != locks_.end() && lock->second != tid) {
+      blocked = true;
+      if (blocker != nullptr) {
+        *blocker = lock->second;
+      }
+    }
+  }
+  if (!blocked) {
+    return PrepareCheck::kYes;
+  }
+  if (!options_.early_lock_release) {
+    return PrepareCheck::kNo;  // legacy protocol: a held lock is a no vote
+  }
+  if (priority != 0) {
+    // Wound-wait: a strictly younger holder whose 2PC this server coordinates
+    // (still collecting votes, so its outcome is ours to decide) is wounded.
+    // Holders whose coordinator is elsewhere already cast a yes vote we cannot
+    // take back — the requester waits for those.
+    for (const auto& oid : oids) {
+      auto lock = locks_.find(oid);
+      if (lock == locks_.end() || lock->second == tid) {
+        continue;
+      }
+      auto sc = slow_commits_.find(lock->second);
+      if (sc == slow_commits_.end()) {
+        continue;
+      }
+      uint64_t holder_priority = sc->second->priority;
+      bool older = holder_priority != 0 &&
+                   (priority < holder_priority ||
+                    (priority == holder_priority && tid < lock->second));
+      if (older) {
+        WoundLocal(sc->second, tid);
+      }
+    }
+    blocked = false;
+    for (const auto& oid : oids) {
+      auto lock = locks_.find(oid);
+      if (lock != locks_.end() && lock->second != tid) {
+        blocked = true;
+        if (blocker != nullptr) {
+          *blocker = lock->second;
+        }
+        break;
+      }
+    }
+    if (!blocked) {
+      return PrepareCheck::kYes;
+    }
+  }
+  return PrepareCheck::kWait;
+}
+
+void WalterServer::WoundLocal(const std::shared_ptr<SlowCommitState>& victim, TxId winner) {
+  if (victim->finished) {
+    return;
+  }
+  if (!victim->any_no) {
+    victim->any_no = true;
+    victim->abort_reason = AbortReason::kWound;
+  }
+  ++stats_.lock_wounds;
+  WTRACE(sim_->Now(), TraceKind::kLockWound, victim->tid, options_.site, winner);
+  // Free its local locks now; the victim's outstanding vote (an in-flight RPC
+  // or its own parked local vote) drives the normal FinishSlowCommit abort,
+  // which re-releases (idempotent) and aborts the remote yes-votes.
+  ReleaseLocks(victim->tid);
+}
+
 void WalterServer::HandleAbort2pc(const Message& msg) {
   AbortMessage abort = AbortMessage::Deserialize(msg.payload);
   ReleaseLocks(abort.tid);
 }
 
-void WalterServer::LockAll(TxId tid, const std::vector<ObjectId>& oids, SiteId coordinator) {
+void WalterServer::HandleCommitDecision(const Message& msg) {
+  CommitDecision decision = CommitDecision::Deserialize(msg.payload);
+  SiteId origin = decision.version.site;
+  if (!options_.early_lock_release || origin >= options_.num_sites ||
+      origin == options_.site || !site_active_[origin]) {
+    return;
+  }
+  ++stats_.decisions_received;
+  auto it = lock_owners_.find(decision.tid);
+  if (it == lock_owners_.end()) {
+    return;  // already released: propagated here first, aborted, or swept
+  }
+  WTRACE(sim_->Now(), TraceKind::kDecisionRecv, decision.tid, options_.site,
+         decision.version.seqno, origin);
+  if (committed_vts_.at(origin) < decision.version.seqno) {
+    // The decided record has not committed here yet: watermark every object
+    // the lock was protecting so the read path takes over the PSI guarantee.
+    for (const auto& oid : it->second.oids) {
+      store_.AddVisibilityWatermark(oid, decision.version, decision.tid);
+      ++stats_.watermarks_set;
+    }
+    watermark_installed_.emplace(decision.tid, sim_->Now());
+    WTRACE(sim_->Now(), TraceKind::kWatermarkSet, decision.tid, options_.site,
+           decision.version.seqno, origin);
+  }
+  ++stats_.early_releases;
+  ReleaseLocks(decision.tid);
+}
+
+void WalterServer::LockAll(TxId tid, const std::vector<ObjectId>& oids, SiteId coordinator,
+                           uint64_t priority) {
   WTRACE(sim_->Now(), TraceKind::kLockAcquire, tid, options_.site, oids.size(), coordinator);
   LockOwner& owner = lock_owners_[tid];
   owner.coordinator = coordinator;
   owner.acquired = sim_->Now();
+  owner.priority = priority;
   for (const auto& oid : oids) {
     locks_[oid] = tid;
     owner.oids.push_back(oid);
@@ -839,8 +1307,98 @@ void WalterServer::ReleaseLocks(TxId tid) {
     if (lock != locks_.end() && lock->second == tid) {
       locks_.erase(lock);
     }
+    if (!lock_waitlist_.empty()) {
+      auto wl = lock_waitlist_.find(oid);
+      if (wl != lock_waitlist_.end()) {
+        pending_wakes_.insert(pending_wakes_.end(), wl->second.begin(), wl->second.end());
+      }
+    }
   }
   lock_owners_.erase(it);
+  if (!pending_wakes_.empty() && !wake_scheduled_) {
+    // Deferred wake: resuming a waiter can re-enter the commit machinery, and
+    // ReleaseLocks is called from inside its loops (AdvanceLocalCommits,
+    // TryCommitRemotes). Never scheduled with the flag off: the waitlist is
+    // empty, so the legacy event sequence is untouched.
+    wake_scheduled_ = true;
+    sim_->After(0, Guard([this]() { WakeLockWaiters(); }));
+  }
+}
+
+void WalterServer::ParkLockWaiter(TxId tid, uint64_t priority, std::vector<ObjectId> oids,
+                                  SimTime deadline, std::function<void(bool)> resume) {
+  auto existing = lock_waiters_.find(tid);
+  if (existing != lock_waiters_.end()) {
+    // Defensive: never stack two waiters under one tid (the old one's timer
+    // would resume the new entry early). Callers guard against this; if it
+    // happens anyway, the superseded waiter resolves as timed out.
+    ResumeLockWaiter(tid, true);
+  }
+  LockWaiter& w = lock_waiters_[tid];
+  w.tid = tid;
+  w.priority = priority;
+  w.oids = std::move(oids);
+  w.deadline = deadline;
+  w.resume = std::move(resume);
+  for (const auto& oid : w.oids) {
+    auto lock = locks_.find(oid);
+    if (lock != locks_.end() && lock->second != tid) {
+      lock_waitlist_[oid].push_back(tid);
+    }
+  }
+  SimDuration delay = deadline > sim_->Now() ? deadline - sim_->Now() : 0;
+  w.timeout_event = sim_->After(delay, Guard([this, tid]() {
+                                  auto it = lock_waiters_.find(tid);
+                                  if (it == lock_waiters_.end()) {
+                                    return;
+                                  }
+                                  it->second.timeout_event = 0;
+                                  ResumeLockWaiter(tid, true);
+                                }));
+}
+
+void WalterServer::ResumeLockWaiter(TxId tid, bool timed_out) {
+  auto it = lock_waiters_.find(tid);
+  if (it == lock_waiters_.end()) {
+    return;
+  }
+  if (it->second.timeout_event != 0) {
+    sim_->Cancel(it->second.timeout_event);
+  }
+  for (const auto& oid : it->second.oids) {
+    auto wl = lock_waitlist_.find(oid);
+    if (wl != lock_waitlist_.end()) {
+      std::erase(wl->second, tid);
+      if (wl->second.empty()) {
+        lock_waitlist_.erase(wl);
+      }
+    }
+  }
+  auto resume = std::move(it->second.resume);
+  lock_waiters_.erase(it);
+  resume(timed_out);
+}
+
+void WalterServer::WakeLockWaiters() {
+  wake_scheduled_ = false;
+  std::vector<TxId> tids;
+  tids.swap(pending_wakes_);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  // Resume oldest-first (priority, tid): the deterministic grant order that
+  // matches the wound-wait age ordering.
+  std::vector<std::pair<uint64_t, TxId>> order;
+  order.reserve(tids.size());
+  for (TxId tid : tids) {
+    auto it = lock_waiters_.find(tid);
+    if (it != lock_waiters_.end()) {
+      order.emplace_back(it->second.priority, tid);
+    }
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [priority, tid] : order) {
+    ResumeLockWaiter(tid, false);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1056,10 +1614,17 @@ void WalterServer::TryCommitRemotes() {
         continue;
       }
       auto& uncommitted = uncommitted_remote_[j];
+      // Co-sited fast visibility (early-release mode): for a shard in the same
+      // geo site the durability gate is unnecessary — the origin flushed the
+      // record before sending it, and co-located shards share fate (§5.7), so
+      // "durable at the origin" is as strong as our own flush. Skipping the
+      // round-trip lets watermarked versions commit at LAN latency.
+      bool co_sited = options_.early_lock_release && !options_.geo_site_of.empty() &&
+                      options_.geo_site_of[j] == options_.geo_site_of[options_.site];
       while (!uncommitted.empty()) {
         auto it = uncommitted.begin();
         uint64_t next = committed_vts_.at(j) + 1;
-        if (it->first != next || next > durable_known_[j] ||
+        if (it->first != next || (!co_sited && next > durable_known_[j]) ||
             !committed_vts_.Covers(it->second.record.start_vts)) {
           break;  // Figure 13's remote-commit guard
         }
@@ -1078,6 +1643,15 @@ void WalterServer::TryCommitRemotes() {
   }
   for (SiteId j = 0; j < options_.num_sites; ++j) {
     if (j != options_.site && advanced[j]) {
+      if (store_.has_watermarks()) {
+        // Versions at or below the new committed frontier are in the local
+        // store now; their watermarks have done their job.
+        size_t cleared = store_.ClearVisibilityWatermarks(j, committed_vts_.at(j));
+        if (cleared > 0) {
+          stats_.watermarks_cleared += cleared;
+          WTRACE(sim_->Now(), TraceKind::kWatermarkClear, 0, options_.site, cleared, j);
+        }
+      }
       VisibleAck ack;
       ack.from = options_.site;
       ack.origin = j;
@@ -1469,7 +2043,22 @@ void WalterServer::HandleRemoteRead(const Message& msg, RpcEndpoint::ReplyFn rep
   RemoteReadRequest req = RemoteReadRequest::Deserialize(msg.payload);
   cpu_.Execute(Jittered(options_.perf.read_op), [this, req = std::move(req),
                                                  reply = std::move(reply)]() {
+    AnswerRemoteRead(req, reply);
+  });
+}
+
+void WalterServer::AnswerRemoteRead(RemoteReadRequest req, RpcEndpoint::ReplyFn reply) {
+  {
     RemoteReadResponse resp;
+    if (options_.early_lock_release && store_.has_watermarks() &&
+        store_.WatermarkBlocksRead(req.oid, req.vts)) {
+      // The caller's snapshot covers a decided-but-uncommitted version of this
+      // object: park and retry, same as a local read behind a watermark.
+      ++stats_.watermark_read_waits;
+      WTRACE(sim_->Now(), TraceKind::kWaitWatermark, 0, options_.site, 0, req.caller);
+      sim_->After(Millis(1), Guard([this, req, reply]() { AnswerRemoteRead(req, reply); }));
+      return;
+    }
     if (!req.vts.Covers(store_.gc_frontier())) {
       // The caller's snapshot is below OUR frontier (possible in
       // frontier-gossip mode, where sites fold independently). Answering from
@@ -1501,7 +2090,7 @@ void WalterServer::HandleRemoteRead(const Message& msg, RpcEndpoint::ReplyFn rep
     Message m;
     m.payload = resp.Serialize();
     reply(std::move(m));
-  });
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1765,6 +2354,25 @@ void WalterServer::Restore(const DurableImage& image) {
   durable_wal_bytes_ = store_.wal().base() + store_.wal().size();
   backfill_target_ = curr_seqno_;
 
+  // Volatile commit-protocol state does not survive a crash: locks, parked
+  // waiters and watermark bookkeeping start empty (RestoreCheckpoint already
+  // dropped the store-side watermarks). Timers in flight find their waiter
+  // gone and no-op.
+  locks_.clear();
+  lock_owners_.clear();
+  for (auto& [tid, waiter] : lock_waiters_) {
+    if (waiter.timeout_event != 0) {
+      sim_->Cancel(waiter.timeout_event);
+    }
+  }
+  lock_waiters_.clear();
+  lock_waitlist_.clear();
+  pending_wakes_.clear();
+  wake_scheduled_ = false;
+  parked_commits_.clear();
+  watermark_installed_.clear();
+  watermark_query_in_flight_.clear();
+
   crashed_ = false;
   endpoint_.SetDown(false);
   WTRACE(sim_->Now(), TraceKind::kRecoveryDone, 0, options_.site, curr_seqno_);
@@ -1830,6 +2438,9 @@ void WalterServer::DiscardNonSurviving(SiteId s, uint64_t survive_through) {
     return;
   }
   store_.RemoveVersionsFrom(s, survive_through);
+  // Watermarks for discarded versions point at commits that no longer exist;
+  // parked readers must not wait for them forever.
+  store_.DropWatermarksFrom(s, survive_through);
   pending_in_[s].clear();
   auto& uncommitted = uncommitted_remote_[s];
   for (auto it = uncommitted.begin(); it != uncommitted.end();) {
@@ -1934,13 +2545,14 @@ void WalterServer::SweepStaleLocks() {
       continue;
     }
     owner.query_in_flight = true;
+    ++stats_.stale_lock_queries;
     TxStatusRequest req{tid};
     endpoint_.Call(
         Address{owner.coordinator, kWalterPort}, kTxStatus, req.Serialize(),
         [this, tid](Status status, const Message& m) {
           auto it = lock_owners_.find(tid);
           if (it == lock_owners_.end()) {
-            return;  // released meanwhile (propagation or abort)
+            return;  // released meanwhile (propagation, decision, or abort)
           }
           it->second.query_in_flight = false;
           if (!status.ok()) {
@@ -1955,6 +2567,63 @@ void WalterServer::SweepStaleLocks() {
         },
         options_.resend_timeout);
   }
+  SweepStaleWatermarks();
+}
+
+void WalterServer::SweepStaleWatermarks() {
+  if (!store_.has_watermarks()) {
+    return;
+  }
+  // A watermark normally clears when its record propagates and commits here.
+  // If the origin lost the record (crash after decision, before flush reached
+  // a survivable point) the watermark would park readers forever — ask the
+  // origin for the transaction's fate, exactly like the stale-lock sweep.
+  SimDuration stale_after = 2 * options_.resend_timeout;
+  for (const auto& [tid, version] : store_.WatermarkTxs()) {
+    if (version.site == options_.site || version.site >= options_.num_sites) {
+      store_.DropWatermarksOfTx(tid);  // cannot happen by construction; self-heal
+      continue;
+    }
+    auto installed = watermark_installed_.try_emplace(tid, sim_->Now()).first;
+    if (sim_->Now() - installed->second < stale_after ||
+        watermark_query_in_flight_.contains(tid)) {
+      continue;
+    }
+    watermark_query_in_flight_.insert(tid);
+    ++stats_.stale_watermark_queries;
+    TxStatusRequest req{tid};
+    endpoint_.Call(
+        Address{version.site, kWalterPort}, kTxStatus, req.Serialize(),
+        [this, tid](Status status, const Message& m) {
+          watermark_query_in_flight_.erase(tid);
+          if (!status.ok()) {
+            return;  // origin unreachable: keep the watermark (conservative)
+          }
+          TxStatusResponse resp = TxStatusResponse::Deserialize(m.payload);
+          if (resp.outcome == TxStatusOutcome::kTxAborted) {
+            if (store_.DropWatermarksOfTx(tid)) {
+              WTRACE(sim_->Now(), TraceKind::kWatermarkClear, tid, options_.site, 0);
+            }
+            watermark_installed_.erase(tid);
+          }
+          // kTxCommitted: propagation will clear it; kTxPending: impossible
+          // (the decision was made), treated like committed.
+        },
+        options_.resend_timeout);
+  }
+  // Drop aging entries whose watermarks are gone (cleared by propagation).
+  std::erase_if(watermark_installed_, [this](const auto& kv) {
+    return !watermark_query_in_flight_.contains(kv.first) && !WatermarkStillLive(kv.first);
+  });
+}
+
+bool WalterServer::WatermarkStillLive(TxId tid) const {
+  for (const auto& [wtid, version] : store_.WatermarkTxs()) {
+    if (wtid == tid) {
+      return true;
+    }
+  }
+  return false;
 }
 
 size_t WalterServer::GarbageCollect(const VectorTimestamp& stable) {
@@ -1970,6 +2639,18 @@ VectorTimestamp WalterServer::StabilityFloor(bool include_pins) const {
   if (include_pins && pin_floor_provider_) {
     if (auto pins = pin_floor_provider_()) {
       floor.MergeMin(*pins);
+    }
+  }
+  if (store_.has_watermarks()) {
+    // A watermarked version has a parked reader waiting to see it; the GC
+    // frontier must not fold histories past it, or the reader would resume
+    // onto a folded base.
+    for (SiteId s = 0; s < options_.num_sites; ++s) {
+      if (auto min = store_.MinWatermarkSeqno(s)) {
+        if (floor.at(s) >= *min) {
+          floor.set(s, *min - 1);
+        }
+      }
     }
   }
   return floor;
@@ -2072,6 +2753,24 @@ void WalterServer::ExportMetrics(MetricsRegistry& metrics) const {
               static_cast<double>(stats_.recovery_bad_checkpoints));
   metrics.Set("server.recovery_backfilled", s, static_cast<double>(stats_.recovery_backfilled));
   metrics.Set("server.disk_stall_bursts", s, static_cast<double>(disk_.stall_bursts()));
+  // Early-lock-release counters: all zero with the flag off.
+  metrics.Set("server.early_releases", s, static_cast<double>(stats_.early_releases));
+  metrics.Set("server.decisions_sent", s, static_cast<double>(stats_.decisions_sent));
+  metrics.Set("server.decisions_received", s, static_cast<double>(stats_.decisions_received));
+  metrics.Set("server.watermarks_set", s, static_cast<double>(stats_.watermarks_set));
+  metrics.Set("server.watermarks_cleared", s, static_cast<double>(stats_.watermarks_cleared));
+  metrics.Set("server.watermark_read_waits", s,
+              static_cast<double>(stats_.watermark_read_waits));
+  metrics.Set("server.live_watermarks", s, static_cast<double>(store_.watermark_count()));
+  metrics.Set("server.lock_waits", s, static_cast<double>(stats_.lock_waits));
+  metrics.Set("server.lock_wait_timeouts", s, static_cast<double>(stats_.lock_wait_timeouts));
+  metrics.Set("server.lock_wounds", s, static_cast<double>(stats_.lock_wounds));
+  metrics.Set("server.stale_lock_queries", s, static_cast<double>(stats_.stale_lock_queries));
+  metrics.Set("server.stale_watermark_queries", s,
+              static_cast<double>(stats_.stale_watermark_queries));
+  metrics.Set("server.aborts_conflict", s, static_cast<double>(stats_.aborts_conflict));
+  metrics.Set("server.aborts_wound", s, static_cast<double>(stats_.aborts_wound));
+  metrics.Set("server.aborts_timeout", s, static_cast<double>(stats_.aborts_timeout));
 }
 
 }  // namespace walter

@@ -103,6 +103,27 @@ class WalterServer {
     // on group-commit flush. Empty (default) keeps the in-memory image only —
     // the simulated benchmarks' behavior is unchanged.
     std::string wal_dir;
+    // Decision/visibility decoupling (the Figure-13 lock-lifetime split, wired
+    // from ClusterOptions::early_lock_release). On: participants release 2PC
+    // prepare locks when the coordinator's commit decision arrives, installing
+    // per-object visibility watermarks that park readers (instead of holding
+    // the lock until the record propagates back durable + covered); prepares
+    // and fast commits blocked on a held lock wait with wound-wait ordering
+    // instead of aborting; all-co-sited 2PCs acquire sites in global object
+    // order; and remote records from a co-sited origin commit without waiting
+    // for disaster-safe durability (co-located shards fail together — the
+    // same §5.7 single-shard caveat sharding already documents). Off: every
+    // code path and wire byte is identical to the pre-watermark protocol.
+    bool early_lock_release = false;
+    // How long a prepare or fast commit blocked on a held lock waits for the
+    // holder to resolve before voting no / aborting (early_lock_release only).
+    // Must stay below resend_timeout or the coordinator counts a still-parked
+    // participant as a transport-dead no vote.
+    SimDuration lock_wait_timeout = Millis(500);
+    // Geographic site of each global server id (filled by the cluster from its
+    // shard map). Empty = every server is its own geo site, which disables the
+    // co-sited fast-visibility path.
+    std::vector<SiteId> geo_site_of;
   };
 
   // Storage-layer milestones, exposed for crash-point enumeration: the crash
@@ -136,6 +157,10 @@ class WalterServer {
   // detectors in chaos tests assert both drain after heal).
   size_t lock_count() const { return locks_.size(); }
   size_t active_tx_count() const { return active_.size(); }
+  // Live visibility watermarks / parked lock waiters (same leak-canary role as
+  // lock_count(): both must drain to zero once traffic stops and heals settle).
+  size_t watermark_count() const { return store_.watermark_count(); }
+  size_t lock_waiter_count() const { return lock_waiters_.size(); }
   // Retained (not yet globally visible) own commit by sequence number, or
   // nullptr. After a restore this covers every own record the replacement
   // committed silently, letting a harness recover records no observer saw.
@@ -284,6 +309,21 @@ class WalterServer {
     uint64_t recovery_torn_tails = 0;     // restores that truncated a torn WAL tail
     uint64_t recovery_bad_checkpoints = 0;  // checkpoint images rejected by CRC
     uint64_t recovery_backfilled = 0;     // own records re-installed from peers
+    // Early lock release / visibility watermarks.
+    uint64_t decisions_sent = 0;          // commit decisions sent to participants
+    uint64_t decisions_received = 0;      // commit decisions received
+    uint64_t early_releases = 0;          // participant lock sets released at decision
+    uint64_t watermarks_set = 0;          // per-object visibility watermarks installed
+    uint64_t watermarks_cleared = 0;      // watermarks cleared by remote commit
+    uint64_t watermark_read_waits = 0;    // reads parked on a watermark
+    uint64_t lock_waits = 0;              // prepares/fast commits parked on a held lock
+    uint64_t lock_wounds = 0;             // wound-wait victims aborted here
+    uint64_t lock_wait_timeouts = 0;      // parked waiters that hit lock_wait_timeout
+    uint64_t aborts_conflict = 0;         // abort breakdown: write-write conflict
+    uint64_t aborts_wound = 0;            //   wound-wait victim
+    uint64_t aborts_timeout = 0;          //   lock-wait timeout
+    uint64_t stale_lock_queries = 0;      // kTxStatus probes for stale prepare locks
+    uint64_t stale_watermark_queries = 0; // kTxStatus probes for stale watermarks
   };
   const Stats& stats() const { return stats_; }
 
@@ -344,6 +384,13 @@ class WalterServer {
     bool want_visible = false;
     uint32_t reply_port = 0;
     SiteId reply_site = kNoSite;
+    // early_lock_release additions (all inert when the flag is off):
+    AbortReason abort_reason = AbortReason::kConflict;  // first no-vote's reason
+    uint64_t priority = 0;            // wound-wait age (commit entry time + 1)
+    bool sequential = false;          // all-co-sited: acquire sites one at a time
+    std::vector<SiteId> site_order;   // sequential mode: sites by smallest oid
+    size_t next_site = 0;             // sequential mode: cursor into site_order
+    std::map<SiteId, std::vector<ObjectId>> by_site;  // write-set partition
   };
 
   // --- request plumbing ---
@@ -363,7 +410,7 @@ class WalterServer {
   // --- commit protocols ---
   void FastCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
                   uint32_t reply_port, SiteId reply_site,
-                  std::function<void(ClientOpResponse)> respond);
+                  std::function<void(ClientOpResponse)> respond, SimTime deadline = 0);
   void SlowCommit(TxId tid, ActiveTx tx, std::vector<SiteId> sites, bool want_durable,
                   bool want_visible, uint32_t reply_port, SiteId reply_site,
                   std::function<void(ClientOpResponse)> respond);
@@ -380,11 +427,50 @@ class WalterServer {
   void HandlePrepare(const Message& msg, RpcEndpoint::ReplyFn reply);
   void HandleAbort2pc(const Message& msg);
   void HandleTxStatus(const Message& msg, RpcEndpoint::ReplyFn reply);
-  void LockAll(TxId tid, const std::vector<ObjectId>& oids, SiteId coordinator);
+  void LockAll(TxId tid, const std::vector<ObjectId>& oids, SiteId coordinator,
+               uint64_t priority = 0);
   void ReleaseLocks(TxId tid);
   // 2PC termination: queries coordinators of stale prepare locks so an orphaned
-  // lock (coordinator crashed mid-2PC) is eventually released.
+  // lock (coordinator crashed mid-2PC) is eventually released. With early
+  // release on, also probes stale watermarks (decision origin crashed before
+  // the record became durable) and drops the ones the origin reports aborted.
   void SweepStaleLocks();
+  // Stale-watermark half of the sweep (see SweepStaleLocks); separate so the
+  // common flag-off path pays one has_watermarks() check only.
+  void SweepStaleWatermarks();
+  bool WatermarkStillLive(TxId tid) const;
+
+  // --- early lock release (all no-ops / unreachable when the flag is off) ---
+  // Classifies a prepare-style lock acquisition: grant, permanent conflict, or
+  // blocked-by-a-live-holder (wait). Runs the wound-wait pass before answering
+  // kWait: strictly younger holders whose 2PC this server coordinates are
+  // wounded. Does not itself take locks.
+  enum class PrepareCheck : uint8_t { kYes, kNo, kWait };
+  PrepareCheck CheckPrepare(TxId tid, const std::vector<ObjectId>& oids,
+                            const VectorTimestamp& vts, uint64_t priority, TxId* blocker);
+  // Marks a coordinator-local slow commit as wound-aborted and frees its locks;
+  // its outstanding vote drives the normal abort path.
+  void WoundLocal(const std::shared_ptr<SlowCommitState>& victim, TxId winner);
+  // Coordinator-side vote arrival, shared by the legacy parallel path, the
+  // flag-on parallel path and the sequential (ordered, co-sited) path.
+  void OnPrepareVote(const std::shared_ptr<SlowCommitState>& state, SiteId voter, bool yes,
+                     AbortReason reason);
+  // Sequential mode: issues the next site's prepare (or finishes).
+  void AdvancePrepares(const std::shared_ptr<SlowCommitState>& state);
+  // Coordinator's own vote (local lock acquisition), possibly parked.
+  void StartLocalVote(const std::shared_ptr<SlowCommitState>& state,
+                      const std::vector<ObjectId>& oids, SimTime deadline = 0);
+  // Participant-side prepare answer with parking support; deadline 0 = fresh.
+  void AnswerPrepare(PrepareRequest req, SiteId coordinator, RpcEndpoint::ReplyFn reply,
+                     SimTime deadline);
+  void ReplyPrepareVote(TxId tid, SiteId coordinator, const RpcEndpoint::ReplyFn& reply,
+                        bool yes, AbortReason reason);
+  void HandleCommitDecision(const Message& msg);
+  // Lock-waiter machinery: park/resume parked prepares and fast commits.
+  void ParkLockWaiter(TxId tid, uint64_t priority, std::vector<ObjectId> oids,
+                      SimTime deadline, std::function<void(bool timed_out)> resume);
+  void ResumeLockWaiter(TxId tid, bool timed_out);
+  void WakeLockWaiters();
 
   // --- propagation ---
   void MaybeSendBatch(SiteId dest);
@@ -422,6 +508,9 @@ class WalterServer {
 
   // --- remote reads ---
   void HandleRemoteRead(const Message& msg, RpcEndpoint::ReplyFn reply);
+  // Body of HandleRemoteRead past the CPU charge, re-entered by the watermark
+  // read-park (the answer waits until the decided version commits here).
+  void AnswerRemoteRead(RemoteReadRequest req, RpcEndpoint::ReplyFn reply);
 
   bool IsDsDurableQuorum(const TxRecord& record) const;
   SimDuration Jittered(SimDuration base);
@@ -466,9 +555,41 @@ class WalterServer {
     SiteId coordinator = kNoSite;
     SimTime acquired = 0;
     bool query_in_flight = false;
+    uint64_t priority = 0;  // holder's wound-wait age (0 = pre-watermark protocol)
   };
   std::unordered_map<ObjectId, TxId> locks_;
   std::unordered_map<TxId, LockOwner> lock_owners_;
+  // Parked lock waiters (early_lock_release): a prepare or fast commit blocked
+  // on a held lock waits here until the holder resolves or the wait times out.
+  // All maps stay empty with the flag off — ReleaseLocks' wake hook is gated on
+  // that, so the legacy event sequence is untouched.
+  struct LockWaiter {
+    TxId tid = 0;
+    uint64_t priority = 0;
+    std::vector<ObjectId> oids;  // the full set it needs (re-checked on resume)
+    SimTime deadline = 0;        // absolute; carried across re-parks
+    EventId timeout_event = 0;
+    std::function<void(bool timed_out)> resume;
+  };
+  std::unordered_map<TxId, LockWaiter> lock_waiters_;
+  std::unordered_map<ObjectId, std::vector<TxId>> lock_waitlist_;
+  std::vector<TxId> pending_wakes_;  // tids to resume after the current event
+  bool wake_scheduled_ = false;
+  // A fast commit parked on a held lock: its buffered transaction and reply
+  // plumbing, keyed by tid so a retransmitted commit can chain onto it.
+  struct ParkedCommit {
+    ActiveTx tx;
+    bool want_durable = false;
+    bool want_visible = false;
+    uint32_t reply_port = 0;
+    SiteId reply_site = kNoSite;
+    std::function<void(ClientOpResponse)> respond;
+  };
+  std::unordered_map<TxId, ParkedCommit> parked_commits_;
+  // When each watermark set was installed / which have a kTxStatus probe in
+  // flight (the stale-watermark sweep's bookkeeping).
+  std::unordered_map<TxId, SimTime> watermark_installed_;
+  std::unordered_set<TxId> watermark_query_in_flight_;
   // Local commits by tid, kept while the record is retained (for kTxStatus).
   std::unordered_map<TxId, uint64_t> committed_tids_;
   // All-time commit outcomes by tid, kept past global visibility so a late

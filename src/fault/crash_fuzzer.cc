@@ -61,6 +61,9 @@ std::vector<CensusEntry> RunOnce(const CrashFuzzerOptions& options, const RunPla
                                  CrashFuzzerReport* report) {
   ClusterOptions copt;
   copt.num_sites = options.num_sites;
+  if (options.shards_per_site > 1) {
+    copt.servers_per_site.assign(options.num_sites, options.shards_per_site);
+  }
   copt.seed = options.seed;
   copt.server.perf = PerfModel::Instant();
   copt.server.disk = options.disk;
@@ -72,7 +75,9 @@ std::vector<CensusEntry> RunOnce(const CrashFuzzerOptions& options, const RunPla
   Cluster cluster(copt);
   Simulator& sim = cluster.sim();
   const SiteId victim = options.victim;
-  const size_t n = options.num_sites;
+  // All per-server bookkeeping (logs, convergence, PSI) spans virtual servers:
+  // under sharding each shard is a full Walter server with its own log.
+  const size_t n = cluster.num_servers();
 
   auto fail = [&](const std::string& what) {
     report->failures.push_back(plan.label + ": " + what);
@@ -172,13 +177,36 @@ std::vector<CensusEntry> RunOnce(const CrashFuzzerOptions& options, const RunPla
   // transactions sequentially, every write to a unique object so the
   // acked-commit check is exact. Commits failing while the victim is down are
   // fine — only acknowledged commits carry the durability promise.
-  int active = static_cast<int>(n);
+  const size_t sites = options.num_sites;
+  int active = static_cast<int>(sites);
   std::vector<AckedWrite> acked;
   std::vector<WalterClient*> clients;
-  for (SiteId s = 0; s < static_cast<SiteId>(n); ++s) {
+  for (SiteId s = 0; s < static_cast<SiteId>(sites); ++s) {
     clients.push_back(cluster.AddClient(s));
   }
-  std::vector<int> next_txn(n, 0);
+  // Per-site container choices. Unsharded, container s is preferred at site s.
+  // Sharded, the first write always targets a shard-0 container (so the site's
+  // first shard — the victim at site 0 — coordinates every 2PC and its own
+  // seqnos advance predictably for the checkpoint trigger) and the second
+  // write targets a shard-1 container, forcing the slow path.
+  std::vector<ContainerId> first_container(sites), second_container(sites);
+  for (SiteId s = 0; s < static_cast<SiteId>(sites); ++s) {
+    first_container[s] = s;
+    second_container[s] = s;
+    if (options.shards_per_site > 1) {
+      const ShardMap& map = cluster.shard_map();
+      auto on_shard = [&](size_t shard) {
+        for (ContainerId c = s;; c += sites) {
+          if (map.ShardOf(c, s) == shard) {
+            return c;
+          }
+        }
+      };
+      first_container[s] = on_shard(0);
+      second_container[s] = on_shard(1);
+    }
+  }
+  std::vector<int> next_txn(sites, 0);
   std::function<void(SiteId)> step = [&](SiteId s) {
     if (next_txn[s] >= options.txns_per_site) {
       --active;
@@ -186,19 +214,27 @@ std::vector<CensusEntry> RunOnce(const CrashFuzzerOptions& options, const RunPla
     }
     int i = next_txn[s]++;
     auto tx = std::make_shared<Tx>(clients[s]);
-    ObjectId oid{s, 1000 + static_cast<uint64_t>(i)};
+    ObjectId oid{first_container[s], 1000 + static_cast<uint64_t>(i)};
     std::string value = "s" + std::to_string(s) + "-t" + std::to_string(i);
     tx->Write(oid, value);
-    tx->Commit([&, s, tx, oid, value](Status st) {
+    ObjectId oid2{second_container[s], 2000 + static_cast<uint64_t>(i)};
+    std::string value2 = value + "-x";
+    if (options.shards_per_site > 1) {
+      tx->Write(oid2, value2);
+    }
+    tx->Commit([&, s, tx, oid, value, oid2, value2](Status st) {
       if (st.ok()) {
         acked.push_back({oid, value});
+        if (options.shards_per_site > 1) {
+          acked.push_back({oid2, value2});
+        }
       }
       // Think gap >> flush latency: at any append boundary the prior frames
       // are already flush-confirmed, keeping in-flight tails to ~one frame.
       sim.After(Millis(5), [&step, s]() { step(s); });
     });
   };
-  for (SiteId s = 0; s < static_cast<SiteId>(n); ++s) {
+  for (SiteId s = 0; s < static_cast<SiteId>(sites); ++s) {
     step(s);
   }
 
@@ -248,13 +284,15 @@ std::vector<CensusEntry> RunOnce(const CrashFuzzerOptions& options, const RunPla
   }
 
   // Zero acked-commit loss: every acknowledged write is readable, with its
-  // exact value, at every site's full committed snapshot.
+  // exact value, at every site's full committed snapshot — at the shard that
+  // replicates the object's container (every server, unsharded).
   for (const AckedWrite& w : acked) {
-    for (SiteId s = 0; s < static_cast<SiteId>(n); ++s) {
+    for (SiteId site = 0; site < static_cast<SiteId>(sites); ++site) {
+      SiteId s = cluster.shard_map().OwnerAt(w.oid.container, site);
       auto got = cluster.server(s).store().ReadRegular(w.oid, cluster.server(s).committed_vts());
       if (!got.has_value() || *got != w.value) {
-        fail("acked commit lost at site " + std::to_string(s) + ": " + w.oid.ToString() + " = " +
-             (got.has_value() ? *got : std::string("<missing>")) + ", want " + w.value);
+        fail("acked commit lost at server " + std::to_string(s) + ": " + w.oid.ToString() +
+             " = " + (got.has_value() ? *got : std::string("<missing>")) + ", want " + w.value);
       }
     }
   }

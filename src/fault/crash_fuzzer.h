@@ -35,6 +35,12 @@ struct CrashFuzzerOptions {
   // census size (and so the number of crash runs) grows with it.
   int txns_per_site = 4;
   SiteId victim = 0;
+  // Shards per site. With > 1, every workload transaction writes two objects
+  // on distinct shards of its site, so each commit runs the intra-site 2PC
+  // slow path — the sweep then crashes the victim at every storage boundary
+  // with commit decisions and visibility watermarks in flight (the early-lock-
+  // release path). 1 = the paper's unsharded model, fast commits only.
+  size_t shards_per_site = 1;
   // Disk with a real flush window, so append -> durable is a crash interval.
   // DiskConfig::Memory() would make every append instantly durable and the
   // torn-tail sweep vacuous.

@@ -85,6 +85,20 @@ const char* TraceKindName(TraceKind kind) {
       return "recovery_done";
     case TraceKind::kDiskStall:
       return "disk_stall";
+    case TraceKind::kLockWait:
+      return "lock_wait";
+    case TraceKind::kLockWound:
+      return "lock_wound";
+    case TraceKind::kWaitWatermark:
+      return "wait_watermark";
+    case TraceKind::kWatermarkSet:
+      return "watermark_set";
+    case TraceKind::kWatermarkClear:
+      return "watermark_clear";
+    case TraceKind::kDecisionSend:
+      return "decision_send";
+    case TraceKind::kDecisionRecv:
+      return "decision_recv";
   }
   return "unknown";
 }

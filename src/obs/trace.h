@@ -58,7 +58,7 @@ enum class TraceKind : uint8_t {
   kPrepareSend,        // 2PC prepare sent; aux = destination site
   kPrepareRecv,        // 2PC prepare handled at a participant
   kPrepareVote,        // participant vote; arg = 1 yes / 0 no
-  kTxAbort,            // commit aborted (conflict or no-vote); arg = StatusCode
+  kTxAbort,            // commit aborted (conflict or no-vote); arg = StatusCode, aux = AbortReason
   kCommitApply,        // commit applied to the store; arg = seqno
   kCommitLocal,        // group-commit flush done, CommittedVTS advanced; arg = seqno
   kCommitAck,          // commit response sent to the client; arg = seqno
@@ -80,6 +80,14 @@ enum class TraceKind : uint8_t {
   kRecoveryBackfill,   // own record re-installed from a peer; arg = seqno, aux = peer
   kRecoveryDone,       // Restore finished; arg = restored own seqno
   kDiskStall,          // injected disk stall burst; arg = slowdown factor
+  // Early lock release / visibility watermarks (ClusterOptions::early_lock_release).
+  kLockWait,           // prepare/fast-commit parked on a held lock; arg = holder tid
+  kLockWound,          // wound-wait victim aborted; tid = victim, arg = winner tid
+  kWaitWatermark,      // read parked on a visibility watermark; arg = seqno, aux = origin
+  kWatermarkSet,       // watermark installed at early release; arg = seqno, aux = origin
+  kWatermarkClear,     // watermarks cleared by visibility; arg = through-seqno, aux = origin
+  kDecisionSend,       // coordinator sent commit decisions; arg = seqno, aux = dest count
+  kDecisionRecv,       // participant received a commit decision; arg = seqno, aux = origin
 };
 
 // arg of kRecoveryCorrupt.

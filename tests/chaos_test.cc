@@ -256,6 +256,8 @@ void RunChaos(uint64_t seed) {
     EXPECT_EQ(cluster.server(s).committed_vts(), cluster.server(0).committed_vts())
         << "site " << s << " did not converge";
     EXPECT_EQ(cluster.server(s).lock_count(), 0u) << "site " << s;
+    EXPECT_EQ(cluster.server(s).watermark_count(), 0u) << "site " << s;
+    EXPECT_EQ(cluster.server(s).lock_waiter_count(), 0u) << "site " << s;
     EXPECT_EQ(cluster.server(s).active_tx_count(), 0u) << "site " << s;
   }
 

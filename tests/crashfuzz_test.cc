@@ -38,6 +38,24 @@ TEST(CrashFuzzTest, EveryCrashPointRecoversWithoutAckedLoss) {
   EXPECT_GT(report.acked_checked, 0u);
 }
 
+TEST(CrashFuzzTest, ShardedDecisionPathSurvivesEveryCrashPoint) {
+  // Two shards per site: every transaction is an intra-site 2PC, so the crash
+  // sweep kills the victim (site 0's coordinating shard) at every storage
+  // boundary with commit decisions, early-released locks and visibility
+  // watermarks in flight. Recovery must still lose no acked commit, converge
+  // all shards, and pass PSI.
+  CrashFuzzerOptions options;
+  options.num_sites = 2;
+  options.shards_per_site = 2;
+  options.seed = 3;
+  options.sweep_bit_rot = LongSweep();  // boundary + torn sweeps always run
+  CrashPointFuzzer fuzzer(options);
+  CrashFuzzerReport report = fuzzer.Run();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.crash_points, 0u);
+  EXPECT_GT(report.acked_checked, 0u);
+}
+
 TEST(CrashFuzzTest, DeterministicAcrossSeeds) {
   // A second seed shifts the schedule; the invariants must hold regardless.
   CrashFuzzerOptions options;

@@ -1,0 +1,308 @@
+// Early lock release (visibility watermarks, wound-wait, ordered prepares):
+// PSI over seeded cross-shard workloads at high cross-shard fractions, the
+// stale-lock-sweep interplay, coordinator crash after the commit decision,
+// and the GC stability-floor belt for watermarked versions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/config/shard_map.h"
+#include "src/core/cluster.h"
+#include "src/psi/checker.h"
+
+namespace walter {
+namespace {
+
+ObjectId Oid(uint64_t container, uint64_t local) { return ObjectId{container, local}; }
+
+// Logic-test options (shard_test.cc's ShardedOptions): no modeled CPU/disk
+// cost, no gossip, deterministic network. early_lock_release stays at its
+// default (on) — these tests exercise the new protocol.
+ClusterOptions ShardedOptions(size_t num_sites, size_t shards_per_site) {
+  ClusterOptions o;
+  o.num_sites = num_sites;
+  o.servers_per_site.assign(num_sites, shards_per_site);
+  o.server.perf = PerfModel::Instant();
+  o.server.disk = DiskConfig::Memory();
+  o.server.gossip_interval = 0;
+  return o;
+}
+
+// Finds a container preferred at `site` that its shard map hashes to `shard`.
+ContainerId ContainerOnShard(const ShardMap& map, SiteId site, size_t shard) {
+  for (ContainerId c = site;; c += map.num_sites()) {
+    if (map.ShardOf(c, site) == shard) {
+      return c;
+    }
+  }
+}
+
+std::optional<std::string> ReadOnce(Cluster& cluster, WalterClient* client,
+                                    const ObjectId& oid) {
+  Tx tx(client);
+  std::optional<std::string> value;
+  bool done = false;
+  tx.Read(oid, [&](Status s, std::optional<std::string> v) {
+    EXPECT_TRUE(s.ok());
+    value = std::move(v);
+    done = true;
+  });
+  while (!done && cluster.sim().Step()) {
+  }
+  EXPECT_TRUE(done);
+  return value;
+}
+
+// Seeded read-then-write workload where `cross_fraction` of the transactions
+// add a second write on the sibling shard (intra-site 2PC with early release).
+// The PSI checker replays every commit at every server.
+void RunSeededCrossShardPsi(double cross_fraction, uint64_t seed) {
+  ClusterOptions options = ShardedOptions(2, 2);
+  options.seed = seed;
+  Cluster cluster(options);
+  const ShardMap& map = cluster.shard_map();
+
+  PsiChecker checker(cluster.num_servers());
+  std::unordered_map<TxId, std::vector<RecordedRead>> reads_by_tid;
+  cluster.ObserveCommits([&](SiteId server, const TxRecord& rec) {
+    checker.OnApply(server, rec.tid);
+    if (server == rec.origin) {
+      RecordedTx recorded;
+      recorded.record = rec;
+      auto it = reads_by_tid.find(rec.tid);
+      if (it != reads_by_tid.end()) {
+        recorded.reads = it->second;
+      }
+      checker.OnCommit(std::move(recorded));
+    }
+  });
+
+  Rng rng(seed * 13 + 5);
+  int committed = 0;
+  int active = 0;
+  uint64_t next_value = 1;
+  std::vector<std::vector<ContainerId>> containers(2);
+  for (SiteId s = 0; s < 2; ++s) {
+    for (size_t shard = 0; shard < 2; ++shard) {
+      containers[s].push_back(ContainerOnShard(map, s, shard));
+    }
+  }
+
+  std::function<void(WalterClient*, SiteId, int)> start = [&](WalterClient* client,
+                                                              SiteId site, int remaining) {
+    if (remaining == 0) {
+      --active;
+      return;
+    }
+    auto tx = std::make_shared<Tx>(client);
+    // The first write targets the container the read came from, so the shard
+    // that assigned the snapshot is also the commit origin — the contract
+    // PsiChecker's origin-log replay assumes.
+    size_t first_shard = rng.Uniform(2);
+    bool cross = rng.NextDouble() < cross_fraction;
+    ContainerId first_c = containers[site][first_shard];
+    ObjectId read_oid = Oid(first_c, rng.Uniform(12));
+    tx->Read(read_oid, [&, client, site, remaining, tx, read_oid, cross, first_shard,
+              first_c](Status s, std::optional<std::string> v) {
+      ASSERT_TRUE(s.ok());
+      std::vector<RecordedRead> reads;
+      reads.push_back(RecordedRead{read_oid, false, std::move(v), {}});
+      tx->Write(Oid(first_c, rng.Uniform(12)), "w" + std::to_string(next_value++));
+      if (cross) {
+        tx->Write(Oid(containers[site][1 - first_shard], rng.Uniform(12)),
+                  "x" + std::to_string(next_value++));
+      }
+      TxId tid = tx->tid();
+      reads_by_tid[tid] = std::move(reads);
+      tx->Commit([&, client, site, remaining, tx, tid](Status s) {
+        if (s.ok()) {
+          ++committed;
+        } else {
+          reads_by_tid.erase(tid);
+        }
+        start(client, site, remaining - 1);
+      });
+    });
+  };
+
+  for (SiteId s = 0; s < 2; ++s) {
+    for (int c = 0; c < 3; ++c) {
+      ++active;
+      start(cluster.AddClient(s), s, 30);
+    }
+  }
+  while (active > 0 && cluster.sim().Step()) {
+  }
+  ASSERT_EQ(active, 0);
+  cluster.RunFor(Seconds(10));  // full propagation
+
+  EXPECT_GT(committed, 50);
+  Status result = checker.Check();
+  EXPECT_TRUE(result.ok()) << result.ToString();
+
+  uint64_t slow_commits = 0;
+  for (SiteId v = 0; v < static_cast<SiteId>(cluster.num_servers()); ++v) {
+    slow_commits += cluster.server(v).stats().slow_commits;
+    // Nothing leaked: early release freed every prepare lock and propagation
+    // cleared every watermark.
+    EXPECT_EQ(cluster.server(v).lock_count(), 0u) << "server " << v;
+    EXPECT_EQ(cluster.server(v).watermark_count(), 0u) << "server " << v;
+    EXPECT_EQ(cluster.server(v).lock_waiter_count(), 0u) << "server " << v;
+    // An early-released lock must never be re-queried as orphaned.
+    EXPECT_EQ(cluster.server(v).stats().stale_lock_queries, 0u) << "server " << v;
+    // Every committed transaction propagated to every shard of every site.
+    for (SiteId origin = 0; origin < static_cast<SiteId>(cluster.num_servers()); ++origin) {
+      EXPECT_EQ(cluster.server(v).committed_vts().at(origin),
+                cluster.server(origin).committed_vts().at(origin))
+          << "server " << v << " missing transactions from " << origin;
+    }
+  }
+  EXPECT_GT(slow_commits, 0u);  // the cross-shard fraction actually ran 2PC
+}
+
+TEST(EarlyReleasePsiTest, SeededCrossShardFraction50HasNoAnomalies) {
+  RunSeededCrossShardPsi(0.5, 51);
+}
+
+TEST(EarlyReleasePsiTest, SeededCrossShardFraction100HasNoAnomalies) {
+  RunSeededCrossShardPsi(1.0, 52);
+}
+
+// Coordinator crash after the commit decision: the participant released its
+// locks and holds visibility watermarks. The replacement coordinator recovers
+// the record from its durable log and propagation clears the watermarks (or,
+// if the record did not survive, the stale-watermark sweep learns the tid is
+// dead and drops them). Either way nothing wedges and nothing leaks.
+TEST(EarlyReleaseCrashTest, CoordinatorCrashAfterDecisionHeals) {
+  ClusterOptions options = ShardedOptions(2, 2);
+  options.seed = 77;
+  Cluster cluster(options);
+  const ShardMap& map = cluster.shard_map();
+  ContainerId c0 = ContainerOnShard(map, 0, 0);
+  ContainerId c1 = ContainerOnShard(map, 0, 1);
+  SiteId coordinator = map.ServerAt(0, 0);  // c0's owner coordinates the 2PC
+  SiteId participant = map.ServerAt(0, 1);
+
+  WalterClient* client = cluster.AddClient(0);
+  bool committed = false;
+  auto tx = std::make_shared<Tx>(client);
+  tx->Write(Oid(c0, 1), "a");
+  tx->Write(Oid(c1, 2), "b");
+  tx->Commit([&](Status s) { committed = s.ok(); });
+
+  // Step until the participant installs the watermark (decision received,
+  // record not propagated yet), then crash the coordinator in that window.
+  bool saw_watermark = false;
+  for (int i = 0; i < 200000 && !saw_watermark; ++i) {
+    if (!cluster.sim().Step()) {
+      break;
+    }
+    saw_watermark = cluster.server(participant).watermark_count() > 0;
+  }
+  ASSERT_TRUE(saw_watermark) << "decision never produced a watermark";
+  EXPECT_EQ(cluster.server(participant).lock_count(), 0u)
+      << "participant still holds prepare locks after the decision";
+
+  cluster.server(coordinator).Crash();
+  cluster.ReplaceServer(coordinator);
+  // Long enough for resync + propagation and for the stale sweeps (2x the 2s
+  // resend timeout) to fire if the record had been lost.
+  cluster.RunFor(Seconds(12));
+
+  for (SiteId v = 0; v < static_cast<SiteId>(cluster.num_servers()); ++v) {
+    EXPECT_EQ(cluster.server(v).lock_count(), 0u) << "server " << v;
+    EXPECT_EQ(cluster.server(v).watermark_count(), 0u) << "server " << v;
+  }
+  ASSERT_TRUE(committed);  // the decision was reached before the crash
+  // The commit was durable at the coordinator before the decision went out,
+  // so the replacement recovered it and both writes are visible everywhere.
+  WalterClient* reader = cluster.AddClient(1);
+  EXPECT_EQ(ReadOnce(cluster, reader, Oid(c0, 1)).value_or(""), "a");
+  EXPECT_EQ(ReadOnce(cluster, reader, Oid(c1, 2)).value_or(""), "b");
+}
+
+// The GC stability floor must not fold a version some parked reader is still
+// waiting to see: a live watermark at seqno k caps the floor at k-1 for the
+// decided version's origin.
+TEST(EarlyReleaseGcTest, StabilityFloorStopsBelowWatermarkedVersion) {
+  ClusterOptions options = ShardedOptions(2, 2);
+  options.seed = 9;
+  Cluster cluster(options);
+  WalterClient* client = cluster.AddClient(0);
+  for (int i = 0; i < 5; ++i) {
+    Tx tx(client);
+    tx.Write(Oid(ContainerOnShard(cluster.shard_map(), 0, 0), i), "v");
+    bool done = false;
+    tx.Commit([&](Status s) {
+      EXPECT_TRUE(s.ok());
+      done = true;
+    });
+    while (!done && cluster.sim().Step()) {
+    }
+  }
+  cluster.RunFor(Seconds(5));
+
+  WalterServer& server = cluster.server(cluster.shard_map().ServerAt(0, 1));
+  SiteId origin = cluster.shard_map().ServerAt(0, 0);
+  uint64_t committed_at_origin = server.committed_vts().at(origin);
+  ASSERT_GE(committed_at_origin, 5u);
+  VectorTimestamp before = server.StabilityFloor();
+  EXPECT_GE(before.at(origin), committed_at_origin);
+
+  // Normal case: the decided version is ahead of this server's committed
+  // frontier, so the floor already sits below it and stays put.
+  Version ahead{origin, committed_at_origin + 3};
+  server.store().AddVisibilityWatermark(Oid(1, 98), ahead, /*tid=*/111111);
+  EXPECT_EQ(server.StabilityFloor().at(origin), before.at(origin));
+  EXPECT_LT(server.StabilityFloor().at(origin), ahead.seqno);
+  server.store().DropWatermarksOfTx(111111);
+
+  // Defensive case: a watermark at (or below) the floor caps the floor at
+  // seqno - 1, so GC can never fold the version a parked reader waits on.
+  Version at_floor{origin, before.at(origin)};
+  server.store().AddVisibilityWatermark(Oid(1, 99), at_floor, /*tid=*/123456);
+  VectorTimestamp with_watermark = server.StabilityFloor();
+  EXPECT_EQ(with_watermark.at(origin), at_floor.seqno - 1)
+      << "floor must stop below the watermarked version";
+
+  // Clearing the watermark (as remote commit would) releases the belt.
+  server.store().DropWatermarksOfTx(123456);
+  EXPECT_EQ(server.StabilityFloor().at(origin), before.at(origin));
+}
+
+// Watermark write/read blocking semantics at the store level: any live
+// watermark blocks writers; readers are blocked only when their snapshot
+// covers the decided version.
+TEST(EarlyReleaseStoreTest, WatermarkBlockingSemantics) {
+  Store store;
+  ObjectId oid = Oid(7, 1);
+  EXPECT_FALSE(store.WatermarkBlocksWrite(oid));
+
+  store.AddVisibilityWatermark(oid, Version{2, 10}, /*tid=*/42);
+  EXPECT_TRUE(store.WatermarkBlocksWrite(oid));
+  EXPECT_FALSE(store.WatermarkBlocksWrite(Oid(7, 2)));
+
+  VectorTimestamp covers(4);
+  covers.set(2, 10);
+  VectorTimestamp below(4);
+  below.set(2, 9);
+  EXPECT_TRUE(store.WatermarkBlocksRead(oid, covers));
+  EXPECT_FALSE(store.WatermarkBlocksRead(oid, below));
+
+  EXPECT_EQ(store.MinWatermarkSeqno(2).value_or(0), 10u);
+  EXPECT_FALSE(store.MinWatermarkSeqno(1).has_value());
+
+  // Clearing through seqno 9 keeps it; through 10 drops it.
+  EXPECT_EQ(store.ClearVisibilityWatermarks(2, 9), 0u);
+  EXPECT_TRUE(store.WatermarkBlocksWrite(oid));
+  EXPECT_EQ(store.ClearVisibilityWatermarks(2, 10), 1u);
+  EXPECT_FALSE(store.WatermarkBlocksWrite(oid));
+  EXPECT_EQ(store.watermark_count(), 0u);
+}
+
+}  // namespace
+}  // namespace walter
