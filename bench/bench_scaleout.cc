@@ -31,11 +31,25 @@
 // shard map), the way an operator provisioning a sharded site would lay out
 // capacity; hash-random placement would only add imbalance noise to the
 // scaling curve.
+// `--wall` switches to the wall-clock threaded runtime instead: the same
+// deployment (2 sites x 2 shards) driven by real worker threads and a real
+// clock, sweeping the worker count at fixed load. Reported throughput is
+// transactions per real second, CPU time comes from getrusage, and
+// cores_utilized = cpu/wall shows whether the runtime actually spread the
+// work across cores (the CI perf-smoke asserts W=4 beats W=1 on multi-core
+// runners). Wall cells are nondeterministic by nature and never run in the
+// default mode, whose output stays byte-identical.
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/harness.h"
@@ -291,6 +305,185 @@ CellResult RunCrossShardTax(double cross_fraction, uint64_t seed, bool quick) {
   return cell;
 }
 
+// --- wall-clock threaded runtime sweep --------------------------------------
+
+struct WallCell {
+  size_t workers = 0;
+  uint64_t completed = 0;
+  double wall_s = 0;
+  double cpu_s = 0;
+  double ktps = 0;   // completed transactions per real second, in thousands
+  double cores = 0;  // cpu_s / wall_s
+};
+
+double CpuSeconds() {
+  struct rusage ru;
+  std::memset(&ru, 0, sizeof(ru));
+  getrusage(RUSAGE_SELF, &ru);
+  auto sec = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) / 1e6;
+  };
+  return sec(ru.ru_utime) + sec(ru.ru_stime);
+}
+
+// One wall cell: the 2-site x 2-shard deployment on the threaded runtime with
+// `workers` worker threads per site, driven by closed-loop client chains on
+// their owner executors. Throughput is transactions per real second; CPU time
+// (getrusage, whole process) over wall time says how many cores the runtime
+// actually kept busy. Instant perf + Memory disk: the cell measures the
+// runtime's dispatch capacity, not a simulated network.
+WallCell RunWall(size_t workers, uint64_t seed, bool quick) {
+  constexpr size_t kWallShardsPerSite = 2;
+  constexpr int kWallClientsPerSite = 16;
+  const int warmup_ms = quick ? 150 : 400;
+  const int measure_ms = quick ? 600 : 2000;
+
+  ClusterOptions options;
+  options.num_sites = kSites;
+  options.servers_per_site.assign(kSites, kWallShardsPerSite);
+  options.seed = seed;
+  options.server.perf = PerfModel::Instant();
+  options.server.disk = DiskConfig::Memory();
+  options.runtime.workers = workers;
+  options.runtime.time_scale = 50.0;
+  Cluster cluster(options);
+
+  std::vector<std::vector<ContainerId>> local(kSites);
+  for (SiteId s = 0; s < kSites; ++s) {
+    local[s] = Flatten(BalancedContainers(cluster.shard_map(), s));
+  }
+
+  struct Chain {
+    WalterClient* client = nullptr;
+    Rng rng{1};
+    std::vector<ContainerId> own;
+  };
+  std::vector<std::unique_ptr<Chain>> chains;
+  for (SiteId s = 0; s < kSites; ++s) {
+    for (int c = 0; c < kWallClientsPerSite; ++c) {
+      auto chain = std::make_unique<Chain>();
+      chain->client = cluster.AddClient(s);
+      chain->rng = Rng(seed * 977 + s * 131 + static_cast<uint64_t>(c));
+      chain->own = local[s];
+      chains.push_back(std::move(chain));
+    }
+  }
+
+  std::atomic<bool> measuring{false};
+  std::atomic<bool> stop{false};
+  std::atomic<int> active{0};
+  std::atomic<uint64_t> completed{0};
+
+  // 95% single-read / 5% single-write, same mix as the sim sweep. Unpopulated
+  // reads return nil, which exercises the identical read path; the cell cares
+  // about dispatch throughput, not values.
+  std::function<void(Chain*)> next = [&](Chain* chain) {
+    if (stop.load(std::memory_order_relaxed)) {
+      active.fetch_sub(1);
+      return;
+    }
+    auto done = [&, chain](bool ok) {
+      if (ok && measuring.load(std::memory_order_relaxed)) {
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+      next(chain);
+    };
+    auto tx = std::make_shared<Tx>(chain->client);
+    if (chain->rng.NextDouble() < 0.95) {
+      ObjectId oid{chain->own[chain->rng.Uniform(chain->own.size())],
+                   chain->rng.Uniform(kKeysPerContainer)};
+      tx->Read(oid, [tx, done](Status s, std::optional<std::string>) {
+        if (!s.ok()) {
+          done(false);
+          return;
+        }
+        tx->Commit([tx, done](Status s2) { done(s2.ok()); });
+      });
+    } else {
+      tx->Write(ObjectId{chain->own[chain->rng.Uniform(chain->own.size())],
+                         chain->rng.Uniform(kKeysPerContainer)},
+                std::string(100, 'w'));
+      tx->Commit([tx, done](Status s) { done(s.ok()); });
+    }
+  };
+
+  cluster.StartThreads();
+  active.store(static_cast<int>(chains.size()));
+  for (auto& chain : chains) {
+    cluster.client_executor(chain->client)->Post([&, c = chain.get()]() { next(c); });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(warmup_ms));
+  double cpu0 = CpuSeconds();
+  auto t0 = std::chrono::steady_clock::now();
+  measuring.store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(measure_ms));
+  measuring.store(false);
+  auto t1 = std::chrono::steady_clock::now();
+  double cpu1 = CpuSeconds();
+
+  stop.store(true);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (active.load() > 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  cluster.StopThreads();
+  if (active.load() != 0) {
+    std::fprintf(stderr, "bench_scaleout --wall: %d chains stuck at shutdown\n",
+                 active.load());
+    std::abort();
+  }
+
+  WallCell cell;
+  cell.workers = workers;
+  cell.completed = completed.load();
+  cell.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  cell.cpu_s = cpu1 - cpu0;
+  cell.ktps = cell.wall_s > 0 ? static_cast<double>(cell.completed) / cell.wall_s / 1000.0 : 0;
+  cell.cores = cell.wall_s > 0 ? cell.cpu_s / cell.wall_s : 0;
+  return cell;
+}
+
+int RunWallSweep(const BenchOptions& opt) {
+  const std::vector<size_t> worker_counts = {1, 2, 4};
+  std::vector<WallCell> cells;
+  // Sequential on purpose: each cell owns the machine's cores for its window.
+  for (size_t w : worker_counts) {
+    cells.push_back(RunWall(w, 9200 + w, opt.quick));
+  }
+
+  unsigned hw = std::thread::hardware_concurrency();
+  std::printf("=== Wall-clock threaded runtime: %zu sites x 2 shards, %u hardware cores ===\n\n",
+              kSites, hw);
+  TablePrinter table({"workers", "Ktps (real)", "wall (s)", "cpu (s)", "cores utilized"});
+  for (const WallCell& c : cells) {
+    table.AddRow({std::to_string(c.workers), TablePrinter::Fmt(c.ktps),
+                  TablePrinter::Fmt(c.wall_s, 2), TablePrinter::Fmt(c.cpu_s, 2),
+                  TablePrinter::Fmt(c.cores, 2)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  double speedup = cells[0].ktps > 0 ? cells.back().ktps / cells[0].ktps : 0;
+  std::printf(
+      "Headline: W=%zu real-time throughput is %.2fx W=1 on %u hardware cores.\n"
+      "Wall cells are nondeterministic; the CI perf-smoke asserts the speedup\n"
+      "only on multi-core runners. cores_utilized > 1 shows the runtime\n"
+      "actually spread server executors across threads.\n",
+      worker_counts.back(), speedup, hw);
+
+  BenchJson json;
+  json.Set("bench", std::string("scaleout_wall"));
+  json.Set("quick", opt.quick ? 1.0 : 0.0);
+  json.Set("hardware_cores", static_cast<double>(hw));
+  for (const WallCell& c : cells) {
+    std::string key = "wall_w" + std::to_string(c.workers);
+    json.Set(key + "_ktps", c.ktps);
+    json.Set(key + "_cores_utilized", c.cores);
+    json.Set(key + "_completed", static_cast<double>(c.completed));
+  }
+  json.Set("wall_speedup_w4_vs_w1", speedup);
+  return json.WriteIfRequested(opt.json_path) ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace walter
 
@@ -298,6 +491,11 @@ int main(int argc, char** argv) {
   using walter::CellResult;
   using walter::TablePrinter;
   walter::BenchOptions opt = walter::ParseBenchArgs(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--wall") == 0) {
+      return walter::RunWallSweep(opt);
+    }
+  }
 
   const std::vector<size_t> shard_counts = {1, 2, 4, 8};
   const std::vector<double> cross_fractions = {0.0, 0.1, 0.5, 1.0};

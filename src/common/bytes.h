@@ -26,6 +26,15 @@ namespace walter {
 // Immutability makes the sharing safe — no receiver can observe another
 // receiver's (nonexistent) mutations — and copying a Payload is two pointer
 // writes instead of a byte copy.
+//
+// Thread safety (the threaded runtime's dispatch path): the buffer is held by
+// shared_ptr, whose control-block refcount is atomic, so distinct Payload
+// values aliasing one buffer may be copied, read and destroyed concurrently
+// from different executors — exactly what happens when a sender's closure
+// carrying the Payload is posted to the destination's mailbox while the
+// sender keeps its own reference for resends. (A single Payload *object* is
+// still not a synchronization point; don't mutate one from two threads.) The
+// bytes_wrapped_ counter is thread-local, so wrapping never contends either.
 class Payload {
  public:
   Payload() = default;

@@ -11,8 +11,9 @@ namespace walter {
 WalterClient::WalterClient(Network* net, SiteId site, uint32_t port)
     : WalterClient(net, site, port, Options{}) {}
 
-WalterClient::WalterClient(Network* net, SiteId site, uint32_t port, Options options)
-    : endpoint_(net, Address{site, port}),
+WalterClient::WalterClient(Network* net, SiteId site, uint32_t port, Options options,
+                           Simulator* timer_sim)
+    : endpoint_(net, Address{site, port}, timer_sim),
       site_(site),
       options_(options),
       uid_((static_cast<uint64_t>(site) << 20) | port) {

@@ -51,8 +51,12 @@ class WalterClient {
   };
 
   // port must be unique per client within the site (use kClientPortBase + n).
+  // `timer_sim` is where RPC timeout/backoff events are scheduled — the owning
+  // executor's simulator under the threaded runtime, the shared simulator
+  // (default) in sim mode.
   WalterClient(Network* net, SiteId site, uint32_t port);
-  WalterClient(Network* net, SiteId site, uint32_t port, Options options);
+  WalterClient(Network* net, SiteId site, uint32_t port, Options options,
+               Simulator* timer_sim = nullptr);
 
   SiteId site() const { return site_; }
   uint32_t port() const { return endpoint_.address().port; }

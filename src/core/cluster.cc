@@ -22,6 +22,24 @@ Cluster::Cluster(ClusterOptions options)
     topo = Topology::ShardExpand(topo, shard_map_.shards());
   }
   net_ = std::make_unique<Network>(&sim_, std::move(topo));
+  if (options_.runtime.workers > 0) {
+    ThreadedRuntime::Options ro;
+    ro.workers = options_.runtime.workers;
+    ro.time_scale = options_.runtime.time_scale;
+    ro.seed = options_.seed;
+    runtime_ = std::make_unique<ThreadedRuntime>(ro, &sim_);
+    // Deliveries route by the executor that owns the destination: servers by
+    // the round-robin assignment below, clients by their AddClient-time
+    // executor. Both tables are frozen before StartThreads, so the resolver
+    // reads them lock-free from any sender.
+    net_->EnableThreadedDispatch([this](const Address& to) -> Executor* {
+      if (to.port == kWalterPort) {
+        return to.site < server_execs_.size() ? server_execs_[to.site] : nullptr;
+      }
+      auto it = client_execs_by_addr_.find((static_cast<uint64_t>(to.site) << 32) | to.port);
+      return it != client_execs_by_addr_.end() ? it->second : nullptr;
+    });
+  }
   for (SiteId s = 0; s < options_.num_sites; ++s) {
     directories_.push_back(std::make_unique<ContainerDirectory>(options_.num_sites));
     directories_.back()->AttachShardMap(&shard_map_);
@@ -54,14 +72,26 @@ Cluster::Cluster(ClusterOptions options)
       // Each server gets its own segment directory under the configured root.
       so.wal_dir += "/site-" + std::to_string(v);
     }
+    // Threaded mode: each server's timers live on its owner executor's
+    // simulator, so every handler it runs stays on one thread. Worker
+    // threads are not running yet — construction-time scheduling (gossip
+    // kickoff) lands in the owner's queue and fires after StartThreads.
+    Executor* owner = runtime_ != nullptr
+                          ? &runtime_->worker(v % runtime_->workers())
+                          : nullptr;
+    server_execs_.push_back(owner);
+    Simulator* ssim = owner != nullptr ? &owner->sim() : &sim_;
     servers_.push_back(std::make_unique<WalterServer>(
-        &sim_, net_.get(), so, directories_[shard_map_.SiteOf(v)].get()));
+        ssim, net_.get(), so, directories_[shard_map_.SiteOf(v)].get()));
     WirePinFloor(v);
   }
   // The GC coordinator follows the gossip gating (RunUntilIdle-based tests
   // disable periodic work by setting gossip_interval = 0), and stands down in
-  // frontier_gossip mode, where the servers fold from acked floors themselves.
-  if (shard_map_.num_servers() > 1 && options_.server.gossip_interval > 0 &&
+  // frontier_gossip mode, where the servers fold from acked floors themselves,
+  // and in threaded mode, where its frontier probes would read server state
+  // across executors.
+  if (runtime_ == nullptr && shard_map_.num_servers() > 1 &&
+      options_.server.gossip_interval > 0 &&
       options_.gc.enabled && !options_.server.frontier_gossip) {
     gc_ = std::make_unique<GcCoordinator>(this, options_.gc, options_.seed);
     gc_->Start();
@@ -82,11 +112,23 @@ void Cluster::UpsertContainerEverywhere(const ContainerInfo& info) {
 WalterClient* Cluster::AddClient(SiteId site) { return AddClient(site, options_.client); }
 
 WalterClient* Cluster::AddClient(SiteId site, WalterClient::Options options) {
+  WCHECK(runtime_ == nullptr || !runtime_->started(),
+         "threaded mode: add clients before StartThreads");
   // Clients live on their site's first shard node; under sharding they route
   // each container to its owning shard instead of the node they sit on.
   SiteId node = shard_map_.ServerAt(site, 0);
-  clients_.push_back(
-      std::make_unique<WalterClient>(net_.get(), node, next_client_port_++, options));
+  uint32_t port = next_client_port_++;
+  // Threaded mode: clients round-robin across the worker executors, so client
+  // work (serialization, retries, callbacks) parallelizes like server work.
+  Executor* owner = runtime_ != nullptr
+                        ? &runtime_->worker(clients_.size() % runtime_->workers())
+                        : nullptr;
+  clients_.push_back(std::make_unique<WalterClient>(
+      net_.get(), node, port, options, owner != nullptr ? &owner->sim() : nullptr));
+  if (owner != nullptr) {
+    client_execs_[clients_.back().get()] = owner;
+    client_execs_by_addr_[(static_cast<uint64_t>(node) << 32) | port] = owner;
+  }
   if (!shard_map_.trivial()) {
     clients_.back()->SetRouter(
         [map = &shard_map_, site](ContainerId c) { return map->OwnerAt(c, site); });
@@ -94,35 +136,86 @@ WalterClient* Cluster::AddClient(SiteId site, WalterClient::Options options) {
   // Every transaction the client opens pins its snapshot in the site registry,
   // at a floor read from the (current) local server's CommittedVTS — under
   // sharding the entrywise min across the site's shards, a lower bound on any
-  // snapshot a shard could assign the transaction.
-  clients_.back()->AttachPins(pin_registries_[site].get(), [this, site]() {
-    VectorTimestamp floor = servers_[shard_map_.ServerAt(site, 0)]->committed_vts();
-    for (size_t k = 1; k < shard_map_.shards_at(site); ++k) {
-      const VectorTimestamp& v = servers_[shard_map_.ServerAt(site, k)]->committed_vts();
-      for (SiteId i = 0; i < static_cast<SiteId>(floor.num_sites()); ++i) {
-        floor.set(i, std::min(floor.at(i), v.at(i)));
+  // snapshot a shard could assign the transaction. Threaded mode pins at the
+  // zero floor instead: reading other executors' CommittedVTS would race, and
+  // with the GC coordinator stood down the floor's only job is to exist.
+  if (runtime_ != nullptr) {
+    clients_.back()->AttachPins(
+        pin_registries_[site].get(),
+        [n = shard_map_.num_servers()]() { return VectorTimestamp(n); });
+  } else {
+    clients_.back()->AttachPins(pin_registries_[site].get(), [this, site]() {
+      VectorTimestamp floor = servers_[shard_map_.ServerAt(site, 0)]->committed_vts();
+      for (size_t k = 1; k < shard_map_.shards_at(site); ++k) {
+        const VectorTimestamp& v = servers_[shard_map_.ServerAt(site, k)]->committed_vts();
+        for (SiteId i = 0; i < static_cast<SiteId>(floor.num_sites()); ++i) {
+          floor.set(i, std::min(floor.at(i), v.at(i)));
+        }
       }
-    }
-    return floor;
-  });
+      return floor;
+    });
+  }
   return clients_.back().get();
 }
 
 WalterServer& Cluster::ReplaceServer(SiteId s) {
-  // TakeFaultyImage == TakeDurableImage unless the test armed DiskFaults on
-  // this server's disk; armed faults are consumed here, at the moment the old
-  // medium is read back, which is where real torn writes and bit rot surface.
-  WalterServer::DurableImage image = servers_[s]->TakeFaultyImage();
-  WalterServer::Options so = servers_[s]->options();
-  servers_[s].reset();  // frees the endpoint address
-  servers_[s] = std::make_unique<WalterServer>(&sim_, net_.get(), so,
-                                               directories_[shard_map_.SiteOf(s)].get());
-  servers_[s]->Restore(image);
-  WirePinFloor(s);  // the registry outlives the server it was wired to
-  if (observer_) {
-    servers_[s]->SetCommitObserver(observer_);
-  }
+  // Threaded mode: the whole replacement runs on the owner executor — the old
+  // server's timers are canceled and the new one's scheduled on that
+  // executor's simulator, and the caller blocks until the swap is done, so it
+  // never observes a half-replaced server.
+  RunOnServer(s, [this, s]() {
+    // TakeFaultyImage == TakeDurableImage unless the test armed DiskFaults on
+    // this server's disk; armed faults are consumed here, at the moment the
+    // old medium is read back, which is where real torn writes and bit rot
+    // surface.
+    WalterServer::DurableImage image = servers_[s]->TakeFaultyImage();
+    WalterServer::Options so = servers_[s]->options();
+    Simulator* ssim = server_execs_.empty() || server_execs_[s] == nullptr
+                          ? &sim_
+                          : &server_execs_[s]->sim();
+    servers_[s].reset();  // frees the endpoint address
+    servers_[s] = std::make_unique<WalterServer>(ssim, net_.get(), so,
+                                                 directories_[shard_map_.SiteOf(s)].get());
+    servers_[s]->Restore(image);
+    WirePinFloor(s);  // the registry outlives the server it was wired to
+    if (observer_) {
+      servers_[s]->SetCommitObserver(observer_);
+    }
+  });
   return *servers_[s];
+}
+
+Cluster::~Cluster() {
+  if (runtime_ != nullptr) {
+    runtime_->Stop();
+  }
+}
+
+void Cluster::StartThreads() {
+  WCHECK(runtime_ != nullptr, "StartThreads on a sim-mode cluster");
+  for (auto& dir : directories_) {
+    dir->Freeze();
+  }
+  runtime_->Start();
+}
+
+void Cluster::StopThreads() {
+  WCHECK(runtime_ != nullptr, "StopThreads on a sim-mode cluster");
+  runtime_->Stop();
+}
+
+void Cluster::RunOnServer(SiteId s, const std::function<void()>& fn) {
+  if (runtime_ != nullptr) {
+    server_execs_[s]->PostSync(fn);
+  } else {
+    fn();
+  }
+}
+
+VectorTimestamp Cluster::SnapshotCommittedVts(SiteId s) {
+  VectorTimestamp vts;
+  RunOnServer(s, [this, s, &vts]() { vts = servers_[s]->committed_vts(); });
+  return vts;
 }
 
 void Cluster::ObserveCommits(WalterServer::CommitObserver observer) {

@@ -4,7 +4,9 @@
 #ifndef SRC_CORE_CLUSTER_H_
 #define SRC_CORE_CLUSTER_H_
 
+#include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/config/shard_map.h"
@@ -15,6 +17,7 @@
 #include "src/core/snapshot_pins.h"
 #include "src/net/network.h"
 #include "src/net/topology.h"
+#include "src/runtime/executor.h"
 #include "src/sim/simulator.h"
 
 namespace walter {
@@ -45,11 +48,26 @@ struct ClusterOptions {
   // RunUntilIdle quiescence disable both together — and not in the servers'
   // frontier_gossip mode, where each site folds from acked floors instead.
   GcOptions gc;
+  // Threaded runtime (the wall-clock side of the runtime seam). workers = 0
+  // (default) keeps everything on the shared deterministic simulator —
+  // byte-identical to the pre-seam behavior. workers > 0 gives each server a
+  // worker executor (round-robin), puts clients on worker executors too, and
+  // switches the network to mailbox dispatch; drive it with StartThreads /
+  // PumpControl* / StopThreads. Threaded mode runs the GC coordinator stood
+  // down (its frontier probes assume simulator atomicity) and pins snapshots
+  // at the zero floor, which is safe (GC never folds) just conservative.
+  struct RuntimeOptions {
+    size_t workers = 0;
+    double time_scale = 1.0;  // virtual microseconds per real microsecond
+  };
+  RuntimeOptions runtime;
 };
 
 class Cluster {
  public:
   explicit Cluster(ClusterOptions options = {});
+  // Stops worker threads (threaded mode) before members are torn down.
+  ~Cluster();
 
   // Logical (geographic) sites. Equal to num_servers() unless sharded.
   size_t num_sites() const { return directories_.size(); }
@@ -98,10 +116,41 @@ class Cluster {
   // registry (benches render the registry into their --json output).
   void ExportMetrics(MetricsRegistry& metrics) const;
 
-  // Runs virtual time forward by `d`.
+  // Runs virtual time forward by `d`. Sim mode only.
   void RunFor(SimDuration d) { sim_.RunUntil(sim_.Now() + d); }
   // Runs until no events remain (all protocols quiesce; gossip must be off).
   void RunUntilIdle() { sim_.Run(); }
+
+  // Threaded runtime -------------------------------------------------------
+  bool threaded() const { return runtime_ != nullptr; }
+  ThreadedRuntime* runtime() { return runtime_.get(); }
+  // The executor owning server s (nullptr in sim mode).
+  Executor* server_executor(SiteId s) {
+    return runtime_ != nullptr ? server_execs_[s] : nullptr;
+  }
+  // The executor a client was assigned to at AddClient time.
+  Executor* client_executor(const WalterClient* c) {
+    auto it = client_execs_.find(c);
+    return it != client_execs_.end() ? it->second : nullptr;
+  }
+  // Freezes shared directories and spawns the worker threads. Build the whole
+  // deployment (containers, clients, observers) before calling this.
+  void StartThreads();
+  // Joins worker threads; the cluster is single-threaded again afterwards
+  // (safe to read server state, export metrics, run checkers).
+  void StopThreads();
+  // Pumps the control executor (timers + mailbox of control-hosted state) on
+  // the calling thread. Virtual durations, scaled by runtime.time_scale.
+  void PumpControlFor(SimDuration d) { runtime_->control().PumpFor(d); }
+  bool PumpControlUntil(const std::function<bool()>& pred, SimDuration max_wait) {
+    return runtime_->control().PumpUntil(pred, max_wait);
+  }
+  // Runs fn on the executor owning server s and waits for it — the safe way
+  // for a control thread to poke per-server state (crash, probes) mid-run.
+  void RunOnServer(SiteId s, const std::function<void()>& fn);
+  // Control-thread-safe snapshot of a server's CommittedVTS (probes cross the
+  // owning executor via RunOnServer).
+  VectorTimestamp SnapshotCommittedVts(SiteId s);
 
  private:
   // Attaches a server to its site's pin registry (ctor and ReplaceServer).
@@ -111,6 +160,14 @@ class Cluster {
   ShardMap shard_map_;
   Simulator sim_;
   std::unique_ptr<Network> net_;
+  // Declared before servers/clients so worker simulators outlive the state
+  // scheduled on them; ~Cluster stops the threads before any of this unwinds.
+  std::unique_ptr<ThreadedRuntime> runtime_;
+  std::vector<Executor*> server_execs_;  // per global server id; threaded only
+  std::unordered_map<const WalterClient*, Executor*> client_execs_;
+  // (site << 32 | port) -> owner, for the network resolver. Built by
+  // AddClient before StartThreads; read-only (lock-free) once threads run.
+  std::unordered_map<uint64_t, Executor*> client_execs_by_addr_;
   std::vector<std::unique_ptr<ContainerDirectory>> directories_;
   std::vector<std::unique_ptr<SnapshotPinRegistry>> pin_registries_;
   std::vector<std::unique_ptr<WalterServer>> servers_;

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/common/types.h"
 #include "src/config/shard_map.h"
 
@@ -42,8 +43,21 @@ class ContainerDirectory {
  public:
   explicit ContainerDirectory(size_t num_sites) : num_sites_(num_sites) {}
 
-  void Upsert(ContainerInfo info) { containers_[info.id] = std::move(info); }
-  void Erase(ContainerId id) { containers_.erase(id); }
+  void Upsert(ContainerInfo info) {
+    WCHECK(!frozen_, "container directory mutated while the threaded runtime is running");
+    containers_[info.id] = std::move(info);
+  }
+  void Erase(ContainerId id) {
+    WCHECK(!frozen_, "container directory mutated while the threaded runtime is running");
+    containers_.erase(id);
+  }
+
+  // Threaded runtime contract: the directory is shared by co-located shards
+  // and read lock-free from their executors, so it must not change while
+  // worker threads run. Cluster freezes it at StartThreads; control-plane
+  // mutations (recovery remaps) require quiescing the runtime first.
+  void Freeze() { frozen_ = true; }
+  void Thaw() { frozen_ = false; }
 
   // Shard-aware mode: container metadata (and the config service protocol)
   // stays in logical site ids; Get() translates the resolved info into server
@@ -75,8 +89,14 @@ class ContainerDirectory {
 
   // Redirects every container preferred at `from` to `to` — the aggressive
   // site-recovery reassignment of Section 5.7. Cleared on re-integration.
-  void RemapSite(SiteId from, SiteId to) { remap_[from] = to; }
-  void ClearRemap(SiteId from) { remap_.erase(from); }
+  void RemapSite(SiteId from, SiteId to) {
+    WCHECK(!frozen_, "container directory mutated while the threaded runtime is running");
+    remap_[from] = to;
+  }
+  void ClearRemap(SiteId from) {
+    WCHECK(!frozen_, "container directory mutated while the threaded runtime is running");
+    remap_.erase(from);
+  }
 
   // The preferred site of an object: site(oid) in Figures 11-12.
   SiteId PreferredSite(const ObjectId& oid) const { return Get(oid.container).preferred_site; }
@@ -108,6 +128,7 @@ class ContainerDirectory {
   std::unordered_map<ContainerId, ContainerInfo> containers_;
   std::unordered_map<SiteId, SiteId> remap_;
   const ShardMap* shard_map_ = nullptr;
+  bool frozen_ = false;
 };
 
 }  // namespace walter

@@ -44,7 +44,7 @@ WalterServer::WalterServer(Simulator* sim, Network* net, Options options,
       net_(net),
       options_(options),
       directory_(directory),
-      endpoint_(net, Address{options.site, kWalterPort}),
+      endpoint_(net, Address{options.site, kWalterPort}, sim),
       cpu_(sim, options.perf.cpu_capacity, "cpu@" + std::to_string(options.site)),
       disk_(sim, options.disk),
       store_(options.cache_bytes, MakeWalDevice(options)),
@@ -240,8 +240,27 @@ void WalterServer::ProcessClientOp(const ClientOpRequest& req,
   respond(std::move(resp));
 }
 
+std::optional<SimDuration> WalterServer::ReadParkDelay(uint32_t park_attempt) const {
+  auto delay_at = [this](uint32_t a) -> SimDuration {
+    if (a < options_.read_park_soft_retries) {
+      return Millis(1);
+    }
+    uint32_t shift = std::min<uint32_t>(a - options_.read_park_soft_retries, 20);
+    return std::min<SimDuration>(options_.read_park_backoff_cap, Millis(2) << shift);
+  };
+  SimDuration waited = 0;
+  for (uint32_t a = 0; a < park_attempt; ++a) {
+    waited += delay_at(a);
+  }
+  if (waited >= options_.read_park_budget) {
+    return std::nullopt;
+  }
+  return delay_at(park_attempt);
+}
+
 void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts,
-                          const ActiveTx* tx, std::function<void(ClientOpResponse)> respond) {
+                          const ActiveTx* tx, std::function<void(ClientOpResponse)> respond,
+                          uint32_t park_attempt) {
   ClientOpResponse resp;
   resp.assigned_vts = vts;
 
@@ -263,13 +282,23 @@ void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts
     // committed state runs ahead of ours for some origin, so our history may
     // still be missing versions the snapshot includes. The gap closes via
     // normal intra-site propagation (~min_batch_interval); park the read and
-    // retry rather than serve a hole. The ActiveTx pointer is re-resolved on
-    // retry — the buffer can move or be swept while we wait.
-    sim_->After(Millis(1), Guard([this, req, vts, respond = std::move(respond)]() {
-      auto it = active_.find(req.tid);
-      const ActiveTx* tx2 = it != active_.end() ? &it->second : nullptr;
-      DoRead(req, vts, tx2, respond);
-    }));
+    // retry rather than serve a hole — bounded, so a gap that never closes
+    // (partitioned sibling) starves out instead of re-parking forever. The
+    // ActiveTx pointer is re-resolved on retry — the buffer can move or be
+    // swept while we wait.
+    if (auto delay = ReadParkDelay(park_attempt)) {
+      sim_->After(*delay, Guard([this, req, vts, park_attempt,
+                                 respond = std::move(respond)]() {
+        auto it = active_.find(req.tid);
+        const ActiveTx* tx2 = it != active_.end() ? &it->second : nullptr;
+        DoRead(req, vts, tx2, respond, park_attempt + 1);
+      }));
+    } else {
+      ++stats_.reads_starved;
+      WTRACE(sim_->Now(), TraceKind::kReadStarved, req.tid, options_.site, park_attempt);
+      resp.status = StatusCode::kUnavailable;
+      respond(std::move(resp));
+    }
     return;
   }
 
@@ -291,13 +320,25 @@ void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts
       blocked = store_.WatermarkBlocksRead(req.oid, vts);
     }
     if (blocked) {
-      ++stats_.watermark_read_waits;
-      WTRACE(sim_->Now(), TraceKind::kWaitWatermark, req.tid, options_.site);
-      sim_->After(Millis(1), Guard([this, req, vts, respond = std::move(respond)]() {
-        auto it = active_.find(req.tid);
-        const ActiveTx* tx2 = it != active_.end() ? &it->second : nullptr;
-        DoRead(req, vts, tx2, respond);
-      }));
+      if (auto delay = ReadParkDelay(park_attempt)) {
+        ++stats_.watermark_read_waits;
+        WTRACE(sim_->Now(), TraceKind::kWaitWatermark, req.tid, options_.site);
+        sim_->After(*delay, Guard([this, req, vts, park_attempt,
+                                   respond = std::move(respond)]() {
+          auto it = active_.find(req.tid);
+          const ActiveTx* tx2 = it != active_.end() ? &it->second : nullptr;
+          DoRead(req, vts, tx2, respond, park_attempt + 1);
+        }));
+      } else {
+        // The watermark outlived the whole retry budget: the decision edge
+        // that clears it is gone (crashed origin, unhealed partition). Give
+        // the client kUnavailable — it restarts on a fresh local snapshot,
+        // which cannot cover the decided-but-uncommitted version.
+        ++stats_.reads_starved;
+        WTRACE(sim_->Now(), TraceKind::kReadStarved, req.tid, options_.site, park_attempt);
+        resp.status = StatusCode::kUnavailable;
+        respond(std::move(resp));
+      }
       return;
     }
   }
@@ -561,8 +602,10 @@ bool WalterServer::DedupRetransmittedCommit(const ClientOpRequest& req,
 
 void WalterServer::DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
                             uint32_t reply_port, SiteId reply_site,
-                            std::function<void(ClientOpResponse)> respond) {
-  WTRACE(sim_->Now(), TraceKind::kCommitStart, tid, options_.site);
+                            std::function<void(ClientOpResponse)> respond, uint32_t park_attempt) {
+  if (park_attempt == 0) {
+    WTRACE(sim_->Now(), TraceKind::kCommitStart, tid, options_.site);
+  }
   std::vector<ObjectId> writeset = WriteSetOf(tx.updates);
 
   if (tx.updates.empty()) {
@@ -570,6 +613,37 @@ void WalterServer::DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_
     ClientOpResponse resp;
     resp.assigned_vts = tx.start_vts;
     respond(std::move(resp));
+    return;
+  }
+
+  if (options_.sharded && !committed_vts_.Covers(tx.start_vts)) {
+    // Sharded mode only: the snapshot came from a sibling shard that had
+    // committed transactions we have not yet applied. Committing here now
+    // would make this transaction visible (our snapshots would include it)
+    // before its causal dependencies — a snapshot assigned at this shard
+    // right after the commit could see the new version but not versions its
+    // start snapshot saw, breaking PSI commit causality. Park the commit
+    // until intra-site propagation closes the gap (same bounded policy as
+    // parked reads), so the commit log at every server — origin included —
+    // orders every transaction after everything its snapshot saw.
+    if (auto delay = ReadParkDelay(park_attempt)) {
+      ++stats_.commit_gap_parks;
+      WTRACE(sim_->Now(), TraceKind::kCommitGapWait, tid, options_.site, park_attempt);
+      sim_->After(*delay, Guard([this, tid, tx = std::move(tx), want_durable, want_visible,
+                                 reply_port, reply_site, park_attempt,
+                                 respond = std::move(respond)]() mutable {
+        DoCommit(tid, std::move(tx), want_durable, want_visible, reply_port, reply_site,
+                 std::move(respond), park_attempt + 1);
+      }));
+    } else {
+      ++stats_.commits_starved;
+      ++stats_.aborts;
+      WTRACE(sim_->Now(), TraceKind::kTxAbort, tid, options_.site,
+             static_cast<uint64_t>(StatusCode::kUnavailable));
+      ClientOpResponse resp;
+      resp.status = StatusCode::kUnavailable;
+      respond(std::move(resp));
+    }
     return;
   }
 
@@ -2047,16 +2121,31 @@ void WalterServer::HandleRemoteRead(const Message& msg, RpcEndpoint::ReplyFn rep
   });
 }
 
-void WalterServer::AnswerRemoteRead(RemoteReadRequest req, RpcEndpoint::ReplyFn reply) {
+void WalterServer::AnswerRemoteRead(RemoteReadRequest req, RpcEndpoint::ReplyFn reply,
+                                    uint32_t park_attempt) {
   {
     RemoteReadResponse resp;
     if (options_.early_lock_release && store_.has_watermarks() &&
         store_.WatermarkBlocksRead(req.oid, req.vts)) {
       // The caller's snapshot covers a decided-but-uncommitted version of this
-      // object: park and retry, same as a local read behind a watermark.
-      ++stats_.watermark_read_waits;
-      WTRACE(sim_->Now(), TraceKind::kWaitWatermark, 0, options_.site, 0, req.caller);
-      sim_->After(Millis(1), Guard([this, req, reply]() { AnswerRemoteRead(req, reply); }));
+      // object: park and retry, same as a local read behind a watermark. On a
+      // starved-out watermark the reply is withheld (found=false for csets),
+      // so the caller's RPC resolves to kUnavailable like the gc-stale path.
+      if (auto delay = ReadParkDelay(park_attempt)) {
+        ++stats_.watermark_read_waits;
+        WTRACE(sim_->Now(), TraceKind::kWaitWatermark, 0, options_.site, 0, req.caller);
+        sim_->After(*delay, Guard([this, req, reply, park_attempt]() {
+          AnswerRemoteRead(req, reply, park_attempt + 1);
+        }));
+        return;
+      }
+      ++stats_.reads_starved;
+      WTRACE(sim_->Now(), TraceKind::kReadStarved, 0, options_.site, park_attempt, req.caller);
+      if (req.is_cset) {
+        Message m;
+        m.payload = resp.Serialize();
+        reply(std::move(m));
+      }
       return;
     }
     if (!req.vts.Covers(store_.gc_frontier())) {
@@ -2761,6 +2850,9 @@ void WalterServer::ExportMetrics(MetricsRegistry& metrics) const {
   metrics.Set("server.watermarks_cleared", s, static_cast<double>(stats_.watermarks_cleared));
   metrics.Set("server.watermark_read_waits", s,
               static_cast<double>(stats_.watermark_read_waits));
+  metrics.Set("server.reads_starved", s, static_cast<double>(stats_.reads_starved));
+  metrics.Set("server.commit_gap_parks", s, static_cast<double>(stats_.commit_gap_parks));
+  metrics.Set("server.commits_starved", s, static_cast<double>(stats_.commits_starved));
   metrics.Set("server.live_watermarks", s, static_cast<double>(store_.watermark_count()));
   metrics.Set("server.lock_waits", s, static_cast<double>(stats_.lock_waits));
   metrics.Set("server.lock_wait_timeouts", s, static_cast<double>(stats_.lock_wait_timeouts));

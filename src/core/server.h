@@ -120,6 +120,18 @@ class WalterServer {
     // Must stay below resend_timeout or the coordinator counts a still-parked
     // participant as a transport-dead no vote.
     SimDuration lock_wait_timeout = Millis(500);
+    // Bounded re-park for reads blocked by a visibility watermark (or, in
+    // sharded mode, by a sibling-shard snapshot gap). The first
+    // read_park_soft_retries attempts re-park at 1ms — legitimate propagation
+    // gaps resolve well inside this phase, so healthy runs are unchanged —
+    // then the delay doubles from 2ms up to read_park_backoff_cap. A read
+    // still blocked once the accumulated wait reaches read_park_budget gives
+    // up with kUnavailable (Stats::reads_starved, TraceKind::kReadStarved),
+    // so a watermark that will never clear surfaces as a starved read and a
+    // liveness-watchdog verdict instead of a silent 1ms re-park loop forever.
+    uint32_t read_park_soft_retries = 256;
+    SimDuration read_park_backoff_cap = Millis(50);
+    SimDuration read_park_budget = Seconds(10);
     // Geographic site of each global server id (filled by the cluster from its
     // shard map). Empty = every server is its own geo site, which disables the
     // co-sited fast-visibility path.
@@ -316,6 +328,9 @@ class WalterServer {
     uint64_t watermarks_set = 0;          // per-object visibility watermarks installed
     uint64_t watermarks_cleared = 0;      // watermarks cleared by remote commit
     uint64_t watermark_read_waits = 0;    // reads parked on a watermark
+    uint64_t reads_starved = 0;           // parked reads that exhausted read_park_budget
+    uint64_t commit_gap_parks = 0;        // commits parked on a sibling-shard snapshot gap
+    uint64_t commits_starved = 0;         // parked commits that exhausted read_park_budget
     uint64_t lock_waits = 0;              // prepares/fast commits parked on a held lock
     uint64_t lock_wounds = 0;             // wound-wait victims aborted here
     uint64_t lock_wait_timeouts = 0;      // parked waiters that hit lock_wait_timeout
@@ -402,10 +417,13 @@ class WalterServer {
   bool DedupRetransmittedCommit(const ClientOpRequest& req,
                                 std::function<void(ClientOpResponse)>& respond);
   void DoRead(const ClientOpRequest& req, const VectorTimestamp& vts, const ActiveTx* tx,
-              std::function<void(ClientOpResponse)> respond);
+              std::function<void(ClientOpResponse)> respond, uint32_t park_attempt = 0);
+  // Next re-park delay for the park_attempt'th blocked retry of a read, or
+  // nullopt once the accumulated wait exhausts read_park_budget (give up).
+  std::optional<SimDuration> ReadParkDelay(uint32_t park_attempt) const;
   void DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
                 uint32_t reply_port, SiteId reply_site,
-                std::function<void(ClientOpResponse)> respond);
+                std::function<void(ClientOpResponse)> respond, uint32_t park_attempt = 0);
 
   // --- commit protocols ---
   void FastCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
@@ -510,7 +528,8 @@ class WalterServer {
   void HandleRemoteRead(const Message& msg, RpcEndpoint::ReplyFn reply);
   // Body of HandleRemoteRead past the CPU charge, re-entered by the watermark
   // read-park (the answer waits until the decided version commits here).
-  void AnswerRemoteRead(RemoteReadRequest req, RpcEndpoint::ReplyFn reply);
+  void AnswerRemoteRead(RemoteReadRequest req, RpcEndpoint::ReplyFn reply,
+                        uint32_t park_attempt = 0);
 
   bool IsDsDurableQuorum(const TxRecord& record) const;
   SimDuration Jittered(SimDuration base);
@@ -521,7 +540,7 @@ class WalterServer {
   // this server has been destroyed (replacement after a crash).
   template <typename F>
   auto Guard(F fn) {
-    return [alive = alive_, fn = std::move(fn)]() {
+    return [alive = alive_, fn = std::move(fn)]() mutable {
       if (*alive) {
         fn();
       }

@@ -13,10 +13,17 @@
 // atomic with respect to simulator events, so a GC tick either runs before the
 // pin exists (and cannot have folded anything the new snapshot sees, because
 // the frontier is also bounded by CommittedVTS) or sees the pin.
+//
+// The registry is shared site-wide: under the threaded runtime, clients on
+// different executors pin/unpin concurrently while a server reads MinPin, so
+// every method takes the internal mutex. Pin operations are per-transaction
+// (not per-message), so the uncontended lock is noise; in sim mode it changes
+// nothing observable.
 #ifndef SRC_CORE_SNAPSHOT_PINS_H_
 #define SRC_CORE_SNAPSHOT_PINS_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -30,6 +37,7 @@ class SnapshotPinRegistry {
 
   // Registers a pin at `floor` and returns its id (never 0).
   PinId Pin(VectorTimestamp floor) {
+    std::lock_guard<std::mutex> lk(mu_);
     PinId id = next_++;
     pins_.emplace(id, std::move(floor));
     return id;
@@ -38,6 +46,7 @@ class SnapshotPinRegistry {
   // Replaces the floor with the transaction's exact snapshot. The assigned
   // snapshot is always >= the floor, so this only ever relaxes the frontier.
   void Raise(PinId id, const VectorTimestamp& vts) {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = pins_.find(id);
     if (it != pins_.end()) {
       it->second = vts;
@@ -45,10 +54,14 @@ class SnapshotPinRegistry {
   }
 
   // Idempotent: commit/abort chains and the Tx destructor may race to release.
-  void Unpin(PinId id) { pins_.erase(id); }
+  void Unpin(PinId id) {
+    std::lock_guard<std::mutex> lk(mu_);
+    pins_.erase(id);
+  }
 
   // Pointwise minimum over all active pins; nullopt when nothing is pinned.
   std::optional<VectorTimestamp> MinPin() const {
+    std::lock_guard<std::mutex> lk(mu_);
     if (pins_.empty()) {
       return std::nullopt;
     }
@@ -63,9 +76,13 @@ class SnapshotPinRegistry {
     return min;
   }
 
-  size_t active() const { return pins_.size(); }
+  size_t active() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return pins_.size();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<PinId, VectorTimestamp> pins_;
   PinId next_ = 1;
 };

@@ -1,9 +1,12 @@
 #include "src/net/network.h"
 
 #include <algorithm>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/rng.h"
 #include "src/obs/trace.h"
 
 namespace walter {
@@ -11,6 +14,26 @@ namespace walter {
 namespace {
 // Fixed per-message overhead (headers etc.) for the serialization-delay model.
 constexpr size_t kMessageOverheadBytes = 64;
+
+// Loss decisions in threaded mode come from a per-thread stream: the shared
+// simulator RNG belongs to the control thread and must not be touched from
+// worker executors.
+Rng& ThreadRng() {
+  static thread_local Rng rng(
+      0x9e3779b97f4a7c15ull ^
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  return rng;
+}
+
+// Trace timestamp for network-layer events: the calling executor's virtual
+// clock in threaded mode, the shared simulator in sim mode.
+SimTime TraceNow(Simulator* sim, bool threaded) {
+  if (threaded) {
+    Executor* cur = Executor::Current();
+    return cur != nullptr ? cur->sim().Now() : 0;
+  }
+  return sim->Now();
+}
 }  // namespace
 
 Network::Network(Simulator* sim, Topology topology)
@@ -18,13 +41,20 @@ Network::Network(Simulator* sim, Topology topology)
       topology_(std::move(topology)),
       num_sites_(topology_.num_sites()),
       endpoints_(num_sites_),
-      partitioned_(num_sites_ * num_sites_, 0),
-      isolated_(num_sites_, 0),
+      partitioned_(num_sites_ * num_sites_),
+      isolated_(num_sites_),
       links_(num_sites_ * num_sites_) {}
+
+void Network::EnableThreadedDispatch(ExecutorResolver resolver) {
+  WCHECK(resolver != nullptr, "threaded dispatch needs an executor resolver");
+  resolver_ = std::move(resolver);
+  threaded_ = true;
+}
 
 void Network::Register(RpcEndpoint* ep) {
   const Address& addr = ep->address();
   WCHECK(addr.site < num_sites_, "endpoint site out of range " << addr.ToString());
+  std::unique_lock<std::shared_mutex> lk(endpoints_mu_);
   auto& ports = endpoints_[addr.site];
   if (addr.port >= ports.size()) {
     ports.resize(addr.port + 1, nullptr);
@@ -34,46 +64,56 @@ void Network::Register(RpcEndpoint* ep) {
 }
 
 void Network::Unregister(const Address& addr) {
+  std::unique_lock<std::shared_mutex> lk(endpoints_mu_);
   if (addr.site < endpoints_.size() && addr.port < endpoints_[addr.site].size()) {
     endpoints_[addr.site][addr.port] = nullptr;
   }
 }
 
 void Network::SetPartitioned(SiteId a, SiteId b, bool partitioned) {
-  partitioned_[LinkIndex(a, b)] = partitioned ? 1 : 0;
-  partitioned_[LinkIndex(b, a)] = partitioned ? 1 : 0;
+  partitioned_[LinkIndex(a, b)].store(partitioned ? 1 : 0, std::memory_order_relaxed);
+  partitioned_[LinkIndex(b, a)].store(partitioned ? 1 : 0, std::memory_order_relaxed);
 }
 
-void Network::IsolateSite(SiteId s, bool isolated) { isolated_[s] = isolated ? 1 : 0; }
+void Network::IsolateSite(SiteId s, bool isolated) {
+  isolated_[s].store(isolated ? 1 : 0, std::memory_order_relaxed);
+}
 
 bool Network::IsCut(SiteId a, SiteId b) const {
   if (a == b) {
     return false;
   }
-  if (isolated_[a] || isolated_[b]) {
+  if (isolated_[a].load(std::memory_order_relaxed) ||
+      isolated_[b].load(std::memory_order_relaxed)) {
     return true;
   }
-  return partitioned_[LinkIndex(a, b)] != 0;
+  return partitioned_[LinkIndex(a, b)].load(std::memory_order_relaxed) != 0;
+}
+
+void Network::CountDrop(SiteId site, uint64_t rpc_id, uint32_t type) {
+  messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+  WTRACE(TraceNow(sim_, threaded_), TraceKind::kNetDrop, 0, site, rpc_id, type);
 }
 
 void Network::SendMessage(const Address& from, const Address& to, Message msg) {
+  if (threaded_) {
+    SendMessageThreaded(from, to, std::move(msg));
+    return;
+  }
   size_t size_bytes = msg.payload.size();
-  ++messages_sent_;
-  bytes_sent_ += size_bytes;
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(size_bytes, std::memory_order_relaxed);
   if (drop_filter_ && drop_filter_(msg, from, to)) {
-    ++messages_dropped_;
-    WTRACE(sim_->Now(), TraceKind::kNetDrop, 0, from.site, msg.rpc_id, msg.type);
+    CountDrop(from.site, msg.rpc_id, msg.type);
     return;
   }
   if (IsCut(from.site, to.site)) {
-    ++messages_dropped_;
-    WTRACE(sim_->Now(), TraceKind::kNetDrop, 0, from.site, msg.rpc_id, msg.type);
+    CountDrop(from.site, msg.rpc_id, msg.type);
     return;
   }
-  if (from.site != to.site && loss_probability_ > 0 &&
-      sim_->rng().Bernoulli(loss_probability_)) {
-    ++messages_dropped_;
-    WTRACE(sim_->Now(), TraceKind::kNetDrop, 0, from.site, msg.rpc_id, msg.type);
+  double loss = loss_probability_.load(std::memory_order_relaxed);
+  if (from.site != to.site && loss > 0 && sim_->rng().Bernoulli(loss)) {
+    CountDrop(from.site, msg.rpc_id, msg.type);
     return;
   }
   WTRACE(sim_->Now(), TraceKind::kNetEnqueue, 0, from.site, msg.rpc_id, msg.type);
@@ -86,9 +126,10 @@ void Network::SendMessage(const Address& from, const Address& to, Message msg) {
   link.next_free = start + tx_delay;
 
   SimDuration propagation = topology_.OneWay(from.site, to.site);
-  if (jitter_ > 0) {
+  double jitter = jitter_.load(std::memory_order_relaxed);
+  if (jitter > 0) {
     propagation = static_cast<SimDuration>(
-        static_cast<double>(propagation) * (1.0 + jitter_ * sim_->rng().NextDouble()));
+        static_cast<double>(propagation) * (1.0 + jitter * sim_->rng().NextDouble()));
   }
   SimTime arrival = start + tx_delay + propagation;
   // FIFO per directed link (TCP-like ordering).
@@ -99,15 +140,54 @@ void Network::SendMessage(const Address& from, const Address& to, Message msg) {
   sim_->At(arrival, [this, to, msg = std::move(msg)]() mutable {
     RpcEndpoint* ep = Lookup(to);
     if (ep == nullptr || ep->down()) {
-      ++messages_dropped_;
-      WTRACE(sim_->Now(), TraceKind::kNetDrop, 0, to.site, msg.rpc_id, msg.type);
+      CountDrop(to.site, msg.rpc_id, msg.type);
       return;
     }
     ep->Deliver(std::move(msg));
   });
 }
 
-RpcEndpoint::RpcEndpoint(Network* net, Address addr) : net_(net), addr_(addr) {
+void Network::SendMessageThreaded(const Address& from, const Address& to, Message msg) {
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(msg.payload.size(), std::memory_order_relaxed);
+  if (drop_filter_ && drop_filter_(msg, from, to)) {
+    CountDrop(from.site, msg.rpc_id, msg.type);
+    return;
+  }
+  if (IsCut(from.site, to.site)) {
+    CountDrop(from.site, msg.rpc_id, msg.type);
+    return;
+  }
+  double loss = loss_probability_.load(std::memory_order_relaxed);
+  if (from.site != to.site && loss > 0 && ThreadRng().Bernoulli(loss)) {
+    CountDrop(from.site, msg.rpc_id, msg.type);
+    return;
+  }
+  Executor* target = resolver_(to);
+  if (target == nullptr) {
+    CountDrop(to.site, msg.rpc_id, msg.type);
+    return;
+  }
+  // The mailbox handoff is the delivery latency; the closure re-resolves the
+  // endpoint on arrival (same late-lookup semantics as the sim event, so a
+  // replaced server's stale address drops instead of dangling). The payload
+  // buffer crosses threads by refcount alias — shared_ptr counts are atomic.
+  target->Post([this, to, msg = std::move(msg)]() mutable {
+    RpcEndpoint* ep;
+    {
+      std::shared_lock<std::shared_mutex> lk(endpoints_mu_);
+      ep = Lookup(to);
+    }
+    if (ep == nullptr || ep->down()) {
+      CountDrop(to.site, msg.rpc_id, msg.type);
+      return;
+    }
+    ep->Deliver(std::move(msg));
+  });
+}
+
+RpcEndpoint::RpcEndpoint(Network* net, Address addr, Simulator* timer_sim)
+    : net_(net), addr_(addr), timer_sim_(timer_sim != nullptr ? timer_sim : net->sim()) {
   net_->Register(this);
 }
 
@@ -146,7 +226,7 @@ void RpcEndpoint::Call(const Address& to, uint32_t type, Payload payload,
   msg.type = type;
   msg.payload = std::move(payload);
   msg.from = addr_;
-  msg.rpc_id = net_->next_rpc_id_++;
+  msg.rpc_id = net_->next_rpc_id_.fetch_add(1, std::memory_order_relaxed);
   uint64_t rpc_id = msg.rpc_id;
 
   PendingCall pending;

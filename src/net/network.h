@@ -14,11 +14,26 @@
 // message's bytes are serialized once and shared across destinations, resends
 // and the delivery event — no per-hop byte copies. Endpoint and link lookups
 // are dense site/port-indexed vectors rather than ordered maps.
+//
+// Runtime seam: the network runs in one of two dispatch modes.
+//  - Sim (default): deliveries are events on the shared deterministic
+//    Simulator, with the full latency/bandwidth/FIFO model. Single-threaded;
+//    the event sequence is byte-identical to what it was before the threaded
+//    runtime existed.
+//  - Threaded (EnableThreadedDispatch): deliveries are closures posted to the
+//    mailbox of the executor owning the destination endpoint; the real thread
+//    handoff is the latency. Counters, rpc ids and fault flags are atomics,
+//    and the endpoint table is guarded by a shared_mutex, so senders on any
+//    executor race-freely against registration and fault injection. The
+//    latency/bandwidth model is skipped — threaded mode measures hardware,
+//    not EC2.
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +43,7 @@
 #include "src/common/types.h"
 #include "src/net/topology.h"
 #include "src/obs/metrics.h"
+#include "src/runtime/executor.h"
 #include "src/sim/simulator.h"
 
 namespace walter {
@@ -68,30 +84,42 @@ class Network {
   Simulator* sim() { return sim_; }
   const Topology& topology() const { return topology_; }
 
+  // Threaded dispatch: routes every delivery to the executor owning the
+  // destination address instead of scheduling a simulator event. The resolver
+  // must be safe to call from any executor (in practice: it reads tables
+  // frozen before threads start). Call before any traffic flows; there is no
+  // way back to sim dispatch.
+  using ExecutorResolver = std::function<Executor*(const Address&)>;
+  void EnableThreadedDispatch(ExecutorResolver resolver);
+  bool threaded() const { return threaded_; }
+
   // Fault injection -----------------------------------------------------------
+  // All toggles are atomics, so a control thread may flip them while worker
+  // executors send (the threaded chaos tests do exactly that).
   // Drop every message between sites a and b (both directions).
   void SetPartitioned(SiteId a, SiteId b, bool partitioned);
   // Isolate a site from all others (its intra-site traffic still flows).
   void IsolateSite(SiteId s, bool isolated);
   // Probability of dropping any single cross-site message.
-  void SetLossProbability(double p) { loss_probability_ = p; }
+  void SetLossProbability(double p) { loss_probability_.store(p, std::memory_order_relaxed); }
   // Extra multiplicative latency jitter: delay *= U[1, 1+jitter].
-  void SetJitter(double jitter) { jitter_ = jitter; }
+  void SetJitter(double jitter) { jitter_.store(jitter, std::memory_order_relaxed); }
   // Targeted fault injection: drop every message for which the filter returns
   // true (checked before loss/partitions; nullptr disables). Lets tests drop
-  // e.g. exactly one commit response.
+  // e.g. exactly one commit response. Not thread-safe: set it before threads
+  // start (or use the atomic toggles above in threaded mode).
   using DropFilter = std::function<bool(const Message&, const Address& from, const Address& to)>;
   void SetDropFilter(DropFilter filter) { drop_filter_ = std::move(filter); }
 
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t messages_dropped() const { return messages_dropped_; }
-  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_sent() const { return messages_sent_.load(std::memory_order_relaxed); }
+  uint64_t messages_dropped() const { return messages_dropped_.load(std::memory_order_relaxed); }
+  uint64_t bytes_sent() const { return bytes_sent_.load(std::memory_order_relaxed); }
 
   // Dumps the cluster-wide transport counters into the shared registry.
   void ExportMetrics(MetricsRegistry& metrics) const {
-    metrics.Set("net.messages_sent", kNoSite, static_cast<double>(messages_sent_));
-    metrics.Set("net.messages_dropped", kNoSite, static_cast<double>(messages_dropped_));
-    metrics.Set("net.bytes_sent", kNoSite, static_cast<double>(bytes_sent_));
+    metrics.Set("net.messages_sent", kNoSite, static_cast<double>(messages_sent()));
+    metrics.Set("net.messages_dropped", kNoSite, static_cast<double>(messages_dropped()));
+    metrics.Set("net.bytes_sent", kNoSite, static_cast<double>(bytes_sent()));
   }
 
  private:
@@ -102,8 +130,10 @@ class Network {
   // Sends msg (already stamped with from/rpc fields); the payload size drives
   // the serialization delay.
   void SendMessage(const Address& from, const Address& to, Message msg);
+  void SendMessageThreaded(const Address& from, const Address& to, Message msg);
 
   bool IsCut(SiteId a, SiteId b) const;
+  void CountDrop(SiteId site, uint64_t rpc_id, uint32_t type);
 
   RpcEndpoint* Lookup(const Address& addr) {
     if (addr.site >= endpoints_.size()) {
@@ -119,26 +149,31 @@ class Network {
   Topology topology_;
   size_t num_sites_;
   // endpoints_[site][port]; ports are small dense integers (well-known ports
-  // plus client ports allocated upward from kClientPortBase).
+  // plus client ports allocated upward from kClientPortBase). Guarded by
+  // endpoints_mu_ in threaded mode (registration vs. concurrent lookups); sim
+  // mode is single-threaded and reads it lock-free on the delivery hot path.
   std::vector<std::vector<RpcEndpoint*>> endpoints_;
-  std::vector<uint8_t> partitioned_;  // [a*n+b], symmetric
-  std::vector<uint8_t> isolated_;
-  double loss_probability_ = 0;
-  double jitter_ = 0.1;
+  mutable std::shared_mutex endpoints_mu_;
+  std::vector<std::atomic<uint8_t>> partitioned_;  // [a*n+b], symmetric
+  std::vector<std::atomic<uint8_t>> isolated_;
+  std::atomic<double> loss_probability_{0};
+  std::atomic<double> jitter_{0.1};
   // Per directed (site,site) link: when the link is next free (serialization)
-  // and the latest scheduled arrival (FIFO ordering).
+  // and the latest scheduled arrival (FIFO ordering). Sim dispatch only.
   struct LinkState {
     SimTime next_free = 0;
     SimTime last_arrival = 0;
   };
   std::vector<LinkState> links_;  // [from*n+to]
   DropFilter drop_filter_;
-  uint64_t messages_sent_ = 0;
-  uint64_t messages_dropped_ = 0;
-  uint64_t bytes_sent_ = 0;
+  std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<uint64_t> messages_dropped_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
   // RPC ids are minted network-wide so a replacement endpoint at a reused
   // address can never mistake a stale response for one of its own calls.
-  uint64_t next_rpc_id_ = 1;
+  std::atomic<uint64_t> next_rpc_id_{1};
+  bool threaded_ = false;
+  ExecutorResolver resolver_;
 };
 
 // A network endpoint with message handlers and RPC support.
@@ -150,14 +185,17 @@ class RpcEndpoint {
   using Handler = std::function<void(const Message& request, ReplyFn reply)>;
   using ResponseCallback = std::function<void(Status status, const Message& response)>;
 
-  RpcEndpoint(Network* net, Address addr);
+  // `timer_sim` is where RPC timeout events are scheduled — the owning
+  // executor's simulator in threaded mode. Defaults to the network's shared
+  // simulator, which is the (only) right choice in sim mode.
+  RpcEndpoint(Network* net, Address addr, Simulator* timer_sim = nullptr);
   ~RpcEndpoint();
 
   RpcEndpoint(const RpcEndpoint&) = delete;
   RpcEndpoint& operator=(const RpcEndpoint&) = delete;
 
   const Address& address() const { return addr_; }
-  Simulator* sim() { return net_->sim(); }
+  Simulator* sim() { return timer_sim_; }
   Network* network() { return net_; }
 
   // Registers the handler for a message type.
@@ -184,6 +222,7 @@ class RpcEndpoint {
 
   Network* net_;
   Address addr_;
+  Simulator* timer_sim_;
   bool down_ = false;
   std::unordered_map<uint32_t, Handler> handlers_;
   struct PendingCall {

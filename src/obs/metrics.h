@@ -5,8 +5,9 @@
 // registry gives them one export surface: components dump their counters into
 // a MetricsRegistry under stable dotted names, and benches render the whole
 // registry into their --json output. The registry is a plain deterministic
-// map — no atomics, no background thread — because everything that writes to
-// it runs on one simulator thread.
+// map behind a mutex: exports happen at bench/test boundaries (not on hot
+// paths), and under the threaded runtime listeners on different executors may
+// record concurrently.
 //
 // Naming convention: "<component>.<counter>" (e.g. "server.fast_commits",
 // "net.msgs_dropped"). `site` is the owning site, or kNoSite for cluster-wide
@@ -15,6 +16,7 @@
 #define SRC_OBS_METRICS_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -31,23 +33,43 @@ struct MetricPoint {
 
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  // Movable (bench cells move whole registries around); moves must not race
+  // with concurrent writers — they happen at single-threaded bench boundaries.
+  MetricsRegistry(MetricsRegistry&& other) noexcept {
+    std::lock_guard<std::mutex> lk(other.mu_);
+    values_ = std::move(other.values_);
+  }
+  MetricsRegistry& operator=(MetricsRegistry&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lk(mu_, other.mu_);
+      values_ = std::move(other.values_);
+    }
+    return *this;
+  }
+
   void Set(const std::string& name, SiteId site, double value) {
+    std::lock_guard<std::mutex> lk(mu_);
     values_[{name, site}] = value;
   }
   void Add(const std::string& name, SiteId site, double delta) {
+    std::lock_guard<std::mutex> lk(mu_);
     values_[{name, site}] += delta;
   }
 
   double Get(const std::string& name, SiteId site = kNoSite) const {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = values_.find({name, site});
     return it == values_.end() ? 0 : it->second;
   }
   bool Has(const std::string& name, SiteId site = kNoSite) const {
+    std::lock_guard<std::mutex> lk(mu_);
     return values_.count({name, site}) > 0;
   }
 
   // Sums a counter across all sites it was recorded for.
   double Total(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
     double total = 0;
     for (auto it = values_.lower_bound({name, 0}); it != values_.end() && it->first.first == name;
          ++it) {
@@ -58,6 +80,7 @@ class MetricsRegistry {
 
   // Points in deterministic (name, site) order.
   std::vector<MetricPoint> Snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
     std::vector<MetricPoint> out;
     out.reserve(values_.size());
     for (const auto& [key, value] : values_) {
@@ -71,10 +94,17 @@ class MetricsRegistry {
     return p.site == kNoSite ? p.name : p.name + ".s" + std::to_string(p.site);
   }
 
-  size_t size() const { return values_.size(); }
-  void Clear() { values_.clear(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return values_.size();
+  }
+  void Clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    values_.clear();
+  }
 
  private:
+  mutable std::mutex mu_;
   // kNoSite (=0xffffffff) sorts after all real sites, so Total()'s
   // lower_bound({name, 0}) sweep covers per-site and cluster-wide entries.
   std::map<std::pair<std::string, SiteId>, double> values_;

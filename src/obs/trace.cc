@@ -99,6 +99,10 @@ const char* TraceKindName(TraceKind kind) {
       return "decision_send";
     case TraceKind::kDecisionRecv:
       return "decision_recv";
+    case TraceKind::kReadStarved:
+      return "read_starved";
+    case TraceKind::kCommitGapWait:
+      return "commit_gap_wait";
   }
   return "unknown";
 }

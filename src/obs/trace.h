@@ -88,6 +88,8 @@ enum class TraceKind : uint8_t {
   kWatermarkClear,     // watermarks cleared by visibility; arg = through-seqno, aux = origin
   kDecisionSend,       // coordinator sent commit decisions; arg = seqno, aux = dest count
   kDecisionRecv,       // participant received a commit decision; arg = seqno, aux = origin
+  kReadStarved,        // parked read exhausted read_park_budget; arg = attempts
+  kCommitGapWait,      // commit parked on a sibling-shard snapshot gap; arg = attempt
 };
 
 // arg of kRecoveryCorrupt.

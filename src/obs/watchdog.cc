@@ -14,6 +14,13 @@ bool CountsAsProgress(TraceKind kind) {
     case TraceKind::kClientRetry:
     case TraceKind::kClientDropLate:
       return false;
+    // A read re-parking on a visibility watermark — or a commit re-parking on
+    // a sibling-shard snapshot gap — is waiting, not advancing: counting it
+    // would let a blocker that never clears re-stamp progress every re-park
+    // and keep the stuck transaction invisible forever.
+    case TraceKind::kWaitWatermark:
+    case TraceKind::kCommitGapWait:
+      return false;
     // Traced before the server's dedup check, so a retried commit whose ack
     // keeps getting lost re-records this kind forever. The client-issue edge
     // already stamps progress for genuinely new operations.

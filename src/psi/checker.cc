@@ -2,20 +2,11 @@
 
 #include <algorithm>
 #include <map>
-#include <numeric>
 #include <sstream>
 
 namespace walter {
 
 namespace {
-
-// Number of transactions visible to a start snapshot at the origin site: the
-// origin log interleaves transactions from all sites, one entry each, so the
-// visible prefix length is the sum of the startVTS entries.
-size_t StartPosition(const TxRecord& rec) {
-  const auto& counts = rec.start_vts.counts();
-  return static_cast<size_t>(std::accumulate(counts.begin(), counts.end(), uint64_t{0}));
-}
 
 std::string Describe(TxId tid) {
   std::ostringstream os;
@@ -70,65 +61,86 @@ Status PsiChecker::Check() const {
 }
 
 Status PsiChecker::CheckProperty1SnapshotReads() const {
-  // Group committed transactions by origin and sort by start position so we
-  // can replay each site's log once, checking reads against a rolling state.
-  for (SiteId site = 0; site < num_sites_; ++site) {
-    std::vector<const RecordedTx*> at_site;
-    for (const auto& [tid, tx] : txs_) {
-      if (tx.record.origin == site && !tx.reads.empty()) {
-        at_site.push_back(&tx);
-      }
+  // For each committed transaction with reads, the expected value of a read
+  // is obtained by replaying the commit origin's log in apply order, applying
+  // exactly the updates VISIBLE to the start snapshot: u applies iff
+  // startVTS sees u's commit version. This is the PSI snapshot definition
+  // itself, so it stays correct when the snapshot was assigned by a different
+  // shard than the commit origin (the sharded first-read / first-write
+  // split): a positional prefix of the origin log — what this check used to
+  // replay — is only the visible set when assigner == origin, because only
+  // there does the log's prefix length equal the startVTS sum.
+  //
+  // Replaying the ORIGIN's order of the visible set is sound for any site's
+  // order: same-object regular writers are never somewhere-concurrent
+  // (Property 2, checked separately), so causality totally orders them and
+  // every site applies them in that order; cset updates commute. Log entries
+  // with no registered record are skipped — they can only be transactions the
+  // harness could not confirm (crash-window commits), which by construction
+  // no recorded snapshot covers.
+  for (const auto& [tid, tx] : txs_) {
+    if (tx.reads.empty()) {
+      continue;
     }
-    std::sort(at_site.begin(), at_site.end(), [](const RecordedTx* a, const RecordedTx* b) {
-      return StartPosition(a->record) < StartPosition(b->record);
-    });
+    const VectorTimestamp& snap = tx.record.start_vts;
+    const auto& log = site_logs_[tx.record.origin];
 
+    // Expected state for exactly the objects this transaction read.
     std::map<ObjectId, std::string> regular_state;
     std::map<ObjectId, CountingSet> cset_state;
-    size_t applied = 0;
-    const auto& log = site_logs_[site];
-
-    for (const RecordedTx* tx : at_site) {
-      size_t start_pos = StartPosition(tx->record);
-      if (start_pos > log.size()) {
-        return Status::Internal(Describe(tx->record.tid) +
-                                " start snapshot exceeds site log length");
+    std::map<ObjectId, bool> wants;  // oid -> is_cset
+    for (const auto& read : tx.reads) {
+      wants[read.oid] = read.is_cset;
+    }
+    for (TxId applied_tid : log) {
+      auto it = txs_.find(applied_tid);
+      if (it == txs_.end()) {
+        continue;
       }
-      while (applied < start_pos) {
-        TxId applied_tid = log[applied];
-        auto it = txs_.find(applied_tid);
-        if (it == txs_.end()) {
-          return Status::Internal("site log references unregistered " + Describe(applied_tid));
+      const TxRecord& rec = it->second.record;
+      if (!snap.Sees(rec.version)) {
+        continue;
+      }
+      for (const auto& u : rec.updates) {
+        auto want = wants.find(u.oid);
+        if (want == wants.end()) {
+          continue;
         }
-        for (const auto& u : it->second.record.updates) {
-          if (u.kind == UpdateKind::kData) {
+        if (u.kind == UpdateKind::kData) {
+          if (!want->second) {
             regular_state[u.oid] = u.data;
-          } else {
-            cset_state[u.oid].ApplyOp(u);
           }
+        } else if (want->second) {
+          cset_state[u.oid].ApplyOp(u);
         }
-        ++applied;
       }
-      for (const auto& read : tx->reads) {
-        if (read.is_cset) {
-          auto it = cset_state.find(read.oid);
-          CountingSet expected = it == cset_state.end() ? CountingSet{} : it->second;
-          if (!(expected == read.cset)) {
-            return Status::Internal("PSI Property 1 violated: " + Describe(tx->record.tid) +
-                                    " cset read of " + read.oid.ToString() +
-                                    " does not match its start snapshot");
-          }
-        } else {
-          auto it = regular_state.find(read.oid);
-          std::optional<std::string> expected;
-          if (it != regular_state.end()) {
-            expected = it->second;
-          }
-          if (expected != read.value) {
-            return Status::Internal("PSI Property 1 violated: " + Describe(tx->record.tid) +
-                                    " read of " + read.oid.ToString() +
-                                    " does not match its start snapshot");
-          }
+    }
+
+    for (const auto& read : tx.reads) {
+      if (read.is_cset) {
+        auto it = cset_state.find(read.oid);
+        CountingSet expected = it == cset_state.end() ? CountingSet{} : it->second;
+        if (!(expected == read.cset)) {
+          return Status::Internal("PSI Property 1 violated: " + Describe(tx.record.tid) +
+                                  " cset read of " + read.oid.ToString() +
+                                  " does not match its start snapshot");
+        }
+      } else {
+        auto it = regular_state.find(read.oid);
+        std::optional<std::string> expected;
+        if (it != regular_state.end()) {
+          expected = it->second;
+        }
+        if (expected != read.value) {
+          return Status::Internal("PSI Property 1 violated: " + Describe(tx.record.tid) +
+                                  " read of " + read.oid.ToString() +
+                                  " does not match its start snapshot (read " +
+                                  (read.value ? "\"" + *read.value + "\"" : "nil") +
+                                  ", snapshot has " +
+                                  (expected ? "\"" + *expected + "\"" : "nil") +
+                                  "; origin " + std::to_string(tx.record.origin) +
+                                  ", version " + std::to_string(tx.record.version.seqno) +
+                                  ", startVTS " + tx.record.start_vts.ToString() + ")");
         }
       }
     }
@@ -145,18 +157,15 @@ Status PsiChecker::CheckProperty2NoWriteConflicts() const {
     }
   }
 
-  // Concurrent at site s: one's commit position at s lies in the other's
-  // [start, commit) window at s (only defined when the "window" transaction
-  // originated at s). Somewhere-concurrent: concurrent at either origin.
-  auto concurrent_at_origin = [&](const RecordedTx& window, const RecordedTx& other) {
-    SiteId s = window.record.origin;
-    auto window_commit = PositionAt(s, window.record.tid);
-    auto other_commit = PositionAt(s, other.record.tid);
-    if (!window_commit || !other_commit) {
-      return false;
-    }
-    size_t start = StartPosition(window.record);
-    return *other_commit >= start && *other_commit < *window_commit;
+  // Somewhere-concurrent iff neither transaction's start snapshot sees the
+  // other's commit: a.start_vts.Sees(b.version) is exactly "b committed
+  // before a started" in PSI's causal order, independent of any one site's
+  // apply interleaving. (A positional [start, commit) window on the origin
+  // log — what this check used before — breaks in sharded mode, where the
+  // startVTS may have been assigned by a different shard than the commit
+  // origin, so its count-sum is not a prefix length of the origin's log.)
+  auto ordered = [](const RecordedTx& first, const RecordedTx& second) {
+    return second.record.start_vts.Sees(first.record.version);
   };
 
   for (const auto& [oid, tids] : writers) {
@@ -164,7 +173,7 @@ Status PsiChecker::CheckProperty2NoWriteConflicts() const {
       for (size_t j = i + 1; j < tids.size(); ++j) {
         const RecordedTx& a = txs_.at(tids[i]);
         const RecordedTx& b = txs_.at(tids[j]);
-        if (concurrent_at_origin(a, b) || concurrent_at_origin(b, a)) {
+        if (!ordered(a, b) && !ordered(b, a)) {
           return Status::Internal("PSI Property 2 violated: committed somewhere-concurrent " +
                                   Describe(a.record.tid) + " and " + Describe(b.record.tid) +
                                   " both write " + oid.ToString());
@@ -176,16 +185,15 @@ Status PsiChecker::CheckProperty2NoWriteConflicts() const {
 }
 
 Status PsiChecker::CheckProperty3CommitCausality() const {
-  // For every T2, every T1 committed at T2's origin before T2 started must
-  // precede T2 at every site where both committed.
+  // For every T2, every T1 that committed before T2 started — i.e. every T1
+  // whose commit version T2's start snapshot sees — must precede T2 at every
+  // site where both committed. Visibility, not a positional prefix of the
+  // origin log, defines "committed before T2 started": in sharded mode the
+  // snapshot may come from a different shard than the commit origin, so the
+  // origin log's prefix of startVTS-sum length is the wrong set.
   for (const auto& [tid2, t2] : txs_) {
-    SiteId origin = t2.record.origin;
-    size_t start_pos = StartPosition(t2.record);
-    const auto& origin_log = site_logs_[origin];
-    size_t prefix = std::min(start_pos, origin_log.size());
-    for (size_t i = 0; i < prefix; ++i) {
-      TxId tid1 = origin_log[i];
-      if (tid1 == tid2) {
+    for (const auto& [tid1, t1] : txs_) {
+      if (tid1 == tid2 || !t2.record.start_vts.Sees(t1.record.version)) {
         continue;
       }
       for (SiteId s = 0; s < num_sites_; ++s) {
@@ -193,9 +201,8 @@ Status PsiChecker::CheckProperty3CommitCausality() const {
         auto p2 = PositionAt(s, tid2);
         if (p1 && p2 && *p1 > *p2) {
           return Status::Internal("PSI Property 3 violated: " + Describe(tid1) +
-                                  " precedes " + Describe(tid2) + " at site " +
-                                  std::to_string(origin) + " but follows it at site " +
-                                  std::to_string(s));
+                                  " committed before " + Describe(tid2) +
+                                  " started but follows it at site " + std::to_string(s));
         }
       }
     }

@@ -6,19 +6,23 @@
 // and (b) each committed transaction's observed reads, then call Check():
 //
 //  - Property 1 (Site Snapshot Read): every recorded read equals the state
-//    obtained by replaying the transaction's origin-site log up to its start
-//    snapshot, overlaid with the transaction's own earlier updates.
+//    obtained by replaying, in the origin site's apply order, exactly the
+//    committed updates the transaction's start snapshot Sees. Gating on
+//    visibility (rather than a positional log prefix) keeps the check correct
+//    when the snapshot was assigned by a different shard than the commit
+//    origin, as sharded first-read/first-write splits routinely do.
 //  - Property 2 (No Write-Write Conflicts): committed somewhere-concurrent
 //    transactions have disjoint (regular-object) write sets. cset operations
-//    never conflict.
-//  - Property 3 (Commit Causality Across Sites): if T1 committed at site A
-//    before T2 started at A, then T1 commits before T2 at every site where
-//    both appear.
+//    never conflict. Two transactions are ordered (not concurrent) iff one's
+//    start snapshot Sees the other's commit version.
+//  - Property 3 (Commit Causality Across Sites): if T2's start snapshot Sees
+//    T1's commit — T1 committed before T2 started — then T1 precedes T2 at
+//    every site where both appear (positions = indices in each apply log).
 //
-// Positions: within a site's log, a transaction's "commit timestamp at s" is
-// its index in s's apply order. A transaction's "start timestamp" at its origin
-// is the number of log entries visible to its start snapshot, which equals the
-// sum of its startVTS entries.
+// Concurrency and "committed before started" are defined through startVTS
+// visibility, never through positional prefixes of any one site's log: a
+// prefix of startVTS-sum length is the visible set only when the snapshot
+// assigner is the commit origin, which sharded mode routinely violates.
 #ifndef SRC_PSI_CHECKER_H_
 #define SRC_PSI_CHECKER_H_
 

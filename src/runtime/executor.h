@@ -1,0 +1,176 @@
+// Thread-parallel runtime seam: executors that run simulator event queues on
+// real threads against a wall clock.
+//
+// The deterministic mode of this codebase runs every server, client and the
+// network on ONE Simulator pumped by the calling thread — tests, figure
+// benches and chaos seeds depend on that event sequence byte-for-byte. The
+// threaded mode introduced here keeps the exact same server code but gives
+// each shard its own executor: a dedicated thread owning a private Simulator
+// (used purely as that thread's timer queue) plus a mailbox of closures posted
+// by other executors. Cross-executor communication is message passing only —
+// the Network posts delivery closures into the owning executor's mailbox, and
+// payload bytes travel as ref-counted immutable Payload buffers (shared_ptr
+// refcounts are atomic, so aliasing a buffer across executors is safe).
+//
+// Clock seam: all executors of one runtime share a WallClock — an epoch on
+// std::chrono::steady_clock plus a time_scale factor mapping real elapsed
+// microseconds to virtual SimTime. Each executor advances its private
+// Simulator to the shared wall time, so sim_->Now(), After() and every
+// protocol timeout keep their virtual-time meaning; time_scale > 1 compresses
+// protocol timers (a 2 s resend fires after 2/scale real seconds), which keeps
+// threaded chaos tests fast.
+//
+// Determinism contract: sim mode never constructs an Executor and never takes
+// a threaded branch in Network/Cluster, so its event sequence is untouched —
+// the figure benches stay byte-identical. Threaded mode trades that
+// determinism for real parallelism; tests assert guarantees (PSI, convergence)
+// rather than event orders there.
+#ifndef SRC_RUNTIME_EXECUTOR_H_
+#define SRC_RUNTIME_EXECUTOR_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace walter {
+
+// Shared wall-clock source for one runtime: virtual time = real elapsed time
+// since the epoch, scaled. All executors of a runtime read the same epoch, so
+// their virtual clocks agree to within scheduling jitter.
+class WallClock {
+ public:
+  explicit WallClock(double time_scale = 1.0)
+      : epoch_(std::chrono::steady_clock::now()), time_scale_(time_scale) {}
+
+  double time_scale() const { return time_scale_; }
+
+  // Virtual microseconds elapsed since the epoch.
+  SimTime VirtualNow() const {
+    auto real = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - epoch_)
+                    .count();
+    return static_cast<SimTime>(static_cast<double>(real) * time_scale_);
+  }
+
+  // The real instant at which virtual time t is reached (for sleeping).
+  std::chrono::steady_clock::time_point RealFor(SimTime t) const {
+    auto real_us =
+        static_cast<int64_t>(static_cast<double>(t) / time_scale_);
+    return epoch_ + std::chrono::microseconds(real_us);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  double time_scale_;
+};
+
+// One executor = one event loop that owns a Simulator (timer queue + virtual
+// clock) and a mailbox. All state scheduled on the executor's simulator —
+// a WalterServer, its endpoint, its disk model — is owned by this executor
+// and must only be touched from its loop; other threads communicate by
+// Post()ing closures.
+//
+// An executor either runs on its own thread (Start/Stop, the worker shape) or
+// is pumped inline by the caller's thread (PumpFor/PumpUntil, the control
+// shape used by the main thread to drive clients and orchestration).
+class Executor {
+ public:
+  using Callback = SmallFunction<void()>;
+
+  // Borrows `sim` (not owned): the ThreadedRuntime owns worker simulators and
+  // the Cluster keeps owning its control simulator, so sim-mode accessors
+  // (cluster.sim()) stay valid in both modes.
+  Executor(Simulator* sim, const WallClock* clock);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  Simulator& sim() { return *sim_; }
+  const WallClock& clock() const { return *clock_; }
+
+  // The executor whose loop is running on the calling thread, or nullptr.
+  static Executor* Current();
+
+  // Thread-safe: enqueues fn to run on this executor as soon as its loop gets
+  // to it. Never blocks (beyond the mailbox mutex).
+  void Post(Callback fn);
+
+  // Thread-safe: runs fn on this executor and returns once it has finished.
+  // Runs inline when called from this executor's own loop, and also when the
+  // executor has no running thread (setup/teardown phases, where the caller
+  // guarantees it is the only thread) — that keeps control-plane code
+  // (ReplaceServer, metric probes) identical before Start and after Stop.
+  void PostSync(const std::function<void()>& fn);
+
+  // Worker shape: spawn the loop thread / request stop and join it.
+  void Start();
+  void Stop();
+  bool running() const { return thread_.joinable(); }
+
+  // Control shape: pump the loop inline on the calling thread for a virtual
+  // duration, then return.
+  void PumpFor(SimDuration virtual_d);
+  // Pumps until pred() holds (checked between batches) or `max_virtual_wait`
+  // elapses; returns whether pred() held.
+  bool PumpUntil(const std::function<bool()>& pred, SimDuration max_virtual_wait);
+
+ private:
+  // Core loop: drains the mailbox and fires due timers until `done` returns
+  // true (evaluated with the mailbox lock held).
+  void Loop(const std::function<bool()>& done);
+
+  Simulator* sim_;
+  const WallClock* clock_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Callback> inbox_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+// A set of executors sharing one WallClock: worker executors (own threads,
+// own simulators) plus a control executor borrowing the caller-owned
+// simulator and pumped by the main thread. The Cluster builds one of these in
+// threaded mode and assigns each server to a worker.
+class ThreadedRuntime {
+ public:
+  struct Options {
+    size_t workers = 1;
+    double time_scale = 1.0;
+    uint64_t seed = 1;  // worker simulator RNG seeds derive from this
+  };
+
+  // `control_sim` is borrowed; it becomes the control executor's timer queue.
+  ThreadedRuntime(const Options& options, Simulator* control_sim);
+  ~ThreadedRuntime();
+
+  size_t workers() const { return workers_.size(); }
+  Executor& worker(size_t i) { return *workers_[i]; }
+  Executor& control() { return *control_; }
+  const WallClock& clock() const { return clock_; }
+
+  void Start();
+  void Stop();
+  bool started() const { return started_; }
+
+ private:
+  WallClock clock_;
+  std::vector<std::unique_ptr<Simulator>> worker_sims_;
+  std::vector<std::unique_ptr<Executor>> workers_;
+  std::unique_ptr<Executor> control_;
+  bool started_ = false;
+};
+
+}  // namespace walter
+
+#endif  // SRC_RUNTIME_EXECUTOR_H_

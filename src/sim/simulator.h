@@ -71,6 +71,14 @@ class Simulator {
   bool empty() const { return heap_.empty(); }
   size_t events_processed() const { return events_processed_; }
 
+  // Earliest pending event time, or kNoPendingEvent when the queue is empty.
+  // The threaded runtime uses this to sleep until the owner's next timer; sim
+  // mode never calls it.
+  static constexpr SimTime kNoPendingEvent = INT64_MAX;
+  SimTime NextEventTime() const {
+    return heap_.empty() ? kNoPendingEvent : slots_[heap_[0]].time;
+  }
+
   Rng& rng() { return rng_; }
 
  private:

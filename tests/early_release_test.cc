@@ -12,6 +12,7 @@
 
 #include "src/config/shard_map.h"
 #include "src/core/cluster.h"
+#include "src/obs/watchdog.h"
 #include "src/psi/checker.h"
 
 namespace walter {
@@ -99,13 +100,15 @@ void RunSeededCrossShardPsi(double cross_fraction, uint64_t seed) {
       return;
     }
     auto tx = std::make_shared<Tx>(client);
-    // The first write targets the container the read came from, so the shard
-    // that assigned the snapshot is also the commit origin — the contract
-    // PsiChecker's origin-log replay assumes.
+    // The read and the first write pick shards independently: the snapshot
+    // assigner and the commit origin routinely differ, which the checker's
+    // visibility-gated Property-1 replay handles directly.
+    size_t read_shard = rng.Uniform(2);
     size_t first_shard = rng.Uniform(2);
     bool cross = rng.NextDouble() < cross_fraction;
+    ContainerId read_c = containers[site][read_shard];
     ContainerId first_c = containers[site][first_shard];
-    ObjectId read_oid = Oid(first_c, rng.Uniform(12));
+    ObjectId read_oid = Oid(read_c, rng.Uniform(12));
     tx->Read(read_oid, [&, client, site, remaining, tx, read_oid, cross, first_shard,
               first_c](Status s, std::optional<std::string> v) {
       ASSERT_TRUE(s.ok());
@@ -302,6 +305,108 @@ TEST(EarlyReleaseStoreTest, WatermarkBlockingSemantics) {
   EXPECT_EQ(store.ClearVisibilityWatermarks(2, 10), 1u);
   EXPECT_FALSE(store.WatermarkBlocksWrite(oid));
   EXPECT_EQ(store.watermark_count(), 0u);
+}
+
+// --- bounded re-park / starvation ------------------------------------------
+
+// A watermark that never clears must starve the parked read out with
+// kUnavailable once read_park_budget is spent (1ms soft phase, then doubling
+// backoff), instead of re-parking at 1ms forever. The give-up is counted in
+// Stats::reads_starved and the simulation quiesces.
+TEST(EarlyReleaseStarvationTest, StuckWatermarkStarvesReadOut) {
+  ClusterOptions options;
+  options.num_sites = 1;
+  options.server.perf = PerfModel::Instant();
+  options.server.disk = DiskConfig::Memory();
+  options.server.gossip_interval = 0;
+  options.server.read_park_soft_retries = 16;
+  options.server.read_park_backoff_cap = Millis(8);
+  options.server.read_park_budget = Millis(60);
+  Cluster cluster(options);
+  WalterClient* client = cluster.AddClient(0);
+
+  {
+    Tx tx(client);
+    tx.Write(Oid(0, 1), "v");
+    bool done = false;
+    tx.Commit([&](Status s) {
+      ASSERT_TRUE(s.ok());
+      done = true;
+    });
+    while (!done && cluster.sim().Step()) {
+    }
+  }
+
+  // Plant a watermark on an already-committed version: every fresh snapshot
+  // covers it, and nothing in this quiesced cluster will ever clear it.
+  WalterServer& server = cluster.server(0);
+  uint64_t seqno = server.committed_vts().at(0);
+  ASSERT_GE(seqno, 1u);
+  server.store().AddVisibilityWatermark(Oid(0, 1), Version{0, seqno}, /*tid=*/999999);
+
+  Tx tx(client);
+  std::optional<Status> read_status;
+  tx.Read(Oid(0, 1), [&](Status s, std::optional<std::string>) { read_status = s; });
+  while (!read_status.has_value() && cluster.sim().Step()) {
+  }
+  ASSERT_TRUE(read_status.has_value()) << "parked read never resolved";
+  EXPECT_EQ(read_status->code(), StatusCode::kUnavailable) << read_status->ToString();
+  EXPECT_EQ(server.stats().reads_starved, 1u);
+  // The soft phase re-parked (and counted) before backoff took over.
+  EXPECT_GE(server.stats().watermark_read_waits,
+            uint64_t{options.server.read_park_soft_retries});
+
+  server.store().DropWatermarksOfTx(999999);
+  cluster.RunUntilIdle();
+}
+
+// With wait_watermark no longer counting as watchdog progress, a read stuck
+// behind a watermark longer than the liveness budget produces a stuck verdict
+// while still parked — the silent-re-park-forever shape is now observable.
+TEST(EarlyReleaseStarvationTest, StuckWatermarkSurfacesWatchdogVerdict) {
+  ClusterOptions options;
+  options.num_sites = 1;
+  options.server.perf = PerfModel::Instant();
+  options.server.disk = DiskConfig::Memory();
+  options.server.gossip_interval = 0;
+  options.server.read_park_budget = Seconds(3);  // parked well past the budget
+  Cluster cluster(options);
+  WalterClient* client = cluster.AddClient(0);
+
+  {
+    Tx tx(client);
+    tx.Write(Oid(0, 1), "v");
+    bool done = false;
+    tx.Commit([&](Status s) {
+      ASSERT_TRUE(s.ok());
+      done = true;
+    });
+    while (!done && cluster.sim().Step()) {
+    }
+  }
+  WalterServer& server = cluster.server(0);
+  server.store().AddVisibilityWatermark(Oid(0, 1), Version{0, server.committed_vts().at(0)},
+                                        /*tid=*/888888);
+
+  {
+    WatchdogOptions wo;
+    wo.budget = Seconds(1);
+    wo.check_interval = Millis(200);
+    wo.abort_on_stuck = false;
+    LivenessWatchdog watchdog(&cluster.sim(), wo);
+
+    Tx tx(client);
+    std::optional<Status> read_status;
+    tx.Read(Oid(0, 1), [&](Status s, std::optional<std::string>) { read_status = s; });
+    cluster.RunFor(Seconds(2));
+
+    ASSERT_TRUE(watchdog.fired()) << "parked read never tripped the watchdog";
+    EXPECT_EQ(watchdog.reports()[0].tid, tx.tid());
+    EXPECT_FALSE(read_status.has_value()) << "verdict must precede the starve-out";
+  }
+
+  server.store().DropWatermarksOfTx(888888);
+  cluster.RunUntilIdle();
 }
 
 }  // namespace

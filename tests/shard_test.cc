@@ -309,15 +309,17 @@ TEST(ShardedPsiTest, SeededCrossShardWorkloadHasNoAnomalies) {
       return;
     }
     auto tx = std::make_shared<Tx>(client);
-    // The first write targets the container the read came from, so the shard
-    // that assigned the snapshot is also the commit origin — the contract
-    // PsiChecker's origin-log replay assumes. Cross-shard and cross-site
-    // writes ride along as the second write of the transaction.
+    // The read and the first write pick containers independently, so the
+    // shard that assigned the snapshot is routinely NOT the commit origin —
+    // the sharded case PsiChecker's visibility-gated replay exists for.
+    // Cross-shard and cross-site writes ride along as the second write.
     double dice = rng.NextDouble();
     bool remote_preferred = dice >= 0.4 && dice < 0.6;
+    size_t read_shard = rng.Uniform(2);
+    ContainerId read_c = containers[remote_preferred ? 1 - site : site][read_shard];
     size_t first_shard = rng.Uniform(2);
     ContainerId first_c = containers[remote_preferred ? 1 - site : site][first_shard];
-    ObjectId read_oid = Oid(first_c, rng.Uniform(12));
+    ObjectId read_oid = Oid(read_c, rng.Uniform(12));
     tx->Read(read_oid, [&, client, site, remaining, tx, read_oid, dice, first_shard,
               first_c](Status s, std::optional<std::string> v) {
       ASSERT_TRUE(s.ok());

@@ -1,0 +1,353 @@
+// Threaded-runtime chaos: the chaos seeds the deterministic harness replays
+// (101/202/303), driven against real threads and a real clock instead of the
+// single simulator — mailbox dispatch, per-shard executors, wall-clock timers
+// (compressed by time_scale). Faults are injected from the test's control
+// thread through the network's atomic toggles (loss, partition) plus a
+// crash+replace routed through the victim's owner executor.
+//
+// Nondeterministic by nature, so there is no byte-identity to assert; the
+// contract is chaos_test's end state: every confirmed transaction's history
+// satisfies the three PSI properties, the sites converge after heal, and
+// nothing leaks (locks, watermarks).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <tuple>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/psi/checker.h"
+
+namespace walter {
+namespace {
+
+constexpr size_t kSites = 3;
+
+void SleepMs(int ms) { std::this_thread::sleep_for(std::chrono::milliseconds(ms)); }
+
+class ThreadedChaos {
+ public:
+  explicit ThreadedChaos(uint64_t seed) : seed_(seed) {}
+
+  void Run() {
+    ClusterOptions options;
+    options.num_sites = kSites;
+    options.seed = seed_;
+    options.server.perf = PerfModel::Instant();
+    // Memory disk: applied == durable, so a crash+replace restores exactly
+    // the state every observer already saw — no silent-commit reconciliation.
+    options.server.disk = DiskConfig::Memory();
+    options.server.gossip_interval = Seconds(1);
+    options.server.resend_backoff_cap = Seconds(5);
+    options.server.idle_tx_timeout = Seconds(20);
+    options.client.max_attempts = 3;
+    options.runtime.workers = 2;
+    options.runtime.time_scale = 5.0;  // 1 real second = 5 virtual seconds
+    Cluster cluster(options);
+
+    // Harness logs: observers fire concurrently on the owner executors. First
+    // occurrence of an (origin, seqno) wins — recovery's §5.7 heal can re-fire
+    // for records a replaced server re-installs, and the first position was
+    // the site's real apply order. `by_version` feeds the post-replacement
+    // reconciliation below.
+    std::mutex log_mu;
+    std::vector<std::vector<TxRecord>> logs(kSites);
+    std::vector<std::set<std::pair<SiteId, uint64_t>>> applied(kSites);
+    std::map<std::pair<SiteId, uint64_t>, TxRecord> by_version;
+    cluster.ObserveCommits([&](SiteId site, const TxRecord& rec) {
+      std::lock_guard<std::mutex> lk(log_mu);
+      auto key = std::make_pair(rec.origin, rec.version.seqno);
+      by_version.emplace(key, rec);
+      if (!applied[site].insert(key).second) {
+        return;
+      }
+      logs[site].push_back(rec);
+    });
+
+    for (SiteId s = 0; s < kSites; ++s) {
+      for (int c = 0; c < 2; ++c) {
+        auto loop = std::make_unique<ClientLoop>();
+        loop->client = cluster.AddClient(s);
+        loop->rng = Rng(seed_ * 1000003 + s * 31 + static_cast<uint64_t>(c));
+        loops_.push_back(std::move(loop));
+      }
+    }
+
+    cluster.StartThreads();
+    active_.store(static_cast<int>(loops_.size()));
+    for (auto& loop : loops_) {
+      cluster.client_executor(loop->client)
+          ->Post([this, &cluster, lp = loop.get()]() { StartTx(cluster, lp); });
+    }
+
+    // Fault schedule, in real time (virtual time runs 5x faster). Each phase
+    // leaves the workload running through the fault, exactly like the sim
+    // nemesis; everything heals before the convergence wait.
+    SleepMs(150);
+    cluster.net().SetLossProbability(0.15);
+    SleepMs(250);
+    cluster.net().SetLossProbability(0.0);
+    SiteId a = static_cast<SiteId>(seed_ % kSites);
+    SiteId b = static_cast<SiteId>((seed_ + 1) % kSites);
+    cluster.net().SetPartitioned(a, b, true);
+    SleepMs(250);
+    cluster.net().SetPartitioned(a, b, false);
+    SiteId victim = static_cast<SiteId>((seed_ / 7) % kSites);
+    cluster.RunOnServer(victim, [&]() { cluster.server(victim).Crash(); });
+    // After the crash the old instance's observer is silent and the
+    // replacement is not installed yet, so the victim's log length is stable:
+    // everything past this position was observed by the replacement.
+    size_t pre_crash_len = 0;
+    {
+      std::lock_guard<std::mutex> lk(log_mu);
+      pre_crash_len = logs[victim].size();
+    }
+    cluster.ReplaceServer(victim);
+    // Reconcile the harness log, like the sim chaos harness does: a restored
+    // server treats everything durably applied as committed (Section 5.7)
+    // without firing the commit observer — it cannot know which records the
+    // crashed instance already reported. Any record inside the restored
+    // frontier the victim never reported committed silently during the
+    // restore, so it belongs between the pre-crash entries and everything the
+    // replacement observes afterwards. Running on the victim's owner executor
+    // makes the frontier read atomic with respect to its commit processing.
+    cluster.RunOnServer(victim, [&]() {
+      std::lock_guard<std::mutex> lk(log_mu);
+      const VectorTimestamp& frontier = cluster.server(victim).committed_vts();
+      std::vector<TxRecord> missing;
+      for (SiteId o = 0; o < kSites; ++o) {
+        for (uint64_t q = 1; q <= frontier.at(o); ++q) {
+          auto key = std::make_pair(o, q);
+          if (applied[victim].count(key) > 0) {
+            continue;
+          }
+          auto it = by_version.find(key);
+          if (it == by_version.end()) {
+            // Own record flushed but unacknowledged at the crash: no observer
+            // anywhere has seen it; only the restored server retains it.
+            const TxRecord* rec =
+                o == victim ? cluster.server(victim).RetainedLocalCommit(q) : nullptr;
+            if (rec == nullptr) {
+              continue;
+            }
+            it = by_version.emplace(key, *rec).first;
+          }
+          applied[victim].insert(key);
+          missing.push_back(it->second);
+        }
+      }
+      // Causal order among the reconciled records themselves: if T1 committed
+      // before T2 started, T2's snapshot covers T1's (componentwise, strictly
+      // at T1's origin — the receive guard and the sharded commit gate
+      // enforce the coverage at T1's commit), so sorting by snapshot size is
+      // consistent with causality. Origin-major order is not: it can put an
+      // origin-0 record that saw an origin-2 record ahead of it.
+      auto snap_sum = [](const TxRecord& rec) {
+        uint64_t sum = 0;
+        for (SiteId s = 0; s < static_cast<SiteId>(rec.start_vts.num_sites()); ++s) {
+          sum += rec.start_vts.at(s);
+        }
+        return sum;
+      };
+      std::stable_sort(missing.begin(), missing.end(),
+                       [&](const TxRecord& x, const TxRecord& y) {
+                         auto kx = std::make_tuple(snap_sum(x), x.origin, x.version.seqno);
+                         auto ky = std::make_tuple(snap_sum(y), y.origin, y.version.seqno);
+                         return kx < ky;
+                       });
+      logs[victim].insert(logs[victim].begin() + static_cast<ptrdiff_t>(pre_crash_len),
+                          missing.begin(), missing.end());
+    });
+    SleepMs(300);
+
+    // Stop the workload and drain the in-flight chains.
+    stop_.store(true, std::memory_order_relaxed);
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(90);
+    while (active_.load() > 0 && std::chrono::steady_clock::now() < deadline) {
+      SleepMs(5);
+    }
+    ASSERT_EQ(active_.load(), 0) << "client chains stuck past their retry budgets";
+
+    // Post-heal convergence: identical committed frontiers everywhere, and
+    // every prepare lock and visibility watermark drained — stale locks from
+    // transactions the crash or the retry budget orphaned clear through the
+    // kTxStatus probes and the idle-transaction sweep, which lag the frontier
+    // by design. All state is observed through each server's owner executor.
+    bool converged = false;
+    while (!converged && std::chrono::steady_clock::now() < deadline) {
+      SleepMs(20);
+      VectorTimestamp v0 = cluster.SnapshotCommittedVts(0);
+      converged = true;
+      for (SiteId s = 1; s < kSites; ++s) {
+        if (!(cluster.SnapshotCommittedVts(s) == v0)) {
+          converged = false;
+          break;
+        }
+      }
+      for (SiteId s = 0; converged && s < kSites; ++s) {
+        size_t locks = 0, watermarks = 0;
+        cluster.RunOnServer(s, [&]() {
+          locks = cluster.server(s).lock_count();
+          watermarks = cluster.server(s).watermark_count();
+        });
+        converged = locks == 0 && watermarks == 0;
+      }
+    }
+    cluster.StopThreads();
+    ASSERT_TRUE(converged) << "sites did not converge (or drain locks) after heal";
+
+    EXPECT_GT(confirmed_.load(), 0) << "chaos starved the workload completely";
+    for (SiteId s = 0; s < kSites; ++s) {
+      EXPECT_EQ(cluster.server(s).committed_vts(), cluster.server(0).committed_vts())
+          << "site " << s << " did not converge";
+      EXPECT_EQ(cluster.server(s).lock_count(), 0u) << "site " << s;
+      EXPECT_EQ(cluster.server(s).watermark_count(), 0u) << "site " << s;
+    }
+
+    // PSI over the recorded history: apply orders per site (already deduped
+    // and reconciled above); transaction details (with confirmed reads)
+    // registered from each origin.
+    PsiChecker checker(kSites);
+    {
+      std::lock_guard<std::mutex> lk(log_mu);
+      std::lock_guard<std::mutex> rk(reads_mu_);
+      for (SiteId s = 0; s < kSites; ++s) {
+        for (const TxRecord& rec : logs[s]) {
+          checker.OnApply(s, rec.tid);
+          if (rec.origin != s) {
+            continue;
+          }
+          RecordedTx recorded;
+          recorded.record = rec;
+          auto it = reads_by_tid_.find(rec.tid);
+          if (it != reads_by_tid_.end()) {
+            recorded.reads = it->second;
+          }
+          checker.OnCommit(std::move(recorded));
+        }
+      }
+    }
+    Status result = checker.Check();
+    EXPECT_TRUE(result.ok()) << "seed " << seed_ << ": " << result.ToString();
+    if (!result.ok()) {
+      // Debug dump: every observed log entry touching the object named in the
+      // error, in observation order, per site.
+      uint64_t c = 0, l = 0;
+      size_t p = result.ToString().find("oid(");
+      if (p != std::string::npos &&
+          std::sscanf(result.ToString().c_str() + p, "oid(%lu:%lu)", &c, &l) == 2) {
+        ObjectId target{c, l};
+        std::lock_guard<std::mutex> lk(log_mu);
+        for (SiteId s = 0; s < kSites; ++s) {
+          for (size_t i = 0; i < logs[s].size(); ++i) {
+            const TxRecord& rec = logs[s][i];
+            for (const auto& u : rec.updates) {
+              if (u.oid == target) {
+                std::fprintf(stderr,
+                             "site%u[%zu]: tid=%lu origin=%u seqno=%lu vts=%s val=%s\n",
+                             s, i, static_cast<unsigned long>(rec.tid), rec.origin,
+                             static_cast<unsigned long>(rec.version.seqno),
+                             rec.start_vts.ToString().c_str(), u.data.c_str());
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  // Per-client workload state: only ever touched from the client's owner
+  // executor, so it needs no lock of its own.
+  struct ClientLoop {
+    WalterClient* client = nullptr;
+    Rng rng{1};
+    uint64_t next_value = 1;
+  };
+
+  ObjectId RandomObject(ClientLoop* lp, ContainerId container) {
+    return ObjectId{container, lp->rng.Uniform(30)};
+  }
+
+  void StartTx(Cluster& cluster, ClientLoop* lp) {
+    if (stop_.load(std::memory_order_relaxed)) {
+      active_.fetch_sub(1);
+      return;
+    }
+    auto tx = std::make_shared<Tx>(lp->client);
+    double dice = lp->rng.NextDouble();
+    if (dice < 0.15) {
+      // Cross-site write: slow commit through a remote preferred site.
+      ContainerId remote =
+          (lp->client->site() + 1 + lp->rng.Uniform(kSites - 1)) % kSites;
+      tx->Write(RandomObject(lp, remote), "x" + std::to_string(lp->next_value++));
+      Finish(cluster, lp, tx, {});
+    } else {
+      ContainerId local = lp->client->site();
+      ObjectId read_oid = RandomObject(lp, local);
+      tx->Read(read_oid, [this, &cluster, lp, tx, read_oid](
+                             Status s, std::optional<std::string> v) {
+        std::vector<RecordedRead> reads;
+        if (s.ok()) {
+          reads.push_back(RecordedRead{read_oid, false, std::move(v), {}});
+        }
+        ContainerId local = lp->client->site();
+        tx->Write(RandomObject(lp, local), "w" + std::to_string(lp->next_value++));
+        if (lp->rng.Bernoulli(0.3)) {
+          tx->Write(RandomObject(lp, local), "w" + std::to_string(lp->next_value++));
+        }
+        Finish(cluster, lp, tx, std::move(reads));
+      });
+    }
+  }
+
+  void Finish(Cluster& cluster, ClientLoop* lp, std::shared_ptr<Tx> tx,
+              std::vector<RecordedRead> reads) {
+    TxId tid = tx->tid();
+    {
+      std::lock_guard<std::mutex> lk(reads_mu_);
+      reads_by_tid_[tid] = std::move(reads);
+    }
+    tx->Commit([this, &cluster, lp, tx, tid](Status s) {
+      if (s.ok()) {
+        confirmed_.fetch_add(1);
+      } else {
+        // May still have committed server-side (lost response): without
+        // confirmation its reads are not checkable.
+        std::lock_guard<std::mutex> lk(reads_mu_);
+        reads_by_tid_.erase(tid);
+      }
+      // Think on the owner executor's timer queue, then go again.
+      SimDuration think = Millis(2 + static_cast<double>(lp->rng.Uniform(10)));
+      lp->client->sim()->After(think,
+                               [this, &cluster, lp]() { StartTx(cluster, lp); });
+    });
+  }
+
+  uint64_t seed_;
+  std::vector<std::unique_ptr<ClientLoop>> loops_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> active_{0};
+  std::atomic<int> confirmed_{0};
+  std::mutex reads_mu_;
+  std::unordered_map<TxId, std::vector<RecordedRead>> reads_by_tid_;
+};
+
+TEST(ThreadedChaosTest, Seed101) { ThreadedChaos(101).Run(); }
+TEST(ThreadedChaosTest, Seed202) { ThreadedChaos(202).Run(); }
+TEST(ThreadedChaosTest, Seed303) { ThreadedChaos(303).Run(); }
+
+}  // namespace
+}  // namespace walter
