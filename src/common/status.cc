@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "timeout";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kOverloaded:
+      return "overloaded";
   }
   return "unknown";
 }

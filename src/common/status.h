@@ -22,6 +22,7 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition,  // API misuse (e.g. write to cset object)
   kTimeout,
   kInternal,
+  kOverloaded,  // server shed the request (admission control); retry after a hint
 };
 
 // Returns a stable lower-case name for the code ("ok", "aborted", ...).
@@ -44,6 +45,7 @@ class [[nodiscard]] Status {
   }
   static Status Timeout(std::string m = "") { return {StatusCode::kTimeout, std::move(m)}; }
   static Status Internal(std::string m = "") { return {StatusCode::kInternal, std::move(m)}; }
+  static Status Overloaded(std::string m = "") { return {StatusCode::kOverloaded, std::move(m)}; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

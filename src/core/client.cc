@@ -73,6 +73,23 @@ SimDuration WalterClient::BackoffFor(size_t attempt) {
   return backoff;
 }
 
+bool WalterClient::TakeOverloadToken() {
+  SimTime now = sim()->Now();
+  if (overload_tokens_ < 0) {
+    overload_tokens_ = options_.overload_retry_tokens;  // first use: full bucket
+  } else {
+    double elapsed_s = ToSeconds(now - overload_refill_at_);
+    overload_tokens_ = std::min(options_.overload_retry_tokens,
+                                overload_tokens_ + elapsed_s * options_.overload_token_refill_per_s);
+  }
+  overload_refill_at_ = now;
+  if (overload_tokens_ < 1.0) {
+    return false;
+  }
+  overload_tokens_ -= 1.0;
+  return true;
+}
+
 void WalterClient::Attempt(SiteId target, ClientOpRequest req,
                            std::function<void(Status, const ClientOpResponse&)> cb,
                            size_t attempt, TxId tid) {
@@ -90,6 +107,43 @@ void WalterClient::Attempt(SiteId target, Payload request,
                                                                 const Message& m) mutable {
         if (status.ok()) {
           ClientOpResponse resp = ClientOpResponse::Deserialize(m.payload);
+          if (resp.status == StatusCode::kOverloaded &&
+              options_.overload_retry_tokens > 0) {
+            // Server shed us at admission. Retransmit after its retry-after
+            // hint (doubled per repeated rejection, capped at the backoff
+            // cap — not the generic transport backoff, whose 250ms base
+            // would dwarf a millisecond-scale queue drain), paying one
+            // budget token — the bucket, not max_attempts, bounds these: a
+            // shed request costs the server almost nothing, but an unbounded
+            // retry loop would double the offered load right when it hurts
+            // most.
+            if (TakeOverloadToken()) {
+              SimDuration hint = std::max<SimDuration>(
+                  static_cast<SimDuration>(resp.retry_after_us), Millis(1));
+              SimDuration delay = std::min<SimDuration>(
+                  hint << std::min<size_t>(attempt - 1, 10), options_.backoff_cap);
+              if (options_.backoff_jitter > 0) {
+                // Jitter as in BackoffFor: a surge rejects whole cohorts at
+                // once; un-jittered hints would retry them as one thundering
+                // herd at hint-multiples.
+                delay = static_cast<SimDuration>(
+                    static_cast<double>(delay) *
+                    (1.0 + options_.backoff_jitter * sim()->rng().NextDouble()));
+              }
+              sim()->After(delay, [this, target, request = std::move(request),
+                                   cb = std::move(cb), attempt, tid]() mutable {
+                ++retries_sent_;
+                ++overload_retries_sent_;
+                WTRACE(sim()->Now(), TraceKind::kClientRetry, tid, site_, attempt + 1);
+                Attempt(target, std::move(request), std::move(cb), attempt + 1, tid);
+              });
+              return;
+            }
+            ++overload_sheds_;
+            WTRACE(sim()->Now(), TraceKind::kRetryBudgetExhausted, tid, site_, attempt);
+            cb(Status::Unavailable("overload retry budget exhausted"), resp);
+            return;
+          }
           if (resp.status != StatusCode::kOk) {
             cb(Status(resp.status, ""), resp);
             return;

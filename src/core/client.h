@@ -48,6 +48,17 @@ class WalterClient {
     SimDuration backoff_base = Millis(250);  // doubles per attempt
     SimDuration backoff_cap = Seconds(4);
     double backoff_jitter = 0.3;             // backoff *= U[1, 1+jitter]
+    // Load shedding (admission control's client half; 0 = off, the default —
+    // a kOverloaded response surfaces to the caller unchanged). When positive,
+    // the client absorbs kOverloaded by retransmitting after the server's
+    // retry-after hint, spending one token per retransmission from a bucket
+    // of this size that refills at overload_token_refill_per_s. An empty
+    // bucket sheds the operation: kUnavailable immediately (with a
+    // kRetryBudgetExhausted trace the watchdog sees), never a hang — under a
+    // sustained surge the budget bounds retry amplification to the refill
+    // rate instead of letting every client double the offered load.
+    double overload_retry_tokens = 0;
+    double overload_token_refill_per_s = 10.0;
   };
 
   // port must be unique per client within the site (use kClientPortBase + n).
@@ -87,6 +98,9 @@ class WalterClient {
   const Options& options() const { return options_; }
   // Total RPC retransmissions performed (excluding first attempts).
   uint64_t retries_sent() const { return retries_sent_; }
+  // Overload-shedding counters (stay 0 with overload_retry_tokens = 0).
+  uint64_t overload_retries_sent() const { return overload_retries_sent_; }
+  uint64_t overload_sheds() const { return overload_sheds_; }
 
   // Commit-event notification registry (Section 4.2 callbacks).
   void WatchDurable(TxId tid, std::function<void()> cb) { durable_watch_[tid] = std::move(cb); }
@@ -121,6 +135,9 @@ class WalterClient {
                std::function<void(Status, const ClientOpResponse&)> cb, size_t attempt,
                TxId tid);
   SimDuration BackoffFor(size_t attempt);
+  // Lazily refills the token bucket from elapsed sim time and takes one token
+  // if available. Only called with overload_retry_tokens > 0.
+  bool TakeOverloadToken();
 
   RpcEndpoint endpoint_;
   SiteId site_;
@@ -130,6 +147,12 @@ class WalterClient {
   uint64_t next_local_id_ = 1;
   uint64_t next_op_seq_ = 1;
   uint64_t retries_sent_ = 0;
+  uint64_t overload_retries_sent_ = 0;
+  uint64_t overload_sheds_ = 0;
+  // Token bucket for overload retries (initialized full on first use so a
+  // client constructed before its simulator starts does not read the clock).
+  double overload_tokens_ = -1.0;
+  SimTime overload_refill_at_ = 0;
   std::unordered_map<TxId, std::function<void()>> durable_watch_;
   std::unordered_map<TxId, std::function<void()>> visible_watch_;
   SnapshotPinRegistry* pins_ = nullptr;

@@ -56,6 +56,18 @@ Cluster::Cluster(ClusterOptions options)
   if (const char* env = std::getenv("WALTER_EARLY_LOCK_RELEASE")) {
     early_release = !(env[0] == '0' && env[1] == '\0');
   }
+  // Overload-defense kill switch: WALTER_ADMISSION=0 forces admission control
+  // (and the clients' overload retry budgets) off regardless of options — the
+  // byte-identity escape hatch, mirroring WALTER_EARLY_LOCK_RELEASE.
+  bool admission_on = true;
+  if (const char* env = std::getenv("WALTER_ADMISSION")) {
+    admission_on = !(env[0] == '0' && env[1] == '\0');
+  }
+  if (!admission_on) {
+    options_.server.admission_max_queue = 0;
+    options_.server.admission_max_inflight = 0;
+    options_.client.overload_retry_tokens = 0;
+  }
   for (SiteId v = 0; v < static_cast<SiteId>(shard_map_.num_servers()); ++v) {
     WalterServer::Options so = options_.server;
     so.site = v;
@@ -237,10 +249,16 @@ void Cluster::ExportMetrics(MetricsRegistry& metrics) const {
   }
   net_->ExportMetrics(metrics);
   uint64_t retries = 0;
+  uint64_t overload_retries = 0;
+  uint64_t overload_sheds = 0;
   for (const auto& client : clients_) {
     retries += client->retries_sent();
+    overload_retries += client->overload_retries_sent();
+    overload_sheds += client->overload_sheds();
   }
   metrics.Set("client.retries_sent", kNoSite, static_cast<double>(retries));
+  metrics.Set("client.overload_retries", kNoSite, static_cast<double>(overload_retries));
+  metrics.Set("client.overload_sheds", kNoSite, static_cast<double>(overload_sheds));
 }
 
 }  // namespace walter

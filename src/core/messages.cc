@@ -86,6 +86,10 @@ std::string ClientOpResponse::Serialize() const {
     PutOptionalString(&w, v);
   }
   w.PutVersion(commit_version);
+  // Trailing optional (like PrepareRequest's priority): omitted when zero.
+  if (retry_after_us != 0) {
+    w.PutU64(retry_after_us);
+  }
   return w.Take();
 }
 
@@ -103,6 +107,9 @@ ClientOpResponse ClientOpResponse::Deserialize(std::string_view bytes) {
     resp.values.push_back(GetOptionalString(&r));
   }
   resp.commit_version = r.GetVersion();
+  if (r.remaining() > 0) {
+    resp.retry_after_us = r.GetU64();
+  }
   return resp;
 }
 

@@ -129,6 +129,9 @@ struct ClientOpResponse {
   int64_t count = 0;            // setReadId result
   std::vector<std::optional<std::string>> values;  // multiRead results
   Version commit_version;       // set when commit_after succeeded
+  // Admission-control retry hint (microseconds). Trailing optional field: 0
+  // (admission off) keeps the wire bytes identical to the pre-overload format.
+  uint64_t retry_after_us = 0;
 
   std::string Serialize() const;
   static ClientOpResponse Deserialize(std::string_view bytes);

@@ -131,15 +131,90 @@ void WalterServer::HandleClientOp(const Message& msg, RpcEndpoint::ReplyFn reply
   ClientOpRequest req = ClientOpRequest::Deserialize(msg.payload);
   WTRACE(sim_->Now(), TraceKind::kServerRecv, req.tid, options_.site, 0,
          static_cast<uint32_t>(req.op));
-  auto respond = [reply = std::move(reply)](ClientOpResponse resp) {
+  std::function<void(ClientOpResponse)> respond = [reply = std::move(reply)](
+                                                      ClientOpResponse resp) {
     Message m;
     m.payload = resp.Serialize();
     reply(std::move(m));
   };
+  if (!AdmitClientOp(req, respond)) {
+    return;
+  }
   cpu_.Execute(Jittered(CostFor(req)),
                [this, req = std::move(req), respond = std::move(respond)]() mutable {
                  ProcessClientOp(req, std::move(respond));
                });
+}
+
+bool WalterServer::AdmitClientOp(const ClientOpRequest& req,
+                                 std::function<void(ClientOpResponse)>& respond) {
+  const bool enabled = options_.admission_max_queue > 0 || options_.admission_max_inflight > 0;
+  if (!enabled) {
+    return true;
+  }
+  const size_t queue = cpu_.queue_length();
+  if (!req.abort) {
+    const bool over_queue =
+        options_.admission_max_queue > 0 && queue >= options_.admission_max_queue;
+    const bool over_inflight = options_.admission_max_inflight > 0 &&
+                               admitted_inflight_ >= options_.admission_max_inflight;
+    if ((over_queue || over_inflight) && !IsAdmittedRetransmission(req)) {
+      ++stats_.admit_rejects;
+      ClientOpResponse resp;
+      resp.status = StatusCode::kOverloaded;
+      // Retry-after hint: roughly the time this CPU needs to drain its queue,
+      // clamped so a client neither hammers back instantly nor sits out a
+      // whole surge. Deterministic (no jitter) — the client adds its own.
+      uint64_t drain = (static_cast<uint64_t>(queue) + 1) *
+                       static_cast<uint64_t>(options_.perf.commit_op);
+      resp.retry_after_us =
+          std::clamp<uint64_t>(drain, static_cast<uint64_t>(Millis(1)),
+                               static_cast<uint64_t>(Millis(100)));
+      WTRACE(sim_->Now(), TraceKind::kAdmitReject, req.tid, options_.site, resp.retry_after_us,
+             static_cast<uint32_t>(queue));
+      respond(std::move(resp));
+      return false;
+    }
+  }
+  // Admitted: account it until the reply closure runs or is dropped — a parked
+  // read holds its slot for as long as it holds server state. The token rides
+  // `respond` by shared_ptr so chained/duplicated closures release it exactly
+  // once, when the last copy dies.
+  ++admitted_inflight_;
+  stats_.admitted_inflight_peak =
+      std::max<uint64_t>(stats_.admitted_inflight_peak, admitted_inflight_);
+  if (queue + 1 > stats_.cpu_queue_peak) {
+    stats_.cpu_queue_peak = queue + 1;
+    WTRACE(sim_->Now(), TraceKind::kQueueDepth, 0, options_.site, queue + 1);
+  }
+  auto token = std::shared_ptr<void>(nullptr, [alive = alive_, this](void*) {
+    if (*alive) {
+      --admitted_inflight_;
+    }
+  });
+  respond = [token = std::move(token),
+             inner = std::move(respond)](ClientOpResponse resp) { inner(std::move(resp)); };
+  return true;
+}
+
+bool WalterServer::IsAdmittedRetransmission(const ClientOpRequest& req) const {
+  // A parked read keeps its reply closure registered under (tid, op_seq) for
+  // the park's whole lifetime; a matching key means this very op was admitted
+  // and is still being worked on.
+  if (req.op_seq != 0 && parked_reads_.count({req.tid, req.op_seq}) > 0) {
+    return true;
+  }
+  // A retransmitted commit with chained (2PC in flight, lock-parked,
+  // gap-parked) or settled (committed/aborted) state short-circuits in
+  // DedupRetransmittedCommit; bouncing it at admission would strand the
+  // client without its outcome for as long as the overload lasts.
+  if (req.commit_after &&
+      (slow_commits_.contains(req.tid) || parked_commits_.contains(req.tid) ||
+       gap_commit_waiters_.contains(req.tid) || committed_versions_.contains(req.tid) ||
+       aborted_tids_.contains(req.tid))) {
+    return true;
+  }
+  return false;
 }
 
 void WalterServer::ProcessClientOp(const ClientOpRequest& req,
@@ -212,6 +287,27 @@ void WalterServer::ProcessClientOp(const ClientOpRequest& req,
 
   if (req.op == ClientOpKind::kRead || req.op == ClientOpKind::kSetRead ||
       req.op == ClientOpKind::kSetReadId || req.op == ClientOpKind::kMultiRead) {
+    if (req.op_seq != 0) {
+      auto pr = parked_reads_.find({req.tid, req.op_seq});
+      if (pr != parked_reads_.end()) {
+        // Retransmission of a read whose original is still parked (the park
+        // outlived the client's RPC timeout): chain this reply onto the live
+        // park. Starting a second DoRead chain here would hand the same
+        // logical read a fresh starvation budget and count it starved once
+        // per retransmission — the starvation metric and the watchdog verdict
+        // would disagree about how many reads actually starved.
+        ++stats_.read_park_dedups;
+        auto prev = std::move(pr->second);
+        pr->second = [prev = std::move(prev),
+                      r = std::move(respond)](ClientOpResponse resp) {
+          if (prev) {
+            prev(resp);
+          }
+          r(std::move(resp));
+        };
+        return;
+      }
+    }
     ++stats_.reads;
     if (it != active_.end()) {
       it->second.last_touch = sim_->Now();
@@ -258,6 +354,38 @@ std::optional<SimDuration> WalterServer::ReadParkDelay(uint32_t park_attempt) co
   return delay_at(park_attempt);
 }
 
+void WalterServer::ParkRead(const ClientOpRequest& req, const VectorTimestamp& vts,
+                            std::function<void(ClientOpResponse)> respond,
+                            uint32_t park_attempt, SimDuration delay) {
+  const std::pair<TxId, uint64_t> key{req.tid, req.op_seq};
+  std::function<void(ClientOpResponse)> captured;
+  if (req.op_seq != 0) {
+    // Fresh park or re-park: (re)install the reply closure so a retransmission
+    // arriving during the wait chains onto this park (see ProcessClientOp)
+    // instead of opening a second chain with a fresh starvation budget.
+    parked_reads_[key] = std::move(respond);
+  } else {
+    // Untagged request (raw test traffic): no identity to dedup on; the reply
+    // rides the timer as before.
+    captured = std::move(respond);
+  }
+  sim_->After(delay, Guard([this, req, vts, park_attempt, key,
+                            captured = std::move(captured)]() mutable {
+    std::function<void(ClientOpResponse)> respond = std::move(captured);
+    if (req.op_seq != 0) {
+      auto it = parked_reads_.find(key);
+      if (it == parked_reads_.end()) {
+        return;  // already resolved out from under the timer
+      }
+      respond = std::move(it->second);
+      parked_reads_.erase(it);
+    }
+    auto at = active_.find(req.tid);
+    const ActiveTx* tx2 = at != active_.end() ? &at->second : nullptr;
+    DoRead(req, vts, tx2, std::move(respond), park_attempt + 1);
+  }));
+}
+
 void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts,
                           const ActiveTx* tx, std::function<void(ClientOpResponse)> respond,
                           uint32_t park_attempt) {
@@ -287,12 +415,7 @@ void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts
     // ActiveTx pointer is re-resolved on retry — the buffer can move or be
     // swept while we wait.
     if (auto delay = ReadParkDelay(park_attempt)) {
-      sim_->After(*delay, Guard([this, req, vts, park_attempt,
-                                 respond = std::move(respond)]() {
-        auto it = active_.find(req.tid);
-        const ActiveTx* tx2 = it != active_.end() ? &it->second : nullptr;
-        DoRead(req, vts, tx2, respond, park_attempt + 1);
-      }));
+      ParkRead(req, vts, std::move(respond), park_attempt, *delay);
     } else {
       ++stats_.reads_starved;
       WTRACE(sim_->Now(), TraceKind::kReadStarved, req.tid, options_.site, park_attempt);
@@ -323,12 +446,7 @@ void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts
       if (auto delay = ReadParkDelay(park_attempt)) {
         ++stats_.watermark_read_waits;
         WTRACE(sim_->Now(), TraceKind::kWaitWatermark, req.tid, options_.site);
-        sim_->After(*delay, Guard([this, req, vts, park_attempt,
-                                   respond = std::move(respond)]() {
-          auto it = active_.find(req.tid);
-          const ActiveTx* tx2 = it != active_.end() ? &it->second : nullptr;
-          DoRead(req, vts, tx2, respond, park_attempt + 1);
-        }));
+        ParkRead(req, vts, std::move(respond), park_attempt, *delay);
       } else {
         // The watermark outlived the whole retry budget: the decision edge
         // that clears it is gone (crashed origin, unhealed partition). Give
@@ -554,6 +672,24 @@ bool WalterServer::DedupRetransmittedCommit(const ClientOpRequest& req,
     };
     return true;
   }
+  auto gp = gap_commit_waiters_.find(req.tid);
+  if (gp != gap_commit_waiters_.end()) {
+    // Parked on a sibling-shard snapshot gap: same chaining. Before this
+    // registry existed the parked transaction was findable nowhere (it rides
+    // the retry timer by value), so a retransmission fell through to the
+    // lost-state guard below and was refused while the original could still
+    // commit — and a retransmission piggybacking an update would re-buffer
+    // and commit the transaction a second time.
+    ++stats_.commit_dedups;
+    auto prev = std::move(gp->second);
+    gp->second = [prev = std::move(prev), r = std::move(respond)](ClientOpResponse resp) {
+      if (prev) {
+        prev(resp);
+      }
+      r(std::move(resp));
+    };
+    return true;
+  }
   auto cv = committed_versions_.find(req.tid);
   if (cv != committed_versions_.end()) {
     ++stats_.commit_dedups;
@@ -629,9 +765,20 @@ void WalterServer::DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_
     if (auto delay = ReadParkDelay(park_attempt)) {
       ++stats_.commit_gap_parks;
       WTRACE(sim_->Now(), TraceKind::kCommitGapWait, tid, options_.site, park_attempt);
+      // The buffered transaction rides the timer; the reply closure goes into
+      // the waiter registry so a retransmitted commit (the park outlived the
+      // client's RPC timeout) chains onto this park via
+      // DedupRetransmittedCommit instead of being refused as lost state — or
+      // worse, re-buffered and committed a second time.
+      gap_commit_waiters_[tid] = std::move(respond);
       sim_->After(*delay, Guard([this, tid, tx = std::move(tx), want_durable, want_visible,
-                                 reply_port, reply_site, park_attempt,
-                                 respond = std::move(respond)]() mutable {
+                                 reply_port, reply_site, park_attempt]() mutable {
+        auto it = gap_commit_waiters_.find(tid);
+        if (it == gap_commit_waiters_.end()) {
+          return;  // already resolved out from under the timer
+        }
+        auto respond = std::move(it->second);
+        gap_commit_waiters_.erase(it);
         DoCommit(tid, std::move(tx), want_durable, want_visible, reply_port, reply_site,
                  std::move(respond), park_attempt + 1);
       }));
@@ -640,6 +787,11 @@ void WalterServer::DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_
       ++stats_.aborts;
       WTRACE(sim_->Now(), TraceKind::kTxAbort, tid, options_.site,
              static_cast<uint64_t>(StatusCode::kUnavailable));
+      // Distinct terminal mark (after kTxAbort so it stamps the watchdog
+      // stage): a starved commit must not read as a starved read — they point
+      // at different blockers (sibling-shard propagation vs a dead decision
+      // edge) — and must never read as silently "stuck".
+      WTRACE(sim_->Now(), TraceKind::kCommitStarved, tid, options_.site, park_attempt);
       ClientOpResponse resp;
       resp.status = StatusCode::kUnavailable;
       respond(std::move(resp));
@@ -2139,7 +2291,11 @@ void WalterServer::AnswerRemoteRead(RemoteReadRequest req, RpcEndpoint::ReplyFn 
         }));
         return;
       }
-      ++stats_.reads_starved;
+      // Counted apart from client-read starvation: a starved remote read has
+      // no client RPC of its own (the caller times out into kUnavailable), so
+      // folding it into reads_starved would make that metric disagree with
+      // the per-client kReadStarved verdicts under surge.
+      ++stats_.remote_reads_starved;
       WTRACE(sim_->Now(), TraceKind::kReadStarved, 0, options_.site, park_attempt, req.caller);
       if (req.is_cset) {
         Message m;
@@ -2851,8 +3007,15 @@ void WalterServer::ExportMetrics(MetricsRegistry& metrics) const {
   metrics.Set("server.watermark_read_waits", s,
               static_cast<double>(stats_.watermark_read_waits));
   metrics.Set("server.reads_starved", s, static_cast<double>(stats_.reads_starved));
+  metrics.Set("server.remote_reads_starved", s,
+              static_cast<double>(stats_.remote_reads_starved));
+  metrics.Set("server.read_park_dedups", s, static_cast<double>(stats_.read_park_dedups));
   metrics.Set("server.commit_gap_parks", s, static_cast<double>(stats_.commit_gap_parks));
   metrics.Set("server.commits_starved", s, static_cast<double>(stats_.commits_starved));
+  metrics.Set("server.admit_rejects", s, static_cast<double>(stats_.admit_rejects));
+  metrics.Set("server.admitted_inflight_peak", s,
+              static_cast<double>(stats_.admitted_inflight_peak));
+  metrics.Set("server.cpu_queue_peak", s, static_cast<double>(stats_.cpu_queue_peak));
   metrics.Set("server.live_watermarks", s, static_cast<double>(store_.watermark_count()));
   metrics.Set("server.lock_waits", s, static_cast<double>(stats_.lock_waits));
   metrics.Set("server.lock_wait_timeouts", s, static_cast<double>(stats_.lock_wait_timeouts));

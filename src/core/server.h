@@ -132,6 +132,16 @@ class WalterServer {
     uint32_t read_park_soft_retries = 256;
     SimDuration read_park_backoff_cap = Millis(50);
     SimDuration read_park_budget = Seconds(10);
+    // Admission control (overload defense; both 0 = off, the default — every
+    // figure bench is byte-identical). When on, a client op arriving while
+    // this server's CPU queue is at least admission_max_queue deep, or while
+    // admission_max_inflight admitted ops are still unanswered, is rejected
+    // before any CPU is charged: kOverloaded plus a retry-after hint sized to
+    // the queue's drain time. Aborts are always admitted — they release
+    // server-side state and shrink the overload. Wired from
+    // ClusterOptions::admission / the WALTER_ADMISSION kill-switch.
+    size_t admission_max_queue = 0;
+    size_t admission_max_inflight = 0;
     // Geographic site of each global server id (filled by the cluster from its
     // shard map). Empty = every server is its own geo site, which disables the
     // co-sited fast-visibility path.
@@ -173,6 +183,11 @@ class WalterServer {
   // lock_count(): both must drain to zero once traffic stops and heals settle).
   size_t watermark_count() const { return store_.watermark_count(); }
   size_t lock_waiter_count() const { return lock_waiters_.size(); }
+  // Parked reads / gap-parked commits / admitted-unanswered ops (same leak-
+  // canary role: all must drain to zero once traffic stops and heals settle).
+  size_t parked_read_count() const { return parked_reads_.size(); }
+  size_t gap_commit_waiter_count() const { return gap_commit_waiters_.size(); }
+  size_t admitted_inflight() const { return admitted_inflight_; }
   // Retained (not yet globally visible) own commit by sequence number, or
   // nullptr. After a restore this covers every own record the replacement
   // committed silently, letting a harness recover records no observer saw.
@@ -329,8 +344,14 @@ class WalterServer {
     uint64_t watermarks_cleared = 0;      // watermarks cleared by remote commit
     uint64_t watermark_read_waits = 0;    // reads parked on a watermark
     uint64_t reads_starved = 0;           // parked reads that exhausted read_park_budget
+    uint64_t remote_reads_starved = 0;    // server-to-server reads that starved out
+    uint64_t read_park_dedups = 0;        // retransmitted reads chained onto a live park
     uint64_t commit_gap_parks = 0;        // commits parked on a sibling-shard snapshot gap
     uint64_t commits_starved = 0;         // parked commits that exhausted read_park_budget
+    // Admission control / backpressure (all stay 0 with admission off).
+    uint64_t admit_rejects = 0;           // client ops shed with kOverloaded
+    uint64_t admitted_inflight_peak = 0;  // high-water mark of admitted-unanswered ops
+    uint64_t cpu_queue_peak = 0;          // high-water mark of the CPU queue at admission
     uint64_t lock_waits = 0;              // prepares/fast commits parked on a held lock
     uint64_t lock_wounds = 0;             // wound-wait victims aborted here
     uint64_t lock_wait_timeouts = 0;      // parked waiters that hit lock_wait_timeout
@@ -421,6 +442,25 @@ class WalterServer {
   // Next re-park delay for the park_attempt'th blocked retry of a read, or
   // nullopt once the accumulated wait exhausts read_park_budget (give up).
   std::optional<SimDuration> ReadParkDelay(uint32_t park_attempt) const;
+  // Parks a blocked read: the reply closure is stored in parked_reads_ keyed
+  // by (tid, op_seq) — so a retransmitted read (the park outlived the client's
+  // RPC timeout) chains onto the live park instead of starting a second park
+  // chain with a fresh starvation budget — and the retry timer re-enters
+  // DoRead with the registry's current closure.
+  void ParkRead(const ClientOpRequest& req, const VectorTimestamp& vts,
+                std::function<void(ClientOpResponse)> respond, uint32_t park_attempt,
+                SimDuration delay);
+  // Admission-control gate (HandleClientOp, before the CPU charge). Returns
+  // false after rejecting with kOverloaded; on admit, wraps `respond` with the
+  // inflight-accounting token when limits are on.
+  bool AdmitClientOp(const ClientOpRequest& req,
+                     std::function<void(ClientOpResponse)>& respond);
+  // True when `req` retransmits an op this server already holds state for (a
+  // still-parked read, or a commit with an in-flight/parked/settled outcome):
+  // the dedup machinery services it from that state, so the admission gate
+  // must not bounce it — rejecting would fail a client whose original op
+  // still occupies its admission slot.
+  bool IsAdmittedRetransmission(const ClientOpRequest& req) const;
   void DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_visible,
                 uint32_t reply_port, SiteId reply_site,
                 std::function<void(ClientOpResponse)> respond, uint32_t park_attempt = 0);
@@ -605,6 +645,19 @@ class WalterServer {
     std::function<void(ClientOpResponse)> respond;
   };
   std::unordered_map<TxId, ParkedCommit> parked_commits_;
+  // Reply closures of reads parked on a watermark or sibling-shard snapshot
+  // gap, keyed by (tid, op_seq). An entry exists exactly while the read is
+  // parked; retransmissions chain onto it (see ParkRead).
+  std::map<std::pair<TxId, uint64_t>, std::function<void(ClientOpResponse)>> parked_reads_;
+  // Reply closures of commits parked on a sibling-shard snapshot gap, keyed by
+  // tid. The buffered transaction itself rides the retry timer; this registry
+  // exists so DedupRetransmittedCommit can chain a retransmitted commit onto
+  // the parked one instead of refusing it as lost state (or, worse,
+  // re-buffering and double-committing a piggybacked update).
+  std::unordered_map<TxId, std::function<void(ClientOpResponse)>> gap_commit_waiters_;
+  // Admitted-but-unanswered client ops (admission control's inflight gauge;
+  // stays 0 with admission off).
+  size_t admitted_inflight_ = 0;
   // When each watermark set was installed / which have a kTxStatus probe in
   // flight (the stale-watermark sweep's bookkeeping).
   std::unordered_map<TxId, SimTime> watermark_installed_;

@@ -103,6 +103,14 @@ const char* TraceKindName(TraceKind kind) {
       return "read_starved";
     case TraceKind::kCommitGapWait:
       return "commit_gap_wait";
+    case TraceKind::kCommitStarved:
+      return "commit_starved";
+    case TraceKind::kAdmitReject:
+      return "admit_reject";
+    case TraceKind::kRetryBudgetExhausted:
+      return "retry_budget_exhausted";
+    case TraceKind::kQueueDepth:
+      return "queue_depth";
   }
   return "unknown";
 }

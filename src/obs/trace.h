@@ -90,6 +90,11 @@ enum class TraceKind : uint8_t {
   kDecisionRecv,       // participant received a commit decision; arg = seqno, aux = origin
   kReadStarved,        // parked read exhausted read_park_budget; arg = attempts
   kCommitGapWait,      // commit parked on a sibling-shard snapshot gap; arg = attempt
+  // Overload defenses (admission control + client retry budgets).
+  kCommitStarved,        // gap-parked commit exhausted read_park_budget; arg = attempts
+  kAdmitReject,          // server shed the request at admission; arg = retry_after_us
+  kRetryBudgetExhausted,  // client token bucket empty, surfacing kUnavailable
+  kQueueDepth,           // per-shard queue depth high-water mark; arg = depth
 };
 
 // arg of kRecoveryCorrupt.

@@ -21,6 +21,13 @@ bool CountsAsProgress(TraceKind kind) {
     case TraceKind::kWaitWatermark:
     case TraceKind::kCommitGapWait:
       return false;
+    // An admission reject or an exhausted retry budget is shed load, not
+    // forward motion; queue-depth marks are gauges. Counting any of them
+    // would let a server that rejects everything look alive forever.
+    case TraceKind::kAdmitReject:
+    case TraceKind::kRetryBudgetExhausted:
+    case TraceKind::kQueueDepth:
+      return false;
     // Traced before the server's dedup check, so a retried commit whose ack
     // keeps getting lost re-records this kind forever. The client-issue edge
     // already stamps progress for genuinely new operations.

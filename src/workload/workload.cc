@@ -1,0 +1,337 @@
+#include "src/workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace walter {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double HashToUnit(uint64_t h) {
+  // [0, 1) with 53 bits of the hash.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+uint64_t Gcd(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    a %= b;
+    std::swap(a, b);
+  }
+  return a;
+}
+
+// Smallest odd multiplier >= the seeded candidate that is coprime with n
+// (so r -> (r*mult + shift) mod n permutes [0, n)).
+uint64_t CoprimeMultiplier(uint64_t n, uint64_t seed) {
+  if (n <= 2) {
+    return 1;
+  }
+  uint64_t m = (SplitMix64(seed) % (n - 2)) + 2;
+  m |= 1;
+  while (Gcd(m % n, n) != 1) {
+    m += 2;
+  }
+  return m % n;
+}
+
+// Modular inverse of a mod n (gcd(a, n) == 1), by extended Euclid.
+uint64_t ModInverse(uint64_t a, uint64_t n) {
+  if (n <= 1) {
+    return 0;
+  }
+  int64_t t = 0;
+  int64_t new_t = 1;
+  int64_t r = static_cast<int64_t>(n);
+  int64_t new_r = static_cast<int64_t>(a % n);
+  while (new_r != 0) {
+    int64_t q = r / new_r;
+    t = std::exchange(new_t, t - q * new_t);
+    r = std::exchange(new_r, r - q * new_r);
+  }
+  if (t < 0) {
+    t += static_cast<int64_t>(n);
+  }
+  return static_cast<uint64_t>(t);
+}
+
+// Pareto(alpha) on [lo, cap] via inverse CDF of a hashed uniform.
+uint64_t ParetoCount(uint64_t hash, double alpha, uint64_t lo, uint64_t cap) {
+  double u = HashToUnit(hash);
+  if (u > 0.999999999) {
+    u = 0.999999999;
+  }
+  double x = static_cast<double>(lo) / std::pow(1.0 - u, 1.0 / alpha);
+  if (x >= static_cast<double>(cap)) {
+    return cap;
+  }
+  uint64_t v = static_cast<uint64_t>(x);
+  return v < lo ? lo : v;
+}
+
+}  // namespace
+
+// --- ZipfKeyPicker -------------------------------------------------------------
+
+ZipfKeyPicker::ZipfKeyPicker(uint64_t keys, double s, uint64_t seed)
+    : keys_(keys == 0 ? 1 : keys),
+      s_(s),
+      mult_(CoprimeMultiplier(keys_, SplitMix64(seed))),
+      shift_(SplitMix64(seed ^ 0xda3e39cb94b95bdbULL) % keys_) {}
+
+uint64_t ZipfKeyPicker::KeyOfRank(uint64_t rank) const {
+  // 128-bit-safe affine permutation: keys_ can be millions, so rank * mult_
+  // overflows 64 bits only past ~2^32 keys; use __int128 to stay exact.
+  unsigned __int128 p = static_cast<unsigned __int128>(rank % keys_) * mult_ + shift_;
+  return static_cast<uint64_t>(p % keys_);
+}
+
+uint64_t ZipfKeyPicker::Pick(Rng& rng) const { return KeyOfRank(rng.Zipf(keys_, s_)); }
+
+// --- RateSchedule ----------------------------------------------------------------
+
+RateSchedule RateSchedule::Constant(double rate) {
+  RateSchedule s;
+  s.steps_.push_back({0, rate});
+  s.peak_ = rate;
+  return s;
+}
+
+RateSchedule RateSchedule::FlashCrowd(double base, double peak_mult, SimDuration start,
+                                      SimDuration ramp, SimDuration hold, SimDuration step) {
+  RateSchedule s;
+  double peak = base * peak_mult;
+  s.steps_.push_back({0, base});
+  if (step < Millis(1)) {
+    step = Millis(1);
+  }
+  size_t ramp_steps = ramp > 0 ? static_cast<size_t>((ramp + step - 1) / step) : 0;
+  for (size_t i = 1; i <= ramp_steps; ++i) {
+    double frac = static_cast<double>(i) / static_cast<double>(ramp_steps);
+    s.steps_.push_back({start + static_cast<SimDuration>(i - 1) * step,
+                        base + (peak - base) * frac});
+  }
+  if (ramp_steps == 0) {
+    s.steps_.push_back({start, peak});
+  }
+  SimDuration peak_from = start + ramp;
+  s.steps_.push_back({peak_from, peak});
+  for (size_t i = 1; i <= ramp_steps; ++i) {
+    double frac = static_cast<double>(i) / static_cast<double>(ramp_steps);
+    s.steps_.push_back({peak_from + hold + static_cast<SimDuration>(i - 1) * step,
+                        peak - (peak - base) * frac});
+  }
+  s.steps_.push_back({peak_from + hold + ramp, base});
+  s.peak_ = peak;
+  return s;
+}
+
+RateSchedule RateSchedule::Diurnal(double base, double amplitude, SimDuration period,
+                                   double phase, size_t steps) {
+  RateSchedule s;
+  if (steps == 0) {
+    steps = 1;
+  }
+  constexpr double kTau = 6.283185307179586;
+  s.peak_ = 0;
+  for (size_t i = 0; i < steps; ++i) {
+    double mid = (static_cast<double>(i) + 0.5) / static_cast<double>(steps);
+    double rate = base * (1.0 + amplitude * std::sin(kTau * (mid + phase)));
+    if (rate < 0) {
+      rate = 0;
+    }
+    s.steps_.push_back(
+        {static_cast<SimDuration>(static_cast<double>(period) * static_cast<double>(i) /
+                                  static_cast<double>(steps)),
+         rate});
+    s.peak_ = std::max(s.peak_, rate);
+  }
+  s.repeat_ = period;
+  return s;
+}
+
+double RateSchedule::RateAt(SimDuration since_start) const {
+  if (steps_.empty()) {
+    return 0;
+  }
+  SimDuration t = since_start;
+  if (repeat_ > 0) {
+    t = since_start % repeat_;
+  }
+  double rate = steps_.front().rate;
+  for (const Step& s : steps_) {
+    if (s.from > t) {
+      break;
+    }
+    rate = s.rate;
+  }
+  return rate;
+}
+
+// --- ScheduledLoad ----------------------------------------------------------------
+
+ScheduledLoad::ScheduledLoad(Simulator* sim, RateSchedule schedule, WorkloadOpFactory factory,
+                             uint64_t seed)
+    : sim_(sim),
+      schedule_(std::move(schedule)),
+      factory_(std::move(factory)),
+      rng_(std::make_shared<Rng>(SplitMix64(seed ^ 0x5ca1ab1e0ddba11ULL))) {}
+
+void ScheduledLoad::Start(SimTime measure_start, SimTime measure_end) {
+  result_ = std::make_shared<ScheduledLoadResult>();
+  result_->seconds = ToSeconds(measure_end - measure_start);
+  struct Window {
+    SimTime start = 0;
+    SimTime end = 0;
+    bool Contains(SimTime t) const { return t >= start && t < end; }
+  };
+  auto window = std::make_shared<Window>();
+  SimTime origin = sim_->Now();
+  window->start = measure_start;
+  window->end = measure_end;
+
+  double peak = schedule_.peak();
+  if (peak <= 0) {
+    return;
+  }
+  double mean_gap_us = 1e6 / peak;
+
+  // Nonhomogeneous Poisson via thinning: candidate arrivals at the peak rate,
+  // each accepted with probability rate(now)/peak. Weak self-capture as in the
+  // harness drivers: the pending timer holds the one strong reference, so the
+  // chain dies when the last timer past measure_end declines to reschedule.
+  auto arrival = std::make_shared<std::function<void()>>();
+  *arrival = [this, result = result_, window, origin, mean_gap_us, peak,
+              weak_arrival = std::weak_ptr<std::function<void()>>(arrival)]() {
+    SimTime begin = sim_->Now();
+    if (begin >= window->end) {
+      return;
+    }
+    double rate = schedule_.RateAt(begin - origin);
+    if (rng_->NextDouble() < rate / peak) {
+      if (window->Contains(begin)) {
+        ++result->offered;
+      }
+      factory_([sim = sim_, begin, result, window](bool ok) {
+        SimTime end = sim->Now();
+        if (ok) {
+          // Goodput counts completions landing inside the window — straggler
+          // completions during the drain must not inflate a short window past
+          // capacity. Latency follows in-window arrivals to wherever they
+          // finish, so an overloaded cell's multi-second tail stays visible.
+          if (window->Contains(end)) {
+            ++result->completed;
+          }
+          if (window->Contains(begin)) {
+            result->latency.Add(static_cast<double>(end - begin));
+          }
+        } else if (window->Contains(begin)) {
+          ++result->failed;
+        }
+      });
+    }
+    SimDuration gap = static_cast<SimDuration>(rng_->Exponential(mean_gap_us));
+    auto self = weak_arrival.lock();
+    sim_->After(std::max<SimDuration>(gap, 1), [self]() {
+      if (self) {
+        (*self)();
+      }
+    });
+  };
+  (*arrival)();
+}
+
+ScheduledLoadResult ScheduledLoad::Run(SimDuration warmup, SimDuration measure,
+                                       SimDuration drain) {
+  SimTime start = sim_->Now() + warmup;
+  Start(start, start + measure);
+  sim_->RunUntil(start + measure + drain);
+  return std::move(*result_);
+}
+
+// --- SocialGraph -----------------------------------------------------------------
+
+SocialGraph::SocialGraph(SocialGraphOptions options) : options_(options) {
+  if (options_.users == 0) {
+    options_.users = 1;
+  }
+  if (options_.celebrities > options_.users) {
+    options_.celebrities = options_.users;
+  }
+  rank_mult_ = CoprimeMultiplier(options_.users, SplitMix64(options_.seed));
+  rank_shift_ = SplitMix64(options_.seed ^ 0xbf58476d1ce4e5b9ULL) % options_.users;
+  rank_mult_inv_ = ModInverse(rank_mult_, options_.users);
+}
+
+uint64_t SocialGraph::HashOf(uint64_t a, uint64_t b) const {
+  return SplitMix64(SplitMix64(options_.seed ^ a) ^ b);
+}
+
+uint64_t SocialGraph::UserOfRank(uint64_t rank) const {
+  unsigned __int128 p =
+      static_cast<unsigned __int128>(rank % options_.users) * rank_mult_ + rank_shift_;
+  return static_cast<uint64_t>(p % options_.users);
+}
+
+uint64_t SocialGraph::RankOf(uint64_t user) const {
+  uint64_t u = user % options_.users;
+  uint64_t d = (u + options_.users - rank_shift_) % options_.users;
+  unsigned __int128 p = static_cast<unsigned __int128>(d) * rank_mult_inv_;
+  return static_cast<uint64_t>(p % options_.users);
+}
+
+uint64_t SocialGraph::FollowerCount(uint64_t user) const {
+  uint64_t h = HashOf(user, 0x0f011083);
+  if (IsCelebrity(user)) {
+    uint64_t cap = std::min<uint64_t>(options_.celebrity_cap, options_.users - 1);
+    uint64_t lo = std::min<uint64_t>(options_.celebrity_min, cap);
+    return ParetoCount(h, options_.follower_alpha, lo, cap);
+  }
+  uint64_t cap = std::min<uint64_t>(options_.follower_cap, options_.users - 1);
+  uint64_t lo = std::min<uint64_t>(options_.min_followers, cap);
+  return ParetoCount(h, options_.follower_alpha, lo, cap);
+}
+
+uint64_t SocialGraph::Follower(uint64_t user, uint64_t i) const {
+  uint64_t f = HashOf(user ^ 0xf0110bebULL, i) % options_.users;
+  if (f == user % options_.users) {
+    f = (f + 1) % options_.users;
+  }
+  return f;
+}
+
+uint64_t SocialGraph::FolloweeCount(uint64_t user) const {
+  // Everyone follows a modest number of accounts; fanout lives on the
+  // follower side. Pareto with a tight cap keeps timeline reads bounded.
+  uint64_t cap = std::min<uint64_t>(512, options_.users - 1);
+  uint64_t lo = std::min<uint64_t>(options_.min_followers, cap);
+  return ParetoCount(HashOf(user, 0xf0110e11), options_.follower_alpha, lo, cap);
+}
+
+uint64_t SocialGraph::Followee(uint64_t user, uint64_t i) const {
+  // Polynomially biased toward low popularity ranks, so most follow edges
+  // point at popular accounts (and every celebrity timeline is hot).
+  double u = HashToUnit(HashOf(user ^ 0x0f0110eeULL, i));
+  uint64_t rank = static_cast<uint64_t>(static_cast<double>(options_.users) * u * u * u);
+  if (rank >= options_.users) {
+    rank = options_.users - 1;
+  }
+  uint64_t f = UserOfRank(rank);
+  if (f == user % options_.users) {
+    f = UserOfRank((rank + 1) % options_.users);
+  }
+  return f;
+}
+
+uint64_t SocialGraph::PickUser(Rng& rng) const {
+  return UserOfRank(rng.Zipf(options_.users, options_.zipf_s));
+}
+
+}  // namespace walter

@@ -1,0 +1,207 @@
+// Workload-generator layer: the million-user scenario suite.
+//
+// The figure benches drive uniform or paper-shaped load; production traffic is
+// skewed (Zipfian hot keys), bursty (flash crowds) and geographically lopsided
+// (diurnal per-site imbalance). This library generates those shapes
+// deterministically — every generator is a pure function of (seed, inputs) or
+// draws from an explicit Rng — so a scenario replays byte-identically under
+// the sim and is still usable from the threaded runtime (each driver owns its
+// state; nothing here is global).
+//
+// Pieces:
+//  - ZipfKeyPicker: Zipfian key popularity over a keyspace, with the hot ranks
+//    scattered across the keyspace by a seeded permutation (rank 0 is the
+//    hottest key, but it is not key 0 — co-locating hot ranks would alias hot
+//    keys with whatever the bench populated first).
+//  - RateSchedule: target-rate-over-time step/ramp functions — constant,
+//    flash-crowd (base → peak → base), diurnal (per-site phase-shifted
+//    sinusoid sampled into steps).
+//  - ScheduledLoad: an open-loop driver following a RateSchedule via Poisson
+//    thinning (arrivals at the peak rate, accepted with probability
+//    rate(t)/peak — the standard way to draw a nonhomogeneous Poisson
+//    process).
+//  - SocialGraph: a virtual WaltSocial/ReTwis-scale dataset (millions of
+//    users, power-law follower counts, hot-celebrity fanout) computed by
+//    hashing — nothing is materialized, so "1M users" costs no memory and no
+//    populate phase; only the objects a scenario actually touches exist.
+#ifndef SRC_WORKLOAD_WORKLOAD_H_
+#define SRC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace walter {
+
+// --- Zipfian key popularity ---------------------------------------------------
+
+// Draws keys in [0, keys) with Zipf(s) popularity. Rank r (0 = hottest) maps
+// to key (r * A + B) mod keys, an affine permutation seeded per picker, so two
+// pickers with different seeds heat different keys.
+class ZipfKeyPicker {
+ public:
+  // s is the Zipf exponent: the paper-standard "theta" (s ∈ {0.9, 1.1, 1.3}
+  // in the surge suite; higher = more skewed).
+  ZipfKeyPicker(uint64_t keys, double s, uint64_t seed);
+
+  uint64_t Pick(Rng& rng) const;
+  // The key holding popularity rank r (rank 0 = hottest); Pick() ∘ rank⁻¹.
+  uint64_t KeyOfRank(uint64_t rank) const;
+  uint64_t keys() const { return keys_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t keys_;
+  double s_;
+  uint64_t mult_;   // odd, coprime with keys_
+  uint64_t shift_;
+};
+
+// --- Target-rate schedules ------------------------------------------------------
+
+// Piecewise-constant ops/sec over time (relative to the driver's start).
+// Factories build the common shapes; RateAt samples the steps.
+class RateSchedule {
+ public:
+  static RateSchedule Constant(double rate);
+  // base until `start`, linear ramp to base*peak_mult over `ramp`, hold for
+  // `hold`, symmetric ramp down. The ramps are sampled into steps of
+  // `step` (default 100ms) — a flash crowd is a rate step function, not a
+  // smooth curve.
+  static RateSchedule FlashCrowd(double base, double peak_mult, SimDuration start,
+                                 SimDuration ramp, SimDuration hold,
+                                 SimDuration step = Millis(100));
+  // Sinusoidal day: base * (1 + amplitude * sin(2π(t/period + phase))),
+  // sampled into `steps` equal slices of one period and repeated. Per-site
+  // imbalance = one schedule per site with phases spread over [0, 1).
+  static RateSchedule Diurnal(double base, double amplitude, SimDuration period,
+                              double phase, size_t steps = 24);
+
+  double RateAt(SimDuration since_start) const;
+  double peak() const { return peak_; }
+
+ private:
+  struct Step {
+    SimDuration from = 0;
+    double rate = 0;
+  };
+  std::vector<Step> steps_;  // sorted by `from`; last step extends forever
+  SimDuration repeat_ = 0;   // 0 = no repetition; else wrap time modulo this
+  double peak_ = 0;
+};
+
+// --- Variable-rate open-loop driver ---------------------------------------------
+
+// Starts one operation; must invoke done(ok) exactly once when it completes.
+// Structurally identical to the bench harness's OpFactory, so bench factories
+// plug in directly.
+using WorkloadOpFactory = std::function<void(std::function<void(bool ok)> done)>;
+
+struct ScheduledLoadResult {
+  uint64_t offered = 0;    // arrivals inside the measure window
+  uint64_t completed = 0;  // done(true) landing inside the window (goodput)
+  uint64_t failed = 0;     // done(false) for an in-window arrival
+  double seconds = 0;
+  LatencyRecorder latency;  // per-op latency (µs) of in-window arrivals that ok'd
+
+  double Goodput() const { return seconds > 0 ? static_cast<double>(completed) / seconds : 0; }
+  double OfferedRate() const { return seconds > 0 ? static_cast<double>(offered) / seconds : 0; }
+};
+
+// Open-loop arrivals following `schedule` (time 0 = Start()/Run() entry). Uses
+// its own seeded Rng (not the simulator's) so adding a surge driver to a
+// scenario leaves every other random draw in the run untouched.
+class ScheduledLoad {
+ public:
+  ScheduledLoad(Simulator* sim, RateSchedule schedule, WorkloadOpFactory factory,
+                uint64_t seed);
+
+  // Schedules arrivals without running the simulator, for scenarios with
+  // several concurrent drivers (per-site diurnal imbalance): each driver
+  // Start()s, the caller runs the sim past `measure_end` plus a drain, then
+  // reads result(). Arrivals stop at measure_end.
+  void Start(SimTime measure_start, SimTime measure_end);
+  const ScheduledLoadResult& result() const { return *result_; }
+
+  // Single-driver convenience: Start() measuring [warmup, warmup+measure)
+  // from now, run the sim until the window closes plus a drain period for
+  // stragglers, return the result.
+  ScheduledLoadResult Run(SimDuration warmup, SimDuration measure,
+                          SimDuration drain = Seconds(5));
+
+ private:
+  Simulator* sim_;
+  RateSchedule schedule_;
+  WorkloadOpFactory factory_;
+  std::shared_ptr<Rng> rng_;
+  std::shared_ptr<ScheduledLoadResult> result_;
+};
+
+// --- Virtual social graph --------------------------------------------------------
+
+struct SocialGraphOptions {
+  uint64_t users = 1'000'000;
+  // Follower counts ~ Pareto(alpha) on [min_followers, follower_cap].
+  double follower_alpha = 1.16;  // the classic 80/20 exponent
+  uint64_t min_followers = 8;
+  uint64_t follower_cap = 20'000;
+  // The `celebrities` hottest users get power-law fanout on a much higher
+  // range [celebrity_min, celebrity_cap] — the hot-celebrity tail that makes
+  // fanout-on-write melt a shard.
+  uint64_t celebrities = 64;
+  uint64_t celebrity_min = 100'000;
+  uint64_t celebrity_cap = 2'000'000;
+  // Popularity skew for PickUser (who acts, who gets read).
+  double zipf_s = 1.1;
+  uint64_t seed = 1;
+};
+
+// Deterministic virtual graph: every query is a hash of (seed, user, index).
+// Follower lists are consistent (Follower(u, i) is stable) but not symmetric
+// (u following v does not imply v's list contains u) — the benchmarks read
+// timelines and fan out writes, neither of which needs symmetry.
+class SocialGraph {
+ public:
+  explicit SocialGraph(SocialGraphOptions options);
+
+  uint64_t users() const { return options_.users; }
+  const SocialGraphOptions& options() const { return options_; }
+
+  // Popularity rank of a user (0 = most popular); a seeded permutation of the
+  // user id space, so user ids and popularity are uncorrelated.
+  uint64_t RankOf(uint64_t user) const;
+  uint64_t UserOfRank(uint64_t rank) const;
+  bool IsCelebrity(uint64_t user) const { return RankOf(user) < options_.celebrities; }
+  uint64_t Celebrity(uint64_t i) const { return UserOfRank(i % options_.celebrities); }
+
+  // Power-law follower count (Pareto via inverse CDF of a per-user hash);
+  // celebrities draw from the celebrity range.
+  uint64_t FollowerCount(uint64_t user) const;
+  // The i-th follower of `user` (i < FollowerCount(user)), never `user` itself.
+  uint64_t Follower(uint64_t user, uint64_t i) const;
+  // The i-th account `user` follows (for timeline reads); count is
+  // FolloweeCount, biased toward popular users so celebrity timelines are hot.
+  uint64_t FolloweeCount(uint64_t user) const;
+  uint64_t Followee(uint64_t user, uint64_t i) const;
+
+  // Zipf-popular user draw: who posts / whose profile is read.
+  uint64_t PickUser(Rng& rng) const;
+
+ private:
+  uint64_t HashOf(uint64_t a, uint64_t b) const;
+
+  SocialGraphOptions options_;
+  uint64_t rank_mult_;
+  uint64_t rank_shift_;
+  uint64_t rank_mult_inv_;  // modular inverse for RankOf (users_ rounded: see .cc)
+};
+
+}  // namespace walter
+
+#endif  // SRC_WORKLOAD_WORKLOAD_H_

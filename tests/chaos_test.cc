@@ -23,18 +23,29 @@
 #include "src/fault/nemesis.h"
 #include "src/fault/recovery_rig.h"
 #include "src/psi/checker.h"
+#include "src/workload/workload.h"
 
 namespace walter {
 namespace {
 
 constexpr size_t kSites = 3;
+// The hot container of the surge variant: preferred at site 0 (the "hot
+// shard's home"), hammered with Zipfian keys from every site.
+constexpr ContainerId kHotContainer = 0;
 
 // Random mixed workload that keeps running through faults: operations may
 // fail (crashed local server, exhausted retry budget) and that is fine — the
 // driver records reads only for transactions that are confirmed committed.
+// With a hot-key picker attached, most transactions instead hit Zipfian keys
+// in kHotContainer from every site, at surge think times — the million-user
+// skew shape riding on the chaos schedule.
 class ChaosDriver {
  public:
-  ChaosDriver(Cluster& cluster, uint64_t seed) : cluster_(cluster), rng_(seed ^ 0xc4a05) {}
+  ChaosDriver(Cluster& cluster, uint64_t seed, const ZipfKeyPicker* hot = nullptr)
+      : cluster_(cluster),
+        rng_(seed ^ 0xc4a05),
+        hot_(hot),
+        think_mean_us_(hot != nullptr ? 60.0 * 1000 : 250.0 * 1000) {}
 
   void Run(SimDuration duration, int clients_per_site) {
     stop_at_ = cluster_.sim().Now() + duration;
@@ -54,6 +65,7 @@ class ChaosDriver {
 
   int confirmed() const { return confirmed_; }
   int failed() const { return failed_; }
+  int hot_committed() const { return hot_committed_; }
   std::unordered_map<TxId, std::vector<RecordedRead>>& reads_by_tid() { return reads_by_tid_; }
 
  private:
@@ -64,13 +76,30 @@ class ChaosDriver {
       --active_;
       return;
     }
-    SimDuration think = static_cast<SimDuration>(rng_.Exponential(250.0 * 1000));
+    SimDuration think = static_cast<SimDuration>(rng_.Exponential(think_mean_us_));
     cluster_.sim().After(think, [this, client]() { StartTx(client); });
   }
 
   void StartTx(WalterClient* client) {
     auto tx = std::make_shared<Tx>(client);
     double dice = rng_.NextDouble();
+    if (hot_ != nullptr && dice < 0.6) {
+      // Hot-key transaction: read a Zipfian key of the hot container, then
+      // write one — from every site, so the hot home sees skewed local load
+      // and skewed slow-commit traffic at once.
+      ObjectId read_oid{kHotContainer, hot_->Pick(rng_)};
+      tx->Read(read_oid, [this, client, tx, read_oid](Status s,
+                                                      std::optional<std::string> v) {
+        std::vector<RecordedRead> reads;
+        if (s.ok()) {
+          reads.push_back(RecordedRead{read_oid, false, std::move(v), {}});
+        }
+        tx->Write(ObjectId{kHotContainer, hot_->Pick(rng_)},
+                  "h" + std::to_string(next_value_++));
+        Finish(client, tx, std::move(reads), /*hot=*/true);
+      });
+      return;
+    }
     if (dice < 0.15) {
       // Cross-site write: slow commit through a remote preferred site.
       ContainerId remote = (client->site() + 1 + rng_.Uniform(kSites - 1)) % kSites;
@@ -101,12 +130,15 @@ class ChaosDriver {
   }
 
   void Finish(WalterClient* client, std::shared_ptr<Tx> tx,
-              std::vector<RecordedRead> reads) {
+              std::vector<RecordedRead> reads, bool hot = false) {
     TxId tid = tx->tid();
     reads_by_tid_[tid] = std::move(reads);
-    tx->Commit([this, client, tx, tid](Status s) {
+    tx->Commit([this, client, tx, tid, hot](Status s) {
       if (s.ok()) {
         ++confirmed_;
+        if (hot) {
+          ++hot_committed_;
+        }
       } else {
         ++failed_;
         // The transaction may still have committed server-side (lost
@@ -119,15 +151,25 @@ class ChaosDriver {
 
   Cluster& cluster_;
   Rng rng_;
+  const ZipfKeyPicker* hot_;  // non-null = hot-key surge mode
+  double think_mean_us_;
   SimTime stop_at_ = 0;
   int active_ = 0;
   int confirmed_ = 0;
   int failed_ = 0;
+  int hot_committed_ = 0;
   uint64_t next_value_ = 1;
   std::unordered_map<TxId, std::vector<RecordedRead>> reads_by_tid_;
 };
 
-void RunChaos(uint64_t seed) {
+// hot_surge layers the million-user skew shape onto the chaos schedule: a
+// Zipfian hot-key workload against kHotContainer (home site 0) with the
+// overload defenses on (admission control + client retry budgets), and a
+// deterministic crash of the hot shard's home server mid-surge. Nemesis keeps
+// injecting partitions/isolation/loss, but its own crash and disk faults are
+// disabled so the scripted crash is the only one — the restart observer's
+// reconciliation then attributes every discarded tail to that incident.
+void RunChaos(uint64_t seed, bool hot_surge = false) {
   ClusterOptions options;
   options.num_sites = kSites;
   options.seed = seed;
@@ -140,6 +182,15 @@ void RunChaos(uint64_t seed) {
   options.server.resend_backoff_cap = Seconds(5);
   options.server.idle_tx_timeout = Seconds(20);
   options.client.max_attempts = 3;
+  if (hot_surge) {
+    // Defenses on: the surge must shed, not wedge. Sheds surface as failed
+    // client ops (fine — the driver tolerates failures); PSI and convergence
+    // must hold regardless.
+    options.server.admission_max_queue = 64;
+    options.server.admission_max_inflight = 256;
+    options.client.overload_retry_tokens = 4;
+    options.client.overload_token_refill_per_s = 20.0;
+  }
   Cluster cluster(options);
 
   FailureDetector::Options fd;
@@ -227,11 +278,34 @@ void RunChaos(uint64_t seed) {
   rig.Start();
 
   NemesisOptions nopt;
+  if (hot_surge) {
+    // The scripted mid-surge crash of the hot home below is the only crash;
+    // random crashes/disk faults would make the incident attribution in the
+    // removal observer ambiguous. Partitions, isolation and loss stay on.
+    nopt.enable_crash = false;
+    nopt.enable_disk_fault = false;
+  }
   Nemesis nemesis(&rig, nopt);
-  ChaosDriver driver(cluster, seed);
+  ZipfKeyPicker hot_picker(/*keys=*/30, /*s=*/1.3, seed);
+  ChaosDriver driver(cluster, seed, hot_surge ? &hot_picker : nullptr);
 
   const SimDuration kHorizon = Seconds(60);
   nemesis.Run(kHorizon);
+  if (hot_surge) {
+    // Crash the hot shard's home server mid-surge, restart it while the surge
+    // is still running: commits against kHotContainer re-home during the
+    // outage and flow back after reintegration.
+    cluster.sim().After(kHorizon / 2, [&]() {
+      if (!rig.IsCrashed(0)) {
+        rig.CrashSite(0);
+      }
+    });
+    cluster.sim().After(kHorizon / 2 + Seconds(12), [&]() {
+      if (rig.IsCrashed(0)) {
+        rig.RestartSite(0);
+      }
+    });
+  }
   driver.Run(kHorizon, /*clients_per_site=*/2);
 
   // Let outstanding heals fire, then converge: reintegration, propagation
@@ -246,6 +320,10 @@ void RunChaos(uint64_t seed) {
   EXPECT_TRUE(nemesis.healed());
   EXPECT_GT(nemesis.faults_injected(), 0u);
   EXPECT_GT(driver.confirmed(), 0);
+  if (hot_surge) {
+    EXPECT_GT(driver.hot_committed(), 0)
+        << "the hot-key surge never committed against the hot container";
+  }
 
   // Post-heal convergence: full membership, identical committed state,
   // no leaked locks or transaction buffers anywhere.
@@ -304,6 +382,10 @@ void RunChaos(uint64_t seed) {
 TEST(ChaosTest, Seed101) { RunChaos(101); }
 TEST(ChaosTest, Seed202) { RunChaos(202); }
 TEST(ChaosTest, Seed303) { RunChaos(303); }
+
+// Zipfian hot-key surge + scripted crash of the hot shard's home, defenses on.
+TEST(ChaosTest, HotKeySurgeSeed404) { RunChaos(404, /*hot_surge=*/true); }
+TEST(ChaosTest, HotKeySurgeSeed505) { RunChaos(505, /*hot_surge=*/true); }
 
 }  // namespace
 }  // namespace walter

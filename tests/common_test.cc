@@ -213,6 +213,60 @@ TEST(LatencyRecorderTest, CdfIsMonotone) {
   EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
 }
 
+// Million-sample audit: the surge benches feed ≥10^6 samples per cell into
+// one recorder, an order of magnitude past the figure benches. Exact storage
+// must stay exact there — no counter truncation, no percentile index falling
+// off the end at the p=0/p=100 boundaries, and sort invalidation must survive
+// interleaved Add/Stats. Samples are a permutation of 1..N so every expected
+// percentile is known in closed form.
+TEST(LatencyRecorderTest, ExactAtMillionSamples) {
+  constexpr uint64_t kN = 1'500'000;
+  // Affine permutation of [0, N): a prime multiplier far above N is coprime
+  // with it, and i*mult stays well inside 64 bits.
+  constexpr uint64_t kMult = 982'451'653;
+  LatencyRecorder rec;
+  uint64_t added = 0;
+  auto add_up_to = [&](uint64_t limit) {
+    for (; added < limit; ++added) {
+      rec.Add(static_cast<double>((added * kMult) % kN + 1));
+    }
+  };
+
+  // First million, then query (forces a sort), then keep adding: later Adds
+  // must invalidate the sorted view, not corrupt it.
+  add_up_to(1'000'000);
+  EXPECT_EQ(rec.count(), 1'000'000u);
+  EXPECT_NEAR(rec.Median(), 750'000.0, kN * 0.01)
+      << "first-million median drawn from a uniform permutation of 1..N";
+
+  add_up_to(kN);
+  ASSERT_EQ(rec.count(), static_cast<size_t>(kN));
+
+  LatencyRecorder::SummaryStats stats = rec.Stats();
+  EXPECT_EQ(stats.n, static_cast<size_t>(kN));
+  EXPECT_EQ(stats.min, 1.0);
+  EXPECT_EQ(stats.max, static_cast<double>(kN));
+  EXPECT_NEAR(stats.mean, (static_cast<double>(kN) + 1) / 2, 0.01);
+  EXPECT_NEAR(stats.p50, 1 + 0.50 * (kN - 1), 1.0);
+  EXPECT_NEAR(stats.p90, 1 + 0.90 * (kN - 1), 1.0);
+  EXPECT_NEAR(stats.p99, 1 + 0.99 * (kN - 1), 1.0);
+  EXPECT_NEAR(stats.p999, 1 + 0.999 * (kN - 1), 1.0);
+
+  // Boundary percentiles index safely at this size.
+  EXPECT_EQ(rec.Percentile(0), 1.0);
+  EXPECT_EQ(rec.Percentile(100), static_cast<double>(kN));
+
+  // The CDF stays downsampled and monotone regardless of sample count.
+  auto cdf = rec.Cdf(100);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_LE(cdf.size(), 101u);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
 TEST(TablePrinterTest, RendersAlignedColumns) {
   TablePrinter table({"name", "value"});
   table.AddRow({"x", "1"});

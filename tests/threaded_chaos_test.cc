@@ -29,17 +29,28 @@
 
 #include "src/core/cluster.h"
 #include "src/psi/checker.h"
+#include "src/workload/workload.h"
 
 namespace walter {
 namespace {
 
 constexpr size_t kSites = 3;
+// Hot container of the surge variant; its preferred (home) site is 0.
+constexpr ContainerId kHotContainer = 0;
 
 void SleepMs(int ms) { std::this_thread::sleep_for(std::chrono::milliseconds(ms)); }
 
+// With hot_surge, the workload becomes the million-user skew shape: most
+// transactions hit Zipfian keys of kHotContainer from every site at surge
+// think times, the overload defenses (admission control + client retry
+// budgets) are on, and the crash+replace in the fault schedule targets the hot
+// shard's home server — real threads, same PSI/convergence contract.
 class ThreadedChaos {
  public:
-  explicit ThreadedChaos(uint64_t seed) : seed_(seed) {}
+  explicit ThreadedChaos(uint64_t seed, bool hot_surge = false)
+      : seed_(seed),
+        hot_surge_(hot_surge),
+        hot_picker_(/*keys=*/30, /*s=*/1.3, seed) {}
 
   void Run() {
     ClusterOptions options;
@@ -53,6 +64,13 @@ class ThreadedChaos {
     options.server.resend_backoff_cap = Seconds(5);
     options.server.idle_tx_timeout = Seconds(20);
     options.client.max_attempts = 3;
+    if (hot_surge_) {
+      // Defenses on: sheds surface as failed ops, which the loop tolerates.
+      options.server.admission_max_queue = 64;
+      options.server.admission_max_inflight = 256;
+      options.client.overload_retry_tokens = 4;
+      options.client.overload_token_refill_per_s = 20.0;
+    }
     options.runtime.workers = 2;
     options.runtime.time_scale = 5.0;  // 1 real second = 5 virtual seconds
     Cluster cluster(options);
@@ -104,7 +122,10 @@ class ThreadedChaos {
     cluster.net().SetPartitioned(a, b, true);
     SleepMs(250);
     cluster.net().SetPartitioned(a, b, false);
-    SiteId victim = static_cast<SiteId>((seed_ / 7) % kSites);
+    // The surge variant always crashes the hot shard's home mid-surge; the
+    // base variant spreads the victim across seeds.
+    SiteId victim = hot_surge_ ? static_cast<SiteId>(kHotContainer)
+                               : static_cast<SiteId>((seed_ / 7) % kSites);
     cluster.RunOnServer(victim, [&]() { cluster.server(victim).Crash(); });
     // After the crash the old instance's observer is silent and the
     // replacement is not installed yet, so the victim's log length is stable:
@@ -209,6 +230,10 @@ class ThreadedChaos {
     ASSERT_TRUE(converged) << "sites did not converge (or drain locks) after heal";
 
     EXPECT_GT(confirmed_.load(), 0) << "chaos starved the workload completely";
+    if (hot_surge_) {
+      EXPECT_GT(hot_confirmed_.load(), 0)
+          << "the hot-key surge never committed against the hot container";
+    }
     for (SiteId s = 0; s < kSites; ++s) {
       EXPECT_EQ(cluster.server(s).committed_vts(), cluster.server(0).committed_vts())
           << "site " << s << " did not converge";
@@ -288,6 +313,23 @@ class ThreadedChaos {
     }
     auto tx = std::make_shared<Tx>(lp->client);
     double dice = lp->rng.NextDouble();
+    if (hot_surge_ && dice < 0.6) {
+      // Hot-key transaction: read a Zipfian key of the hot container, then
+      // write one — from every site, so the hot home takes skewed local load
+      // and skewed slow-commit traffic at once.
+      ObjectId read_oid{kHotContainer, hot_picker_.Pick(lp->rng)};
+      tx->Read(read_oid, [this, &cluster, lp, tx, read_oid](
+                             Status s, std::optional<std::string> v) {
+        std::vector<RecordedRead> reads;
+        if (s.ok()) {
+          reads.push_back(RecordedRead{read_oid, false, std::move(v), {}});
+        }
+        tx->Write(ObjectId{kHotContainer, hot_picker_.Pick(lp->rng)},
+                  "h" + std::to_string(lp->next_value++));
+        Finish(cluster, lp, tx, std::move(reads), /*hot=*/true);
+      });
+      return;
+    }
     if (dice < 0.15) {
       // Cross-site write: slow commit through a remote preferred site.
       ContainerId remote =
@@ -314,33 +356,44 @@ class ThreadedChaos {
   }
 
   void Finish(Cluster& cluster, ClientLoop* lp, std::shared_ptr<Tx> tx,
-              std::vector<RecordedRead> reads) {
+              std::vector<RecordedRead> reads, bool hot = false) {
     TxId tid = tx->tid();
     {
       std::lock_guard<std::mutex> lk(reads_mu_);
       reads_by_tid_[tid] = std::move(reads);
     }
-    tx->Commit([this, &cluster, lp, tx, tid](Status s) {
+    tx->Commit([this, &cluster, lp, tx, tid, hot](Status s) {
       if (s.ok()) {
         confirmed_.fetch_add(1);
+        if (hot) {
+          hot_confirmed_.fetch_add(1);
+        }
       } else {
         // May still have committed server-side (lost response): without
         // confirmation its reads are not checkable.
         std::lock_guard<std::mutex> lk(reads_mu_);
         reads_by_tid_.erase(tid);
       }
-      // Think on the owner executor's timer queue, then go again.
-      SimDuration think = Millis(2 + static_cast<double>(lp->rng.Uniform(10)));
+      // Think on the owner executor's timer queue, then go again. Surge mode
+      // thinks briefly — the point is sustained pressure on the hot shard.
+      SimDuration think = hot_surge_
+                              ? Millis(1 + static_cast<double>(lp->rng.Uniform(4)))
+                              : Millis(2 + static_cast<double>(lp->rng.Uniform(10)));
       lp->client->sim()->After(think,
                                [this, &cluster, lp]() { StartTx(cluster, lp); });
     });
   }
 
   uint64_t seed_;
+  bool hot_surge_;
+  // Pick() is const and draws from the caller's per-loop rng, so the shared
+  // picker is safe to use from every client executor concurrently.
+  ZipfKeyPicker hot_picker_;
   std::vector<std::unique_ptr<ClientLoop>> loops_;
   std::atomic<bool> stop_{false};
   std::atomic<int> active_{0};
   std::atomic<int> confirmed_{0};
+  std::atomic<int> hot_confirmed_{0};
   std::mutex reads_mu_;
   std::unordered_map<TxId, std::vector<RecordedRead>> reads_by_tid_;
 };
@@ -348,6 +401,14 @@ class ThreadedChaos {
 TEST(ThreadedChaosTest, Seed101) { ThreadedChaos(101).Run(); }
 TEST(ThreadedChaosTest, Seed202) { ThreadedChaos(202).Run(); }
 TEST(ThreadedChaosTest, Seed303) { ThreadedChaos(303).Run(); }
+
+// Zipfian hot-key surge + crash of the hot shard's home, defenses on.
+TEST(ThreadedChaosTest, HotKeySurgeSeed404) {
+  ThreadedChaos(404, /*hot_surge=*/true).Run();
+}
+TEST(ThreadedChaosTest, HotKeySurgeSeed505) {
+  ThreadedChaos(505, /*hot_surge=*/true).Run();
+}
 
 }  // namespace
 }  // namespace walter

@@ -1,0 +1,355 @@
+// The million-user scenario layer: Zipfian key pickers (seeded permutations,
+// skew ordering), rate schedules (constant / flash crowd / diurnal),
+// the thinning-based open-loop driver (deterministic, window-bounded
+// accounting), and the virtual social graph at full WaltSocial scale
+// (1M users, power-law fanout, hot celebrities) — all pure functions of
+// their seeds, so every assertion here is exact replay, not statistics
+// about one lucky run.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+#include "src/workload/workload.h"
+
+namespace walter {
+namespace {
+
+// --- ZipfKeyPicker -------------------------------------------------------------
+
+TEST(ZipfKeyPickerTest, RankMapIsABijection) {
+  ZipfKeyPicker picker(997, 1.1, /*seed=*/5);  // prime size: no easy aliasing
+  std::set<uint64_t> seen;
+  for (uint64_t r = 0; r < picker.keys(); ++r) {
+    uint64_t k = picker.KeyOfRank(r);
+    ASSERT_LT(k, picker.keys());
+    ASSERT_TRUE(seen.insert(k).second) << "rank " << r << " aliases key " << k;
+  }
+  EXPECT_EQ(seen.size(), picker.keys());
+}
+
+TEST(ZipfKeyPickerTest, SeedsScatterTheHotRanks) {
+  // Different seeds heat different keys: co-locating rank 0 at key 0 would
+  // alias every picker's hot key with whatever a bench populated first.
+  ZipfKeyPicker a(4096, 1.1, 1);
+  ZipfKeyPicker b(4096, 1.1, 2);
+  bool differs = false;
+  for (uint64_t r = 0; r < 8; ++r) {
+    differs = differs || a.KeyOfRank(r) != b.KeyOfRank(r);
+  }
+  EXPECT_TRUE(differs);
+  // And deterministic: the same seed is the same permutation.
+  ZipfKeyPicker a2(4096, 1.1, 1);
+  for (uint64_t r = 0; r < 64; ++r) {
+    EXPECT_EQ(a.KeyOfRank(r), a2.KeyOfRank(r));
+  }
+}
+
+TEST(ZipfKeyPickerTest, PickIsDeterministicAndSkewed) {
+  constexpr uint64_t kKeys = 2048;
+  ZipfKeyPicker picker(kKeys, 1.3, /*seed=*/7);
+  Rng rng_a(9);
+  Rng rng_b(9);
+  std::map<uint64_t, uint64_t> freq;
+  for (int i = 0; i < 200000; ++i) {
+    uint64_t k = picker.Pick(rng_a);
+    ASSERT_EQ(k, picker.Pick(rng_b)) << "same rng seed must replay the same keys";
+    ++freq[k];
+  }
+  // Popularity follows rank: the hottest key dominates, and frequency decays
+  // down the rank order.
+  uint64_t hot = freq[picker.KeyOfRank(0)];
+  uint64_t warm = freq[picker.KeyOfRank(20)];
+  uint64_t cold = freq[picker.KeyOfRank(1000)];
+  EXPECT_GT(hot, 10000u) << "s=1.3 concentrates >5% of draws on rank 0";
+  EXPECT_GT(hot, warm * 4);
+  EXPECT_GT(warm, cold);
+}
+
+TEST(ZipfKeyPickerTest, HigherExponentIsMoreSkewed) {
+  constexpr uint64_t kKeys = 2048;
+  constexpr int kDraws = 100000;
+  auto hot_share = [&](double s) {
+    ZipfKeyPicker picker(kKeys, s, /*seed=*/7);
+    Rng rng(11);
+    uint64_t hot_key = picker.KeyOfRank(0);
+    int hits = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      hits += picker.Pick(rng) == hot_key ? 1 : 0;
+    }
+    return static_cast<double>(hits) / kDraws;
+  };
+  double s09 = hot_share(0.9);
+  double s11 = hot_share(1.1);
+  double s13 = hot_share(1.3);
+  EXPECT_LT(s09, s11);
+  EXPECT_LT(s11, s13);
+}
+
+// --- RateSchedule ----------------------------------------------------------------
+
+TEST(RateScheduleTest, ConstantIsFlat) {
+  RateSchedule s = RateSchedule::Constant(1234.5);
+  EXPECT_EQ(s.peak(), 1234.5);
+  EXPECT_EQ(s.RateAt(0), 1234.5);
+  EXPECT_EQ(s.RateAt(Seconds(1)), 1234.5);
+  EXPECT_EQ(s.RateAt(Seconds(3600)), 1234.5);
+}
+
+TEST(RateScheduleTest, FlashCrowdRampsUpHoldsAndRampsDown) {
+  const double base = 100.0;
+  RateSchedule s = RateSchedule::FlashCrowd(base, 4.0, /*start=*/Millis(100),
+                                            /*ramp=*/Millis(100), /*hold=*/Millis(200),
+                                            /*step=*/Millis(10));
+  EXPECT_EQ(s.peak(), 400.0);
+  EXPECT_EQ(s.RateAt(0), base);
+  EXPECT_EQ(s.RateAt(Millis(99)), base);
+  // Mid-ramp: strictly between base and peak.
+  double mid = s.RateAt(Millis(150));
+  EXPECT_GT(mid, base);
+  EXPECT_LT(mid, 400.0);
+  // Peak plateau covers [start+ramp, start+ramp+hold).
+  EXPECT_EQ(s.RateAt(Millis(200)), 400.0);
+  EXPECT_EQ(s.RateAt(Millis(350)), 400.0);
+  // Symmetric ramp down, then base forever.
+  double down = s.RateAt(Millis(450));
+  EXPECT_GT(down, base);
+  EXPECT_LT(down, 400.0);
+  EXPECT_EQ(s.RateAt(Millis(500)), base);
+  EXPECT_EQ(s.RateAt(Seconds(10)), base);
+}
+
+TEST(RateScheduleTest, DiurnalRepeatsEveryPeriodAndPhaseShifts) {
+  const SimDuration period = Seconds(10);
+  RateSchedule day = RateSchedule::Diurnal(100.0, 0.8, period, /*phase=*/0.0);
+  // Periodic: one full period later is the same rate, at any sample point.
+  for (SimDuration t = 0; t < period; t += Millis(137)) {
+    EXPECT_EQ(day.RateAt(t), day.RateAt(t + period));
+    EXPECT_EQ(day.RateAt(t), day.RateAt(t + 3 * period));
+  }
+  // Amplitude: samples swing around base within [base*(1-a), base*(1+a)], and
+  // the extremes get close to both bounds (24 steps sample near the peaks).
+  double lo = 1e18;
+  double hi = 0;
+  for (SimDuration t = 0; t < period; t += Millis(50)) {
+    double r = day.RateAt(t);
+    EXPECT_GE(r, 100.0 * 0.2 - 1e-9);
+    EXPECT_LE(r, 100.0 * 1.8 + 1e-9);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  EXPECT_LT(lo, 100.0 * 0.3);
+  EXPECT_GT(hi, 100.0 * 1.7);
+  EXPECT_GE(day.peak(), hi);
+  // Anti-phase (the per-site imbalance shape): phase 0.5 equals phase 0
+  // shifted by half a period — the same 24 steps up to the fp rounding of
+  // evaluating sin at shifted arguments.
+  RateSchedule night = RateSchedule::Diurnal(100.0, 0.8, period, /*phase=*/0.5);
+  for (SimDuration t = 0; t < period; t += Millis(97)) {
+    EXPECT_NEAR(night.RateAt(t), day.RateAt(t + period / 2), 1e-6);
+  }
+}
+
+// --- ScheduledLoad ----------------------------------------------------------------
+
+TEST(ScheduledLoadTest, DeterministicArrivalsAndWindowedCounts) {
+  auto run_once = [](bool succeed) {
+    Simulator sim(1);
+    ScheduledLoad load(
+        &sim, RateSchedule::Constant(10000.0),
+        [&sim, succeed](std::function<void(bool)> done) {
+          // Completes 100us after arrival — inside the window for all but the
+          // last 100us of arrivals.
+          sim.After(100, [done = std::move(done), succeed]() { done(succeed); });
+        },
+        /*seed=*/42);
+    return load.Run(/*warmup=*/Millis(10), /*measure=*/Millis(100), /*drain=*/Millis(50));
+  };
+
+  ScheduledLoadResult a = run_once(true);
+  ScheduledLoadResult b = run_once(true);
+  // Same seed, same schedule: byte-identical accounting.
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.latency.count(), b.latency.count());
+
+  // ~1000 arrivals in a 100ms window at 10k/s (Poisson, seeded — the exact
+  // count is pinned by the seed; the band just catches a rate-math break).
+  EXPECT_GT(a.offered, 800u);
+  EXPECT_LT(a.offered, 1200u);
+  EXPECT_EQ(a.failed, 0u);
+  // Latency tracks in-window arrivals; completions land in-window except
+  // arrivals inside the last 100us.
+  EXPECT_EQ(a.latency.count(), a.offered);
+  EXPECT_LE(a.completed, a.offered);
+  EXPECT_GE(a.completed + 5, a.offered);
+  EXPECT_NEAR(a.seconds, 0.1, 1e-9);
+  EXPECT_NEAR(a.OfferedRate(), 10000.0, 2000.0);
+
+  ScheduledLoadResult f = run_once(false);
+  EXPECT_EQ(f.offered, a.offered) << "success/failure must not perturb arrivals";
+  EXPECT_EQ(f.completed, 0u);
+  EXPECT_EQ(f.failed, f.offered);
+}
+
+TEST(ScheduledLoadTest, CompletionsAfterTheWindowDoNotCountAsGoodput) {
+  Simulator sim(1);
+  uint64_t launched = 0;
+  ScheduledLoad load(
+      &sim, RateSchedule::Constant(5000.0),
+      [&sim, &launched](std::function<void(bool)> done) {
+        ++launched;
+        // Completes 80ms after arrival: every arrival in the last 80ms of the
+        // 100ms window finishes during the drain — work done, goodput not.
+        sim.After(Millis(80), [done = std::move(done)]() { done(true); });
+      },
+      /*seed=*/43);
+  ScheduledLoadResult r = load.Run(Millis(10), Millis(100), Millis(200));
+  EXPECT_GT(r.offered, 300u);
+  EXPECT_LT(r.completed, r.offered) << "drain stragglers must not inflate goodput";
+  EXPECT_GT(r.completed, 0u);
+  // Latency still follows every in-window arrival to completion.
+  EXPECT_EQ(r.latency.count(), r.offered);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_GE(launched, r.offered);
+}
+
+// --- SocialGraph -----------------------------------------------------------------
+
+TEST(SocialGraphTest, MillionUserPermutationRoundTrips) {
+  SocialGraphOptions options;
+  options.users = 1'000'000;
+  options.seed = 3;
+  SocialGraph g(options);
+  ASSERT_EQ(g.users(), 1'000'000u);
+  // rank -> user -> rank is the identity; sampled across the whole space plus
+  // the edges.
+  for (uint64_t r = 0; r < g.users(); r += 9973) {
+    EXPECT_EQ(g.RankOf(g.UserOfRank(r)), r);
+  }
+  EXPECT_EQ(g.RankOf(g.UserOfRank(0)), 0u);
+  EXPECT_EQ(g.RankOf(g.UserOfRank(g.users() - 1)), g.users() - 1);
+  // user ids and popularity are uncorrelated: the top ranks are not the low
+  // ids.
+  bool scattered = false;
+  for (uint64_t r = 0; r < 8; ++r) {
+    scattered = scattered || g.UserOfRank(r) >= 8;
+  }
+  EXPECT_TRUE(scattered);
+}
+
+TEST(SocialGraphTest, CelebritiesAreExactlyTheTopRanks) {
+  SocialGraphOptions options;
+  options.users = 1'000'000;
+  options.celebrities = 64;
+  SocialGraph g(options);
+  uint64_t count = 0;
+  for (uint64_t u = 0; u < g.users(); ++u) {
+    count += g.IsCelebrity(u) ? 1 : 0;
+  }
+  EXPECT_EQ(count, 64u);
+  for (uint64_t i = 0; i < 64; ++i) {
+    EXPECT_TRUE(g.IsCelebrity(g.Celebrity(i)));
+  }
+  EXPECT_FALSE(g.IsCelebrity(g.UserOfRank(64)));
+}
+
+TEST(SocialGraphTest, FollowerCountsArePowerLawWithCelebrityFanout) {
+  SocialGraphOptions options;
+  options.users = 1'000'000;
+  SocialGraph g(options);
+
+  uint64_t max_regular = 0;
+  double sum = 0;
+  uint64_t sampled = 0;
+  for (uint64_t u = 0; u < g.users(); u += 997) {
+    if (g.IsCelebrity(u)) {
+      continue;
+    }
+    uint64_t c = g.FollowerCount(u);
+    EXPECT_GE(c, options.min_followers);
+    EXPECT_LE(c, options.follower_cap);
+    max_regular = std::max(max_regular, c);
+    sum += static_cast<double>(c);
+    ++sampled;
+  }
+  double mean = sum / static_cast<double>(sampled);
+  // Pareto(1.16) from lo=8: the mean sits well above the floor, and the tail
+  // reaches far beyond it.
+  EXPECT_GT(mean, 16.0);
+  EXPECT_LT(mean, 500.0);
+  EXPECT_GT(max_regular, 1000u);
+
+  // Every celebrity draws from the celebrity range: fanout that melts a
+  // shard, orders of magnitude above a regular account.
+  for (uint64_t i = 0; i < options.celebrities; ++i) {
+    uint64_t c = g.FollowerCount(g.Celebrity(i));
+    EXPECT_GE(c, options.celebrity_min);
+    EXPECT_LE(c, options.celebrity_cap);
+  }
+}
+
+TEST(SocialGraphTest, EdgesAreStableBoundedAndNeverSelf) {
+  SocialGraphOptions options;
+  options.users = 1'000'000;
+  SocialGraph g(options);
+  for (uint64_t u = 1; u < g.users(); u += 49999) {
+    uint64_t followers = std::min<uint64_t>(g.FollowerCount(u), 200);
+    for (uint64_t i = 0; i < followers; ++i) {
+      uint64_t f = g.Follower(u, i);
+      ASSERT_LT(f, g.users());
+      ASSERT_NE(f, u) << "nobody follows themselves";
+      ASSERT_EQ(f, g.Follower(u, i)) << "follower lists must be stable";
+    }
+    uint64_t followees = g.FolloweeCount(u);
+    EXPECT_GE(followees, 1u);
+    EXPECT_LE(followees, 512u) << "timeline reads stay bounded";
+    for (uint64_t i = 0; i < std::min<uint64_t>(followees, 64); ++i) {
+      uint64_t f = g.Followee(u, i);
+      ASSERT_LT(f, g.users());
+      ASSERT_NE(f, u);
+      ASSERT_EQ(f, g.Followee(u, i));
+    }
+  }
+}
+
+TEST(SocialGraphTest, FolloweesAndPicksAreBiasedTowardPopularUsers) {
+  SocialGraphOptions options;
+  options.users = 1'000'000;
+  options.zipf_s = 1.1;
+  SocialGraph g(options);
+
+  // Followee edges point disproportionately at low ranks (u^3 bias): the top
+  // 12.5% by popularity draws half the edges in expectation (P(u^3 < 1/8) =
+  // 1/2) versus 12.5% for uniform edges. Assert well above uniform and below
+  // the mean, leaving sampling-noise headroom on both sides.
+  uint64_t top = 0;
+  uint64_t edges = 0;
+  for (uint64_t u = 0; u < g.users(); u += 1999) {
+    for (uint64_t i = 0; i < 4; ++i) {
+      top += g.RankOf(g.Followee(u, i)) < g.users() / 8 ? 1 : 0;
+      ++edges;
+    }
+  }
+  EXPECT_GT(top * 5, edges * 2);
+
+  // PickUser concentrates on the top ranks too, deterministically per seed.
+  Rng rng_a(5);
+  Rng rng_b(5);
+  uint64_t top_picks = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t u = g.PickUser(rng_a);
+    ASSERT_EQ(u, g.PickUser(rng_b));
+    top_picks += g.RankOf(u) < 100 ? 1 : 0;
+  }
+  // Zipf(1e6, 1.1): the top-100 ranks carry a large constant share of draws.
+  EXPECT_GT(top_picks, kDraws / 10);
+}
+
+}  // namespace
+}  // namespace walter
