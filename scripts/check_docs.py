@@ -9,6 +9,12 @@ Fails (exit 1) when the docs disagree with the build:
      bench/CMakeLists.txt.
   4. A ctest label used with `-L <label>` in the docs is not declared via
      LABELS in any CMakeLists.txt.
+  5. Trace-kind drift, both directions: every kind emitted by
+     TraceKindName() (src/obs/trace.cc) must be documented in
+     docs/TRACING.md's vocabulary section, and every snake_case token that
+     section backticks must be either a real trace kind or an identifier
+     that appears somewhere in the source tree (config knobs etc.) — a
+     renamed or deleted kind leaves a stale name that matches nothing.
 
 Usage: check_docs.py [repo_root]   (default: the script's parent directory)
 """
@@ -94,6 +100,48 @@ def check_ctest_labels(root: Path, files, errors):
                 errors.append(f"{md}: names unknown ctest label '{label}'")
 
 
+def check_trace_kinds(root: Path, errors):
+    trace_cc = root / "src" / "obs" / "trace.cc"
+    tracing_md = root / "docs" / "TRACING.md"
+    if not trace_cc.exists() or not tracing_md.exists():
+        errors.append("trace-kind check: src/obs/trace.cc or docs/TRACING.md missing")
+        return
+    actual = set(
+        re.findall(r'case TraceKind::k\w+:\s*return "([a-z][a-z0-9_]*)"',
+                   trace_cc.read_text(encoding="utf-8"))
+    )
+    text = tracing_md.read_text(encoding="utf-8")
+    # The vocabulary runs from the "`TraceKind` vocabulary" line to the next
+    # top-level section heading.
+    m = re.search(r"`TraceKind` vocabulary.*?(?=\n## )", text, re.S)
+    section = m.group(0) if m else ""
+    if not section:
+        errors.append(f"{tracing_md}: no '`TraceKind` vocabulary' section found")
+        return
+    documented = set(re.findall(r"`([a-z][a-z0-9_]*)`", section))
+    for name in sorted(actual - documented):
+        errors.append(
+            f"{tracing_md}: trace kind '{name}' (TraceKindName in src/obs/trace.cc) "
+            "is missing from the vocabulary section"
+        )
+    # Reverse direction: a documented snake_case token must be a kind or a
+    # real identifier somewhere in the tree (src/, bench/, tests/).
+    stale = sorted(documented - actual)
+    if stale:
+        corpus = []
+        for sub in ("src", "bench", "tests"):
+            for p in (root / sub).rglob("*"):
+                if p.suffix in (".h", ".cc", ".txt"):
+                    corpus.append(p.read_text(encoding="utf-8", errors="ignore"))
+        blob = "\n".join(corpus)
+        for name in stale:
+            if name not in blob:
+                errors.append(
+                    f"{tracing_md}: vocabulary names '{name}', which is neither a "
+                    "trace kind nor an identifier anywhere in src/, bench/ or tests/"
+                )
+
+
 def main() -> int:
     root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
     files = markdown_files(root)
@@ -104,6 +152,7 @@ def main() -> int:
     check_links(files, errors)
     check_bench_binaries(root, files, errors)
     check_ctest_labels(root, files, errors)
+    check_trace_kinds(root, errors)
     if errors:
         print(f"check_docs: {len(errors)} problem(s):", file=sys.stderr)
         for e in errors:

@@ -40,6 +40,33 @@ enum class ObjectType : uint8_t {
   kCset = 1,
 };
 
+// Per-transaction consistency level (docs/CONSISTENCY.md). kPsi is the
+// paper's protocol and the default; the other two are opt-in per transaction:
+//  - kNmsi weakens PSI by dropping the cross-shard/cross-site visibility
+//    waits (non-monotonic snapshots: a read may return an older committed
+//    version instead of parking for propagation).
+//  - kSerializable strengthens PSI with commit-time read-set validation
+//    (backward OCC): the transaction's read set joins its write set in the
+//    2PC conflict check, so write skew between serializable transactions
+//    aborts instead of committing.
+enum class ConsistencyMode : uint8_t {
+  kPsi = 0,
+  kNmsi = 1,
+  kSerializable = 2,
+};
+
+inline const char* ConsistencyModeName(ConsistencyMode m) {
+  switch (m) {
+    case ConsistencyMode::kPsi:
+      return "psi";
+    case ConsistencyMode::kNmsi:
+      return "nmsi";
+    case ConsistencyMode::kSerializable:
+      return "ser";
+  }
+  return "unknown";
+}
+
 // Object id: container id plus a local id. The container id is embedded in the
 // object id, so an object's container (and hence preferred site) never changes.
 struct ObjectId {

@@ -185,11 +185,26 @@ Tx::~Tx() {
   }
 }
 
+void Tx::SetMode(ConsistencyMode mode) {
+  WCHECK(rpcs_issued_ == 0 && !buffered_, "SetMode after first operation");
+  mode_ = mode;
+}
+
+void Tx::TrackRead(const ObjectId& oid) {
+  if (mode_ != ConsistencyMode::kSerializable) {
+    return;
+  }
+  if (std::find(read_set_.begin(), read_set_.end(), oid) == read_set_.end()) {
+    read_set_.push_back(oid);
+  }
+}
+
 ClientOpRequest Tx::BaseRequest() {
   ClientOpRequest req;
   req.tid = tid_;
   req.vts = vts_;
   req.start_tx = vts_.num_sites() == 0;
+  req.mode = mode_;
   return req;
 }
 
@@ -273,6 +288,7 @@ void Tx::FlushBuffered(std::function<void(Status)> then) {
 }
 
 void Tx::Read(const ObjectId& oid, ReadCallback cb) {
+  TrackRead(oid);
   // Any buffered update must reach the server first so the read sees it.
   FlushBuffered([this, oid, cb = std::move(cb)](Status status) {
     if (!status.ok()) {
@@ -305,6 +321,7 @@ void Tx::Read(const ObjectId& oid, ReadCallback cb) {
 }
 
 void Tx::SetRead(const ObjectId& setid, SetReadCallback cb) {
+  TrackRead(setid);
   FlushBuffered([this, setid, cb = std::move(cb)](Status status) {
     if (!status.ok()) {
       cb(status, CountingSet{});
@@ -334,6 +351,7 @@ void Tx::SetRead(const ObjectId& setid, SetReadCallback cb) {
 }
 
 void Tx::SetReadId(const ObjectId& setid, const ObjectId& id, CountCallback cb) {
+  TrackRead(setid);
   FlushBuffered([this, setid, id, cb = std::move(cb)](Status status) {
     if (!status.ok()) {
       cb(status, 0);
@@ -359,6 +377,9 @@ void Tx::SetReadId(const ObjectId& setid, const ObjectId& id, CountCallback cb) 
 }
 
 void Tx::MultiRead(std::vector<ObjectId> oids, MultiReadCallback cb) {
+  for (const ObjectId& oid : oids) {
+    TrackRead(oid);
+  }
   FlushBuffered([this, oids = std::move(oids), cb = std::move(cb)](Status status) mutable {
     if (!status.ok()) {
       cb(status, {});
@@ -497,11 +518,18 @@ void Tx::Commit(CommitCallback cb, CommitOptions options) {
            static_cast<uint64_t>(status.code()));
     cb(status);
   };
-  auto send_commit = [client, tid, site, target, want_durable, want_visible](
-                         ClientOpRequest req, CommitCallback done) {
+  // Serializable mode: the read set rides the commit-bearing request, sorted
+  // so the wire bytes (and hence the server's validation order) are
+  // independent of application read order.
+  std::vector<ObjectId> read_oids = std::move(read_set_);
+  std::sort(read_oids.begin(), read_oids.end());
+  auto send_commit = [client, tid, site, target, want_durable, want_visible,
+                      read_oids = std::move(read_oids)](ClientOpRequest req,
+                                                        CommitCallback done) {
     req.commit_after = true;
     req.want_durable = want_durable;
     req.want_visible = want_visible;
+    req.read_oids = read_oids;
     req.reply_port = client->port();
     if (target != site) {
       req.reply_site = site;

@@ -171,6 +171,13 @@ class Tx {
 
   TxId tid() const { return tid_; }
 
+  // Selects this transaction's consistency level (docs/CONSISTENCY.md). Must
+  // be called before the first operation: the mode rides on every RPC so the
+  // server applies one policy to the whole transaction. Default is PSI, which
+  // keeps the wire format byte-identical to a mode-unaware client.
+  void SetMode(ConsistencyMode mode);
+  ConsistencyMode mode() const { return mode_; }
+
   using ReadCallback = std::function<void(Status, std::optional<std::string>)>;
   using SetReadCallback = std::function<void(Status, CountingSet)>;
   using CountCallback = std::function<void(Status, int64_t)>;
@@ -202,6 +209,10 @@ class Tx {
 
  private:
   ClientOpRequest BaseRequest();
+  // Serializable mode tracks every object the transaction read; the read set
+  // rides the commit request and joins the write set in the 2PC conflict
+  // check (backward OCC). A no-op in the other modes.
+  void TrackRead(const ObjectId& oid);
   void BufferUpdate(ClientOpKind kind, const ObjectId& oid, const ObjectId& elem,
                     std::string data);
   // Sends the buffered update (if any), then runs `then`.
@@ -226,6 +237,8 @@ class Tx {
   WalterClient* client_;
   TxId tid_;
   VectorTimestamp vts_;  // snapshot, once known
+  ConsistencyMode mode_ = ConsistencyMode::kPsi;
+  std::vector<ObjectId> read_set_;  // serializable mode only
   SiteId commit_server_ = kNoSite;
   std::optional<ClientOpRequest> buffered_;
   size_t update_rpcs_sent_ = 0;

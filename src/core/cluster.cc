@@ -68,6 +68,26 @@ Cluster::Cluster(ClusterOptions options)
     options_.server.admission_max_inflight = 0;
     options_.client.overload_retry_tokens = 0;
   }
+  // Clock-ordered commit kill switch: WALTER_CLOCK_COMMIT=1 forces it on,
+  // =0 forces it off, unset leaves the option as configured (default off —
+  // the byte-identity baseline).
+  bool clock_on = options_.clock_commit;
+  if (const char* env = std::getenv("WALTER_CLOCK_COMMIT")) {
+    clock_on = !(env[0] == '0' && env[1] == '\0');
+  }
+  options_.server.clock_commit = clock_on;
+  if (clock_on) {
+    // The hold budget must cover the worst prepare one-way delay in this
+    // deployment, or far participants constantly fall back to classic votes.
+    SimDuration max_owd = 0;
+    const Topology& t = net_->topology();
+    for (SiteId a = 0; a < static_cast<SiteId>(t.num_sites()); ++a) {
+      max_owd = std::max(max_owd, t.MaxRttFrom(a) / 2);
+    }
+    if (max_owd > 0) {
+      options_.server.clock_max_owd = max_owd;
+    }
+  }
   for (SiteId v = 0; v < static_cast<SiteId>(shard_map_.num_servers()); ++v) {
     WalterServer::Options so = options_.server;
     so.site = v;

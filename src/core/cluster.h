@@ -37,6 +37,17 @@ struct ClusterOptions {
   // back. Default on; the env var WALTER_EARLY_LOCK_RELEASE=0 forces it off
   // (e.g. to reproduce pre-watermark figure output byte-for-byte).
   bool early_lock_release = true;
+  // Clock-ordered slow commit (docs/CONSISTENCY.md, docs/PROTOCOL.md): the
+  // coordinator stamps cross-site prepares with a future commit timestamp and
+  // participants hold their vote until their local ClockModel passes it,
+  // ordering conflicting WAN commits by (commit_ts, coordinator, tid) instead
+  // of abort/retry. Default off — flag-off runs are byte-identical to a
+  // clock-unaware build. The env var WALTER_CLOCK_COMMIT=1 forces it on and
+  // =0 forces it off (mirroring WALTER_EARLY_LOCK_RELEASE's escape hatch).
+  // Per-site clock behavior (skew bound, drift, seed) comes from
+  // server.clock; server.clock_max_owd is derived from the topology's worst
+  // one-way delay unless set explicitly.
+  bool clock_commit = false;
   // Per-server options; site/num_sites are filled in per server.
   WalterServer::Options server;
   // Default RPC robustness options for clients created via AddClient.

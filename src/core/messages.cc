@@ -39,9 +39,19 @@ std::string ClientOpRequest::Serialize() const {
   w.PutU64(op_seq);
   // Trailing optional field (wire-compatible like PropagateAck's floor): only
   // cross-node ops carry it, so single-server-per-site runs serialize the
-  // exact pre-sharding byte stream.
-  if (reply_site != kNoSite) {
+  // exact pre-sharding byte stream. The consistency-mode group rides after it,
+  // so a non-default mode forces reply_site onto the wire too (kNoSite is a
+  // plain u32 sentinel, so the field order stays decodable).
+  bool mode_tail = mode != ConsistencyMode::kPsi || !read_oids.empty();
+  if (reply_site != kNoSite || mode_tail) {
     w.PutU32(reply_site);
+  }
+  if (mode_tail) {
+    w.PutU8(static_cast<uint8_t>(mode));
+    w.PutU32(static_cast<uint32_t>(read_oids.size()));
+    for (const auto& o : read_oids) {
+      w.PutObjectId(o);
+    }
   }
   return w.Take();
 }
@@ -69,6 +79,13 @@ ClientOpRequest ClientOpRequest::Deserialize(std::string_view bytes) {
   req.op_seq = r.GetU64();
   if (r.remaining() > 0) {
     req.reply_site = r.GetU32();
+  }
+  if (r.remaining() > 0) {
+    req.mode = static_cast<ConsistencyMode>(r.GetU8());
+    uint32_t nr = r.GetU32();
+    for (uint32_t i = 0; i < nr && !r.failed(); ++i) {
+      req.read_oids.push_back(r.GetObjectId());
+    }
   }
   return req;
 }
@@ -122,9 +139,21 @@ std::string PrepareRequest::Serialize() const {
   }
   w.PutVts(start_vts);
   // Trailing optional (like PropagateAck's floor): omitted when zero, so the
-  // pre-watermark protocol serializes the exact same byte stream.
-  if (priority != 0) {
+  // pre-watermark protocol serializes the exact same byte stream. The
+  // clock/mode group rides after priority, so any non-default member forces
+  // priority onto the wire too (0 decodes back to 0 — still correct).
+  bool clock_tail =
+      commit_ts != 0 || mode != ConsistencyMode::kPsi || !read_oids.empty();
+  if (priority != 0 || clock_tail) {
     w.PutU64(priority);
+  }
+  if (clock_tail) {
+    w.PutU64(static_cast<uint64_t>(commit_ts));
+    w.PutU8(static_cast<uint8_t>(mode));
+    w.PutU32(static_cast<uint32_t>(read_oids.size()));
+    for (const auto& o : read_oids) {
+      w.PutObjectId(o);
+    }
   }
   return w.Take();
 }
@@ -141,14 +170,25 @@ PrepareRequest PrepareRequest::Deserialize(std::string_view bytes) {
   if (r.remaining() > 0) {
     req.priority = r.GetU64();
   }
+  if (r.remaining() > 0) {
+    req.commit_ts = static_cast<int64_t>(r.GetU64());
+    req.mode = static_cast<ConsistencyMode>(r.GetU8());
+    uint32_t nr = r.GetU32();
+    for (uint32_t i = 0; i < nr && !r.failed(); ++i) {
+      req.read_oids.push_back(r.GetObjectId());
+    }
+  }
   return req;
 }
 
 std::string PrepareResponse::Serialize() const {
   ByteWriter w;
   w.PutU8(vote_yes ? 1 : 0);
-  if (reason != AbortReason::kNone) {
+  if (reason != AbortReason::kNone || clock_fallback) {
     w.PutU8(static_cast<uint8_t>(reason));
+  }
+  if (clock_fallback) {
+    w.PutU8(1);
   }
   return w.Take();
 }
@@ -159,6 +199,9 @@ PrepareResponse PrepareResponse::Deserialize(std::string_view bytes) {
   resp.vote_yes = r.GetU8() != 0;
   if (r.remaining() > 0) {
     resp.reason = static_cast<AbortReason>(r.GetU8());
+  }
+  if (r.remaining() > 0) {
+    resp.clock_fallback = r.GetU8() != 0;
   }
   return resp;
 }
@@ -282,6 +325,11 @@ std::string RemoteReadRequest::Serialize() const {
   w.PutU8(is_cset ? 1 : 0);
   w.PutU32(caller);
   w.PutU64(local_min_seqno);
+  // Trailing optional: omitted at the default level, so PSI traffic keeps the
+  // pre-mode byte stream.
+  if (mode != ConsistencyMode::kPsi) {
+    w.PutU8(static_cast<uint8_t>(mode));
+  }
   return w.Take();
 }
 
@@ -293,6 +341,9 @@ RemoteReadRequest RemoteReadRequest::Deserialize(std::string_view bytes) {
   req.is_cset = r.GetU8() != 0;
   req.caller = r.GetU32();
   req.local_min_seqno = r.GetU64();
+  if (r.remaining() > 0) {
+    req.mode = static_cast<ConsistencyMode>(r.GetU8());
+  }
   return req;
 }
 

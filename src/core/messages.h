@@ -113,6 +113,14 @@ struct ClientOpRequest {
   // may commit at a sibling shard, and durable/visible notifications must
   // come back to the client's own node. kNoSite = same node as the server.
   SiteId reply_site = kNoSite;
+  // Per-transaction consistency level (docs/CONSISTENCY.md). Trailing
+  // optional field group: a PSI transaction with no read set serializes the
+  // exact pre-modes byte stream.
+  ConsistencyMode mode = ConsistencyMode::kPsi;
+  // Serializable mode only: the objects the transaction read, carried on the
+  // commit-bearing request so the commit path can validate them against the
+  // start snapshot (and lock them through 2PC).
+  std::vector<ObjectId> read_oids;
 
   std::string Serialize() const;
   static ClientOpRequest Deserialize(std::string_view bytes);
@@ -145,6 +153,19 @@ struct PrepareRequest {
   // older = wins). Trailing optional field: 0 (early_lock_release off) keeps
   // the wire bytes identical to the pre-watermark format.
   uint64_t priority = 0;
+  // Clock-ordered commit (docs/CONSISTENCY.md): the coordinator-assigned
+  // future commit timestamp. The participant holds its vote until its local
+  // clock passes this instant and releases held votes in (commit_ts,
+  // coordinator site, tid) order. 0 = classic 2PC prepare. Trailing optional
+  // group with mode/read_oids: all-default serializes the pre-clock bytes.
+  int64_t commit_ts = 0;
+  // The transaction's consistency level, so the participant's conflict check
+  // matches the coordinator's (serializable validates read_oids too).
+  ConsistencyMode mode = ConsistencyMode::kPsi;
+  // Serializable mode: objects read by the transaction whose preferred site
+  // is the callee. Validated against start_vts and locked through 2PC, but
+  // never written.
+  std::vector<ObjectId> read_oids;
 
   std::string Serialize() const;
   static PrepareRequest Deserialize(std::string_view bytes);
@@ -155,6 +176,12 @@ struct PrepareResponse {
   // Why a no vote (AbortReason); trailing optional like PrepareRequest's
   // priority — kNone (yes votes, and the pre-watermark protocol) is omitted.
   AbortReason reason = AbortReason::kNone;
+  // Clock-ordered commit: the participant's local clock had already passed
+  // the assigned commit_ts when the prepare arrived (skew bound violated or
+  // the message ran slower than the one-way-delay budget), so the vote was
+  // cast immediately, classic-2PC style. Metric-bearing only — the vote
+  // itself is still valid. Trailing optional; false is omitted.
+  bool clock_fallback = false;
 
   std::string Serialize() const;
   static PrepareResponse Deserialize(std::string_view bytes);
@@ -231,6 +258,10 @@ struct RemoteReadRequest {
   // excludes its copies of those to avoid double counting.
   SiteId caller = kNoSite;
   uint64_t local_min_seqno = 0;  // 0 = caller holds nothing local
+  // Consistency level of the reading transaction (trailing optional: omitted
+  // at the default, so PSI serializes the pre-mode byte stream). NMSI remote
+  // reads serve through live watermarks at the preferred site.
+  ConsistencyMode mode = ConsistencyMode::kPsi;
 
   std::string Serialize() const;
   static RemoteReadRequest Deserialize(std::string_view bytes);

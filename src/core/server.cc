@@ -1,6 +1,7 @@
 #include "src/core/server.h"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -48,6 +49,7 @@ WalterServer::WalterServer(Simulator* sim, Network* net, Options options,
       cpu_(sim, options.perf.cpu_capacity, "cpu@" + std::to_string(options.site)),
       disk_(sim, options.disk),
       store_(options.cache_bytes, MakeWalDevice(options)),
+      clock_(options.site, options.clock),
       committed_vts_(options.num_sites),
       got_vts_(options.num_sites),
       durable_applied_(options.num_sites),
@@ -265,6 +267,7 @@ void WalterServer::ProcessClientOp(const ClientOpRequest& req,
   if (is_update) {
     ActiveTx& tx = active_[req.tid];
     tx.last_touch = sim_->Now();
+    tx.mode = req.mode;  // the client stamps the same mode on every RPC
     if (tx.start_vts.num_sites() == 0) {
       tx.start_vts = vts;
     }
@@ -325,6 +328,8 @@ void WalterServer::ProcessClientOp(const ClientOpRequest& req,
     } else {
       tx.start_vts = vts;
     }
+    tx.mode = req.mode;
+    tx.read_oids = req.read_oids;  // serializable mode; empty otherwise
     DoCommit(req.tid, std::move(tx), req.want_durable, req.want_visible, req.reply_port,
              req.reply_site, std::move(respond));
     return;
@@ -405,7 +410,8 @@ void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts
     return;
   }
 
-  if (options_.sharded && !committed_vts_.Covers(vts)) {
+  if (options_.sharded && !committed_vts_.Covers(vts) &&
+      req.mode != ConsistencyMode::kNmsi) {
     // Sharded mode only: the snapshot was assigned by a sibling shard whose
     // committed state runs ahead of ours for some origin, so our history may
     // still be missing versions the snapshot includes. The gap closes via
@@ -413,7 +419,9 @@ void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts
     // retry rather than serve a hole — bounded, so a gap that never closes
     // (partitioned sibling) starves out instead of re-parking forever. The
     // ActiveTx pointer is re-resolved on retry — the buffer can move or be
-    // swept while we wait.
+    // swept while we wait. NMSI transactions skip the park: serving from the
+    // locally applied history is exactly the non-monotonic snapshot NMSI
+    // permits (the read may miss versions the snapshot nominally includes).
     if (auto delay = ReadParkDelay(park_attempt)) {
       ParkRead(req, vts, std::move(respond), park_attempt, *delay);
     } else {
@@ -441,6 +449,14 @@ void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts
       }
     } else {
       blocked = store_.WatermarkBlocksRead(req.oid, vts);
+    }
+    if (blocked && req.mode == ConsistencyMode::kNmsi) {
+      // NMSI: serve the latest applied version instead of waiting for the
+      // decided one to commit here — the permitted non-monotonic read. The
+      // write path is untouched (lost updates stay forbidden).
+      ++stats_.nmsi_reads_unparked;
+      WTRACE(sim_->Now(), TraceKind::kNmsiRead, req.tid, options_.site, park_attempt);
+      blocked = false;
     }
     if (blocked) {
       if (auto delay = ReadParkDelay(park_attempt)) {
@@ -511,6 +527,7 @@ void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts
       rr.vts = vts;
       rr.is_cset = false;
       rr.caller = options_.site;
+      rr.mode = req.mode;
       SiteId preferred = directory_->PreferredSite(req.oid);
       endpoint_.Call(
           Address{preferred, kWalterPort}, kRemoteRead, rr.Serialize(),
@@ -571,6 +588,7 @@ void WalterServer::DoRead(const ClientOpRequest& req, const VectorTimestamp& vts
       rr.is_cset = true;
       rr.caller = options_.site;
       rr.local_min_seqno = min_seq;
+      rr.mode = req.mode;
       SiteId preferred = directory_->PreferredSite(req.oid);
       ObjectId elem = req.elem;
       bool want_count = req.op == ClientOpKind::kSetReadId;
@@ -799,8 +817,35 @@ void WalterServer::DoCommit(TxId tid, ActiveTx tx, bool want_durable, bool want_
     return;
   }
 
+  if (tx.mode == ConsistencyMode::kSerializable && !tx.read_oids.empty()) {
+    // Backward OCC: the read set joins the write set in the conflict check
+    // (Unmodified-since-snapshot + lock acquisition), turning PSI's
+    // write-write check into read-write validation — which is exactly what
+    // forbids write skew. Objects also written need no separate entry.
+    std::sort(writeset.begin(), writeset.end());
+    std::vector<ObjectId> reads;
+    for (const auto& oid : tx.read_oids) {
+      if (!std::binary_search(writeset.begin(), writeset.end(), oid) &&
+          (reads.empty() || reads.back() != oid)) {
+        reads.push_back(oid);
+      }
+    }
+    tx.read_oids = std::move(reads);  // sorted, deduped, disjoint from writes
+  } else {
+    tx.read_oids.clear();
+  }
+
   std::vector<SiteId> sites;
   for (const auto& oid : writeset) {
+    SiteId s = directory_->PreferredSite(oid);
+    if (std::find(sites.begin(), sites.end(), s) == sites.end()) {
+      sites.push_back(s);
+    }
+  }
+  // Serializable reads must be validated (and locked through the decision) at
+  // their preferred sites too, so they widen the fast/slow split the same way
+  // writes do.
+  for (const auto& oid : tx.read_oids) {
     SiteId s = directory_->PreferredSite(oid);
     if (std::find(sites.begin(), sites.end(), s) == sites.end()) {
       sites.push_back(s);
@@ -829,6 +874,14 @@ void WalterServer::FastCommit(TxId tid, ActiveTx tx, bool want_durable, bool wan
   // a modified object or a watermark is a permanent conflict — the conflicting
   // version is committed/decided, so this snapshot can never pass.
   std::vector<ObjectId> ws = WriteSetOf(tx.updates);
+  if (!tx.read_oids.empty()) {
+    // Serializable: the read set is validated (and parked on) exactly like
+    // the write set — DoCommit already made it sorted and write-disjoint.
+    ++stats_.ser_validations;
+    WTRACE(sim_->Now(), TraceKind::kSerValidate, tid, options_.site,
+           static_cast<uint64_t>(tx.read_oids.size()));
+    ws.insert(ws.end(), tx.read_oids.begin(), tx.read_oids.end());
+  }
   TxId blocker = 0;
   for (const auto& oid : ws) {
     if (lease_checker_ && !lease_checker_(oid.container)) {
@@ -840,8 +893,17 @@ void WalterServer::FastCommit(TxId tid, ActiveTx tx, bool want_durable, bool wan
       respond(std::move(resp));
       return;
     }
-    bool conflict = !store_.Unmodified(oid, tx.start_vts) ||
-                    (options_.early_lock_release && store_.WatermarkBlocksWrite(oid));
+    bool wm_blocks = options_.early_lock_release && store_.WatermarkBlocksWrite(oid);
+    if (wm_blocks && options_.clock_commit &&
+        !store_.WatermarkBlocksWrite(oid, tx.start_vts)) {
+      // Clock-commit relaxation: every watermark version on oid is already in
+      // this snapshot, so the decided write is not a conflict — it is history
+      // we have seen. Safe locally: a snapshot assigned here Sees only
+      // locally committed versions, and remote apply is causality-gated.
+      ++stats_.clock_conflict_bypasses;
+      wm_blocks = false;
+    }
+    bool conflict = !store_.Unmodified(oid, tx.start_vts) || wm_blocks;
     auto lock = locks_.find(oid);
     if (lock != locks_.end() && !conflict && options_.early_lock_release) {
       blocker = lock->second;
@@ -850,6 +912,9 @@ void WalterServer::FastCommit(TxId tid, ActiveTx tx, bool want_durable, bool wan
     if (lock != locks_.end() || conflict) {
       ++stats_.aborts;
       ++stats_.aborts_conflict;
+      if (std::binary_search(tx.read_oids.begin(), tx.read_oids.end(), oid)) {
+        ++stats_.aborts_ser_validation;
+      }
       aborted_tids_.insert(tid);
       RecordOutcome(tid);
       WTRACE(sim_->Now(), TraceKind::kTxAbort, tid, options_.site,
@@ -1020,6 +1085,21 @@ void WalterServer::SlowCommit(TxId tid, ActiveTx tx, std::vector<SiteId> sites,
   for (const auto& oid : WriteSetOf(state->tx.updates)) {
     by_site[directory_->PreferredSite(oid)].push_back(oid);
   }
+  if (!state->tx.read_oids.empty()) {
+    // Serializable read set joins the per-site prepare buckets: reads are
+    // validated and locked through 2PC exactly like writes (they just skip
+    // the watermark install at decision time). Re-sort touched buckets so the
+    // minimum-oid ordering invariants below still hold.
+    std::set<SiteId> touched;
+    for (const auto& oid : state->tx.read_oids) {
+      SiteId s = directory_->PreferredSite(oid);
+      by_site[s].push_back(oid);
+      touched.insert(s);
+    }
+    for (SiteId s : touched) {
+      std::sort(by_site[s].begin(), by_site[s].end());
+    }
+  }
 
   if (options_.early_lock_release) {
     // Wound-wait age: commit entry time (+1 so a priority of 0 stays the
@@ -1058,11 +1138,27 @@ void WalterServer::SlowCommit(TxId tid, ActiveTx tx, std::vector<SiteId> sites,
       FinishSlowCommit(state);
       return;
     }
+    if (options_.clock_commit) {
+      // Clock-ordered commit: pick a commit timestamp far enough in the
+      // future that it is still ahead of every participant's local clock when
+      // the prepare arrives (one-way delay bound + twice the skew bound to
+      // translate coordinator clock → true time → participant clock, plus
+      // slack so holds are non-degenerate). Participants hold their vote
+      // until their clock passes it and release holds in (commit_ts,
+      // coordinator, tid) order, which serializes conflicting WAN commits
+      // without abort/retry cycles.
+      state->commit_ts = clock_.LocalNow(sim_->Now()) + options_.clock_max_owd +
+                         2 * clock_.skew_bound() + options_.clock_slack;
+      ++stats_.clock_commits;
+    }
     for (const auto& [s, oids] : state->by_site) {
       if (state->finished) {
         break;  // a synchronous single-participant local vote already decided
       }
       if (s == options_.site) {
+        // The coordinator's own vote is never held: holding it would only
+        // delay the fan-out it is part of, and the clock ordering it would
+        // buy is already enforced at the remote participants.
         StartLocalVote(state, oids);
         continue;
       }
@@ -1071,6 +1167,9 @@ void WalterServer::SlowCommit(TxId tid, ActiveTx tx, std::vector<SiteId> sites,
       prep.oids = oids;
       prep.start_vts = state->tx.start_vts;
       prep.priority = state->priority;
+      prep.commit_ts = state->commit_ts;
+      prep.mode = state->tx.mode;
+      prep.read_oids = state->tx.read_oids;
       SendPrepare(s, std::move(prep), state, 1);
     }
     return;
@@ -1079,7 +1178,8 @@ void WalterServer::SlowCommit(TxId tid, ActiveTx tx, std::vector<SiteId> sites,
   // Local vote first (synchronous).
   auto local_it = by_site.find(options_.site);
   if (local_it != by_site.end()) {
-    if (!PrepareLocal(tid, local_it->second, state->tx.start_vts, options_.site)) {
+    if (!PrepareLocal(tid, local_it->second, state->tx.start_vts, options_.site,
+                      state->tx.read_oids)) {
       state->any_no = true;
     }
     by_site.erase(local_it);
@@ -1096,6 +1196,8 @@ void WalterServer::SlowCommit(TxId tid, ActiveTx tx, std::vector<SiteId> sites,
     prep.tid = tid;
     prep.oids = std::move(oids);
     prep.start_vts = state->tx.start_vts;
+    prep.mode = state->tx.mode;
+    prep.read_oids = state->tx.read_oids;
     SendPrepare(s, std::move(prep), state, 1);
   }
 }
@@ -1174,6 +1276,11 @@ void WalterServer::AdvancePrepares(const std::shared_ptr<SlowCommitState>& state
   prep.oids = oids;
   prep.start_vts = state->tx.start_vts;
   prep.priority = state->priority;
+  // Co-sited sequential acquisition: no commit_ts — ordered acquisition
+  // already prevents the deadlocks clock holds exist to serialize, and a hold
+  // would stall the chain.
+  prep.mode = state->tx.mode;
+  prep.read_oids = state->tx.read_oids;
   SendPrepare(s, std::move(prep), state, 1);
 }
 
@@ -1212,7 +1319,7 @@ void WalterServer::StartLocalVote(const std::shared_ptr<SlowCommitState>& state,
   }
   if (c == PrepareCheck::kYes) {
     if (!lock_owners_.contains(state->tid)) {
-      LockAll(state->tid, oids, options_.site, state->priority);
+      LockAll(state->tid, oids, options_.site, state->priority, state->tx.read_oids);
     }
     OnPrepareVote(state, options_.site, true, AbortReason::kNone);
     return;
@@ -1286,7 +1393,8 @@ void WalterServer::FinishSlowCommit(std::shared_ptr<SlowCommitState> state) {
 }
 
 bool WalterServer::PrepareLocal(TxId tid, const std::vector<ObjectId>& oids,
-                                const VectorTimestamp& vts, SiteId coordinator) {
+                                const VectorTimestamp& vts, SiteId coordinator,
+                                const std::vector<ObjectId>& read_oids) {
   if (lock_owners_.contains(tid)) {
     return true;  // duplicate prepare (coordinator retried): re-affirm the vote
   }
@@ -1298,7 +1406,7 @@ bool WalterServer::PrepareLocal(TxId tid, const std::vector<ObjectId>& oids,
       return false;
     }
   }
-  LockAll(tid, oids, coordinator);
+  LockAll(tid, oids, coordinator, 0, read_oids);
   return true;
 }
 
@@ -1316,14 +1424,29 @@ void WalterServer::HandlePrepare(const Message& msg, RpcEndpoint::ReplyFn reply)
         ReplyPrepareVote(req.tid, coordinator, reply, false, AbortReason::kConflict);
         return;
       }
-      AnswerPrepare(req, coordinator, reply, 0);
+      if (options_.clock_commit && req.commit_ts != 0) {
+        SimTime local = clock_.LocalNow(sim_->Now());
+        if (local >= req.commit_ts) {
+          // The coordinator's timestamp is already in our past (late arrival
+          // or skew beyond the budget): vote immediately as classic 2PC and
+          // tell the coordinator its hold budget was blown.
+          ++stats_.clock_fallbacks;
+          WTRACE(sim_->Now(), TraceKind::kClockFallback, req.tid, options_.site,
+                 static_cast<uint64_t>(local - req.commit_ts), coordinator);
+          AnswerPrepare(std::move(req), coordinator, std::move(reply), 0, true);
+        } else {
+          HoldPrepare(std::move(req), coordinator, std::move(reply));
+        }
+        return;
+      }
+      AnswerPrepare(std::move(req), coordinator, std::move(reply), 0);
       return;
     }
     PrepareResponse resp;
     // A removed coordinator works from a stale snapshot; refuse its prepares
     // until it is reintegrated.
     resp.vote_yes = site_active_[coordinator] &&
-                    PrepareLocal(req.tid, req.oids, req.start_vts, coordinator);
+                    PrepareLocal(req.tid, req.oids, req.start_vts, coordinator, req.read_oids);
     WTRACE(sim_->Now(), TraceKind::kPrepareVote, req.tid, options_.site,
            resp.vote_yes ? 1 : 0, coordinator);
     Message m;
@@ -1334,10 +1457,11 @@ void WalterServer::HandlePrepare(const Message& msg, RpcEndpoint::ReplyFn reply)
 
 void WalterServer::ReplyPrepareVote(TxId tid, SiteId coordinator,
                                     const RpcEndpoint::ReplyFn& reply, bool yes,
-                                    AbortReason reason) {
+                                    AbortReason reason, bool clock_fallback) {
   PrepareResponse resp;
   resp.vote_yes = yes;
   resp.reason = yes ? AbortReason::kNone : reason;
+  resp.clock_fallback = clock_fallback;
   WTRACE(sim_->Now(), TraceKind::kPrepareVote, tid, options_.site, yes ? 1 : 0, coordinator);
   Message m;
   m.payload = resp.Serialize();
@@ -1345,12 +1469,14 @@ void WalterServer::ReplyPrepareVote(TxId tid, SiteId coordinator,
 }
 
 void WalterServer::AnswerPrepare(PrepareRequest req, SiteId coordinator,
-                                 RpcEndpoint::ReplyFn reply, SimTime deadline) {
+                                 RpcEndpoint::ReplyFn reply, SimTime deadline,
+                                 bool clock_fallback) {
   if (lock_waiters_.contains(req.tid)) {
     // A duplicate prepare while the first copy is parked (coordinator resend):
     // refuse rather than stack two deferred votes. The parked copy answers the
     // RPC it arrived on when it resolves; this reply reaches a dead call id.
-    ReplyPrepareVote(req.tid, coordinator, reply, false, AbortReason::kConflict);
+    ReplyPrepareVote(req.tid, coordinator, reply, false, AbortReason::kConflict,
+                     clock_fallback);
     return;
   }
   TxId blocker = 0;
@@ -1366,25 +1492,96 @@ void WalterServer::AnswerPrepare(PrepareRequest req, SiteId coordinator,
                             : static_cast<uint64_t>(deadline - options_.lock_wait_timeout) + 1;
     std::vector<ObjectId> oids = req.oids;
     ParkLockWaiter(req.tid, priority, std::move(oids), deadline,
-                   [this, req, coordinator, reply, deadline](bool timed_out) {
+                   [this, req, coordinator, reply, deadline,
+                    clock_fallback](bool timed_out) {
                      if (timed_out) {
                        ++stats_.lock_wait_timeouts;
                        ReplyPrepareVote(req.tid, coordinator, reply, false,
-                                        AbortReason::kTimeout);
+                                        AbortReason::kTimeout, clock_fallback);
                        return;
                      }
-                     AnswerPrepare(req, coordinator, reply, deadline);
+                     AnswerPrepare(req, coordinator, reply, deadline, clock_fallback);
                    });
     return;
   }
   if (c == PrepareCheck::kYes) {
     if (!lock_owners_.contains(req.tid)) {
-      LockAll(req.tid, req.oids, coordinator, req.priority);
+      LockAll(req.tid, req.oids, coordinator, req.priority, req.read_oids);
     }
-    ReplyPrepareVote(req.tid, coordinator, reply, true, AbortReason::kNone);
+    ReplyPrepareVote(req.tid, coordinator, reply, true, AbortReason::kNone, clock_fallback);
     return;
   }
-  ReplyPrepareVote(req.tid, coordinator, reply, false, AbortReason::kConflict);
+  ReplyPrepareVote(req.tid, coordinator, reply, false, AbortReason::kConflict, clock_fallback);
+}
+
+void WalterServer::HoldPrepare(PrepareRequest req, SiteId coordinator,
+                               RpcEndpoint::ReplyFn reply) {
+  auto key = std::make_tuple(req.commit_ts, coordinator, req.tid);
+  if (held_prepares_.contains(key)) {
+    // Coordinator resend while the first copy is held: refuse the duplicate
+    // (same policy as a parked duplicate) — the held copy answers its own RPC.
+    ReplyPrepareVote(req.tid, coordinator, reply, false, AbortReason::kConflict);
+    return;
+  }
+  ++stats_.clock_holds;
+  WTRACE(sim_->Now(), TraceKind::kClockHold, req.tid, options_.site,
+         static_cast<uint64_t>(req.commit_ts - clock_.LocalNow(sim_->Now())), coordinator);
+  held_prepares_.emplace(key, HeldPrepare{std::move(req), coordinator, std::move(reply)});
+  ArmClockRelease();
+}
+
+void WalterServer::ArmClockRelease() {
+  if (held_prepares_.empty()) {
+    clock_timer_at_ = -1;
+    return;
+  }
+  int64_t front_ts = std::get<0>(held_prepares_.begin()->first);
+  // BaseTimeFor inverts the local clock: the earliest simulator instant at
+  // which LocalNow() reaches front_ts. Never in the past (a step back between
+  // arming and firing just re-arms).
+  SimTime at = std::max(clock_.BaseTimeFor(front_ts), sim_->Now());
+  if (clock_timer_at_ >= 0 && clock_timer_at_ <= at) {
+    return;  // an armed timer already fires early enough
+  }
+  clock_timer_at_ = at;
+  uint64_t gen = ++clock_timer_gen_;
+  sim_->After(at - sim_->Now(), Guard([this, gen]() {
+    if (gen != clock_timer_gen_) {
+      return;  // superseded by a later (earlier-firing) arm
+    }
+    clock_timer_at_ = -1;
+    ReleaseDueHeldPrepares();
+  }));
+}
+
+void WalterServer::ReleaseDueHeldPrepares() {
+  if (crashed_) {
+    return;
+  }
+  bool released = false;
+  while (!held_prepares_.empty()) {
+    auto it = held_prepares_.begin();
+    int64_t ts = std::get<0>(it->first);
+    if (clock_.LocalNow(sim_->Now()) < ts) {
+      break;
+    }
+    auto node = held_prepares_.extract(it);
+    HeldPrepare h = std::move(node.mapped());
+    released = true;
+    WTRACE(sim_->Now(), TraceKind::kClockVote, h.req.tid, options_.site,
+           static_cast<uint64_t>(ts), h.coordinator);
+    if (!site_active_[h.coordinator]) {
+      ReplyPrepareVote(h.req.tid, h.coordinator, h.reply, false, AbortReason::kConflict);
+      continue;
+    }
+    AnswerPrepare(std::move(h.req), h.coordinator, std::move(h.reply), 0);
+  }
+  if (!released && !held_prepares_.empty()) {
+    // The clock stepped backwards between arming and firing (LocalNow is
+    // behind where BaseTimeFor projected): nothing is due yet, re-arm.
+    ++stats_.clock_rearms;
+  }
+  ArmClockRelease();
 }
 
 WalterServer::PrepareCheck WalterServer::CheckPrepare(TxId tid,
@@ -1401,9 +1598,20 @@ WalterServer::PrepareCheck WalterServer::CheckPrepare(TxId tid,
     }
     // A watermark or a modified history is a decided/committed version this
     // snapshot does not cover: permanent conflict, waiting cannot help.
-    if (!store_.Unmodified(oid, vts) ||
-        (options_.early_lock_release && store_.WatermarkBlocksWrite(oid))) {
+    if (!store_.Unmodified(oid, vts)) {
       return PrepareCheck::kNo;
+    }
+    if (options_.early_lock_release && store_.WatermarkBlocksWrite(oid)) {
+      if (options_.clock_commit && !store_.WatermarkBlocksWrite(oid, vts)) {
+        // Clock-commit relaxation: every decided-but-unapplied version on oid
+        // is already Seen by this snapshot (a dependent back-to-back commit).
+        // Not a conflict — and safe, because remote apply is gated on
+        // got_vts_.Covers(start_vts), so this record applies only after the
+        // watermarked dependency does.
+        ++stats_.clock_conflict_bypasses;
+      } else {
+        return PrepareCheck::kNo;
+      }
     }
     auto lock = locks_.find(oid);
     if (lock != locks_.end() && lock->second != tid) {
@@ -1498,6 +1706,12 @@ void WalterServer::HandleCommitDecision(const Message& msg) {
     // The decided record has not committed here yet: watermark every object
     // the lock was protecting so the read path takes over the PSI guarantee.
     for (const auto& oid : it->second.oids) {
+      if (std::binary_search(it->second.read_oids.begin(), it->second.read_oids.end(), oid)) {
+        // Serializable read-set lock: the decided record does not write this
+        // object, so there is no invisible version to cover — a watermark
+        // here would never clear.
+        continue;
+      }
       store_.AddVisibilityWatermark(oid, decision.version, decision.tid);
       ++stats_.watermarks_set;
     }
@@ -1510,12 +1724,13 @@ void WalterServer::HandleCommitDecision(const Message& msg) {
 }
 
 void WalterServer::LockAll(TxId tid, const std::vector<ObjectId>& oids, SiteId coordinator,
-                           uint64_t priority) {
+                           uint64_t priority, const std::vector<ObjectId>& read_oids) {
   WTRACE(sim_->Now(), TraceKind::kLockAcquire, tid, options_.site, oids.size(), coordinator);
   LockOwner& owner = lock_owners_[tid];
   owner.coordinator = coordinator;
   owner.acquired = sim_->Now();
   owner.priority = priority;
+  owner.read_oids = read_oids;  // sorted; only consulted at decision time
   for (const auto& oid : oids) {
     locks_[oid] = tid;
     owner.oids.push_back(oid);
@@ -2277,8 +2492,16 @@ void WalterServer::AnswerRemoteRead(RemoteReadRequest req, RpcEndpoint::ReplyFn 
                                     uint32_t park_attempt) {
   {
     RemoteReadResponse resp;
-    if (options_.early_lock_release && store_.has_watermarks() &&
-        store_.WatermarkBlocksRead(req.oid, req.vts)) {
+    bool wm_blocked = options_.early_lock_release && store_.has_watermarks() &&
+                      store_.WatermarkBlocksRead(req.oid, req.vts);
+    if (wm_blocked && req.mode == ConsistencyMode::kNmsi) {
+      // NMSI: answer from the latest applied version instead of waiting for
+      // the decided one — the permitted non-monotonic read, remote edition.
+      ++stats_.nmsi_reads_unparked;
+      WTRACE(sim_->Now(), TraceKind::kNmsiRead, 0, options_.site, park_attempt, req.caller);
+      wm_blocked = false;
+    }
+    if (wm_blocked) {
       // The caller's snapshot covers a decided-but-uncommitted version of this
       // object: park and retry, same as a local read behind a watermark. On a
       // starved-out watermark the reply is withheld (found=false for csets),
@@ -2617,6 +2840,11 @@ void WalterServer::Restore(const DurableImage& image) {
   parked_commits_.clear();
   watermark_installed_.clear();
   watermark_query_in_flight_.clear();
+  // Held clock votes died with the process: their reply closures point at RPC
+  // call ids from before the crash. Coordinators time out and retry/abort.
+  held_prepares_.clear();
+  clock_timer_at_ = -1;
+  ++clock_timer_gen_;  // any pre-crash release timer fires as a stale no-op
 
   crashed_ = false;
   endpoint_.SetDown(false);
@@ -3026,6 +3254,18 @@ void WalterServer::ExportMetrics(MetricsRegistry& metrics) const {
   metrics.Set("server.aborts_conflict", s, static_cast<double>(stats_.aborts_conflict));
   metrics.Set("server.aborts_wound", s, static_cast<double>(stats_.aborts_wound));
   metrics.Set("server.aborts_timeout", s, static_cast<double>(stats_.aborts_timeout));
+  metrics.Set("server.clock_commits", s, static_cast<double>(stats_.clock_commits));
+  metrics.Set("server.clock_holds", s, static_cast<double>(stats_.clock_holds));
+  metrics.Set("server.clock_fallbacks", s, static_cast<double>(stats_.clock_fallbacks));
+  metrics.Set("server.clock_rearms", s, static_cast<double>(stats_.clock_rearms));
+  metrics.Set("server.clock_conflict_bypasses", s,
+              static_cast<double>(stats_.clock_conflict_bypasses));
+  metrics.Set("server.held_prepares", s, static_cast<double>(held_prepares_.size()));
+  metrics.Set("server.ser_validations", s, static_cast<double>(stats_.ser_validations));
+  metrics.Set("server.aborts_ser_validation", s,
+              static_cast<double>(stats_.aborts_ser_validation));
+  metrics.Set("server.nmsi_reads_unparked", s,
+              static_cast<double>(stats_.nmsi_reads_unparked));
 }
 
 }  // namespace walter

@@ -26,6 +26,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -38,6 +39,7 @@
 #include "src/core/perf_model.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
+#include "src/sim/clock.h"
 #include "src/sim/disk.h"
 #include "src/sim/resource.h"
 #include "src/sim/simulator.h"
@@ -146,6 +148,26 @@ class WalterServer {
     // shard map). Empty = every server is its own geo site, which disables the
     // co-sited fast-visibility path.
     std::vector<SiteId> geo_site_of;
+    // Clock-ordered WAN commits (wired from ClusterOptions::clock_commit / the
+    // WALTER_CLOCK_COMMIT kill-switch; requires early_lock_release). On: the
+    // slow-commit coordinator stamps each WAN prepare with a future commit
+    // timestamp (its local clock + clock_max_owd + 2*skew bound + clock_slack);
+    // participants hold the vote until their own clock passes it and evaluate
+    // held votes in (commit_ts, coordinator, tid) order, so concurrent
+    // conflicting slow commits resolve identically at every participant. The
+    // conflict check also becomes snapshot-aware: a visibility watermark whose
+    // decided version the writer's snapshot already Sees is not a conflict
+    // (the writer builds on that version; remote apply is causality-gated), so
+    // dependent back-to-back slow commits stop false-aborting for the
+    // propagation round trip. Off: every code path and wire byte is identical.
+    bool clock_commit = false;
+    ClockModel::Options clock;          // per-site skew/drift model
+    // Maximum one-way delay to any 2PC participant (the cluster wires this
+    // from its topology: max RTT / 2). Sizes the future commit timestamp.
+    SimDuration clock_max_owd = Millis(100);
+    // Safety margin on top of max OWD + skew so an on-time prepare still
+    // arrives before the participant's clock passes commit_ts.
+    SimDuration clock_slack = Millis(1);
   };
 
   // Storage-layer milestones, exposed for crash-point enumeration: the crash
@@ -188,6 +210,10 @@ class WalterServer {
   size_t parked_read_count() const { return parked_reads_.size(); }
   size_t gap_commit_waiter_count() const { return gap_commit_waiters_.size(); }
   size_t admitted_inflight() const { return admitted_inflight_; }
+  // Clock-held prepare votes (drains by timer; same leak-canary role) and the
+  // server's clock model (tests use InjectStep to step the clock backwards).
+  size_t held_prepare_count() const { return held_prepares_.size(); }
+  ClockModel& clock() { return clock_; }
   // Retained (not yet globally visible) own commit by sequence number, or
   // nullptr. After a restore this covers every own record the replacement
   // committed silently, letting a harness recover records no observer saw.
@@ -360,6 +386,15 @@ class WalterServer {
     uint64_t aborts_timeout = 0;          //   lock-wait timeout
     uint64_t stale_lock_queries = 0;      // kTxStatus probes for stale prepare locks
     uint64_t stale_watermark_queries = 0; // kTxStatus probes for stale watermarks
+    // Clock-ordered commits / consistency modes (all stay 0 at defaults).
+    uint64_t clock_commits = 0;           // slow commits stamped with a commit_ts
+    uint64_t clock_holds = 0;             // prepare votes held until commit_ts
+    uint64_t clock_fallbacks = 0;         // prepares answered classically (clock already past)
+    uint64_t clock_rearms = 0;            // hold timers re-armed (clock stepped backwards)
+    uint64_t clock_conflict_bypasses = 0; // snapshot-covered watermark conflicts allowed
+    uint64_t ser_validations = 0;         // serializable commits with a validated read set
+    uint64_t aborts_ser_validation = 0;   //   of which aborted on a stale read (write skew)
+    uint64_t nmsi_reads_unparked = 0;     // NMSI reads served where PSI would have parked
   };
   const Stats& stats() const { return stats_; }
 
@@ -374,6 +409,12 @@ class WalterServer {
     bool committing = false;
     uint64_t max_op_seq = 0;  // highest client op_seq buffered (retry dedup)
     SimTime last_touch = 0;   // for idle expiry (abandoned clients)
+    // Per-transaction consistency level (docs/CONSISTENCY.md); kPsi from a
+    // mode-unaware client.
+    ConsistencyMode mode = ConsistencyMode::kPsi;
+    // Serializable mode: the read set, validated and locked through commit
+    // like the write set (filtered of written oids in DoCommit, kept sorted).
+    std::vector<ObjectId> read_oids;
   };
 
   // A locally committed transaction, retained until globally visible.
@@ -426,7 +467,13 @@ class WalterServer {
     bool sequential = false;          // all-co-sited: acquire sites one at a time
     std::vector<SiteId> site_order;   // sequential mode: sites by smallest oid
     size_t next_site = 0;             // sequential mode: cursor into site_order
-    std::map<SiteId, std::vector<ObjectId>> by_site;  // write-set partition
+    // Lock-set partition by preferred site: the write set, plus (serializable
+    // mode) the read set — read oids are validated and locked like writes but
+    // never applied or watermarked.
+    std::map<SiteId, std::vector<ObjectId>> by_site;
+    // Clock-ordered path: the future timestamp stamped on WAN prepares
+    // (coordinator's local clock units). 0 = classic immediate votes.
+    int64_t commit_ts = 0;
   };
 
   // --- request plumbing ---
@@ -481,12 +528,12 @@ class WalterServer {
   void AdvanceLocalCommits();
 
   bool PrepareLocal(TxId tid, const std::vector<ObjectId>& oids, const VectorTimestamp& vts,
-                    SiteId coordinator);
+                    SiteId coordinator, const std::vector<ObjectId>& read_oids = {});
   void HandlePrepare(const Message& msg, RpcEndpoint::ReplyFn reply);
   void HandleAbort2pc(const Message& msg);
   void HandleTxStatus(const Message& msg, RpcEndpoint::ReplyFn reply);
   void LockAll(TxId tid, const std::vector<ObjectId>& oids, SiteId coordinator,
-               uint64_t priority = 0);
+               uint64_t priority = 0, const std::vector<ObjectId>& read_oids = {});
   void ReleaseLocks(TxId tid);
   // 2PC termination: queries coordinators of stale prepare locks so an orphaned
   // lock (coordinator crashed mid-2PC) is eventually released. With early
@@ -519,10 +566,18 @@ class WalterServer {
   void StartLocalVote(const std::shared_ptr<SlowCommitState>& state,
                       const std::vector<ObjectId>& oids, SimTime deadline = 0);
   // Participant-side prepare answer with parking support; deadline 0 = fresh.
+  // clock_fallback marks a clock-stamped prepare answered classically (the
+  // local clock had already passed its commit_ts on arrival).
   void AnswerPrepare(PrepareRequest req, SiteId coordinator, RpcEndpoint::ReplyFn reply,
-                     SimTime deadline);
+                     SimTime deadline, bool clock_fallback = false);
   void ReplyPrepareVote(TxId tid, SiteId coordinator, const RpcEndpoint::ReplyFn& reply,
-                        bool yes, AbortReason reason);
+                        bool yes, AbortReason reason, bool clock_fallback = false);
+  // Clock-ordered path (all unreachable when clock_commit is off): queue a
+  // clock-stamped prepare until the local clock passes its commit_ts, then
+  // evaluate held prepares in (commit_ts, coordinator, tid) order.
+  void HoldPrepare(PrepareRequest req, SiteId coordinator, RpcEndpoint::ReplyFn reply);
+  void ArmClockRelease();
+  void ReleaseDueHeldPrepares();
   void HandleCommitDecision(const Message& msg);
   // Lock-waiter machinery: park/resume parked prepares and fast commits.
   void ParkLockWaiter(TxId tid, uint64_t priority, std::vector<ObjectId> oids,
@@ -595,6 +650,9 @@ class WalterServer {
   Resource cpu_;
   Disk disk_;
   Store store_;
+  // Bounded-skew local clock (ClockModel seam): pure function of simulated
+  // time, so it exists — inert — even with clock_commit off.
+  ClockModel clock_;
 
   // Figure 9 state.
   uint64_t curr_seqno_ = 0;
@@ -615,6 +673,10 @@ class WalterServer {
     SimTime acquired = 0;
     bool query_in_flight = false;
     uint64_t priority = 0;  // holder's wound-wait age (0 = pre-watermark protocol)
+    // Serializable mode: the transaction's read set (sorted). Oids in here are
+    // locked like the rest but are never written, so the commit decision must
+    // not install visibility watermarks for them.
+    std::vector<ObjectId> read_oids;
   };
   std::unordered_map<ObjectId, TxId> locks_;
   std::unordered_map<TxId, LockOwner> lock_owners_;
@@ -632,6 +694,18 @@ class WalterServer {
   };
   std::unordered_map<TxId, LockWaiter> lock_waiters_;
   std::unordered_map<ObjectId, std::vector<TxId>> lock_waitlist_;
+  // Clock-ordered path: prepares held until the local clock passes their
+  // commit_ts, evaluated in key order. Empty whenever clock_commit is off.
+  struct HeldPrepare {
+    PrepareRequest req;
+    SiteId coordinator = kNoSite;
+    RpcEndpoint::ReplyFn reply;
+  };
+  std::map<std::tuple<int64_t, SiteId, TxId>, HeldPrepare> held_prepares_;
+  // Release-timer bookkeeping: at most one live timer matters (the newest,
+  // earliest one); stale generations fire as no-ops.
+  uint64_t clock_timer_gen_ = 0;
+  SimTime clock_timer_at_ = -1;  // -1 = no timer armed
   std::vector<TxId> pending_wakes_;  // tids to resume after the current event
   bool wake_scheduled_ = false;
   // A fast commit parked on a held lock: its buffered transaction and reply

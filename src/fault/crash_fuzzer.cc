@@ -214,6 +214,7 @@ std::vector<CensusEntry> RunOnce(const CrashFuzzerOptions& options, const RunPla
     }
     int i = next_txn[s]++;
     auto tx = std::make_shared<Tx>(clients[s]);
+    tx->SetMode(options.mode);
     ObjectId oid{first_container[s], 1000 + static_cast<uint64_t>(i)};
     std::string value = "s" + std::to_string(s) + "-t" + std::to_string(i);
     tx->Write(oid, value);
@@ -298,9 +299,10 @@ std::vector<CensusEntry> RunOnce(const CrashFuzzerOptions& options, const RunPla
   }
   report->acked_checked += acked.size();
 
-  // PSI over the reconciled logs (write-only workload: the checker validates
-  // apply orders, per-origin seqno order and causal consistency).
-  PsiChecker checker(n);
+  // Mode-aware consistency check over the reconciled logs (write-only
+  // workload: the checker validates apply orders, per-origin seqno order and
+  // causal consistency; at the default level this is exactly the PSI checker).
+  ConsistencyChecker checker(n, options.mode);
   for (SiteId s = 0; s < static_cast<SiteId>(n); ++s) {
     for (const TxRecord& rec : logs[s]) {
       checker.OnApply(s, rec.tid);
@@ -313,12 +315,13 @@ std::vector<CensusEntry> RunOnce(const CrashFuzzerOptions& options, const RunPla
       }
       RecordedTx recorded;
       recorded.record = rec;
+      recorded.mode = options.mode;
       checker.OnCommit(std::move(recorded));
     }
   }
   Status psi = checker.Check();
   if (!psi.ok()) {
-    fail("PSI violation: " + psi.ToString());
+    fail(std::string(ConsistencyModeName(options.mode)) + " violation: " + psi.ToString());
   }
 
   ++report->runs;

@@ -51,6 +51,9 @@ struct CrashFuzzerOptions {
   // Bit-rot offsets are sampled at this stride across the durable image (the
   // per-field frame corruption matrix lives in storage_test).
   size_t bit_rot_stride = 64;
+  // Consistency level every workload transaction runs at; the post-run history
+  // validation uses the matching mode-aware checker (docs/CONSISTENCY.md).
+  ConsistencyMode mode = ConsistencyMode::kPsi;
 };
 
 struct CrashFuzzerReport {

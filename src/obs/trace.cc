@@ -111,6 +111,16 @@ const char* TraceKindName(TraceKind kind) {
       return "retry_budget_exhausted";
     case TraceKind::kQueueDepth:
       return "queue_depth";
+    case TraceKind::kClockHold:
+      return "clock_hold";
+    case TraceKind::kClockVote:
+      return "clock_vote";
+    case TraceKind::kClockFallback:
+      return "clock_fallback";
+    case TraceKind::kSerValidate:
+      return "ser_validate";
+    case TraceKind::kNmsiRead:
+      return "nmsi_read";
   }
   return "unknown";
 }

@@ -95,6 +95,12 @@ enum class TraceKind : uint8_t {
   kAdmitReject,          // server shed the request at admission; arg = retry_after_us
   kRetryBudgetExhausted,  // client token bucket empty, surfacing kUnavailable
   kQueueDepth,           // per-shard queue depth high-water mark; arg = depth
+  // Clock-ordered commit + per-transaction consistency modes.
+  kClockHold,      // participant held a clocked prepare; arg = hold µs, aux = coordinator
+  kClockVote,      // held prepare released by the local clock; arg = commit_ts, aux = coordinator
+  kClockFallback,  // commit_ts already in the past: classic vote; arg = lateness µs
+  kSerValidate,    // serializable read-set validation started; arg = read-set size
+  kNmsiRead,       // NMSI read served instead of parking; arg = park attempt
 };
 
 // arg of kRecoveryCorrupt.

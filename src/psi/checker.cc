@@ -184,6 +184,149 @@ Status PsiChecker::CheckProperty2NoWriteConflicts() const {
   return Status::Ok();
 }
 
+Status ConsistencyChecker::Check() const {
+  psi_anomalies_permitted_ = 0;
+  switch (mode_) {
+    case ConsistencyMode::kPsi:
+      return psi_.Check();
+    case ConsistencyMode::kNmsi:
+      // Relaxed snapshot reads; write-write conflict freedom stays (NMSI
+      // forbids lost updates); commit causality (Property 3) is the PSI
+      // anomaly NMSI explicitly permits, so it is not checked.
+      if (Status s = CheckNmsiReads(); !s.ok()) {
+        return s;
+      }
+      return psi_.CheckProperty2NoWriteConflicts();
+    case ConsistencyMode::kSerializable:
+      if (Status s = psi_.Check(); !s.ok()) {
+        return s;
+      }
+      return CheckNoWriteSkew();
+  }
+  return Status::Internal("unknown consistency mode");
+}
+
+Status ConsistencyChecker::CheckNmsiReads() const {
+  // NMSI snapshot rule: a read may return any PREFIX state of the
+  // snapshot-visible updates to the object, in the origin's apply order — the
+  // read is allowed to miss visible versions that had not reached the serving
+  // site yet, but never to see an invisible or uncommitted one. Same-object
+  // regular writers are totally ordered (Property 2), so the prefix-state set
+  // is well-defined for any site's apply order.
+  for (const auto& [tid, tx] : psi_.recorded()) {
+    if (tx.reads.empty()) {
+      continue;
+    }
+    const VectorTimestamp& snap = tx.record.start_vts;
+    const auto& log = psi_.site_logs()[tx.record.origin];
+    for (const auto& read : tx.reads) {
+      bool ok = false;
+      bool strict_ok = false;  // matches the LATEST visible state (PSI-exact)
+      if (read.is_cset) {
+        CountingSet state;
+        ok = state == read.cset;  // the empty prefix
+        for (TxId applied : log) {
+          auto it = psi_.recorded().find(applied);
+          if (it == psi_.recorded().end() || !snap.Sees(it->second.record.version)) {
+            continue;
+          }
+          bool touched = false;
+          for (const auto& u : it->second.record.updates) {
+            if (u.oid == read.oid && u.kind != UpdateKind::kData) {
+              state.ApplyOp(u);
+              touched = true;
+            }
+          }
+          if (touched && state == read.cset) {
+            ok = true;
+          }
+        }
+        strict_ok = state == read.cset;
+      } else {
+        std::optional<std::string> state;  // nil
+        ok = read.value == state;          // the empty prefix
+        for (TxId applied : log) {
+          auto it = psi_.recorded().find(applied);
+          if (it == psi_.recorded().end() || !snap.Sees(it->second.record.version)) {
+            continue;
+          }
+          for (const auto& u : it->second.record.updates) {
+            if (u.oid == read.oid && u.kind == UpdateKind::kData) {
+              state = u.data;
+              if (read.value == state) {
+                ok = true;
+              }
+            }
+          }
+        }
+        strict_ok = read.value == state;
+      }
+      if (!ok) {
+        return Status::Internal("NMSI read rule violated: tx" + std::to_string(tid) +
+                                " read of " + read.oid.ToString() +
+                                " matches no visible prefix state");
+      }
+      if (!strict_ok) {
+        ++psi_anomalies_permitted_;  // legal under NMSI, a violation under PSI
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ConsistencyChecker::CheckNoWriteSkew() const {
+  // Write skew: somewhere-concurrent T1, T2 where each reads an object the
+  // other writes. PSI (Property 2) only forbids write-write overlap, so this
+  // is precisely the anomaly the serializable mode adds detection for.
+  auto read_set = [](const RecordedTx& tx) {
+    std::vector<ObjectId> rs;
+    for (const auto& r : tx.reads) {
+      if (!r.is_cset) {
+        rs.push_back(r.oid);
+      }
+    }
+    std::sort(rs.begin(), rs.end());
+    rs.erase(std::unique(rs.begin(), rs.end()), rs.end());
+    return rs;
+  };
+  auto intersects = [](const std::vector<ObjectId>& sorted, const std::vector<ObjectId>& other) {
+    for (const auto& oid : other) {
+      if (std::binary_search(sorted.begin(), sorted.end(), oid)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::vector<const RecordedTx*> txs;
+  for (const auto& [tid, tx] : psi_.recorded()) {
+    txs.push_back(&tx);
+  }
+  for (size_t i = 0; i < txs.size(); ++i) {
+    std::vector<ObjectId> reads_i = read_set(*txs[i]);
+    std::vector<ObjectId> writes_i = PsiChecker::RegularWriteSet(txs[i]->record);
+    if (reads_i.empty() && writes_i.empty()) {
+      continue;
+    }
+    for (size_t j = i + 1; j < txs.size(); ++j) {
+      const RecordedTx& a = *txs[i];
+      const RecordedTx& b = *txs[j];
+      bool ordered = a.record.start_vts.Sees(b.record.version) ||
+                     b.record.start_vts.Sees(a.record.version);
+      if (ordered) {
+        continue;
+      }
+      if (intersects(reads_i, PsiChecker::RegularWriteSet(b.record)) &&
+          intersects(read_set(b), writes_i)) {
+        return Status::Internal("Serializability violated (write skew): concurrent tx" +
+                                std::to_string(a.record.tid) + " and tx" +
+                                std::to_string(b.record.tid) +
+                                " each read an object the other writes");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 Status PsiChecker::CheckProperty3CommitCausality() const {
   // For every T2, every T1 that committed before T2 started — i.e. every T1
   // whose commit version T2's start snapshot sees — must precede T2 at every

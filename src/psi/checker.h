@@ -50,6 +50,10 @@ struct RecordedRead {
 struct RecordedTx {
   TxRecord record;                  // tid, origin, version, startVTS, updates
   std::vector<RecordedRead> reads;  // observed read results, in issue order
+  // The consistency level the transaction ran at (docs/CONSISTENCY.md).
+  // Informational for PsiChecker; ConsistencyChecker validates executions
+  // against its construction-time mode.
+  ConsistencyMode mode = ConsistencyMode::kPsi;
 };
 
 class PsiChecker {
@@ -75,13 +79,17 @@ class PsiChecker {
 
   size_t committed_count() const { return txs_.size(); }
 
+  // Raw recorded state, for ConsistencyChecker's mode-specific passes.
+  const std::unordered_map<TxId, RecordedTx>& recorded() const { return txs_; }
+  const std::vector<std::vector<TxId>>& site_logs() const { return site_logs_; }
+
+  // Regular-object write set of a transaction (sorted, deduped).
+  static std::vector<ObjectId> RegularWriteSet(const TxRecord& rec);
+
  private:
   // Index of tid in site s's log, or nullopt. Uses a lazily built index.
   std::optional<size_t> PositionAt(SiteId s, TxId tid) const;
   void BuildPositionIndex() const;
-
-  // Regular-object write set of a transaction.
-  static std::vector<ObjectId> RegularWriteSet(const TxRecord& rec);
 
   size_t num_sites_;
   std::vector<std::vector<TxId>> site_logs_;
@@ -89,6 +97,47 @@ class PsiChecker {
   // Lazily built per-site tid -> log index maps (invalidated on OnApply by
   // clearing; rebuilt on first PositionAt after recording ends).
   mutable std::vector<std::unordered_map<TxId, size_t>> positions_;
+};
+
+// Mode-aware wrapper (docs/CONSISTENCY.md): validates a recorded execution
+// against the consistency level it was run at.
+//
+//  - kPsi: exactly PsiChecker::Check() — all three PSI properties.
+//  - kNmsi: Property 2 (no write-write conflicts — NMSI still forbids lost
+//    updates) plus a relaxed Property 1: each read must equal SOME prefix
+//    state of the snapshot-visible updates to the object in the origin's apply
+//    order, not necessarily the latest (the permitted non-monotonic read).
+//    Property 3 is not checked: observing commit order differently at
+//    different sites is a PSI anomaly NMSI permits. Reads that violate strict
+//    PSI but pass the relaxed rule are counted in psi_anomalies_permitted(),
+//    so tests can assert the anomaly actually occurred AND was legal.
+//  - kSerializable: all PSI properties plus no write skew — no pair of
+//    somewhere-concurrent committed transactions where each reads an object
+//    the other writes.
+class ConsistencyChecker {
+ public:
+  ConsistencyChecker(size_t num_sites, ConsistencyMode mode)
+      : mode_(mode), psi_(num_sites) {}
+
+  ConsistencyMode mode() const { return mode_; }
+  void OnApply(SiteId site, TxId tid) { psi_.OnApply(site, tid); }
+  void OnCommit(RecordedTx tx) { psi_.OnCommit(std::move(tx)); }
+  size_t committed_count() const { return psi_.committed_count(); }
+
+  // Validates the execution at this checker's mode.
+  Status Check() const;
+
+  // NMSI only: reads that a strict PSI check would reject but the NMSI
+  // relaxation permits (0 after Check() under the other modes).
+  size_t psi_anomalies_permitted() const { return psi_anomalies_permitted_; }
+
+ private:
+  Status CheckNmsiReads() const;
+  Status CheckNoWriteSkew() const;
+
+  ConsistencyMode mode_;
+  PsiChecker psi_;
+  mutable size_t psi_anomalies_permitted_ = 0;
 };
 
 }  // namespace walter

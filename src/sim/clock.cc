@@ -1,0 +1,60 @@
+#include "src/sim/clock.h"
+
+namespace walter {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ClockModel::ClockModel(SiteId site, const Options& options) : options_(options) {
+  if (options_.skew_bound <= 0) {
+    return;  // perfectly synchronized clocks
+  }
+  // Derive a stable per-site offset in (-bound, +bound) and a signed drift
+  // rate in [-drift_ppm, +drift_ppm]. Site 0 gets a nonzero offset too: no
+  // site is privileged as "the true clock".
+  uint64_t h = SplitMix64(options_.seed * 0x100000001b3ULL + site + 1);
+  // Start the fixed offset inside half the bound so drift has room to move
+  // before the clamp engages.
+  SimDuration half = options_.skew_bound / 2;
+  offset_ = half > 0 ? static_cast<SimDuration>(h % (2 * half + 1)) - half : 0;
+  uint64_t h2 = SplitMix64(h);
+  double unit = static_cast<double>(h2 % 2001) / 1000.0 - 1.0;  // [-1, 1]
+  drift_ = unit * options_.drift_ppm * 1e-6;
+}
+
+SimTime ClockModel::LocalNow(SimTime base) const {
+  SimDuration skew = offset_ + static_cast<SimDuration>(drift_ * static_cast<double>(base));
+  if (skew > options_.skew_bound) {
+    skew = options_.skew_bound;
+  } else if (skew < -options_.skew_bound) {
+    skew = -options_.skew_bound;
+  }
+  return base + skew + step_;
+}
+
+SimTime ClockModel::BaseTimeFor(SimTime local) const {
+  // The skew at any instant is within [-bound, +bound] (plus the injected
+  // step), so local = base + skew(base) is monotone in base (|drift| << 1).
+  // Start from the naive inverse and walk forward until LocalNow passes —
+  // at most a few iterations since skew changes by < 1us per 10s of base
+  // time at realistic drift rates.
+  SimTime base = local - offset_ - step_;
+  while (LocalNow(base) < local) {
+    SimTime deficit = local - LocalNow(base);
+    base += deficit > 0 ? deficit : 1;
+  }
+  while (base > 0 && LocalNow(base - 1) >= local) {
+    --base;
+  }
+  return base;
+}
+
+}  // namespace walter

@@ -1,0 +1,79 @@
+// ClockModel: per-site loosely synchronized clocks with bounded skew + drift.
+//
+// Walter's base protocols never read a wall clock — all ordering flows from
+// seqnos and vector timestamps. The clock-ordered slow-commit path (Tiga-style
+// future commit timestamps, see docs/CONSISTENCY.md) does: the coordinator
+// assigns a commit timestamp in the near future and every participant holds
+// the transaction until its *local* clock passes it. For that to be meaningful
+// the model needs per-site clocks that disagree, but by a bounded amount.
+//
+// The model is a pure function of a base "true time" instant:
+//
+//   local_now(site, base) = base + offset(site) + drift_ppm(site) * base
+//
+// clamped so |local_now - base| <= skew_bound at every instant the simulation
+// can reach. Purity is what makes the model runtime-seam-agnostic:
+//  - under the simulator, base is Simulator::Now() — deterministic, so every
+//    run of a seed sees byte-identical clock readings;
+//  - under the threaded runtime, base is the executor's WallClock virtual now
+//    (steady_clock compressed by time_scale), so local clocks advance with
+//    real time but keep the same per-site skew structure.
+//
+// Offsets and drift rates derive from a seed via splitmix64, so two sites
+// always disagree (unless the bound is zero) and the disagreement is stable
+// across runs. A test hook can shift a site's offset mid-run — including
+// backwards — to model clock steps; see ClockCommitTest.
+#ifndef SRC_SIM_CLOCK_H_
+#define SRC_SIM_CLOCK_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/sim/time.h"
+
+namespace walter {
+
+class ClockModel {
+ public:
+  struct Options {
+    // Hard bound on |local - true| at any instant, in microseconds. The
+    // clock-ordered commit path budgets this bound into every assigned
+    // timestamp; a site whose clock violates it (e.g. an injected step) falls
+    // back to classic 2PC behavior for the affected prepare.
+    SimDuration skew_bound = Millis(5);
+    // Per-site drift magnitude, parts-per-million of elapsed base time. Drift
+    // accumulates until it saturates the skew bound, then clamps (modeling a
+    // clock-discipline daemon that steers the clock back inside the bound).
+    double drift_ppm = 50.0;
+    // Seeds the per-site offset/drift derivation.
+    uint64_t seed = 1;
+  };
+
+  ClockModel() = default;
+  ClockModel(SiteId site, const Options& options);
+
+  // The site's local clock reading at base ("true") time `base`.
+  SimTime LocalNow(SimTime base) const;
+
+  // The base time at which this site's local clock first reads `local` (the
+  // inverse of LocalNow, rounded up). Used to schedule "when my clock passes
+  // T" on a base-time timer.
+  SimTime BaseTimeFor(SimTime local) const;
+
+  SimDuration skew_bound() const { return options_.skew_bound; }
+
+  // Test hook: steps the site's clock by `delta` (negative = backwards). A
+  // step can push the clock outside the skew bound, which is exactly what the
+  // fallback-path tests need.
+  void InjectStep(SimDuration delta) { step_ += delta; }
+
+ private:
+  Options options_;
+  SimDuration offset_ = 0;   // fixed component, in (-skew_bound, +skew_bound)
+  double drift_ = 0.0;       // signed, fraction of elapsed base time
+  SimDuration step_ = 0;     // injected (test-only) clock step
+};
+
+}  // namespace walter
+
+#endif  // SRC_SIM_CLOCK_H_

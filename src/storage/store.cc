@@ -200,6 +200,22 @@ bool Store::WatermarkBlocksWrite(const ObjectId& oid) const {
   return !watermarks_.empty() && watermarks_.contains(oid);
 }
 
+bool Store::WatermarkBlocksWrite(const ObjectId& oid, const VectorTimestamp& vts) const {
+  if (watermarks_.empty()) {
+    return false;
+  }
+  auto it = watermarks_.find(oid);
+  if (it == watermarks_.end()) {
+    return false;
+  }
+  for (const auto& [version, tid] : it->second) {
+    if (version.site >= vts.num_sites() || vts.at(version.site) < version.seqno) {
+      return true;  // a decided version the snapshot has NOT seen: real conflict
+    }
+  }
+  return false;
+}
+
 bool Store::WatermarkBlocksRead(const ObjectId& oid, const VectorTimestamp& vts) const {
   if (watermarks_.empty()) {
     return false;

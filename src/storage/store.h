@@ -110,6 +110,10 @@ class Store {
   size_t DropWatermarksFrom(SiteId origin, uint64_t after_seqno);
   // Any live watermark on oid blocks a writer (coverage-independent, see above).
   bool WatermarkBlocksWrite(const ObjectId& oid) const;
+  // Snapshot-aware variant (clock-ordered commit path): a watermark blocks the
+  // writer only if some decided version on oid is NOT in `vts` — a version the
+  // snapshot already Sees is history, not a conflict.
+  bool WatermarkBlocksWrite(const ObjectId& oid, const VectorTimestamp& vts) const;
   // A watermark whose decided version `vts` covers blocks a reader: the
   // snapshot includes the version but the local history does not hold it yet.
   bool WatermarkBlocksRead(const ObjectId& oid, const VectorTimestamp& vts) const;

@@ -180,5 +180,113 @@ TEST(CheckerTest, ReadOwnSnapshotWithRemoteTxnsVisible) {
   EXPECT_TRUE(checker.Check().ok());
 }
 
+// --- ConsistencyChecker: mode-aware validation (docs/CONSISTENCY.md) --------
+
+// The canonical write skew: T1 reads B writes A, T2 reads A writes B, neither
+// sees the other. Legal under PSI and NMSI (disjoint write sets), rejected by
+// the serializable checker.
+TEST(ConsistencyCheckerTest, WriteSkewPassesPsiAndNmsiFailsSerializable) {
+  for (ConsistencyMode mode :
+       {ConsistencyMode::kPsi, ConsistencyMode::kNmsi, ConsistencyMode::kSerializable}) {
+    ConsistencyChecker checker(1, mode);
+    TxRecord t1 = MakeTx(1, 0, 1, Vts({0}), {ObjectUpdate::Data(A(), "a1")});
+    TxRecord t2 = MakeTx(2, 0, 2, Vts({0}), {ObjectUpdate::Data(B(), "b2")});
+    RecordedRead t1_reads_b;
+    t1_reads_b.oid = B();
+    t1_reads_b.value = std::nullopt;  // started before T2 committed
+    RecordedRead t2_reads_a;
+    t2_reads_a.oid = A();
+    t2_reads_a.value = std::nullopt;
+    checker.OnCommit(Recorded(t1, {t1_reads_b}));
+    checker.OnCommit(Recorded(t2, {t2_reads_a}));
+    checker.OnApply(0, 1);
+    checker.OnApply(0, 2);
+    Status s = checker.Check();
+    if (mode == ConsistencyMode::kSerializable) {
+      EXPECT_FALSE(s.ok()) << "serializable must reject write skew";
+      EXPECT_NE(s.message().find("write skew"), std::string::npos) << s.message();
+    } else {
+      EXPECT_TRUE(s.ok()) << ConsistencyModeName(mode) << ": " << s.message();
+      EXPECT_EQ(checker.psi_anomalies_permitted(), 0u);
+    }
+  }
+}
+
+// An ordered read-write pair is NOT write skew: T2's snapshot sees T1, so the
+// serializable checker must accept it.
+TEST(ConsistencyCheckerTest, SerializableAcceptsOrderedReadWritePair) {
+  ConsistencyChecker checker(1, ConsistencyMode::kSerializable);
+  TxRecord t1 = MakeTx(1, 0, 1, Vts({0}), {ObjectUpdate::Data(A(), "a1")});
+  TxRecord t2 = MakeTx(2, 0, 2, Vts({1}), {ObjectUpdate::Data(B(), "b2")});
+  RecordedRead t2_reads_a;
+  t2_reads_a.oid = A();
+  t2_reads_a.value = "a1";
+  checker.OnCommit(Recorded(t1));
+  checker.OnCommit(Recorded(t2, {t2_reads_a}));
+  checker.OnApply(0, 1);
+  checker.OnApply(0, 2);
+  EXPECT_TRUE(checker.Check().ok());
+}
+
+// NMSI's relaxed read rule: a read may return any PREFIX state of the
+// snapshot-visible updates in the origin's apply order. Strict PSI rejects the
+// stale-but-prefix value; NMSI accepts it and counts the permitted anomaly.
+TEST(ConsistencyCheckerTest, NmsiAcceptsPrefixReadAndCountsAnomaly) {
+  auto build = [](ConsistencyChecker& checker) {
+    TxRecord w1 = MakeTx(1, 0, 1, Vts({0}), {ObjectUpdate::Data(A(), "a1")});
+    TxRecord w2 = MakeTx(2, 0, 2, Vts({1}), {ObjectUpdate::Data(A(), "a2")});
+    checker.OnCommit(Recorded(w1));
+    checker.OnCommit(Recorded(w2));
+    checker.OnApply(0, 1);
+    checker.OnApply(0, 2);
+    // Reader's snapshot sees BOTH writers but it observed the intermediate
+    // state "a1" (read served through a live watermark).
+    TxRecord reader = MakeTx(3, 0, 3, Vts({2}), {ObjectUpdate::Data(B(), "x")});
+    RecordedRead stale;
+    stale.oid = A();
+    stale.value = "a1";
+    checker.OnCommit(Recorded(reader, {stale}));
+    checker.OnApply(0, 3);
+  };
+  ConsistencyChecker psi(1, ConsistencyMode::kPsi);
+  build(psi);
+  EXPECT_FALSE(psi.Check().ok()) << "strict PSI must reject the stale read";
+
+  ConsistencyChecker nmsi(1, ConsistencyMode::kNmsi);
+  build(nmsi);
+  Status s = nmsi.Check();
+  EXPECT_TRUE(s.ok()) << s.message();
+  EXPECT_EQ(nmsi.psi_anomalies_permitted(), 1u);
+}
+
+// NMSI is a relaxation, not anything-goes: a value no prefix state ever held
+// is still a violation.
+TEST(ConsistencyCheckerTest, NmsiRejectsNeverWrittenValue) {
+  ConsistencyChecker checker(1, ConsistencyMode::kNmsi);
+  TxRecord w1 = MakeTx(1, 0, 1, Vts({0}), {ObjectUpdate::Data(A(), "a1")});
+  checker.OnCommit(Recorded(w1));
+  checker.OnApply(0, 1);
+  TxRecord reader = MakeTx(2, 0, 2, Vts({1}), {ObjectUpdate::Data(B(), "x")});
+  RecordedRead ghost;
+  ghost.oid = A();
+  ghost.value = "ghost";
+  checker.OnCommit(Recorded(reader, {ghost}));
+  checker.OnApply(0, 2);
+  EXPECT_FALSE(checker.Check().ok());
+}
+
+// NMSI still forbids lost updates: write-write conflicts between concurrent
+// transactions fail under every mode.
+TEST(ConsistencyCheckerTest, NmsiRejectsWriteWriteConflict) {
+  ConsistencyChecker checker(1, ConsistencyMode::kNmsi);
+  TxRecord t1 = MakeTx(1, 0, 1, Vts({0}), {ObjectUpdate::Data(A(), "1")});
+  TxRecord t2 = MakeTx(2, 0, 2, Vts({0}), {ObjectUpdate::Data(A(), "2")});
+  checker.OnCommit(Recorded(t1));
+  checker.OnCommit(Recorded(t2));
+  checker.OnApply(0, 1);
+  checker.OnApply(0, 2);
+  EXPECT_FALSE(checker.Check().ok());
+}
+
 }  // namespace
 }  // namespace walter

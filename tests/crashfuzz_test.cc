@@ -56,6 +56,21 @@ TEST(CrashFuzzTest, ShardedDecisionPathSurvivesEveryCrashPoint) {
   EXPECT_GT(report.acked_checked, 0u);
 }
 
+TEST(CrashFuzzTest, SerializableModeSurvivesCrashPoints) {
+  // Same sweep with every workload transaction at the serializable level: the
+  // mode rides the wire through crash/restart, and the reconciled history is
+  // validated by the mode-aware checker (PSI properties + no write skew).
+  CrashFuzzerOptions options;
+  options.seed = 5;
+  options.mode = ConsistencyMode::kSerializable;
+  options.sweep_bit_rot = LongSweep();  // boundary + torn sweeps always run
+  CrashPointFuzzer fuzzer(options);
+  CrashFuzzerReport report = fuzzer.Run();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.crash_points, 0u);
+  EXPECT_GT(report.acked_checked, 0u);
+}
+
 TEST(CrashFuzzTest, DeterministicAcrossSeeds) {
   // A second seed shifts the schedule; the invariants must hold regardless.
   CrashFuzzerOptions options;

@@ -75,6 +75,63 @@ TEST(MessagesTest, PrepareRoundTrip) {
   EXPECT_FALSE(PrepareResponse::Deserialize(no.Serialize()).vote_yes);
 }
 
+// The clock-commit / consistency-mode tail fields: round-trip when set,
+// default when absent (old-format bytes must still deserialize).
+TEST(MessagesTest, ClockAndModeTailFieldsRoundTrip) {
+  PrepareRequest req;
+  req.tid = 77;
+  req.oids = {{1, 2}};
+  req.start_vts = VectorTimestamp(std::vector<uint64_t>{4});
+  req.commit_ts = 123456789;
+  req.mode = ConsistencyMode::kSerializable;
+  req.read_oids = {{5, 6}, {7, 8}};
+  PrepareRequest got = PrepareRequest::Deserialize(req.Serialize());
+  EXPECT_EQ(got.commit_ts, req.commit_ts);
+  EXPECT_EQ(got.mode, req.mode);
+  EXPECT_EQ(got.read_oids, req.read_oids);
+
+  // All-default tail serializes the pre-clock byte layout and reads back as
+  // defaults — the wire-compat half of the byte-identity discipline.
+  PrepareRequest plain;
+  plain.tid = 78;
+  plain.oids = {{1, 2}};
+  plain.start_vts = VectorTimestamp(std::vector<uint64_t>{4});
+  PrepareRequest plain_got = PrepareRequest::Deserialize(plain.Serialize());
+  EXPECT_EQ(plain_got.commit_ts, 0);
+  EXPECT_EQ(plain_got.mode, ConsistencyMode::kPsi);
+  EXPECT_TRUE(plain_got.read_oids.empty());
+
+  PrepareResponse fb;
+  fb.vote_yes = true;
+  fb.clock_fallback = true;
+  EXPECT_TRUE(PrepareResponse::Deserialize(fb.Serialize()).clock_fallback);
+  PrepareResponse no_fb{true};
+  EXPECT_FALSE(PrepareResponse::Deserialize(no_fb.Serialize()).clock_fallback);
+
+  ClientOpRequest op;
+  op.tid = 9;
+  op.commit_after = true;
+  op.mode = ConsistencyMode::kNmsi;
+  op.read_oids = {{2, 3}};
+  ClientOpRequest op_got = ClientOpRequest::Deserialize(op.Serialize());
+  EXPECT_EQ(op_got.mode, ConsistencyMode::kNmsi);
+  EXPECT_EQ(op_got.read_oids, op.read_oids);
+  ClientOpRequest op_plain;
+  op_plain.tid = 10;
+  EXPECT_EQ(ClientOpRequest::Deserialize(op_plain.Serialize()).mode, ConsistencyMode::kPsi);
+
+  RemoteReadRequest rr;
+  rr.oid = {3, 4};
+  rr.vts = VectorTimestamp(std::vector<uint64_t>{1, 2});
+  rr.caller = 1;
+  rr.mode = ConsistencyMode::kNmsi;
+  EXPECT_EQ(RemoteReadRequest::Deserialize(rr.Serialize()).mode, ConsistencyMode::kNmsi);
+  RemoteReadRequest rr_plain;
+  rr_plain.oid = {3, 4};
+  rr_plain.vts = VectorTimestamp(std::vector<uint64_t>{1, 2});
+  EXPECT_EQ(RemoteReadRequest::Deserialize(rr_plain.Serialize()).mode, ConsistencyMode::kPsi);
+}
+
 TEST(MessagesTest, PropagateBatchRoundTrip) {
   PropagateBatch batch;
   batch.origin = 2;
